@@ -1,0 +1,192 @@
+// Command arc is the ARC toolchain CLI: parse queries in any supported
+// language (ARC comprehension syntax, SQL, textbook TRC), validate them,
+// render any modality (comprehension text, ALT tree, higraph ASCII or
+// SVG, SQL), analyze relational patterns, lint for the COUNT bug, and
+// evaluate against a data file under chosen conventions.
+//
+// Usage:
+//
+//	arc [flags] <query | @file>
+//
+//	-lang arc|sql|trc     input language (default arc)
+//	-out  arc|alt|higraph|svg|sql|sig|all   output form (default alt)
+//	-db   file            data file for -eval (see below)
+//	-eval                 evaluate and print the result relation
+//	-conv set|sql|sqldistinct|souffle       conventions (default set)
+//	-lint                 run the COUNT-bug lint
+//
+// Data files list relations as "Name(attr1,attr2)" header lines followed
+// by comma-separated rows; "null" is NULL; everything parseable as a
+// number is numeric; the rest are strings. Blank lines separate
+// relations, '#' starts a comment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/alt"
+	"repro/internal/convention"
+	"repro/internal/core"
+)
+
+func main() {
+	lang := flag.String("lang", "arc", "input language: arc|sql|trc")
+	out := flag.String("out", "alt", "output: arc|alt|higraph|svg|sql|sig|all")
+	dbPath := flag.String("db", "", "data file for -eval")
+	doEval := flag.Bool("eval", false, "evaluate the query")
+	convName := flag.String("conv", "set", "conventions: set|sql|sqldistinct|souffle")
+	doLint := flag.Bool("lint", false, "run the COUNT-bug lint")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: arc [flags] <query | @file>")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	src := flag.Arg(0)
+	if strings.HasPrefix(src, "@") {
+		data, err := os.ReadFile(src[1:])
+		if err != nil {
+			die(err)
+		}
+		src = string(data)
+	}
+
+	col, sentence, err := parseInput(*lang, src)
+	if err != nil {
+		die(err)
+	}
+
+	if sentence != nil {
+		runSentence(sentence, *dbPath, *convName, *doEval)
+		return
+	}
+	if _, err := core.Validate(col); err != nil {
+		die(err)
+	}
+	if *doLint {
+		findings, err := core.LintCountBug(col)
+		if err != nil {
+			die(err)
+		}
+		if len(findings) == 0 {
+			fmt.Println("lint: clean")
+		}
+		for _, f := range findings {
+			fmt.Println("lint:", f)
+		}
+	}
+	if err := render(col, *out); err != nil {
+		die(err)
+	}
+	if *doEval {
+		cat, rels, err := loadCatalog(*dbPath)
+		if err != nil {
+			die(err)
+		}
+		_ = rels
+		res, err := core.Eval(col, cat, conventionsByName(*convName))
+		if err != nil {
+			die(err)
+		}
+		fmt.Print(res.String())
+	}
+}
+
+func parseInput(lang, src string) (*core.Collection, *core.Sentence, error) {
+	switch lang {
+	case "arc":
+		return core.ParseARC(src)
+	case "sql":
+		col, err := core.FromSQL(src)
+		return col, nil, err
+	case "trc":
+		col, err := core.ParseTRC(src)
+		return col, nil, err
+	}
+	return nil, nil, fmt.Errorf("unknown language %q", lang)
+}
+
+func render(col *core.Collection, out string) error {
+	switch out {
+	case "arc":
+		fmt.Println(col.String())
+	case "alt":
+		fmt.Print(core.ALT(col))
+	case "higraph":
+		g, err := core.HigraphOf(col)
+		if err != nil {
+			return err
+		}
+		fmt.Print(g.ASCII())
+	case "svg":
+		g, err := core.HigraphOf(col)
+		if err != nil {
+			return err
+		}
+		fmt.Println(g.SVG())
+	case "sql":
+		s, err := core.ToSQL(col)
+		if err != nil {
+			return err
+		}
+		fmt.Println(s)
+	case "sig":
+		sig, err := core.PatternSignature(col)
+		if err != nil {
+			return err
+		}
+		cls, err := core.ClassifyAggregation(col)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("signature: %s\naggregation pattern: %s\n", sig, cls)
+	case "all":
+		for _, o := range []string{"arc", "alt", "higraph", "sql", "sig"} {
+			fmt.Printf("--- %s ---\n", o)
+			if err := render(col, o); err != nil {
+				fmt.Printf("(%v)\n", err)
+			}
+		}
+	default:
+		return fmt.Errorf("unknown output %q", out)
+	}
+	return nil
+}
+
+func runSentence(s *core.Sentence, dbPath, convName string, doEval bool) {
+	fmt.Println("sentence:", s.String())
+	if !doEval {
+		return
+	}
+	cat, _, err := loadCatalog(dbPath)
+	if err != nil {
+		die(err)
+	}
+	ok, err := core.EvalSentence(s, cat, conventionsByName(convName))
+	if err != nil {
+		die(err)
+	}
+	fmt.Println("holds:", ok)
+}
+
+func conventionsByName(name string) convention.Conventions {
+	switch name {
+	case "sql":
+		return convention.SQL()
+	case "sqldistinct":
+		return convention.SQLDistinct()
+	case "souffle":
+		return convention.Souffle()
+	}
+	return convention.SetLogic()
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "arc:", err)
+	os.Exit(1)
+}
+
+var _ = alt.PrintTree

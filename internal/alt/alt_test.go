@@ -1,0 +1,397 @@
+package alt
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/value"
+)
+
+// q1 is paper query (1):
+// {Q(A) | ∃r∈R, s∈S [Q.A = r.A ∧ r.B = s.B ∧ s.C = 0]}
+func q1() *Collection {
+	return Col("Q", []string{"A"},
+		Exists([]*Binding{Bind("r", "R"), Bind("s", "S")},
+			AndF(
+				Eq(Ref("Q", "A"), Ref("r", "A")),
+				Eq(Ref("r", "B"), Ref("s", "B")),
+				Eq(Ref("s", "C"), CInt(0)),
+			)))
+}
+
+// q3 is paper query (3): grouped aggregate, FIO pattern.
+func q3() *Collection {
+	return Col("Q", []string{"A", "sm"},
+		ExistsG([]*Binding{Bind("r", "R")},
+			[]*AttrRef{Ref("r", "A")},
+			AndF(
+				Eq(Ref("Q", "A"), Ref("r", "A")),
+				Eq(Ref("Q", "sm"), Sum(Ref("r", "B"))),
+			)))
+}
+
+// q16 is paper query (16): recursive ancestor.
+func q16() *Collection {
+	return Col("A", []string{"s", "t"},
+		OrF(
+			Exists([]*Binding{Bind("p", "P")},
+				AndF(
+					Eq(Ref("A", "s"), Ref("p", "s")),
+					Eq(Ref("A", "t"), Ref("p", "t")),
+				)),
+			Exists([]*Binding{Bind("p", "P"), Bind("a2", "A")},
+				AndF(
+					Eq(Ref("A", "s"), Ref("p", "s")),
+					Eq(Ref("p", "t"), Ref("a2", "s")),
+					Eq(Ref("A", "t"), Ref("a2", "t")),
+				)),
+		))
+}
+
+// q7 is paper query (7): FOI pattern with a nested lateral collection.
+func q7() *Collection {
+	inner := Col("X", []string{"sm"},
+		ExistsG([]*Binding{Bind("r2", "R")}, nil,
+			AndF(
+				Eq(Ref("r2", "A"), Ref("r", "A")),
+				Eq(Ref("X", "sm"), Sum(Ref("r2", "B"))),
+			)))
+	return Col("Q", []string{"A", "sm"},
+		Exists([]*Binding{Bind("r", "R"), BindSub("x", inner)},
+			AndF(
+				Eq(Ref("Q", "A"), Ref("r", "A")),
+				Eq(Ref("Q", "sm"), Ref("x", "sm")),
+			)))
+}
+
+func TestLinkQ1(t *testing.T) {
+	c := q1()
+	link, err := LinkCollection(c)
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	spine := Spine(c.Body.(*Quantifier).Body)
+	if len(spine) != 3 {
+		t.Fatalf("spine has %d conjuncts", len(spine))
+	}
+	p0 := spine[0].(*Pred)
+	if link.Preds[p0] != PredAssignment || link.HeadSide[p0] != 0 {
+		t.Errorf("Q.A = r.A should be an assignment with head on the left")
+	}
+	p1 := spine[1].(*Pred)
+	if link.Preds[p1] != PredComparison {
+		t.Errorf("r.B = s.B should be a comparison")
+	}
+	// Ref resolution: r.A resolves to binding r.
+	rA := p0.Right.(*AttrRef)
+	ref := link.Refs[rA]
+	if ref.Kind != RefBinding || ref.Binding.Var != "r" {
+		t.Errorf("r.A resolved to %+v", ref)
+	}
+	qA := p0.Left.(*AttrRef)
+	if link.Refs[qA].Kind != RefHead {
+		t.Errorf("Q.A should resolve to the head")
+	}
+}
+
+func TestLinkRecursion(t *testing.T) {
+	c := q16()
+	link, err := LinkCollection(c)
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	if !link.RecursiveCols[c] {
+		t.Fatal("q16 must be marked recursive")
+	}
+	found := false
+	for b, col := range link.RecursiveBindings {
+		if b.Var == "a2" && col == c {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("binding a2 ∈ A must be marked as the recursive reference")
+	}
+}
+
+func TestLinkCorrelation(t *testing.T) {
+	c := q7()
+	link, err := LinkCollection(c)
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	inner := c.Body.(*Quantifier).Bindings[1].Sub
+	vars := link.Correlated[inner]
+	if len(vars) != 1 || vars[0] != "r" {
+		t.Fatalf("inner collection correlation = %v, want [r]", vars)
+	}
+}
+
+func TestLinkErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		col  *Collection
+		want string
+	}{
+		{
+			"unbound variable",
+			Col("Q", []string{"A"},
+				Exists([]*Binding{Bind("r", "R")},
+					Eq(Ref("Q", "A"), Ref("zz", "A")))),
+			"unbound variable",
+		},
+		{
+			"duplicate binding",
+			Col("Q", []string{"A"},
+				Exists([]*Binding{Bind("r", "R"), Bind("r", "S")},
+					Eq(Ref("Q", "A"), Ref("r", "A")))),
+			"duplicate binding",
+		},
+		{
+			"empty binding",
+			Col("Q", []string{"A"},
+				Exists([]*Binding{{Var: "r"}},
+					Eq(Ref("Q", "A"), Ref("r", "A")))),
+			"neither a relation nor a collection",
+		},
+		{
+			"bad head attribute",
+			Col("Q", []string{"A"},
+				Exists([]*Binding{Bind("r", "R")},
+					AndF(Eq(Ref("Q", "A"), Ref("r", "A")), Eq(Ref("Q", "B"), Ref("r", "B"))))),
+			"no attribute",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := LinkCollection(c.col)
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("got %v, want error containing %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestValidateAcceptsPaperQueries(t *testing.T) {
+	for name, c := range map[string]*Collection{
+		"q1": q1(), "q3": q3(), "q7": q7(), "q16": q16(),
+	} {
+		if _, err := ValidateCollection(c); err != nil {
+			t.Errorf("%s should validate: %v", name, err)
+		}
+	}
+}
+
+func TestValidateRejectsAggWithoutGrouping(t *testing.T) {
+	c := Col("Q", []string{"A", "sm"},
+		Exists([]*Binding{Bind("r", "R")},
+			AndF(
+				Eq(Ref("Q", "A"), Ref("r", "A")),
+				Eq(Ref("Q", "sm"), Sum(Ref("r", "B"))),
+			)))
+	_, err := ValidateCollection(c)
+	if err == nil || !strings.Contains(err.Error(), "grouping operator") {
+		t.Fatalf("want grouping-operator error, got %v", err)
+	}
+}
+
+func TestValidateRejectsUnassignedHead(t *testing.T) {
+	c := Col("Q", []string{"A", "B"},
+		Exists([]*Binding{Bind("r", "R")},
+			Eq(Ref("Q", "A"), Ref("r", "A"))))
+	_, err := ValidateCollection(c)
+	if err == nil || !strings.Contains(err.Error(), "never assigned") {
+		t.Fatalf("want never-assigned error, got %v", err)
+	}
+}
+
+func TestValidateRejectsDirtyHead(t *testing.T) {
+	// Head attribute used in a comparison — violates the clean-head rule
+	// for strict queries (but is allowed for abstract relations).
+	c := Col("Q", []string{"A"},
+		Exists([]*Binding{Bind("r", "R")},
+			AndF(
+				Eq(Ref("Q", "A"), Ref("r", "A")),
+				Lt(Ref("Q", "A"), CInt(5)),
+			)))
+	_, err := ValidateCollection(c)
+	if err == nil || !strings.Contains(err.Error(), "clean") {
+		t.Fatalf("want clean-head error, got %v", err)
+	}
+	if _, err := ValidateAbstract(c); err != nil {
+		t.Fatalf("abstract mode should accept head-as-parameter: %v", err)
+	}
+}
+
+func TestValidateRejectsGroupingKeyOutsideQuantifier(t *testing.T) {
+	// γ over a variable bound in the outer scope.
+	inner := Col("X", []string{"sm"},
+		ExistsG([]*Binding{Bind("s", "S")},
+			[]*AttrRef{Ref("r", "A")}, // r is outer — illegal grouping key
+			Eq(Ref("X", "sm"), Sum(Ref("s", "B")))))
+	c := Col("Q", []string{"sm"},
+		Exists([]*Binding{Bind("r", "R"), BindSub("x", inner)},
+			Eq(Ref("Q", "sm"), Ref("x", "sm"))))
+	_, err := ValidateCollection(c)
+	if err == nil || !strings.Contains(err.Error(), "same quantifier") {
+		t.Fatalf("want same-quantifier error, got %v", err)
+	}
+}
+
+func TestValidateRejectsNonInvariantAssignment(t *testing.T) {
+	// Q.B = r.B in a scope grouped by r.A: r.B is not group-invariant.
+	c := Col("Q", []string{"A", "B"},
+		ExistsG([]*Binding{Bind("r", "R")},
+			[]*AttrRef{Ref("r", "A")},
+			AndF(
+				Eq(Ref("Q", "A"), Ref("r", "A")),
+				Eq(Ref("Q", "B"), Ref("r", "B")),
+			)))
+	_, err := ValidateCollection(c)
+	if err == nil || !strings.Contains(err.Error(), "group-invariant") {
+		t.Fatalf("want group-invariance error, got %v", err)
+	}
+}
+
+func TestValidateRejectsUnstratifiedRecursion(t *testing.T) {
+	c := Col("A", []string{"s"},
+		Exists([]*Binding{Bind("p", "P")},
+			AndF(
+				Eq(Ref("A", "s"), Ref("p", "s")),
+				NotF(Exists([]*Binding{Bind("a2", "A")},
+					Eq(Ref("a2", "s"), Ref("p", "t")))),
+			)))
+	_, err := ValidateCollection(c)
+	if err == nil || !strings.Contains(err.Error(), "unstratified") {
+		t.Fatalf("want unstratified error, got %v", err)
+	}
+}
+
+func TestValidateRejectsNestedAggregate(t *testing.T) {
+	c := Col("Q", []string{"x"},
+		ExistsG([]*Binding{Bind("r", "R")}, nil,
+			Eq(Ref("Q", "x"), Sum(&Arith{Op: OpAdd, L: Sum(Ref("r", "B")), R: CInt(1)}))))
+	_, err := ValidateCollection(c)
+	if err == nil || !strings.Contains(err.Error(), "nested aggregate") {
+		t.Fatalf("want nested-aggregate error, got %v", err)
+	}
+}
+
+func TestValidateSentence(t *testing.T) {
+	// (13): ∃r∈R[∃s∈S, γ∅ [r.id=s.id ∧ r.q <= count(s.d)]]
+	s := &Sentence{Body: Exists([]*Binding{Bind("r", "R")},
+		ExistsG([]*Binding{Bind("s", "S")}, nil,
+			AndF(
+				Eq(Ref("r", "id"), Ref("s", "id")),
+				Le(Ref("r", "q"), Count(Ref("s", "d"))),
+			)))}
+	if _, err := ValidateSentence(s); err != nil {
+		t.Fatalf("sentence (13) should validate: %v", err)
+	}
+}
+
+func TestJoinAnnotationLinking(t *testing.T) {
+	// (18): ∃r∈R, s∈S, left(r, inner(11 AS c, s)) [... r.h = c.val ...]
+	c := Col("Q", []string{"m", "n"},
+		ExistsJ([]*Binding{Bind("r", "R"), Bind("s", "S")},
+			LeftJ(JV("r"), Inner(JC(value.Int(11), "c"), JV("s"))),
+			AndF(
+				Eq(Ref("Q", "m"), Ref("r", "m")),
+				Eq(Ref("Q", "n"), Ref("s", "n")),
+				Eq(Ref("r", "y"), Ref("s", "y")),
+				Eq(Ref("r", "h"), Ref("c", "val")),
+			)))
+	link, err := ValidateCollection(c)
+	if err != nil {
+		t.Fatalf("join-annotated query should validate: %v", err)
+	}
+	if len(link.ConstBindings) != 1 {
+		t.Fatalf("expected 1 synthetic constant binding, got %d", len(link.ConstBindings))
+	}
+}
+
+func TestJoinAnnotationErrors(t *testing.T) {
+	mk := func(j JoinExpr) *Collection {
+		return Col("Q", []string{"m"},
+			ExistsJ([]*Binding{Bind("r", "R"), Bind("s", "S")}, j,
+				Eq(Ref("Q", "m"), Ref("r", "m"))))
+	}
+	if _, err := LinkCollection(mk(LeftJ(JV("r"), JV("zz")))); err == nil ||
+		!strings.Contains(err.Error(), "not bound") {
+		t.Errorf("unknown join var: %v", err)
+	}
+	if _, err := LinkCollection(mk(Inner(JV("r"), JV("r")))); err == nil ||
+		!strings.Contains(err.Error(), "twice") {
+		t.Errorf("duplicate join var: %v", err)
+	}
+	if _, err := LinkCollection(mk(&JoinOp{Kind: JoinLeft, Kids: []JoinExpr{JV("r")}})); err == nil ||
+		!strings.Contains(err.Error(), "binary") {
+		t.Errorf("unary left join: %v", err)
+	}
+}
+
+func TestPrintTreeMatchesPaperShape(t *testing.T) {
+	got := PrintTree(q1())
+	for _, want := range []string{
+		"COLLECTION",
+		"HEAD: Q(A)",
+		"QUANTIFIER ∃",
+		"BINDING: r ∈ R",
+		"BINDING: s ∈ S",
+		"AND ∧",
+		"PREDICATE: Q.A = r.A",
+		"PREDICATE: s.C = 0",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("tree missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestPrintTreeGroupingAndNesting(t *testing.T) {
+	got := PrintTree(q7())
+	for _, want := range []string{"GROUPING: ∅", "HEAD: X(sm)", "BINDING: x ∈"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("tree missing %q:\n%s", want, got)
+		}
+	}
+	got3 := PrintTree(q3())
+	if !strings.Contains(got3, "GROUPING: r.A") {
+		t.Errorf("keyed grouping missing:\n%s", got3)
+	}
+}
+
+func TestSurfaceStrings(t *testing.T) {
+	s := q3().String()
+	for _, want := range []string{"{Q(A,sm)", "∃r ∈ R", "γ r.A", "sum(r.B)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("surface syntax missing %q in %s", want, s)
+		}
+	}
+	if q16().String() == "" {
+		t.Error("recursive query renders empty")
+	}
+	j := LeftJ(JV("r"), Inner(JC(value.Int(11), "c"), JV("s")))
+	if j.String() != "left(r, inner(11 AS c, s))" {
+		t.Errorf("join annotation renders %q", j.String())
+	}
+}
+
+func TestNodeCount(t *testing.T) {
+	if n1, n7 := NodeCount(q1()), NodeCount(q7()); n1 <= 0 || n7 <= n1 {
+		t.Errorf("NodeCount: q1=%d q7=%d (nested should be larger)", n1, n7)
+	}
+}
+
+func TestSpineAndWalk(t *testing.T) {
+	c := q1()
+	count := 0
+	Walk(c.Body, func(Formula) { count++ })
+	// Quantifier + And + 3 preds = 5.
+	if count != 5 {
+		t.Errorf("Walk visited %d nodes, want 5", count)
+	}
+	if got := len(Spine(AndF(Eq(CInt(1), CInt(1)), AndF(Eq(CInt(2), CInt(2)), Eq(CInt(3), CInt(3)))))); got != 3 {
+		t.Errorf("Spine flattening = %d, want 3", got)
+	}
+}

@@ -1,0 +1,133 @@
+package alt
+
+import "repro/internal/value"
+
+// Fluent constructors used by translators, experiments, and tests to
+// assemble ALTs without literal-struct noise.
+
+// Ref builds an attribute reference var.attr.
+func Ref(v, attr string) *AttrRef { return &AttrRef{Var: v, Attr: attr} }
+
+// CInt builds an integer constant term.
+func CInt(i int64) *Const { return &Const{Val: value.Int(i)} }
+
+// CFloat builds a float constant term.
+func CFloat(f float64) *Const { return &Const{Val: value.Float(f)} }
+
+// CStr builds a string constant term.
+func CStr(s string) *Const { return &Const{Val: value.Str(s)} }
+
+// CNull builds the NULL constant term.
+func CNull() *Const { return &Const{Val: value.Null()} }
+
+// CVal builds a constant term from a value.
+func CVal(v value.Value) *Const { return &Const{Val: v} }
+
+// Eq builds l = r.
+func Eq(l, r Term) *Pred { return &Pred{Left: l, Op: value.Eq, Right: r} }
+
+// Ne builds l <> r.
+func Ne(l, r Term) *Pred { return &Pred{Left: l, Op: value.Ne, Right: r} }
+
+// Lt builds l < r.
+func Lt(l, r Term) *Pred { return &Pred{Left: l, Op: value.Lt, Right: r} }
+
+// Le builds l <= r.
+func Le(l, r Term) *Pred { return &Pred{Left: l, Op: value.Le, Right: r} }
+
+// Gt builds l > r.
+func Gt(l, r Term) *Pred { return &Pred{Left: l, Op: value.Gt, Right: r} }
+
+// Ge builds l >= r.
+func Ge(l, r Term) *Pred { return &Pred{Left: l, Op: value.Ge, Right: r} }
+
+// Sum builds sum(t).
+func Sum(t Term) *Agg { return &Agg{Func: AggSum, Arg: t} }
+
+// Count builds count(t).
+func Count(t Term) *Agg { return &Agg{Func: AggCount, Arg: t} }
+
+// CountDistinct builds countdistinct(t).
+func CountDistinct(t Term) *Agg { return &Agg{Func: AggCountDistinct, Arg: t} }
+
+// Avg builds avg(t).
+func Avg(t Term) *Agg { return &Agg{Func: AggAvg, Arg: t} }
+
+// Min builds min(t).
+func Min(t Term) *Agg { return &Agg{Func: AggMin, Arg: t} }
+
+// Max builds max(t).
+func Max(t Term) *Agg { return &Agg{Func: AggMax, Arg: t} }
+
+// Plus builds l + r.
+func Plus(l, r Term) *Arith { return &Arith{Op: OpAdd, L: l, R: r} }
+
+// Minus builds l - r.
+func Minus(l, r Term) *Arith { return &Arith{Op: OpSub, L: l, R: r} }
+
+// Times builds l * r.
+func Times(l, r Term) *Arith { return &Arith{Op: OpMul, L: l, R: r} }
+
+// DivBy builds l / r.
+func DivBy(l, r Term) *Arith { return &Arith{Op: OpDiv, L: l, R: r} }
+
+// AndF builds a conjunction.
+func AndF(kids ...Formula) *And { return &And{Kids: kids} }
+
+// OrF builds a disjunction.
+func OrF(kids ...Formula) *Or { return &Or{Kids: kids} }
+
+// NotF builds a negation.
+func NotF(kid Formula) *Not { return &Not{Kid: kid} }
+
+// Null builds "t is null".
+func Null(t Term) *IsNull { return &IsNull{Arg: t} }
+
+// NotNull builds "t is not null".
+func NotNull(t Term) *IsNull { return &IsNull{Arg: t, Negated: true} }
+
+// Bind builds "v ∈ rel".
+func Bind(v, rel string) *Binding { return &Binding{Var: v, Rel: rel} }
+
+// BindSub builds "v ∈ {collection}".
+func BindSub(v string, c *Collection) *Binding { return &Binding{Var: v, Sub: c} }
+
+// Exists builds a plain existential scope.
+func Exists(bindings []*Binding, body Formula) *Quantifier {
+	return &Quantifier{Bindings: bindings, Body: body}
+}
+
+// ExistsG builds a grouping scope; keys nil/empty means γ∅.
+func ExistsG(bindings []*Binding, keys []*AttrRef, body Formula) *Quantifier {
+	return &Quantifier{Bindings: bindings, Grouping: &Grouping{Keys: keys}, Body: body}
+}
+
+// ExistsJ builds an existential scope with a join annotation.
+func ExistsJ(bindings []*Binding, join JoinExpr, body Formula) *Quantifier {
+	return &Quantifier{Bindings: bindings, Join: join, Body: body}
+}
+
+// ExistsGJ builds a grouping scope with a join annotation.
+func ExistsGJ(bindings []*Binding, keys []*AttrRef, join JoinExpr, body Formula) *Quantifier {
+	return &Quantifier{Bindings: bindings, Grouping: &Grouping{Keys: keys}, Join: join, Body: body}
+}
+
+// JV is a join-annotation variable leaf.
+func JV(v string) *JoinVar { return &JoinVar{Var: v} }
+
+// JC is a join-annotation constant leaf (virtual singleton relation).
+func JC(val value.Value, as string) *JoinConst { return &JoinConst{Val: val, Var: as} }
+
+// Inner builds an inner join-annotation node.
+func Inner(kids ...JoinExpr) *JoinOp { return &JoinOp{Kind: JoinInner, Kids: kids} }
+
+// LeftJ builds a left outer join-annotation node.
+func LeftJ(l, r JoinExpr) *JoinOp { return &JoinOp{Kind: JoinLeft, Kids: []JoinExpr{l, r}} }
+
+// FullJ builds a full outer join-annotation node.
+func FullJ(l, r JoinExpr) *JoinOp { return &JoinOp{Kind: JoinFull, Kids: []JoinExpr{l, r}} }
+
+// Col builds a collection {rel(attrs…) | body}.
+func Col(rel string, attrs []string, body Formula) *Collection {
+	return &Collection{Head: Head{Rel: rel, Attrs: attrs}, Body: body}
+}

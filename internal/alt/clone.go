@@ -1,0 +1,90 @@
+package alt
+
+// CloneCollection returns a deep copy of a collection; mutation-based
+// validation studies (experiment E20) and rewriters use it so the
+// original ALT stays untouched.
+func CloneCollection(c *Collection) *Collection {
+	if c == nil {
+		return nil
+	}
+	return &Collection{
+		Head: Head{Rel: c.Head.Rel, Attrs: append([]string{}, c.Head.Attrs...)},
+		Body: CloneFormula(c.Body),
+	}
+}
+
+// CloneFormula deep-copies a formula.
+func CloneFormula(f Formula) Formula {
+	switch x := f.(type) {
+	case nil:
+		return nil
+	case *And:
+		kids := make([]Formula, len(x.Kids))
+		for i, k := range x.Kids {
+			kids[i] = CloneFormula(k)
+		}
+		return &And{Kids: kids}
+	case *Or:
+		kids := make([]Formula, len(x.Kids))
+		for i, k := range x.Kids {
+			kids[i] = CloneFormula(k)
+		}
+		return &Or{Kids: kids}
+	case *Not:
+		return &Not{Kid: CloneFormula(x.Kid)}
+	case *Pred:
+		return &Pred{Left: CloneTerm(x.Left), Op: x.Op, Right: CloneTerm(x.Right)}
+	case *IsNull:
+		return &IsNull{Arg: CloneTerm(x.Arg), Negated: x.Negated}
+	case *Quantifier:
+		q := &Quantifier{Body: CloneFormula(x.Body)}
+		for _, b := range x.Bindings {
+			q.Bindings = append(q.Bindings, &Binding{Var: b.Var, Rel: b.Rel, Sub: CloneCollection(b.Sub)})
+		}
+		if x.Grouping != nil {
+			g := &Grouping{}
+			for _, k := range x.Grouping.Keys {
+				g.Keys = append(g.Keys, &AttrRef{Var: k.Var, Attr: k.Attr})
+			}
+			q.Grouping = g
+		}
+		q.Join = cloneJoin(x.Join)
+		return q
+	}
+	panic("CloneFormula: unknown formula type")
+}
+
+// CloneTerm deep-copies a term.
+func CloneTerm(t Term) Term {
+	switch x := t.(type) {
+	case nil:
+		return nil
+	case *AttrRef:
+		return &AttrRef{Var: x.Var, Attr: x.Attr}
+	case *Const:
+		return &Const{Val: x.Val}
+	case *Agg:
+		return &Agg{Func: x.Func, Arg: CloneTerm(x.Arg)}
+	case *Arith:
+		return &Arith{Op: x.Op, L: CloneTerm(x.L), R: CloneTerm(x.R)}
+	}
+	panic("CloneTerm: unknown term type")
+}
+
+func cloneJoin(j JoinExpr) JoinExpr {
+	switch x := j.(type) {
+	case nil:
+		return nil
+	case *JoinVar:
+		return &JoinVar{Var: x.Var}
+	case *JoinConst:
+		return &JoinConst{Val: x.Val, Var: x.Var}
+	case *JoinOp:
+		op := &JoinOp{Kind: x.Kind}
+		for _, k := range x.Kids {
+			op.Kids = append(op.Kids, cloneJoin(k))
+		}
+		return op
+	}
+	panic("cloneJoin: unknown join type")
+}

@@ -1,0 +1,128 @@
+package alt
+
+import "strings"
+
+// Head is the output declaration of a collection: a relation name and its
+// attribute list. Heads are "clean" (Section 2.1): body variables never
+// appear here; head attributes receive values only through assignment
+// predicates in the body.
+type Head struct {
+	Rel   string
+	Attrs []string
+}
+
+// String renders "Q(A,B)".
+func (h Head) String() string { return h.Rel + "(" + strings.Join(h.Attrs, ",") + ")" }
+
+// HasAttr reports whether the head declares the attribute.
+func (h Head) HasAttr(a string) bool {
+	for _, x := range h.Attrs {
+		if x == a {
+			return true
+		}
+	}
+	return false
+}
+
+// Collection is an ARC comprehension: {Head | Body}. A collection is the
+// unit of definition — queries, views/CTEs, abstract relations, and
+// recursive definitions (Section 2.9, Section 2.13) are all collections.
+type Collection struct {
+	Head Head
+	Body Formula
+}
+
+// String renders the comprehension in ARC surface syntax,
+// "{Q(A) | ∃r ∈ R [Q.A = r.A]}".
+func (c *Collection) String() string {
+	body := ""
+	if c.Body != nil {
+		body = c.Body.String()
+	}
+	return "{" + c.Head.String() + " | " + body + "}"
+}
+
+// Sentence is a closed Boolean ARC statement (Section 2.5, queries (13)
+// and (14)): a formula with no head, evaluating to true or false — used
+// for logical sentences and integrity constraints.
+type Sentence struct {
+	Body Formula
+}
+
+// String renders the bare formula.
+func (s *Sentence) String() string {
+	if s.Body == nil {
+		return ""
+	}
+	return s.Body.String()
+}
+
+// Walk invokes fn on every formula node of f in pre-order, descending
+// into quantifier bodies and nested collections. It is the traversal
+// primitive shared by the linker, validators, pattern analysis, and
+// renderers.
+func Walk(f Formula, fn func(Formula)) {
+	if f == nil {
+		return
+	}
+	fn(f)
+	switch x := f.(type) {
+	case *And:
+		for _, k := range x.Kids {
+			Walk(k, fn)
+		}
+	case *Or:
+		for _, k := range x.Kids {
+			Walk(k, fn)
+		}
+	case *Not:
+		Walk(x.Kid, fn)
+	case *Quantifier:
+		for _, b := range x.Bindings {
+			if b.Sub != nil {
+				Walk(b.Sub.Body, fn)
+			}
+		}
+		Walk(x.Body, fn)
+	}
+}
+
+// Spine flattens nested And nodes into the conjunctive spine of a
+// quantifier body: the list of direct conjuncts, in order.
+func Spine(f Formula) []Formula {
+	if f == nil {
+		return nil
+	}
+	if a, ok := f.(*And); ok {
+		var out []Formula
+		for _, k := range a.Kids {
+			out = append(out, Spine(k)...)
+		}
+		return out
+	}
+	return []Formula{f}
+}
+
+// FormulaAttrRefs appends every attribute reference that occurs directly
+// in f (without descending into nested quantifiers or collections) to dst.
+// Used for predicate-to-join assignment and group-invariance checks.
+func FormulaAttrRefs(f Formula, dst []*AttrRef) []*AttrRef {
+	switch x := f.(type) {
+	case *Pred:
+		dst = TermAttrRefs(x.Left, dst)
+		dst = TermAttrRefs(x.Right, dst)
+	case *IsNull:
+		dst = TermAttrRefs(x.Arg, dst)
+	case *And:
+		for _, k := range x.Kids {
+			dst = FormulaAttrRefs(k, dst)
+		}
+	case *Or:
+		for _, k := range x.Kids {
+			dst = FormulaAttrRefs(k, dst)
+		}
+	case *Not:
+		dst = FormulaAttrRefs(x.Kid, dst)
+	}
+	return dst
+}

@@ -1,0 +1,255 @@
+package alt
+
+import (
+	"strings"
+
+	"repro/internal/value"
+)
+
+// Formula is the logical vocabulary of an ARC body: conjunction,
+// disjunction, negation, quantified scopes, and predicates.
+type Formula interface {
+	isFormula()
+	// String renders the formula in ARC comprehension surface syntax.
+	String() string
+}
+
+// And is n-ary conjunction.
+type And struct {
+	Kids []Formula
+}
+
+func (*And) isFormula() {}
+
+// String renders "a ∧ b ∧ c".
+func (a *And) String() string { return joinFormulas(a.Kids, " ∧ ") }
+
+// Or is n-ary disjunction (also how multiple Datalog rules with the same
+// head are written as one definition, Section 2.9).
+type Or struct {
+	Kids []Formula
+}
+
+func (*Or) isFormula() {}
+
+// String renders "a ∨ b".
+func (o *Or) String() string { return "(" + joinFormulas(o.Kids, " ∨ ") + ")" }
+
+// Not is negation; its scope is explicit, per the Relational Diagrams
+// treatment of negation scopes.
+type Not struct {
+	Kid Formula
+}
+
+func (*Not) isFormula() {}
+
+// String renders "¬(kid)".
+func (n *Not) String() string { return "¬(" + n.Kid.String() + ")" }
+
+// Pred is a comparison or assignment predicate between two terms. Linking
+// classifies the kind (Section 2.1: assignment predicates like Q.A = r.A
+// vs comparison predicates like r.B = s.B).
+type Pred struct {
+	Left  Term
+	Op    value.CmpOp
+	Right Term
+}
+
+func (*Pred) isFormula() {}
+
+// String renders "l op r".
+func (p *Pred) String() string {
+	return p.Left.String() + " " + p.Op.String() + " " + p.Right.String()
+}
+
+// IsNull is the "t is [not] null" predicate of Section 2.10.
+type IsNull struct {
+	Arg     Term
+	Negated bool
+}
+
+func (*IsNull) isFormula() {}
+
+// String renders "t is null" or "t is not null".
+func (n *IsNull) String() string {
+	if n.Negated {
+		return n.Arg.String() + " is not null"
+	}
+	return n.Arg.String() + " is null"
+}
+
+// Quantifier is an existential scope introducing one or more bindings
+// (two bindings can share a quantifier, Section 2.1), optionally a
+// grouping operator (Section 2.5), and optionally a join annotation
+// (Section 2.11). The body is the formula interpreted within the scope.
+type Quantifier struct {
+	Bindings []*Binding
+	Grouping *Grouping
+	Join     JoinExpr
+	Body     Formula
+}
+
+func (*Quantifier) isFormula() {}
+
+// String renders "∃v∈R, w∈S, γ k [body]".
+func (q *Quantifier) String() string {
+	var b strings.Builder
+	b.WriteString("∃")
+	for i, bd := range q.Bindings {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(bd.String())
+	}
+	if q.Grouping != nil {
+		b.WriteString(", ")
+		b.WriteString(q.Grouping.String())
+	}
+	if q.Join != nil {
+		b.WriteString(", ")
+		b.WriteString(q.Join.String())
+	}
+	b.WriteString(" [")
+	if q.Body != nil {
+		b.WriteString(q.Body.String())
+	}
+	b.WriteString("]")
+	return b.String()
+}
+
+// Binding introduces a range variable over a source: either a named
+// relation (base, intensional, external, abstract, or the recursive head)
+// or a nested collection (the lateral pattern of Section 2.4).
+type Binding struct {
+	Var string
+	// Rel names the source relation; empty when Sub is set.
+	Rel string
+	// Sub is a nested comprehension source; nil when Rel is set.
+	Sub *Collection
+}
+
+// String renders "v ∈ R" or "v ∈ {…}".
+func (b *Binding) String() string {
+	if b.Sub != nil {
+		return b.Var + " ∈ " + b.Sub.String()
+	}
+	return b.Var + " ∈ " + b.Rel
+}
+
+// Grouping is the γ operator. Empty Keys means γ∅ ("group by true"):
+// exactly one group, even over zero tuples — the distinction that decides
+// the COUNT bug (Section 3.2).
+type Grouping struct {
+	Keys []*AttrRef
+}
+
+// String renders "γ k1,k2" or "γ ∅".
+func (g *Grouping) String() string {
+	if len(g.Keys) == 0 {
+		return "γ ∅"
+	}
+	parts := make([]string, len(g.Keys))
+	for i, k := range g.Keys {
+		parts[i] = k.String()
+	}
+	return "γ " + strings.Join(parts, ",")
+}
+
+// JoinKind enumerates join-annotation node kinds (Section 2.11).
+type JoinKind int
+
+const (
+	// JoinInner is the k-ary inner join (the default for unannotated
+	// scopes).
+	JoinInner JoinKind = iota
+	// JoinLeft is the binary left outer join; the second child is the
+	// nullable side.
+	JoinLeft
+	// JoinFull is the binary full outer join.
+	JoinFull
+)
+
+// String renders inner/left/full.
+func (k JoinKind) String() string {
+	switch k {
+	case JoinInner:
+		return "inner"
+	case JoinLeft:
+		return "left"
+	case JoinFull:
+		return "full"
+	}
+	return "join?"
+}
+
+// JoinExpr is a node of a join annotation: a binding-variable leaf, a
+// constant leaf (a virtual singleton relation, Section 2.11), or an
+// inner/left/full combination.
+type JoinExpr interface {
+	isJoin()
+	String() string
+}
+
+// JoinVar is a leaf naming a binding variable of the same quantifier.
+type JoinVar struct {
+	Var string
+}
+
+func (*JoinVar) isJoin() {}
+
+// String renders the variable name.
+func (j *JoinVar) String() string { return j.Var }
+
+// JoinConst is a constant leaf: a virtual unary singleton relation
+// containing Val, bound to the generated variable Var with attribute
+// "val" so predicates can reference it.
+type JoinConst struct {
+	Val value.Value
+	Var string
+}
+
+func (*JoinConst) isJoin() {}
+
+// String renders "val AS var".
+func (j *JoinConst) String() string { return j.Val.String() + " AS " + j.Var }
+
+// JoinOp combines children with inner (k-ary) or left/full (binary).
+type JoinOp struct {
+	Kind JoinKind
+	Kids []JoinExpr
+}
+
+func (*JoinOp) isJoin() {}
+
+// String renders "kind(a, b, …)".
+func (j *JoinOp) String() string {
+	parts := make([]string, len(j.Kids))
+	for i, k := range j.Kids {
+		parts[i] = k.String()
+	}
+	return j.Kind.String() + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// JoinVars appends the binding variables (including generated constant
+// variables) under j to dst, left to right.
+func JoinVars(j JoinExpr, dst []string) []string {
+	switch x := j.(type) {
+	case *JoinVar:
+		dst = append(dst, x.Var)
+	case *JoinConst:
+		dst = append(dst, x.Var)
+	case *JoinOp:
+		for _, k := range x.Kids {
+			dst = JoinVars(k, dst)
+		}
+	}
+	return dst
+}
+
+func joinFormulas(fs []Formula, sep string) string {
+	parts := make([]string, len(fs))
+	for i, f := range fs {
+		parts[i] = f.String()
+	}
+	return strings.Join(parts, sep)
+}

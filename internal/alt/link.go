@@ -1,0 +1,384 @@
+package alt
+
+import (
+	"fmt"
+
+	"repro/internal/value"
+)
+
+// RefKind says what an attribute reference resolved to.
+type RefKind int
+
+const (
+	// RefBinding: the variable is a range variable bound in an enclosing
+	// scope.
+	RefBinding RefKind = iota
+	// RefHead: the variable names the head relation of an enclosing
+	// collection (an assignment target or abstract-relation parameter).
+	RefHead
+)
+
+// Ref is the resolution of one attribute reference — one of the "red
+// arrows" of Fig 2a that turn the ALT into a higraph.
+type Resolution struct {
+	Kind    RefKind
+	Binding *Binding    // set when Kind == RefBinding
+	Col     *Collection // set when Kind == RefHead
+}
+
+// PredKind classifies predicates per Section 2.1.
+type PredKind int
+
+const (
+	// PredComparison relates two body values.
+	PredComparison PredKind = iota
+	// PredAssignment gives a head attribute its value (Q.A = r.A).
+	PredAssignment
+)
+
+// Link is the result of name resolution over a collection or sentence:
+// the annotated/decorated tree the paper calls the Abstract Language
+// Higraph. All maps are keyed by node identity.
+type Link struct {
+	// Refs resolves every attribute reference.
+	Refs map[*AttrRef]Resolution
+	// Preds classifies every predicate.
+	Preds map[*Pred]PredKind
+	// HeadSide gives, for assignment predicates, which side is the head
+	// reference: 0 = left, 1 = right.
+	HeadSide map[*Pred]int
+	// RecursiveBindings maps bindings that range over the head of an
+	// enclosing collection (the recursion of Section 2.9).
+	RecursiveBindings map[*Binding]*Collection
+	// RecursiveCols marks collections whose body references their own
+	// head relation.
+	RecursiveCols map[*Collection]bool
+	// ConstBindings holds the synthetic bindings generated for constant
+	// join-annotation leaves (Section 2.11); eval enumerates them as
+	// singleton relations.
+	ConstBindings map[*JoinConst]*Binding
+	// ConstOfBinding is the reverse of ConstBindings.
+	ConstOfBinding map[*Binding]value.Value
+	// Correlated maps nested collections to the outer variables they
+	// reference (the correlation / lateral structure).
+	Correlated map[*Collection][]string
+	// BindingQuantifier maps each binding (including synthetic constant
+	// bindings) to its quantifier.
+	BindingQuantifier map[*Binding]*Quantifier
+	// EnclosingCol maps each quantifier to the collection whose body it
+	// belongs to (nil inside a bare sentence).
+	EnclosingCol map[*Quantifier]*Collection
+}
+
+func newLink() *Link {
+	return &Link{
+		Refs:              make(map[*AttrRef]Resolution),
+		Preds:             make(map[*Pred]PredKind),
+		HeadSide:          make(map[*Pred]int),
+		RecursiveBindings: make(map[*Binding]*Collection),
+		RecursiveCols:     make(map[*Collection]bool),
+		ConstBindings:     make(map[*JoinConst]*Binding),
+		ConstOfBinding:    make(map[*Binding]value.Value),
+		Correlated:        make(map[*Collection][]string),
+		BindingQuantifier: make(map[*Binding]*Quantifier),
+		EnclosingCol:      make(map[*Quantifier]*Collection),
+	}
+}
+
+// scope is a lexical frame of range variables.
+type scope struct {
+	parent *scope
+	byVar  map[string]*Binding
+	// colDepth is the number of enclosing collections when the frame was
+	// created, used to detect correlation across collection boundaries.
+	colDepth int
+}
+
+func (s *scope) lookup(v string) (*Binding, int) {
+	for cur := s; cur != nil; cur = cur.parent {
+		if b, ok := cur.byVar[v]; ok {
+			return b, cur.colDepth
+		}
+	}
+	return nil, 0
+}
+
+type linker struct {
+	link *Link
+	cols []*Collection // stack of enclosing collections, innermost last
+	errs []string
+}
+
+func (l *linker) errorf(format string, args ...any) {
+	l.errs = append(l.errs, fmt.Sprintf(format, args...))
+}
+
+// LinkCollection resolves names in c and returns the annotated Link.
+// Unresolvable variables, duplicate bindings, and malformed join
+// annotations are reported as a single error listing every problem.
+func LinkCollection(c *Collection) (*Link, error) {
+	l := &linker{link: newLink()}
+	l.collection(c, nil)
+	if len(l.errs) > 0 {
+		return l.link, fmt.Errorf("link: %s", joinErrs(l.errs))
+	}
+	return l.link, nil
+}
+
+// LinkSentence resolves names in a headless Boolean sentence.
+func LinkSentence(s *Sentence) (*Link, error) {
+	l := &linker{link: newLink()}
+	l.formula(s.Body, &scope{byVar: map[string]*Binding{}})
+	if len(l.errs) > 0 {
+		return l.link, fmt.Errorf("link: %s", joinErrs(l.errs))
+	}
+	return l.link, nil
+}
+
+func joinErrs(errs []string) string {
+	out := ""
+	for i, e := range errs {
+		if i > 0 {
+			out += "; "
+		}
+		out += e
+	}
+	return out
+}
+
+func (l *linker) collection(c *Collection, outer *scope) {
+	l.cols = append(l.cols, c)
+	inner := &scope{parent: outer, byVar: map[string]*Binding{}, colDepth: len(l.cols)}
+	l.formula(c.Body, inner)
+	l.cols = l.cols[:len(l.cols)-1]
+}
+
+func (l *linker) formula(f Formula, sc *scope) {
+	switch x := f.(type) {
+	case nil:
+	case *And:
+		for _, k := range x.Kids {
+			l.formula(k, sc)
+		}
+	case *Or:
+		for _, k := range x.Kids {
+			l.formula(k, sc)
+		}
+	case *Not:
+		l.formula(x.Kid, sc)
+	case *Pred:
+		l.pred(x, sc)
+	case *IsNull:
+		for _, r := range TermAttrRefs(x.Arg, nil) {
+			l.resolve(r, sc)
+		}
+	case *Quantifier:
+		l.quantifier(x, sc)
+	default:
+		l.errorf("unknown formula node %T", f)
+	}
+}
+
+func (l *linker) quantifier(q *Quantifier, sc *scope) {
+	if len(l.cols) > 0 {
+		l.link.EnclosingCol[q] = l.cols[len(l.cols)-1]
+	}
+	qs := &scope{parent: sc, byVar: map[string]*Binding{}, colDepth: sc.colDepth}
+	for _, b := range q.Bindings {
+		if b.Var == "" {
+			l.errorf("binding with empty variable name")
+			continue
+		}
+		if _, dup := qs.byVar[b.Var]; dup {
+			l.errorf("duplicate binding variable %q in one quantifier", b.Var)
+		}
+		// Nested collection sources see the bindings declared so far
+		// (lateral, left-to-right), plus everything outer.
+		if b.Sub != nil {
+			before := len(l.errs)
+			l.subCollection(b.Sub, qs)
+			_ = before
+		} else if b.Rel == "" {
+			l.errorf("binding %q has neither a relation nor a collection source", b.Var)
+		} else if col := l.enclosingHead(b.Rel); col != nil {
+			l.link.RecursiveBindings[b] = col
+			l.link.RecursiveCols[col] = true
+		}
+		qs.byVar[b.Var] = b
+		l.link.BindingQuantifier[b] = q
+	}
+	if q.Join != nil {
+		l.joinExpr(q.Join, q, qs)
+	}
+	if q.Grouping != nil {
+		for _, k := range q.Grouping.Keys {
+			l.resolve(k, qs)
+		}
+	}
+	l.formula(q.Body, qs)
+}
+
+// subCollection links a nested collection source and records correlation.
+func (l *linker) subCollection(c *Collection, outer *scope) {
+	depthBefore := len(l.cols)
+	marker := len(l.link.Refs)
+	_ = marker
+	l.cols = append(l.cols, c)
+	inner := &scope{parent: outer, byVar: map[string]*Binding{}, colDepth: len(l.cols)}
+	// Track which refs resolve to bindings declared at colDepth <= depthBefore.
+	pre := l.snapshotRefs()
+	l.formula(c.Body, inner)
+	for r, ref := range l.link.Refs {
+		if _, seen := pre[r]; seen {
+			continue
+		}
+		if ref.Kind == RefBinding {
+			if d, ok := l.refDepth(ref.Binding, outer); ok && d <= depthBefore {
+				l.addCorrelation(c, r.Var)
+			}
+		}
+	}
+	l.cols = l.cols[:len(l.cols)-1]
+}
+
+func (l *linker) snapshotRefs() map[*AttrRef]struct{} {
+	m := make(map[*AttrRef]struct{}, len(l.link.Refs))
+	for r := range l.link.Refs {
+		m[r] = struct{}{}
+	}
+	return m
+}
+
+// refDepth finds the collection depth at which a binding's frame lives by
+// searching outward from sc.
+func (l *linker) refDepth(b *Binding, sc *scope) (int, bool) {
+	for cur := sc; cur != nil; cur = cur.parent {
+		if cur.byVar[b.Var] == b {
+			return cur.colDepth, true
+		}
+	}
+	return 0, false
+}
+
+func (l *linker) addCorrelation(c *Collection, v string) {
+	for _, existing := range l.link.Correlated[c] {
+		if existing == v {
+			return
+		}
+	}
+	l.link.Correlated[c] = append(l.link.Correlated[c], v)
+}
+
+func (l *linker) joinExpr(j JoinExpr, q *Quantifier, qs *scope) {
+	seen := map[string]bool{}
+	var walk func(JoinExpr)
+	walk = func(e JoinExpr) {
+		switch x := e.(type) {
+		case *JoinVar:
+			if _, ok := qs.byVar[x.Var]; !ok {
+				l.errorf("join annotation references %q, not bound in this quantifier", x.Var)
+				return
+			}
+			if seen[x.Var] {
+				l.errorf("join annotation references %q twice", x.Var)
+			}
+			seen[x.Var] = true
+		case *JoinConst:
+			if x.Var == "" {
+				x.Var = fmt.Sprintf("$c%d", len(l.link.ConstBindings)+1)
+			}
+			if _, dup := qs.byVar[x.Var]; dup {
+				l.errorf("constant join leaf variable %q collides with a binding", x.Var)
+			}
+			b := &Binding{Var: x.Var, Rel: "$const"}
+			l.link.ConstBindings[x] = b
+			l.link.ConstOfBinding[b] = x.Val
+			l.link.BindingQuantifier[b] = q
+			qs.byVar[x.Var] = b
+		case *JoinOp:
+			switch x.Kind {
+			case JoinLeft, JoinFull:
+				if len(x.Kids) != 2 {
+					l.errorf("%s join annotation must be binary, has %d children", x.Kind, len(x.Kids))
+				}
+			case JoinInner:
+				if len(x.Kids) < 1 {
+					l.errorf("inner join annotation needs at least one child")
+				}
+			}
+			for _, k := range x.Kids {
+				walk(k)
+			}
+		}
+	}
+	walk(j)
+}
+
+func (l *linker) pred(p *Pred, sc *scope) {
+	for _, r := range TermAttrRefs(p.Left, nil) {
+		l.resolve(r, sc)
+	}
+	for _, r := range TermAttrRefs(p.Right, nil) {
+		l.resolve(r, sc)
+	}
+	// Classification: an assignment predicate is an equality whose one
+	// side is a bare head attribute reference.
+	l.link.Preds[p] = PredComparison
+	if p.Op != value.Eq {
+		return
+	}
+	lh := l.isHeadRef(p.Left)
+	rh := l.isHeadRef(p.Right)
+	switch {
+	case lh && !l.containsHeadRef(p.Right):
+		l.link.Preds[p] = PredAssignment
+		l.link.HeadSide[p] = 0
+	case rh && !l.containsHeadRef(p.Left):
+		l.link.Preds[p] = PredAssignment
+		l.link.HeadSide[p] = 1
+	}
+}
+
+func (l *linker) isHeadRef(t Term) bool {
+	r, ok := t.(*AttrRef)
+	if !ok {
+		return false
+	}
+	ref, ok := l.link.Refs[r]
+	return ok && ref.Kind == RefHead
+}
+
+func (l *linker) containsHeadRef(t Term) bool {
+	for _, r := range TermAttrRefs(t, nil) {
+		if ref, ok := l.link.Refs[r]; ok && ref.Kind == RefHead {
+			return true
+		}
+	}
+	return false
+}
+
+// resolve binds one attribute reference: range variables win over head
+// names; head names resolve innermost-first.
+func (l *linker) resolve(r *AttrRef, sc *scope) {
+	if b, _ := sc.lookup(r.Var); b != nil {
+		l.link.Refs[r] = Resolution{Kind: RefBinding, Binding: b}
+		return
+	}
+	if col := l.enclosingHead(r.Var); col != nil {
+		if !col.Head.HasAttr(r.Attr) {
+			l.errorf("head %s has no attribute %q (in %s)", col.Head.String(), r.Attr, r.String())
+		}
+		l.link.Refs[r] = Resolution{Kind: RefHead, Col: col}
+		return
+	}
+	l.errorf("unbound variable %q in %s", r.Var, r.String())
+}
+
+func (l *linker) enclosingHead(name string) *Collection {
+	for i := len(l.cols) - 1; i >= 0; i-- {
+		if l.cols[i].Head.Rel == name {
+			return l.cols[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+package alt
+
+import (
+	"strings"
+)
+
+// PrintTree renders a collection as the paper's ALT modality (Fig 2a):
+// an indented box-drawing tree with COLLECTION / HEAD / QUANTIFIER /
+// BINDING / GROUPING / JOIN / AND / OR / NOT / PREDICATE nodes.
+func PrintTree(c *Collection) string {
+	n := collectionNode(c)
+	var b strings.Builder
+	render(&b, n, "", true, true)
+	return b.String()
+}
+
+// PrintSentenceTree renders a Boolean sentence as an ALT.
+func PrintSentenceTree(s *Sentence) string {
+	n := &tnode{label: "SENTENCE", kids: []*tnode{formulaNode(s.Body)}}
+	var b strings.Builder
+	render(&b, n, "", true, true)
+	return b.String()
+}
+
+type tnode struct {
+	label string
+	kids  []*tnode
+}
+
+func collectionNode(c *Collection) *tnode {
+	n := &tnode{label: "COLLECTION"}
+	n.kids = append(n.kids, &tnode{label: "HEAD: " + c.Head.String()})
+	if c.Body != nil {
+		n.kids = append(n.kids, formulaNode(c.Body))
+	}
+	return n
+}
+
+func formulaNode(f Formula) *tnode {
+	switch x := f.(type) {
+	case *And:
+		n := &tnode{label: "AND ∧"}
+		for _, k := range x.Kids {
+			n.kids = append(n.kids, formulaNode(k))
+		}
+		return n
+	case *Or:
+		n := &tnode{label: "OR ∨"}
+		for _, k := range x.Kids {
+			n.kids = append(n.kids, formulaNode(k))
+		}
+		return n
+	case *Not:
+		return &tnode{label: "NOT ¬", kids: []*tnode{formulaNode(x.Kid)}}
+	case *Pred:
+		return &tnode{label: "PREDICATE: " + x.String()}
+	case *IsNull:
+		return &tnode{label: "PREDICATE: " + x.String()}
+	case *Quantifier:
+		n := &tnode{label: "QUANTIFIER ∃"}
+		for _, b := range x.Bindings {
+			if b.Sub != nil {
+				bn := &tnode{label: "BINDING: " + b.Var + " ∈ "}
+				bn.kids = append(bn.kids, collectionNode(b.Sub))
+				n.kids = append(n.kids, bn)
+			} else {
+				n.kids = append(n.kids, &tnode{label: "BINDING: " + b.Var + " ∈ " + b.Rel})
+			}
+		}
+		if x.Grouping != nil {
+			if len(x.Grouping.Keys) == 0 {
+				n.kids = append(n.kids, &tnode{label: "GROUPING: ∅"})
+			} else {
+				parts := make([]string, len(x.Grouping.Keys))
+				for i, k := range x.Grouping.Keys {
+					parts[i] = k.String()
+				}
+				n.kids = append(n.kids, &tnode{label: "GROUPING: " + strings.Join(parts, ", ")})
+			}
+		}
+		if x.Join != nil {
+			n.kids = append(n.kids, &tnode{label: "JOIN: " + x.Join.String()})
+		}
+		if x.Body != nil {
+			n.kids = append(n.kids, formulaNode(x.Body))
+		}
+		return n
+	}
+	return &tnode{label: "?"}
+}
+
+func render(b *strings.Builder, n *tnode, prefix string, isLast, isRoot bool) {
+	if isRoot {
+		b.WriteString(n.label)
+		b.WriteString("\n")
+	} else {
+		b.WriteString(prefix)
+		if isLast {
+			b.WriteString("└─ ")
+		} else {
+			b.WriteString("├─ ")
+		}
+		b.WriteString(n.label)
+		b.WriteString("\n")
+	}
+	childPrefix := prefix
+	if !isRoot {
+		if isLast {
+			childPrefix += "   "
+		} else {
+			childPrefix += "│  "
+		}
+	}
+	for i, k := range n.kids {
+		render(b, k, childPrefix, i == len(n.kids)-1, false)
+	}
+}
+
+// NodeCount returns the number of ALT nodes in a collection — one of the
+// modality complexity metrics of experiment E21.
+func NodeCount(c *Collection) int {
+	return nodeCountTree(collectionNode(c))
+}
+
+func nodeCountTree(n *tnode) int {
+	total := 1
+	for _, k := range n.kids {
+		total += nodeCountTree(k)
+	}
+	return total
+}

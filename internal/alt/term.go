@@ -1,0 +1,187 @@
+// Package alt implements the Abstract Language Tree (ALT), the paper's
+// machine-facing modality (Section 2.2, Fig 2a): a hierarchical
+// representation of the *semantics* of a relational query — collections
+// with clean heads, explicit quantifier scopes, bindings, grouping
+// operators, join annotations, and assignment vs comparison predicates.
+// After linking (name resolution), the tree carries the cross-references
+// that make it an Abstract Language Higraph (ALH).
+package alt
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/value"
+)
+
+// Term is the value-level expression vocabulary: attribute references,
+// constants, arithmetic, and aggregate applications.
+type Term interface {
+	isTerm()
+	// String renders the term in ARC comprehension surface syntax.
+	String() string
+}
+
+// AttrRef is a named-perspective attribute access "var.Attr". Var may name
+// a range variable bound in an enclosing scope or the head relation of the
+// nearest enclosing collection (an assignment target); linking decides
+// which.
+type AttrRef struct {
+	Var  string
+	Attr string
+}
+
+func (*AttrRef) isTerm() {}
+
+// String renders "var.attr".
+func (a *AttrRef) String() string { return a.Var + "." + a.Attr }
+
+// Const is a literal value.
+type Const struct {
+	Val value.Value
+}
+
+func (*Const) isTerm() {}
+
+// String renders the literal.
+func (c *Const) String() string { return c.Val.String() }
+
+// AggFunc enumerates the aggregate functions of Section 2.5.
+type AggFunc int
+
+const (
+	// AggSum is sum(·).
+	AggSum AggFunc = iota
+	// AggCount is count(·), counting non-null inputs.
+	AggCount
+	// AggCountDistinct is countdistinct(·), the dedicated deduplicating
+	// aggregate the paper mentions as the alternative to projection.
+	AggCountDistinct
+	// AggAvg is avg(·).
+	AggAvg
+	// AggMin is min(·).
+	AggMin
+	// AggMax is max(·).
+	AggMax
+)
+
+// String returns the surface name of the aggregate.
+func (f AggFunc) String() string {
+	switch f {
+	case AggSum:
+		return "sum"
+	case AggCount:
+		return "count"
+	case AggCountDistinct:
+		return "countdistinct"
+	case AggAvg:
+		return "avg"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	}
+	return "agg?"
+}
+
+// AggFuncByName resolves a surface name to an AggFunc.
+func AggFuncByName(name string) (AggFunc, bool) {
+	switch strings.ToLower(name) {
+	case "sum":
+		return AggSum, true
+	case "count":
+		return AggCount, true
+	case "countdistinct", "count_distinct":
+		return AggCountDistinct, true
+	case "avg", "average":
+		return AggAvg, true
+	case "min":
+		return AggMin, true
+	case "max":
+		return AggMax, true
+	}
+	return 0, false
+}
+
+// Agg applies an aggregate function over the tuples of the enclosing
+// grouping scope; the argument is evaluated per tuple (it may be an
+// arithmetic expression, as in sum(a.val * b.val) of query (26)).
+type Agg struct {
+	Func AggFunc
+	Arg  Term
+}
+
+func (*Agg) isTerm() {}
+
+// String renders "func(arg)".
+func (a *Agg) String() string { return a.Func.String() + "(" + a.Arg.String() + ")" }
+
+// ArithOp enumerates binary arithmetic operators.
+type ArithOp int
+
+const (
+	// OpAdd is +.
+	OpAdd ArithOp = iota
+	// OpSub is -.
+	OpSub
+	// OpMul is *.
+	OpMul
+	// OpDiv is /.
+	OpDiv
+)
+
+// String renders the operator symbol.
+func (op ArithOp) String() string {
+	switch op {
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	}
+	return "?"
+}
+
+// Arith is a binary arithmetic expression.
+type Arith struct {
+	Op   ArithOp
+	L, R Term
+}
+
+func (*Arith) isTerm() {}
+
+// String renders "(l op r)".
+func (a *Arith) String() string {
+	return "(" + a.L.String() + " " + a.Op.String() + " " + a.R.String() + ")"
+}
+
+// ContainsAgg reports whether t contains an aggregate application.
+func ContainsAgg(t Term) bool {
+	switch x := t.(type) {
+	case *Agg:
+		return true
+	case *Arith:
+		return ContainsAgg(x.L) || ContainsAgg(x.R)
+	}
+	return false
+}
+
+// TermAttrRefs appends every attribute reference in t to dst.
+func TermAttrRefs(t Term, dst []*AttrRef) []*AttrRef {
+	switch x := t.(type) {
+	case *AttrRef:
+		dst = append(dst, x)
+	case *Arith:
+		dst = TermAttrRefs(x.L, dst)
+		dst = TermAttrRefs(x.R, dst)
+	case *Agg:
+		dst = TermAttrRefs(x.Arg, dst)
+	}
+	return dst
+}
+
+// fmt assertion helpers (keep the linter honest about unused imports).
+var _ = fmt.Sprintf

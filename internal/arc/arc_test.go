@@ -1,0 +1,243 @@
+package arc
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/alt"
+	"repro/internal/convention"
+	"repro/internal/eval"
+	"repro/internal/relation"
+)
+
+func TestParsePaperQuery1(t *testing.T) {
+	// Query (1), in both notations.
+	for _, src := range []string{
+		"{Q(A) | ∃r ∈ R, s ∈ S [Q.A = r.A ∧ r.B = s.B ∧ s.C = 0]}",
+		"{Q(A) | exists r in R, s in S [Q.A = r.A and r.B = s.B and s.C = 0]}",
+	} {
+		col, err := ParseCollection(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		if _, err := alt.ValidateCollection(col); err != nil {
+			t.Fatalf("validate: %v", err)
+		}
+		q := col.Body.(*alt.Quantifier)
+		if len(q.Bindings) != 2 {
+			t.Fatalf("bindings = %d", len(q.Bindings))
+		}
+	}
+}
+
+func TestParseGroupedAggregate(t *testing.T) {
+	// Query (3).
+	col := MustParseCollection("{Q(A, sm) | ∃r ∈ R, γ r.A [Q.A = r.A ∧ Q.sm = sum(r.B)]}")
+	q := col.Body.(*alt.Quantifier)
+	if q.Grouping == nil || len(q.Grouping.Keys) != 1 {
+		t.Fatalf("grouping = %+v", q.Grouping)
+	}
+	// ASCII form.
+	col2 := MustParseCollection("{Q(A, sm) | exists r in R, gamma r.A [Q.A = r.A and Q.sm = sum(r.B)]}")
+	if col2.String() != col.String() {
+		t.Fatalf("ASCII and Unicode forms differ:\n%s\n%s", col.String(), col2.String())
+	}
+}
+
+func TestParseEmptyGrouping(t *testing.T) {
+	col := MustParseCollection("{X(sm) | ∃s ∈ S, γ ∅ [X.sm = sum(s.B)]}")
+	q := col.Body.(*alt.Quantifier)
+	if q.Grouping == nil || len(q.Grouping.Keys) != 0 {
+		t.Fatalf("γ∅ = %+v", q.Grouping)
+	}
+	col2 := MustParseCollection("{X(sm) | exists s in S, gamma empty [X.sm = sum(s.B)]}")
+	if col2.String() != col.String() {
+		t.Fatal("gamma empty should equal γ ∅")
+	}
+}
+
+func TestParseNestedCollection(t *testing.T) {
+	// Query (7): FOI with nested lateral collection.
+	src := `{Q(A, sm) | ∃r ∈ R, x ∈ {X(sm) | ∃r2 ∈ R, γ ∅ [r2.A = r.A ∧ X.sm = sum(r2.B)]}
+		[Q.A = r.A ∧ Q.sm = x.sm]}`
+	col := MustParseCollection(src)
+	if _, err := alt.ValidateCollection(col); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	q := col.Body.(*alt.Quantifier)
+	if q.Bindings[1].Sub == nil {
+		t.Fatal("nested collection binding missing")
+	}
+}
+
+func TestParseRecursion(t *testing.T) {
+	// Query (16).
+	src := `{A(s, t) | ∃p ∈ P [A.s = p.s ∧ A.t = p.t] ∨
+		∃p ∈ P, a2 ∈ A [A.s = p.s ∧ p.t = a2.s ∧ A.t = a2.t]}`
+	col := MustParseCollection(src)
+	link, err := alt.ValidateCollection(col)
+	if err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	if !link.RecursiveCols[col] {
+		t.Fatal("recursion not detected")
+	}
+}
+
+func TestParseNegationAndNullChecks(t *testing.T) {
+	// Query (17).
+	src := `{Q(A) | ∃r ∈ R [Q.A = r.A ∧
+		¬(∃s ∈ S [s.A = r.A ∨ s.A is null ∨ r.A is null])]}`
+	col := MustParseCollection(src)
+	if _, err := alt.ValidateCollection(col); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+}
+
+func TestParseJoinAnnotation(t *testing.T) {
+	// Query (18).
+	src := `{Q(m, n) | ∃r ∈ R, s ∈ S, left(r, inner(11 AS c, s))
+		[Q.m = r.m ∧ Q.n = s.n ∧ r.y = s.y ∧ r.h = c.val]}`
+	col := MustParseCollection(src)
+	q := col.Body.(*alt.Quantifier)
+	j := q.Join.(*alt.JoinOp)
+	if j.Kind != alt.JoinLeft {
+		t.Fatalf("join kind = %v", j.Kind)
+	}
+	inner := j.Kids[1].(*alt.JoinOp)
+	jc := inner.Kids[0].(*alt.JoinConst)
+	if jc.Val.AsInt() != 11 || jc.Var != "c" {
+		t.Fatalf("const leaf = %+v", jc)
+	}
+}
+
+func TestParseSentence(t *testing.T) {
+	// Sentences (13) and (14).
+	s13, err := ParseSentence("∃r ∈ R [∃s ∈ S, γ ∅ [r.id = s.id ∧ r.q <= count(s.d)]]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := alt.ValidateSentence(s13); err != nil {
+		t.Fatal(err)
+	}
+	s14, err := ParseSentence("¬(∃r ∈ R [∃s ∈ S, γ ∅ [r.id = s.id ∧ r.q > count(s.d)]])")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s14.Body.(*alt.Not); !ok {
+		t.Fatal("negated sentence shape broken")
+	}
+}
+
+func TestAutoDetect(t *testing.T) {
+	c, s, err := Parse("{Q(A) | ∃r ∈ R [Q.A = r.A]}")
+	if err != nil || c == nil || s != nil {
+		t.Fatalf("collection detection: %v %v %v", c, s, err)
+	}
+	c2, s2, err := Parse("∃r ∈ R [r.A = 1]")
+	if err != nil || c2 != nil || s2 == nil {
+		t.Fatalf("sentence detection: %v %v %v", c2, s2, err)
+	}
+}
+
+func TestRoundTripPrintedALTs(t *testing.T) {
+	// Every printed collection must reparse to the same string.
+	srcs := []string{
+		"{Q(A) | ∃r ∈ R, s ∈ S [Q.A = r.A ∧ r.B = s.B ∧ s.C = 0]}",
+		"{Q(A, sm) | ∃r ∈ R, γ r.A [Q.A = r.A ∧ Q.sm = sum(r.B)]}",
+		"{Q(m, n) | ∃r ∈ R, s ∈ S, left(r, inner(11 AS c, s)) [Q.m = r.m ∧ Q.n = s.n ∧ r.y = s.y ∧ r.h = c.val]}",
+		"{C(row, col, val) | ∃a ∈ A, b ∈ B, γ a.row, b.col [C.row = a.row ∧ C.col = b.col ∧ a.col = b.row ∧ C.val = sum(a.val * b.val)]}",
+		"{Q(d) | ∃l1 ∈ L [Q.d = l1.d ∧ ¬(∃l2 ∈ L [l2.d <> l1.d])]}",
+	}
+	for _, src := range srcs {
+		c1 := MustParseCollection(src)
+		printed := c1.String()
+		c2, err := ParseCollection(printed)
+		if err != nil {
+			t.Fatalf("reparse of %q failed: %v", printed, err)
+		}
+		if c2.String() != printed {
+			t.Errorf("round trip unstable:\n1: %s\n2: %s", printed, c2.String())
+		}
+	}
+}
+
+func TestParseMultiKeyGrouping(t *testing.T) {
+	// Matrix multiplication (26) groups on two keys and the binding list
+	// continues after the keys.
+	src := `{C(row, col, val) | ∃a ∈ A, b ∈ B, γ a.row, b.col
+		[C.row = a.row ∧ C.col = b.col ∧ a.col = b.row ∧ C.val = sum(a.val * b.val)]}`
+	col := MustParseCollection(src)
+	q := col.Body.(*alt.Quantifier)
+	if len(q.Grouping.Keys) != 2 {
+		t.Fatalf("keys = %d", len(q.Grouping.Keys))
+	}
+	if _, err := alt.ValidateCollection(col); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParsedQueryEvaluates(t *testing.T) {
+	col := MustParseCollection("{Q(A, sm) | ∃r ∈ R, γ r.A [Q.A = r.A ∧ Q.sm = sum(r.B)]}")
+	cat := eval.NewCatalog().
+		AddRelation(relation.New("R", "A", "B").Add(1, 10).Add(1, 20).Add(2, 5))
+	got, err := eval.Eval(col, cat, convention.SetLogic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := relation.New("W", "A", "sm").Add(1, 30).Add(2, 5)
+	if !got.EqualSet(want) {
+		t.Fatalf("parsed query evaluates wrong:\n%s", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"{Q(A)",
+		"{Q(A) | }",
+		"{Q(A) | ∃r ∈ [Q.A = r.A]}",
+		"{Q(A) | ∃r ∈ R [Q.A = ]}",
+		"{Q(A) | ∃r ∈ R [Q.A ~ r.A]}",
+		"{Q() | ∃r ∈ R [r.A = 1]}",
+		"{Q(A) | ∃r ∈ R [Q.A = r.A]} extra",
+		"{Q(A) | ∃r ∈ R, γ [Q.A = r.A]}",
+	}
+	for _, src := range cases {
+		if _, err := ParseCollection(src); err == nil {
+			t.Errorf("ParseCollection(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseQuotedExternalName(t *testing.T) {
+	src := `{Q(A) | ∃r ∈ R, f ∈ "Minus" [Q.A = r.A ∧ f.left = r.B]}`
+	col := MustParseCollection(src)
+	q := col.Body.(*alt.Quantifier)
+	if q.Bindings[1].Rel != "Minus" {
+		t.Fatalf("quoted relation = %q", q.Bindings[1].Rel)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := "{Q(A) | -- head assignment below\n∃r ∈ R [Q.A = r.A]}"
+	if _, err := ParseCollection(src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseArithPrecedence(t *testing.T) {
+	col := MustParseCollection("{Q(x) | ∃r ∈ R [Q.x = r.a + r.b * r.c]}")
+	spine := alt.Spine(col.Body.(*alt.Quantifier).Body)
+	pr := spine[0].(*alt.Pred)
+	add := pr.Right.(*alt.Arith)
+	if add.Op != alt.OpAdd {
+		t.Fatalf("top op = %v", add.Op)
+	}
+	if mul := add.R.(*alt.Arith); mul.Op != alt.OpMul {
+		t.Fatal("* should bind tighter than +")
+	}
+	if !strings.Contains(pr.String(), "(r.b * r.c)") {
+		t.Fatal("printing parenthesization broken")
+	}
+}

@@ -1,0 +1,181 @@
+// Package arc implements the comprehension-syntax modality of ARC
+// (Section 2): a parser and printer for the textual notation
+//
+//	{Q(A,sm) | ∃r ∈ R, γ r.A [Q.A = r.A ∧ Q.sm = sum(r.B)]}
+//
+// Both the Unicode symbols (∃ ∈ ∧ ∨ ¬ γ ∅) and ASCII spellings
+// (exists, in, and, or, not, gamma, 0/empty) are accepted, so ALTs
+// printed with String() parse back (round trip).
+package arc
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSym
+)
+
+type token struct {
+	kind tokKind
+	text string // idents lower-cased for keyword checks; syms literal
+	raw  string
+	pos  int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lexArc(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+			return l.toks, nil
+		}
+		r, sz := utf8.DecodeRuneInString(l.src[l.pos:])
+		switch {
+		case r == '∃' || r == '∈' || r == '∧' || r == '∨' || r == '¬' || r == 'γ' || r == '∅':
+			l.toks = append(l.toks, token{kind: tokSym, text: string(r), pos: l.pos})
+			l.pos += sz
+		case unicode.IsLetter(r) || r == '_' || r == '$':
+			l.lexIdent()
+		case r >= '0' && r <= '9':
+			l.lexNumber()
+		case r == '\'':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		case r == '"':
+			if err := l.lexQuoted(); err != nil {
+				return nil, err
+			}
+		default:
+			if err := l.lexSym(); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		if c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-' {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		return
+	}
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) {
+		r, sz := utf8.DecodeRuneInString(l.src[l.pos:])
+		if !unicode.IsLetter(r) && !unicode.IsDigit(r) && r != '_' && r != '$' {
+			break
+		}
+		l.pos += sz
+	}
+	raw := l.src[start:l.pos]
+	l.toks = append(l.toks, token{kind: tokIdent, text: strings.ToLower(raw), raw: raw, pos: start})
+}
+
+func (l *lexer) lexNumber() {
+	start := l.pos
+	seenDot := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '.' && !seenDot && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9' {
+			seenDot = true
+			l.pos++
+			continue
+		}
+		if c < '0' || c > '9' {
+			break
+		}
+		l.pos++
+	}
+	l.toks = append(l.toks, token{kind: tokNumber, text: l.src[start:l.pos], pos: start})
+}
+
+func (l *lexer) lexString() error {
+	start := l.pos
+	l.pos++
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				b.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.toks = append(l.toks, token{kind: tokString, text: b.String(), pos: start})
+			return nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("arc: unterminated string at %d", start)
+}
+
+// lexQuoted handles quoted relation names like "∗" or "-" used for
+// external relations.
+func (l *lexer) lexQuoted() error {
+	start := l.pos
+	l.pos++
+	idx := strings.IndexByte(l.src[l.pos:], '"')
+	if idx < 0 {
+		return fmt.Errorf("arc: unterminated quoted name at %d", start)
+	}
+	raw := l.src[l.pos : l.pos+idx]
+	l.pos += idx + 1
+	l.toks = append(l.toks, token{kind: tokIdent, text: strings.ToLower(raw), raw: raw, pos: start})
+	return nil
+}
+
+func (l *lexer) lexSym() error {
+	if l.pos+1 < len(l.src) {
+		two := l.src[l.pos : l.pos+2]
+		switch two {
+		case "<>", "<=", ">=", "!=":
+			l.toks = append(l.toks, token{kind: tokSym, text: two, pos: l.pos})
+			l.pos += 2
+			return nil
+		}
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '{', '}', '(', ')', '[', ']', '|', ',', '.', '=', '<', '>', '+', '-', '*', '/', '!':
+		l.toks = append(l.toks, token{kind: tokSym, text: string(c), pos: l.pos})
+		l.pos++
+		return nil
+	}
+	r, _ := utf8.DecodeRuneInString(l.src[l.pos:])
+	return fmt.Errorf("arc: unexpected character %q at %d", string(r), l.pos)
+}
+
+var _ = strconv.Itoa

@@ -1,0 +1,589 @@
+package arc
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/alt"
+	"repro/internal/value"
+)
+
+// ParseCollection parses a comprehension "{Head | Body}" into an ALT.
+func ParseCollection(src string) (*alt.Collection, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	col, err := p.collection()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, p.errf("trailing input %q", p.peek().text)
+	}
+	return col, nil
+}
+
+// ParseSentence parses a bare Boolean formula (Section 2.5 sentences).
+func ParseSentence(src string) (*alt.Sentence, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	f, err := p.formula()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, p.errf("trailing input %q", p.peek().text)
+	}
+	return &alt.Sentence{Body: f}, nil
+}
+
+// Parse auto-detects: a leading "{" parses as a collection, anything
+// else as a sentence. It returns exactly one of the two.
+func Parse(src string) (*alt.Collection, *alt.Sentence, error) {
+	if strings.HasPrefix(strings.TrimSpace(src), "{") {
+		c, err := ParseCollection(src)
+		return c, nil, err
+	}
+	s, err := ParseSentence(src)
+	return nil, s, err
+}
+
+// MustParseCollection parses or panics; for fixtures.
+func MustParseCollection(src string) *alt.Collection {
+	c, err := ParseCollection(src)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func newParser(src string) (*parser, error) {
+	toks, err := lexArc(src)
+	if err != nil {
+		return nil, err
+	}
+	return &parser{toks: toks}, nil
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) peek2() token {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+func (p *parser) atEOF() bool { return p.peek().kind == tokEOF }
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("arc: %s (near offset %d)", fmt.Sprintf(format, args...), p.peek().pos)
+}
+
+func (p *parser) acceptSym(s string) bool {
+	if t := p.peek(); t.kind == tokSym && t.text == s {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSym(s string) error {
+	if !p.acceptSym(s) {
+		return p.errf("expected %q, found %q", s, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) acceptKw(w string) bool {
+	if t := p.peek(); t.kind == tokIdent && t.text == w {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) peekKw(w string) bool {
+	t := p.peek()
+	return t.kind == tokIdent && t.text == w
+}
+
+// collection := '{' IDENT '(' attrs ')' '|' formula '}'
+func (p *parser) collection() (*alt.Collection, error) {
+	if err := p.expectSym("{"); err != nil {
+		return nil, err
+	}
+	name := p.next()
+	if name.kind != tokIdent {
+		return nil, p.errf("expected head relation name, found %q", name.text)
+	}
+	if err := p.expectSym("("); err != nil {
+		return nil, err
+	}
+	var attrs []string
+	for {
+		a := p.next()
+		if a.kind != tokIdent {
+			return nil, p.errf("expected head attribute, found %q", a.text)
+		}
+		attrs = append(attrs, a.raw)
+		if !p.acceptSym(",") {
+			break
+		}
+	}
+	if err := p.expectSym(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expectSym("|"); err != nil {
+		return nil, err
+	}
+	body, err := p.formula()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSym("}"); err != nil {
+		return nil, err
+	}
+	return &alt.Collection{Head: alt.Head{Rel: name.raw, Attrs: attrs}, Body: body}, nil
+}
+
+// formula := and (('∨'|'or') and)*
+func (p *parser) formula() (alt.Formula, error) {
+	left, err := p.andFormula()
+	if err != nil {
+		return nil, err
+	}
+	kids := []alt.Formula{left}
+	for p.acceptSym("∨") || p.acceptKw("or") {
+		k, err := p.andFormula()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, k)
+	}
+	if len(kids) == 1 {
+		return left, nil
+	}
+	return alt.OrF(kids...), nil
+}
+
+func (p *parser) andFormula() (alt.Formula, error) {
+	left, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	kids := []alt.Formula{left}
+	for p.acceptSym("∧") || p.acceptKw("and") {
+		k, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, k)
+	}
+	if len(kids) == 1 {
+		return left, nil
+	}
+	return alt.AndF(kids...), nil
+}
+
+func (p *parser) unary() (alt.Formula, error) {
+	if p.acceptSym("¬") || p.acceptSym("!") || p.acceptKw("not") {
+		k, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return alt.NotF(k), nil
+	}
+	if p.acceptSym("∃") || p.acceptKw("exists") {
+		return p.quantifier()
+	}
+	if p.acceptSym("(") {
+		f, err := p.formula()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSym(")"); err != nil {
+			return nil, err
+		}
+		return f, nil
+	}
+	return p.predicate()
+}
+
+// quantifier := bindingItems '[' formula ']'
+// bindingItems are comma-separated: bindings ("v ∈ R" or "v ∈ {…}"),
+// one grouping clause ("γ ∅" | "γ k.a,…"), and one join annotation
+// ("left(…)" / "inner(…)" / "full(…)").
+func (p *parser) quantifier() (alt.Formula, error) {
+	q := &alt.Quantifier{}
+	for {
+		switch {
+		case p.peekGamma():
+			p.pos++ // γ / gamma
+			g, err := p.grouping()
+			if err != nil {
+				return nil, err
+			}
+			if q.Grouping != nil {
+				return nil, p.errf("duplicate grouping clause")
+			}
+			q.Grouping = g
+		case p.peekJoinAnn():
+			j, err := p.joinExpr()
+			if err != nil {
+				return nil, err
+			}
+			if q.Join != nil {
+				return nil, p.errf("duplicate join annotation")
+			}
+			q.Join = j
+		default:
+			b, err := p.binding()
+			if err != nil {
+				return nil, err
+			}
+			q.Bindings = append(q.Bindings, b)
+		}
+		if p.acceptSym(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expectSym("["); err != nil {
+		return nil, err
+	}
+	if !p.acceptSym("]") {
+		body, err := p.formula()
+		if err != nil {
+			return nil, err
+		}
+		q.Body = body
+		if err := p.expectSym("]"); err != nil {
+			return nil, err
+		}
+	}
+	return q, nil
+}
+
+func (p *parser) peekGamma() bool {
+	t := p.peek()
+	return (t.kind == tokSym && t.text == "γ") || (t.kind == tokIdent && t.text == "gamma")
+}
+
+func (p *parser) peekJoinAnn() bool {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return false
+	}
+	if t.text != "left" && t.text != "inner" && t.text != "full" {
+		return false
+	}
+	n := p.peek2()
+	return n.kind == tokSym && n.text == "("
+}
+
+func (p *parser) grouping() (*alt.Grouping, error) {
+	if p.acceptSym("∅") || p.acceptKw("empty") {
+		return &alt.Grouping{}, nil
+	}
+	var keys []*alt.AttrRef
+	for {
+		v := p.next()
+		if v.kind != tokIdent {
+			return nil, p.errf("expected grouping key, found %q", v.text)
+		}
+		if err := p.expectSym("."); err != nil {
+			return nil, err
+		}
+		a := p.next()
+		if a.kind != tokIdent {
+			return nil, p.errf("expected attribute after %q.", v.raw)
+		}
+		keys = append(keys, alt.Ref(v.raw, a.raw))
+		// Another key follows only if the comma is followed by IDENT "."
+		if p.peek().kind == tokSym && p.peek().text == "," {
+			save := p.pos
+			p.pos++
+			if p.peek().kind == tokIdent && p.peek2().kind == tokSym && p.peek2().text == "." &&
+				!p.peekJoinAnn() {
+				continue
+			}
+			p.pos = save
+		}
+		break
+	}
+	return &alt.Grouping{Keys: keys}, nil
+}
+
+func (p *parser) joinExpr() (alt.JoinExpr, error) {
+	kw := p.next()
+	var kind alt.JoinKind
+	switch kw.text {
+	case "inner":
+		kind = alt.JoinInner
+	case "left":
+		kind = alt.JoinLeft
+	case "full":
+		kind = alt.JoinFull
+	default:
+		return nil, p.errf("expected join kind, found %q", kw.text)
+	}
+	if err := p.expectSym("("); err != nil {
+		return nil, err
+	}
+	var kids []alt.JoinExpr
+	for {
+		k, err := p.joinLeaf()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, k)
+		if !p.acceptSym(",") {
+			break
+		}
+	}
+	if err := p.expectSym(")"); err != nil {
+		return nil, err
+	}
+	return &alt.JoinOp{Kind: kind, Kids: kids}, nil
+}
+
+func (p *parser) joinLeaf() (alt.JoinExpr, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokIdent && (t.text == "inner" || t.text == "left" || t.text == "full") &&
+		p.peek2().kind == tokSym && p.peek2().text == "(":
+		return p.joinExpr()
+	case t.kind == tokNumber || t.kind == tokString:
+		v, err := p.literal()
+		if err != nil {
+			return nil, err
+		}
+		as := ""
+		if p.acceptKw("as") {
+			a := p.next()
+			if a.kind != tokIdent {
+				return nil, p.errf("expected name after AS")
+			}
+			as = a.raw
+		}
+		return alt.JC(v, as), nil
+	case t.kind == tokIdent:
+		p.pos++
+		return alt.JV(t.raw), nil
+	}
+	return nil, p.errf("expected join leaf, found %q", t.text)
+}
+
+func (p *parser) literal() (value.Value, error) {
+	t := p.next()
+	switch t.kind {
+	case tokNumber:
+		if strings.Contains(t.text, ".") {
+			f, _ := strconv.ParseFloat(t.text, 64)
+			return value.Float(f), nil
+		}
+		i, _ := strconv.ParseInt(t.text, 10, 64)
+		return value.Int(i), nil
+	case tokString:
+		return value.Str(t.text), nil
+	}
+	return value.Null(), p.errf("expected literal, found %q", t.text)
+}
+
+// binding := IDENT ('∈'|'in') (relname | collection)
+func (p *parser) binding() (*alt.Binding, error) {
+	v := p.next()
+	if v.kind != tokIdent {
+		return nil, p.errf("expected binding variable, found %q", v.text)
+	}
+	if !p.acceptSym("∈") && !p.acceptKw("in") {
+		return nil, p.errf("expected ∈ after %q", v.raw)
+	}
+	if p.peek().kind == tokSym && p.peek().text == "{" {
+		sub, err := p.collection()
+		if err != nil {
+			return nil, err
+		}
+		return alt.BindSub(v.raw, sub), nil
+	}
+	rel := p.next()
+	if rel.kind != tokIdent {
+		return nil, p.errf("expected relation name, found %q", rel.text)
+	}
+	return alt.Bind(v.raw, rel.raw), nil
+}
+
+// predicate := term (cmp term | 'is' ['not'] 'null')
+func (p *parser) predicate() (alt.Formula, error) {
+	l, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	if p.acceptKw("is") {
+		neg := p.acceptKw("not")
+		if !p.acceptKw("null") {
+			return nil, p.errf("expected NULL after IS")
+		}
+		return &alt.IsNull{Arg: l, Negated: neg}, nil
+	}
+	t := p.peek()
+	if t.kind != tokSym {
+		return nil, p.errf("expected comparison operator, found %q", t.text)
+	}
+	var op value.CmpOp
+	switch t.text {
+	case "=":
+		op = value.Eq
+	case "<>", "!=":
+		op = value.Ne
+	case "<":
+		op = value.Lt
+	case "<=":
+		op = value.Le
+	case ">":
+		op = value.Gt
+	case ">=":
+		op = value.Ge
+	default:
+		return nil, p.errf("expected comparison operator, found %q", t.text)
+	}
+	p.pos++
+	r, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	return &alt.Pred{Left: l, Op: op, Right: r}, nil
+}
+
+func (p *parser) term() (alt.Term, error) {
+	return p.additive()
+}
+
+func (p *parser) additive() (alt.Term, error) {
+	l, err := p.multiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptSym("+"):
+			r, err := p.multiplicative()
+			if err != nil {
+				return nil, err
+			}
+			l = alt.Plus(l, r)
+		case p.acceptSym("-"):
+			r, err := p.multiplicative()
+			if err != nil {
+				return nil, err
+			}
+			l = alt.Minus(l, r)
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) multiplicative() (alt.Term, error) {
+	l, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptSym("*"):
+			r, err := p.primary()
+			if err != nil {
+				return nil, err
+			}
+			l = alt.Times(l, r)
+		case p.acceptSym("/"):
+			r, err := p.primary()
+			if err != nil {
+				return nil, err
+			}
+			l = alt.DivBy(l, r)
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) primary() (alt.Term, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber, tokString:
+		v, err := p.literal()
+		if err != nil {
+			return nil, err
+		}
+		return alt.CVal(v), nil
+	case tokSym:
+		if t.text == "(" {
+			p.pos++
+			e, err := p.term()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSym(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+		if t.text == "-" {
+			p.pos++
+			e, err := p.primary()
+			if err != nil {
+				return nil, err
+			}
+			if c, ok := e.(*alt.Const); ok && c.Val.IsNumeric() {
+				if c.Val.Kind() == value.KindInt {
+					return alt.CInt(-c.Val.AsInt()), nil
+				}
+				return alt.CFloat(-c.Val.AsFloat()), nil
+			}
+			return alt.Minus(alt.CInt(0), e), nil
+		}
+	case tokIdent:
+		if t.text == "null" {
+			p.pos++
+			return alt.CNull(), nil
+		}
+		if fn, ok := alt.AggFuncByName(t.text); ok && p.peek2().kind == tokSym && p.peek2().text == "(" {
+			p.pos += 2
+			arg, err := p.term()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSym(")"); err != nil {
+				return nil, err
+			}
+			return &alt.Agg{Func: fn, Arg: arg}, nil
+		}
+		p.pos++
+		if err := p.expectSym("."); err != nil {
+			return nil, err
+		}
+		a := p.next()
+		if a.kind != tokIdent {
+			return nil, p.errf("expected attribute after %q.", t.raw)
+		}
+		return alt.Ref(t.raw, a.raw), nil
+	}
+	return nil, p.errf("unexpected token %q in term", t.text)
+}

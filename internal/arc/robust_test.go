@@ -1,0 +1,42 @@
+package arc
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParserNeverPanics feeds the parser systematically mangled inputs —
+// truncations, substitutions, and garbage — and requires an error rather
+// than a panic every time.
+func TestParserNeverPanics(t *testing.T) {
+	seeds := []string{
+		"{Q(A) | ∃r ∈ R, s ∈ S [Q.A = r.A ∧ r.B = s.B ∧ s.C = 0]}",
+		"{Q(A, sm) | ∃r ∈ R, γ r.A [Q.A = r.A ∧ Q.sm = sum(r.B)]}",
+		"{Q(m, n) | ∃r ∈ R, s ∈ S, left(r, inner(11 AS c, s)) [Q.m = r.m]}",
+		"∃r ∈ R [∃s ∈ S, γ ∅ [r.id = s.id ∧ r.q <= count(s.d)]]",
+	}
+	junk := []string{"", "{", "}", "|", "∃", "γ", "[", "]", "((", "{Q(", "q.q.q", "{Q(A)|∃[", "🙂", "{Q(A) | ∃r ∈ R [Q.A = r.A]}}}}"}
+	var inputs []string
+	inputs = append(inputs, junk...)
+	for _, s := range seeds {
+		for cut := 0; cut < len(s); cut += 3 {
+			inputs = append(inputs, s[:cut])
+		}
+		inputs = append(inputs,
+			strings.ReplaceAll(s, "∈", ""),
+			strings.ReplaceAll(s, "[", "("),
+			strings.ReplaceAll(s, "=", "=="),
+			s+s,
+		)
+	}
+	for _, in := range inputs {
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Errorf("panic on %q: %v", in, p)
+				}
+			}()
+			_, _, _ = Parse(in)
+		}()
+	}
+}

@@ -1,0 +1,309 @@
+// Package arc2sql renders ARC collections back into the SQL subset of
+// internal/sql — the second half of the paper's SQL ↔ ARC round trip
+// (Section 5). The rendering follows the inverse of the sql2arc
+// encodings: grouping scopes become GROUP BY/HAVING, lateral bindings
+// become JOIN LATERAL, boolean quantifiers become [NOT] EXISTS (with
+// HAVING for grouped boolean scopes), disjunction becomes UNION ALL, and
+// constant join leaves are folded back into ON conditions.
+//
+// Nested quantifiers that still carry head assignments (the raw TRC
+// style) are flattened into their parent scope first; this preserves
+// semantics under set semantics (Section 2.7 — under bags, nesting is a
+// semijoin, which SQL cannot express without rewriting, so Render
+// reports it).
+package arc2sql
+
+import (
+	"fmt"
+
+	"repro/internal/alt"
+	"repro/internal/sql"
+	"repro/internal/value"
+)
+
+// Render converts a strict ARC collection into a SQL query.
+func Render(col *alt.Collection) (sql.Query, error) {
+	link, err := alt.ValidateCollection(col)
+	if err != nil {
+		return nil, err
+	}
+	r := &renderer{link: link}
+	return r.collection(col)
+}
+
+// RenderString renders to SQL text.
+func RenderString(col *alt.Collection) (string, error) {
+	q, err := Render(col)
+	if err != nil {
+		return "", err
+	}
+	return q.String(), nil
+}
+
+type renderer struct {
+	link *alt.Link
+}
+
+func (r *renderer) collection(col *alt.Collection) (sql.Query, error) {
+	if r.link.RecursiveCols[col] {
+		return nil, fmt.Errorf("arc2sql: recursive collection %s has no rendering in the SQL subset (no WITH RECURSIVE)", col.Head.Rel)
+	}
+	branches := orBranches(col.Body)
+	var out sql.Query
+	for _, br := range branches {
+		sel, err := r.branch(col, br)
+		if err != nil {
+			return nil, err
+		}
+		if out == nil {
+			out = sel
+		} else {
+			out = &sql.Union{Left: out, Right: sel, All: true}
+		}
+	}
+	return out, nil
+}
+
+func orBranches(f alt.Formula) []alt.Formula {
+	if o, ok := f.(*alt.Or); ok {
+		var out []alt.Formula
+		for _, k := range o.Kids {
+			out = append(out, orBranches(k)...)
+		}
+		return out
+	}
+	return []alt.Formula{f}
+}
+
+// branch renders one disjunct of a collection body as a SELECT.
+func (r *renderer) branch(col *alt.Collection, f alt.Formula) (*sql.Select, error) {
+	q, extra, err := flattenGenerating(f, r.link)
+	if err != nil {
+		return nil, err
+	}
+	if q == nil {
+		// FROM-less branch: only constant assignments.
+		sel := &sql.Select{}
+		assigns := map[string]sql.Expr{}
+		for _, el := range alt.Spine(f) {
+			p, ok := el.(*alt.Pred)
+			if !ok {
+				return nil, fmt.Errorf("arc2sql: unsupported FROM-less branch element %T", el)
+			}
+			if r.link.Preds[p] != alt.PredAssignment {
+				return nil, fmt.Errorf("arc2sql: FROM-less branch with non-assignment predicate %s", p)
+			}
+			attr, term := r.assignment(p)
+			e, err := r.term(term, nil)
+			if err != nil {
+				return nil, err
+			}
+			assigns[attr] = e
+		}
+		for _, a := range col.Head.Attrs {
+			e, ok := assigns[a]
+			if !ok {
+				return nil, fmt.Errorf("arc2sql: head attribute %q unassigned", a)
+			}
+			sel.Items = append(sel.Items, sql.SelectItem{Expr: e, Alias: a})
+		}
+		return sel, nil
+	}
+	return r.quantifier(col, q, extra)
+}
+
+// flattenGenerating merges nested quantifiers that carry head
+// assignments into one scope (set-semantics flattening) and returns the
+// merged quantifier plus any spine conjuncts that sat outside it.
+func flattenGenerating(f alt.Formula, link *alt.Link) (*alt.Quantifier, []alt.Formula, error) {
+	var outer []alt.Formula
+	var q *alt.Quantifier
+	for _, el := range alt.Spine(f) {
+		if x, ok := el.(*alt.Quantifier); ok && q == nil {
+			q = x
+			continue
+		}
+		outer = append(outer, el)
+	}
+	if q == nil {
+		return nil, outer, nil
+	}
+	// Merge nested generating quantifiers on q's spine upward.
+	for {
+		var spine []alt.Formula
+		var inner *alt.Quantifier
+		for _, el := range alt.Spine(q.Body) {
+			if x, ok := el.(*alt.Quantifier); ok && inner == nil && containsAssign(x, link) {
+				inner = x
+				continue
+			}
+			spine = append(spine, el)
+		}
+		if inner == nil {
+			return q, outer, nil
+		}
+		if inner.Grouping != nil || q.Grouping != nil {
+			return nil, nil, fmt.Errorf("arc2sql: cannot flatten assignments across grouping scopes")
+		}
+		if inner.Join != nil {
+			return nil, nil, fmt.Errorf("arc2sql: cannot flatten a join-annotated nested scope")
+		}
+		merged := &alt.Quantifier{
+			Bindings: append(append([]*alt.Binding{}, q.Bindings...), inner.Bindings...),
+			Join:     q.Join,
+			Body:     alt.AndF(append(spine, alt.Spine(inner.Body)...)...),
+		}
+		q = merged
+	}
+}
+
+func containsAssign(f alt.Formula, link *alt.Link) bool {
+	switch x := f.(type) {
+	case *alt.Pred:
+		return link.Preds[x] == alt.PredAssignment
+	case *alt.And:
+		for _, k := range x.Kids {
+			if containsAssign(k, link) {
+				return true
+			}
+		}
+	case *alt.Or:
+		for _, k := range x.Kids {
+			if containsAssign(k, link) {
+				return true
+			}
+		}
+	case *alt.Not:
+		return containsAssign(x.Kid, link)
+	case *alt.Quantifier:
+		return containsAssign(x.Body, link)
+	}
+	return false
+}
+
+// assignment returns (head attribute, value term) of an assignment pred.
+func (r *renderer) assignment(p *alt.Pred) (string, alt.Term) {
+	head, other := p.Left, p.Right
+	if r.link.HeadSide[p] == 1 {
+		head, other = p.Right, p.Left
+	}
+	return head.(*alt.AttrRef).Attr, other
+}
+
+// quantifier renders a generating scope as a SELECT.
+func (r *renderer) quantifier(col *alt.Collection, q *alt.Quantifier, extra []alt.Formula) (*sql.Select, error) {
+	sel := &sql.Select{}
+	consts := map[string]value.Value{} // const-leaf var → literal
+	for jc, b := range r.link.ConstBindings {
+		if r.link.BindingQuantifier[b] == q {
+			consts[b.Var] = jc.Val
+		}
+	}
+
+	// Classify spine elements.
+	assigns := map[string][]alt.Term{}
+	var wherePreds []alt.Formula
+	var aggFilters []alt.Formula
+	for _, el := range append(append([]alt.Formula{}, alt.Spine(q.Body)...), extra...) {
+		switch x := el.(type) {
+		case *alt.Pred:
+			if r.link.Preds[x] == alt.PredAssignment {
+				attr, term := r.assignment(x)
+				assigns[attr] = append(assigns[attr], term)
+				continue
+			}
+			if alt.ContainsAgg(x.Left) || alt.ContainsAgg(x.Right) {
+				aggFilters = append(aggFilters, x)
+				continue
+			}
+			wherePreds = append(wherePreds, x)
+		default:
+			wherePreds = append(wherePreds, el)
+		}
+	}
+
+	// FROM clause with join annotations.
+	from, onOwner, err := r.fromClause(q, consts)
+	if err != nil {
+		return nil, err
+	}
+	sel.From = from
+
+	// Route plain predicates to ON conditions of outer joins or WHERE.
+	var whereExprs []sql.Expr
+	for _, p := range wherePreds {
+		e, err := r.formulaExpr(p, consts)
+		if err != nil {
+			return nil, err
+		}
+		if owner := r.onTargetFor(p, onOwner, q); owner != nil {
+			owner.On = andMerge(owner.On, e)
+			continue
+		}
+		whereExprs = append(whereExprs, e)
+	}
+	if len(whereExprs) == 1 {
+		sel.Where = whereExprs[0]
+	} else if len(whereExprs) > 1 {
+		sel.Where = &sql.AndE{Kids: whereExprs}
+	}
+
+	// Grouping: GROUP BY keys + HAVING for aggregate comparisons.
+	if q.Grouping != nil {
+		for _, k := range q.Grouping.Keys {
+			sel.GroupBy = append(sel.GroupBy, &sql.ColRef{Table: k.Var, Column: k.Attr})
+		}
+		var having []sql.Expr
+		for _, p := range aggFilters {
+			e, err := r.formulaExpr(p, consts)
+			if err != nil {
+				return nil, err
+			}
+			having = append(having, e)
+		}
+		if len(having) == 1 {
+			sel.Having = having[0]
+		} else if len(having) > 1 {
+			sel.Having = &sql.AndE{Kids: having}
+		}
+	} else if len(aggFilters) > 0 {
+		return nil, fmt.Errorf("arc2sql: aggregate predicate outside a grouping scope")
+	}
+
+	// SELECT items in head order; extra assignments become WHERE equalities.
+	for _, a := range col.Head.Attrs {
+		terms := assigns[a]
+		if len(terms) == 0 {
+			return nil, fmt.Errorf("arc2sql: head attribute %q unassigned in this branch", a)
+		}
+		e, err := r.term(terms[0], consts)
+		if err != nil {
+			return nil, err
+		}
+		sel.Items = append(sel.Items, sql.SelectItem{Expr: e, Alias: a})
+		for _, t := range terms[1:] {
+			e2, err := r.term(t, consts)
+			if err != nil {
+				return nil, err
+			}
+			eq := &sql.Cmp{Op: value.Eq, L: e, R: e2}
+			if sel.Where == nil {
+				sel.Where = eq
+			} else {
+				sel.Where = andMerge(sel.Where, eq)
+			}
+		}
+	}
+	return sel, nil
+}
+
+func andMerge(a, b sql.Expr) sql.Expr {
+	if a == nil {
+		return b
+	}
+	if x, ok := a.(*sql.AndE); ok {
+		x.Kids = append(x.Kids, b)
+		return x
+	}
+	return &sql.AndE{Kids: []sql.Expr{a, b}}
+}

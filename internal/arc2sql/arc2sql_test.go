@@ -1,0 +1,242 @@
+package arc2sql
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/alt"
+	"repro/internal/convention"
+	"repro/internal/eval"
+	"repro/internal/relation"
+	"repro/internal/sql2arc"
+	"repro/internal/sqleval"
+	"repro/internal/value"
+)
+
+// roundTrip checks SQL → ARC → SQL: the rendered SQL must evaluate (in
+// the independent SQL evaluator) to the same set as the original.
+func roundTrip(t *testing.T, src string, rels []*relation.Relation) {
+	t.Helper()
+	col, err := sql2arc.TranslateString(src)
+	if err != nil {
+		t.Fatalf("sql2arc %q: %v", src, err)
+	}
+	rendered, err := RenderString(col)
+	if err != nil {
+		t.Fatalf("arc2sql of %q: %v\nALT: %s", src, err, col)
+	}
+	db := sqleval.DB{}
+	for _, r := range rels {
+		db[r.Name()] = r
+	}
+	want, err := sqleval.EvalString(src, db)
+	if err != nil {
+		t.Fatalf("baseline eval %q: %v", src, err)
+	}
+	got, err := sqleval.EvalString(rendered, db)
+	if err != nil {
+		t.Fatalf("rendered eval %q: %v", rendered, err)
+	}
+	if !got.EqualSet(want) {
+		t.Fatalf("round trip mismatch for %q\nrendered: %s\ngot\n%s\nwant\n%s", src, rendered, got, want)
+	}
+}
+
+// arcToSQL checks a hand-built ALT: rendered SQL (sqleval) must agree
+// with direct ARC evaluation.
+func arcToSQL(t *testing.T, col *alt.Collection, rels []*relation.Relation) {
+	t.Helper()
+	rendered, err := RenderString(col)
+	if err != nil {
+		t.Fatalf("render %s: %v", col, err)
+	}
+	cat := eval.NewCatalog()
+	db := sqleval.DB{}
+	for _, r := range rels {
+		cat.AddRelation(r)
+		db[r.Name()] = r
+	}
+	want, err := eval.Eval(col, cat, convention.SQLDistinct())
+	if err != nil {
+		t.Fatalf("arc eval: %v", err)
+	}
+	got, err := sqleval.EvalString(rendered, db)
+	if err != nil {
+		t.Fatalf("sql eval of rendering %q: %v", rendered, err)
+	}
+	if !got.EqualSet(want) {
+		t.Fatalf("mismatch for %s\nrendered: %s\ngot\n%s\nwant\n%s", col, rendered, got, want)
+	}
+}
+
+func TestRoundTrips(t *testing.T) {
+	rels := []*relation.Relation{
+		relation.New("R", "A", "B").Add(1, 10).Add(2, 20).Add(3, 30),
+		relation.New("S", "B", "C").Add(10, 0).Add(20, 5).Add(30, 0),
+	}
+	for _, src := range []string{
+		"select R.A from R, S where R.B = S.B and S.C = 0",
+		"select R.A, S.C from R, S where R.B = S.B",
+		"select R.A from R where exists (select 1 from S where S.B = R.B)",
+		"select R.A from R where not exists (select 1 from S where S.B = R.B)",
+		"select R.A from R union all select S.C from S",
+		"select R.A, R.B + 1 AS b1 from R",
+	} {
+		roundTrip(t, src, rels)
+	}
+}
+
+func TestRoundTripAggregates(t *testing.T) {
+	rels := []*relation.Relation{
+		relation.New("R", "A", "B").Add(1, 10).Add(1, 20).Add(2, 5),
+	}
+	roundTrip(t, "select R.A, sum(R.B) sm from R group by R.A", rels)
+	roundTrip(t, "select count(R.B) c from R", rels)
+}
+
+func TestRoundTripHaving(t *testing.T) {
+	rels := []*relation.Relation{
+		relation.New("R", "empl", "dept").Add("e1", "d1").Add("e2", "d1").Add("e3", "d2"),
+		relation.New("S", "empl", "sal").Add("e1", 60).Add("e2", 70).Add("e3", 40),
+	}
+	roundTrip(t, `select R.dept, avg(S.sal) av from R, S
+		where R.empl = S.empl group by R.dept having sum(S.sal) > 100`, rels)
+}
+
+func TestRoundTripCountBug(t *testing.T) {
+	rels := []*relation.Relation{
+		relation.New("R", "id", "q").Add(9, 0).Add(1, 2),
+		relation.New("S", "id", "d").Add(1, "a").Add(1, "b"),
+	}
+	roundTrip(t, `select R.id from R where R.q = (select count(S.d) from S where S.id = R.id)`, rels)
+	roundTrip(t, `select R.id from R,
+		(select S.id, count(S.d) as ct from S group by S.id) as X
+		where R.q = X.ct and R.id = X.id`, rels)
+}
+
+func TestRoundTripNotIn(t *testing.T) {
+	rels := []*relation.Relation{
+		relation.New("R", "A").Add(1).Add(2).Add(3),
+		relation.New("S", "A").Add(2).Add(nil),
+	}
+	roundTrip(t, "select R.A from R where R.A not in (select S.A from S)", rels)
+}
+
+func TestRoundTripLeftJoin(t *testing.T) {
+	rels := []*relation.Relation{
+		relation.New("R", "m", "y", "h").Add("r1", 1, 11).Add("r2", 2, 11).Add("r3", 3, 99),
+		relation.New("S", "y", "n", "q").Add(1, "n1", 0).Add(3, "n3", 0),
+	}
+	roundTrip(t, `select R.m, S.n from R left outer join S on (R.h = 11 and R.y = S.y)`, rels)
+}
+
+func TestRoundTripLateral(t *testing.T) {
+	rels := []*relation.Relation{
+		relation.New("X", "A").Add(1).Add(5),
+		relation.New("Y", "A").Add(3).Add(7),
+	}
+	roundTrip(t, `select x.A, z.B from X as x
+		join lateral (select y.A as B from Y as y where x.A < y.A) as z on true`, rels)
+}
+
+func TestRenderTRCStyleNesting(t *testing.T) {
+	// The raw TRC shape with assignments in the nested scope flattens.
+	col := alt.Col("Q", []string{"A"},
+		alt.Exists([]*alt.Binding{alt.Bind("r", "R")},
+			alt.Exists([]*alt.Binding{alt.Bind("s", "S")},
+				alt.AndF(
+					alt.Eq(alt.Ref("Q", "A"), alt.Ref("r", "A")),
+					alt.Eq(alt.Ref("r", "B"), alt.Ref("s", "B")),
+				))))
+	rels := []*relation.Relation{
+		relation.New("R", "A", "B").Add(1, 10).Add(2, 99),
+		relation.New("S", "B").Add(10),
+	}
+	arcToSQL(t, col, rels)
+	rendered, _ := RenderString(col)
+	if strings.Contains(rendered, "EXISTS") {
+		t.Errorf("generating nesting should flatten, not render EXISTS: %s", rendered)
+	}
+}
+
+func TestRenderBooleanGroupedScope(t *testing.T) {
+	// COUNT-bug version 1 shape: grouped boolean scope → HAVING.
+	col := alt.Col("Q", []string{"id"},
+		alt.Exists([]*alt.Binding{alt.Bind("r", "R")},
+			alt.AndF(
+				alt.Eq(alt.Ref("Q", "id"), alt.Ref("r", "id")),
+				alt.ExistsG([]*alt.Binding{alt.Bind("s", "S")}, nil,
+					alt.AndF(
+						alt.Eq(alt.Ref("r", "id"), alt.Ref("s", "id")),
+						alt.Eq(alt.Ref("r", "q"), alt.Count(alt.Ref("s", "d"))),
+					)),
+			)))
+	rels := []*relation.Relation{
+		relation.New("R", "id", "q").Add(9, 0).Add(1, 2),
+		relation.New("S", "id", "d").Add(1, "a").Add(1, "b"),
+	}
+	arcToSQL(t, col, rels)
+	rendered, _ := RenderString(col)
+	if !strings.Contains(rendered, "HAVING") {
+		t.Errorf("grouped boolean scope should render HAVING: %s", rendered)
+	}
+}
+
+func TestRenderConstJoinLeaf(t *testing.T) {
+	// (18): constant leaf folds back into the ON condition as a literal.
+	col := alt.Col("Q", []string{"m", "n"},
+		alt.ExistsJ([]*alt.Binding{alt.Bind("r", "R"), alt.Bind("s", "S")},
+			alt.LeftJ(alt.JV("r"), alt.Inner(alt.JC(value.Int(11), "c"), alt.JV("s"))),
+			alt.AndF(
+				alt.Eq(alt.Ref("Q", "m"), alt.Ref("r", "m")),
+				alt.Eq(alt.Ref("Q", "n"), alt.Ref("s", "n")),
+				alt.Eq(alt.Ref("r", "y"), alt.Ref("s", "y")),
+				alt.Eq(alt.Ref("r", "h"), alt.Ref("c", "val")),
+			)))
+	rels := []*relation.Relation{
+		relation.New("R", "m", "y", "h").Add("r1", 1, 11).Add("r2", 2, 11).Add("r3", 3, 99),
+		relation.New("S", "y", "n", "q").Add(1, "n1", 0).Add(3, "n3", 0),
+	}
+	arcToSQL(t, col, rels)
+	rendered, _ := RenderString(col)
+	if !strings.Contains(rendered, "11") || !strings.Contains(rendered, "LEFT JOIN") {
+		t.Errorf("constant leaf should fold into ON: %s", rendered)
+	}
+}
+
+func TestRenderRecursionUnsupported(t *testing.T) {
+	col := alt.Col("A", []string{"s", "t"},
+		alt.OrF(
+			alt.Exists([]*alt.Binding{alt.Bind("p", "P")},
+				alt.AndF(
+					alt.Eq(alt.Ref("A", "s"), alt.Ref("p", "s")),
+					alt.Eq(alt.Ref("A", "t"), alt.Ref("p", "t")))),
+			alt.Exists([]*alt.Binding{alt.Bind("p", "P"), alt.Bind("a2", "A")},
+				alt.AndF(
+					alt.Eq(alt.Ref("A", "s"), alt.Ref("p", "s")),
+					alt.Eq(alt.Ref("p", "t"), alt.Ref("a2", "s")),
+					alt.Eq(alt.Ref("A", "t"), alt.Ref("a2", "t")))),
+		))
+	if _, err := Render(col); err == nil || !strings.Contains(err.Error(), "recursive") {
+		t.Fatalf("want recursion error, got %v", err)
+	}
+}
+
+func TestRenderUnionFromOr(t *testing.T) {
+	col := alt.Col("Q", []string{"A"},
+		alt.OrF(
+			alt.Exists([]*alt.Binding{alt.Bind("r", "R")},
+				alt.Eq(alt.Ref("Q", "A"), alt.Ref("r", "A"))),
+			alt.Exists([]*alt.Binding{alt.Bind("s", "S")},
+				alt.Eq(alt.Ref("Q", "A"), alt.Ref("s", "B"))),
+		))
+	rels := []*relation.Relation{
+		relation.New("R", "A").Add(1),
+		relation.New("S", "B").Add(2),
+	}
+	arcToSQL(t, col, rels)
+	rendered, _ := RenderString(col)
+	if !strings.Contains(rendered, "UNION") {
+		t.Errorf("disjunction should render UNION: %s", rendered)
+	}
+}

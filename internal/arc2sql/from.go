@@ -1,0 +1,324 @@
+package arc2sql
+
+import (
+	"fmt"
+
+	"repro/internal/alt"
+	"repro/internal/sql"
+	"repro/internal/value"
+)
+
+// fromClause builds the FROM items of a scope. It returns, alongside the
+// table refs, a map from binding variables on nullable sides to the
+// JoinRef whose ON condition should receive predicates mentioning them.
+func (r *renderer) fromClause(q *alt.Quantifier, consts map[string]value.Value) ([]sql.TableRef, map[string]*sql.JoinRef, error) {
+	onOwner := map[string]*sql.JoinRef{}
+	byVar := map[string]*alt.Binding{}
+	for _, b := range q.Bindings {
+		byVar[b.Var] = b
+	}
+	covered := map[string]bool{}
+	var items []sql.TableRef
+	if q.Join != nil {
+		ref, err := r.joinRef(q.Join, byVar, covered, consts, onOwner)
+		if err != nil {
+			return nil, nil, err
+		}
+		if ref != nil {
+			items = append(items, ref)
+		}
+	}
+	for _, b := range q.Bindings {
+		if covered[b.Var] {
+			continue
+		}
+		ref, err := r.bindingRef(b)
+		if err != nil {
+			return nil, nil, err
+		}
+		items = append(items, ref)
+	}
+	return items, onOwner, nil
+}
+
+// joinRef converts a join annotation into SQL join syntax. Constant
+// leaves contribute no table: their comparisons fold into the enclosing
+// ON condition as literal tests.
+func (r *renderer) joinRef(j alt.JoinExpr, byVar map[string]*alt.Binding, covered map[string]bool,
+	consts map[string]value.Value, onOwner map[string]*sql.JoinRef) (sql.TableRef, error) {
+	switch x := j.(type) {
+	case *alt.JoinVar:
+		b := byVar[x.Var]
+		if b == nil {
+			return nil, fmt.Errorf("arc2sql: join annotation variable %q not bound", x.Var)
+		}
+		covered[x.Var] = true
+		return r.bindingRef(b)
+	case *alt.JoinConst:
+		// The constant singleton vanishes; its variable resolves to a
+		// literal wherever referenced.
+		covered[x.Var] = true
+		return nil, nil
+	case *alt.JoinOp:
+		var refs []sql.TableRef
+		var kidVars [][]string
+		for _, k := range x.Kids {
+			ref, err := r.joinRef(k, byVar, covered, consts, onOwner)
+			if err != nil {
+				return nil, err
+			}
+			kidVars = append(kidVars, alt.JoinVars(k, nil))
+			if ref != nil {
+				refs = append(refs, ref)
+			}
+		}
+		switch x.Kind {
+		case alt.JoinInner:
+			if len(refs) == 0 {
+				return nil, nil
+			}
+			out := refs[0]
+			for _, next := range refs[1:] {
+				out = &sql.JoinRef{Kind: sql.JoinCross, Left: out, Right: next}
+			}
+			return out, nil
+		case alt.JoinLeft, alt.JoinFull:
+			if len(refs) != 2 {
+				return nil, fmt.Errorf("arc2sql: outer join over constant-only side is not renderable")
+			}
+			kind := sql.JoinLeft
+			if x.Kind == alt.JoinFull {
+				kind = sql.JoinFull
+			}
+			jr := &sql.JoinRef{Kind: kind, Left: refs[0], Right: refs[1]}
+			// Predicates mentioning any nullable-side variable belong in
+			// this join's ON condition.
+			for _, v := range kidVars[1] {
+				onOwner[v] = jr
+			}
+			if x.Kind == alt.JoinFull {
+				for _, v := range kidVars[0] {
+					onOwner[v] = jr
+				}
+			}
+			return jr, nil
+		}
+	}
+	return nil, fmt.Errorf("arc2sql: unknown join expression %T", j)
+}
+
+func (r *renderer) bindingRef(b *alt.Binding) (sql.TableRef, error) {
+	if b.Sub != nil {
+		sub, err := r.collection(b.Sub)
+		if err != nil {
+			return nil, err
+		}
+		lateral := len(r.link.Correlated[b.Sub]) > 0
+		return &sql.SubqueryTable{Query: sub, Alias: b.Var, Lateral: lateral}, nil
+	}
+	return &sql.BaseTable{Name: b.Rel, Alias: b.Var}, nil
+}
+
+// onTargetFor returns the JoinRef whose ON clause should receive p, or
+// nil for WHERE placement.
+func (r *renderer) onTargetFor(p alt.Formula, onOwner map[string]*sql.JoinRef, q *alt.Quantifier) *sql.JoinRef {
+	if len(onOwner) == 0 {
+		return nil
+	}
+	for _, ref := range alt.FormulaAttrRefs(p, nil) {
+		res, ok := r.link.Refs[ref]
+		if !ok || res.Kind != alt.RefBinding {
+			continue
+		}
+		if r.link.BindingQuantifier[res.Binding] != q {
+			continue
+		}
+		if jr, ok := onOwner[ref.Var]; ok {
+			return jr
+		}
+	}
+	return nil
+}
+
+// formulaExpr renders a formula (predicate, negation, nested quantifier)
+// as a SQL boolean expression.
+func (r *renderer) formulaExpr(f alt.Formula, consts map[string]value.Value) (sql.Expr, error) {
+	switch x := f.(type) {
+	case *alt.Pred:
+		l, err := r.term(x.Left, consts)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := r.term(x.Right, consts)
+		if err != nil {
+			return nil, err
+		}
+		return &sql.Cmp{Op: x.Op, L: l, R: rt}, nil
+	case *alt.IsNull:
+		a, err := r.term(x.Arg, consts)
+		if err != nil {
+			return nil, err
+		}
+		return &sql.IsNullE{Arg: a, Negated: x.Negated}, nil
+	case *alt.And:
+		var kids []sql.Expr
+		for _, k := range x.Kids {
+			e, err := r.formulaExpr(k, consts)
+			if err != nil {
+				return nil, err
+			}
+			kids = append(kids, e)
+		}
+		if len(kids) == 1 {
+			return kids[0], nil
+		}
+		return &sql.AndE{Kids: kids}, nil
+	case *alt.Or:
+		var kids []sql.Expr
+		for _, k := range x.Kids {
+			e, err := r.formulaExpr(k, consts)
+			if err != nil {
+				return nil, err
+			}
+			kids = append(kids, e)
+		}
+		if len(kids) == 1 {
+			return kids[0], nil
+		}
+		return &sql.OrE{Kids: kids}, nil
+	case *alt.Not:
+		if q, ok := x.Kid.(*alt.Quantifier); ok {
+			e, err := r.existsExpr(q)
+			if err != nil {
+				return nil, err
+			}
+			e.(*sql.Exists).Negated = true
+			return e, nil
+		}
+		kid, err := r.formulaExpr(x.Kid, consts)
+		if err != nil {
+			return nil, err
+		}
+		return &sql.NotE{Kid: kid}, nil
+	case *alt.Quantifier:
+		return r.existsExpr(x)
+	}
+	return nil, fmt.Errorf("arc2sql: cannot render %T as a condition", f)
+}
+
+// existsExpr renders a boolean quantifier scope as EXISTS(SELECT 1 …);
+// grouped boolean scopes put their aggregate comparisons in HAVING (the
+// implicit-single-group reading of γ∅).
+func (r *renderer) existsExpr(q *alt.Quantifier) (sql.Expr, error) {
+	consts := map[string]value.Value{}
+	for jc, b := range r.link.ConstBindings {
+		if r.link.BindingQuantifier[b] == q {
+			consts[b.Var] = jc.Val
+		}
+	}
+	sel := &sql.Select{Items: []sql.SelectItem{{Expr: &sql.Lit{Val: value.Int(1)}}}}
+	from, onOwner, err := r.fromClause(q, consts)
+	if err != nil {
+		return nil, err
+	}
+	sel.From = from
+	var whereExprs, having []sql.Expr
+	for _, el := range alt.Spine(q.Body) {
+		if p, ok := el.(*alt.Pred); ok && (alt.ContainsAgg(p.Left) || alt.ContainsAgg(p.Right)) {
+			e, err := r.formulaExpr(p, consts)
+			if err != nil {
+				return nil, err
+			}
+			having = append(having, e)
+			continue
+		}
+		e, err := r.formulaExpr(el, consts)
+		if err != nil {
+			return nil, err
+		}
+		if owner := r.onTargetFor(el, onOwner, q); owner != nil {
+			owner.On = andMerge(owner.On, e)
+			continue
+		}
+		whereExprs = append(whereExprs, e)
+	}
+	if len(whereExprs) == 1 {
+		sel.Where = whereExprs[0]
+	} else if len(whereExprs) > 1 {
+		sel.Where = &sql.AndE{Kids: whereExprs}
+	}
+	if q.Grouping != nil {
+		for _, k := range q.Grouping.Keys {
+			sel.GroupBy = append(sel.GroupBy, &sql.ColRef{Table: k.Var, Column: k.Attr})
+		}
+	}
+	if len(having) > 0 {
+		if q.Grouping == nil {
+			return nil, fmt.Errorf("arc2sql: aggregate predicate outside a grouping scope")
+		}
+		if len(having) == 1 {
+			sel.Having = having[0]
+		} else {
+			sel.Having = &sql.AndE{Kids: having}
+		}
+	}
+	return &sql.Exists{Query: sel}, nil
+}
+
+// term renders an ARC term as a SQL expression, folding constant-leaf
+// variables back into literals.
+func (r *renderer) term(t alt.Term, consts map[string]value.Value) (sql.Expr, error) {
+	switch x := t.(type) {
+	case *alt.Const:
+		return &sql.Lit{Val: x.Val}, nil
+	case *alt.AttrRef:
+		if consts != nil && x.Attr == "val" {
+			if v, ok := consts[x.Var]; ok {
+				return &sql.Lit{Val: v}, nil
+			}
+		}
+		return &sql.ColRef{Table: x.Var, Column: x.Attr}, nil
+	case *alt.Arith:
+		l, err := r.term(x.L, consts)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := r.term(x.R, consts)
+		if err != nil {
+			return nil, err
+		}
+		var op rune
+		switch x.Op {
+		case alt.OpAdd:
+			op = '+'
+		case alt.OpSub:
+			op = '-'
+		case alt.OpMul:
+			op = '*'
+		case alt.OpDiv:
+			op = '/'
+		}
+		return &sql.BinE{Op: op, L: l, R: rt}, nil
+	case *alt.Agg:
+		arg, err := r.term(x.Arg, consts)
+		if err != nil {
+			return nil, err
+		}
+		switch x.Func {
+		case alt.AggCountDistinct:
+			return &sql.FuncE{Name: "count", Distinct: true, Arg: arg}, nil
+		case alt.AggSum:
+			return &sql.FuncE{Name: "sum", Arg: arg}, nil
+		case alt.AggCount:
+			return &sql.FuncE{Name: "count", Arg: arg}, nil
+		case alt.AggAvg:
+			return &sql.FuncE{Name: "avg", Arg: arg}, nil
+		case alt.AggMin:
+			return &sql.FuncE{Name: "min", Arg: arg}, nil
+		case alt.AggMax:
+			return &sql.FuncE{Name: "max", Arg: arg}, nil
+		}
+		return nil, fmt.Errorf("arc2sql: unknown aggregate %v", x.Func)
+	}
+	return nil, fmt.Errorf("arc2sql: cannot render term %T", t)
+}

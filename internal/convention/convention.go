@@ -1,0 +1,107 @@
+// Package convention implements the paper's "conventions instead of
+// languages" idea (Section 1, Section 2.6, Section 2.7): orthogonal,
+// environment-level semantic parameters under which a relational core is
+// interpreted. Changing a convention changes observable results but never
+// the relational pattern of the query, so the same ARC query can be run
+// under SQL conventions, Soufflé conventions, or pure set-logic
+// conventions by flipping switches here.
+package convention
+
+import "fmt"
+
+// Semantics selects the collection interpretation (Section 2.7).
+type Semantics int
+
+const (
+	// Set semantics: query results are deduplicated collections.
+	Set Semantics = iota
+	// Bag semantics: results keep multiplicities (SQL default).
+	Bag
+)
+
+// String names the semantics for harness output.
+func (s Semantics) String() string {
+	if s == Bag {
+		return "bag"
+	}
+	return "set"
+}
+
+// NullLogic selects how predicates treat missing values (Section 2.10).
+type NullLogic int
+
+const (
+	// ThreeValued is SQL's Kleene logic: NULL comparisons yield Unknown.
+	ThreeValued NullLogic = iota
+	// TwoValued has no Unknown; comparisons involving NULL are simply
+	// false (languages like Soufflé have no NULL at all, so the case
+	// never arises, but the evaluator needs a defined behaviour).
+	TwoValued
+)
+
+// String names the logic for harness output.
+func (n NullLogic) String() string {
+	if n == TwoValued {
+		return "2VL"
+	}
+	return "3VL"
+}
+
+// EmptyAggregate selects what SUM/AVG/MIN/MAX return over zero input rows
+// (Section 2.6: SQL says NULL; Soufflé says 0 for sum — it has no NULL).
+type EmptyAggregate int
+
+const (
+	// NullOnEmpty is the SQL convention: SUM() over zero rows is NULL.
+	NullOnEmpty EmptyAggregate = iota
+	// ZeroOnEmpty is the Soufflé convention: SUM() over zero rows is 0.
+	ZeroOnEmpty
+)
+
+// String names the convention for harness output.
+func (e EmptyAggregate) String() string {
+	if e == ZeroOnEmpty {
+		return "sum∅=0"
+	}
+	return "sum∅=NULL"
+}
+
+// Conventions bundles every orthogonal switch. The zero value is the
+// pure-set-logic environment (set semantics, 3VL, SQL aggregates), which
+// is what the paper's formal examples assume unless stated otherwise.
+type Conventions struct {
+	// Semantics is the set/bag switch.
+	Semantics Semantics
+	// NullLogic is the 2VL/3VL switch.
+	NullLogic NullLogic
+	// EmptyAggregate is the aggregate-initialization switch.
+	EmptyAggregate EmptyAggregate
+}
+
+// String renders the convention triple, e.g. "set/3VL/sum∅=NULL".
+func (c Conventions) String() string {
+	return fmt.Sprintf("%s/%s/%s", c.Semantics, c.NullLogic, c.EmptyAggregate)
+}
+
+// SetLogic is the textbook TRC environment: set semantics, three-valued
+// null handling, SQL aggregate conventions.
+func SetLogic() Conventions {
+	return Conventions{Semantics: Set, NullLogic: ThreeValued, EmptyAggregate: NullOnEmpty}
+}
+
+// SQL is the SQL environment: bag semantics, 3VL, SUM over empty = NULL.
+func SQL() Conventions {
+	return Conventions{Semantics: Bag, NullLogic: ThreeValued, EmptyAggregate: NullOnEmpty}
+}
+
+// SQLDistinct is SQL with a global DISTINCT (set output) — what the
+// paper's SELECT DISTINCT examples produce.
+func SQLDistinct() Conventions {
+	return Conventions{Semantics: Set, NullLogic: ThreeValued, EmptyAggregate: NullOnEmpty}
+}
+
+// Souffle is the Soufflé environment (Section 2.6): set semantics, no
+// NULL (two-valued logic), SUM over empty = 0.
+func Souffle() Conventions {
+	return Conventions{Semantics: Set, NullLogic: TwoValued, EmptyAggregate: ZeroOnEmpty}
+}

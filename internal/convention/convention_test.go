@@ -1,0 +1,43 @@
+package convention
+
+import "testing"
+
+func TestPresets(t *testing.T) {
+	if c := SQL(); c.Semantics != Bag || c.NullLogic != ThreeValued || c.EmptyAggregate != NullOnEmpty {
+		t.Errorf("SQL preset wrong: %v", c)
+	}
+	if c := Souffle(); c.Semantics != Set || c.NullLogic != TwoValued || c.EmptyAggregate != ZeroOnEmpty {
+		t.Errorf("Souffle preset wrong: %v", c)
+	}
+	if c := SetLogic(); c.Semantics != Set {
+		t.Errorf("SetLogic preset wrong: %v", c)
+	}
+	if c := SQLDistinct(); c.Semantics != Set || c.EmptyAggregate != NullOnEmpty {
+		t.Errorf("SQLDistinct preset wrong: %v", c)
+	}
+}
+
+func TestZeroValueIsSetLogic(t *testing.T) {
+	var c Conventions
+	if c != SetLogic() {
+		t.Errorf("zero Conventions = %v, want %v", c, SetLogic())
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if SQL().String() != "bag/3VL/sum∅=NULL" {
+		t.Errorf("SQL renders %q", SQL().String())
+	}
+	if Souffle().String() != "set/2VL/sum∅=0" {
+		t.Errorf("Souffle renders %q", Souffle().String())
+	}
+	if Set.String() != "set" || Bag.String() != "bag" {
+		t.Error("Semantics rendering")
+	}
+	if ThreeValued.String() != "3VL" || TwoValued.String() != "2VL" {
+		t.Error("NullLogic rendering")
+	}
+	if NullOnEmpty.String() != "sum∅=NULL" || ZeroOnEmpty.String() != "sum∅=0" {
+		t.Error("EmptyAggregate rendering")
+	}
+}

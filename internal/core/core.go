@@ -1,0 +1,160 @@
+// Package core is the public facade of the ARC library: one import that
+// exposes parsing (all three input languages), validation, evaluation
+// under conventions, translation (SQL ↔ ARC, Datalog → ARC, TRC → ARC),
+// the three modalities (comprehension text, ALT, higraph), and pattern
+// analysis. The examples and command-line tools are written against this
+// surface.
+package core
+
+import (
+	"repro/internal/alt"
+	"repro/internal/arc"
+	"repro/internal/arc2sql"
+	"repro/internal/convention"
+	"repro/internal/datalog"
+	"repro/internal/eval"
+	"repro/internal/higraph"
+	"repro/internal/pattern"
+	"repro/internal/relation"
+	"repro/internal/sql"
+	"repro/internal/sql2arc"
+	"repro/internal/sqleval"
+	"repro/internal/trc"
+)
+
+// Re-exported types. The facade keeps the one-package import ergonomic
+// without duplicating implementations.
+type (
+	// Collection is an ARC comprehension (the unit of definition).
+	Collection = alt.Collection
+	// Sentence is a Boolean ARC statement.
+	Sentence = alt.Sentence
+	// Relation is a flat named-perspective relation (set or bag).
+	Relation = relation.Relation
+	// Tuple is one row.
+	Tuple = relation.Tuple
+	// Catalog is the evaluation environment.
+	Catalog = eval.Catalog
+	// Conventions bundles the orthogonal semantic switches.
+	Conventions = convention.Conventions
+	// Signature is a relational-pattern summary.
+	Signature = pattern.Signature
+	// Higraph is the diagrammatic modality's data structure.
+	Higraph = higraph.Graph
+)
+
+// Convention presets (Section 2.6/2.7).
+var (
+	// SetLogic: set semantics, 3VL, SQL aggregate conventions.
+	SetLogic = convention.SetLogic
+	// SQL: bag semantics, 3VL, SUM over empty = NULL.
+	SQL = convention.SQL
+	// SQLDistinct: SQL conventions with set output.
+	SQLDistinct = convention.SQLDistinct
+	// Souffle: set semantics, 2VL, SUM over empty = 0.
+	Souffle = convention.Souffle
+)
+
+// NewRelation creates an empty relation.
+func NewRelation(name string, attrs ...string) *Relation { return relation.New(name, attrs...) }
+
+// NewCatalog creates an empty catalog; chain AddRelation / DefineView /
+// DefineAbstract / WithStandardExternals.
+func NewCatalog() *Catalog { return eval.NewCatalog() }
+
+// ParseARC parses ARC comprehension syntax (auto-detecting collection vs
+// sentence).
+func ParseARC(src string) (*Collection, *Sentence, error) { return arc.Parse(src) }
+
+// ParseARCCollection parses a "{Head | Body}" comprehension.
+func ParseARCCollection(src string) (*Collection, error) { return arc.ParseCollection(src) }
+
+// ParseTRC parses the loose textbook TRC form and normalizes it into a
+// strict ARC collection (Section 2.1).
+func ParseTRC(src string) (*Collection, error) {
+	q, err := trc.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	col, _, err := q.Normalize()
+	return col, err
+}
+
+// Validate links and validates a collection as a strict query, returning
+// the annotation (the higraph cross-references).
+func Validate(col *Collection) (*alt.Link, error) { return alt.ValidateCollection(col) }
+
+// Eval evaluates a collection against a catalog under conventions.
+func Eval(col *Collection, cat *Catalog, conv Conventions) (*Relation, error) {
+	return eval.Eval(col, cat, conv)
+}
+
+// EvalSentence evaluates a Boolean sentence.
+func EvalSentence(s *Sentence, cat *Catalog, conv Conventions) (bool, error) {
+	return eval.EvalSentence(s, cat, conv)
+}
+
+// FromSQL translates a SQL string into ARC (Section 5's SQL → ARC
+// direction, with the paper's canonical encodings).
+func FromSQL(src string) (*Collection, error) { return sql2arc.TranslateString(src) }
+
+// ToSQL renders an ARC collection back to SQL text.
+func ToSQL(col *Collection) (string, error) { return arc2sql.RenderString(col) }
+
+// EvalSQL runs a SQL string directly on relations with standard SQL
+// semantics (the independent baseline evaluator).
+func EvalSQL(src string, rels ...*Relation) (*Relation, error) {
+	db := sqleval.DB{}
+	for _, r := range rels {
+		db[r.Name()] = r
+	}
+	return sqleval.EvalString(src, db)
+}
+
+// FromDatalog parses a Datalog program and translates one predicate into
+// ARC; schemas names the attributes of every predicate used.
+func FromDatalog(src string, schemas map[string][]string, pred string) (*Collection, error) {
+	p, err := datalog.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return datalog.ToARC(p, schemas, pred)
+}
+
+// EvalDatalog runs a Datalog program under Soufflé conventions and
+// returns one predicate.
+func EvalDatalog(src string, pred string, rels ...*Relation) (*Relation, error) {
+	p, err := datalog.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	edb := datalog.EDB{}
+	for _, r := range rels {
+		edb[r.Name()] = r
+	}
+	return datalog.EvalPredicate(p, edb, pred)
+}
+
+// ALT renders the machine-facing tree modality (Fig 2a).
+func ALT(col *Collection) string { return alt.PrintTree(col) }
+
+// HigraphOf builds the diagrammatic modality (Fig 2b); render with
+// .ASCII() or .SVG().
+func HigraphOf(col *Collection) (*Higraph, error) { return higraph.Build(col) }
+
+// PatternSignature computes the relational-pattern summary.
+func PatternSignature(col *Collection) (*Signature, error) { return pattern.ComputeSignature(col) }
+
+// PatternSimilarity scores two patterns in [0,1].
+func PatternSimilarity(a, b *Signature) float64 { return pattern.Similarity(a, b) }
+
+// ClassifyAggregation reports FIO vs FOI (Section 2.5).
+func ClassifyAggregation(col *Collection) (pattern.AggPattern, error) {
+	return pattern.ClassifyAggregation(col)
+}
+
+// LintCountBug flags the Fig 21b decorrelation hazard.
+func LintCountBug(col *Collection) ([]pattern.Finding, error) { return pattern.LintCountBug(col) }
+
+// ParseSQL exposes the SQL parser for tooling.
+func ParseSQL(src string) (sql.Query, error) { return sql.Parse(src) }

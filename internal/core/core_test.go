@@ -1,0 +1,130 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEndToEndThroughFacade(t *testing.T) {
+	cat := NewCatalog().
+		AddRelation(NewRelation("R", "A", "B").Add(1, 10).Add(2, 20)).
+		AddRelation(NewRelation("S", "B", "C").Add(10, 0))
+	col, err := ParseARCCollection("{Q(A) | ∃r ∈ R, s ∈ S [Q.A = r.A ∧ r.B = s.B ∧ s.C = 0]}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Validate(col); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Eval(col, cat, SetLogic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Card() != 1 {
+		t.Fatalf("result:\n%s", got)
+	}
+	if !strings.Contains(ALT(col), "COLLECTION") {
+		t.Error("ALT rendering broken")
+	}
+	g, err := HigraphOf(col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(g.ASCII(), "head Q") {
+		t.Error("higraph rendering broken")
+	}
+}
+
+func TestSQLRoundTripThroughFacade(t *testing.T) {
+	col, err := FromSQL("select R.A, sum(R.B) sm from R group by R.A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sqlText, err := ToSQL(col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRelation("R", "A", "B").Add(1, 10).Add(1, 20)
+	want, err := EvalSQL("select R.A, sum(R.B) sm from R group by R.A", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := EvalSQL(sqlText, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.EqualSet(want) {
+		t.Fatalf("round trip:\n%s\n%s", got, want)
+	}
+}
+
+func TestDatalogThroughFacade(t *testing.T) {
+	p := NewRelation("P", "s", "t").Add(1, 2).Add(2, 3)
+	dl, err := EvalDatalog("A(x,y) :- P(x,y). A(x,y) :- P(x,z), A(z,y).", "A", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := FromDatalog("A(x,y) :- P(x,y). A(x,y) :- P(x,z), A(z,y).",
+		map[string][]string{"P": {"s", "t"}, "A": {"s", "t"}}, "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := NewCatalog().AddRelation(p)
+	arcRes, err := Eval(col, cat, Souffle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !arcRes.EqualSet(dl) {
+		t.Fatal("Datalog facade disagrees")
+	}
+}
+
+func TestTRCThroughFacade(t *testing.T) {
+	col, err := ParseTRC("{r.A | r ∈ R ∧ ∃s[r.B = s.B ∧ s ∈ S]}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col.Head.Rel != "Q" {
+		t.Fatalf("normalized head = %s", col.Head.Rel)
+	}
+}
+
+func TestPatternThroughFacade(t *testing.T) {
+	a, _ := ParseARCCollection("{Q(A, sm) | ∃r ∈ R, γ r.A [Q.A = r.A ∧ Q.sm = sum(r.B)]}")
+	sig, err := PatternSignature(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if PatternSimilarity(sig, sig) != 1 {
+		t.Error("self similarity")
+	}
+	if cls, _ := ClassifyAggregation(a); cls.String() != "FIO" {
+		t.Errorf("classification = %v", cls)
+	}
+	v2, _ := FromSQL(`select R.id from R,
+		(select S.id, count(S.d) as ct from S group by S.id) as X
+		where R.q = X.ct and R.id = X.id`)
+	f, err := LintCountBug(v2)
+	if err != nil || len(f) != 1 {
+		t.Errorf("lint through facade: %v %v", f, err)
+	}
+}
+
+func TestSentenceThroughFacade(t *testing.T) {
+	_, s, err := ParseARC("∃r ∈ R [r.q <= 5]")
+	if err != nil || s == nil {
+		t.Fatal(err)
+	}
+	cat := NewCatalog().AddRelation(NewRelation("R", "q").Add(3))
+	ok, err := EvalSentence(s, cat, SetLogic())
+	if err != nil || !ok {
+		t.Fatalf("sentence: %v %v", ok, err)
+	}
+}
+
+func TestParseSQLExposed(t *testing.T) {
+	q, err := ParseSQL("select R.A from R")
+	if err != nil || q == nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,338 @@
+package datalog
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/alt"
+	"repro/internal/convention"
+	"repro/internal/eval"
+	"repro/internal/relation"
+	"repro/internal/value"
+)
+
+func TestParseBasics(t *testing.T) {
+	p := MustParse(`
+		A(x,y) :- P(x,y).
+		A(x,y) :- P(x,z), A(z,y).
+	`)
+	if len(p.Rules) != 2 {
+		t.Fatalf("rules = %d", len(p.Rules))
+	}
+	if p.Rules[1].Head.Pred != "A" || len(p.Rules[1].Body) != 2 {
+		t.Fatalf("rule 2 = %s", p.Rules[1])
+	}
+}
+
+func TestParseAggregateRule(t *testing.T) {
+	// Paper query (15).
+	p := MustParse(`Q(ak,sm) :- R(ak,_), sm = sum b : {S(a,b), a < ak}.`)
+	r := p.Rules[0]
+	agg, ok := r.Body[1].(AggLiteral)
+	if !ok {
+		t.Fatalf("body[1] = %T", r.Body[1])
+	}
+	if agg.Func != "sum" || agg.Result != "sm" || len(agg.Body) != 2 {
+		t.Fatalf("aggregate = %+v", agg)
+	}
+	if _, ok := r.Body[0].(PosAtom); !ok {
+		t.Fatal("body[0] should be a positive atom")
+	}
+}
+
+func TestParseNegationAndComments(t *testing.T) {
+	p := MustParse(`
+		% unreached pairs
+		U(x,y) :- N(x), N(y), !E(x,y).
+	`)
+	if _, ok := p.Rules[0].Body[2].(NegAtom); !ok {
+		t.Fatalf("negation parse broken: %T", p.Rules[0].Body[2])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"A(x,y)",       // missing period
+		"A(x :- P(x).", // bad head
+		"A(x) :- P(x",  // unterminated
+		"A(x) :- x ~ 1.",
+		`A(x) :- P(x), y = sum z : {S(z).`,
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestAncestor(t *testing.T) {
+	p := MustParse(`
+		A(x,y) :- P(x,y).
+		A(x,y) :- P(x,z), A(z,y).
+	`)
+	edb := EDB{"P": relation.New("P", "s", "t").Add(1, 2).Add(2, 3).Add(3, 4)}
+	got, err := EvalPredicate(p, edb, "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := relation.New("W", "s", "t").
+		Add(1, 2).Add(2, 3).Add(3, 4).Add(1, 3).Add(2, 4).Add(1, 4)
+	if !got.EqualSet(want) {
+		t.Fatalf("ancestor:\n%s", got)
+	}
+}
+
+func TestStratifiedNegation(t *testing.T) {
+	p := MustParse(`
+		R(x,y) :- E(x,y).
+		R(x,y) :- E(x,z), R(z,y).
+		Un(x,y) :- N(x), N(y), !R(x,y).
+	`)
+	edb := EDB{
+		"E": relation.New("E", "s", "t").Add(1, 2),
+		"N": relation.New("N", "v").Add(1).Add(2),
+	}
+	got, err := EvalPredicate(p, edb, "Un")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := relation.New("W", "a", "b").Add(1, 1).Add(2, 1).Add(2, 2)
+	if !got.EqualSet(want) {
+		t.Fatalf("unreachable:\n%s", got)
+	}
+}
+
+func TestUnstratifiableRejected(t *testing.T) {
+	p := MustParse(`
+		A(x) :- N(x), !B(x).
+		B(x) :- N(x), !A(x).
+	`)
+	edb := EDB{"N": relation.New("N", "v").Add(1)}
+	if _, err := EvalProgram(p, edb); err == nil ||
+		!strings.Contains(err.Error(), "stratifiable") {
+		t.Fatalf("want stratification error, got %v", err)
+	}
+}
+
+func TestSouffleSumEmptyIsZero(t *testing.T) {
+	// Section 2.6 / query (15): Q(1,0) on R={(1,2)}, S=∅.
+	p := MustParse(`Q(ak,sm) :- R(ak,_), sm = sum b : {S(a,b), a < ak}.`)
+	edb := EDB{
+		"R": relation.New("R", "ak", "b").Add(1, 2),
+		"S": relation.New("S", "a", "b"),
+	}
+	got, err := EvalPredicate(p, edb, "Q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := relation.New("W", "ak", "sm").Add(1, 0)
+	if !got.EqualSet(want) {
+		t.Fatalf("Soufflé sum over empty:\n%s", got)
+	}
+}
+
+func TestAggregateGrouping(t *testing.T) {
+	// FOI grouped aggregate (query (6)): Q(a, sum b : {R(a,b)}) :- R(a,_).
+	p := MustParse(`Q(a,sm) :- R(a,_), sm = sum b : {R(a,b)}.`)
+	edb := EDB{"R": relation.New("R", "a", "b").Add(1, 10).Add(1, 20).Add(2, 5)}
+	got, err := EvalPredicate(p, edb, "Q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := relation.New("W", "a", "sm").Add(1, 30).Add(2, 5)
+	if !got.EqualSet(want) {
+		t.Fatalf("grouped sum:\n%s", got)
+	}
+}
+
+func TestAggregateNoExport(t *testing.T) {
+	// Soufflé: "you cannot export information from within the body of an
+	// aggregate" — b must not leak out.
+	p := MustParse(`Q(a,b) :- R(a,_), c = count : {S(a2,b), a2 = a}.`)
+	edb := EDB{
+		"R": relation.New("R", "a", "x").Add(1, 0),
+		"S": relation.New("S", "a", "b").Add(1, 7),
+	}
+	_, err := EvalPredicate(p, edb, "Q")
+	if err == nil || !strings.Contains(err.Error(), "not grounded") {
+		t.Fatalf("want grounding error for exported aggregate variable, got %v", err)
+	}
+}
+
+func TestMinMaxMeanCount(t *testing.T) {
+	p := MustParse(`
+		Mn(m) :- m = min b : {R(_,b)}.
+		Mx(m) :- m = max b : {R(_,b)}.
+		Me(m) :- m = mean b : {R(_,b)}.
+		Ct(c) :- c = count : {R(_,_)}.
+	`)
+	edb := EDB{"R": relation.New("R", "a", "b").Add(1, 10).Add(2, 20)}
+	out, err := EvalProgram(p, edb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out["Mn"].Contains(relation.Tuple{value.Int(10)}) ||
+		!out["Mx"].Contains(relation.Tuple{value.Int(20)}) ||
+		!out["Me"].Contains(relation.Tuple{value.Float(15)}) ||
+		!out["Ct"].Contains(relation.Tuple{value.Int(2)}) {
+		t.Fatalf("aggregates: Mn=%s Mx=%s Me=%s Ct=%s", out["Mn"], out["Mx"], out["Me"], out["Ct"])
+	}
+	// min over an empty body derives nothing.
+	empty := EDB{"R": relation.New("R", "a", "b")}
+	out2, err := EvalProgram(p, empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2["Mn"].Card() != 0 {
+		t.Fatal("min over empty should derive nothing")
+	}
+	if !out2["Ct"].Contains(relation.Tuple{value.Int(0)}) {
+		t.Fatal("count over empty is 0")
+	}
+}
+
+func TestArithmeticAssignment(t *testing.T) {
+	p := MustParse(`Q(x,y) :- R(x), y = x * 2 + 1.`)
+	edb := EDB{"R": relation.New("R", "v").Add(3)}
+	got, err := EvalPredicate(p, edb, "Q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Contains(relation.Tuple{value.Int(3), value.Int(7)}) {
+		t.Fatalf("arithmetic:\n%s", got)
+	}
+}
+
+func TestFacts(t *testing.T) {
+	p := MustParse(`
+		F(1,2).
+		F(2,3).
+		G(x) :- F(x,_).
+	`)
+	got, err := EvalPredicate(p, EDB{}, "G")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := relation.New("W", "x").Add(1).Add(2)
+	if !got.EqualSet(want) {
+		t.Fatalf("facts:\n%s", got)
+	}
+}
+
+// --- Datalog → ARC -------------------------------------------------------
+
+func TestToARCAncestorMatchesDatalog(t *testing.T) {
+	p := MustParse(`
+		A(x,y) :- P(x,y).
+		A(x,y) :- P(x,z), A(z,y).
+	`)
+	pRel := relation.New("P", "s", "t").Add(1, 2).Add(2, 3).Add(3, 4).Add(10, 11)
+	col, err := ToARC(p, map[string][]string{"P": {"s", "t"}, "A": {"s", "t"}}, "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	link, err := alt.ValidateCollection(col)
+	if err != nil {
+		t.Fatalf("translated ALT invalid: %v\n%s", err, alt.PrintTree(col))
+	}
+	if !link.RecursiveCols[col] {
+		t.Fatal("translation must preserve recursion")
+	}
+	cat := eval.NewCatalog().AddRelation(pRel)
+	arcRes, err := eval.Eval(col, cat, convention.Souffle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dlRes, err := EvalPredicate(p, EDB{"P": pRel}, "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !arcRes.EqualSet(dlRes) {
+		t.Fatalf("ARC and Datalog disagree:\n%s\n%s", arcRes, dlRes)
+	}
+}
+
+func TestToARCAggregateMatchesDatalog(t *testing.T) {
+	// Query (15) under Soufflé conventions through both engines.
+	p := MustParse(`Q(ak,sm) :- R(ak,_), sm = sum b : {S(a,b), a < ak}.`)
+	rRel := relation.New("R", "ak", "b").Add(1, 2).Add(5, 9)
+	sRel := relation.New("S", "a", "b").Add(2, 100).Add(3, 50)
+	schemas := map[string][]string{"R": {"ak", "b"}, "S": {"a", "b"}, "Q": {"ak", "sm"}}
+	col, err := ToARC(p, schemas, "Q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := eval.NewCatalog().AddRelation(rRel).AddRelation(sRel)
+	arcRes, err := eval.Eval(col, cat, convention.Souffle())
+	if err != nil {
+		t.Fatalf("%v\n%s", err, alt.PrintTree(col))
+	}
+	dlRes, err := EvalPredicate(p, EDB{"R": rRel, "S": sRel}, "Q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !arcRes.EqualSet(dlRes) {
+		t.Fatalf("ARC and Datalog disagree:\narc %s\ndl  %s", arcRes, dlRes)
+	}
+	// The empty-S instance shows the convention: Q(1,0) and Q(5,0).
+	cat2 := eval.NewCatalog().AddRelation(rRel).AddRelation(relation.New("S", "a", "b"))
+	arc2, err := eval.Eval(col, cat2, convention.Souffle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !arc2.Contains(relation.Tuple{value.Int(1), value.Int(0)}) {
+		t.Fatalf("Soufflé convention lost in ARC:\n%s", arc2)
+	}
+}
+
+func TestToARCNegation(t *testing.T) {
+	p := MustParse(`Only(x) :- N(x), !M(x).`)
+	n := relation.New("N", "v").Add(1).Add(2).Add(3)
+	m := relation.New("M", "v").Add(2)
+	col, err := ToARC(p, map[string][]string{"N": {"v"}, "M": {"v"}, "Only": {"v"}}, "Only")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := eval.NewCatalog().AddRelation(n).AddRelation(m)
+	arcRes, err := eval.Eval(col, cat, convention.Souffle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dlRes, err := EvalPredicate(p, EDB{"N": n, "M": m}, "Only")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !arcRes.EqualSet(dlRes) {
+		t.Fatalf("negation translation:\n%s\n%s", arcRes, dlRes)
+	}
+}
+
+func TestToARCConstantsInHeadAndBody(t *testing.T) {
+	p := MustParse(`Q(x, 99) :- R(x, 1).`)
+	r := relation.New("R", "a", "b").Add(7, 1).Add(8, 2)
+	col, err := ToARC(p, map[string][]string{"R": {"a", "b"}, "Q": {"x", "c"}}, "Q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := eval.NewCatalog().AddRelation(r)
+	got, err := eval.Eval(col, cat, convention.Souffle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := relation.New("W", "x", "c").Add(7, 99)
+	if !got.EqualSet(want) {
+		t.Fatalf("constants:\n%s", got)
+	}
+}
+
+func TestProgramString(t *testing.T) {
+	src := `Q(ak,sm) :- R(ak,_), sm = sum b : {S(a,b), a < ak}.`
+	p := MustParse(src)
+	printed := p.String()
+	p2, err := Parse(printed)
+	if err != nil {
+		t.Fatalf("reparse %q: %v", printed, err)
+	}
+	if p2.String() != printed {
+		t.Fatalf("printing unstable:\n%s\n%s", printed, p2.String())
+	}
+}

@@ -1,0 +1,587 @@
+package datalog
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/relation"
+	"repro/internal/value"
+)
+
+// EDB maps extensional predicate names to relations.
+type EDB map[string]*relation.Relation
+
+// maxFixpointIterations bounds the stratum fixpoint loop.
+const maxFixpointIterations = 1000000
+
+// EvalProgram evaluates a stratified Datalog program over an EDB and
+// returns every IDB relation. Semantics follow Soufflé's conventions
+// (Section 2.6): no NULLs, two-valued logic, sum/count over an empty
+// aggregate body yield 0, min/max/mean over an empty body fail (derive
+// nothing).
+func EvalProgram(p *Program, edb EDB) (map[string]*relation.Relation, error) {
+	e := &dlEval{edb: edb, idb: map[string]*relation.Relation{}}
+	if err := e.prepare(p); err != nil {
+		return nil, err
+	}
+	strata, err := stratify(p)
+	if err != nil {
+		return nil, err
+	}
+	for _, rules := range strata {
+		if err := e.fixpoint(rules); err != nil {
+			return nil, err
+		}
+	}
+	return e.idb, nil
+}
+
+// EvalPredicate evaluates the program and returns one predicate.
+func EvalPredicate(p *Program, edb EDB, pred string) (*relation.Relation, error) {
+	out, err := EvalProgram(p, edb)
+	if err != nil {
+		return nil, err
+	}
+	rel, ok := out[pred]
+	if !ok {
+		return nil, fmt.Errorf("datalog: predicate %q is not derived by the program", pred)
+	}
+	return rel, nil
+}
+
+type dlEval struct {
+	edb EDB
+	idb map[string]*relation.Relation
+}
+
+// prepare creates empty IDB relations with positional attribute names and
+// checks arity consistency.
+func (e *dlEval) prepare(p *Program) error {
+	arity := map[string]int{}
+	for _, r := range p.Rules {
+		if prev, ok := arity[r.Head.Pred]; ok && prev != len(r.Head.Args) {
+			return fmt.Errorf("datalog: predicate %s used with arities %d and %d", r.Head.Pred, prev, len(r.Head.Args))
+		}
+		arity[r.Head.Pred] = len(r.Head.Args)
+		if _, isEDB := e.edb[r.Head.Pred]; isEDB {
+			return fmt.Errorf("datalog: predicate %s is both extensional and derived", r.Head.Pred)
+		}
+	}
+	for pred, k := range arity {
+		attrs := make([]string, k)
+		for i := range attrs {
+			attrs[i] = fmt.Sprintf("x%d", i+1)
+		}
+		e.idb[pred] = relation.New(pred, attrs...)
+	}
+	return nil
+}
+
+func (e *dlEval) rel(pred string) *relation.Relation {
+	if r, ok := e.idb[pred]; ok {
+		return r
+	}
+	return e.edb[pred]
+}
+
+// stratify orders rules into strata such that negated and aggregated
+// dependencies are fully computed in earlier strata.
+func stratify(p *Program) ([][]*Rule, error) {
+	idb := map[string]bool{}
+	for _, r := range p.Rules {
+		idb[r.Head.Pred] = true
+	}
+	stratum := map[string]int{}
+	n := len(idb) + 1
+	changed := true
+	for round := 0; changed; round++ {
+		if round > n*n+1 {
+			return nil, fmt.Errorf("datalog: program is not stratifiable (negation or aggregation through recursion)")
+		}
+		changed = false
+		for _, r := range p.Rules {
+			h := r.Head.Pred
+			for _, l := range r.Body {
+				var dep string
+				bump := 0
+				switch x := l.(type) {
+				case PosAtom:
+					dep = x.Atom.Pred
+				case NegAtom:
+					dep, bump = x.Atom.Pred, 1
+				case AggLiteral:
+					// Everything inside an aggregate body must be complete
+					// before the aggregate is taken.
+					for _, bl := range x.Body {
+						var d string
+						switch y := bl.(type) {
+						case PosAtom:
+							d = y.Atom.Pred
+						case NegAtom:
+							d = y.Atom.Pred
+						}
+						if d != "" && idb[d] && stratum[h] < stratum[d]+1 {
+							stratum[h] = stratum[d] + 1
+							changed = true
+						}
+					}
+					continue
+				default:
+					continue
+				}
+				if !idb[dep] {
+					continue
+				}
+				if stratum[h] < stratum[dep]+bump {
+					stratum[h] = stratum[dep] + bump
+					changed = true
+				}
+			}
+		}
+	}
+	maxS := 0
+	for _, s := range stratum {
+		if s > maxS {
+			maxS = s
+		}
+	}
+	out := make([][]*Rule, maxS+1)
+	for _, r := range p.Rules {
+		s := stratum[r.Head.Pred]
+		out[s] = append(out[s], r)
+	}
+	return out, nil
+}
+
+// fixpoint runs one stratum's rules to their least fixed point.
+func (e *dlEval) fixpoint(rules []*Rule) error {
+	for iter := 0; iter < maxFixpointIterations; iter++ {
+		grew := false
+		for _, r := range rules {
+			added, err := e.applyRule(r)
+			if err != nil {
+				return err
+			}
+			grew = grew || added
+		}
+		if !grew {
+			return nil
+		}
+	}
+	return fmt.Errorf("datalog: fixpoint did not converge")
+}
+
+type bindings map[string]value.Value
+
+func (b bindings) clone() bindings {
+	nb := make(bindings, len(b)+1)
+	for k, v := range b {
+		nb[k] = v
+	}
+	return nb
+}
+
+// applyRule derives all consequences of one rule; returns whether any new
+// tuple appeared.
+func (e *dlEval) applyRule(r *Rule) (bool, error) {
+	head := e.idb[r.Head.Pred]
+	added := false
+	err := e.solve(r.Body, bindings{}, func(b bindings) error {
+		t := make(relation.Tuple, len(r.Head.Args))
+		for i, a := range r.Head.Args {
+			switch x := a.(type) {
+			case Var:
+				v, ok := b[x.Name]
+				if !ok {
+					return fmt.Errorf("datalog: head variable %q of %s is not grounded", x.Name, r.Head.Pred)
+				}
+				t[i] = v
+			case Const:
+				t[i] = x.Val
+			case Wildcard:
+				return fmt.Errorf("datalog: wildcard in rule head of %s", r.Head.Pred)
+			}
+		}
+		if !head.Contains(t) {
+			head.Insert(t)
+			added = true
+		}
+		return nil
+	})
+	return added, err
+}
+
+// solve enumerates all groundings of body, calling emit per solution. It
+// greedily picks the next evaluable literal (positive atoms always;
+// comparisons/negation/aggregates once their inputs are bound; an
+// equality with exactly one unbound side acts as an assignment).
+func (e *dlEval) solve(body []Literal, b bindings, emit func(bindings) error) error {
+	if len(body) == 0 {
+		return emit(b)
+	}
+	pick := -1
+	for i, l := range body {
+		if e.ready(l, b) {
+			pick = i
+			break
+		}
+	}
+	if pick < 0 {
+		return fmt.Errorf("datalog: no literal evaluable in %v with bindings %v (ungroundable rule)", body, b)
+	}
+	l := body[pick]
+	rest := make([]Literal, 0, len(body)-1)
+	rest = append(rest, body[:pick]...)
+	rest = append(rest, body[pick+1:]...)
+	return e.eachSolution(l, b, func(nb bindings) error {
+		return e.solve(rest, nb, emit)
+	})
+}
+
+func (e *dlEval) ready(l Literal, b bindings) bool {
+	switch x := l.(type) {
+	case PosAtom:
+		return e.rel(x.Atom.Pred) != nil
+	case NegAtom:
+		if e.rel(x.Atom.Pred) == nil {
+			return false
+		}
+		for _, a := range x.Atom.Args {
+			if v, ok := a.(Var); ok {
+				if _, bound := b[v.Name]; !bound {
+					return false
+				}
+			}
+		}
+		return true
+	case Cmp:
+		lOK := exprBound(x.L, b)
+		rOK := exprBound(x.R, b)
+		if lOK && rOK {
+			return true
+		}
+		// Assignment form: single unbound variable on one side of "=".
+		if x.Op == value.Eq {
+			if lv, ok := soleVar(x.L); ok && !lOK && rOK {
+				_ = lv
+				return true
+			}
+			if rv, ok := soleVar(x.R); ok && !rOK && lOK {
+				_ = rv
+				return true
+			}
+		}
+		return false
+	case AggLiteral:
+		// Parameters (variables of the body that are bound outside) must
+		// be bound; local variables ground inside.
+		for _, v := range aggParams(x, b) {
+			if _, ok := b[v]; !ok {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// aggParams lists body variables of an aggregate that are already bound
+// in the outer scope (the correlation parameters).
+func aggParams(a AggLiteral, b bindings) []string {
+	seen := map[string]bool{}
+	var out []string
+	var walkExpr func(Expr)
+	walkExpr = func(e Expr) {
+		switch x := e.(type) {
+		case TermExpr:
+			if v, ok := x.T.(Var); ok && !seen[v.Name] {
+				seen[v.Name] = true
+				if _, bound := b[v.Name]; bound {
+					out = append(out, v.Name)
+				}
+			}
+		case BinExpr:
+			walkExpr(x.L)
+			walkExpr(x.R)
+		}
+	}
+	var walkLits func([]Literal)
+	walkLits = func(ls []Literal) {
+		for _, l := range ls {
+			switch x := l.(type) {
+			case PosAtom:
+				for _, t := range x.Atom.Args {
+					if v, ok := t.(Var); ok && !seen[v.Name] {
+						seen[v.Name] = true
+						if _, bound := b[v.Name]; bound {
+							out = append(out, v.Name)
+						}
+					}
+				}
+			case NegAtom:
+				for _, t := range x.Atom.Args {
+					if v, ok := t.(Var); ok && !seen[v.Name] {
+						seen[v.Name] = true
+						if _, bound := b[v.Name]; bound {
+							out = append(out, v.Name)
+						}
+					}
+				}
+			case Cmp:
+				walkExpr(x.L)
+				walkExpr(x.R)
+			case AggLiteral:
+				walkLits(x.Body)
+			}
+		}
+	}
+	walkLits(a.Body)
+	sort.Strings(out)
+	return out
+}
+
+func exprBound(e Expr, b bindings) bool {
+	switch x := e.(type) {
+	case TermExpr:
+		if v, ok := x.T.(Var); ok {
+			_, bound := b[v.Name]
+			return bound
+		}
+		return true
+	case BinExpr:
+		return exprBound(x.L, b) && exprBound(x.R, b)
+	}
+	return false
+}
+
+func soleVar(e Expr) (string, bool) {
+	t, ok := e.(TermExpr)
+	if !ok {
+		return "", false
+	}
+	v, ok := t.T.(Var)
+	return v.Name, ok
+}
+
+func evalExpr(e Expr, b bindings) (value.Value, error) {
+	switch x := e.(type) {
+	case TermExpr:
+		switch t := x.T.(type) {
+		case Var:
+			v, ok := b[t.Name]
+			if !ok {
+				return value.Null(), fmt.Errorf("datalog: unbound variable %q", t.Name)
+			}
+			return v, nil
+		case Const:
+			return t.Val, nil
+		}
+		return value.Null(), fmt.Errorf("datalog: wildcard in expression")
+	case BinExpr:
+		l, err := evalExpr(x.L, b)
+		if err != nil {
+			return value.Null(), err
+		}
+		r, err := evalExpr(x.R, b)
+		if err != nil {
+			return value.Null(), err
+		}
+		var out value.Value
+		var ok bool
+		switch x.Op {
+		case '+':
+			out, ok = value.Add(l, r)
+		case '-':
+			out, ok = value.Sub(l, r)
+		case '*':
+			out, ok = value.Mul(l, r)
+		case '/':
+			out, ok = value.Div(l, r)
+		}
+		if !ok {
+			return value.Null(), fmt.Errorf("datalog: type error in %s", x)
+		}
+		return out, nil
+	}
+	return value.Null(), fmt.Errorf("datalog: unknown expression %T", e)
+}
+
+func (e *dlEval) eachSolution(l Literal, b bindings, k func(bindings) error) error {
+	switch x := l.(type) {
+	case PosAtom:
+		rel := e.rel(x.Atom.Pred)
+		if rel == nil {
+			return fmt.Errorf("datalog: unknown predicate %q", x.Atom.Pred)
+		}
+		if rel.Arity() != len(x.Atom.Args) {
+			return fmt.Errorf("datalog: %s used with arity %d, has %d", x.Atom.Pred, len(x.Atom.Args), rel.Arity())
+		}
+		var failure error
+		for _, t := range rel.Tuples() {
+			nb, ok := unify(x.Atom, t, b)
+			if !ok {
+				continue
+			}
+			if err := k(nb); err != nil {
+				failure = err
+				break
+			}
+		}
+		return failure
+	case NegAtom:
+		rel := e.rel(x.Atom.Pred)
+		if rel == nil {
+			return fmt.Errorf("datalog: unknown predicate %q", x.Atom.Pred)
+		}
+		for _, t := range rel.Tuples() {
+			if _, ok := unify(x.Atom, t, b); ok {
+				return nil // a match exists: negation fails
+			}
+		}
+		return k(b)
+	case Cmp:
+		lOK := exprBound(x.L, b)
+		rOK := exprBound(x.R, b)
+		if lOK && rOK {
+			l, err := evalExpr(x.L, b)
+			if err != nil {
+				return err
+			}
+			r, err := evalExpr(x.R, b)
+			if err != nil {
+				return err
+			}
+			if x.Op.Apply(l, r) == value.True {
+				return k(b)
+			}
+			return nil
+		}
+		// Assignment.
+		var name string
+		var src Expr
+		if v, ok := soleVar(x.L); ok && !lOK {
+			name, src = v, x.R
+		} else if v, ok := soleVar(x.R); ok && !rOK {
+			name, src = v, x.L
+		} else {
+			return fmt.Errorf("datalog: comparison %s is not evaluable", x)
+		}
+		v, err := evalExpr(src, b)
+		if err != nil {
+			return err
+		}
+		nb := b.clone()
+		nb[name] = v
+		return k(nb)
+	case AggLiteral:
+		v, ok, err := e.aggregate(x, b)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil // min/max/mean over empty body derives nothing
+		}
+		if prev, bound := b[x.Result]; bound {
+			if value.Eq.Apply(prev, v) == value.True {
+				return k(b)
+			}
+			return nil
+		}
+		nb := b.clone()
+		nb[x.Result] = v
+		return k(nb)
+	}
+	return fmt.Errorf("datalog: unknown literal %T", l)
+}
+
+// aggregate evaluates a Soufflé aggregate: local variables ground inside
+// the body and do not export (Section 2.5's FOI discussion); outer
+// bindings parameterize the body.
+func (e *dlEval) aggregate(a AggLiteral, b bindings) (value.Value, bool, error) {
+	var vals []value.Value
+	err := e.solve(a.Body, b, func(nb bindings) error {
+		if a.Expr == nil {
+			vals = append(vals, value.Int(1))
+			return nil
+		}
+		v, err := evalExpr(a.Expr, nb)
+		if err != nil {
+			return err
+		}
+		vals = append(vals, v)
+		return nil
+	})
+	if err != nil {
+		return value.Null(), false, err
+	}
+	switch a.Func {
+	case "count":
+		return value.Int(int64(len(vals))), true, nil
+	case "sum":
+		// Soufflé convention: sum over the empty set is 0 (Section 2.6).
+		out := value.Int(0)
+		for _, v := range vals {
+			s, ok := value.Add(out, v)
+			if !ok {
+				return value.Null(), false, fmt.Errorf("datalog: sum over non-numeric %v", v)
+			}
+			out = s
+		}
+		return out, true, nil
+	case "min", "max":
+		if len(vals) == 0 {
+			return value.Null(), false, nil
+		}
+		out := vals[0]
+		for _, v := range vals[1:] {
+			c, ok := v.Compare(out)
+			if !ok {
+				return value.Null(), false, fmt.Errorf("datalog: incomparable values in %s", a.Func)
+			}
+			if (a.Func == "min" && c < 0) || (a.Func == "max" && c > 0) {
+				out = v
+			}
+		}
+		return out, true, nil
+	case "mean":
+		if len(vals) == 0 {
+			return value.Null(), false, nil
+		}
+		sum := 0.0
+		for _, v := range vals {
+			if !v.IsNumeric() {
+				return value.Null(), false, fmt.Errorf("datalog: mean over non-numeric %v", v)
+			}
+			sum += v.AsFloat()
+		}
+		return value.Float(sum / float64(len(vals))), true, nil
+	}
+	return value.Null(), false, fmt.Errorf("datalog: unknown aggregate %q", a.Func)
+}
+
+func unify(a Atom, t relation.Tuple, b bindings) (bindings, bool) {
+	nb := b
+	cloned := false
+	for i, arg := range a.Args {
+		switch x := arg.(type) {
+		case Wildcard:
+		case Const:
+			if value.Eq.Apply(x.Val, t[i]) != value.True {
+				return nil, false
+			}
+		case Var:
+			if v, ok := nb[x.Name]; ok {
+				if value.Eq.Apply(v, t[i]) != value.True {
+					return nil, false
+				}
+				continue
+			}
+			if !cloned {
+				nb = b.clone()
+				cloned = true
+			}
+			nb[x.Name] = t[i]
+		}
+	}
+	return nb, true
+}

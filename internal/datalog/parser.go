@@ -1,0 +1,374 @@
+package datalog
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"repro/internal/value"
+)
+
+// Parse parses a Datalog program in Soufflé-like syntax: one rule per
+// "…." ; "%"- and "//"-style comments; "!" for negation; aggregates as
+// "v = sum x : {…}".
+func Parse(src string) (*Program, error) {
+	toks, err := lexDL(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &dlParser{toks: toks}
+	prog := &Program{}
+	for !p.atEOF() {
+		r, err := p.rule()
+		if err != nil {
+			return nil, err
+		}
+		prog.Rules = append(prog.Rules, r)
+	}
+	return prog, nil
+}
+
+// MustParse parses or panics; for fixtures.
+func MustParse(src string) *Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type dlTok struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tNumber
+	tString
+	tSym
+)
+
+func lexDL(src string) ([]dlTok, error) {
+	var toks []dlTok
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '%' || (c == '/' && i+1 < len(src) && src[i+1] == '/'):
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start := i
+			for i < len(src) && (unicode.IsLetter(rune(src[i])) || unicode.IsDigit(rune(src[i])) || src[i] == '_') {
+				i++
+			}
+			toks = append(toks, dlTok{kind: tIdent, text: src[start:i], pos: start})
+		case c >= '0' && c <= '9':
+			start := i
+			for i < len(src) && (src[i] >= '0' && src[i] <= '9' || src[i] == '.') {
+				if src[i] == '.' && (i+1 >= len(src) || src[i+1] < '0' || src[i+1] > '9') {
+					break
+				}
+				i++
+			}
+			toks = append(toks, dlTok{kind: tNumber, text: src[start:i], pos: start})
+		case c == '"':
+			j := strings.IndexByte(src[i+1:], '"')
+			if j < 0 {
+				return nil, fmt.Errorf("datalog: unterminated string at %d", i)
+			}
+			toks = append(toks, dlTok{kind: tString, text: src[i+1 : i+1+j], pos: i})
+			i += j + 2
+		default:
+			if i+1 < len(src) {
+				two := src[i : i+2]
+				switch two {
+				case ":-", "<=", ">=", "!=":
+					toks = append(toks, dlTok{kind: tSym, text: two, pos: i})
+					i += 2
+					continue
+				}
+			}
+			switch c {
+			case '(', ')', '{', '}', ',', '.', ':', '!', '=', '<', '>', '+', '-', '*', '/', '_':
+				toks = append(toks, dlTok{kind: tSym, text: string(c), pos: i})
+				i++
+			default:
+				return nil, fmt.Errorf("datalog: unexpected character %q at %d", string(c), i)
+			}
+		}
+	}
+	toks = append(toks, dlTok{kind: tEOF, pos: len(src)})
+	return toks, nil
+}
+
+type dlParser struct {
+	toks []dlTok
+	pos  int
+}
+
+func (p *dlParser) peek() dlTok { return p.toks[p.pos] }
+func (p *dlParser) atEOF() bool { return p.peek().kind == tEOF }
+func (p *dlParser) next() dlTok {
+	t := p.toks[p.pos]
+	if t.kind != tEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *dlParser) errf(format string, args ...any) error {
+	return fmt.Errorf("datalog: %s (near offset %d)", fmt.Sprintf(format, args...), p.peek().pos)
+}
+
+func (p *dlParser) acceptSym(s string) bool {
+	if t := p.peek(); t.kind == tSym && t.text == s {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *dlParser) expectSym(s string) error {
+	if !p.acceptSym(s) {
+		return p.errf("expected %q, found %q", s, p.peek().text)
+	}
+	return nil
+}
+
+func (p *dlParser) rule() (*Rule, error) {
+	head, err := p.atom()
+	if err != nil {
+		return nil, err
+	}
+	r := &Rule{Head: head}
+	if p.acceptSym(":-") {
+		for {
+			l, err := p.literal()
+			if err != nil {
+				return nil, err
+			}
+			r.Body = append(r.Body, l)
+			if !p.acceptSym(",") {
+				break
+			}
+		}
+	}
+	if err := p.expectSym("."); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func (p *dlParser) atom() (Atom, error) {
+	name := p.next()
+	if name.kind != tIdent {
+		return Atom{}, p.errf("expected predicate name, found %q", name.text)
+	}
+	a := Atom{Pred: name.text}
+	if err := p.expectSym("("); err != nil {
+		return Atom{}, err
+	}
+	if p.acceptSym(")") {
+		return a, nil
+	}
+	for {
+		t, err := p.term()
+		if err != nil {
+			return Atom{}, err
+		}
+		a.Args = append(a.Args, t)
+		if !p.acceptSym(",") {
+			break
+		}
+	}
+	if err := p.expectSym(")"); err != nil {
+		return Atom{}, err
+	}
+	return a, nil
+}
+
+var aggFuncs = map[string]bool{"sum": true, "count": true, "min": true, "max": true, "mean": true}
+
+func (p *dlParser) literal() (Literal, error) {
+	t := p.peek()
+	// Negation.
+	if t.kind == tSym && t.text == "!" {
+		p.pos++
+		a, err := p.atom()
+		if err != nil {
+			return nil, err
+		}
+		return NegAtom{Atom: a}, nil
+	}
+	// Atom vs comparison/aggregate: an identifier followed by "(" is an atom.
+	if t.kind == tIdent && p.toks[p.pos+1].kind == tSym && p.toks[p.pos+1].text == "(" {
+		a, err := p.atom()
+		if err != nil {
+			return nil, err
+		}
+		return PosAtom{Atom: a}, nil
+	}
+	// Aggregate: VAR = func [expr] : { body }.
+	if t.kind == tIdent && p.toks[p.pos+1].kind == tSym && p.toks[p.pos+1].text == "=" &&
+		p.toks[p.pos+2].kind == tIdent && aggFuncs[p.toks[p.pos+2].text] {
+		res := p.next().text
+		p.next() // "="
+		fn := p.next().text
+		agg := AggLiteral{Result: res, Func: fn}
+		if !p.acceptSym(":") {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			agg.Expr = e
+			if err := p.expectSym(":"); err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expectSym("{"); err != nil {
+			return nil, err
+		}
+		for {
+			l, err := p.literal()
+			if err != nil {
+				return nil, err
+			}
+			agg.Body = append(agg.Body, l)
+			if !p.acceptSym(",") {
+				break
+			}
+		}
+		if err := p.expectSym("}"); err != nil {
+			return nil, err
+		}
+		return agg, nil
+	}
+	// Comparison or assignment: expr op expr.
+	l, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	opTok := p.next()
+	if opTok.kind != tSym {
+		return nil, p.errf("expected comparison, found %q", opTok.text)
+	}
+	var op value.CmpOp
+	switch opTok.text {
+	case "=":
+		op = value.Eq
+	case "!=":
+		op = value.Ne
+	case "<":
+		op = value.Lt
+	case "<=":
+		op = value.Le
+	case ">":
+		op = value.Gt
+	case ">=":
+		op = value.Ge
+	default:
+		return nil, p.errf("expected comparison operator, found %q", opTok.text)
+	}
+	r, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	return Cmp{Op: op, L: l, R: r}, nil
+}
+
+func (p *dlParser) expr() (Expr, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind == tSym && (t.text == "+" || t.text == "-") {
+			p.pos++
+			r, err := p.mulExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = BinExpr{Op: rune(t.text[0]), L: l, R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *dlParser) mulExpr() (Expr, error) {
+	l, err := p.primaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind == tSym && (t.text == "*" || t.text == "/") {
+			p.pos++
+			r, err := p.primaryExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = BinExpr{Op: rune(t.text[0]), L: l, R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *dlParser) primaryExpr() (Expr, error) {
+	t, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	return TermExpr{T: t}, nil
+}
+
+func (p *dlParser) term() (Term, error) {
+	t := p.next()
+	switch t.kind {
+	case tIdent:
+		if t.text == "_" {
+			return Wildcard{}, nil
+		}
+		return Var{Name: t.text}, nil
+	case tNumber:
+		if strings.Contains(t.text, ".") {
+			f, _ := strconv.ParseFloat(t.text, 64)
+			return Const{Val: value.Float(f)}, nil
+		}
+		i, _ := strconv.ParseInt(t.text, 10, 64)
+		return Const{Val: value.Int(i)}, nil
+	case tString:
+		return Const{Val: value.Str(t.text)}, nil
+	case tSym:
+		switch t.text {
+		case "_":
+			return Wildcard{}, nil
+		case "-":
+			inner, err := p.term()
+			if err != nil {
+				return nil, err
+			}
+			c, ok := inner.(Const)
+			if !ok || !c.Val.IsNumeric() {
+				return nil, p.errf("unary minus needs a numeric literal")
+			}
+			if c.Val.Kind() == value.KindInt {
+				return Const{Val: value.Int(-c.Val.AsInt())}, nil
+			}
+			return Const{Val: value.Float(-c.Val.AsFloat())}, nil
+		}
+	}
+	return nil, p.errf("expected term, found %q", t.text)
+}

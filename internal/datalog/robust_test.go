@@ -1,0 +1,38 @@
+package datalog
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParserNeverPanics: mangled Datalog must error, never panic.
+func TestParserNeverPanics(t *testing.T) {
+	seeds := []string{
+		"A(x,y) :- P(x,y). A(x,y) :- P(x,z), A(z,y).",
+		"Q(ak,sm) :- R(ak,_), sm = sum b : {S(a,b), a < ak}.",
+		"Un(x,y) :- N(x), N(y), !R(x,y).",
+	}
+	junk := []string{"", ".", ":-", "A(", "A() :-", "A(x) :- {", "!", "A(x) :- x = .", "%%%"}
+	var inputs []string
+	inputs = append(inputs, junk...)
+	for _, s := range seeds {
+		for cut := 0; cut < len(s); cut += 3 {
+			inputs = append(inputs, s[:cut])
+		}
+		inputs = append(inputs,
+			strings.ReplaceAll(s, ":-", ":"),
+			strings.ReplaceAll(s, "(", ""),
+			strings.ReplaceAll(s, ".", ""),
+		)
+	}
+	for _, in := range inputs {
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Errorf("panic on %q: %v", in, p)
+				}
+			}()
+			_, _ = Parse(in)
+		}()
+	}
+}

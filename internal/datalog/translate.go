@@ -1,0 +1,298 @@
+package datalog
+
+import (
+	"fmt"
+
+	"repro/internal/alt"
+	"repro/internal/value"
+)
+
+// ToARC translates the definition of one predicate into an ARC collection
+// (Section 2.9: multiple rules with the same head become one definition
+// with a disjunction; recursion stays a reference to the head relation;
+// Soufflé aggregates become the FOI pattern of Fig 5c — a correlated
+// nested collection with γ∅).
+//
+// schemas supplies named attributes for every predicate used (the named
+// perspective needs them); IDB predicates default to x1..xk.
+func ToARC(p *Program, schemas map[string][]string, pred string) (*alt.Collection, error) {
+	var rules []*Rule
+	arity := -1
+	for _, r := range p.Rules {
+		if r.Head.Pred != pred {
+			continue
+		}
+		rules = append(rules, r)
+		arity = len(r.Head.Args)
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("datalog: no rules define %q", pred)
+	}
+	attrs := schemaFor(schemas, pred, arity)
+	tr := &arcTranslator{schemas: schemas}
+	var branches []alt.Formula
+	for _, r := range rules {
+		br, err := tr.rule(r, pred, attrs)
+		if err != nil {
+			return nil, err
+		}
+		branches = append(branches, br)
+	}
+	var body alt.Formula
+	if len(branches) == 1 {
+		body = branches[0]
+	} else {
+		body = alt.OrF(branches...)
+	}
+	return alt.Col(pred, attrs, body), nil
+}
+
+func schemaFor(schemas map[string][]string, pred string, arity int) []string {
+	if s, ok := schemas[pred]; ok {
+		return s
+	}
+	out := make([]string, arity)
+	for i := range out {
+		out[i] = fmt.Sprintf("x%d", i+1)
+	}
+	return out
+}
+
+type arcTranslator struct {
+	schemas map[string][]string
+	fresh   int
+}
+
+func (tr *arcTranslator) gensym(prefix string) string {
+	tr.fresh++
+	return fmt.Sprintf("%s%d", prefix, tr.fresh)
+}
+
+// siteMap tracks, for each Datalog variable, the ARC attribute reference
+// of its first (binding) occurrence.
+type siteMap map[string]*alt.AttrRef
+
+func (tr *arcTranslator) rule(r *Rule, pred string, headAttrs []string) (alt.Formula, error) {
+	sites := siteMap{}
+	var bindings []*alt.Binding
+	var conjs []alt.Formula
+	// Positive atoms first: they ground variables.
+	var rest []Literal
+	for _, l := range r.Body {
+		if pa, ok := l.(PosAtom); ok {
+			b, preds, err := tr.atomBinding(pa.Atom, sites)
+			if err != nil {
+				return nil, err
+			}
+			bindings = append(bindings, b)
+			conjs = append(conjs, preds...)
+			continue
+		}
+		rest = append(rest, l)
+	}
+	for _, l := range rest {
+		switch x := l.(type) {
+		case NegAtom:
+			f, err := tr.negAtom(x.Atom, sites)
+			if err != nil {
+				return nil, err
+			}
+			conjs = append(conjs, f)
+		case Cmp:
+			l2, err := tr.expr(x.L, sites)
+			if err != nil {
+				return nil, err
+			}
+			r2, err := tr.expr(x.R, sites)
+			if err != nil {
+				return nil, err
+			}
+			conjs = append(conjs, &alt.Pred{Left: l2, Op: x.Op, Right: r2})
+		case AggLiteral:
+			b, ref, err := tr.aggregate(x, sites)
+			if err != nil {
+				return nil, err
+			}
+			bindings = append(bindings, b)
+			sites[x.Result] = ref
+		default:
+			return nil, fmt.Errorf("datalog: cannot translate literal %T", l)
+		}
+	}
+	// Head assignments.
+	for i, a := range r.Head.Args {
+		headRef := alt.Ref(pred, headAttrs[i])
+		switch x := a.(type) {
+		case Var:
+			site, ok := sites[x.Name]
+			if !ok {
+				return nil, fmt.Errorf("datalog: head variable %q of %s not grounded in body", x.Name, pred)
+			}
+			conjs = append(conjs, alt.Eq(headRef, site))
+		case Const:
+			conjs = append(conjs, alt.Eq(headRef, alt.CVal(x.Val)))
+		case Wildcard:
+			return nil, fmt.Errorf("datalog: wildcard in head of %s", pred)
+		}
+	}
+	if len(bindings) == 0 {
+		return nil, fmt.Errorf("datalog: rule for %s has no positive atoms", pred)
+	}
+	return alt.Exists(bindings, alt.AndF(conjs...)), nil
+}
+
+// atomBinding introduces a range variable for one positive atom and the
+// equality predicates tying argument occurrences together.
+func (tr *arcTranslator) atomBinding(a Atom, sites siteMap) (*alt.Binding, []alt.Formula, error) {
+	attrs := tr.schemas[a.Pred]
+	if attrs == nil {
+		attrs = schemaFor(tr.schemas, a.Pred, len(a.Args))
+	}
+	if len(attrs) != len(a.Args) {
+		return nil, nil, fmt.Errorf("datalog: %s has %d attributes, used with %d arguments", a.Pred, len(attrs), len(a.Args))
+	}
+	v := tr.gensym("t")
+	var preds []alt.Formula
+	for i, arg := range a.Args {
+		ref := alt.Ref(v, attrs[i])
+		switch x := arg.(type) {
+		case Wildcard:
+		case Const:
+			preds = append(preds, alt.Eq(ref, alt.CVal(x.Val)))
+		case Var:
+			if site, ok := sites[x.Name]; ok {
+				preds = append(preds, alt.Eq(ref, site))
+			} else {
+				sites[x.Name] = ref
+			}
+		}
+	}
+	return alt.Bind(v, a.Pred), preds, nil
+}
+
+// negAtom translates "!P(…)" into ¬∃.
+func (tr *arcTranslator) negAtom(a Atom, sites siteMap) (alt.Formula, error) {
+	inner := siteMap{}
+	for k, v := range sites {
+		inner[k] = v
+	}
+	b, preds, err := tr.atomBinding(a, inner)
+	if err != nil {
+		return nil, err
+	}
+	return alt.NotF(alt.Exists([]*alt.Binding{b}, alt.AndF(preds...))), nil
+}
+
+// aggregate translates "res = sum e : {body}" into the FOI pattern: a
+// correlated nested collection with γ∅ (Fig 5c / query (7)).
+func (tr *arcTranslator) aggregate(a AggLiteral, sites siteMap) (*alt.Binding, *alt.AttrRef, error) {
+	var fn alt.AggFunc
+	switch a.Func {
+	case "sum":
+		fn = alt.AggSum
+	case "count":
+		fn = alt.AggCount
+	case "min":
+		fn = alt.AggMin
+	case "max":
+		fn = alt.AggMax
+	case "mean":
+		fn = alt.AggAvg
+	default:
+		return nil, nil, fmt.Errorf("datalog: unknown aggregate %q", a.Func)
+	}
+	name := "X" + tr.gensym("agg")
+	// The aggregate body grounds its local variables in a private scope;
+	// variables already bound outside become correlated references.
+	inner := siteMap{}
+	for k, v := range sites {
+		inner[k] = v
+	}
+	var bindings []*alt.Binding
+	var conjs []alt.Formula
+	for _, l := range a.Body {
+		switch x := l.(type) {
+		case PosAtom:
+			b, preds, err := tr.atomBinding(x.Atom, inner)
+			if err != nil {
+				return nil, nil, err
+			}
+			bindings = append(bindings, b)
+			conjs = append(conjs, preds...)
+		case NegAtom:
+			f, err := tr.negAtom(x.Atom, inner)
+			if err != nil {
+				return nil, nil, err
+			}
+			conjs = append(conjs, f)
+		case Cmp:
+			l2, err := tr.expr(x.L, inner)
+			if err != nil {
+				return nil, nil, err
+			}
+			r2, err := tr.expr(x.R, inner)
+			if err != nil {
+				return nil, nil, err
+			}
+			conjs = append(conjs, &alt.Pred{Left: l2, Op: x.Op, Right: r2})
+		default:
+			return nil, nil, fmt.Errorf("datalog: nested aggregates are not supported")
+		}
+	}
+	var arg alt.Term
+	if a.Expr == nil {
+		arg = alt.CInt(1)
+	} else {
+		t, err := tr.expr(a.Expr, inner)
+		if err != nil {
+			return nil, nil, err
+		}
+		arg = t
+	}
+	conjs = append(conjs, alt.Eq(alt.Ref(name, "res"), &alt.Agg{Func: fn, Arg: arg}))
+	col := alt.Col(name, []string{"res"},
+		alt.ExistsG(bindings, nil, alt.AndF(conjs...)))
+	v := tr.gensym("x")
+	return alt.BindSub(v, col), alt.Ref(v, "res"), nil
+}
+
+func (tr *arcTranslator) expr(e Expr, sites siteMap) (alt.Term, error) {
+	switch x := e.(type) {
+	case TermExpr:
+		switch t := x.T.(type) {
+		case Var:
+			site, ok := sites[t.Name]
+			if !ok {
+				return nil, fmt.Errorf("datalog: variable %q not grounded by a positive atom", t.Name)
+			}
+			return site, nil
+		case Const:
+			return alt.CVal(t.Val), nil
+		}
+		return nil, fmt.Errorf("datalog: wildcard in expression")
+	case BinExpr:
+		l, err := tr.expr(x.L, sites)
+		if err != nil {
+			return nil, err
+		}
+		r, err := tr.expr(x.R, sites)
+		if err != nil {
+			return nil, err
+		}
+		var op alt.ArithOp
+		switch x.Op {
+		case '+':
+			op = alt.OpAdd
+		case '-':
+			op = alt.OpSub
+		case '*':
+			op = alt.OpMul
+		case '/':
+			op = alt.OpDiv
+		}
+		return &alt.Arith{Op: op, L: l, R: r}, nil
+	}
+	return nil, fmt.Errorf("datalog: unknown expression %T", e)
+}
+
+var _ = value.Null

@@ -1,0 +1,719 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/alt"
+	"repro/internal/convention"
+	"repro/internal/relation"
+	"repro/internal/value"
+)
+
+func mustEval(t *testing.T, c *alt.Collection, cat *Catalog, conv convention.Conventions) *relation.Relation {
+	t.Helper()
+	rel, err := Eval(c, cat, conv)
+	if err != nil {
+		t.Fatalf("eval %s: %v", c.Head.Rel, err)
+	}
+	return rel
+}
+
+func wantRel(t *testing.T, got *relation.Relation, want *relation.Relation, bag bool) {
+	t.Helper()
+	if bag {
+		if !got.EqualBag(want) {
+			t.Fatalf("bag mismatch:\ngot\n%s\nwant\n%s", got, want)
+		}
+		return
+	}
+	if !got.EqualSet(want) {
+		t.Fatalf("set mismatch:\ngot\n%s\nwant\n%s", got, want)
+	}
+}
+
+// --- Paper query (1): select-project-join -------------------------------
+
+func TestQ1SelectProjectJoin(t *testing.T) {
+	cat := NewCatalog().
+		AddRelation(relation.New("R", "A", "B").Add(1, 10).Add(2, 20).Add(3, 30)).
+		AddRelation(relation.New("S", "B", "C").Add(10, 0).Add(20, 5).Add(30, 0))
+	q := alt.Col("Q", []string{"A"},
+		alt.Exists([]*alt.Binding{alt.Bind("r", "R"), alt.Bind("s", "S")},
+			alt.AndF(
+				alt.Eq(alt.Ref("Q", "A"), alt.Ref("r", "A")),
+				alt.Eq(alt.Ref("r", "B"), alt.Ref("s", "B")),
+				alt.Eq(alt.Ref("s", "C"), alt.CInt(0)),
+			)))
+	got := mustEval(t, q, cat, convention.SetLogic())
+	want := relation.New("W", "A").Add(1).Add(3)
+	wantRel(t, got, want, false)
+}
+
+// --- Section 2.1 / Fig 2: normalized TRC semantics over nested exists ---
+
+func TestNestedExistentialFilter(t *testing.T) {
+	cat := NewCatalog().
+		AddRelation(relation.New("R", "A", "B").Add(1, 10).Add(2, 99)).
+		AddRelation(relation.New("S", "B", "C").Add(10, 0))
+	q := alt.Col("Q", []string{"A"},
+		alt.Exists([]*alt.Binding{alt.Bind("r", "R")},
+			alt.AndF(
+				alt.Eq(alt.Ref("Q", "A"), alt.Ref("r", "A")),
+				alt.Exists([]*alt.Binding{alt.Bind("s", "S")},
+					alt.Eq(alt.Ref("r", "B"), alt.Ref("s", "B"))),
+			)))
+	got := mustEval(t, q, cat, convention.SetLogic())
+	wantRel(t, got, relation.New("W", "A").Add(1), false)
+}
+
+// --- Paper query (2) / Fig 3: nested comprehension = lateral join -------
+
+func TestQ2LateralNesting(t *testing.T) {
+	cat := NewCatalog().
+		AddRelation(relation.New("X", "A").Add(1).Add(5)).
+		AddRelation(relation.New("Y", "A").Add(3).Add(7))
+	inner := alt.Col("Z", []string{"B"},
+		alt.Exists([]*alt.Binding{alt.Bind("y", "Y")},
+			alt.AndF(
+				alt.Eq(alt.Ref("Z", "B"), alt.Ref("y", "A")),
+				alt.Lt(alt.Ref("x", "A"), alt.Ref("y", "A")),
+			)))
+	q := alt.Col("Q", []string{"A", "B"},
+		alt.Exists([]*alt.Binding{alt.Bind("x", "X"), alt.BindSub("z", inner)},
+			alt.AndF(
+				alt.Eq(alt.Ref("Q", "A"), alt.Ref("x", "A")),
+				alt.Eq(alt.Ref("Q", "B"), alt.Ref("z", "B")),
+			)))
+	got := mustEval(t, q, cat, convention.SetLogic())
+	// x=1 pairs with y∈{3,7}; x=5 pairs with y=7.
+	want := relation.New("W", "A", "B").Add(1, 3).Add(1, 7).Add(5, 7)
+	wantRel(t, got, want, false)
+}
+
+// --- Paper query (3) / Fig 4: FIO grouped aggregate ---------------------
+
+func q3FIO() *alt.Collection {
+	return alt.Col("Q", []string{"A", "sm"},
+		alt.ExistsG([]*alt.Binding{alt.Bind("r", "R")},
+			[]*alt.AttrRef{alt.Ref("r", "A")},
+			alt.AndF(
+				alt.Eq(alt.Ref("Q", "A"), alt.Ref("r", "A")),
+				alt.Eq(alt.Ref("Q", "sm"), alt.Sum(alt.Ref("r", "B"))),
+			)))
+}
+
+func TestQ3GroupedAggregateFIO(t *testing.T) {
+	cat := NewCatalog().
+		AddRelation(relation.New("R", "A", "B").Add(1, 10).Add(1, 20).Add(2, 5))
+	got := mustEval(t, q3FIO(), cat, convention.SetLogic())
+	want := relation.New("W", "A", "sm").Add(1, 30).Add(2, 5)
+	wantRel(t, got, want, false)
+}
+
+func TestMultipleAggregatesShareScope(t *testing.T) {
+	// Section 2.5: multiple aggregates evaluated in parallel in one scope.
+	cat := NewCatalog().
+		AddRelation(relation.New("R", "A", "B").Add(1, 10).Add(1, 20).Add(2, 6))
+	q := alt.Col("Q", []string{"A", "sm", "cnt", "mn", "mx", "av"},
+		alt.ExistsG([]*alt.Binding{alt.Bind("r", "R")},
+			[]*alt.AttrRef{alt.Ref("r", "A")},
+			alt.AndF(
+				alt.Eq(alt.Ref("Q", "A"), alt.Ref("r", "A")),
+				alt.Eq(alt.Ref("Q", "sm"), alt.Sum(alt.Ref("r", "B"))),
+				alt.Eq(alt.Ref("Q", "cnt"), alt.Count(alt.Ref("r", "B"))),
+				alt.Eq(alt.Ref("Q", "mn"), alt.Min(alt.Ref("r", "B"))),
+				alt.Eq(alt.Ref("Q", "mx"), alt.Max(alt.Ref("r", "B"))),
+				alt.Eq(alt.Ref("Q", "av"), alt.Avg(alt.Ref("r", "B"))),
+			)))
+	got := mustEval(t, q, cat, convention.SetLogic())
+	want := relation.New("W", "A", "sm", "cnt", "mn", "mx", "av").
+		Add(1, 30, 2, 10, 20, 15.0).
+		Add(2, 6, 1, 6, 6, 6.0)
+	wantRel(t, got, want, false)
+}
+
+// --- Paper query (7) / Fig 5: FOI pattern -------------------------------
+
+func q7FOI() *alt.Collection {
+	inner := alt.Col("X", []string{"sm"},
+		alt.ExistsG([]*alt.Binding{alt.Bind("r2", "R")}, nil,
+			alt.AndF(
+				alt.Eq(alt.Ref("r2", "A"), alt.Ref("r", "A")),
+				alt.Eq(alt.Ref("X", "sm"), alt.Sum(alt.Ref("r2", "B"))),
+			)))
+	return alt.Col("Q", []string{"A", "sm"},
+		alt.Exists([]*alt.Binding{alt.Bind("r", "R"), alt.BindSub("x", inner)},
+			alt.AndF(
+				alt.Eq(alt.Ref("Q", "A"), alt.Ref("r", "A")),
+				alt.Eq(alt.Ref("Q", "sm"), alt.Ref("x", "sm")),
+			)))
+}
+
+func TestQ7FOIEqualsFIO(t *testing.T) {
+	cat := NewCatalog().
+		AddRelation(relation.New("R", "A", "B").Add(1, 10).Add(1, 20).Add(2, 5))
+	fio := mustEval(t, q3FIO(), cat, convention.SetLogic())
+	foi := mustEval(t, q7FOI(), cat, convention.SetLogic())
+	wantRel(t, foi, fio, false)
+}
+
+// --- Paper query (8) / Fig 6: multiple aggregates + HAVING --------------
+
+func TestQ8HavingPattern(t *testing.T) {
+	cat := NewCatalog().
+		AddRelation(relation.New("R", "empl", "dept").
+			Add("e1", "d1").Add("e2", "d1").Add("e3", "d2")).
+		AddRelation(relation.New("S", "empl", "sal").
+			Add("e1", 60).Add("e2", 70).Add("e3", 40))
+	inner := alt.Col("X", []string{"dept", "av", "sm"},
+		alt.ExistsG([]*alt.Binding{alt.Bind("r", "R"), alt.Bind("s", "S")},
+			[]*alt.AttrRef{alt.Ref("r", "dept")},
+			alt.AndF(
+				alt.Eq(alt.Ref("r", "empl"), alt.Ref("s", "empl")),
+				alt.Eq(alt.Ref("X", "dept"), alt.Ref("r", "dept")),
+				alt.Eq(alt.Ref("X", "av"), alt.Avg(alt.Ref("s", "sal"))),
+				alt.Eq(alt.Ref("X", "sm"), alt.Sum(alt.Ref("s", "sal"))),
+			)))
+	q := alt.Col("Q", []string{"dept", "av"},
+		alt.Exists([]*alt.Binding{alt.BindSub("x", inner)},
+			alt.AndF(
+				alt.Eq(alt.Ref("Q", "dept"), alt.Ref("x", "dept")),
+				alt.Eq(alt.Ref("Q", "av"), alt.Ref("x", "av")),
+				alt.Gt(alt.Ref("x", "sm"), alt.CInt(100)),
+			)))
+	got := mustEval(t, q, cat, convention.SetLogic())
+	// d1: sum=130>100, avg=65; d2: sum=40 filtered out.
+	want := relation.New("W", "dept", "av").Add("d1", 65.0)
+	wantRel(t, got, want, false)
+}
+
+// --- Paper (13)/(14) / Fig 9: Boolean sentences with aggregates ---------
+
+func TestBooleanSentencesWithAggregates(t *testing.T) {
+	cat := NewCatalog().
+		AddRelation(relation.New("R", "id", "q").Add(1, 2).Add(2, 5)).
+		AddRelation(relation.New("S", "id", "d").Add(1, "a").Add(1, "b").Add(2, "c"))
+	// (13): ∃r∈R[∃s∈S, γ∅ [r.id=s.id ∧ r.q ≤ count(s.d)]]
+	s13 := &alt.Sentence{Body: alt.Exists([]*alt.Binding{alt.Bind("r", "R")},
+		alt.ExistsG([]*alt.Binding{alt.Bind("s", "S")}, nil,
+			alt.AndF(
+				alt.Eq(alt.Ref("r", "id"), alt.Ref("s", "id")),
+				alt.Le(alt.Ref("r", "q"), alt.Count(alt.Ref("s", "d"))),
+			)))}
+	got, err := EvalSentence(s13, cat, convention.SetLogic())
+	if err != nil {
+		t.Fatalf("(13): %v", err)
+	}
+	if !got {
+		t.Error("(13) should hold: r=1 has q=2 ≤ count=2")
+	}
+	// (14): ¬∃r∈R[∃s∈S, γ∅ [r.id=s.id ∧ r.q > count(s.d)]]
+	s14 := &alt.Sentence{Body: alt.NotF(alt.Exists([]*alt.Binding{alt.Bind("r", "R")},
+		alt.ExistsG([]*alt.Binding{alt.Bind("s", "S")}, nil,
+			alt.AndF(
+				alt.Eq(alt.Ref("r", "id"), alt.Ref("s", "id")),
+				alt.Gt(alt.Ref("r", "q"), alt.Count(alt.Ref("s", "d"))),
+			))))}
+	got14, err := EvalSentence(s14, cat, convention.SetLogic())
+	if err != nil {
+		t.Fatalf("(14): %v", err)
+	}
+	if got14 {
+		t.Error("(14) should fail: r=2 has q=5 > count=1")
+	}
+}
+
+// --- Paper query (16) / Fig 10: recursion --------------------------------
+
+func TestQ16Recursion(t *testing.T) {
+	cat := NewCatalog().
+		AddRelation(relation.New("P", "s", "t").Add(1, 2).Add(2, 3).Add(3, 4).Add(10, 11))
+	q := alt.Col("A", []string{"s", "t"},
+		alt.OrF(
+			alt.Exists([]*alt.Binding{alt.Bind("p", "P")},
+				alt.AndF(
+					alt.Eq(alt.Ref("A", "s"), alt.Ref("p", "s")),
+					alt.Eq(alt.Ref("A", "t"), alt.Ref("p", "t")),
+				)),
+			alt.Exists([]*alt.Binding{alt.Bind("p", "P"), alt.Bind("a2", "A")},
+				alt.AndF(
+					alt.Eq(alt.Ref("A", "s"), alt.Ref("p", "s")),
+					alt.Eq(alt.Ref("p", "t"), alt.Ref("a2", "s")),
+					alt.Eq(alt.Ref("A", "t"), alt.Ref("a2", "t")),
+				)),
+		))
+	got := mustEval(t, q, cat, convention.SetLogic())
+	want := relation.New("W", "s", "t").
+		Add(1, 2).Add(2, 3).Add(3, 4).Add(1, 3).Add(2, 4).Add(1, 4).Add(10, 11)
+	wantRel(t, got, want, false)
+}
+
+func TestRecursionOnCycle(t *testing.T) {
+	// LFP must converge on cyclic graphs.
+	cat := NewCatalog().
+		AddRelation(relation.New("P", "s", "t").Add(1, 2).Add(2, 1))
+	q := alt.Col("A", []string{"s", "t"},
+		alt.OrF(
+			alt.Exists([]*alt.Binding{alt.Bind("p", "P")},
+				alt.AndF(
+					alt.Eq(alt.Ref("A", "s"), alt.Ref("p", "s")),
+					alt.Eq(alt.Ref("A", "t"), alt.Ref("p", "t")))),
+			alt.Exists([]*alt.Binding{alt.Bind("p", "P"), alt.Bind("a2", "A")},
+				alt.AndF(
+					alt.Eq(alt.Ref("A", "s"), alt.Ref("p", "s")),
+					alt.Eq(alt.Ref("p", "t"), alt.Ref("a2", "s")),
+					alt.Eq(alt.Ref("A", "t"), alt.Ref("a2", "t")))),
+		))
+	got := mustEval(t, q, cat, convention.SetLogic())
+	want := relation.New("W", "s", "t").
+		Add(1, 2).Add(2, 1).Add(1, 1).Add(2, 2)
+	wantRel(t, got, want, false)
+}
+
+// --- Paper (17) / Fig 11: NOT IN with NULLs ------------------------------
+
+func q17NotIn() *alt.Collection {
+	return alt.Col("Q", []string{"A"},
+		alt.Exists([]*alt.Binding{alt.Bind("r", "R")},
+			alt.AndF(
+				alt.Eq(alt.Ref("Q", "A"), alt.Ref("r", "A")),
+				alt.NotF(alt.Exists([]*alt.Binding{alt.Bind("s", "S")},
+					alt.OrF(
+						alt.Eq(alt.Ref("s", "A"), alt.Ref("r", "A")),
+						alt.Null(alt.Ref("s", "A")),
+						alt.Null(alt.Ref("r", "A")),
+					))),
+			)))
+}
+
+func TestQ17NotInNullBehaviour(t *testing.T) {
+	// Without NULLs: plain anti-join.
+	cat := NewCatalog().
+		AddRelation(relation.New("R", "A").Add(1).Add(2).Add(3)).
+		AddRelation(relation.New("S", "A").Add(2))
+	got := mustEval(t, q17NotIn(), cat, convention.SetLogic())
+	wantRel(t, got, relation.New("W", "A").Add(1).Add(3), false)
+
+	// With a NULL in S: SQL's NOT IN returns the empty set.
+	catNull := NewCatalog().
+		AddRelation(relation.New("R", "A").Add(1).Add(2).Add(3)).
+		AddRelation(relation.New("S", "A").Add(2).Add(nil))
+	gotNull := mustEval(t, q17NotIn(), catNull, convention.SetLogic())
+	if gotNull.Card() != 0 {
+		t.Fatalf("NOT IN over S containing NULL must be empty, got\n%s", gotNull)
+	}
+}
+
+// --- Paper (18) / Fig 12: outer join with join annotation ----------------
+
+func TestQ18LeftOuterJoinAnnotation(t *testing.T) {
+	cat := NewCatalog().
+		AddRelation(relation.New("R", "m", "y", "h").
+			Add("r1", 1, 11).Add("r2", 2, 11).Add("r3", 3, 99)).
+		AddRelation(relation.New("S", "y", "n", "q").
+			Add(1, "n1", 0).Add(3, "n3", 0))
+	q := alt.Col("Q", []string{"m", "n"},
+		alt.ExistsJ([]*alt.Binding{alt.Bind("r", "R"), alt.Bind("s", "S")},
+			alt.LeftJ(alt.JV("r"), alt.Inner(alt.JC(value.Int(11), "c"), alt.JV("s"))),
+			alt.AndF(
+				alt.Eq(alt.Ref("Q", "m"), alt.Ref("r", "m")),
+				alt.Eq(alt.Ref("Q", "n"), alt.Ref("s", "n")),
+				alt.Eq(alt.Ref("r", "y"), alt.Ref("s", "y")),
+				alt.Eq(alt.Ref("r", "h"), alt.Ref("c", "val")),
+			)))
+	got := mustEval(t, q, cat, convention.SetLogic())
+	// r1 (h=11, y=1) matches n1; r2 (h=11, y=2) no match → NULL;
+	// r3 (h=99) fails the ON condition r.h=11 → NULL despite y=3 ∈ S.
+	want := relation.New("W", "m", "n").
+		Add("r1", "n1").Add("r2", nil).Add("r3", nil)
+	wantRel(t, got, want, false)
+}
+
+func TestFullOuterJoin(t *testing.T) {
+	cat := NewCatalog().
+		AddRelation(relation.New("R", "a").Add(1).Add(2)).
+		AddRelation(relation.New("S", "b").Add(2).Add(3))
+	q := alt.Col("Q", []string{"a", "b"},
+		alt.ExistsJ([]*alt.Binding{alt.Bind("r", "R"), alt.Bind("s", "S")},
+			alt.FullJ(alt.JV("r"), alt.JV("s")),
+			alt.AndF(
+				alt.Eq(alt.Ref("Q", "a"), alt.Ref("r", "a")),
+				alt.Eq(alt.Ref("Q", "b"), alt.Ref("s", "b")),
+				alt.Eq(alt.Ref("r", "a"), alt.Ref("s", "b")),
+			)))
+	got := mustEval(t, q, cat, convention.SetLogic())
+	want := relation.New("W", "a", "b").
+		Add(1, nil).Add(2, 2).Add(nil, 3)
+	wantRel(t, got, want, false)
+}
+
+// --- Paper (19)–(21) / Fig 15: external relations ------------------------
+
+func TestExternalRelations(t *testing.T) {
+	cat := NewCatalog().WithStandardExternals().
+		AddRelation(relation.New("R", "A", "B").Add("x", 10).Add("y", 3)).
+		AddRelation(relation.New("S", "B").Add(4)).
+		AddRelation(relation.New("T", "B").Add(5))
+	// (20): Q(A) with Minus reified: f.left=r.B, f.right=s.B, f.out > t.B.
+	q20 := alt.Col("Q", []string{"A"},
+		alt.Exists([]*alt.Binding{
+			alt.Bind("r", "R"), alt.Bind("s", "S"), alt.Bind("t", "T"), alt.Bind("f", "Minus"),
+		},
+			alt.AndF(
+				alt.Eq(alt.Ref("Q", "A"), alt.Ref("r", "A")),
+				alt.Eq(alt.Ref("f", "left"), alt.Ref("r", "B")),
+				alt.Eq(alt.Ref("f", "right"), alt.Ref("s", "B")),
+				alt.Gt(alt.Ref("f", "out"), alt.Ref("t", "B")),
+			)))
+	got := mustEval(t, q20, cat, convention.SetLogic())
+	// x: 10-4=6 > 5 ✓; y: 3-4=-1 not > 5.
+	wantRel(t, got, relation.New("W", "A").Add("x"), false)
+
+	// (21): equijoin between Minus and Bigger.
+	q21 := alt.Col("Q", []string{"A"},
+		alt.Exists([]*alt.Binding{
+			alt.Bind("r", "R"), alt.Bind("s", "S"), alt.Bind("t", "T"),
+			alt.Bind("f", "Minus"), alt.Bind("g", "Bigger"),
+		},
+			alt.AndF(
+				alt.Eq(alt.Ref("Q", "A"), alt.Ref("r", "A")),
+				alt.Eq(alt.Ref("f", "left"), alt.Ref("r", "B")),
+				alt.Eq(alt.Ref("f", "right"), alt.Ref("s", "B")),
+				alt.Eq(alt.Ref("f", "out"), alt.Ref("g", "left")),
+				alt.Eq(alt.Ref("g", "right"), alt.Ref("t", "B")),
+			)))
+	got21 := mustEval(t, q21, cat, convention.SetLogic())
+	wantRel(t, got21, got, false)
+
+	// (19): direct arithmetic r.B - s.B > t.B.
+	q19 := alt.Col("Q", []string{"A"},
+		alt.Exists([]*alt.Binding{alt.Bind("r", "R"), alt.Bind("s", "S"), alt.Bind("t", "T")},
+			alt.AndF(
+				alt.Eq(alt.Ref("Q", "A"), alt.Ref("r", "A")),
+				alt.Gt(alt.Minus(alt.Ref("r", "B"), alt.Ref("s", "B")), alt.Ref("t", "B")),
+			)))
+	got19 := mustEval(t, q19, cat, convention.SetLogic())
+	wantRel(t, got19, got, false)
+}
+
+func TestExternalAccessPatternUnsatisfied(t *testing.T) {
+	cat := NewCatalog().WithStandardExternals().
+		AddRelation(relation.New("T", "B").Add(5))
+	// Bigger with only one side bound can never enumerate.
+	q := alt.Col("Q", []string{"A"},
+		alt.Exists([]*alt.Binding{alt.Bind("g", "Bigger"), alt.Bind("t", "T")},
+			alt.AndF(
+				alt.Eq(alt.Ref("Q", "A"), alt.Ref("g", "left")),
+				alt.Eq(alt.Ref("g", "right"), alt.Ref("t", "B")),
+			)))
+	if _, err := Eval(q, cat, convention.SetLogic()); err == nil ||
+		!strings.Contains(err.Error(), "access pattern") {
+		t.Fatalf("want access-pattern error, got %v", err)
+	}
+}
+
+// --- Section 3.2 / Fig 21: the COUNT bug ---------------------------------
+
+func countBugV1() *alt.Collection {
+	return alt.Col("Q", []string{"id"},
+		alt.Exists([]*alt.Binding{alt.Bind("r", "R")},
+			alt.AndF(
+				alt.Eq(alt.Ref("Q", "id"), alt.Ref("r", "id")),
+				alt.ExistsG([]*alt.Binding{alt.Bind("s", "S")}, nil,
+					alt.AndF(
+						alt.Eq(alt.Ref("r", "id"), alt.Ref("s", "id")),
+						alt.Eq(alt.Ref("r", "q"), alt.Count(alt.Ref("s", "d"))),
+					)),
+			)))
+}
+
+func countBugV2() *alt.Collection {
+	inner := alt.Col("X", []string{"id", "ct"},
+		alt.ExistsG([]*alt.Binding{alt.Bind("s", "S")},
+			[]*alt.AttrRef{alt.Ref("s", "id")},
+			alt.AndF(
+				alt.Eq(alt.Ref("X", "id"), alt.Ref("s", "id")),
+				alt.Eq(alt.Ref("X", "ct"), alt.Count(alt.Ref("s", "d"))),
+			)))
+	return alt.Col("Q", []string{"id"},
+		alt.Exists([]*alt.Binding{alt.Bind("r", "R"), alt.BindSub("x", inner)},
+			alt.AndF(
+				alt.Eq(alt.Ref("Q", "id"), alt.Ref("r", "id")),
+				alt.Eq(alt.Ref("r", "id"), alt.Ref("x", "id")),
+				alt.Eq(alt.Ref("r", "q"), alt.Ref("x", "ct")),
+			)))
+}
+
+func countBugV3() *alt.Collection {
+	inner := alt.Col("X", []string{"id", "ct"},
+		alt.ExistsGJ([]*alt.Binding{alt.Bind("r2", "R"), alt.Bind("s", "S")},
+			[]*alt.AttrRef{alt.Ref("r2", "id")},
+			alt.LeftJ(alt.JV("r2"), alt.JV("s")),
+			alt.AndF(
+				alt.Eq(alt.Ref("X", "id"), alt.Ref("r2", "id")),
+				alt.Eq(alt.Ref("X", "ct"), alt.Count(alt.Ref("s", "d"))),
+				alt.Eq(alt.Ref("r2", "id"), alt.Ref("s", "id")),
+			)))
+	return alt.Col("Q", []string{"id"},
+		alt.Exists([]*alt.Binding{alt.Bind("r", "R"), alt.BindSub("x", inner)},
+			alt.AndF(
+				alt.Eq(alt.Ref("Q", "id"), alt.Ref("r", "id")),
+				alt.Eq(alt.Ref("r", "id"), alt.Ref("x", "id")),
+				alt.Eq(alt.Ref("r", "q"), alt.Ref("x", "ct")),
+			)))
+}
+
+func TestCountBugTrio(t *testing.T) {
+	// The paper's instance: R(9,0), S empty.
+	cat := NewCatalog().
+		AddRelation(relation.New("R", "id", "q").Add(9, 0)).
+		AddRelation(relation.New("S", "id", "d"))
+	v1 := mustEval(t, countBugV1(), cat, convention.SetLogic())
+	v2 := mustEval(t, countBugV2(), cat, convention.SetLogic())
+	v3 := mustEval(t, countBugV3(), cat, convention.SetLogic())
+	if v1.Card() != 1 || !v1.Contains(relation.Tuple{value.Int(9)}) {
+		t.Errorf("version 1 must return {9}, got\n%s", v1)
+	}
+	if v2.Card() != 0 {
+		t.Errorf("version 2 must return ∅ (the COUNT bug), got\n%s", v2)
+	}
+	if !v3.EqualSet(v1) {
+		t.Errorf("version 3 must agree with version 1, got\n%s", v3)
+	}
+}
+
+func TestCountBugNonEmptyAgreement(t *testing.T) {
+	// Where every R.id appears in S, all three versions agree.
+	cat := NewCatalog().
+		AddRelation(relation.New("R", "id", "q").Add(1, 2).Add(2, 1)).
+		AddRelation(relation.New("S", "id", "d").Add(1, "a").Add(1, "b").Add(2, "c"))
+	v1 := mustEval(t, countBugV1(), cat, convention.SetLogic())
+	v2 := mustEval(t, countBugV2(), cat, convention.SetLogic())
+	v3 := mustEval(t, countBugV3(), cat, convention.SetLogic())
+	want := relation.New("W", "id").Add(1).Add(2)
+	wantRel(t, v1, want, false)
+	wantRel(t, v2, want, false)
+	wantRel(t, v3, want, false)
+}
+
+// --- Section 2.6 / (15): conventions -------------------------------------
+
+func TestConventionSumEmpty(t *testing.T) {
+	// Instance R={(1,2)}, S=∅ — Soufflé derives Q(1,0); SQL gives (1,NULL).
+	build := func() *alt.Collection {
+		inner := alt.Col("X", []string{"sm"},
+			alt.ExistsG([]*alt.Binding{alt.Bind("s", "S")}, nil,
+				alt.AndF(
+					alt.Lt(alt.Ref("s", "a"), alt.Ref("r", "ak")),
+					alt.Eq(alt.Ref("X", "sm"), alt.Sum(alt.Ref("s", "b"))),
+				)))
+		return alt.Col("Q", []string{"ak", "sm"},
+			alt.Exists([]*alt.Binding{alt.Bind("r", "R"), alt.BindSub("x", inner)},
+				alt.AndF(
+					alt.Eq(alt.Ref("Q", "ak"), alt.Ref("r", "ak")),
+					alt.Eq(alt.Ref("Q", "sm"), alt.Ref("x", "sm")),
+				)))
+	}
+	cat := NewCatalog().
+		AddRelation(relation.New("R", "ak", "b").Add(1, 2)).
+		AddRelation(relation.New("S", "a", "b"))
+	souffle := mustEval(t, build(), cat, convention.Souffle())
+	wantRel(t, souffle, relation.New("W", "ak", "sm").Add(1, 0), false)
+	sql := mustEval(t, build(), cat, convention.SQLDistinct())
+	wantRel(t, sql, relation.New("W", "ak", "sm").Add(1, nil), false)
+}
+
+// --- Section 2.7: set vs bag ---------------------------------------------
+
+func TestSetVsBagUnnesting(t *testing.T) {
+	// Nested: {Q(A) | ∃r∈R[∃s∈S[Q.A=r.A ∧ r.B=s.B]]}
+	nested := alt.Col("Q", []string{"A"},
+		alt.Exists([]*alt.Binding{alt.Bind("r", "R")},
+			alt.Exists([]*alt.Binding{alt.Bind("s", "S")},
+				alt.AndF(
+					alt.Eq(alt.Ref("Q", "A"), alt.Ref("r", "A")),
+					alt.Eq(alt.Ref("r", "B"), alt.Ref("s", "B")),
+				))))
+	unnested := alt.Col("Q", []string{"A"},
+		alt.Exists([]*alt.Binding{alt.Bind("r", "R"), alt.Bind("s", "S")},
+			alt.AndF(
+				alt.Eq(alt.Ref("Q", "A"), alt.Ref("r", "A")),
+				alt.Eq(alt.Ref("r", "B"), alt.Ref("s", "B")),
+			)))
+	cat := NewCatalog().
+		AddRelation(relation.New("R", "A", "B").Add(1, 10)).
+		AddRelation(relation.New("S", "B").Add(10).Add(10)) // two tuples sharing B
+	// Under set semantics they agree.
+	n := mustEval(t, nested, cat, convention.SetLogic())
+	u := mustEval(t, unnested, cat, convention.SetLogic())
+	wantRel(t, n, u, false)
+	// Under bag semantics the nested form is a semijoin (multiplicity 1),
+	// the unnested form multiplies (multiplicity 2).
+	nb := mustEval(t, nested, cat, convention.SQL())
+	ub := mustEval(t, unnested, cat, convention.SQL())
+	if nb.Mult(relation.Tuple{value.Int(1)}) != 1 {
+		t.Errorf("nested bag multiplicity = %d, want 1\n%s", nb.Mult(relation.Tuple{value.Int(1)}), nb)
+	}
+	if ub.Mult(relation.Tuple{value.Int(1)}) != 2 {
+		t.Errorf("unnested bag multiplicity = %d, want 2\n%s", ub.Mult(relation.Tuple{value.Int(1)}), ub)
+	}
+}
+
+func TestDeduplicationViaGrouping(t *testing.T) {
+	// Section 2.7: DISTINCT = γ over all projected attributes.
+	cat := NewCatalog().
+		AddRelation(relation.New("R", "A", "B").Add(1, 2).Add(1, 2).Add(3, 4))
+	q := alt.Col("Q", []string{"A", "B"},
+		alt.ExistsG([]*alt.Binding{alt.Bind("r", "R")},
+			[]*alt.AttrRef{alt.Ref("r", "A"), alt.Ref("r", "B")},
+			alt.AndF(
+				alt.Eq(alt.Ref("Q", "A"), alt.Ref("r", "A")),
+				alt.Eq(alt.Ref("Q", "B"), alt.Ref("r", "B")),
+			)))
+	got := mustEval(t, q, cat, convention.SQL()) // bag conventions
+	want := relation.New("W", "A", "B").Add(1, 2).Add(3, 4)
+	wantRel(t, got, want, true) // multiplicities must be exactly 1
+}
+
+// --- Views and abstract relations (Section 2.13) -------------------------
+
+func TestViews(t *testing.T) {
+	cat := NewCatalog().
+		AddRelation(relation.New("R", "A", "B").Add(1, 10).Add(2, 20))
+	v := alt.Col("V", []string{"A"},
+		alt.Exists([]*alt.Binding{alt.Bind("r", "R")},
+			alt.AndF(
+				alt.Eq(alt.Ref("V", "A"), alt.Ref("r", "A")),
+				alt.Gt(alt.Ref("r", "B"), alt.CInt(15)),
+			)))
+	if err := cat.DefineView(v); err != nil {
+		t.Fatalf("DefineView: %v", err)
+	}
+	q := alt.Col("Q", []string{"A"},
+		alt.Exists([]*alt.Binding{alt.Bind("v", "V")},
+			alt.Eq(alt.Ref("Q", "A"), alt.Ref("v", "A"))))
+	got := mustEval(t, q, cat, convention.SetLogic())
+	wantRel(t, got, relation.New("W", "A").Add(2), false)
+}
+
+func TestAbstractRelation(t *testing.T) {
+	// A small abstract relation: SameParity(left,right) with no safe
+	// extension of its own, used as a module in a safe query.
+	cat := NewCatalog().
+		AddRelation(relation.New("N", "v").Add(1).Add(2).Add(3).Add(4))
+	// SameParity(left,right) holds when ∃k∈N: |left-right| = 2k is too
+	// fancy without modulo; use equality of a marker relation instead:
+	// Subset-style: Sm(left,right) := ¬∃m∈M [m.v = left ∧ ¬∃m2∈M[m2.v = right]]
+	cat.AddRelation(relation.New("M", "v").Add(1).Add(3))
+	abs := alt.Col("Sm", []string{"left", "right"},
+		alt.NotF(alt.Exists([]*alt.Binding{alt.Bind("m", "M")},
+			alt.AndF(
+				alt.Eq(alt.Ref("m", "v"), alt.Ref("Sm", "left")),
+				alt.NotF(alt.Exists([]*alt.Binding{alt.Bind("m2", "M")},
+					alt.Eq(alt.Ref("m2", "v"), alt.Ref("Sm", "right")))),
+			))))
+	if err := cat.DefineAbstract(abs); err != nil {
+		t.Fatalf("DefineAbstract: %v", err)
+	}
+	// Q(a,b) = pairs of N where Sm(a,b) holds.
+	q := alt.Col("Q", []string{"a", "b"},
+		alt.Exists([]*alt.Binding{alt.Bind("x", "N"), alt.Bind("y", "N"), alt.Bind("s", "Sm")},
+			alt.AndF(
+				alt.Eq(alt.Ref("Q", "a"), alt.Ref("x", "v")),
+				alt.Eq(alt.Ref("Q", "b"), alt.Ref("y", "v")),
+				alt.Eq(alt.Ref("s", "left"), alt.Ref("x", "v")),
+				alt.Eq(alt.Ref("s", "right"), alt.Ref("y", "v")),
+			)))
+	got := mustEval(t, q, cat, convention.SetLogic())
+	// Sm(a,b) holds unless a ∈ M and b ∉ M: a∈{1,3} with b∈{2,4} excluded.
+	if got.Card() != 16-4 {
+		t.Fatalf("abstract relation semantics wrong: %d rows\n%s", got.Card(), got)
+	}
+}
+
+// --- Scalar correctness details ------------------------------------------
+
+func TestCountDistinct(t *testing.T) {
+	cat := NewCatalog().
+		AddRelation(relation.New("R", "A", "B").Add(1, 5).Add(1, 5).Add(1, 7))
+	q := alt.Col("Q", []string{"A", "cd"},
+		alt.ExistsG([]*alt.Binding{alt.Bind("r", "R")},
+			[]*alt.AttrRef{alt.Ref("r", "A")},
+			alt.AndF(
+				alt.Eq(alt.Ref("Q", "A"), alt.Ref("r", "A")),
+				alt.Eq(alt.Ref("Q", "cd"), alt.CountDistinct(alt.Ref("r", "B"))),
+			)))
+	got := mustEval(t, q, cat, convention.SQL())
+	wantRel(t, got, relation.New("W", "A", "cd").Add(1, 2), false)
+}
+
+func TestAggregatesIgnoreNulls(t *testing.T) {
+	cat := NewCatalog().
+		AddRelation(relation.New("R", "A", "B").Add(1, 5).Add(1, nil).Add(1, 7))
+	q := alt.Col("Q", []string{"A", "sm", "ct"},
+		alt.ExistsG([]*alt.Binding{alt.Bind("r", "R")},
+			[]*alt.AttrRef{alt.Ref("r", "A")},
+			alt.AndF(
+				alt.Eq(alt.Ref("Q", "A"), alt.Ref("r", "A")),
+				alt.Eq(alt.Ref("Q", "sm"), alt.Sum(alt.Ref("r", "B"))),
+				alt.Eq(alt.Ref("Q", "ct"), alt.Count(alt.Ref("r", "B"))),
+			)))
+	got := mustEval(t, q, cat, convention.SetLogic())
+	wantRel(t, got, relation.New("W", "A", "sm", "ct").Add(1, 12, 2), false)
+}
+
+func TestAggregateExpression(t *testing.T) {
+	// sum over an arithmetic expression, as in matrix multiplication (26).
+	cat := NewCatalog().
+		AddRelation(relation.New("R", "A", "B", "C").Add(1, 2, 3).Add(1, 4, 5))
+	q := alt.Col("Q", []string{"A", "sm"},
+		alt.ExistsG([]*alt.Binding{alt.Bind("r", "R")},
+			[]*alt.AttrRef{alt.Ref("r", "A")},
+			alt.AndF(
+				alt.Eq(alt.Ref("Q", "A"), alt.Ref("r", "A")),
+				alt.Eq(alt.Ref("Q", "sm"), alt.Sum(alt.Times(alt.Ref("r", "B"), alt.Ref("r", "C")))),
+			)))
+	got := mustEval(t, q, cat, convention.SetLogic())
+	wantRel(t, got, relation.New("W", "A", "sm").Add(1, 26), false)
+}
+
+func TestDisjunctionAsUnion(t *testing.T) {
+	cat := NewCatalog().
+		AddRelation(relation.New("R", "A").Add(1)).
+		AddRelation(relation.New("S", "A").Add(2))
+	q := alt.Col("Q", []string{"A"},
+		alt.OrF(
+			alt.Exists([]*alt.Binding{alt.Bind("r", "R")},
+				alt.Eq(alt.Ref("Q", "A"), alt.Ref("r", "A"))),
+			alt.Exists([]*alt.Binding{alt.Bind("s", "S")},
+				alt.Eq(alt.Ref("Q", "A"), alt.Ref("s", "A"))),
+		))
+	got := mustEval(t, q, cat, convention.SetLogic())
+	wantRel(t, got, relation.New("W", "A").Add(1).Add(2), false)
+}
+
+func TestConflictingAssignmentsActAsConstraint(t *testing.T) {
+	// Q.A = r.A ∧ Q.A = s.A behaves as an implicit r.A = s.A constraint.
+	cat := NewCatalog().
+		AddRelation(relation.New("R", "A").Add(1).Add(2)).
+		AddRelation(relation.New("S", "A").Add(2).Add(3))
+	q := alt.Col("Q", []string{"A"},
+		alt.Exists([]*alt.Binding{alt.Bind("r", "R"), alt.Bind("s", "S")},
+			alt.AndF(
+				alt.Eq(alt.Ref("Q", "A"), alt.Ref("r", "A")),
+				alt.Eq(alt.Ref("Q", "A"), alt.Ref("s", "A")),
+			)))
+	got := mustEval(t, q, cat, convention.SetLogic())
+	wantRel(t, got, relation.New("W", "A").Add(2), false)
+}
+
+func TestUnknownRelationError(t *testing.T) {
+	q := alt.Col("Q", []string{"A"},
+		alt.Exists([]*alt.Binding{alt.Bind("r", "Nope")},
+			alt.Eq(alt.Ref("Q", "A"), alt.Ref("r", "A"))))
+	if _, err := Eval(q, NewCatalog(), convention.SetLogic()); err == nil ||
+		!strings.Contains(err.Error(), "unknown relation") {
+		t.Fatalf("want unknown-relation error, got %v", err)
+	}
+}

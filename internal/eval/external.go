@@ -1,0 +1,275 @@
+package eval
+
+import (
+	"fmt"
+
+	"repro/internal/value"
+)
+
+// External is a relation whose extension is defined outside the relational
+// language (Section 2.13.1) — possibly infinite, accessed through access
+// patterns in the style of Guagliardo et al.: the evaluator binds a subset
+// of the attributes from equality predicates and asks the external to
+// enumerate the consistent completions.
+type External interface {
+	// Name is the relation name used in bindings (e.g. "Minus", "-").
+	Name() string
+	// Attrs is the full attribute list (e.g. left, right, out).
+	Attrs() []string
+	// CanEnumerate reports whether the given set of bound attributes
+	// satisfies one of the external's access patterns.
+	CanEnumerate(bound map[string]bool) bool
+	// Enumerate returns every complete attribute assignment consistent
+	// with the bound values. It must only be called when CanEnumerate
+	// holds for the bound attribute set.
+	Enumerate(bound map[string]value.Value) ([]map[string]value.Value, error)
+}
+
+// arithExternal is a ternary arithmetic relation {(left,right,out) |
+// out = left ⊕ right}, invertible in every position where the operation
+// allows it — the access-pattern behaviour of Section 2.13 ("Add(2, x, 5)
+// represents 5−2 and returns x = 3").
+type arithExternal struct {
+	name    string
+	forward func(l, r value.Value) (value.Value, bool)
+	// solveLeft solves for left given (right, out); nil if not invertible.
+	solveLeft func(r, o value.Value) (value.Value, bool)
+	// solveRight solves for right given (left, out); nil if not invertible.
+	solveRight func(l, o value.Value) (value.Value, bool)
+}
+
+func (a *arithExternal) Name() string { return a.name }
+
+// Attrs includes the positional aliases $1/$2 used by the paper's Fig 20
+// ("*"($1, $2, out)); they denote the same columns as left/right.
+func (a *arithExternal) Attrs() []string { return []string{"left", "right", "out", "$1", "$2"} }
+
+// normArith maps the positional aliases onto the named attributes.
+func normArith(bound map[string]value.Value) map[string]value.Value {
+	out := make(map[string]value.Value, len(bound))
+	for k, v := range bound {
+		switch k {
+		case "$1":
+			k = "left"
+		case "$2":
+			k = "right"
+		}
+		out[k] = v
+	}
+	return out
+}
+
+func (a *arithExternal) CanEnumerate(rawBound map[string]bool) bool {
+	bound := make(map[string]bool, len(rawBound))
+	for k, v := range rawBound {
+		switch k {
+		case "$1":
+			k = "left"
+		case "$2":
+			k = "right"
+		}
+		if v {
+			bound[k] = true
+		}
+	}
+	n := 0
+	for _, attr := range a.Attrs() {
+		if bound[attr] {
+			n++
+		}
+	}
+	if bound["left"] && bound["right"] {
+		return true
+	}
+	if n >= 2 && a.solveLeft != nil && a.solveRight != nil {
+		return true
+	}
+	return false
+}
+
+func (a *arithExternal) Enumerate(rawBound map[string]value.Value) ([]map[string]value.Value, error) {
+	bound := normArith(rawBound)
+	l, hasL := bound["left"]
+	r, hasR := bound["right"]
+	o, hasO := bound["out"]
+	var res map[string]value.Value
+	switch {
+	case hasL && hasR:
+		out, ok := a.forward(l, r)
+		if !ok {
+			return nil, fmt.Errorf("%s: type error on (%v, %v)", a.name, l, r)
+		}
+		res = map[string]value.Value{"left": l, "right": r, "out": out}
+	case hasL && hasO && a.solveRight != nil:
+		right, ok := a.solveRight(l, o)
+		if !ok {
+			return nil, nil // no solution: empty relation slice
+		}
+		res = map[string]value.Value{"left": l, "right": right, "out": o}
+	case hasR && hasO && a.solveLeft != nil:
+		left, ok := a.solveLeft(r, o)
+		if !ok {
+			return nil, nil
+		}
+		res = map[string]value.Value{"left": left, "right": r, "out": o}
+	default:
+		return nil, fmt.Errorf("%s: unsatisfied access pattern (bound: %v)", a.name, boundAttrs(bound))
+	}
+	// If the caller over-bound (all three), keep only consistent rows.
+	if hasO && (value.Eq.Apply(res["out"], o) != value.True) {
+		return nil, nil
+	}
+	res["$1"], res["$2"] = res["left"], res["right"]
+	return []map[string]value.Value{res}, nil
+}
+
+func boundAttrs(bound map[string]value.Value) []string {
+	var out []string
+	for k := range bound {
+		out = append(out, k)
+	}
+	return out
+}
+
+// cmpExternal is a binary test relation {(left,right) | left op right},
+// usable only with both attributes bound (it is infinite otherwise).
+type cmpExternal struct {
+	name string
+	op   value.CmpOp
+}
+
+func (c *cmpExternal) Name() string    { return c.name }
+func (c *cmpExternal) Attrs() []string { return []string{"left", "right"} }
+
+func (c *cmpExternal) CanEnumerate(bound map[string]bool) bool {
+	return bound["left"] && bound["right"]
+}
+
+func (c *cmpExternal) Enumerate(bound map[string]value.Value) ([]map[string]value.Value, error) {
+	l, hasL := bound["left"]
+	r, hasR := bound["right"]
+	if !hasL || !hasR {
+		return nil, fmt.Errorf("%s: both operands must be bound", c.name)
+	}
+	if c.op.Apply(l, r) == value.True {
+		return []map[string]value.Value{{"left": l, "right": r}}, nil
+	}
+	return nil, nil
+}
+
+// FuncExternal adapts an arbitrary Go function into an external relation
+// with input attributes ins and output attributes outs. It is the
+// extension point for domain-specific built-ins (LIKE, string ops, …).
+type FuncExternal struct {
+	RelName string
+	Ins     []string
+	Outs    []string
+	// Fn maps bound input values to zero or more output assignments.
+	Fn func(in map[string]value.Value) ([]map[string]value.Value, error)
+}
+
+// Name returns the relation name.
+func (f *FuncExternal) Name() string { return f.RelName }
+
+// Attrs returns inputs followed by outputs.
+func (f *FuncExternal) Attrs() []string { return append(append([]string{}, f.Ins...), f.Outs...) }
+
+// CanEnumerate requires every input attribute bound.
+func (f *FuncExternal) CanEnumerate(bound map[string]bool) bool {
+	for _, a := range f.Ins {
+		if !bound[a] {
+			return false
+		}
+	}
+	return true
+}
+
+// Enumerate invokes the function and merges inputs into each output row,
+// keeping only rows consistent with any over-bound output attributes.
+func (f *FuncExternal) Enumerate(bound map[string]value.Value) ([]map[string]value.Value, error) {
+	in := map[string]value.Value{}
+	for _, a := range f.Ins {
+		v, ok := bound[a]
+		if !ok {
+			return nil, fmt.Errorf("%s: input %q not bound", f.RelName, a)
+		}
+		in[a] = v
+	}
+	outs, err := f.Fn(in)
+	if err != nil {
+		return nil, err
+	}
+	var rows []map[string]value.Value
+	for _, o := range outs {
+		row := map[string]value.Value{}
+		for k, v := range in {
+			row[k] = v
+		}
+		consistent := true
+		for k, v := range o {
+			if bv, over := bound[k]; over && value.Eq.Apply(bv, v) != value.True {
+				consistent = false
+				break
+			}
+			row[k] = v
+		}
+		if consistent {
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// StandardExternals returns the built-ins used throughout the paper's
+// examples: Minus/Add/Times/Divide (with symbolic aliases "-", "+", "*",
+// "/") and the comparison tests Bigger (">") and Smaller ("<").
+func StandardExternals() []External {
+	mk := func(name string, fwd func(a, b value.Value) (value.Value, bool),
+		solveL, solveR func(a, b value.Value) (value.Value, bool)) External {
+		return &arithExternal{name: name, forward: fwd, solveLeft: solveL, solveRight: solveR}
+	}
+	add := func(a, b value.Value) (value.Value, bool) { return value.Add(a, b) }
+	sub := func(a, b value.Value) (value.Value, bool) { return value.Sub(a, b) }
+	mul := func(a, b value.Value) (value.Value, bool) { return value.Mul(a, b) }
+	div := func(a, b value.Value) (value.Value, bool) { return value.Div(a, b) }
+	var exts []External
+	// Minus: out = left - right; left = out + right; right = left - out.
+	for _, n := range []string{"Minus", "-"} {
+		exts = append(exts, mk(n, sub,
+			func(r, o value.Value) (value.Value, bool) { return value.Add(o, r) },
+			func(l, o value.Value) (value.Value, bool) { return value.Sub(l, o) }))
+	}
+	// Add: out = left + right.
+	for _, n := range []string{"Add", "+"} {
+		exts = append(exts, mk(n, add,
+			func(r, o value.Value) (value.Value, bool) { return value.Sub(o, r) },
+			func(l, o value.Value) (value.Value, bool) { return value.Sub(o, l) }))
+	}
+	// Times: out = left * right (solving needs nonzero divisor).
+	for _, n := range []string{"Times", "*"} {
+		exts = append(exts, mk(n, mul,
+			func(r, o value.Value) (value.Value, bool) {
+				if r.IsNull() || r.AsFloat() == 0 {
+					return value.Null(), false
+				}
+				return value.Div(o, r)
+			},
+			func(l, o value.Value) (value.Value, bool) {
+				if l.IsNull() || l.AsFloat() == 0 {
+					return value.Null(), false
+				}
+				return value.Div(o, l)
+			}))
+	}
+	// Divide: out = left / right.
+	for _, n := range []string{"Divide", "/"} {
+		exts = append(exts, mk(n, div, nil, nil))
+	}
+	exts = append(exts,
+		&cmpExternal{name: "Bigger", op: value.Gt},
+		&cmpExternal{name: ">", op: value.Gt},
+		&cmpExternal{name: "Smaller", op: value.Lt},
+		&cmpExternal{name: "<", op: value.Lt},
+	)
+	return exts
+}

@@ -1,0 +1,219 @@
+package eval
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/alt"
+	"repro/internal/convention"
+	"repro/internal/relation"
+	"repro/internal/value"
+)
+
+// buildRS constructs R(A,B) and S(B) from generator-supplied bytes,
+// keeping domains tiny so joins and duplicates happen.
+func buildRS(rs, ss []uint8) (*relation.Relation, *relation.Relation) {
+	r := relation.New("R", "A", "B")
+	for i := 0; i+1 < len(rs) && i < 16; i += 2 {
+		r.Add(int(rs[i]%4), int(rs[i+1]%4))
+	}
+	s := relation.New("S", "B")
+	for i := 0; i < len(ss) && i < 8; i++ {
+		s.Add(int(ss[i] % 4))
+	}
+	return r, s
+}
+
+// TestPropertySetUnnesting checks the Section 2.7 law: under set
+// semantics, nesting an existential is always removable.
+func TestPropertySetUnnesting(t *testing.T) {
+	nested := alt.Col("Q", []string{"A"},
+		alt.Exists([]*alt.Binding{alt.Bind("r", "R")},
+			alt.Exists([]*alt.Binding{alt.Bind("s", "S")},
+				alt.AndF(
+					alt.Eq(alt.Ref("Q", "A"), alt.Ref("r", "A")),
+					alt.Eq(alt.Ref("r", "B"), alt.Ref("s", "B")),
+				))))
+	unnested := alt.Col("Q", []string{"A"},
+		alt.Exists([]*alt.Binding{alt.Bind("r", "R"), alt.Bind("s", "S")},
+			alt.AndF(
+				alt.Eq(alt.Ref("Q", "A"), alt.Ref("r", "A")),
+				alt.Eq(alt.Ref("r", "B"), alt.Ref("s", "B")),
+			)))
+	f := func(rs, ss []uint8) bool {
+		r, s := buildRS(rs, ss)
+		cat := NewCatalog().AddRelation(r).AddRelation(s)
+		a, err := Eval(nested, cat, convention.SetLogic())
+		if err != nil {
+			return false
+		}
+		b, err := Eval(unnested, cat, convention.SetLogic())
+		if err != nil {
+			return false
+		}
+		return a.EqualSet(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyBagSemijoinBound checks the bag-semantics half of the law:
+// the nested form's multiplicities never exceed the unnested form's, and
+// the distinct tuples agree.
+func TestPropertyBagSemijoinBound(t *testing.T) {
+	nested := alt.Col("Q", []string{"A"},
+		alt.Exists([]*alt.Binding{alt.Bind("r", "R")},
+			alt.Exists([]*alt.Binding{alt.Bind("s", "S")},
+				alt.AndF(
+					alt.Eq(alt.Ref("Q", "A"), alt.Ref("r", "A")),
+					alt.Eq(alt.Ref("r", "B"), alt.Ref("s", "B")),
+				))))
+	unnested := alt.Col("Q", []string{"A"},
+		alt.Exists([]*alt.Binding{alt.Bind("r", "R"), alt.Bind("s", "S")},
+			alt.AndF(
+				alt.Eq(alt.Ref("Q", "A"), alt.Ref("r", "A")),
+				alt.Eq(alt.Ref("r", "B"), alt.Ref("s", "B")),
+			)))
+	f := func(rs, ss []uint8) bool {
+		r, s := buildRS(rs, ss)
+		cat := NewCatalog().AddRelation(r).AddRelation(s)
+		a, err := Eval(nested, cat, convention.SQL())
+		if err != nil {
+			return false
+		}
+		b, err := Eval(unnested, cat, convention.SQL())
+		if err != nil {
+			return false
+		}
+		if !a.EqualSet(b) {
+			return false
+		}
+		ok := true
+		a.Each(func(tp relation.Tuple, m int) {
+			if b.Mult(tp) < m {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyLFPMonotone checks that adding parent edges never removes
+// ancestor facts (monotonicity of the least fixed point).
+func TestPropertyLFPMonotone(t *testing.T) {
+	anc := func() *alt.Collection {
+		return alt.Col("A", []string{"s", "t"},
+			alt.OrF(
+				alt.Exists([]*alt.Binding{alt.Bind("p", "P")},
+					alt.AndF(
+						alt.Eq(alt.Ref("A", "s"), alt.Ref("p", "s")),
+						alt.Eq(alt.Ref("A", "t"), alt.Ref("p", "t")))),
+				alt.Exists([]*alt.Binding{alt.Bind("p", "P"), alt.Bind("a2", "A")},
+					alt.AndF(
+						alt.Eq(alt.Ref("A", "s"), alt.Ref("p", "s")),
+						alt.Eq(alt.Ref("p", "t"), alt.Ref("a2", "s")),
+						alt.Eq(alt.Ref("A", "t"), alt.Ref("a2", "t")))),
+			))
+	}
+	f := func(edges []uint8, extraS, extraT uint8) bool {
+		p := relation.New("P", "s", "t")
+		for i := 0; i+1 < len(edges) && i < 20; i += 2 {
+			p.Add(int(edges[i]%6), int(edges[i+1]%6))
+		}
+		cat := NewCatalog().AddRelation(p)
+		small, err := Eval(anc(), cat, convention.SetLogic())
+		if err != nil {
+			return false
+		}
+		bigger := p.Clone()
+		extra := relation.Tuple{value.Int(int64(extraS % 6)), value.Int(int64(extraT % 6))}
+		if !bigger.Contains(extra) {
+			bigger.Insert(extra)
+		}
+		cat2 := NewCatalog().AddRelation(bigger)
+		big, err := Eval(anc(), cat2, convention.SetLogic())
+		if err != nil {
+			return false
+		}
+		ok := true
+		small.Each(func(tp relation.Tuple, _ int) {
+			if !big.Contains(tp) {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyDedupGroupingIdempotent: γ over all head attributes (the
+// DISTINCT encoding) yields multiplicity-1 relations, and applying it
+// twice changes nothing.
+func TestPropertyDedupGroupingIdempotent(t *testing.T) {
+	dedup := alt.Col("Q", []string{"A", "B"},
+		alt.ExistsG([]*alt.Binding{alt.Bind("r", "R")},
+			[]*alt.AttrRef{alt.Ref("r", "A"), alt.Ref("r", "B")},
+			alt.AndF(
+				alt.Eq(alt.Ref("Q", "A"), alt.Ref("r", "A")),
+				alt.Eq(alt.Ref("Q", "B"), alt.Ref("r", "B")),
+			)))
+	f := func(rs []uint8) bool {
+		r := relation.New("R", "A", "B")
+		for i := 0; i+1 < len(rs) && i < 20; i += 2 {
+			r.Add(int(rs[i]%3), int(rs[i+1]%3))
+		}
+		cat := NewCatalog().AddRelation(r)
+		once, err := Eval(dedup, cat, convention.SQL())
+		if err != nil {
+			return false
+		}
+		for _, tp := range once.Tuples() {
+			if once.Mult(tp) != 1 {
+				return false
+			}
+		}
+		// Feed the result back in as R; dedup again.
+		cat2 := NewCatalog().AddRelation(once.Rename("R", []string{"A", "B"}))
+		twice, err := Eval(dedup, cat2, convention.SQL())
+		if err != nil {
+			return false
+		}
+		return twice.EqualBag(once.Rename("Q", nil))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyConventionMonotonicity: switching set→bag never loses
+// distinct tuples (for the negation-free fragment used here).
+func TestPropertyConventionMonotonicity(t *testing.T) {
+	q := alt.Col("Q", []string{"A"},
+		alt.Exists([]*alt.Binding{alt.Bind("r", "R"), alt.Bind("s", "S")},
+			alt.AndF(
+				alt.Eq(alt.Ref("Q", "A"), alt.Ref("r", "A")),
+				alt.Eq(alt.Ref("r", "B"), alt.Ref("s", "B")),
+			)))
+	f := func(rs, ss []uint8) bool {
+		r, s := buildRS(rs, ss)
+		cat := NewCatalog().AddRelation(r).AddRelation(s)
+		set, err := Eval(q, cat, convention.SetLogic())
+		if err != nil {
+			return false
+		}
+		bag, err := Eval(q, cat, convention.SQL())
+		if err != nil {
+			return false
+		}
+		return set.EqualSet(bag)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

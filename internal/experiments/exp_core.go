@@ -1,0 +1,262 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/alt"
+	"repro/internal/convention"
+	"repro/internal/eval"
+	"repro/internal/higraph"
+	"repro/internal/pattern"
+	"repro/internal/relation"
+	"repro/internal/relpat"
+	"repro/internal/sqleval"
+	"repro/internal/trc"
+	"repro/internal/workload"
+)
+
+// evalARC runs a collection under the given conventions against base
+// relations.
+func evalARC(col *alt.Collection, conv convention.Conventions, rels ...*relation.Relation) (*relation.Relation, error) {
+	cat := eval.NewCatalog().WithStandardExternals()
+	for _, r := range rels {
+		cat.AddRelation(r)
+	}
+	return eval.Eval(col, cat, conv)
+}
+
+func evalSQL(src string, rels ...*relation.Relation) (*relation.Relation, error) {
+	db := sqleval.DB{}
+	for _, r := range rels {
+		db[r.Name()] = r
+	}
+	return sqleval.EvalString(src, db)
+}
+
+func init() {
+	register("E01", e01)
+	register("E02", e02)
+	register("E03", e03)
+	register("E04", e04)
+	register("E05", e05)
+	register("E06", e06)
+	register("E07", e07)
+	register("E08", e08)
+}
+
+// e01 — Fig 2 / query (1): the TRC query renders in all three modalities
+// and evaluates equal to its SQL counterpart; the textbook form
+// normalizes to the same pattern.
+func e01() Report {
+	const claim = "TRC query (1) has ALT and higraph renderings and evaluates like its SQL counterpart"
+	rep := Report{Figure: "Fig 2 / (1)", Title: "TRC query in three modalities", PaperClaim: claim}
+	col := q1()
+	tree := alt.PrintTree(col)
+	g, err := higraph.Build(col)
+	if err != nil {
+		return fail(rep.Figure, rep.Title, claim, err)
+	}
+	// Normalizing the loose textbook form yields the same pattern.
+	loose := trc.MustParse("{r.A | r ∈ R ∧ ∃s[r.B = s.B ∧ s.C = 0 ∧ s ∈ S]}")
+	norm, _, err := loose.Normalize()
+	if err != nil {
+		return fail(rep.Figure, rep.Title, claim, err)
+	}
+	// Flattened vs nested existentials are the same pattern only after
+	// set-semantics unnesting; results must agree regardless.
+	rng := workload.Rand(101)
+	r := workload.RandomBinary(rng, "R", "A", "B", 40, 15, 10)
+	s := workload.RandomBinary(rng, "S", "B", "C", 40, 10, 3)
+	arcRes, err := evalARC(col, convention.SetLogic(), r, s)
+	if err != nil {
+		return fail(rep.Figure, rep.Title, claim, err)
+	}
+	normRes, err := evalARC(norm, convention.SetLogic(), r, s)
+	if err != nil {
+		return fail(rep.Figure, rep.Title, claim, err)
+	}
+	sqlRes, err := evalSQL(sqlFig2, r, s)
+	if err != nil {
+		return fail(rep.Figure, rep.Title, claim, err)
+	}
+	okALT := strings.Contains(tree, "QUANTIFIER ∃") && strings.Contains(tree, "BINDING: r ∈ R")
+	okHG := g.Regions() >= 4 && len(g.Edges) == 2
+	okEq := arcRes.EqualSet(sqlRes) && normRes.EqualSet(sqlRes)
+	rep.Pass = okALT && okHG && okEq
+	rep.Measured = fmt.Sprintf("ALT ok=%v, higraph regions=%d edges=%d, ARC≡SQL=%v (%d rows), TRC-normalized≡SQL=%v",
+		okALT, g.Regions(), len(g.Edges), arcRes.EqualSet(sqlRes), arcRes.Card(), normRes.EqualSet(sqlRes))
+	rep.Details = tree
+	return rep
+}
+
+// e02 — Fig 3 / query (2): nested-body comprehension ≡ SQL lateral join.
+func e02() Report {
+	const claim = "nested comprehension (2) ≡ SQL JOIN LATERAL (Fig 3a)"
+	rep := Report{Figure: "Fig 3 / (2)", Title: "Orthogonal nesting = lateral join", PaperClaim: claim}
+	rng := workload.Rand(202)
+	x := workload.RandomBinary(rng, "X", "A", "Z", 30, 20, 2).Project("A")
+	y := workload.RandomBinary(rng, "Y", "A", "Z", 30, 20, 2).Project("A")
+	arcRes, err := evalARC(q2(), convention.SQL(), x, y)
+	if err != nil {
+		return fail(rep.Figure, rep.Title, claim, err)
+	}
+	sqlRes, err := evalSQL(sqlFig3, x, y)
+	if err != nil {
+		return fail(rep.Figure, rep.Title, claim, err)
+	}
+	rep.Pass = arcRes.EqualBag(sqlRes)
+	rep.Measured = fmt.Sprintf("bag-equal=%v over %d result rows", rep.Pass, arcRes.Card())
+	return rep
+}
+
+// e03 — Fig 4 / query (3): the FIO grouped aggregate ≡ SQL GROUP BY.
+func e03() Report {
+	const claim = "grouped aggregate (3) ≡ SQL GROUP BY (Fig 4a), FIO pattern"
+	rep := Report{Figure: "Fig 4 / (3)", Title: "FIO grouped aggregate", PaperClaim: claim}
+	rng := workload.Rand(303)
+	r := workload.RandomBinary(rng, "R", "A", "B", 60, 12, 50)
+	arcRes, err := evalARC(q3(), convention.SQL(), r)
+	if err != nil {
+		return fail(rep.Figure, rep.Title, claim, err)
+	}
+	sqlRes, err := evalSQL(sqlFig4, r)
+	if err != nil {
+		return fail(rep.Figure, rep.Title, claim, err)
+	}
+	cls, err := pattern.ClassifyAggregation(q3())
+	if err != nil {
+		return fail(rep.Figure, rep.Title, claim, err)
+	}
+	rep.Pass = arcRes.EqualBag(sqlRes) && cls == pattern.FIO
+	rep.Measured = fmt.Sprintf("bag-equal=%v, classified %v", arcRes.EqualBag(sqlRes), cls)
+	return rep
+}
+
+// e04 — Fig 5 / query (7): the FOI pattern ≡ scalar subquery ≡ lateral
+// join, and ≡ the FIO formulation under set semantics.
+func e04() Report {
+	const claim = "FOI (7) ≡ scalar subquery (5a) ≡ lateral join (5b); equal to FIO (3) under set semantics"
+	rep := Report{Figure: "Fig 5 / (7)", Title: "FOI pattern equivalences", PaperClaim: claim}
+	rng := workload.Rand(404)
+	// Bag conventions: SQL's inner SUM ranges over R as a bag, so the ARC
+	// evaluation must too; the DISTINCT outputs compare as sets.
+	r := workload.RandomBinary(rng, "R", "A", "B", 50, 10, 40)
+	foiRes, err := evalARC(q7(), convention.SQL(), r)
+	if err != nil {
+		return fail(rep.Figure, rep.Title, claim, err)
+	}
+	fioRes, err := evalARC(q3(), convention.SQL(), r)
+	if err != nil {
+		return fail(rep.Figure, rep.Title, claim, err)
+	}
+	scalarRes, err := evalSQL(sqlFig5a, r)
+	if err != nil {
+		return fail(rep.Figure, rep.Title, claim, err)
+	}
+	lateralRes, err := evalSQL(sqlFig5b, r)
+	if err != nil {
+		return fail(rep.Figure, rep.Title, claim, err)
+	}
+	cls, _ := pattern.ClassifyAggregation(q7())
+	eq := foiRes.EqualSet(scalarRes) && foiRes.EqualSet(lateralRes) && foiRes.EqualSet(fioRes)
+	rep.Pass = eq && cls == pattern.FOI
+	rep.Measured = fmt.Sprintf("all four equal=%v (%d rows), (7) classified %v", eq, foiRes.Card(), cls)
+	return rep
+}
+
+// e05 — Fig 6 / query (8): multiple aggregates share one grouping scope;
+// HAVING is a selection after aggregation.
+func e05() Report {
+	const claim = "multiple aggregates in one scope + HAVING (8) ≡ SQL Fig 6a"
+	rep := Report{Figure: "Fig 6 / (8)", Title: "Multiple aggregates, FIO", PaperClaim: claim}
+	r, s := workload.Employees()
+	arcRes, err := evalARC(relpat.MultiAggFIO(), convention.SQLDistinct(), r, s)
+	if err != nil {
+		return fail(rep.Figure, rep.Title, claim, err)
+	}
+	sqlRes, err := evalSQL(sqlFig6, r, s)
+	if err != nil {
+		return fail(rep.Figure, rep.Title, claim, err)
+	}
+	sig, _ := pattern.ComputeSignature(relpat.MultiAggFIO())
+	rep.Pass = arcRes.EqualSet(sqlRes) && sig.RelCounts["R"] == 1 && sig.RelCounts["S"] == 1
+	rep.Measured = fmt.Sprintf("equal=%v, signature %s", arcRes.EqualSet(sqlRes), sig)
+	return rep
+}
+
+// e06 — Fig 7 / query (10): the Hella et al. pattern computes the same
+// result with a different relational pattern (three scans, FOI).
+func e06() Report {
+	const claim = "Hella pattern (10) ≡ (8) in results, but scans R,S three times (modified relational pattern, FOI)"
+	rep := Report{Figure: "Fig 7 / (10)", Title: "Hella et al. pattern", PaperClaim: claim}
+	r, s := workload.Employees()
+	hella, err := evalARC(relpat.MultiAggHella(), convention.SQLDistinct(), r, s)
+	if err != nil {
+		return fail(rep.Figure, rep.Title, claim, err)
+	}
+	fio, err := evalARC(relpat.MultiAggFIO(), convention.SQLDistinct(), r, s)
+	if err != nil {
+		return fail(rep.Figure, rep.Title, claim, err)
+	}
+	sig, _ := pattern.ComputeSignature(relpat.MultiAggHella())
+	cls, _ := pattern.ClassifyAggregation(relpat.MultiAggHella())
+	notSame := !pattern.CanonicalEqual(relpat.MultiAggHella(), relpat.MultiAggFIO())
+	rep.Pass = hella.EqualSet(fio) && sig.RelCounts["R"] == 3 && sig.RelCounts["S"] == 3 &&
+		cls == pattern.FOI && notSame
+	rep.Measured = fmt.Sprintf("results equal=%v, scans R×%d S×%d, classified %v, pattern differs=%v",
+		hella.EqualSet(fio), sig.RelCounts["R"], sig.RelCounts["S"], cls, notSame)
+	return rep
+}
+
+// e07 — Fig 8 / query (12): Rel's pattern sits between the two — FIO
+// aggregation, but one scope per aggregate (two scans).
+func e07() Report {
+	const claim = "Rel pattern (12) ≡ (8)/(10) in results; two scans of R,S; FIO with per-aggregate scopes"
+	rep := Report{Figure: "Fig 8 / (12)", Title: "Rel pattern", PaperClaim: claim}
+	r, s := workload.Employees()
+	rel, err := evalARC(relpat.MultiAggRel(), convention.SQLDistinct(), r, s)
+	if err != nil {
+		return fail(rep.Figure, rep.Title, claim, err)
+	}
+	fio, err := evalARC(relpat.MultiAggFIO(), convention.SQLDistinct(), r, s)
+	if err != nil {
+		return fail(rep.Figure, rep.Title, claim, err)
+	}
+	sig, _ := pattern.ComputeSignature(relpat.MultiAggRel())
+	cls, _ := pattern.ClassifyAggregation(relpat.MultiAggRel())
+	sigF, _ := pattern.ComputeSignature(relpat.MultiAggFIO())
+	sigH, _ := pattern.ComputeSignature(relpat.MultiAggHella())
+	simFIO := pattern.Similarity(sig, sigF)
+	simHella := pattern.Similarity(sig, sigH)
+	rep.Pass = rel.EqualSet(fio) && sig.RelCounts["R"] == 2 && cls == pattern.FIO
+	rep.Measured = fmt.Sprintf("results equal=%v, scans R×%d, classified %v, similarity to (8)=%.2f to (10)=%.2f",
+		rel.EqualSet(fio), sig.RelCounts["R"], cls, simFIO, simHella)
+	return rep
+}
+
+// e08 — Fig 9 / (13),(14): Boolean sentences with aggregate comparison
+// predicates; SQL can only return a unary truth-value relation.
+func e08() Report {
+	const claim = "(13) holds and (14) fails on an instance where some r.q exceeds its count; SQL Fig 9a returns the same truth value as a unary relation"
+	rep := Report{Figure: "Fig 9 / (13),(14)", Title: "Boolean sentences with aggregates", PaperClaim: claim}
+	r := relation.New("R", "id", "q").Add(1, 2).Add(2, 5)
+	s := relation.New("S", "id", "d").Add(1, "a").Add(1, "b").Add(2, "c")
+	cat := eval.NewCatalog().AddRelation(r).AddRelation(s)
+	v13, err := eval.EvalSentence(s13(), cat, convention.SetLogic())
+	if err != nil {
+		return fail(rep.Figure, rep.Title, claim, err)
+	}
+	v14, err := eval.EvalSentence(s14(), cat, convention.SetLogic())
+	if err != nil {
+		return fail(rep.Figure, rep.Title, claim, err)
+	}
+	sqlRes, err := evalSQL(sqlFig9a, r, s)
+	if err != nil {
+		return fail(rep.Figure, rep.Title, claim, err)
+	}
+	sqlTrue := sqlRes.Card() == 1 && sqlRes.Tuples()[0][0].AsBool()
+	rep.Pass = v13 && !v14 && sqlTrue == v13
+	rep.Measured = fmt.Sprintf("(13)=%v (14)=%v, SQL exists-as-relation=%v", v13, v14, sqlTrue)
+	return rep
+}

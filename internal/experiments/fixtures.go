@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"repro/internal/alt"
+	"repro/internal/arc"
+)
+
+// The paper's numbered queries as ARC comprehension text, parsed through
+// the textual modality (so the fixtures also exercise the parser).
+
+// q1 is query (1).
+func q1() *alt.Collection {
+	return arc.MustParseCollection(
+		"{Q(A) | ∃r ∈ R, s ∈ S [Q.A = r.A ∧ r.B = s.B ∧ s.C = 0]}")
+}
+
+// q2 is query (2): nested comprehension (lateral pattern, Fig 3).
+func q2() *alt.Collection {
+	return arc.MustParseCollection(
+		"{Q(A, B) | ∃x ∈ X, z ∈ {Z(B) | ∃y ∈ Y [Z.B = y.A ∧ x.A < y.A]} [Q.A = x.A ∧ Q.B = z.B]}")
+}
+
+// q3 is query (3): FIO grouped aggregate (Fig 4).
+func q3() *alt.Collection {
+	return arc.MustParseCollection(
+		"{Q(A, sm) | ∃r ∈ R, γ r.A [Q.A = r.A ∧ Q.sm = sum(r.B)]}")
+}
+
+// q7 is query (7): FOI pattern (Fig 5c).
+func q7() *alt.Collection {
+	return arc.MustParseCollection(
+		"{Q(A, sm) | ∃r ∈ R, x ∈ {X(sm) | ∃r2 ∈ R, γ ∅ [r2.A = r.A ∧ X.sm = sum(r2.B)]} [Q.A = r.A ∧ Q.sm = x.sm]}")
+}
+
+// s13 is sentence (13); s14 is sentence (14).
+func s13() *alt.Sentence {
+	s, err := arc.ParseSentence("∃r ∈ R [∃s ∈ S, γ ∅ [r.id = s.id ∧ r.q <= count(s.d)]]")
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func s14() *alt.Sentence {
+	s, err := arc.ParseSentence("¬(∃r ∈ R [∃s ∈ S, γ ∅ [r.id = s.id ∧ r.q > count(s.d)]])")
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// q16 is query (16): recursion (Fig 10).
+func q16() *alt.Collection {
+	return arc.MustParseCollection(
+		"{A(s, t) | ∃p ∈ P [A.s = p.s ∧ A.t = p.t] ∨ ∃p ∈ P, a2 ∈ A [A.s = p.s ∧ p.t = a2.s ∧ A.t = a2.t]}")
+}
+
+// q17 is query (17): NOT IN with explicit null checks (Fig 11).
+func q17() *alt.Collection {
+	return arc.MustParseCollection(
+		"{Q(A) | ∃r ∈ R [Q.A = r.A ∧ ¬(∃s ∈ S [s.A = r.A ∨ s.A is null ∨ r.A is null])]}")
+}
+
+// q18 is query (18): outer join with a constant join leaf (Fig 12).
+func q18() *alt.Collection {
+	return arc.MustParseCollection(
+		"{Q(m, n) | ∃r ∈ R, s ∈ S, left(r, inner(11 AS c, s)) [Q.m = r.m ∧ Q.n = s.n ∧ r.y = s.y ∧ r.h = c.val]}")
+}
+
+// q19/q20/q21 are the external-relation variants of Fig 15.
+func q19() *alt.Collection {
+	return arc.MustParseCollection(
+		"{Q(A) | ∃r ∈ R, s ∈ S, t ∈ T [Q.A = r.A ∧ r.B - s.B > t.B]}")
+}
+
+func q20() *alt.Collection {
+	return arc.MustParseCollection(
+		`{Q(A) | ∃r ∈ R, s ∈ S, t ∈ T, f ∈ Minus [Q.A = r.A ∧ f.left = r.B ∧ f.right = s.B ∧ f.out > t.B]}`)
+}
+
+func q21() *alt.Collection {
+	return arc.MustParseCollection(
+		`{Q(A) | ∃r ∈ R, s ∈ S, t ∈ T, f ∈ Minus, g ∈ Bigger [Q.A = r.A ∧ f.left = r.B ∧ f.right = s.B ∧ f.out = g.left ∧ g.right = t.B]}`)
+}
+
+// countBugV1/V2/V3 are queries (27)/(28)/(29) (Fig 21).
+func countBugV1() *alt.Collection {
+	return arc.MustParseCollection(
+		"{Q(id) | ∃r ∈ R [Q.id = r.id ∧ ∃s ∈ S, γ ∅ [r.id = s.id ∧ r.q = count(s.d)]]}")
+}
+
+func countBugV2() *alt.Collection {
+	return arc.MustParseCollection(
+		"{Q(id) | ∃r ∈ R, x ∈ {X(id, ct) | ∃s ∈ S, γ s.id [X.id = s.id ∧ X.ct = count(s.d)]} [Q.id = r.id ∧ r.id = x.id ∧ r.q = x.ct]}")
+}
+
+func countBugV3() *alt.Collection {
+	return arc.MustParseCollection(
+		"{Q(id) | ∃r ∈ R, x ∈ {X(id, ct) | ∃s ∈ S, r2 ∈ R, γ r2.id, left(r2, s) [X.id = r2.id ∧ X.ct = count(s.d) ∧ r2.id = s.id]} [Q.id = r.id ∧ r.id = x.id ∧ r.q = x.ct]}")
+}
+
+// q15Souffle is the Soufflé rule (15) as ARC (FOI with correlated γ∅).
+func q15ARC() *alt.Collection {
+	return arc.MustParseCollection(
+		"{Q(ak, sm) | ∃r ∈ R, x ∈ {X(sm) | ∃s ∈ S, γ ∅ [s.a < r.ak ∧ X.sm = sum(s.b)]} [Q.ak = r.ak ∧ Q.sm = x.sm]}")
+}
+
+// SQL texts of the corresponding figures.
+const (
+	sqlFig2   = "select R.A from R, S where R.B = S.B and S.C = 0"
+	sqlFig3   = "select x.A, z.B from X as x join lateral (select y.A as B from Y as y where x.A < y.A) as z on true"
+	sqlFig4   = "select R.A, sum(R.B) sm from R group by R.A"
+	sqlFig5a  = "select distinct R.A, (select sum(R2.B) sm from R R2 where R2.A = R.A) from R"
+	sqlFig5b  = "select distinct R.A, X.sm from R join lateral (select sum(R2.B) sm from R R2 where R2.A = R.A) X on true"
+	sqlFig6   = "select R.dept, avg(S.sal) av from R, S where R.empl = S.empl group by R.dept having sum(S.sal) > 100"
+	sqlFig11a = "select R.A from R where R.A not in (select S.A from S)"
+	sqlFig11b = "select R.A from R where not exists (select 1 from S where S.A = R.A or S.A is null or R.A is null)"
+	sqlFig12  = "select R.m, S.n from R left outer join S on (R.h = 11 and R.y = S.y)"
+	sqlFig13a = "select R.A, (select sum(S.B) sm from S where S.A < R.A) from R"
+	sqlFig13b = "select R.A, X.sm from R join lateral (select sum(S.B) sm from S where S.A < R.A) X on true"
+	sqlFig13c = "select R.A, sum(S.B) sm from R left join S on S.A < R.A group by R.A"
+	sqlFig15a = "select R.A from R, S, T where R.B - S.B > T.B"
+	sqlFig21a = "select R.id from R where R.q = (select count(S.d) from S where S.id = R.id)"
+	sqlFig21b = "select R.id from R, (select S.id, count(S.d) as ct from S group by S.id) as X where R.q = X.ct and R.id = X.id"
+	sqlFig21c = "select R.id from R, (select R2.id, count(S.d) as ct from R R2 left join S on R2.id = S.id group by R2.id) as X where R.q = X.ct and R.id = X.id"
+	sqlFig9a  = "select exists (select 1 from R where R.q <= (select count(S.d) from S where S.id = R.id)) as b"
+	sqlFig17  = `select distinct L1.drinker from Likes L1
+	where not exists
+	  (select 1 from Likes L2
+	   where L1.drinker <> L2.drinker
+	   and not exists
+	     (select 1 from Likes L3
+	      where L3.drinker = L2.drinker
+	      and not exists
+	        (select 1 from Likes L4
+	         where L4.drinker = L1.drinker and L4.beer = L3.beer))
+	   and not exists
+	     (select 1 from Likes L5
+	      where L5.drinker = L1.drinker
+	      and not exists
+	        (select 1 from Likes L6
+	         where L6.drinker = L2.drinker and L6.beer = L5.beer)))`
+)
+
+// datalogAncestor is the two-rule ancestor program of Section 2.9.
+const datalogAncestor = `
+	A(x,y) :- P(x,y).
+	A(x,y) :- P(x,z), A(z,y).
+`
+
+// datalogQ15 is the Soufflé rule (15) of Section 2.6.
+const datalogQ15 = `Q(ak,sm) :- R(ak,_), sm = sum b : {S(a,b), a < ak}.`

@@ -1,0 +1,366 @@
+// Package higraph implements the paper's diagrammatic modality
+// (Section 2.2, Figs 2b, 4b, 5c, …): the linked ALT rendered as a
+// hierarchical graph — nested regions for scopes (double-bordered for
+// grouping scopes, dashed for negation), table nodes with their attribute
+// rows, and edges between attribute occurrences for join, assignment
+// (visually decorated), and aggregation predicates. Renderers produce an
+// ASCII form for terminals and an SVG form for documents.
+package higraph
+
+import (
+	"fmt"
+
+	"repro/internal/alt"
+)
+
+// Kind classifies regions.
+type Kind int
+
+const (
+	// KindCanvas is the outermost region.
+	KindCanvas Kind = iota
+	// KindScope is an existential scope.
+	KindScope
+	// KindGroupScope is a grouping scope (double border, per Fig 4b).
+	KindGroupScope
+	// KindNegation is a negation scope.
+	KindNegation
+	// KindCollection is a nested collection region (an independent
+	// topological entity on the canvas, possibly unnamed — Section 2.5).
+	KindCollection
+	// KindTable is a relation occurrence with attribute rows.
+	KindTable
+	// KindHead is the output table.
+	KindHead
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindCanvas:
+		return "canvas"
+	case KindScope:
+		return "scope"
+	case KindGroupScope:
+		return "group-scope"
+	case KindNegation:
+		return "negation"
+	case KindCollection:
+		return "collection"
+	case KindTable:
+		return "table"
+	case KindHead:
+		return "head"
+	}
+	return "?"
+}
+
+// Region is a node of the higraph's containment tree.
+type Region struct {
+	Kind  Kind
+	Label string // table/relation name
+	Var   string // binding variable for tables
+	// Attrs are the attribute rows shown (only referenced attributes,
+	// like the paper's diagrams).
+	Attrs []string
+	// GroupedAttrs are highlighted as grouping keys (gray shade in the
+	// paper).
+	GroupedAttrs map[string]bool
+	// Selections are constant conditions displayed inside an attribute
+	// row, e.g. "=0" (Fig 2b).
+	Selections map[string][]string
+	Kids       []*Region
+}
+
+func (r *Region) ensureAttr(a string) {
+	for _, x := range r.Attrs {
+		if x == a {
+			return
+		}
+	}
+	r.Attrs = append(r.Attrs, a)
+}
+
+// Port is an attribute anchor on a table region.
+type Port struct {
+	Region *Region
+	Attr   string
+}
+
+// Edge connects two attribute occurrences.
+type Edge struct {
+	From, To Port
+	// Op is the comparison operator label ("=" edges are usually drawn
+	// unlabeled; others carry their symbol).
+	Op string
+	// Assignment marks assignment predicates (visually decorated arrows,
+	// Section 2.2).
+	Assignment bool
+	// Agg is the aggregate function name when the edge carries an
+	// aggregation (the "sum" arrow of Fig 4b).
+	Agg string
+}
+
+// Graph is a higraph: containment tree plus edges.
+type Graph struct {
+	Root  *Region
+	Edges []*Edge
+}
+
+// Regions counts regions (a modality metric for E21).
+func (g *Graph) Regions() int {
+	n := 0
+	var walk func(*Region)
+	walk = func(r *Region) {
+		n++
+		for _, k := range r.Kids {
+			walk(k)
+		}
+	}
+	walk(g.Root)
+	return n
+}
+
+// builder carries linking context while translating an ALT.
+type builder struct {
+	link   *alt.Link
+	tables map[*alt.Binding]*Region
+	heads  map[*alt.Collection]*Region
+	graph  *Graph
+	errs   []string
+}
+
+// Build converts a strict collection into its higraph.
+func Build(col *alt.Collection) (*Graph, error) {
+	link, err := alt.LinkCollection(col)
+	if err != nil {
+		return nil, err
+	}
+	return BuildLinked(col, link)
+}
+
+// BuildSentence converts a Boolean sentence into its higraph.
+func BuildSentence(s *alt.Sentence) (*Graph, error) {
+	link, err := alt.LinkSentence(s)
+	if err != nil {
+		return nil, err
+	}
+	b := &builder{
+		link:   link,
+		tables: map[*alt.Binding]*Region{},
+		heads:  map[*alt.Collection]*Region{},
+		graph:  &Graph{Root: &Region{Kind: KindCanvas}},
+	}
+	b.formula(s.Body, b.graph.Root)
+	if len(b.errs) > 0 {
+		return nil, fmt.Errorf("higraph: %v", b.errs)
+	}
+	return b.graph, nil
+}
+
+// BuildLinked builds from a collection with a precomputed link.
+func BuildLinked(col *alt.Collection, link *alt.Link) (*Graph, error) {
+	b := &builder{
+		link:   link,
+		tables: map[*alt.Binding]*Region{},
+		heads:  map[*alt.Collection]*Region{},
+		graph:  &Graph{Root: &Region{Kind: KindCanvas}},
+	}
+	b.collection(col, b.graph.Root)
+	if len(b.errs) > 0 {
+		return nil, fmt.Errorf("higraph: %v", b.errs)
+	}
+	return b.graph, nil
+}
+
+func (b *builder) collection(col *alt.Collection, parent *Region) {
+	head := &Region{Kind: KindHead, Label: col.Head.Rel, Attrs: append([]string{}, col.Head.Attrs...)}
+	b.heads[col] = head
+	parent.Kids = append(parent.Kids, head)
+	b.formula(col.Body, parent)
+}
+
+func (b *builder) formula(f alt.Formula, parent *Region) {
+	switch x := f.(type) {
+	case nil:
+	case *alt.And:
+		for _, k := range x.Kids {
+			b.formula(k, parent)
+		}
+	case *alt.Or:
+		// Disjuncts appear as sibling scopes; renderers label them.
+		for _, k := range x.Kids {
+			b.formula(k, parent)
+		}
+	case *alt.Not:
+		neg := &Region{Kind: KindNegation}
+		parent.Kids = append(parent.Kids, neg)
+		b.formula(x.Kid, neg)
+	case *alt.Quantifier:
+		b.quantifier(x, parent)
+	case *alt.Pred:
+		b.pred(x, parent)
+	case *alt.IsNull:
+		b.isNull(x, parent)
+	}
+}
+
+func (b *builder) quantifier(q *alt.Quantifier, parent *Region) {
+	kind := KindScope
+	if q.Grouping != nil {
+		kind = KindGroupScope
+	}
+	scope := &Region{Kind: kind}
+	parent.Kids = append(parent.Kids, scope)
+	for _, bd := range q.Bindings {
+		if bd.Sub != nil {
+			colRegion := &Region{Kind: KindCollection, Label: bd.Sub.Head.Rel, Var: bd.Var}
+			scope.Kids = append(scope.Kids, colRegion)
+			b.collection(bd.Sub, colRegion)
+			continue
+		}
+		t := &Region{Kind: KindTable, Label: bd.Rel, Var: bd.Var}
+		b.tables[bd] = t
+		scope.Kids = append(scope.Kids, t)
+	}
+	// Synthetic constant bindings become tiny singleton tables.
+	for jc, bd := range b.link.ConstBindings {
+		if b.link.BindingQuantifier[bd] == q {
+			t := &Region{Kind: KindTable, Label: jc.Val.String(), Var: bd.Var, Attrs: []string{"val"}}
+			b.tables[bd] = t
+			scope.Kids = append(scope.Kids, t)
+		}
+	}
+	if q.Grouping != nil {
+		for _, k := range q.Grouping.Keys {
+			if p, ok := b.port(k); ok {
+				p.Region.ensureAttr(k.Attr)
+				if p.Region.GroupedAttrs == nil {
+					p.Region.GroupedAttrs = map[string]bool{}
+				}
+				p.Region.GroupedAttrs[k.Attr] = true
+			}
+		}
+	}
+	b.formula(q.Body, scope)
+}
+
+// port resolves an attribute reference to a region anchor.
+func (b *builder) port(r *alt.AttrRef) (Port, bool) {
+	res, ok := b.link.Refs[r]
+	if !ok {
+		b.errs = append(b.errs, "unresolved reference "+r.String())
+		return Port{}, false
+	}
+	if res.Kind == alt.RefHead {
+		head := b.heads[res.Col]
+		if head == nil {
+			return Port{}, false
+		}
+		return Port{Region: head, Attr: r.Attr}, true
+	}
+	bd := res.Binding
+	if bd.Sub != nil {
+		// Ports on a nested collection anchor at its head table.
+		head := b.heads[bd.Sub]
+		if head == nil {
+			return Port{}, false
+		}
+		head.ensureAttr(r.Attr)
+		return Port{Region: head, Attr: r.Attr}, true
+	}
+	t := b.tables[bd]
+	if t == nil {
+		b.errs = append(b.errs, "no table region for "+r.String())
+		return Port{}, false
+	}
+	t.ensureAttr(r.Attr)
+	return Port{Region: t, Attr: r.Attr}, true
+}
+
+// pred turns a predicate into an edge or a selection annotation.
+func (b *builder) pred(p *alt.Pred, parent *Region) {
+	isAssign := b.link.Preds[p] == alt.PredAssignment
+	lRef, lIsRef := p.Left.(*alt.AttrRef)
+	rRef, rIsRef := p.Right.(*alt.AttrRef)
+	lAgg, lIsAgg := p.Left.(*alt.Agg)
+	rAgg, rIsAgg := p.Right.(*alt.Agg)
+
+	switch {
+	case lIsRef && rIsRef:
+		from, ok1 := b.port(lRef)
+		to, ok2 := b.port(rRef)
+		if ok1 && ok2 {
+			b.graph.Edges = append(b.graph.Edges, &Edge{From: from, To: to, Op: p.Op.String(), Assignment: isAssign})
+		}
+	case lIsRef && rIsAgg:
+		b.aggEdge(lRef, rAgg, p, isAssign)
+	case rIsRef && lIsAgg:
+		b.aggEdge(rRef, lAgg, p, isAssign)
+	case lIsRef && isConstTerm(p.Right):
+		b.selection(lRef, p.Op.String()+termLabel(p.Right))
+	case rIsRef && isConstTerm(p.Left):
+		b.selection(rRef, p.Op.Flip().String()+termLabel(p.Left))
+	default:
+		// Complex terms (arithmetic): annotate both end refs.
+		refs := alt.TermAttrRefs(p.Left, alt.TermAttrRefs(p.Right, nil))
+		if len(refs) >= 2 {
+			from, ok1 := b.port(refs[0])
+			to, ok2 := b.port(refs[1])
+			if ok1 && ok2 {
+				b.graph.Edges = append(b.graph.Edges, &Edge{From: from, To: to, Op: p.String(), Assignment: isAssign})
+			}
+		}
+	}
+}
+
+// aggEdge draws the aggregate arrow from the argument attribute to the
+// target attribute (Fig 4b's "sum").
+func (b *builder) aggEdge(target *alt.AttrRef, agg *alt.Agg, p *alt.Pred, isAssign bool) {
+	to, ok := b.port(target)
+	if !ok {
+		return
+	}
+	args := alt.TermAttrRefs(agg.Arg, nil)
+	if len(args) == 0 {
+		return
+	}
+	from, ok := b.port(args[0])
+	if !ok {
+		return
+	}
+	b.graph.Edges = append(b.graph.Edges, &Edge{
+		From: from, To: to, Op: p.Op.String(), Assignment: isAssign, Agg: agg.Func.String(),
+	})
+}
+
+func (b *builder) isNull(n *alt.IsNull, parent *Region) {
+	refs := alt.TermAttrRefs(n.Arg, nil)
+	if len(refs) == 0 {
+		return
+	}
+	label := "is null"
+	if n.Negated {
+		label = "is not null"
+	}
+	b.selection(refs[0], label)
+}
+
+func (b *builder) selection(r *alt.AttrRef, label string) {
+	p, ok := b.port(r)
+	if !ok {
+		return
+	}
+	p.Region.ensureAttr(r.Attr)
+	if p.Region.Selections == nil {
+		p.Region.Selections = map[string][]string{}
+	}
+	p.Region.Selections[r.Attr] = append(p.Region.Selections[r.Attr], label)
+}
+
+func isConstTerm(t alt.Term) bool {
+	_, ok := t.(*alt.Const)
+	return ok
+}
+
+func termLabel(t alt.Term) string { return t.String() }

@@ -1,0 +1,180 @@
+package higraph
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/arc"
+	"repro/internal/relpat"
+)
+
+func TestFig2bHigraph(t *testing.T) {
+	// Query (1) → Fig 2b: tables Q, R, S; selection "=0" on S.C;
+	// assignment edge Q.A = r.A; join edge r.B = s.B.
+	col := arc.MustParseCollection("{Q(A) | ∃r ∈ R, s ∈ S [Q.A = r.A ∧ r.B = s.B ∧ s.C = 0]}")
+	g, err := Build(col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ascii := g.ASCII()
+	for _, want := range []string{"head Q", "table R:r", "table S:s", "=0"} {
+		if !strings.Contains(ascii, want) {
+			t.Errorf("ASCII missing %q:\n%s", want, ascii)
+		}
+	}
+	if len(g.Edges) != 2 {
+		t.Fatalf("edges = %d, want 2 (assignment + join)\n%s", len(g.Edges), ascii)
+	}
+	assignments := 0
+	for _, e := range g.Edges {
+		if e.Assignment {
+			assignments++
+		}
+	}
+	if assignments != 1 {
+		t.Errorf("assignment edges = %d, want 1", assignments)
+	}
+}
+
+func TestFig4bGroupingScope(t *testing.T) {
+	// Query (3) → Fig 4b: double-bordered grouping scope, grouped attr
+	// shaded, sum edge into the head.
+	col := arc.MustParseCollection("{Q(A, sm) | ∃r ∈ R, γ r.A [Q.A = r.A ∧ Q.sm = sum(r.B)]}")
+	g, err := Build(col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ascii := g.ASCII()
+	if !strings.Contains(ascii, "double border") {
+		t.Errorf("grouping scope marker missing:\n%s", ascii)
+	}
+	if !strings.Contains(ascii, "▓A▓") {
+		t.Errorf("grouped attribute shading missing:\n%s", ascii)
+	}
+	foundSum := false
+	for _, e := range g.Edges {
+		if e.Agg == "sum" && e.Assignment {
+			foundSum = true
+		}
+	}
+	if !foundSum {
+		t.Errorf("sum aggregation edge missing:\n%s", ascii)
+	}
+}
+
+func TestNegationRegions(t *testing.T) {
+	col := relpat.UniqueSet()
+	g, err := Build(col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ascii := g.ASCII()
+	// Query (22) negates ∃l2, ∃l3, ∃l4, ∃l5, and ∃l6: five ¬ regions.
+	if strings.Count(ascii, "¬ scope") != 5 {
+		t.Errorf("unique-set query should show 5 negation regions:\n%s", ascii)
+	}
+}
+
+func TestNestedCollectionRegion(t *testing.T) {
+	// Query (7) / Fig 5c: the nested collection is its own region with
+	// its own head table X.
+	col := arc.MustParseCollection(`{Q(A, sm) | ∃r ∈ R, x ∈ {X(sm) | ∃r2 ∈ R, γ ∅ [r2.A = r.A ∧ X.sm = sum(r2.B)]} [Q.A = r.A ∧ Q.sm = x.sm]}`)
+	g, err := Build(col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ascii := g.ASCII()
+	if !strings.Contains(ascii, "collection X as x") {
+		t.Errorf("nested collection region missing:\n%s", ascii)
+	}
+	if !strings.Contains(ascii, "head X") {
+		t.Errorf("nested head table missing:\n%s", ascii)
+	}
+}
+
+func TestSVGWellFormed(t *testing.T) {
+	for name, col := range map[string]string{
+		"fig2":  "{Q(A) | ∃r ∈ R, s ∈ S [Q.A = r.A ∧ r.B = s.B ∧ s.C = 0]}",
+		"fig4":  "{Q(A, sm) | ∃r ∈ R, γ r.A [Q.A = r.A ∧ Q.sm = sum(r.B)]}",
+		"fig11": "{Q(A) | ∃r ∈ R [Q.A = r.A ∧ ¬(∃s ∈ S [s.A = r.A ∨ s.A is null ∨ r.A is null])]}",
+	} {
+		g, err := Build(arc.MustParseCollection(col))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		svg := g.SVG()
+		if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(svg, "</svg>") {
+			t.Errorf("%s: SVG not well formed", name)
+		}
+		if strings.Count(svg, "<rect") < 2 {
+			t.Errorf("%s: SVG should contain region rectangles", name)
+		}
+		if !utf8Valid(svg) {
+			t.Errorf("%s: SVG not valid UTF-8", name)
+		}
+	}
+}
+
+func utf8Valid(s string) bool {
+	for _, r := range s {
+		if r == 0xFFFD {
+			return false
+		}
+	}
+	return true
+}
+
+func TestIsNullSelection(t *testing.T) {
+	col := arc.MustParseCollection(`{Q(A) | ∃r ∈ R [Q.A = r.A ∧ ¬(∃s ∈ S [s.A = r.A ∨ s.A is null ∨ r.A is null])]}`)
+	g, err := Build(col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(g.ASCII(), "is null") {
+		t.Errorf("IS NULL selection missing:\n%s", g.ASCII())
+	}
+}
+
+func TestRegionsMetric(t *testing.T) {
+	small, _ := Build(arc.MustParseCollection("{Q(A) | ∃r ∈ R [Q.A = r.A]}"))
+	big, _ := Build(relpat.UniqueSet())
+	if small.Regions() >= big.Regions() {
+		t.Errorf("region counts: small=%d big=%d", small.Regions(), big.Regions())
+	}
+}
+
+func TestSentenceHigraph(t *testing.T) {
+	s, err := arc.ParseSentence("∃r ∈ R [∃s ∈ S, γ ∅ [r.id = s.id ∧ r.q <= count(s.d)]]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := BuildSentence(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ascii := g.ASCII()
+	if !strings.Contains(ascii, "double border") {
+		t.Errorf("grouped boolean scope missing:\n%s", ascii)
+	}
+	foundCount := false
+	for _, e := range g.Edges {
+		if e.Agg == "count" {
+			foundCount = true
+		}
+	}
+	if !foundCount {
+		t.Errorf("count comparison edge missing:\n%s", ascii)
+	}
+}
+
+func TestConstLeafTable(t *testing.T) {
+	// (18): the constant join leaf shows as a singleton table.
+	col := arc.MustParseCollection(`{Q(m, n) | ∃r ∈ R, s ∈ S, left(r, inner(11 AS c, s)) [Q.m = r.m ∧ Q.n = s.n ∧ r.y = s.y ∧ r.h = c.val]}`)
+	g, err := Build(col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(g.ASCII(), "table 11:c") {
+		t.Errorf("constant singleton table missing:\n%s", g.ASCII())
+	}
+}

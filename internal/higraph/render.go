@@ -1,0 +1,275 @@
+package higraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ASCII renders the higraph as indented nested regions followed by the
+// edge list — the terminal-friendly form of the diagrammatic modality.
+func (g *Graph) ASCII() string {
+	var b strings.Builder
+	names := g.regionNames()
+	var walk func(r *Region, indent string)
+	walk = func(r *Region, indent string) {
+		switch r.Kind {
+		case KindCanvas:
+			b.WriteString(indent + "canvas\n")
+		case KindScope:
+			b.WriteString(indent + "scope ∃\n")
+		case KindGroupScope:
+			b.WriteString(indent + "scope ∃ ‖γ‖ (double border)\n")
+		case KindNegation:
+			b.WriteString(indent + "¬ scope\n")
+		case KindCollection:
+			label := r.Label
+			if label == "" {
+				label = "(unnamed)"
+			}
+			b.WriteString(indent + "collection " + label + " as " + r.Var + "\n")
+		case KindTable, KindHead:
+			b.WriteString(indent + tableLine(r, names) + "\n")
+			return
+		}
+		for _, k := range r.Kids {
+			walk(k, indent+"  ")
+		}
+	}
+	walk(g.Root, "")
+	if len(g.Edges) > 0 {
+		b.WriteString("edges:\n")
+		for _, e := range g.Edges {
+			b.WriteString("  " + edgeLine(e, names) + "\n")
+		}
+	}
+	return b.String()
+}
+
+func tableLine(r *Region, names map[*Region]string) string {
+	kind := "table"
+	if r.Kind == KindHead {
+		kind = "head"
+	}
+	var attrs []string
+	for _, a := range r.Attrs {
+		s := a
+		if r.GroupedAttrs[a] {
+			s = "▓" + s + "▓" // grouped attribute: gray shade in the paper
+		}
+		for _, sel := range r.Selections[a] {
+			s += " " + sel
+		}
+		attrs = append(attrs, s)
+	}
+	name := names[r]
+	return fmt.Sprintf("%s %s [%s]", kind, name, strings.Join(attrs, " | "))
+}
+
+func edgeLine(e *Edge, names map[*Region]string) string {
+	arrow := "──"
+	if e.Assignment {
+		arrow = "══▶" // assignment predicates are visually decorated
+	}
+	label := e.Op
+	if e.Agg != "" {
+		label = e.Agg + " " + label
+	}
+	return fmt.Sprintf("%s.%s %s[%s] %s.%s",
+		names[e.From.Region], e.From.Attr, arrow, label, names[e.To.Region], e.To.Attr)
+}
+
+// regionNames gives each table/head a unique display name.
+func (g *Graph) regionNames() map[*Region]string {
+	names := map[*Region]string{}
+	used := map[string]int{}
+	var walk func(r *Region)
+	walk = func(r *Region) {
+		if r.Kind == KindTable || r.Kind == KindHead {
+			base := r.Label
+			if r.Var != "" && r.Var != r.Label {
+				base = r.Label + ":" + r.Var
+			}
+			used[base]++
+			if used[base] > 1 {
+				base = fmt.Sprintf("%s#%d", base, used[base])
+			}
+			names[r] = base
+		}
+		for _, k := range r.Kids {
+			walk(k)
+		}
+	}
+	walk(g.Root)
+	return names
+}
+
+// --- SVG ------------------------------------------------------------------
+
+const (
+	padX   = 10
+	padY   = 10
+	rowH   = 18
+	titleH = 20
+	minW   = 90
+	gapY   = 12
+	charW  = 7
+)
+
+type layout struct {
+	x, y, w, h int
+}
+
+// SVG renders the higraph as a standalone SVG document: nested rectangles
+// for regions (double-stroked for grouping scopes, dashed for negation),
+// attribute rows for tables, and lines for edges (assignment edges carry
+// arrowheads; aggregate edges are labeled with the function).
+func (g *Graph) SVG() string {
+	sizes := map[*Region]layout{}
+	measure(g.Root, sizes)
+	place(g.Root, padX, padY, sizes)
+	var b strings.Builder
+	root := sizes[g.Root]
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="monospace" font-size="12">`,
+		root.w+2*padX, root.h+2*padY)
+	b.WriteString(`<defs><marker id="arr" markerWidth="8" markerHeight="8" refX="7" refY="3" orient="auto"><path d="M0,0 L7,3 L0,6 z"/></marker></defs>`)
+	drawRegion(&b, g.Root, sizes)
+	for _, e := range g.Edges {
+		drawEdge(&b, e, sizes)
+	}
+	b.WriteString(`</svg>`)
+	return b.String()
+}
+
+func measure(r *Region, sizes map[*Region]layout) layout {
+	switch r.Kind {
+	case KindTable, KindHead:
+		w := len(r.Label)*charW + 2*padX
+		for _, a := range r.Attrs {
+			line := a
+			for _, s := range r.Selections[a] {
+				line += " " + s
+			}
+			if lw := len(line)*charW + 2*padX; lw > w {
+				w = lw
+			}
+		}
+		if w < minW {
+			w = minW
+		}
+		l := layout{w: w, h: titleH + rowH*len(r.Attrs) + padY}
+		sizes[r] = l
+		return l
+	}
+	w, h := minW, titleH
+	for _, k := range r.Kids {
+		kl := measure(k, sizes)
+		if kl.w+2*padX > w {
+			w = kl.w + 2*padX
+		}
+		h += kl.h + gapY
+	}
+	l := layout{w: w, h: h + padY}
+	sizes[r] = l
+	return l
+}
+
+func place(r *Region, x, y int, sizes map[*Region]layout) {
+	l := sizes[r]
+	l.x, l.y = x, y
+	sizes[r] = l
+	cy := y + titleH
+	for _, k := range r.Kids {
+		place(k, x+padX, cy, sizes)
+		cy += sizes[k].h + gapY
+	}
+}
+
+func drawRegion(b *strings.Builder, r *Region, sizes map[*Region]layout) {
+	l := sizes[r]
+	switch r.Kind {
+	case KindCanvas:
+	case KindScope, KindCollection:
+		fmt.Fprintf(b, `<rect x="%d" y="%d" width="%d" height="%d" fill="none" stroke="#555"/>`, l.x, l.y, l.w, l.h)
+	case KindGroupScope:
+		fmt.Fprintf(b, `<rect x="%d" y="%d" width="%d" height="%d" fill="none" stroke="#555"/>`, l.x, l.y, l.w, l.h)
+		fmt.Fprintf(b, `<rect x="%d" y="%d" width="%d" height="%d" fill="none" stroke="#555"/>`, l.x+3, l.y+3, l.w-6, l.h-6)
+	case KindNegation:
+		fmt.Fprintf(b, `<rect x="%d" y="%d" width="%d" height="%d" fill="none" stroke="#a00" stroke-dasharray="6,3"/>`, l.x, l.y, l.w, l.h)
+		fmt.Fprintf(b, `<text x="%d" y="%d" fill="#a00">¬</text>`, l.x+4, l.y+14)
+	case KindTable, KindHead:
+		fill := "#ffffff"
+		if r.Kind == KindHead {
+			fill = "#eef4ff"
+		}
+		fmt.Fprintf(b, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s" stroke="#000"/>`, l.x, l.y, l.w, l.h, fill)
+		fmt.Fprintf(b, `<text x="%d" y="%d" font-weight="bold">%s</text>`, l.x+6, l.y+14, esc(r.Label))
+		for i, a := range r.Attrs {
+			ry := l.y + titleH + i*rowH
+			if r.GroupedAttrs[a] {
+				fmt.Fprintf(b, `<rect x="%d" y="%d" width="%d" height="%d" fill="#ddd"/>`, l.x+1, ry, l.w-2, rowH)
+			}
+			line := a
+			for _, s := range r.Selections[a] {
+				line += " " + s
+			}
+			fmt.Fprintf(b, `<text x="%d" y="%d">%s</text>`, l.x+6, ry+13, esc(line))
+		}
+	}
+	for _, k := range r.Kids {
+		drawRegion(b, k, sizes)
+	}
+}
+
+func portXY(p Port, sizes map[*Region]layout) (int, int) {
+	l := sizes[p.Region]
+	row := 0
+	for i, a := range p.Region.Attrs {
+		if a == p.Attr {
+			row = i
+			break
+		}
+	}
+	return l.x + l.w, l.y + titleH + row*rowH + rowH/2
+}
+
+func drawEdge(b *strings.Builder, e *Edge, sizes map[*Region]layout) {
+	x1, y1 := portXY(e.From, sizes)
+	x2, y2 := portXY(e.To, sizes)
+	marker := ""
+	if e.Assignment {
+		marker = ` marker-end="url(#arr)"`
+	}
+	stroke := "#06c"
+	if e.Agg != "" {
+		stroke = "#c60"
+	}
+	fmt.Fprintf(b, `<path d="M%d,%d C%d,%d %d,%d %d,%d" fill="none" stroke="%s"%s/>`,
+		x1, y1, x1+30, y1, x2+30, y2, x2, y2, stroke, marker)
+	label := e.Op
+	if e.Agg != "" {
+		label = e.Agg
+	}
+	if label != "=" && label != "" {
+		mx, my := (x1+x2)/2+30, (y1+y2)/2
+		fmt.Fprintf(b, `<text x="%d" y="%d" fill="%s">%s</text>`, mx, my, stroke, esc(label))
+	}
+}
+
+func esc(s string) string {
+	s = strings.ReplaceAll(s, "&", "&amp;")
+	s = strings.ReplaceAll(s, "<", "&lt;")
+	s = strings.ReplaceAll(s, ">", "&gt;")
+	return s
+}
+
+// EdgeSummary lists edges sorted, for tests and goldens.
+func (g *Graph) EdgeSummary() []string {
+	names := g.regionNames()
+	out := make([]string, 0, len(g.Edges))
+	for _, e := range g.Edges {
+		out = append(out, edgeLine(e, names))
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,208 @@
+package pattern
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/alt"
+)
+
+// Canonical produces a normal form of a collection's pattern that is
+// invariant under range-variable renaming and under reordering of
+// conjuncts, disjuncts, and bindings — the basis for pattern equality.
+// Two queries with equal canonical forms have the same relational pattern
+// (the converse does not hold in general; this is a sound, not complete,
+// pattern-equality test).
+func Canonical(col *alt.Collection) string {
+	var b strings.Builder
+	b.WriteString("col(")
+	b.WriteString(strings.Join(col.Head.Attrs, ","))
+	b.WriteString(")")
+	b.WriteString(canonFormula(col.Body, map[string]string{"@head": col.Head.Rel}))
+	return b.String()
+}
+
+// CanonicalEqual reports pattern equality of two collections.
+func CanonicalEqual(a, b *alt.Collection) bool {
+	return Canonical(a) == Canonical(b)
+}
+
+// canonFormula renders a formula with variables replaced by their source
+// description, making the form α-invariant. ren maps variable names to
+// canonical source strings.
+func canonFormula(f alt.Formula, ren map[string]string) string {
+	switch x := f.(type) {
+	case nil:
+		return "⊤"
+	case *alt.And:
+		parts := make([]string, 0, len(x.Kids))
+		for _, k := range x.Kids {
+			parts = append(parts, canonFormula(k, ren))
+		}
+		sort.Strings(parts)
+		return "and(" + strings.Join(parts, ";") + ")"
+	case *alt.Or:
+		parts := make([]string, 0, len(x.Kids))
+		for _, k := range x.Kids {
+			parts = append(parts, canonFormula(k, ren))
+		}
+		sort.Strings(parts)
+		return "or(" + strings.Join(parts, ";") + ")"
+	case *alt.Not:
+		return "not(" + canonFormula(x.Kid, ren) + ")"
+	case *alt.Pred:
+		l := canonTerm(x.Left, ren)
+		r := canonTerm(x.Right, ren)
+		op := x.Op
+		// Normalize operand order for symmetric operators.
+		if (op.String() == "=" || op.String() == "<>") && r < l {
+			l, r = r, l
+		} else if r < l {
+			// a < b and b > a are the same pattern.
+			l, r = r, l
+			op = op.Flip()
+		}
+		return l + op.String() + r
+	case *alt.IsNull:
+		if x.Negated {
+			return canonTerm(x.Arg, ren) + " notnull"
+		}
+		return canonTerm(x.Arg, ren) + " isnull"
+	case *alt.Quantifier:
+		inner := cloneRen(ren)
+		// Bindings sort by their source description; equal sources get
+		// an occurrence index so self-joins stay distinguishable.
+		type bnd struct {
+			src string
+			b   *alt.Binding
+		}
+		bs := make([]bnd, 0, len(x.Bindings))
+		for _, b := range x.Bindings {
+			src := ""
+			if b.Sub != nil {
+				src = "sub" + canonFormula(b.Sub.Body, cloneRen(inner)) // approximate: nested canonical
+			} else {
+				src = b.Rel
+			}
+			bs = append(bs, bnd{src: src, b: b})
+		}
+		sort.SliceStable(bs, func(i, j int) bool { return bs[i].src < bs[j].src })
+		occ := map[string]int{}
+		var srcs []string
+		for _, e := range bs {
+			occ[e.src]++
+			name := e.src
+			if occ[e.src] > 1 {
+				name = e.src + "#" + itoa(occ[e.src])
+			}
+			inner[e.b.Var] = name
+			srcs = append(srcs, name)
+		}
+		if len(x.Bindings) > 0 {
+			// Re-resolve nested collection bodies now that their own
+			// variables and outer variables are in scope.
+			for i, e := range bs {
+				if e.b.Sub != nil {
+					srcs[i] = "sub(" + canonFormula(e.b.Sub.Body, cloneRen(inner)) + ")"
+					inner[e.b.Var] = srcs[i]
+				}
+			}
+		}
+		// Constant join leaves bind synthetic variables; canonicalize
+		// them by their literal value.
+		if x.Join != nil {
+			var regConsts func(alt.JoinExpr)
+			regConsts = func(j alt.JoinExpr) {
+				switch jx := j.(type) {
+				case *alt.JoinConst:
+					if jx.Var != "" {
+						inner[jx.Var] = "const:" + jx.Val.Key()
+					}
+				case *alt.JoinOp:
+					for _, k := range jx.Kids {
+						regConsts(k)
+					}
+				}
+			}
+			regConsts(x.Join)
+		}
+		s := "exists[" + strings.Join(srcs, ",") + "]"
+		if x.Grouping != nil {
+			keys := make([]string, 0, len(x.Grouping.Keys))
+			for _, k := range x.Grouping.Keys {
+				keys = append(keys, canonTerm(k, inner))
+			}
+			sort.Strings(keys)
+			s += "γ(" + strings.Join(keys, ",") + ")"
+		}
+		if x.Join != nil {
+			s += "join(" + canonJoin(x.Join, inner) + ")"
+		}
+		return s + "(" + canonFormula(x.Body, inner) + ")"
+	}
+	return "?"
+}
+
+func canonJoin(j alt.JoinExpr, ren map[string]string) string {
+	switch x := j.(type) {
+	case *alt.JoinVar:
+		if r, ok := ren[x.Var]; ok {
+			return r
+		}
+		return x.Var
+	case *alt.JoinConst:
+		return "const:" + x.Val.Key()
+	case *alt.JoinOp:
+		parts := make([]string, 0, len(x.Kids))
+		for _, k := range x.Kids {
+			parts = append(parts, canonJoin(k, ren))
+		}
+		if x.Kind == alt.JoinInner {
+			sort.Strings(parts)
+		}
+		return x.Kind.String() + "(" + strings.Join(parts, ",") + ")"
+	}
+	return "?"
+}
+
+func canonTerm(t alt.Term, ren map[string]string) string {
+	switch x := t.(type) {
+	case *alt.AttrRef:
+		src, ok := ren[x.Var]
+		if !ok {
+			// Head references canonicalize by role, not name.
+			if ren["@head"] == x.Var {
+				return "head." + x.Attr
+			}
+			src = x.Var
+		}
+		return src + "." + x.Attr
+	case *alt.Const:
+		return x.Val.Key()
+	case *alt.Agg:
+		return x.Func.String() + "(" + canonTerm(x.Arg, ren) + ")"
+	case *alt.Arith:
+		l, r := canonTerm(x.L, ren), canonTerm(x.R, ren)
+		if (x.Op == alt.OpAdd || x.Op == alt.OpMul) && r < l {
+			l, r = r, l
+		}
+		return "(" + l + x.Op.String() + r + ")"
+	}
+	return "?"
+}
+
+func cloneRen(ren map[string]string) map[string]string {
+	out := make(map[string]string, len(ren))
+	for k, v := range ren {
+		out[k] = v
+	}
+	return out
+}
+
+func itoa(i int) string {
+	digits := "0123456789"
+	if i < 10 {
+		return string(digits[i])
+	}
+	return itoa(i/10) + string(digits[i%10])
+}

@@ -1,0 +1,171 @@
+package pattern
+
+import (
+	"fmt"
+
+	"repro/internal/alt"
+)
+
+// Finding is one lint diagnosis.
+type Finding struct {
+	Code    string
+	Message string
+}
+
+// String renders "CODE: message".
+func (f Finding) String() string { return f.Code + ": " + f.Message }
+
+// LintCountBug detects the decorrelation shape the paper diagnoses in
+// Section 3.2: an uncorrelated keyed-grouped nested collection whose
+// count output is equated with an outer attribute and whose grouping key
+// is equated with an outer attribute. That rewrite (Fig 21b) silently
+// loses outer tuples whose group is empty — the COUNT bug. The correct
+// shapes (correlated γ∅ as in version 1, or a left join over the outer
+// relation as in version 3) are not flagged.
+func LintCountBug(col *alt.Collection) ([]Finding, error) {
+	link, err := alt.LinkCollection(col)
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	var walk func(f alt.Formula)
+	walk = func(f alt.Formula) {
+		switch x := f.(type) {
+		case *alt.And:
+			for _, k := range x.Kids {
+				walk(k)
+			}
+		case *alt.Or:
+			for _, k := range x.Kids {
+				walk(k)
+			}
+		case *alt.Not:
+			walk(x.Kid)
+		case *alt.Quantifier:
+			for _, b := range x.Bindings {
+				if b.Sub == nil {
+					continue
+				}
+				if d := diagnoseCountBug(x, b, link); d != "" {
+					findings = append(findings, Finding{Code: "COUNT-BUG", Message: d})
+				}
+				walk(b.Sub.Body)
+			}
+			walk(x.Body)
+		}
+	}
+	walk(col.Body)
+	return findings, nil
+}
+
+// diagnoseCountBug checks one nested-collection binding within a scope.
+func diagnoseCountBug(q *alt.Quantifier, b *alt.Binding, link *alt.Link) string {
+	sub := b.Sub
+	// The suspicious inner shape: top quantifier with keyed grouping, a
+	// count aggregate, no correlation, and no outer join covering the
+	// grouped relation.
+	iq, ok := sub.Body.(*alt.Quantifier)
+	if !ok || iq.Grouping == nil || len(iq.Grouping.Keys) == 0 {
+		return ""
+	}
+	if len(link.Correlated[sub]) > 0 {
+		return "" // correlated: per-outer-tuple semantics preserved
+	}
+	if iq.Join != nil {
+		return "" // an outer-join annotation preserves empty groups (version 3)
+	}
+	hasCount := false
+	countAttr := ""
+	for _, el := range alt.Spine(iq.Body) {
+		p, ok := el.(*alt.Pred)
+		if !ok {
+			continue
+		}
+		for side, t := range []alt.Term{p.Left, p.Right} {
+			if a, isAgg := t.(*alt.Agg); isAgg && (a.Func == alt.AggCount || a.Func == alt.AggCountDistinct) {
+				hasCount = true
+				other := p.Right
+				if side == 1 {
+					other = p.Left
+				}
+				if r, isRef := other.(*alt.AttrRef); isRef {
+					if res := link.Refs[r]; res.Kind == alt.RefHead && res.Col == sub {
+						countAttr = r.Attr
+					}
+				}
+			}
+		}
+	}
+	if !hasCount || countAttr == "" {
+		return ""
+	}
+	// The outer scope must compare the count attribute with something
+	// bound outside the nested collection.
+	for _, el := range alt.Spine(q.Body) {
+		p, ok := el.(*alt.Pred)
+		if !ok {
+			continue
+		}
+		for _, r := range alt.TermAttrRefs(p.Left, alt.TermAttrRefs(p.Right, nil)) {
+			if r.Var == b.Var && r.Attr == countAttr {
+				return fmt.Sprintf(
+					"count over keyed grouping in uncorrelated subquery %s compared via %s.%s drops outer tuples with empty groups (Fig 21b); use a correlated γ∅ scope or a left join over the outer relation",
+					sub.Head.Rel, b.Var, countAttr)
+			}
+		}
+	}
+	return ""
+}
+
+// ModalityMetrics reports the size of the same query in each modality —
+// the measurable proxy for the paper's usability discussion (experiment
+// E21): comprehension token count, ALT node count, and higraph region and
+// edge counts are filled in by the caller for the higraph modality.
+type ModalityMetrics struct {
+	ComprehensionTokens int
+	ComprehensionRunes  int
+	ALTNodes            int
+	MaxScopeDepth       int
+}
+
+// ComputeModalityMetrics measures the comprehension and ALT modalities.
+func ComputeModalityMetrics(col *alt.Collection) ModalityMetrics {
+	text := col.String()
+	sig, _ := ComputeSignature(col)
+	depth := 0
+	if sig != nil {
+		depth = sig.MaxDepth
+	}
+	return ModalityMetrics{
+		ComprehensionTokens: len(tokenize(text)),
+		ComprehensionRunes:  len([]rune(text)),
+		ALTNodes:            alt.NodeCount(col),
+		MaxScopeDepth:       depth,
+	}
+}
+
+// tokenize splits comprehension text into coarse tokens (identifiers,
+// numbers, symbols) for the token-count metric.
+func tokenize(s string) []string {
+	var out []string
+	cur := []rune{}
+	flush := func() {
+		if len(cur) > 0 {
+			out = append(out, string(cur))
+			cur = cur[:0]
+		}
+	}
+	for _, r := range s {
+		switch {
+		case r == ' ' || r == '\t' || r == '\n':
+			flush()
+		case (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9') || r == '_' || r == '.':
+			cur = append(cur, r)
+		default:
+			flush()
+			out = append(out, string(r))
+		}
+	}
+	flush()
+	return out
+}

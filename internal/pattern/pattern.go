@@ -1,0 +1,335 @@
+// Package pattern implements the paper's "relational pattern" analysis
+// (Section 1 question 3, Section 2.5, Section 3.2): language-agnostic
+// descriptions of how a query composes its inputs. It provides pattern
+// signatures (which relations are scanned how often, scope structure,
+// aggregation shape), canonical forms for pattern equality under variable
+// renaming and predicate reordering, a similarity measure for
+// machine-facing semantic comparison, classification of aggregation
+// patterns as "from the inside out" (FIO) vs "from the outside in" (FOI),
+// and a COUNT-bug lint that flags the rewrite the paper diagnoses.
+package pattern
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/alt"
+)
+
+// Signature summarizes the relational pattern of a collection.
+type Signature struct {
+	// RelCounts is the multiset of base-relation scans, including scans
+	// inside nested collections — the "query signature" that
+	// distinguishes (8) from (10) (one vs three scans of R and S).
+	RelCounts map[string]int
+	// Scopes is the number of quantifier scopes.
+	Scopes int
+	// GroupScopes is the number of grouping scopes.
+	GroupScopes int
+	// EmptyGroupScopes counts γ∅ scopes.
+	EmptyGroupScopes int
+	// Negations is the number of negation scopes.
+	Negations int
+	// NestedCollections is the number of nested collection sources.
+	NestedCollections int
+	// CorrelatedCollections counts nested collections referencing outer
+	// variables.
+	CorrelatedCollections int
+	// Aggregates is the multiset of aggregate functions used.
+	Aggregates map[string]int
+	// OuterJoins counts left/full join-annotation nodes.
+	OuterJoins int
+	// MaxDepth is the maximum scope nesting depth.
+	MaxDepth int
+	// Disjuncts is the number of top-level disjuncts.
+	Disjuncts int
+	// Recursive reports a self-referencing definition.
+	Recursive bool
+}
+
+// ComputeSignature links the collection and extracts its signature.
+func ComputeSignature(col *alt.Collection) (*Signature, error) {
+	link, err := alt.LinkCollection(col)
+	if err != nil {
+		return nil, err
+	}
+	sig := &Signature{RelCounts: map[string]int{}, Aggregates: map[string]int{}}
+	sig.Disjuncts = len(orBranches(col.Body))
+	sig.Recursive = link.RecursiveCols[col]
+	walkSig(col.Body, link, sig, 1)
+	return sig, nil
+}
+
+func orBranches(f alt.Formula) []alt.Formula {
+	if o, ok := f.(*alt.Or); ok {
+		var out []alt.Formula
+		for _, k := range o.Kids {
+			out = append(out, orBranches(k)...)
+		}
+		return out
+	}
+	return []alt.Formula{f}
+}
+
+func walkSig(f alt.Formula, link *alt.Link, sig *Signature, depth int) {
+	switch x := f.(type) {
+	case nil:
+	case *alt.And:
+		for _, k := range x.Kids {
+			walkSig(k, link, sig, depth)
+		}
+	case *alt.Or:
+		for _, k := range x.Kids {
+			walkSig(k, link, sig, depth)
+		}
+	case *alt.Not:
+		sig.Negations++
+		walkSig(x.Kid, link, sig, depth)
+	case *alt.Pred:
+		for _, t := range []alt.Term{x.Left, x.Right} {
+			countAggs(t, sig)
+		}
+	case *alt.Quantifier:
+		sig.Scopes++
+		if depth > sig.MaxDepth {
+			sig.MaxDepth = depth
+		}
+		if x.Grouping != nil {
+			sig.GroupScopes++
+			if len(x.Grouping.Keys) == 0 {
+				sig.EmptyGroupScopes++
+			}
+		}
+		if x.Join != nil {
+			countOuter(x.Join, sig)
+		}
+		for _, b := range x.Bindings {
+			if b.Sub != nil {
+				sig.NestedCollections++
+				if len(link.Correlated[b.Sub]) > 0 {
+					sig.CorrelatedCollections++
+				}
+				walkSig(b.Sub.Body, link, sig, depth+1)
+				continue
+			}
+			if _, rec := link.RecursiveBindings[b]; rec {
+				continue // self-reference, not a base scan
+			}
+			sig.RelCounts[b.Rel]++
+		}
+		walkSig(x.Body, link, sig, depth+1)
+	}
+}
+
+func countAggs(t alt.Term, sig *Signature) {
+	switch x := t.(type) {
+	case *alt.Agg:
+		sig.Aggregates[x.Func.String()]++
+		countAggs(x.Arg, sig)
+	case *alt.Arith:
+		countAggs(x.L, sig)
+		countAggs(x.R, sig)
+	}
+}
+
+func countOuter(j alt.JoinExpr, sig *Signature) {
+	if op, ok := j.(*alt.JoinOp); ok {
+		if op.Kind == alt.JoinLeft || op.Kind == alt.JoinFull {
+			sig.OuterJoins++
+		}
+		for _, k := range op.Kids {
+			countOuter(k, sig)
+		}
+	}
+}
+
+// String renders the signature compactly for reports.
+func (s *Signature) String() string {
+	var rels []string
+	for r, n := range s.RelCounts {
+		rels = append(rels, fmt.Sprintf("%s×%d", r, n))
+	}
+	sort.Strings(rels)
+	var aggs []string
+	for a, n := range s.Aggregates {
+		aggs = append(aggs, fmt.Sprintf("%s×%d", a, n))
+	}
+	sort.Strings(aggs)
+	out := fmt.Sprintf("scans{%s} scopes=%d γ=%d(∅=%d) ¬=%d nested=%d(corr=%d) aggs{%s} outer=%d depth=%d",
+		strings.Join(rels, ","), s.Scopes, s.GroupScopes, s.EmptyGroupScopes,
+		s.Negations, s.NestedCollections, s.CorrelatedCollections,
+		strings.Join(aggs, ","), s.OuterJoins, s.MaxDepth)
+	if s.Recursive {
+		out += " recursive"
+	}
+	return out
+}
+
+// features flattens a signature into a multiset for Jaccard similarity.
+func (s *Signature) features() map[string]int {
+	f := map[string]int{}
+	for r, n := range s.RelCounts {
+		f["scan:"+r] = n
+	}
+	for a, n := range s.Aggregates {
+		f["agg:"+a] = n
+	}
+	f["scopes"] = s.Scopes
+	f["groups"] = s.GroupScopes
+	f["emptygroups"] = s.EmptyGroupScopes
+	f["neg"] = s.Negations
+	f["nested"] = s.NestedCollections
+	f["corr"] = s.CorrelatedCollections
+	f["outer"] = s.OuterJoins
+	f["depth"] = s.MaxDepth
+	f["disjuncts"] = s.Disjuncts
+	return f
+}
+
+// Similarity is a [0,1] weighted-Jaccard score over pattern features —
+// the paper's machine-facing "semantic similarity" proxy: semantically
+// close patterns score high regardless of surface syntax.
+func Similarity(a, b *Signature) float64 {
+	fa, fb := a.features(), b.features()
+	inter, union := 0, 0
+	keys := map[string]bool{}
+	for k := range fa {
+		keys[k] = true
+	}
+	for k := range fb {
+		keys[k] = true
+	}
+	for k := range keys {
+		x, y := fa[k], fb[k]
+		if x < y {
+			inter += x
+			union += y
+		} else {
+			inter += y
+			union += x
+		}
+	}
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// AggPattern classifies how a query aggregates (Section 2.5).
+type AggPattern int
+
+const (
+	// NoAggregation: the query has no aggregates.
+	NoAggregation AggPattern = iota
+	// FIO — "from the inside out": grouping and aggregation happen on
+	// attributes inside a scope whose results flow outward (grouped
+	// attributes available outside), as in SQL GROUP BY / query (3)/(8).
+	FIO
+	// FOI — "from the outside in": the grouping key is fixed by an outer
+	// tuple and passed into a correlated aggregation scope (γ∅ inside a
+	// correlated nested collection, or an aggregate comparison against
+	// outer attributes), as in Klug/Hella/Soufflé / query (7)/(10).
+	FOI
+	// MixedAgg: both patterns occur.
+	MixedAgg
+)
+
+// String names the pattern.
+func (p AggPattern) String() string {
+	switch p {
+	case NoAggregation:
+		return "none"
+	case FIO:
+		return "FIO"
+	case FOI:
+		return "FOI"
+	case MixedAgg:
+		return "mixed"
+	}
+	return "?"
+}
+
+// ClassifyAggregation determines the aggregation pattern of a collection.
+// A grouping scope reads FOI when the scope is correlated — its
+// predicates reference variables bound outside the scope, so the
+// grouping is parameterized "per outer tuple" (the Klug/Hella/Soufflé
+// pattern and correlated scalar subqueries, queries (7)/(10)).
+// Uncorrelated grouping scopes (SQL GROUP BY, global aggregates, Rel's
+// separate-scope aggregation (12)) read FIO.
+func ClassifyAggregation(col *alt.Collection) (AggPattern, error) {
+	link, err := alt.LinkCollection(col)
+	if err != nil {
+		return NoAggregation, err
+	}
+	foi, fio := false, false
+	var walk func(f alt.Formula)
+	walk = func(f alt.Formula) {
+		switch x := f.(type) {
+		case *alt.And:
+			for _, k := range x.Kids {
+				walk(k)
+			}
+		case *alt.Or:
+			for _, k := range x.Kids {
+				walk(k)
+			}
+		case *alt.Not:
+			walk(x.Kid)
+		case *alt.Quantifier:
+			if x.Grouping != nil && scopeHasAgg(x) {
+				if scopeIsCorrelated(x, link) {
+					foi = true
+				} else {
+					fio = true
+				}
+			}
+			for _, b := range x.Bindings {
+				if b.Sub != nil {
+					walk(b.Sub.Body)
+				}
+			}
+			walk(x.Body)
+		}
+	}
+	walk(col.Body)
+	switch {
+	case foi && fio:
+		return MixedAgg, nil
+	case foi:
+		return FOI, nil
+	case fio:
+		return FIO, nil
+	}
+	return NoAggregation, nil
+}
+
+// scopeIsCorrelated reports whether a quantifier's spine references range
+// variables bound outside the quantifier.
+func scopeIsCorrelated(q *alt.Quantifier, link *alt.Link) bool {
+	local := map[string]bool{}
+	for _, b := range q.Bindings {
+		local[b.Var] = true
+	}
+	for _, el := range alt.Spine(q.Body) {
+		for _, r := range alt.FormulaAttrRefs(el, nil) {
+			res, ok := link.Refs[r]
+			if !ok || res.Kind != alt.RefBinding {
+				continue
+			}
+			if !local[r.Var] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func scopeHasAgg(q *alt.Quantifier) bool {
+	for _, el := range alt.Spine(q.Body) {
+		if p, ok := el.(*alt.Pred); ok && (alt.ContainsAgg(p.Left) || alt.ContainsAgg(p.Right)) {
+			return true
+		}
+	}
+	return false
+}

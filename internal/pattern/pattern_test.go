@@ -1,0 +1,211 @@
+package pattern
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/alt"
+	"repro/internal/arc"
+	"repro/internal/relpat"
+	"repro/internal/sql2arc"
+)
+
+func TestSignatureDistinguishesPatterns(t *testing.T) {
+	// The paper's central claim for Fig 6 vs Fig 7: (8) scans R and S
+	// once; (10) scans each three times.
+	fio, err := ComputeSignature(relpat.MultiAggFIO())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hella, err := ComputeSignature(relpat.MultiAggHella())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := ComputeSignature(relpat.MultiAggRel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fio.RelCounts["R"] != 1 || fio.RelCounts["S"] != 1 {
+		t.Errorf("FIO scans: %v", fio.RelCounts)
+	}
+	if hella.RelCounts["R"] != 3 || hella.RelCounts["S"] != 3 {
+		t.Errorf("Hella scans: %v", hella.RelCounts)
+	}
+	if rel.RelCounts["R"] != 2 || rel.RelCounts["S"] != 2 {
+		t.Errorf("Rel scans: %v", rel.RelCounts)
+	}
+	// Correlation structure also differs: Hella's aggregate scopes are
+	// correlated; Rel's are not.
+	if hella.CorrelatedCollections != 2 {
+		t.Errorf("Hella correlations = %d", hella.CorrelatedCollections)
+	}
+	if rel.CorrelatedCollections != 0 {
+		t.Errorf("Rel correlations = %d", rel.CorrelatedCollections)
+	}
+}
+
+func TestSimilarityOrdersPatterns(t *testing.T) {
+	fio, _ := ComputeSignature(relpat.MultiAggFIO())
+	hella, _ := ComputeSignature(relpat.MultiAggHella())
+	rel, _ := ComputeSignature(relpat.MultiAggRel())
+	sSelf := Similarity(fio, fio)
+	sRel := Similarity(fio, rel)
+	sHella := Similarity(fio, hella)
+	if sSelf != 1 {
+		t.Errorf("self-similarity = %f", sSelf)
+	}
+	if !(sRel > sHella) {
+		t.Errorf("Rel (%f) should be closer to FIO than Hella (%f)", sRel, sHella)
+	}
+	if Similarity(hella, rel) >= 1 {
+		t.Error("different patterns must not be identical")
+	}
+}
+
+func TestCanonicalInvariance(t *testing.T) {
+	// Same pattern, different variable names and predicate order.
+	a := arc.MustParseCollection("{Q(A) | ∃r ∈ R, s ∈ S [Q.A = r.A ∧ r.B = s.B ∧ s.C = 0]}")
+	b := arc.MustParseCollection("{Q(A) | ∃u ∈ S, t ∈ R [0 = u.C ∧ u.B = t.B ∧ Q.A = t.A]}")
+	if !CanonicalEqual(a, b) {
+		t.Fatalf("α-equivalent patterns differ:\n%s\n%s", Canonical(a), Canonical(b))
+	}
+	// A genuinely different pattern (extra scan) differs.
+	c := arc.MustParseCollection("{Q(A) | ∃r ∈ R, s ∈ S, s2 ∈ S [Q.A = r.A ∧ r.B = s.B ∧ s.C = 0 ∧ s2.C = 1]}")
+	if CanonicalEqual(a, c) {
+		t.Fatal("different patterns must not canonicalize equal")
+	}
+}
+
+func TestCanonicalSeparatesMultiAggPatterns(t *testing.T) {
+	cs := map[string]string{
+		"fio":   Canonical(relpat.MultiAggFIO()),
+		"hella": Canonical(relpat.MultiAggHella()),
+		"rel":   Canonical(relpat.MultiAggRel()),
+	}
+	if cs["fio"] == cs["hella"] || cs["fio"] == cs["rel"] || cs["hella"] == cs["rel"] {
+		t.Fatalf("multi-aggregate patterns must have distinct canonical forms: %v", cs)
+	}
+}
+
+func TestClassifyAggregation(t *testing.T) {
+	fio := arc.MustParseCollection("{Q(A, sm) | ∃r ∈ R, γ r.A [Q.A = r.A ∧ Q.sm = sum(r.B)]}")
+	if p, _ := ClassifyAggregation(fio); p != FIO {
+		t.Errorf("query (3) classifies %v, want FIO", p)
+	}
+	foi := arc.MustParseCollection(`{Q(A, sm) | ∃r ∈ R, x ∈ {X(sm) | ∃r2 ∈ R, γ ∅ [r2.A = r.A ∧ X.sm = sum(r2.B)]} [Q.A = r.A ∧ Q.sm = x.sm]}`)
+	if p, _ := ClassifyAggregation(foi); p != FOI {
+		t.Errorf("query (7) classifies %v, want FOI", p)
+	}
+	none := arc.MustParseCollection("{Q(A) | ∃r ∈ R [Q.A = r.A]}")
+	if p, _ := ClassifyAggregation(none); p != NoAggregation {
+		t.Errorf("plain query classifies %v, want none", p)
+	}
+	if p, _ := ClassifyAggregation(relpat.MultiAggHella()); p != FOI {
+		t.Errorf("Hella (10) classifies %v, want FOI", p)
+	}
+	if p, _ := ClassifyAggregation(relpat.MultiAggRel()); p != FIO {
+		t.Errorf("Rel (12) classifies %v, want FIO (separate scopes, still inside-out)", p)
+	}
+	// Soufflé-style translation is FOI.
+	sou := arc.MustParseCollection(`{Q(a, sm) | ∃t ∈ R, x ∈ {X(res) | ∃s ∈ R, γ ∅ [s.a = t.a ∧ X.res = sum(s.b)]} [Q.a = t.a ∧ Q.sm = x.res]}`)
+	if p, _ := ClassifyAggregation(sou); p != FOI {
+		t.Errorf("Soufflé pattern classifies %v, want FOI", p)
+	}
+}
+
+func TestCountBugLint(t *testing.T) {
+	v1, err := sql2arc.TranslateString(`select R.id from R
+		where R.q = (select count(S.d) from S where S.id = R.id)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := sql2arc.TranslateString(`select R.id from R,
+		(select S.id, count(S.d) as ct from S group by S.id) as X
+		where R.q = X.ct and R.id = X.id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v3, err := sql2arc.TranslateString(`select R.id from R,
+		(select R2.id, count(S.d) as ct from R R2 left join S on R2.id = S.id group by R2.id) as X
+		where R.q = X.ct and R.id = X.id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f, _ := LintCountBug(v1); len(f) != 0 {
+		t.Errorf("version 1 is correct; lint flagged %v", f)
+	}
+	f2, _ := LintCountBug(v2)
+	if len(f2) != 1 || !strings.Contains(f2[0].Message, "empty groups") {
+		t.Errorf("version 2 should be flagged, got %v", f2)
+	}
+	if f, _ := LintCountBug(v3); len(f) != 0 {
+		t.Errorf("version 3 is correct; lint flagged %v", f)
+	}
+}
+
+func TestModalityMetrics(t *testing.T) {
+	simple := arc.MustParseCollection("{Q(A) | ∃r ∈ R [Q.A = r.A]}")
+	nested := relpat.UniqueSet()
+	ms := ComputeModalityMetrics(simple)
+	mn := ComputeModalityMetrics(nested)
+	if ms.ComprehensionTokens <= 0 || ms.ALTNodes <= 0 {
+		t.Fatalf("metrics empty: %+v", ms)
+	}
+	if mn.ComprehensionTokens <= ms.ComprehensionTokens || mn.ALTNodes <= ms.ALTNodes {
+		t.Errorf("unique-set query should measure larger: %+v vs %+v", mn, ms)
+	}
+	if mn.MaxScopeDepth <= ms.MaxScopeDepth {
+		t.Errorf("unique-set query should nest deeper: %+v vs %+v", mn, ms)
+	}
+}
+
+func TestSignatureString(t *testing.T) {
+	sig, err := ComputeSignature(relpat.MultiAggHella())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sig.String()
+	for _, want := range []string{"R×3", "S×3", "avg×1", "sum×1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("signature %q missing %q", s, want)
+		}
+	}
+	// Recursion marker.
+	rec := arc.MustParseCollection(`{A(s, t) | ∃p ∈ P [A.s = p.s ∧ A.t = p.t] ∨
+		∃p ∈ P, a2 ∈ A [A.s = p.s ∧ p.t = a2.s ∧ A.t = a2.t]}`)
+	rsig, err := ComputeSignature(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rsig.Recursive || !strings.Contains(rsig.String(), "recursive") {
+		t.Errorf("recursive signature: %s", rsig)
+	}
+	if rsig.RelCounts["A"] != 0 {
+		t.Errorf("self-reference should not count as a base scan: %v", rsig.RelCounts)
+	}
+}
+
+func TestCanonicalOfJoinAnnotations(t *testing.T) {
+	a := arc.MustParseCollection(`{Q(m, n) | ∃r ∈ R, s ∈ S, left(r, inner(11 AS c, s)) [Q.m = r.m ∧ Q.n = s.n ∧ r.y = s.y ∧ r.h = c.val]}`)
+	// α-renamed version of the same annotated query.
+	b := arc.MustParseCollection(`{Q(m, n) | ∃w ∈ R, z ∈ S, left(w, inner(11 AS k, z)) [Q.m = w.m ∧ Q.n = z.n ∧ w.y = z.y ∧ w.h = k.val]}`)
+	c := Canonical(a)
+	if !strings.Contains(c, "left(") || !strings.Contains(c, "const:") {
+		t.Errorf("join annotation canonical form: %s", c)
+	}
+	if !CanonicalEqual(a, b) {
+		t.Errorf("α-renamed annotated queries must canonicalize equal:\n%s\n%s", c, Canonical(b))
+	}
+}
+
+func TestSignatureErrorPropagation(t *testing.T) {
+	bad := alt.Col("Q", []string{"A"},
+		alt.Exists([]*alt.Binding{alt.Bind("r", "R")},
+			alt.Eq(alt.Ref("Q", "A"), alt.Ref("zz", "A"))))
+	if _, err := ComputeSignature(bad); err == nil {
+		t.Fatal("unlinked collection must error")
+	}
+	if _, err := ClassifyAggregation(bad); err == nil {
+		t.Fatal("unlinked collection must error")
+	}
+}

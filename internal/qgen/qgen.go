@@ -1,0 +1,192 @@
+// Package qgen generates random SQL queries over a fixed test schema for
+// differential testing: every generated query is evaluated by the
+// independent SQL reference evaluator (internal/sqleval) and — after
+// sql2arc translation — by the ARC evaluator; the two must agree. This is
+// the mechanical version of the paper's Section 5 goal that "every query
+// [in a well-defined SQL fragment] has a pattern-preserving ARC
+// representation" with semantics-preserving round-tripping.
+package qgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/relation"
+	"repro/internal/workload"
+)
+
+// Schema is the fixed differential-testing schema.
+// R(A,B), S(B,C), T(A,C) over small integer domains (to force joins,
+// duplicates, and empty groups).
+type Schema struct {
+	R, S, T *relation.Relation
+}
+
+// RandomInstance generates an instance with the given size and
+// optionally NULLs sprinkled into S.C.
+func RandomInstance(rng *rand.Rand, n int, withNulls bool) Schema {
+	r := workload.RandomBinary(rng, "R", "A", "B", n, 6, 5)
+	s := workload.RandomBinary(rng, "S", "B", "C", n, 5, 4)
+	t := workload.RandomBinary(rng, "T", "A", "C", n, 6, 4)
+	if withNulls {
+		for i := 0; i < n/5+1; i++ {
+			s.Insert(relation.Tuple{relation.Lift(rng.Intn(5)), relation.Lift(nil)})
+		}
+	}
+	return Schema{R: r, S: s, T: t}
+}
+
+// Relations lists the instance's relations.
+func (s Schema) Relations() []*relation.Relation {
+	return []*relation.Relation{s.R, s.S, s.T}
+}
+
+var tables = []struct {
+	name  string
+	attrs []string
+}{
+	{"R", []string{"A", "B"}},
+	{"S", []string{"B", "C"}},
+	{"T", []string{"A", "C"}},
+}
+
+// gen carries generation state for one query.
+type gen struct {
+	rng     *rand.Rand
+	aliases []string // alias i ranges over tables[tableOf[i]]
+	tableOf []int
+	depth   int
+}
+
+// Generate produces one random SQL query string from the grammar:
+//
+//	SELECT [DISTINCT] cols|aggregates FROM 1..3 tables
+//	WHERE conjunction of {join eq, const cmp, [NOT] EXISTS, IN, IS NULL}
+//	[GROUP BY col [HAVING agg cmp const]]
+//
+// All generated queries are valid over the Schema above and are
+// deterministic per rng state.
+func Generate(rng *rand.Rand) string {
+	g := &gen{rng: rng}
+	return g.query(true)
+}
+
+func (g *gen) pickTable() int { return g.rng.Intn(len(tables)) }
+
+func (g *gen) addAlias() int {
+	ti := g.pickTable()
+	alias := fmt.Sprintf("%s%d", strings.ToLower(tables[ti].name), len(g.aliases))
+	g.aliases = append(g.aliases, alias)
+	g.tableOf = append(g.tableOf, ti)
+	return len(g.aliases) - 1
+}
+
+func (g *gen) col(i int) string {
+	attrs := tables[g.tableOf[i]].attrs
+	return g.aliases[i] + "." + attrs[g.rng.Intn(len(attrs))]
+}
+
+// query generates one SELECT; top allows aggregation.
+func (g *gen) query(top bool) string {
+	saveAliases, saveTables := g.aliases, g.tableOf
+	defer func() { g.aliases, g.tableOf = saveAliases, saveTables }()
+	g.aliases, g.tableOf = nil, nil
+
+	n := 1 + g.rng.Intn(2)
+	if top {
+		n = 1 + g.rng.Intn(3)
+	}
+	var froms []string
+	for i := 0; i < n; i++ {
+		ai := g.addAlias()
+		froms = append(froms, tables[g.tableOf[ai]].name+" "+g.aliases[ai])
+	}
+
+	var conds []string
+	// Join conditions chain the FROM items so results stay small.
+	for i := 1; i < n; i++ {
+		conds = append(conds, fmt.Sprintf("%s = %s", g.col(i-1), g.col(i)))
+	}
+	// Extra random conditions.
+	for k := g.rng.Intn(3); k > 0; k-- {
+		conds = append(conds, g.condition())
+	}
+
+	grouped := top && g.rng.Intn(3) == 0
+	distinct := ""
+	if g.rng.Intn(3) == 0 {
+		distinct = "distinct "
+	}
+	var items, tail string
+	if grouped {
+		key := g.col(0)
+		agg := []string{"sum", "count", "min", "max"}[g.rng.Intn(4)]
+		items = fmt.Sprintf("%s, %s(%s) ag", key, agg, g.col(g.rng.Intn(n)))
+		tail = " group by " + key
+		if g.rng.Intn(2) == 0 {
+			tail += fmt.Sprintf(" having count(%s) >= %d", g.col(0), g.rng.Intn(3))
+		}
+		distinct = ""
+	} else {
+		k := 1 + g.rng.Intn(2)
+		var cols []string
+		for i := 0; i < k; i++ {
+			cols = append(cols, fmt.Sprintf("%s c%d", g.col(g.rng.Intn(n)), i))
+		}
+		items = strings.Join(cols, ", ")
+	}
+	q := "select " + distinct + items + " from " + strings.Join(froms, ", ")
+	if len(conds) > 0 {
+		q += " where " + strings.Join(conds, " and ")
+	}
+	return q + tail
+}
+
+// condition generates one WHERE conjunct.
+func (g *gen) condition() string {
+	switch c := g.rng.Intn(6); {
+	case c == 0 && g.depth < 2: // EXISTS
+		g.depth++
+		defer func() { g.depth-- }()
+		corr := g.col(g.rng.Intn(len(g.aliases)))
+		inner := g.subquery(corr)
+		neg := ""
+		if g.rng.Intn(2) == 0 {
+			neg = "not "
+		}
+		return neg + "exists (" + inner + ")"
+	case c == 1 && g.depth < 2: // IN
+		g.depth++
+		defer func() { g.depth-- }()
+		lhs := g.col(g.rng.Intn(len(g.aliases)))
+		ti := g.pickTable()
+		attrs := tables[ti].attrs
+		col := attrs[g.rng.Intn(len(attrs))]
+		neg := ""
+		if g.rng.Intn(3) == 0 {
+			neg = "not "
+		}
+		return fmt.Sprintf("%s %sin (select z.%s from %s z)", lhs, neg, col, tables[ti].name)
+	case c == 2:
+		return g.col(g.rng.Intn(len(g.aliases))) + " is null"
+	case c == 3:
+		return g.col(g.rng.Intn(len(g.aliases))) + " is not null"
+	default:
+		op := []string{"=", "<>", "<", "<=", ">", ">="}[g.rng.Intn(6)]
+		return fmt.Sprintf("%s %s %d", g.col(g.rng.Intn(len(g.aliases))), op, g.rng.Intn(6))
+	}
+}
+
+// subquery builds a correlated single-table EXISTS body.
+func (g *gen) subquery(corr string) string {
+	ti := g.pickTable()
+	attrs := tables[ti].attrs
+	alias := fmt.Sprintf("w%d", g.rng.Intn(100))
+	col := attrs[g.rng.Intn(len(attrs))]
+	cond := fmt.Sprintf("%s.%s = %s", alias, col, corr)
+	if g.rng.Intn(3) == 0 {
+		cond += fmt.Sprintf(" and %s.%s < %d", alias, attrs[g.rng.Intn(len(attrs))], g.rng.Intn(6))
+	}
+	return fmt.Sprintf("select 1 from %s %s where %s", tables[ti].name, alias, cond)
+}

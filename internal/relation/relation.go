@@ -1,0 +1,348 @@
+// Package relation implements flat relations in the named perspective the
+// paper argues for (Section 2.1): tuples are accessed by attribute name,
+// never by position, and every relation carries multiplicities so the same
+// instance can be interpreted under set or bag semantics — the paper's
+// point that set vs bag is a convention, not part of the language
+// (Section 2.7).
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/value"
+)
+
+// Tuple is one row of a relation; values align with the relation's Attrs.
+type Tuple []value.Value
+
+// Key returns a hashable identity for the tuple.
+func (t Tuple) Key() string {
+	var b strings.Builder
+	for _, v := range t {
+		b.WriteString(v.Key())
+		b.WriteByte('\x1f')
+	}
+	return b.String()
+}
+
+// Clone returns a copy that the caller may retain.
+func (t Tuple) Clone() Tuple {
+	c := make(Tuple, len(t))
+	copy(c, t)
+	return c
+}
+
+type row struct {
+	tup  Tuple
+	mult int
+}
+
+// Relation is a multiset of tuples over a fixed attribute list. The zero
+// value is not usable; construct with New. Insertion order is preserved
+// for deterministic iteration; canonical comparisons sort.
+type Relation struct {
+	name  string
+	attrs []string
+	pos   map[string]int // attribute name -> column
+	rows  []row
+	index map[string]int // tuple key -> rows slot
+}
+
+// New returns an empty relation with the given name and attributes.
+// Attribute names must be unique.
+func New(name string, attrs ...string) *Relation {
+	r := &Relation{
+		name:  name,
+		attrs: append([]string(nil), attrs...),
+		pos:   make(map[string]int, len(attrs)),
+		index: make(map[string]int),
+	}
+	for i, a := range attrs {
+		if _, dup := r.pos[a]; dup {
+			panic(fmt.Sprintf("relation %s: duplicate attribute %q", name, a))
+		}
+		r.pos[a] = i
+	}
+	return r
+}
+
+// Name returns the relation name.
+func (r *Relation) Name() string { return r.name }
+
+// Attrs returns the attribute list (callers must not mutate it).
+func (r *Relation) Attrs() []string { return r.attrs }
+
+// AttrIndex returns the column of attribute a, or -1 if absent.
+func (r *Relation) AttrIndex(a string) int {
+	if i, ok := r.pos[a]; ok {
+		return i
+	}
+	return -1
+}
+
+// Arity returns the number of attributes.
+func (r *Relation) Arity() int { return len(r.attrs) }
+
+// Insert adds one occurrence of t.
+func (r *Relation) Insert(t Tuple) { r.InsertMult(t, 1) }
+
+// InsertMult adds n occurrences of t. n must be positive.
+func (r *Relation) InsertMult(t Tuple, n int) {
+	if len(t) != len(r.attrs) {
+		panic(fmt.Sprintf("relation %s: tuple arity %d, want %d", r.name, len(t), len(r.attrs)))
+	}
+	if n <= 0 {
+		panic("InsertMult: non-positive multiplicity")
+	}
+	k := t.Key()
+	if i, ok := r.index[k]; ok {
+		r.rows[i].mult += n
+		return
+	}
+	r.index[k] = len(r.rows)
+	r.rows = append(r.rows, row{tup: t.Clone(), mult: n})
+}
+
+// Add is a convenience builder: it converts Go literals (int, int64,
+// float64, string, bool, nil, value.Value) into values and inserts the
+// tuple, returning r for chaining.
+func (r *Relation) Add(vals ...any) *Relation {
+	t := make(Tuple, len(vals))
+	for i, v := range vals {
+		t[i] = Lift(v)
+	}
+	r.Insert(t)
+	return r
+}
+
+// Lift converts a Go literal into a value.Value. nil becomes NULL.
+func Lift(v any) value.Value {
+	switch x := v.(type) {
+	case nil:
+		return value.Null()
+	case value.Value:
+		return x
+	case int:
+		return value.Int(int64(x))
+	case int64:
+		return value.Int(x)
+	case float64:
+		return value.Float(x)
+	case string:
+		return value.Str(x)
+	case bool:
+		return value.Bool(x)
+	}
+	panic(fmt.Sprintf("Lift: unsupported literal %T", v))
+}
+
+// Mult returns the multiplicity of t (0 if absent).
+func (r *Relation) Mult(t Tuple) int {
+	if i, ok := r.index[t.Key()]; ok {
+		return r.rows[i].mult
+	}
+	return 0
+}
+
+// Contains reports whether t occurs at least once.
+func (r *Relation) Contains(t Tuple) bool { return r.Mult(t) > 0 }
+
+// Distinct returns the number of distinct tuples.
+func (r *Relation) Distinct() int { return len(r.rows) }
+
+// Card returns the total number of tuples counting multiplicity.
+func (r *Relation) Card() int {
+	n := 0
+	for _, rw := range r.rows {
+		n += rw.mult
+	}
+	return n
+}
+
+// Each calls f once per distinct tuple with its multiplicity, in insertion
+// order. f must not retain the tuple beyond the call unless it clones.
+func (r *Relation) Each(f func(Tuple, int)) {
+	for _, rw := range r.rows {
+		f(rw.tup, rw.mult)
+	}
+}
+
+// Tuples returns the distinct tuples in insertion order.
+func (r *Relation) Tuples() []Tuple {
+	out := make([]Tuple, 0, len(r.rows))
+	for _, rw := range r.rows {
+		out = append(out, rw.tup)
+	}
+	return out
+}
+
+// Dedup returns a copy with every multiplicity collapsed to 1 (the
+// set-semantics reading of the instance).
+func (r *Relation) Dedup() *Relation {
+	out := New(r.name, r.attrs...)
+	for _, rw := range r.rows {
+		out.InsertMult(rw.tup, 1)
+	}
+	return out
+}
+
+// Clone returns a deep copy.
+func (r *Relation) Clone() *Relation {
+	out := New(r.name, r.attrs...)
+	for _, rw := range r.rows {
+		out.InsertMult(rw.tup, rw.mult)
+	}
+	return out
+}
+
+// UnionAll adds every occurrence of o into r (bag union). Arity must match;
+// attribute names are taken from r.
+func (r *Relation) UnionAll(o *Relation) {
+	if o.Arity() != r.Arity() {
+		panic(fmt.Sprintf("UnionAll: arity mismatch %d vs %d", r.Arity(), o.Arity()))
+	}
+	o.Each(func(t Tuple, m int) { r.InsertMult(t, m) })
+}
+
+// Rename returns a copy with a new name and (optionally) new attribute
+// names; pass nil attrs to keep them.
+func (r *Relation) Rename(name string, attrs []string) *Relation {
+	if attrs == nil {
+		attrs = r.attrs
+	}
+	out := New(name, attrs...)
+	for _, rw := range r.rows {
+		out.InsertMult(rw.tup, rw.mult)
+	}
+	return out
+}
+
+// Project returns the projection onto the named attributes, keeping bag
+// multiplicities (no dedup; dedup is a γ in the calculus, per Section 2.7).
+func (r *Relation) Project(attrs ...string) *Relation {
+	cols := make([]int, len(attrs))
+	for i, a := range attrs {
+		c := r.AttrIndex(a)
+		if c < 0 {
+			panic(fmt.Sprintf("Project: relation %s has no attribute %q", r.name, a))
+		}
+		cols[i] = c
+	}
+	out := New(r.name, attrs...)
+	for _, rw := range r.rows {
+		t := make(Tuple, len(cols))
+		for i, c := range cols {
+			t[i] = rw.tup[c]
+		}
+		out.InsertMult(t, rw.mult)
+	}
+	return out
+}
+
+// sortedRows returns (key, mult) pairs sorted by key, for canonical
+// comparison and printing.
+func (r *Relation) sortedRows() []row {
+	rs := append([]row(nil), r.rows...)
+	sort.Slice(rs, func(i, j int) bool {
+		a, b := rs[i].tup, rs[j].tup
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k].Less(b[k]) {
+				return true
+			}
+			if b[k].Less(a[k]) {
+				return false
+			}
+		}
+		return len(a) < len(b)
+	})
+	return rs
+}
+
+// EqualSet reports whether r and o contain the same distinct tuples,
+// ignoring multiplicities, names, and attribute names (positional content
+// comparison, the standard notion for query-result equivalence tests).
+func (r *Relation) EqualSet(o *Relation) bool {
+	if r.Arity() != o.Arity() {
+		return false
+	}
+	if r.Distinct() != o.Distinct() {
+		return false
+	}
+	for _, rw := range r.rows {
+		if _, ok := o.index[rw.tup.Key()]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualBag reports whether r and o contain the same tuples with the same
+// multiplicities.
+func (r *Relation) EqualBag(o *Relation) bool {
+	if r.Arity() != o.Arity() || r.Distinct() != o.Distinct() {
+		return false
+	}
+	for _, rw := range r.rows {
+		i, ok := o.index[rw.tup.Key()]
+		if !ok || o.rows[i].mult != rw.mult {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the relation as an aligned table with multiplicities
+// shown when any exceeds 1, sorted canonically — the format used by the
+// experiment harness and goldens.
+func (r *Relation) String() string {
+	showMult := false
+	for _, rw := range r.rows {
+		if rw.mult != 1 {
+			showMult = true
+			break
+		}
+	}
+	header := make([]string, len(r.attrs))
+	copy(header, r.attrs)
+	if showMult {
+		header = append(header, "#")
+	}
+	rows := [][]string{header}
+	for _, rw := range r.sortedRows() {
+		cells := make([]string, 0, len(rw.tup)+1)
+		for _, v := range rw.tup {
+			cells = append(cells, v.String())
+		}
+		if showMult {
+			cells = append(cells, fmt.Sprintf("%d", rw.mult))
+		}
+		rows = append(rows, cells)
+	}
+	width := make([]int, len(header))
+	for _, cs := range rows {
+		for i, c := range cs {
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:\n", r.name)
+	for ri, cs := range rows {
+		b.WriteString("  ")
+		for i, c := range cs {
+			fmt.Fprintf(&b, "%-*s", width[i]+2, c)
+		}
+		b.WriteString("\n")
+		if ri == 0 {
+			b.WriteString("  ")
+			for _, w := range width {
+				b.WriteString(strings.Repeat("-", w) + "  ")
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}

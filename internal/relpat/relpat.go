@@ -1,0 +1,203 @@
+// Package relpat constructs the ALTs that the paper's comparison
+// languages compile the running examples to (Sections 2.5 and 3.1):
+// the same multiple-aggregate query in the SQL/ARC "from the inside out"
+// pattern (query (8)), the Klug/Hella "from the outside in" pattern with
+// per-aggregate scopes (query (10)), and the Rel pattern (query (12));
+// plus matrix multiplication (queries (25)/(26)) in both the arithmetic
+// and the reified-external form. These fixtures power experiments
+// E05–E07 and E15 and the pattern-analysis tests.
+package relpat
+
+import "repro/internal/alt"
+
+// MultiAggFIO is query (8): both aggregates share one grouping scope, and
+// HAVING is a selection after aggregation. Schema: R(empl,dept),
+// S(empl,sal); result Q(dept,av).
+func MultiAggFIO() *alt.Collection {
+	inner := alt.Col("X", []string{"dept", "av", "sm"},
+		alt.ExistsG(
+			[]*alt.Binding{alt.Bind("r", "R"), alt.Bind("s", "S")},
+			[]*alt.AttrRef{alt.Ref("r", "dept")},
+			alt.AndF(
+				alt.Eq(alt.Ref("r", "empl"), alt.Ref("s", "empl")),
+				alt.Eq(alt.Ref("X", "dept"), alt.Ref("r", "dept")),
+				alt.Eq(alt.Ref("X", "av"), alt.Avg(alt.Ref("s", "sal"))),
+				alt.Eq(alt.Ref("X", "sm"), alt.Sum(alt.Ref("s", "sal"))),
+			)))
+	return alt.Col("Q", []string{"dept", "av"},
+		alt.Exists([]*alt.Binding{alt.BindSub("x", inner)},
+			alt.AndF(
+				alt.Eq(alt.Ref("Q", "dept"), alt.Ref("x", "dept")),
+				alt.Eq(alt.Ref("Q", "av"), alt.Ref("x", "av")),
+				alt.Gt(alt.Ref("x", "sm"), alt.CInt(100)),
+			)))
+}
+
+// MultiAggHella is query (10): the Hella et al. / Klug pattern — the base
+// relations are scanned once outside and once per aggregate, each
+// aggregate in its own correlated scope grouped by the outer department.
+func MultiAggHella() *alt.Collection {
+	avgCol := alt.Col("X", []string{"av"},
+		alt.ExistsG(
+			[]*alt.Binding{alt.Bind("r1", "R"), alt.Bind("s1", "S")},
+			[]*alt.AttrRef{alt.Ref("r1", "dept")},
+			alt.AndF(
+				alt.Eq(alt.Ref("r1", "dept"), alt.Ref("r3", "dept")),
+				alt.Eq(alt.Ref("r1", "empl"), alt.Ref("s1", "empl")),
+				alt.Eq(alt.Ref("X", "av"), alt.Avg(alt.Ref("s1", "sal"))),
+			)))
+	sumCol := alt.Col("Y", []string{"sm"},
+		alt.ExistsG(
+			[]*alt.Binding{alt.Bind("r2", "R"), alt.Bind("s2", "S")},
+			[]*alt.AttrRef{alt.Ref("r2", "dept")},
+			alt.AndF(
+				alt.Eq(alt.Ref("r2", "dept"), alt.Ref("r3", "dept")),
+				alt.Eq(alt.Ref("r2", "empl"), alt.Ref("s2", "empl")),
+				alt.Eq(alt.Ref("Y", "sm"), alt.Sum(alt.Ref("s2", "sal"))),
+			)))
+	return alt.Col("Q", []string{"dept", "av"},
+		alt.Exists(
+			[]*alt.Binding{
+				alt.Bind("r3", "R"), alt.Bind("s3", "S"),
+				alt.BindSub("x", avgCol), alt.BindSub("y", sumCol),
+			},
+			alt.AndF(
+				alt.Eq(alt.Ref("Q", "dept"), alt.Ref("r3", "dept")),
+				alt.Eq(alt.Ref("Q", "av"), alt.Ref("x", "av")),
+				alt.Eq(alt.Ref("r3", "empl"), alt.Ref("s3", "empl")),
+				alt.Gt(alt.Ref("y", "sm"), alt.CInt(100)),
+			)))
+}
+
+// MultiAggRel is query (12): the Rel pattern — FIO aggregation but with a
+// separate scope (separate subquery) per aggregate, joined on the
+// grouping key.
+func MultiAggRel() *alt.Collection {
+	avgCol := alt.Col("X", []string{"dept", "av"},
+		alt.ExistsG(
+			[]*alt.Binding{alt.Bind("r1", "R"), alt.Bind("s1", "S")},
+			[]*alt.AttrRef{alt.Ref("r1", "dept")},
+			alt.AndF(
+				alt.Eq(alt.Ref("X", "dept"), alt.Ref("r1", "dept")),
+				alt.Eq(alt.Ref("r1", "empl"), alt.Ref("s1", "empl")),
+				alt.Eq(alt.Ref("X", "av"), alt.Avg(alt.Ref("s1", "sal"))),
+			)))
+	sumCol := alt.Col("Y", []string{"dept", "sm"},
+		alt.ExistsG(
+			[]*alt.Binding{alt.Bind("r2", "R"), alt.Bind("s2", "S")},
+			[]*alt.AttrRef{alt.Ref("r2", "dept")},
+			alt.AndF(
+				alt.Eq(alt.Ref("Y", "dept"), alt.Ref("r2", "dept")),
+				alt.Eq(alt.Ref("r2", "empl"), alt.Ref("s2", "empl")),
+				alt.Eq(alt.Ref("Y", "sm"), alt.Sum(alt.Ref("s2", "sal"))),
+			)))
+	return alt.Col("Q", []string{"dept", "av"},
+		alt.Exists(
+			[]*alt.Binding{alt.BindSub("x", avgCol), alt.BindSub("y", sumCol)},
+			alt.AndF(
+				alt.Eq(alt.Ref("Q", "dept"), alt.Ref("x", "dept")),
+				alt.Eq(alt.Ref("Q", "av"), alt.Ref("x", "av")),
+				alt.Eq(alt.Ref("x", "dept"), alt.Ref("y", "dept")),
+				alt.Gt(alt.Ref("y", "sm"), alt.CInt(100)),
+			)))
+}
+
+// MatMul is query (26) without the reified multiplication: sparse matrix
+// multiplication over matrices A(row,col,val), B(row,col,val) with
+// arithmetic inside the aggregate.
+func MatMul() *alt.Collection {
+	return alt.Col("C", []string{"row", "col", "val"},
+		alt.ExistsG(
+			[]*alt.Binding{alt.Bind("a", "A"), alt.Bind("b", "B")},
+			[]*alt.AttrRef{alt.Ref("a", "row"), alt.Ref("b", "col")},
+			alt.AndF(
+				alt.Eq(alt.Ref("C", "row"), alt.Ref("a", "row")),
+				alt.Eq(alt.Ref("C", "col"), alt.Ref("b", "col")),
+				alt.Eq(alt.Ref("a", "col"), alt.Ref("b", "row")),
+				alt.Eq(alt.Ref("C", "val"), alt.Sum(alt.Times(alt.Ref("a", "val"), alt.Ref("b", "val")))),
+			)))
+}
+
+// MatMulExternal is query (26) as shown in Fig 20: multiplication
+// reified as the external relation "*"($1, $2, out).
+func MatMulExternal() *alt.Collection {
+	return alt.Col("C", []string{"row", "col", "val"},
+		alt.ExistsG(
+			[]*alt.Binding{alt.Bind("a", "A"), alt.Bind("b", "B"), alt.Bind("f", "*")},
+			[]*alt.AttrRef{alt.Ref("a", "row"), alt.Ref("b", "col")},
+			alt.AndF(
+				alt.Eq(alt.Ref("C", "row"), alt.Ref("a", "row")),
+				alt.Eq(alt.Ref("C", "col"), alt.Ref("b", "col")),
+				alt.Eq(alt.Ref("a", "col"), alt.Ref("b", "row")),
+				alt.Eq(alt.Ref("C", "val"), alt.Sum(alt.Ref("f", "out"))),
+				alt.Eq(alt.Ref("f", "$1"), alt.Ref("a", "val")),
+				alt.Eq(alt.Ref("f", "$2"), alt.Ref("b", "val")),
+			)))
+}
+
+// UniqueSet is query (22), the relationally complete unique-set query
+// over Likes(drinker, beer), written with four nested negations.
+func UniqueSet() *alt.Collection {
+	return alt.Col("Q", []string{"d"},
+		alt.Exists([]*alt.Binding{alt.Bind("l1", "L")},
+			alt.AndF(
+				alt.Eq(alt.Ref("Q", "d"), alt.Ref("l1", "d")),
+				alt.NotF(alt.Exists([]*alt.Binding{alt.Bind("l2", "L")},
+					alt.AndF(
+						alt.Ne(alt.Ref("l2", "d"), alt.Ref("l1", "d")),
+						alt.NotF(alt.Exists([]*alt.Binding{alt.Bind("l3", "L")},
+							alt.AndF(
+								alt.Eq(alt.Ref("l3", "d"), alt.Ref("l2", "d")),
+								alt.NotF(alt.Exists([]*alt.Binding{alt.Bind("l4", "L")},
+									alt.AndF(
+										alt.Eq(alt.Ref("l4", "b"), alt.Ref("l3", "b")),
+										alt.Eq(alt.Ref("l4", "d"), alt.Ref("l1", "d")),
+									))),
+							))),
+						alt.NotF(alt.Exists([]*alt.Binding{alt.Bind("l5", "L")},
+							alt.AndF(
+								alt.Eq(alt.Ref("l5", "d"), alt.Ref("l1", "d")),
+								alt.NotF(alt.Exists([]*alt.Binding{alt.Bind("l6", "L")},
+									alt.AndF(
+										alt.Eq(alt.Ref("l6", "d"), alt.Ref("l2", "d")),
+										alt.Eq(alt.Ref("l6", "b"), alt.Ref("l5", "b")),
+									))),
+							))),
+					))),
+			)))
+}
+
+// SubsetAbstract is query (23): the abstract relation Subset(left,right)
+// over L(d,b) — drinkers where left's beers ⊆ right's beers. Unsafe in
+// isolation; parameters come from the use site.
+func SubsetAbstract() *alt.Collection {
+	return alt.Col("S", []string{"left", "right"},
+		alt.NotF(alt.Exists([]*alt.Binding{alt.Bind("l3", "L")},
+			alt.AndF(
+				alt.Eq(alt.Ref("l3", "d"), alt.Ref("S", "left")),
+				alt.NotF(alt.Exists([]*alt.Binding{alt.Bind("l4", "L")},
+					alt.AndF(
+						alt.Eq(alt.Ref("l4", "b"), alt.Ref("l3", "b")),
+						alt.Eq(alt.Ref("l4", "d"), alt.Ref("S", "right")),
+					))),
+			))))
+}
+
+// UniqueSetModular is query (24): the unique-set query rewritten over the
+// abstract Subset relation.
+func UniqueSetModular() *alt.Collection {
+	return alt.Col("Q", []string{"d"},
+		alt.Exists([]*alt.Binding{alt.Bind("l1", "L")},
+			alt.AndF(
+				alt.Eq(alt.Ref("Q", "d"), alt.Ref("l1", "d")),
+				alt.NotF(alt.Exists(
+					[]*alt.Binding{alt.Bind("l2", "L"), alt.Bind("s1", "S"), alt.Bind("s2", "S")},
+					alt.AndF(
+						alt.Ne(alt.Ref("l2", "d"), alt.Ref("l1", "d")),
+						alt.Eq(alt.Ref("s1", "left"), alt.Ref("l1", "d")),
+						alt.Eq(alt.Ref("s1", "right"), alt.Ref("l2", "d")),
+						alt.Eq(alt.Ref("s2", "left"), alt.Ref("l2", "d")),
+						alt.Eq(alt.Ref("s2", "right"), alt.Ref("l1", "d")),
+					))),
+			)))
+}

@@ -1,0 +1,101 @@
+package relpat
+
+import (
+	"testing"
+
+	"repro/internal/alt"
+	"repro/internal/convention"
+	"repro/internal/eval"
+	"repro/internal/relation"
+	"repro/internal/value"
+)
+
+func deptCatalog() *eval.Catalog {
+	return eval.NewCatalog().
+		AddRelation(relation.New("R", "empl", "dept").
+			Add("e1", "d1").Add("e2", "d1").Add("e3", "d2").Add("e4", "d3").Add("e5", "d3")).
+		AddRelation(relation.New("S", "empl", "sal").
+			Add("e1", 60).Add("e2", 70).Add("e3", 40).Add("e4", 90).Add("e5", 30))
+}
+
+func TestAllThreePatternsValidate(t *testing.T) {
+	for name, col := range map[string]*alt.Collection{
+		"FIO (8)": MultiAggFIO(), "Hella (10)": MultiAggHella(), "Rel (12)": MultiAggRel(),
+		"MatMul (26)": MatMul(), "MatMul external": MatMulExternal(),
+		"UniqueSet (22)": UniqueSet(), "UniqueSetModular (24)": UniqueSetModular(),
+	} {
+		if _, err := alt.ValidateCollection(col); err != nil {
+			t.Errorf("%s does not validate: %v", name, err)
+		}
+	}
+	if _, err := alt.ValidateAbstract(SubsetAbstract()); err != nil {
+		t.Errorf("Subset (23) does not validate as abstract: %v", err)
+	}
+}
+
+func TestMultiAggPatternsAgree(t *testing.T) {
+	// (8), (10), (12) compute the same answer on duplicate-free instances
+	// — departments with total salary > 100 and their average.
+	cat := deptCatalog()
+	want := relation.New("W", "dept", "av").Add("d1", 65.0).Add("d3", 60.0)
+	for name, col := range map[string]*alt.Collection{
+		"FIO": MultiAggFIO(), "Hella": MultiAggHella(), "Rel": MultiAggRel(),
+	} {
+		got, err := eval.Eval(col, cat, convention.SetLogic())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !got.EqualSet(want) {
+			t.Errorf("%s result:\n%s", name, got)
+		}
+	}
+}
+
+func TestMatMulBothFormsAgree(t *testing.T) {
+	a := relation.New("A", "row", "col", "val").
+		Add(0, 0, 1).Add(0, 1, 2).Add(1, 0, 3)
+	b := relation.New("B", "row", "col", "val").
+		Add(0, 0, 4).Add(1, 0, 5).Add(0, 1, 6)
+	cat := eval.NewCatalog().WithStandardExternals().AddRelation(a).AddRelation(b)
+	direct, err := eval.Eval(MatMul(), cat, convention.SetLogic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reified, err := eval.Eval(MatMulExternal(), cat, convention.SetLogic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !direct.EqualSet(reified) {
+		t.Fatalf("reified multiplication disagrees:\n%s\n%s", direct, reified)
+	}
+	// C[0][0] = 1*4 + 2*5 = 14.
+	if !direct.Contains(relation.Tuple{value.Int(0), value.Int(0), value.Int(14)}) {
+		t.Fatalf("matmul wrong:\n%s", direct)
+	}
+}
+
+func TestUniqueSetAndModularAgree(t *testing.T) {
+	likes := relation.New("L", "d", "b").
+		Add("d1", "b1").Add("d1", "b2").
+		Add("d2", "b1").Add("d2", "b2").
+		Add("d3", "b1")
+	cat := eval.NewCatalog().AddRelation(likes)
+	if err := cat.DefineAbstract(SubsetAbstract()); err != nil {
+		t.Fatal(err)
+	}
+	direct, err := eval.Eval(UniqueSet(), cat, convention.SetLogic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	modular, err := eval.Eval(UniqueSetModular(), cat, convention.SetLogic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := relation.New("W", "d").Add("d3")
+	if !direct.EqualSet(want) {
+		t.Fatalf("unique-set direct:\n%s", direct)
+	}
+	if !modular.EqualSet(want) {
+		t.Fatalf("unique-set modular:\n%s", modular)
+	}
+}

@@ -1,0 +1,243 @@
+// Package rewrite implements pattern-preserving ALT rewrites. The first
+// rewrite is the paper's Section 2.13.2 "expand" operation on abstract
+// relations: a use of an abstract relation (a module) is replaced by its
+// definition, with the head attributes substituted by the use-site
+// parameter terms — turning the modular unique-set query (24) back into
+// the flat query (22). The inverse ("collapse") is what the diagrammatic
+// modality does visually by folding a sub-diagram into a module node.
+package rewrite
+
+import (
+	"fmt"
+
+	"repro/internal/alt"
+)
+
+// ExpandAbstract inlines every binding over abs's head relation inside
+// col, returning a new collection (col is not modified). Each use site
+// must determine every head attribute of abs through an equality
+// predicate on the same scope's spine (the same access-pattern rule the
+// evaluator applies); those predicates are consumed by the substitution.
+func ExpandAbstract(col *alt.Collection, abs *alt.Collection) (*alt.Collection, error) {
+	out := alt.CloneCollection(col)
+	e := &expander{absName: abs.Head.Rel, abs: abs}
+	if err := e.formula(out.Body); err != nil {
+		return nil, err
+	}
+	if e.count == 0 {
+		return nil, fmt.Errorf("rewrite: %s does not use abstract relation %s", col.Head.Rel, abs.Head.Rel)
+	}
+	if _, err := alt.ValidateCollection(out); err != nil {
+		return nil, fmt.Errorf("rewrite: expansion produced an invalid ALT: %w", err)
+	}
+	return out, nil
+}
+
+type expander struct {
+	absName string
+	abs     *alt.Collection
+	count   int
+	fresh   int
+}
+
+func (e *expander) formula(f alt.Formula) error {
+	switch x := f.(type) {
+	case nil:
+		return nil
+	case *alt.And:
+		for _, k := range x.Kids {
+			if err := e.formula(k); err != nil {
+				return err
+			}
+		}
+	case *alt.Or:
+		for _, k := range x.Kids {
+			if err := e.formula(k); err != nil {
+				return err
+			}
+		}
+	case *alt.Not:
+		return e.formula(x.Kid)
+	case *alt.Quantifier:
+		if err := e.quantifier(x); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *expander) quantifier(q *alt.Quantifier) error {
+	// Recurse first (nested collections may also use the module).
+	for _, b := range q.Bindings {
+		if b.Sub != nil {
+			if err := e.formula(b.Sub.Body); err != nil {
+				return err
+			}
+		}
+	}
+	if err := e.formula(q.Body); err != nil {
+		return err
+	}
+	// Expand uses bound in this quantifier.
+	var kept []*alt.Binding
+	for _, b := range q.Bindings {
+		if b.Sub != nil || b.Rel != e.absName {
+			kept = append(kept, b)
+			continue
+		}
+		if err := e.inline(q, b); err != nil {
+			return err
+		}
+		e.count++
+	}
+	q.Bindings = kept
+	return nil
+}
+
+// inline replaces one use v ∈ Abs: the parameter terms come from spine
+// equalities v.attr = t, which are consumed; the definition body is
+// α-renamed and conjoined.
+func (e *expander) inline(q *alt.Quantifier, b *alt.Binding) error {
+	spine := alt.Spine(q.Body)
+	subst := map[string]alt.Term{}
+	used := map[alt.Formula]bool{}
+	for _, attr := range e.abs.Head.Attrs {
+		found := false
+		for _, el := range spine {
+			p, ok := el.(*alt.Pred)
+			if !ok || used[p] || p.Op.String() != "=" {
+				continue
+			}
+			if r, ok := p.Left.(*alt.AttrRef); ok && r.Var == b.Var && r.Attr == attr && !refersTo(p.Right, b.Var) {
+				subst[attr] = p.Right
+				used[p] = true
+				found = true
+				break
+			}
+			if r, ok := p.Right.(*alt.AttrRef); ok && r.Var == b.Var && r.Attr == attr && !refersTo(p.Left, b.Var) {
+				subst[attr] = p.Left
+				used[p] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("rewrite: use %s ∈ %s does not determine parameter %q", b.Var, e.absName, attr)
+		}
+	}
+	// Any remaining reference to b is an error (e.g. v.attr in a non-eq
+	// predicate) — conservative, matching the evaluator's access rule.
+	for _, el := range spine {
+		if used[el] {
+			continue
+		}
+		for _, r := range alt.FormulaAttrRefs(el, nil) {
+			if r.Var == b.Var {
+				return fmt.Errorf("rewrite: %s.%s used outside a parameter equality; cannot expand", b.Var, r.Attr)
+			}
+		}
+	}
+	// α-rename the definition body and substitute parameters.
+	e.fresh++
+	body := alt.CloneFormula(e.abs.Body)
+	ren := map[string]string{}
+	collectBindingVars(body, ren, e.fresh)
+	applyRename(body, ren, e.absName, subst)
+	// Rebuild the spine without the consumed equalities, plus the body.
+	var kids []alt.Formula
+	for _, el := range spine {
+		if !used[el] {
+			kids = append(kids, el)
+		}
+	}
+	kids = append(kids, body)
+	q.Body = alt.AndF(kids...)
+	return nil
+}
+
+func refersTo(t alt.Term, v string) bool {
+	for _, r := range alt.TermAttrRefs(t, nil) {
+		if r.Var == v {
+			return true
+		}
+	}
+	return false
+}
+
+func collectBindingVars(f alt.Formula, ren map[string]string, n int) {
+	alt.Walk(f, func(x alt.Formula) {
+		q, ok := x.(*alt.Quantifier)
+		if !ok {
+			return
+		}
+		for _, b := range q.Bindings {
+			if _, dup := ren[b.Var]; !dup {
+				ren[b.Var] = fmt.Sprintf("%s_x%d", b.Var, n)
+			}
+		}
+	})
+}
+
+// applyRename renames binding variables and substitutes head-parameter
+// references throughout a cloned definition body.
+func applyRename(f alt.Formula, ren map[string]string, headRel string, subst map[string]alt.Term) {
+	var renameTerm func(t alt.Term) alt.Term
+	renameTerm = func(t alt.Term) alt.Term {
+		switch x := t.(type) {
+		case *alt.AttrRef:
+			if x.Var == headRel {
+				if rep, ok := subst[x.Attr]; ok {
+					return alt.CloneTerm(rep)
+				}
+			}
+			if nv, ok := ren[x.Var]; ok {
+				x.Var = nv
+			}
+			return x
+		case *alt.Agg:
+			x.Arg = renameTerm(x.Arg)
+			return x
+		case *alt.Arith:
+			x.L = renameTerm(x.L)
+			x.R = renameTerm(x.R)
+			return x
+		}
+		return t
+	}
+	var walk func(alt.Formula)
+	walk = func(x alt.Formula) {
+		switch n := x.(type) {
+		case *alt.And:
+			for _, k := range n.Kids {
+				walk(k)
+			}
+		case *alt.Or:
+			for _, k := range n.Kids {
+				walk(k)
+			}
+		case *alt.Not:
+			walk(n.Kid)
+		case *alt.Pred:
+			n.Left = renameTerm(n.Left)
+			n.Right = renameTerm(n.Right)
+		case *alt.IsNull:
+			n.Arg = renameTerm(n.Arg)
+		case *alt.Quantifier:
+			for _, b := range n.Bindings {
+				if nv, ok := ren[b.Var]; ok {
+					b.Var = nv
+				}
+				if b.Sub != nil {
+					walk(b.Sub.Body)
+				}
+			}
+			if n.Grouping != nil {
+				for i, k := range n.Grouping.Keys {
+					n.Grouping.Keys[i] = renameTerm(k).(*alt.AttrRef)
+				}
+			}
+			walk(n.Body)
+		}
+	}
+	walk(f)
+}

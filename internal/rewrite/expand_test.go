@@ -1,0 +1,102 @@
+package rewrite
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/alt"
+	"repro/internal/convention"
+	"repro/internal/eval"
+	"repro/internal/pattern"
+	"repro/internal/relpat"
+	"repro/internal/workload"
+)
+
+// TestExpandUniqueSet reproduces the Section 2.13.2 story in reverse:
+// expanding the Subset module in the modular query (24) yields a query
+// equivalent to the flat unique-set query (22).
+func TestExpandUniqueSet(t *testing.T) {
+	expanded, err := ExpandAbstract(relpat.UniqueSetModular(), relpat.SubsetAbstract())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The expansion no longer references the abstract relation.
+	if strings.Contains(expanded.String(), "∈ S") {
+		t.Fatalf("abstract relation still referenced:\n%s", expanded)
+	}
+	// Semantically equal to (22) — and the expansion no longer needs the
+	// abstract definition in the catalog.
+	rng := workload.Rand(11)
+	for trial := 0; trial < 5; trial++ {
+		var likes = workload.LikesRandom(rng, 5, 3).Rename("L", []string{"d", "b"})
+		cat := eval.NewCatalog().AddRelation(likes)
+		flat, err := eval.Eval(relpat.UniqueSet(), cat, convention.SetLogic())
+		if err != nil {
+			t.Fatal(err)
+		}
+		exp, err := eval.Eval(expanded, cat, convention.SetLogic())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !exp.EqualSet(flat) {
+			t.Fatalf("trial %d: expansion diverges:\n%s\n%s", trial, exp, flat)
+		}
+	}
+	// Same relational pattern signature as the flat query.
+	sigFlat, _ := pattern.ComputeSignature(relpat.UniqueSet())
+	sigExp, _ := pattern.ComputeSignature(expanded)
+	if sigExp.RelCounts["L"] != sigFlat.RelCounts["L"] || sigExp.Negations != sigFlat.Negations {
+		t.Fatalf("pattern changed: flat=%s expanded=%s", sigFlat, sigExp)
+	}
+}
+
+func TestExpandTwiceUsesFreshNames(t *testing.T) {
+	// (24) uses Subset twice in one scope; the two inlined bodies must
+	// not capture each other's variables.
+	expanded, err := ExpandAbstract(relpat.UniqueSetModular(), relpat.SubsetAbstract())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := alt.ValidateCollection(expanded); err != nil {
+		t.Fatalf("expansion invalid (capture?): %v", err)
+	}
+	s := expanded.String()
+	if !strings.Contains(s, "_x1") || !strings.Contains(s, "_x2") {
+		t.Fatalf("fresh renaming missing:\n%s", s)
+	}
+}
+
+func TestExpandErrors(t *testing.T) {
+	// No use of the module.
+	plain := alt.Col("Q", []string{"d"},
+		alt.Exists([]*alt.Binding{alt.Bind("l", "L")},
+			alt.Eq(alt.Ref("Q", "d"), alt.Ref("l", "d"))))
+	if _, err := ExpandAbstract(plain, relpat.SubsetAbstract()); err == nil ||
+		!strings.Contains(err.Error(), "does not use") {
+		t.Fatalf("want does-not-use error, got %v", err)
+	}
+	// Underdetermined parameter: only one of left/right is bound.
+	under := alt.Col("Q", []string{"d"},
+		alt.Exists([]*alt.Binding{alt.Bind("l", "L"), alt.Bind("s1", "S")},
+			alt.AndF(
+				alt.Eq(alt.Ref("Q", "d"), alt.Ref("l", "d")),
+				alt.Eq(alt.Ref("s1", "left"), alt.Ref("l", "d")),
+			)))
+	if _, err := ExpandAbstract(under, relpat.SubsetAbstract()); err == nil ||
+		!strings.Contains(err.Error(), "does not determine") {
+		t.Fatalf("want underdetermined error, got %v", err)
+	}
+	// Parameter used outside an equality.
+	misuse := alt.Col("Q", []string{"d"},
+		alt.Exists([]*alt.Binding{alt.Bind("l", "L"), alt.Bind("s1", "S")},
+			alt.AndF(
+				alt.Eq(alt.Ref("Q", "d"), alt.Ref("l", "d")),
+				alt.Eq(alt.Ref("s1", "left"), alt.Ref("l", "d")),
+				alt.Eq(alt.Ref("s1", "right"), alt.Ref("l", "d")),
+				alt.Lt(alt.Ref("s1", "left"), alt.CInt(5)),
+			)))
+	if _, err := ExpandAbstract(misuse, relpat.SubsetAbstract()); err == nil ||
+		!strings.Contains(err.Error(), "outside a parameter equality") {
+		t.Fatalf("want misuse error, got %v", err)
+	}
+}

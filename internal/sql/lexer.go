@@ -1,0 +1,189 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates lexical token classes.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // punctuation and operators
+)
+
+type token struct {
+	kind tokKind
+	text string // identifiers lower-cased; symbols literal; strings unquoted
+	raw  string // original spelling (for identifiers)
+	pos  int
+}
+
+// lexer tokenizes a SQL string. Keywords are just identifiers; the parser
+// matches them case-insensitively.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+			return l.toks, nil
+		}
+		c := l.src[l.pos]
+		switch {
+		case isIdentStart(rune(c)):
+			l.lexIdent()
+		case c >= '0' && c <= '9':
+			if err := l.lexNumber(); err != nil {
+				return nil, err
+			}
+		case c == '\'':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		case c == '"':
+			if err := l.lexQuotedIdent(); err != nil {
+				return nil, err
+			}
+		default:
+			if err := l.lexSymbol(); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		// -- line comments
+		if c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-' {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		return
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_' || r == '$'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '$'
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	raw := l.src[start:l.pos]
+	l.toks = append(l.toks, token{kind: tokIdent, text: strings.ToLower(raw), raw: raw, pos: start})
+}
+
+func (l *lexer) lexQuotedIdent() error {
+	start := l.pos
+	l.pos++ // opening quote
+	for l.pos < len(l.src) && l.src[l.pos] != '"' {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return fmt.Errorf("sql: unterminated quoted identifier at %d", start)
+	}
+	raw := l.src[start+1 : l.pos]
+	l.pos++
+	l.toks = append(l.toks, token{kind: tokIdent, text: strings.ToLower(raw), raw: raw, pos: start})
+	return nil
+}
+
+func (l *lexer) lexNumber() error {
+	start := l.pos
+	seenDot := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '.' {
+			if seenDot {
+				break
+			}
+			// Only a digit after the dot continues the number; "1." is 1 then dot.
+			if l.pos+1 >= len(l.src) || l.src[l.pos+1] < '0' || l.src[l.pos+1] > '9' {
+				break
+			}
+			seenDot = true
+			l.pos++
+			continue
+		}
+		if c < '0' || c > '9' {
+			break
+		}
+		l.pos++
+	}
+	text := l.src[start:l.pos]
+	if _, err := strconv.ParseFloat(text, 64); err != nil {
+		return fmt.Errorf("sql: bad number %q at %d", text, start)
+	}
+	l.toks = append(l.toks, token{kind: tokNumber, text: text, pos: start})
+	return nil
+}
+
+func (l *lexer) lexString() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				b.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.toks = append(l.toks, token{kind: tokString, text: b.String(), pos: start})
+			return nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("sql: unterminated string at %d", start)
+}
+
+func (l *lexer) lexSymbol() error {
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch two {
+	case "<>", "<=", ">=", "!=":
+		l.toks = append(l.toks, token{kind: tokSymbol, text: two, pos: l.pos})
+		l.pos += 2
+		return nil
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '(', ')', ',', '.', '*', '+', '-', '/', '=', '<', '>', ';':
+		l.toks = append(l.toks, token{kind: tokSymbol, text: string(c), pos: l.pos})
+		l.pos++
+		return nil
+	}
+	return fmt.Errorf("sql: unexpected character %q at %d", string(c), l.pos)
+}

@@ -1,0 +1,621 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/value"
+)
+
+// Parse parses a SQL query (SELECT or UNION chain, optional trailing
+// semicolon) into its AST.
+func Parse(src string) (Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(";")
+	if !p.atEOF() {
+		return nil, p.errf("trailing input starting at %q", p.peek().text)
+	}
+	return q, nil
+}
+
+// MustParse parses or panics; for tests and fixtures.
+func MustParse(src string) Query {
+	q, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) atEOF() bool { return p.peek().kind == tokEOF }
+
+// next consumes and returns the current token; it never advances past EOF.
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+func (p *parser) save() int     { return p.pos }
+func (p *parser) restore(m int) { p.pos = m }
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sql: %s (near offset %d)", fmt.Sprintf(format, args...), p.peek().pos)
+}
+
+// acceptKw consumes the given keyword(s) if present.
+func (p *parser) acceptKw(words ...string) bool {
+	mark := p.pos
+	for _, w := range words {
+		t := p.peek()
+		if t.kind != tokIdent || t.text != w {
+			p.pos = mark
+			return false
+		}
+		p.pos++
+	}
+	return true
+}
+
+func (p *parser) expectKw(w string) error {
+	if !p.acceptKw(w) {
+		return p.errf("expected %q, found %q", strings.ToUpper(w), p.peek().text)
+	}
+	return nil
+}
+
+// accept consumes the given symbol if present.
+func (p *parser) accept(sym string) bool {
+	t := p.peek()
+	if t.kind == tokSymbol && t.text == sym {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(sym string) error {
+	if !p.accept(sym) {
+		return p.errf("expected %q, found %q", sym, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) peekKw(w string) bool {
+	t := p.peek()
+	return t.kind == tokIdent && t.text == w
+}
+
+// reserved keywords that terminate identifiers-as-aliases.
+var reserved = map[string]bool{
+	"select": true, "from": true, "where": true, "group": true, "by": true,
+	"having": true, "union": true, "all": true, "distinct": true, "as": true,
+	"join": true, "inner": true, "left": true, "right": true, "full": true,
+	"outer": true, "cross": true, "lateral": true, "on": true, "and": true,
+	"or": true, "not": true, "exists": true, "in": true, "is": true,
+	"null": true, "true": true, "false": true, "order": true, "into": true,
+}
+
+func (p *parser) parseQuery() (Query, error) {
+	left, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	var q Query = left
+	for p.acceptKw("union") {
+		all := p.acceptKw("all")
+		right, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		q = &Union{Left: q, Right: right, All: all}
+	}
+	return q, nil
+}
+
+func (p *parser) parseSelect() (*Select, error) {
+	if err := p.expectKw("select"); err != nil {
+		return nil, err
+	}
+	s := &Select{Distinct: p.acceptKw("distinct")}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		s.Items = append(s.Items, item)
+		if !p.accept(",") {
+			break
+		}
+	}
+	if p.acceptKw("from") {
+		for {
+			ref, err := p.parseTableRef()
+			if err != nil {
+				return nil, err
+			}
+			s.From = append(s.From, ref)
+			if !p.accept(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKw("where") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Where = e
+	}
+	if p.acceptKw("group") {
+		if err := p.expectKw("by"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			s.GroupBy = append(s.GroupBy, e)
+			if !p.accept(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKw("having") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Having = e
+	}
+	if p.acceptKw("order") {
+		if err := p.expectKw("by"); err != nil {
+			return nil, err
+		}
+		for {
+			t := p.next()
+			if t.kind != tokIdent {
+				return nil, p.errf("ORDER BY expects an output column name, found %q", t.text)
+			}
+			item := sqlOrderItem(t.raw)
+			switch {
+			case p.acceptKw("desc"):
+				item.Desc = true
+			case p.acceptKw("asc"):
+			}
+			s.OrderBy = append(s.OrderBy, item)
+			if !p.accept(",") {
+				break
+			}
+		}
+	}
+	return s, nil
+}
+
+func sqlOrderItem(col string) OrderItem { return OrderItem{Col: col} }
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	// Full expression grammar: select items may be EXISTS(...) or other
+	// boolean expressions (Fig 9a uses SELECT EXISTS(...)).
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.acceptKw("as") {
+		t := p.next()
+		if t.kind != tokIdent {
+			return SelectItem{}, p.errf("expected alias after AS")
+		}
+		item.Alias = t.raw
+	} else if t := p.peek(); t.kind == tokIdent && !reserved[t.text] {
+		p.pos++
+		item.Alias = t.raw
+	}
+	return item, nil
+}
+
+// parseTableRef parses one FROM item with its join chain.
+func (p *parser) parseTableRef() (TableRef, error) {
+	left, err := p.parsePrimaryTable()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var kind JoinKind
+		switch {
+		case p.acceptKw("inner", "join"), p.peekKw("join") && p.acceptKw("join"):
+			kind = JoinInner
+		case p.acceptKw("left", "outer", "join"), p.acceptKw("left", "join"):
+			kind = JoinLeft
+		case p.acceptKw("full", "outer", "join"), p.acceptKw("full", "join"):
+			kind = JoinFull
+		case p.acceptKw("cross", "join"):
+			kind = JoinCross
+		default:
+			return left, nil
+		}
+		right, err := p.parsePrimaryTable()
+		if err != nil {
+			return nil, err
+		}
+		j := &JoinRef{Kind: kind, Left: left, Right: right}
+		if kind != JoinCross {
+			if err := p.expectKw("on"); err != nil {
+				return nil, err
+			}
+			on, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			// "ON TRUE" (the lateral-join idiom) means no condition.
+			if lit, ok := on.(*Lit); !ok || lit.Val.Kind() != value.KindBool || !lit.Val.AsBool() {
+				j.On = on
+			}
+		}
+		left = j
+	}
+}
+
+func (p *parser) parsePrimaryTable() (TableRef, error) {
+	lateral := p.acceptKw("lateral")
+	if p.accept("(") {
+		q, err := p.parseQuery()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		sub := &SubqueryTable{Query: q, Lateral: lateral}
+		p.acceptKw("as")
+		if t := p.peek(); t.kind == tokIdent && !reserved[t.text] {
+			p.pos++
+			sub.Alias = t.raw
+		}
+		if sub.Alias == "" {
+			return nil, p.errf("derived table requires an alias")
+		}
+		return sub, nil
+	}
+	if lateral {
+		return nil, p.errf("LATERAL must be followed by a subquery")
+	}
+	t := p.next()
+	if t.kind != tokIdent {
+		return nil, p.errf("expected table name, found %q", t.text)
+	}
+	bt := &BaseTable{Name: t.raw}
+	p.acceptKw("as")
+	if a := p.peek(); a.kind == tokIdent && !reserved[a.text] {
+		p.pos++
+		bt.Alias = a.raw
+	}
+	return bt, nil
+}
+
+// Expression grammar: Or > And > Not > comparison > additive > term.
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	kids := []Expr{left}
+	for p.acceptKw("or") {
+		k, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, k)
+	}
+	if len(kids) == 1 {
+		return left, nil
+	}
+	return &OrE{Kids: kids}, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	kids := []Expr{left}
+	for p.acceptKw("and") {
+		k, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, k)
+	}
+	if len(kids) == 1 {
+		return left, nil
+	}
+	return &AndE{Kids: kids}, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.acceptKw("not") {
+		if p.peekKw("exists") {
+			e, err := p.parseNot()
+			if err != nil {
+				return nil, err
+			}
+			if ex, ok := e.(*Exists); ok {
+				ex.Negated = !ex.Negated
+				return ex, nil
+			}
+			return &NotE{Kid: e}, nil
+		}
+		k, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &NotE{Kid: k}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	if p.peekKw("exists") {
+		p.pos++
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		q, err := p.parseQuery()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return &Exists{Query: q}, nil
+	}
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	// IS [NOT] NULL
+	if p.acceptKw("is") {
+		neg := p.acceptKw("not")
+		if err := p.expectKw("null"); err != nil {
+			return nil, err
+		}
+		return &IsNullE{Arg: left, Negated: neg}, nil
+	}
+	// [NOT] IN (subquery)
+	if p.acceptKw("not") {
+		if err := p.expectKw("in"); err != nil {
+			return nil, err
+		}
+		return p.parseIn(left, true)
+	}
+	if p.acceptKw("in") {
+		return p.parseIn(left, false)
+	}
+	// comparison operator
+	t := p.peek()
+	if t.kind == tokSymbol {
+		var op value.CmpOp
+		found := true
+		switch t.text {
+		case "=":
+			op = value.Eq
+		case "<>", "!=":
+			op = value.Ne
+		case "<":
+			op = value.Lt
+		case "<=":
+			op = value.Le
+		case ">":
+			op = value.Gt
+		case ">=":
+			op = value.Ge
+		default:
+			found = false
+		}
+		if found {
+			p.pos++
+			right, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			return &Cmp{Op: op, L: left, R: right}, nil
+		}
+	}
+	return left, nil
+}
+
+func (p *parser) parseIn(left Expr, negated bool) (Expr, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	return &InE{Left: left, Query: q, Negated: negated}, nil
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept("+"):
+			r, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			left = &BinE{Op: '+', L: left, R: r}
+		case p.accept("-"):
+			r, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			left = &BinE{Op: '-', L: left, R: r}
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept("*"):
+			r, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			left = &BinE{Op: '*', L: left, R: r}
+		case p.accept("/"):
+			r, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			left = &BinE{Op: '/', L: left, R: r}
+		default:
+			return left, nil
+		}
+	}
+}
+
+var aggNames = map[string]bool{
+	"sum": true, "count": true, "avg": true, "min": true, "max": true,
+	"countdistinct": true, "average": true,
+}
+
+func (p *parser) parseTerm() (Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.pos++
+		if strings.Contains(t.text, ".") {
+			f, _ := strconv.ParseFloat(t.text, 64)
+			return &Lit{Val: value.Float(f)}, nil
+		}
+		i, _ := strconv.ParseInt(t.text, 10, 64)
+		return &Lit{Val: value.Int(i)}, nil
+	case tokString:
+		p.pos++
+		return &Lit{Val: value.Str(t.text)}, nil
+	case tokSymbol:
+		switch t.text {
+		case "(":
+			// Parenthesized expression OR scalar subquery.
+			mark := p.save()
+			p.pos++
+			if p.peekKw("select") {
+				q, err := p.parseQuery()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expect(")"); err != nil {
+					return nil, err
+				}
+				return &Scalar{Query: q}, nil
+			}
+			p.restore(mark)
+			p.pos++
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		case "-":
+			p.pos++
+			e, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			if l, ok := e.(*Lit); ok && l.Val.IsNumeric() {
+				if l.Val.Kind() == value.KindInt {
+					return &Lit{Val: value.Int(-l.Val.AsInt())}, nil
+				}
+				return &Lit{Val: value.Float(-l.Val.AsFloat())}, nil
+			}
+			return &BinE{Op: '-', L: &Lit{Val: value.Int(0)}, R: e}, nil
+		}
+	case tokIdent:
+		switch t.text {
+		case "null":
+			p.pos++
+			return &Lit{Val: value.Null()}, nil
+		case "true":
+			p.pos++
+			return &Lit{Val: value.Bool(true)}, nil
+		case "false":
+			p.pos++
+			return &Lit{Val: value.Bool(false)}, nil
+		}
+		if aggNames[t.text] {
+			mark := p.save()
+			p.pos++
+			if p.accept("(") {
+				f := &FuncE{Name: t.text}
+				if f.Name == "average" {
+					f.Name = "avg"
+				}
+				if p.accept("*") {
+					f.Star = true
+				} else {
+					f.Distinct = p.acceptKw("distinct")
+					arg, err := p.parseAdditive()
+					if err != nil {
+						return nil, err
+					}
+					f.Arg = arg
+				}
+				if err := p.expect(")"); err != nil {
+					return nil, err
+				}
+				return f, nil
+			}
+			p.restore(mark)
+		}
+		// Column reference: ident or ident.ident (the table part may be a
+		// quoted symbolic name like "-" for relationalized operators).
+		p.pos++
+		if p.accept(".") {
+			col := p.next()
+			if col.kind != tokIdent {
+				return nil, p.errf("expected column after %q.", t.raw)
+			}
+			return &ColRef{Table: t.raw, Column: col.raw}, nil
+		}
+		return &ColRef{Column: t.raw}, nil
+	}
+	return nil, p.errf("unexpected token %q", t.text)
+}

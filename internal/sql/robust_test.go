@@ -1,0 +1,42 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParserNeverPanics: mangled SQL must error, never panic.
+func TestParserNeverPanics(t *testing.T) {
+	seeds := []string{
+		"select R.A from R, S where R.B = S.B and S.C = 0",
+		"select distinct R.A, (select sum(R2.B) sm from R R2 where R2.A = R.A) from R",
+		"select R.m, S.n from R left outer join S on (R.h = 11 and R.y = S.y)",
+		"select R.A from R where R.A not in (select S.A from S) order by A desc",
+		"select R.A from R union all select S.A from S",
+	}
+	junk := []string{"", "(", ")", "select", "from", "select from where", "'",
+		"select * from", "select ((((", "group by", ";;;", "select 1 order by"}
+	var inputs []string
+	inputs = append(inputs, junk...)
+	for _, s := range seeds {
+		for cut := 0; cut < len(s); cut += 4 {
+			inputs = append(inputs, s[:cut])
+		}
+		inputs = append(inputs,
+			strings.ReplaceAll(s, "select", "selec"),
+			strings.ReplaceAll(s, "(", ""),
+			strings.ReplaceAll(s, "=", "<>=<"),
+			s+" "+s,
+		)
+	}
+	for _, in := range inputs {
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Errorf("panic on %q: %v", in, p)
+				}
+			}()
+			_, _ = Parse(in)
+		}()
+	}
+}

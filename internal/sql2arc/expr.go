@@ -1,0 +1,251 @@
+package sql2arc
+
+import (
+	"fmt"
+
+	"repro/internal/alt"
+	"repro/internal/sql"
+)
+
+// boolExpr translates a boolean SQL expression into an ARC formula,
+// hoisting scalar subqueries into lateral bindings of the current scope.
+func (tr *translator) boolExpr(e sql.Expr, sp *scopeParts) (alt.Formula, error) {
+	switch x := e.(type) {
+	case *sql.AndE:
+		var kids []alt.Formula
+		for _, k := range x.Kids {
+			f, err := tr.boolExpr(k, sp)
+			if err != nil {
+				return nil, err
+			}
+			kids = append(kids, f)
+		}
+		return alt.AndF(kids...), nil
+	case *sql.OrE:
+		var kids []alt.Formula
+		for _, k := range x.Kids {
+			f, err := tr.boolExpr(k, sp)
+			if err != nil {
+				return nil, err
+			}
+			kids = append(kids, f)
+		}
+		return alt.OrF(kids...), nil
+	case *sql.NotE:
+		// NOT (x IN q) gets the null-aware NOT IN treatment.
+		if in, ok := x.Kid.(*sql.InE); ok {
+			flipped := *in
+			flipped.Negated = !in.Negated
+			return tr.boolExpr(&flipped, sp)
+		}
+		f, err := tr.boolExpr(x.Kid, sp)
+		if err != nil {
+			return nil, err
+		}
+		return alt.NotF(f), nil
+	case *sql.Cmp:
+		l, err := tr.scalarExpr(x.L, sp)
+		if err != nil {
+			return nil, err
+		}
+		r, err := tr.scalarExpr(x.R, sp)
+		if err != nil {
+			return nil, err
+		}
+		return &alt.Pred{Left: l, Op: x.Op, Right: r}, nil
+	case *sql.IsNullE:
+		t, err := tr.scalarExpr(x.Arg, sp)
+		if err != nil {
+			return nil, err
+		}
+		return &alt.IsNull{Arg: t, Negated: x.Negated}, nil
+	case *sql.Exists:
+		q, err := tr.existsScope(x.Query, nil)
+		if err != nil {
+			return nil, err
+		}
+		if x.Negated {
+			return alt.NotF(q), nil
+		}
+		return q, nil
+	case *sql.InE:
+		return tr.inExpr(x, sp)
+	case *sql.Lit:
+		// Boolean literal conditions (ON TRUE already removed by parser).
+		return nil, fmt.Errorf("sql2arc: literal %s in boolean context", x.Val)
+	}
+	return nil, fmt.Errorf("sql2arc: cannot translate %T as a condition", e)
+}
+
+// inExpr translates [NOT] IN per Section 2.10: NOT IN becomes NOT EXISTS
+// with explicit IS NULL checks on both sides (query (17)); plain IN
+// becomes a simple existential.
+func (tr *translator) inExpr(x *sql.InE, sp *scopeParts) (alt.Formula, error) {
+	lhs, err := tr.scalarExpr(x.Left, sp)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := x.Query.(*sql.Select)
+	if !ok {
+		return nil, fmt.Errorf("sql2arc: IN over UNION subqueries is not supported")
+	}
+	if len(sel.Items) != 1 {
+		return nil, fmt.Errorf("sql2arc: IN subquery must return one column")
+	}
+	inner := &scopeParts{}
+	for _, ref := range sel.From {
+		if err := tr.tableRef(ref, inner); err != nil {
+			return nil, err
+		}
+	}
+	var conjs []alt.Formula
+	if sel.Where != nil {
+		w, err := tr.boolExpr(sel.Where, inner)
+		if err != nil {
+			return nil, err
+		}
+		conjs = append(conjs, w)
+	}
+	item, err := tr.scalarExpr(sel.Items[0].Expr, inner)
+	if err != nil {
+		return nil, err
+	}
+	if x.Negated {
+		match := alt.OrF(
+			alt.Eq(item, lhs),
+			alt.Null(item),
+			alt.Null(lhs),
+		)
+		conjs = append(conjs, match)
+		q := alt.Exists(inner.bindings, alt.AndF(conjs...))
+		q.Join = inner.join
+		return alt.NotF(q), nil
+	}
+	conjs = append(conjs, alt.Eq(item, lhs))
+	q := alt.Exists(inner.bindings, alt.AndF(conjs...))
+	q.Join = inner.join
+	return q, nil
+}
+
+// existsScope translates an EXISTS subquery into a bare quantifier (the
+// select list is irrelevant). extra appends additional conjuncts.
+func (tr *translator) existsScope(q sql.Query, extra []alt.Formula) (alt.Formula, error) {
+	sel, ok := q.(*sql.Select)
+	if !ok {
+		return nil, fmt.Errorf("sql2arc: EXISTS over UNION subqueries is not supported")
+	}
+	if len(sel.GroupBy) > 0 || sel.Having != nil {
+		return nil, fmt.Errorf("sql2arc: EXISTS over grouped subqueries is not supported")
+	}
+	inner := &scopeParts{}
+	for _, ref := range sel.From {
+		if err := tr.tableRef(ref, inner); err != nil {
+			return nil, err
+		}
+	}
+	conjs := append([]alt.Formula{}, extra...)
+	if sel.Where != nil {
+		w, err := tr.boolExpr(sel.Where, inner)
+		if err != nil {
+			return nil, err
+		}
+		conjs = append(conjs, w)
+	}
+	qf := alt.Exists(inner.bindings, alt.AndF(conjs...))
+	qf.Join = inner.join
+	return qf, nil
+}
+
+// scalarExpr translates a scalar SQL expression into an ARC term,
+// hoisting scalar subqueries into lateral bindings (Section 2.12).
+func (tr *translator) scalarExpr(e sql.Expr, sp *scopeParts) (alt.Term, error) {
+	switch x := e.(type) {
+	case *sql.Lit:
+		return alt.CVal(x.Val), nil
+	case *sql.ColRef:
+		if x.Table == "" {
+			return nil, fmt.Errorf("sql2arc: unqualified column %q (qualify with a table alias)", x.Column)
+		}
+		return alt.Ref(x.Table, x.Column), nil
+	case *sql.BinE:
+		l, err := tr.scalarExpr(x.L, sp)
+		if err != nil {
+			return nil, err
+		}
+		r, err := tr.scalarExpr(x.R, sp)
+		if err != nil {
+			return nil, err
+		}
+		var op alt.ArithOp
+		switch x.Op {
+		case '+':
+			op = alt.OpAdd
+		case '-':
+			op = alt.OpSub
+		case '*':
+			op = alt.OpMul
+		case '/':
+			op = alt.OpDiv
+		default:
+			return nil, fmt.Errorf("sql2arc: unknown operator %q", string(x.Op))
+		}
+		return &alt.Arith{Op: op, L: l, R: r}, nil
+	case *sql.FuncE:
+		if x.Star {
+			if x.Name != "count" {
+				return nil, fmt.Errorf("sql2arc: %s(*) is not valid", x.Name)
+			}
+			// count(*) over the scope: count any attribute of the first
+			// binding is wrong in the presence of NULLs; ARC has no row
+			// counter, so count(*) needs a non-null witness. We use the
+			// constant 1 — count over a constant term counts rows.
+			return alt.Count(alt.CInt(1)), nil
+		}
+		arg, err := tr.scalarExpr(x.Arg, sp)
+		if err != nil {
+			return nil, err
+		}
+		fn, ok := alt.AggFuncByName(x.Name)
+		if !ok {
+			return nil, fmt.Errorf("sql2arc: unknown aggregate %q", x.Name)
+		}
+		if x.Distinct {
+			if fn != alt.AggCount {
+				return nil, fmt.Errorf("sql2arc: DISTINCT is supported for count only")
+			}
+			fn = alt.AggCountDistinct
+		}
+		return &alt.Agg{Func: fn, Arg: arg}, nil
+	case *sql.Scalar:
+		return tr.hoistScalar(x, sp)
+	}
+	return nil, fmt.Errorf("sql2arc: cannot translate %T as a scalar", e)
+}
+
+// hoistScalar converts a scalar subquery into a lateral binding of the
+// current scope and returns the reference to its single output attribute
+// (Section 2.12: any single-valued head aggregate can be rewritten as a
+// lateral join in the body).
+func (tr *translator) hoistScalar(x *sql.Scalar, sp *scopeParts) (alt.Term, error) {
+	sel, ok := x.Query.(*sql.Select)
+	if !ok {
+		return nil, fmt.Errorf("sql2arc: scalar UNION subqueries are not supported")
+	}
+	if len(sel.Items) != 1 {
+		return nil, fmt.Errorf("sql2arc: scalar subquery must return one column")
+	}
+	if !selectHasAggregate(sel) {
+		return nil, fmt.Errorf("sql2arc: only single-valued (aggregate) scalar subqueries are supported; rewrite %s as a join", x)
+	}
+	name := strings_Title(tr.gensym("sc"))
+	col, err := tr.selectQuery(sel, name)
+	if err != nil {
+		return nil, err
+	}
+	v := tr.gensym("x")
+	sp.bindings = append(sp.bindings, alt.BindSub(v, col))
+	if sp.join != nil {
+		sp.join = alt.Inner(sp.join, alt.JV(v))
+	}
+	return alt.Ref(v, col.Head.Attrs[0]), nil
+}

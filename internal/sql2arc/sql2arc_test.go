@@ -1,0 +1,252 @@
+package sql2arc
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/convention"
+	"repro/internal/eval"
+	"repro/internal/relation"
+	"repro/internal/sqleval"
+)
+
+// check translates src, evaluates it with the ARC evaluator, evaluates
+// the original with the independent SQL evaluator, and requires matching
+// results. bag selects bag-level comparison.
+func check(t *testing.T, src string, rels []*relation.Relation, bag bool) {
+	t.Helper()
+	col, err := TranslateString(src)
+	if err != nil {
+		t.Fatalf("translate %q: %v", src, err)
+	}
+	cat := eval.NewCatalog()
+	db := sqleval.DB{}
+	for _, r := range rels {
+		cat.AddRelation(r)
+		db[r.Name()] = r
+	}
+	conv := convention.SQL()
+	if !bag {
+		conv = convention.SQLDistinct()
+	}
+	got, err := eval.Eval(col, cat, conv)
+	if err != nil {
+		t.Fatalf("arc eval of %q: %v\nALT:\n%s", src, err, col)
+	}
+	want, err := sqleval.EvalString(src, db)
+	if err != nil {
+		t.Fatalf("sql eval of %q: %v", src, err)
+	}
+	if bag {
+		if !got.EqualBag(want) {
+			t.Fatalf("bag mismatch for %q:\narc\n%s\nsql\n%s\nALT: %s", src, got, want, col)
+		}
+	} else if !got.EqualSet(want) {
+		t.Fatalf("set mismatch for %q:\narc\n%s\nsql\n%s\nALT: %s", src, got, want, col)
+	}
+}
+
+func TestBasicSelect(t *testing.T) {
+	rels := []*relation.Relation{
+		relation.New("R", "A", "B").Add(1, 10).Add(2, 20).Add(3, 30),
+		relation.New("S", "B", "C").Add(10, 0).Add(20, 5).Add(30, 0),
+	}
+	check(t, "select R.A from R, S where R.B = S.B and S.C = 0", rels, true)
+	check(t, "select R.A, S.C from R, S where R.B = S.B", rels, true)
+	check(t, "select distinct S.C from S", rels, true)
+}
+
+func TestGroupByHaving(t *testing.T) {
+	rels := []*relation.Relation{
+		relation.New("R", "empl", "dept").Add("e1", "d1").Add("e2", "d1").Add("e3", "d2"),
+		relation.New("S", "empl", "sal").Add("e1", 60).Add("e2", 70).Add("e3", 40),
+	}
+	// Fig 6a.
+	check(t, `select R.dept, avg(S.sal) av from R, S
+		where R.empl = S.empl group by R.dept having sum(S.sal) > 100`, rels, true)
+	check(t, `select R.dept, count(R.empl) c from R group by R.dept`, rels, true)
+}
+
+func TestFig4GroupedAggregate(t *testing.T) {
+	rels := []*relation.Relation{
+		relation.New("R", "A", "B").Add(1, 10).Add(1, 20).Add(2, 5),
+	}
+	check(t, "select R.A, sum(R.B) sm from R group by R.A", rels, true)
+}
+
+func TestImplicitGrouping(t *testing.T) {
+	rels := []*relation.Relation{relation.New("R", "A").Add(1).Add(2)}
+	check(t, "select count(*) c, sum(R.A) s from R", rels, true)
+	// Over an empty table the single group must still emit one row.
+	check(t, "select count(*) c, sum(R.A) s from R",
+		[]*relation.Relation{relation.New("R", "A")}, true)
+}
+
+func TestScalarSubqueryCountBug(t *testing.T) {
+	// Fig 21, all three versions, on the bug-revealing instance.
+	rels := []*relation.Relation{
+		relation.New("R", "id", "q").Add(9, 0),
+		relation.New("S", "id", "d"),
+	}
+	check(t, `select R.id from R where R.q = (select count(S.d) from S where S.id = R.id)`, rels, true)
+	check(t, `select R.id from R,
+		(select S.id, count(S.d) as ct from S group by S.id) as X
+		where R.q = X.ct and R.id = X.id`, rels, true)
+	check(t, `select R.id from R,
+		(select R2.id, count(S.d) as ct from R R2 left join S on R2.id = S.id group by R2.id) as X
+		where R.q = X.ct and R.id = X.id`, rels, true)
+}
+
+func TestFig5ScalarAndLateral(t *testing.T) {
+	rels := []*relation.Relation{
+		relation.New("R", "A", "B").Add(1, 10).Add(1, 20).Add(2, 5),
+	}
+	check(t, `select distinct R.A, (select sum(R2.B) sm from R R2 where R2.A = R.A) from R`, rels, true)
+	check(t, `select distinct R.A, X.sm from R join lateral
+		(select sum(R2.B) sm from R R2 where R2.A = R.A) X on true`, rels, true)
+}
+
+func TestFig3Lateral(t *testing.T) {
+	rels := []*relation.Relation{
+		relation.New("X", "A").Add(1).Add(5),
+		relation.New("Y", "A").Add(3).Add(7),
+	}
+	check(t, `select x.A, z.B from X as x
+		join lateral (select y.A as B from Y as y where x.A < y.A) as z on true`, rels, true)
+}
+
+func TestNotInTranslation(t *testing.T) {
+	rels := []*relation.Relation{
+		relation.New("R", "A").Add(1).Add(2).Add(3),
+		relation.New("S", "A").Add(2),
+	}
+	check(t, "select R.A from R where R.A not in (select S.A from S)", rels, true)
+	check(t, "select R.A from R where R.A in (select S.A from S)", rels, true)
+	// With NULL in S the NOT IN result must be empty in both evaluators.
+	relsNull := []*relation.Relation{
+		relation.New("R", "A").Add(1).Add(2).Add(3),
+		relation.New("S", "A").Add(2).Add(nil),
+	}
+	check(t, "select R.A from R where R.A not in (select S.A from S)", relsNull, true)
+	check(t, "select R.A from R where not (R.A in (select S.A from S))", relsNull, true)
+}
+
+func TestExistsTranslation(t *testing.T) {
+	rels := []*relation.Relation{
+		relation.New("R", "A", "B").Add(1, 10).Add(2, 99),
+		relation.New("S", "B", "C").Add(10, 0),
+	}
+	check(t, "select R.A from R where exists (select 1 from S where S.B = R.B)", rels, true)
+	check(t, "select R.A from R where not exists (select 1 from S where S.B = R.B)", rels, true)
+}
+
+func TestUniqueSetQueryTranslation(t *testing.T) {
+	rels := []*relation.Relation{
+		relation.New("Likes", "drinker", "beer").
+			Add("d1", "b1").Add("d1", "b2").
+			Add("d2", "b1").Add("d2", "b2").
+			Add("d3", "b1"),
+	}
+	check(t, `select distinct L1.drinker from Likes L1
+	where not exists
+	  (select 1 from Likes L2
+	   where L1.drinker <> L2.drinker
+	   and not exists
+	     (select 1 from Likes L3
+	      where L3.drinker = L2.drinker
+	      and not exists
+	        (select 1 from Likes L4
+	         where L4.drinker = L1.drinker and L4.beer = L3.beer))
+	   and not exists
+	     (select 1 from Likes L5
+	      where L5.drinker = L1.drinker
+	      and not exists
+	        (select 1 from Likes L6
+	         where L6.drinker = L2.drinker and L6.beer = L5.beer)))`, rels, true)
+}
+
+func TestLeftJoinTranslation(t *testing.T) {
+	rels := []*relation.Relation{
+		relation.New("R", "m", "y", "h").Add("r1", 1, 11).Add("r2", 2, 11).Add("r3", 3, 99),
+		relation.New("S", "y", "n", "q").Add(1, "n1", 0).Add(3, "n3", 0),
+	}
+	// Fig 12a with its constant ON condition.
+	check(t, `select R.m, S.n from R left outer join S on (R.h = 11 and R.y = S.y)`, rels, true)
+	check(t, `select R.m, S.n from R left join S on R.y = S.y`, rels, true)
+}
+
+func TestFullJoinTranslation(t *testing.T) {
+	rels := []*relation.Relation{
+		relation.New("R", "a").Add(1).Add(2),
+		relation.New("S", "b").Add(2).Add(3),
+	}
+	check(t, "select R.a, S.b from R full join S on R.a = S.b", rels, true)
+}
+
+func TestUnionTranslation(t *testing.T) {
+	rels := []*relation.Relation{
+		relation.New("R", "A").Add(1).Add(2),
+		relation.New("S", "A").Add(2).Add(3),
+	}
+	check(t, "select R.A from R union select S.A from S", rels, true)
+	check(t, "select R.A from R union all select S.A from S", rels, true)
+}
+
+func TestBagMultiplicities(t *testing.T) {
+	rels := []*relation.Relation{
+		relation.New("R", "A", "B").Add(1, 10).Add(1, 10).Add(2, 20),
+		relation.New("S", "B").Add(10).Add(10),
+	}
+	check(t, "select R.A from R, S where R.B = S.B", rels, true)
+	check(t, "select distinct R.A from R, S where R.B = S.B", rels, true)
+}
+
+func TestFig13BagCounterexample(t *testing.T) {
+	// The three Fig 13 forms, each translated and checked against the SQL
+	// evaluator under bag semantics (including the duplicate-R instance).
+	rels := []*relation.Relation{
+		relation.New("R", "A").Add(1).Add(1),
+		relation.New("S", "A", "B").Add(0, 7),
+	}
+	check(t, `select R.A, (select sum(S.B) sm from S where S.A < R.A) from R`, rels, true)
+	check(t, `select R.A, X.sm from R join lateral
+		(select sum(S.B) sm from S where S.A < R.A) X on true`, rels, true)
+	check(t, `select R.A, sum(S.B) sm from R left join S on S.A < R.A group by R.A`, rels, true)
+}
+
+func TestArithmeticTranslation(t *testing.T) {
+	rels := []*relation.Relation{
+		relation.New("R", "A", "B").Add("x", 10).Add("y", 3),
+		relation.New("S", "B").Add(4),
+		relation.New("T", "B").Add(5),
+	}
+	check(t, "select R.A from R, S, T where R.B - S.B > T.B", rels, true)
+}
+
+func TestTranslateErrors(t *testing.T) {
+	cases := map[string]string{
+		"select A from R": "unqualified",
+		"select sum(R.A) s from R group by R.A + 1": "GROUP BY",
+		"select (select S.A from S) from R":         "single-valued",
+	}
+	for src, want := range cases {
+		_, err := TranslateString(src)
+		if err == nil || !strings.Contains(err.Error(), want) {
+			t.Errorf("%q: got %v, want error containing %q", src, err, want)
+		}
+	}
+}
+
+func TestTreeShapeFOI(t *testing.T) {
+	// Fig 5a should translate to the lateral FOI pattern: a nested
+	// collection with γ∅ inside the outer scope.
+	col, err := TranslateString(`select distinct R.A,
+		(select sum(R2.B) sm from R R2 where R2.A = R.A) from R`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := col.String()
+	if !strings.Contains(s, "γ ∅") {
+		t.Errorf("expected γ∅ in the hoisted scalar collection:\n%s", s)
+	}
+}

@@ -1,0 +1,283 @@
+package sqleval
+
+import (
+	"fmt"
+
+	"repro/internal/sql"
+	"repro/internal/value"
+)
+
+// evalExpr evaluates a scalar expression; grp is non-nil in grouped
+// contexts (SELECT items / HAVING under GROUP BY or implicit grouping).
+func (e *evaluator) evalExpr(x sql.Expr, fr *frame, grp *groupCtx) (value.Value, error) {
+	switch n := x.(type) {
+	case *sql.Lit:
+		return n.Val, nil
+	case *sql.ColRef:
+		v, ok, err := fr.lookup(n.Table, n.Column)
+		if err != nil {
+			return value.Null(), err
+		}
+		if !ok {
+			return value.Null(), fmt.Errorf("unknown column %s", n)
+		}
+		return v, nil
+	case *sql.BinE:
+		l, err := e.evalExpr(n.L, fr, grp)
+		if err != nil {
+			return value.Null(), err
+		}
+		r, err := e.evalExpr(n.R, fr, grp)
+		if err != nil {
+			return value.Null(), err
+		}
+		var out value.Value
+		var ok bool
+		switch n.Op {
+		case '+':
+			out, ok = value.Add(l, r)
+		case '-':
+			out, ok = value.Sub(l, r)
+		case '*':
+			out, ok = value.Mul(l, r)
+		case '/':
+			out, ok = value.Div(l, r)
+		default:
+			return value.Null(), fmt.Errorf("unknown operator %q", string(n.Op))
+		}
+		if !ok {
+			return value.Null(), fmt.Errorf("type error in %s", n)
+		}
+		return out, nil
+	case *sql.FuncE:
+		if grp == nil {
+			return value.Null(), fmt.Errorf("aggregate %s outside a grouped context", n)
+		}
+		return e.evalAggregate(n, fr, grp)
+	case *sql.Scalar:
+		rel, err := e.evalQuery(n.Query, fr)
+		if err != nil {
+			return value.Null(), err
+		}
+		if rel.Arity() != 1 {
+			return value.Null(), fmt.Errorf("scalar subquery returns %d columns", rel.Arity())
+		}
+		switch rel.Card() {
+		case 0:
+			return value.Null(), nil
+		case 1:
+			return rel.Tuples()[0][0], nil
+		}
+		return value.Null(), fmt.Errorf("scalar subquery returned %d rows", rel.Card())
+	}
+	// Boolean expressions used as scalars (rare; EXISTS in SELECT).
+	tv, err := e.evalBool(x, fr, grp)
+	if err != nil {
+		return value.Null(), err
+	}
+	switch tv {
+	case value.True:
+		return value.Bool(true), nil
+	case value.False:
+		return value.Bool(false), nil
+	}
+	return value.Null(), nil
+}
+
+func (e *evaluator) evalAggregate(n *sql.FuncE, fr *frame, grp *groupCtx) (value.Value, error) {
+	// count(*) counts rows with multiplicity.
+	if n.Star {
+		if n.Name != "count" {
+			return value.Null(), fmt.Errorf("%s(*) is not valid", n.Name)
+		}
+		total := 0
+		for _, r := range grp.rows {
+			total += r.weight
+		}
+		return value.Int(int64(total)), nil
+	}
+	var sum value.Value
+	haveAny := false
+	count := 0
+	distinct := map[string]bool{}
+	var minV, maxV value.Value
+	for _, r := range grp.rows {
+		rf := &frame{parent: fr.parent, vals: r.vals}
+		v, err := e.evalExpr(n.Arg, rf, nil)
+		if err != nil {
+			return value.Null(), err
+		}
+		if v.IsNull() {
+			continue
+		}
+		if (n.Name == "sum" || n.Name == "avg") && !v.IsNumeric() {
+			return value.Null(), fmt.Errorf("%s over non-numeric value %v", n.Name, v)
+		}
+		w := r.weight
+		if n.Distinct {
+			if distinct[v.Key()] {
+				continue
+			}
+			w = 1
+		}
+		distinct[v.Key()] = true
+		count += w
+		contrib := v
+		if w > 1 {
+			c, ok := value.Mul(v, value.Int(int64(w)))
+			if !ok {
+				return value.Null(), fmt.Errorf("%s over non-numeric value %v", n.Name, v)
+			}
+			contrib = c
+		}
+		if !haveAny {
+			sum, minV, maxV = contrib, v, v
+			haveAny = true
+			continue
+		}
+		if n.Name == "sum" || n.Name == "avg" {
+			s, ok := value.Add(sum, contrib)
+			if !ok {
+				return value.Null(), fmt.Errorf("%s over non-numeric value %v", n.Name, v)
+			}
+			sum = s
+		}
+		if c, ok := v.Compare(minV); ok && c < 0 {
+			minV = v
+		}
+		if c, ok := v.Compare(maxV); ok && c > 0 {
+			maxV = v
+		}
+	}
+	switch n.Name {
+	case "count":
+		return value.Int(int64(count)), nil
+	case "countdistinct":
+		return value.Int(int64(len(distinct))), nil
+	case "sum":
+		if !haveAny {
+			return value.Null(), nil // SQL: SUM over zero rows is NULL
+		}
+		return sum, nil
+	case "avg":
+		if !haveAny {
+			return value.Null(), nil
+		}
+		v, _ := value.Div(value.Float(sum.AsFloat()), value.Int(int64(count)))
+		return v, nil
+	case "min":
+		if !haveAny {
+			return value.Null(), nil
+		}
+		return minV, nil
+	case "max":
+		if !haveAny {
+			return value.Null(), nil
+		}
+		return maxV, nil
+	}
+	return value.Null(), fmt.Errorf("unknown aggregate %q", n.Name)
+}
+
+// evalBool evaluates a boolean expression under three-valued logic.
+func (e *evaluator) evalBool(x sql.Expr, fr *frame, grp *groupCtx) (value.TV, error) {
+	switch n := x.(type) {
+	case *sql.AndE:
+		tv := value.True
+		for _, k := range n.Kids {
+			kt, err := e.evalBool(k, fr, grp)
+			if err != nil {
+				return value.False, err
+			}
+			tv = tv.And(kt)
+			if tv == value.False {
+				return value.False, nil
+			}
+		}
+		return tv, nil
+	case *sql.OrE:
+		tv := value.False
+		for _, k := range n.Kids {
+			kt, err := e.evalBool(k, fr, grp)
+			if err != nil {
+				return value.False, err
+			}
+			tv = tv.Or(kt)
+			if tv == value.True {
+				return value.True, nil
+			}
+		}
+		return tv, nil
+	case *sql.NotE:
+		kt, err := e.evalBool(n.Kid, fr, grp)
+		if err != nil {
+			return value.False, err
+		}
+		return kt.Not(), nil
+	case *sql.Cmp:
+		l, err := e.evalExpr(n.L, fr, grp)
+		if err != nil {
+			return value.False, err
+		}
+		r, err := e.evalExpr(n.R, fr, grp)
+		if err != nil {
+			return value.False, err
+		}
+		return n.Op.Apply(l, r), nil
+	case *sql.IsNullE:
+		v, err := e.evalExpr(n.Arg, fr, grp)
+		if err != nil {
+			return value.False, err
+		}
+		return value.TVFromBool(v.IsNull() != n.Negated), nil
+	case *sql.Exists:
+		rel, err := e.evalQuery(n.Query, fr)
+		if err != nil {
+			return value.False, err
+		}
+		tv := value.TVFromBool(rel.Card() > 0)
+		if n.Negated {
+			tv = tv.Not()
+		}
+		return tv, nil
+	case *sql.InE:
+		return e.evalIn(n, fr, grp)
+	case *sql.Lit:
+		if n.Val.Kind() == value.KindBool {
+			return value.TVFromBool(n.Val.AsBool()), nil
+		}
+		if n.Val.IsNull() {
+			return value.Unknown, nil
+		}
+		return value.False, fmt.Errorf("non-boolean literal %s in boolean context", n.Val)
+	}
+	return value.False, fmt.Errorf("cannot evaluate %T as boolean", x)
+}
+
+// evalIn implements SQL's three-valued [NOT] IN semantics: a match gives
+// True; otherwise a NULL on either side gives Unknown — which is what
+// empties the result of Fig 11a when S contains a NULL.
+func (e *evaluator) evalIn(n *sql.InE, fr *frame, grp *groupCtx) (value.TV, error) {
+	l, err := e.evalExpr(n.Left, fr, grp)
+	if err != nil {
+		return value.False, err
+	}
+	rel, err := e.evalQuery(n.Query, fr)
+	if err != nil {
+		return value.False, err
+	}
+	if rel.Arity() != 1 {
+		return value.False, fmt.Errorf("IN subquery returns %d columns", rel.Arity())
+	}
+	tv := value.False
+	for _, t := range rel.Tuples() {
+		tv = tv.Or(value.Eq.Apply(l, t[0]))
+		if tv == value.True {
+			break
+		}
+	}
+	if n.Negated {
+		tv = tv.Not()
+	}
+	return tv, nil
+}

@@ -1,0 +1,71 @@
+package sqleval
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/relation"
+	"repro/internal/sql"
+)
+
+// EvalOrdered evaluates a query and applies its ORDER BY as a
+// presentation step, returning the output tuples in order (ties keep the
+// canonical relation order). The paper places sorted lists outside the
+// flat relational core (Section 5); accordingly, ordering here is a
+// property of the *rendering* of a result, not of the relation — Eval
+// ignores ORDER BY, EvalOrdered honours it.
+func EvalOrdered(q sql.Query, db DB) ([]relation.Tuple, []string, error) {
+	rel, err := Eval(q, db)
+	if err != nil {
+		return nil, nil, err
+	}
+	sel, ok := q.(*sql.Select)
+	var order []sql.OrderItem
+	if ok {
+		order = sel.OrderBy
+	}
+	tuples := expandBag(rel)
+	if len(order) == 0 {
+		return tuples, rel.Attrs(), nil
+	}
+	cols := make([]int, len(order))
+	for i, o := range order {
+		c := rel.AttrIndex(o.Col)
+		if c < 0 {
+			return nil, nil, fmt.Errorf("ORDER BY column %q is not in the output", o.Col)
+		}
+		cols[i] = c
+	}
+	sort.SliceStable(tuples, func(i, j int) bool {
+		for k, c := range cols {
+			a, b := tuples[i][c], tuples[j][c]
+			if a.Less(b) {
+				return !order[k].Desc
+			}
+			if b.Less(a) {
+				return order[k].Desc
+			}
+		}
+		return false
+	})
+	return tuples, rel.Attrs(), nil
+}
+
+// EvalOrderedString parses and evaluates with ordering.
+func EvalOrderedString(src string, db DB) ([]relation.Tuple, []string, error) {
+	q, err := sql.Parse(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	return EvalOrdered(q, db)
+}
+
+func expandBag(rel *relation.Relation) []relation.Tuple {
+	var out []relation.Tuple
+	rel.Each(func(t relation.Tuple, m int) {
+		for i := 0; i < m; i++ {
+			out = append(out, t)
+		}
+	})
+	return out
+}

@@ -1,0 +1,67 @@
+package sqleval
+
+import (
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func TestOrderBy(t *testing.T) {
+	db := NewDB(relation.New("R", "A", "B").Add(2, "x").Add(1, "y").Add(3, "z").Add(1, "w"))
+	tuples, attrs, err := EvalOrderedString("select R.A, R.B from R order by A", db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(attrs) != 2 || attrs[0] != "A" {
+		t.Fatalf("attrs = %v", attrs)
+	}
+	if len(tuples) != 4 {
+		t.Fatalf("tuples = %d", len(tuples))
+	}
+	for i := 1; i < len(tuples); i++ {
+		if tuples[i][0].Less(tuples[i-1][0]) {
+			t.Fatalf("not ascending at %d: %v", i, tuples)
+		}
+	}
+	desc, _, err := EvalOrderedString("select R.A, R.B from R order by A desc, B desc", db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if desc[0][0].AsInt() != 3 || desc[len(desc)-1][1].AsString() != "w" {
+		t.Fatalf("desc order wrong: %v", desc)
+	}
+}
+
+func TestOrderByAggregateAlias(t *testing.T) {
+	db := NewDB(relation.New("R", "A", "B").Add(1, 10).Add(1, 20).Add(2, 50))
+	tuples, _, err := EvalOrderedString("select R.A, sum(R.B) sm from R group by R.A order by sm desc", db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tuples[0][1].AsInt() != 50 {
+		t.Fatalf("order by aggregate alias broken: %v", tuples)
+	}
+}
+
+func TestOrderByUnknownColumn(t *testing.T) {
+	db := NewDB(relation.New("R", "A").Add(1))
+	if _, _, err := EvalOrderedString("select R.A from R order by Z", db); err == nil {
+		t.Fatal("unknown ORDER BY column must error")
+	}
+}
+
+func TestEvalIgnoresOrderBy(t *testing.T) {
+	// Plain Eval treats ORDER BY as presentation and ignores it.
+	db := NewDB(relation.New("R", "A").Add(2).Add(1))
+	with, err := EvalString("select R.A from R order by A", db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := EvalString("select R.A from R", db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !with.EqualBag(without) {
+		t.Fatal("Eval must ignore ORDER BY (relation content unchanged)")
+	}
+}

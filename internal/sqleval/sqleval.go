@@ -1,0 +1,471 @@
+// Package sqleval is an independent reference evaluator for the SQL
+// subset in internal/sql, with standard SQL semantics: bag multiplicities,
+// three-valued logic over NULL, SQL NOT IN behaviour, correlated
+// subqueries (scalar, EXISTS, IN, LATERAL), outer joins, GROUP BY /
+// HAVING, and UNION [ALL]. The experiment harness uses it as the baseline
+// that every ARC translation must agree with — it shares no evaluation
+// code with internal/eval.
+package sqleval
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+	"repro/internal/sql"
+	"repro/internal/value"
+)
+
+// DB maps relation names to instances.
+type DB map[string]*relation.Relation
+
+// NewDB builds a DB from relations.
+func NewDB(rels ...*relation.Relation) DB {
+	db := DB{}
+	for _, r := range rels {
+		db[r.Name()] = r
+	}
+	return db
+}
+
+// Eval evaluates a parsed query against db.
+func Eval(q sql.Query, db DB) (*relation.Relation, error) {
+	e := &evaluator{db: db}
+	return e.evalQuery(q, nil)
+}
+
+// EvalString parses and evaluates a SQL string.
+func EvalString(src string, db DB) (*relation.Relation, error) {
+	q, err := sql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Eval(q, db)
+}
+
+type evaluator struct {
+	db DB
+}
+
+// frame is one correlation level: the aliases visible in a (sub)query.
+type frame struct {
+	parent *frame
+	vals   map[string]map[string]value.Value
+}
+
+func (f *frame) lookup(table, col string) (value.Value, bool, error) {
+	for cur := f; cur != nil; cur = cur.parent {
+		if table != "" {
+			if cols, ok := cur.vals[table]; ok {
+				v, ok := cols[col]
+				if !ok {
+					return value.Null(), false, fmt.Errorf("table %q has no column %q", table, col)
+				}
+				return v, true, nil
+			}
+			continue
+		}
+		// Unqualified: the column must be unambiguous within this frame.
+		var found value.Value
+		hits := 0
+		for _, cols := range cur.vals {
+			if v, ok := cols[col]; ok {
+				found = v
+				hits++
+			}
+		}
+		if hits > 1 {
+			return value.Null(), false, fmt.Errorf("ambiguous column %q", col)
+		}
+		if hits == 1 {
+			return found, true, nil
+		}
+	}
+	return value.Null(), false, nil
+}
+
+// row is one intermediate tuple of a FROM clause with its bag weight.
+type row struct {
+	vals   map[string]map[string]value.Value
+	weight int
+}
+
+func (r row) extend(alias string, cols map[string]value.Value, w int) row {
+	nv := make(map[string]map[string]value.Value, len(r.vals)+1)
+	for k, v := range r.vals {
+		nv[k] = v
+	}
+	nv[alias] = cols
+	return row{vals: nv, weight: r.weight * w}
+}
+
+func (e *evaluator) evalQuery(q sql.Query, outer *frame) (*relation.Relation, error) {
+	switch x := q.(type) {
+	case *sql.Union:
+		l, err := e.evalQuery(x.Left, outer)
+		if err != nil {
+			return nil, err
+		}
+		r, err := e.evalQuery(x.Right, outer)
+		if err != nil {
+			return nil, err
+		}
+		if l.Arity() != r.Arity() {
+			return nil, fmt.Errorf("UNION arity mismatch: %d vs %d", l.Arity(), r.Arity())
+		}
+		out := l.Clone()
+		r.Each(func(t relation.Tuple, m int) { out.InsertMult(t, m) })
+		if !x.All {
+			out = out.Dedup()
+		}
+		return out, nil
+	case *sql.Select:
+		return e.evalSelect(x, outer)
+	}
+	return nil, fmt.Errorf("unknown query node %T", q)
+}
+
+func (e *evaluator) evalSelect(s *sql.Select, outer *frame) (*relation.Relation, error) {
+	rows, err := e.fromRows(s.From, outer)
+	if err != nil {
+		return nil, err
+	}
+	// WHERE.
+	if s.Where != nil {
+		var kept []row
+		for _, r := range rows {
+			tv, err := e.evalBool(s.Where, &frame{parent: outer, vals: r.vals}, nil)
+			if err != nil {
+				return nil, err
+			}
+			if tv.Holds() {
+				kept = append(kept, r)
+			}
+		}
+		rows = kept
+	}
+	// Output schema.
+	attrs := make([]string, len(s.Items))
+	seen := map[string]int{}
+	for i, it := range s.Items {
+		name := it.OutName(i)
+		if n, dup := seen[name]; dup {
+			seen[name] = n + 1
+			name = fmt.Sprintf("%s_%d", name, n+1)
+		} else {
+			seen[name] = 1
+		}
+		attrs[i] = name
+	}
+	out := relation.New("result", attrs...)
+
+	grouped := len(s.GroupBy) > 0 || s.Having != nil || hasAggregate(s)
+	if grouped {
+		groups, err := e.groupRows(s, rows, outer)
+		if err != nil {
+			return nil, err
+		}
+		for _, g := range groups {
+			fr := &frame{parent: outer, vals: g.rep.vals}
+			if s.Having != nil {
+				tv, err := e.evalBool(s.Having, fr, g)
+				if err != nil {
+					return nil, err
+				}
+				if !tv.Holds() {
+					continue
+				}
+			}
+			t := make(relation.Tuple, len(s.Items))
+			for i, it := range s.Items {
+				v, err := e.evalExpr(it.Expr, fr, g)
+				if err != nil {
+					return nil, err
+				}
+				t[i] = v
+			}
+			out.Insert(t)
+		}
+	} else {
+		for _, r := range rows {
+			fr := &frame{parent: outer, vals: r.vals}
+			t := make(relation.Tuple, len(s.Items))
+			for i, it := range s.Items {
+				v, err := e.evalExpr(it.Expr, fr, nil)
+				if err != nil {
+					return nil, err
+				}
+				t[i] = v
+			}
+			out.InsertMult(t, r.weight)
+		}
+	}
+	if s.Distinct {
+		out = out.Dedup()
+	}
+	return out, nil
+}
+
+// hasAggregate reports whether any select item or HAVING uses an
+// aggregate function (triggering implicit grouping over the whole input).
+func hasAggregate(s *sql.Select) bool {
+	found := false
+	var walk func(e sql.Expr)
+	walk = func(e sql.Expr) {
+		switch x := e.(type) {
+		case *sql.FuncE:
+			found = true
+		case *sql.BinE:
+			walk(x.L)
+			walk(x.R)
+		case *sql.Cmp:
+			walk(x.L)
+			walk(x.R)
+		case *sql.AndE:
+			for _, k := range x.Kids {
+				walk(k)
+			}
+		case *sql.OrE:
+			for _, k := range x.Kids {
+				walk(k)
+			}
+		case *sql.NotE:
+			walk(x.Kid)
+		case *sql.IsNullE:
+			walk(x.Arg)
+		}
+	}
+	for _, it := range s.Items {
+		walk(it.Expr)
+	}
+	if s.Having != nil {
+		walk(s.Having)
+	}
+	return found
+}
+
+// groupCtx is one GROUP BY partition.
+type groupCtx struct {
+	rows []row
+	rep  row
+}
+
+func (e *evaluator) groupRows(s *sql.Select, rows []row, outer *frame) ([]*groupCtx, error) {
+	if len(s.GroupBy) == 0 {
+		// Implicit single group — present even over zero rows (the SQL
+		// behaviour that makes COUNT-bug version 1 return a row).
+		g := &groupCtx{rows: rows}
+		if len(rows) > 0 {
+			g.rep = rows[0]
+		} else {
+			g.rep = row{vals: map[string]map[string]value.Value{}, weight: 1}
+		}
+		return []*groupCtx{g}, nil
+	}
+	index := map[string]int{}
+	var groups []*groupCtx
+	for _, r := range rows {
+		fr := &frame{parent: outer, vals: r.vals}
+		key := ""
+		for _, g := range s.GroupBy {
+			v, err := e.evalExpr(g, fr, nil)
+			if err != nil {
+				return nil, err
+			}
+			key += v.Key() + "\x1f"
+		}
+		if i, ok := index[key]; ok {
+			groups[i].rows = append(groups[i].rows, r)
+		} else {
+			index[key] = len(groups)
+			groups = append(groups, &groupCtx{rows: []row{r}, rep: r})
+		}
+	}
+	return groups, nil
+}
+
+// fromRows enumerates the FROM clause (comma items cross-join).
+func (e *evaluator) fromRows(refs []sql.TableRef, outer *frame) ([]row, error) {
+	rows := []row{{vals: map[string]map[string]value.Value{}, weight: 1}}
+	for _, ref := range refs {
+		var err error
+		rows, err = e.joinInto(rows, ref, outer)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+func (e *evaluator) joinInto(rows []row, ref sql.TableRef, outer *frame) ([]row, error) {
+	switch x := ref.(type) {
+	case *sql.BaseTable:
+		rel := e.db[x.Name]
+		if rel == nil {
+			return nil, fmt.Errorf("unknown table %q", x.Name)
+		}
+		return extendAll(rows, x.Binding(), rel), nil
+	case *sql.SubqueryTable:
+		if x.Lateral {
+			var out []row
+			for _, r := range rows {
+				rel, err := e.evalQuery(x.Query, &frame{parent: outer, vals: r.vals})
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, extendAll([]row{r}, x.Alias, rel)...)
+			}
+			return out, nil
+		}
+		rel, err := e.evalQuery(x.Query, outer)
+		if err != nil {
+			return nil, err
+		}
+		return extendAll(rows, x.Alias, rel), nil
+	case *sql.JoinRef:
+		left, err := e.joinInto(rows, x.Left, outer)
+		if err != nil {
+			return nil, err
+		}
+		return e.joinRight(left, x, outer)
+	}
+	return nil, fmt.Errorf("unknown table ref %T", ref)
+}
+
+// joinRight joins already-enumerated left rows with x.Right under x.Kind.
+func (e *evaluator) joinRight(left []row, x *sql.JoinRef, outer *frame) ([]row, error) {
+	switch x.Kind {
+	case sql.JoinInner, sql.JoinCross, sql.JoinLeft:
+		var out []row
+		for _, l := range left {
+			rights, err := e.joinInto([]row{l}, x.Right, outer)
+			if err != nil {
+				return nil, err
+			}
+			matched := false
+			for _, r := range rights {
+				ok, err := e.onHolds(x.On, r, outer)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					matched = true
+					out = append(out, r)
+				}
+			}
+			if x.Kind == sql.JoinLeft && !matched {
+				ne, err := e.nullExtend(l, x.Right, outer)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, ne)
+			}
+		}
+		return out, nil
+	case sql.JoinFull:
+		base := row{vals: map[string]map[string]value.Value{}, weight: 1}
+		rights, err := e.joinInto([]row{base}, x.Right, outer)
+		if err != nil {
+			return nil, err
+		}
+		matchedR := make([]bool, len(rights))
+		var out []row
+		for _, l := range left {
+			matched := false
+			for ri, r := range rights {
+				merged := l
+				for a, cols := range r.vals {
+					merged = merged.extend(a, cols, 1)
+				}
+				merged.weight = l.weight * r.weight
+				ok, err := e.onHolds(x.On, merged, outer)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					matched = true
+					matchedR[ri] = true
+					out = append(out, merged)
+				}
+			}
+			if !matched {
+				ne, err := e.nullExtend(l, x.Right, outer)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, ne)
+			}
+		}
+		for ri, r := range rights {
+			if matchedR[ri] {
+				continue
+			}
+			// Unmatched right rows: NULL-extend over the left subtree.
+			ne, err := e.nullExtend(r, x.Left, outer)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ne)
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("unknown join kind %v", x.Kind)
+}
+
+func (e *evaluator) onHolds(on sql.Expr, r row, outer *frame) (bool, error) {
+	if on == nil {
+		return true, nil
+	}
+	tv, err := e.evalBool(on, &frame{parent: outer, vals: r.vals}, nil)
+	if err != nil {
+		return false, err
+	}
+	return tv.Holds(), nil
+}
+
+// nullExtend adds all-NULL bindings for every alias under ref.
+func (e *evaluator) nullExtend(r row, ref sql.TableRef, outer *frame) (row, error) {
+	switch x := ref.(type) {
+	case *sql.BaseTable:
+		rel := e.db[x.Name]
+		if rel == nil {
+			return row{}, fmt.Errorf("unknown table %q", x.Name)
+		}
+		cols := map[string]value.Value{}
+		for _, a := range rel.Attrs() {
+			cols[a] = value.Null()
+		}
+		return r.extend(x.Binding(), cols, 1), nil
+	case *sql.SubqueryTable:
+		rel, err := e.evalQuery(x.Query, &frame{parent: outer, vals: r.vals})
+		if err != nil {
+			return row{}, err
+		}
+		cols := map[string]value.Value{}
+		for _, a := range rel.Attrs() {
+			cols[a] = value.Null()
+		}
+		return r.extend(x.Alias, cols, 1), nil
+	case *sql.JoinRef:
+		l, err := e.nullExtend(r, x.Left, outer)
+		if err != nil {
+			return row{}, err
+		}
+		return e.nullExtend(l, x.Right, outer)
+	}
+	return row{}, fmt.Errorf("unknown table ref %T", ref)
+}
+
+func extendAll(rows []row, alias string, rel *relation.Relation) []row {
+	attrs := rel.Attrs()
+	var out []row
+	for _, r := range rows {
+		rel.Each(func(t relation.Tuple, mult int) {
+			cols := make(map[string]value.Value, len(attrs))
+			for i, a := range attrs {
+				cols[a] = t[i]
+			}
+			out = append(out, r.extend(alias, cols, mult))
+		})
+	}
+	return out
+}

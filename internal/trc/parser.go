@@ -1,0 +1,362 @@
+package trc
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+
+	"repro/internal/value"
+)
+
+// Parse parses the loose textbook TRC syntax, e.g.
+//
+//	{r.A | r ∈ R ∧ ∃s[r.B = s.B ∧ s.C = 0 ∧ s ∈ S]}
+//
+// ASCII spellings (exists, in, and, or, not) are accepted.
+func Parse(src string) (*Query, error) {
+	toks, err := lexTRC(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &tParser{toks: toks}
+	q, err := p.query()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != teof {
+		return nil, p.errf("trailing input %q", p.peek().text)
+	}
+	return q, nil
+}
+
+// MustParse parses or panics; for fixtures.
+func MustParse(src string) *Query {
+	q, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type tkind int
+
+const (
+	teof tkind = iota
+	tident
+	tnumber
+	tstring
+	tsym
+)
+
+type ttok struct {
+	kind tkind
+	text string
+	raw  string
+	pos  int
+}
+
+func lexTRC(src string) ([]ttok, error) {
+	var toks []ttok
+	i := 0
+	for i < len(src) {
+		r, sz := utf8.DecodeRuneInString(src[i:])
+		switch {
+		case r == ' ' || r == '\t' || r == '\n' || r == '\r':
+			i += sz
+		case r == '∃' || r == '∈' || r == '∧' || r == '∨' || r == '¬':
+			toks = append(toks, ttok{kind: tsym, text: string(r), pos: i})
+			i += sz
+		case unicode.IsLetter(r) || r == '_':
+			start := i
+			for i < len(src) {
+				r2, sz2 := utf8.DecodeRuneInString(src[i:])
+				if !unicode.IsLetter(r2) && !unicode.IsDigit(r2) && r2 != '_' {
+					break
+				}
+				i += sz2
+			}
+			raw := src[start:i]
+			toks = append(toks, ttok{kind: tident, text: strings.ToLower(raw), raw: raw, pos: start})
+		case r >= '0' && r <= '9':
+			start := i
+			for i < len(src) && (src[i] >= '0' && src[i] <= '9' || src[i] == '.') {
+				if src[i] == '.' && (i+1 >= len(src) || src[i+1] < '0' || src[i+1] > '9') {
+					break
+				}
+				i++
+			}
+			toks = append(toks, ttok{kind: tnumber, text: src[start:i], pos: start})
+		case r == '\'':
+			j := strings.IndexByte(src[i+1:], '\'')
+			if j < 0 {
+				return nil, fmt.Errorf("trc: unterminated string at %d", i)
+			}
+			toks = append(toks, ttok{kind: tstring, text: src[i+1 : i+1+j], pos: i})
+			i += j + 2
+		default:
+			if i+1 < len(src) {
+				switch src[i : i+2] {
+				case "<>", "<=", ">=", "!=":
+					toks = append(toks, ttok{kind: tsym, text: src[i : i+2], pos: i})
+					i += 2
+					continue
+				}
+			}
+			switch src[i] {
+			case '{', '}', '[', ']', '(', ')', '|', ',', '.', '=', '<', '>':
+				toks = append(toks, ttok{kind: tsym, text: string(src[i]), pos: i})
+				i++
+			default:
+				return nil, fmt.Errorf("trc: unexpected character %q at %d", string(r), i)
+			}
+		}
+	}
+	toks = append(toks, ttok{kind: teof, pos: len(src)})
+	return toks, nil
+}
+
+type tParser struct {
+	toks []ttok
+	pos  int
+}
+
+func (p *tParser) peek() ttok { return p.toks[p.pos] }
+func (p *tParser) next() ttok {
+	t := p.toks[p.pos]
+	if t.kind != teof {
+		p.pos++
+	}
+	return t
+}
+
+func (p *tParser) errf(format string, args ...any) error {
+	return fmt.Errorf("trc: %s (near offset %d)", fmt.Sprintf(format, args...), p.peek().pos)
+}
+
+func (p *tParser) acceptSym(s string) bool {
+	if t := p.peek(); t.kind == tsym && t.text == s {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *tParser) expectSym(s string) error {
+	if !p.acceptSym(s) {
+		return p.errf("expected %q, found %q", s, p.peek().text)
+	}
+	return nil
+}
+
+func (p *tParser) acceptKw(w string) bool {
+	if t := p.peek(); t.kind == tident && t.text == w {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *tParser) query() (*Query, error) {
+	if err := p.expectSym("{"); err != nil {
+		return nil, err
+	}
+	q := &Query{}
+	for {
+		v := p.next()
+		if v.kind != tident {
+			return nil, p.errf("expected head term, found %q", v.text)
+		}
+		if err := p.expectSym("."); err != nil {
+			return nil, err
+		}
+		a := p.next()
+		if a.kind != tident {
+			return nil, p.errf("expected attribute after %q.", v.raw)
+		}
+		q.Head = append(q.Head, HeadTerm{Var: v.raw, Attr: a.raw})
+		if !p.acceptSym(",") {
+			break
+		}
+	}
+	if err := p.expectSym("|"); err != nil {
+		return nil, err
+	}
+	body, err := p.formula()
+	if err != nil {
+		return nil, err
+	}
+	q.Body = body
+	if err := p.expectSym("}"); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+func (p *tParser) formula() (Form, error) {
+	left, err := p.andForm()
+	if err != nil {
+		return nil, err
+	}
+	kids := []Form{left}
+	for p.acceptSym("∨") || p.acceptKw("or") {
+		k, err := p.andForm()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, k)
+	}
+	if len(kids) == 1 {
+		return left, nil
+	}
+	return &FOr{Kids: kids}, nil
+}
+
+func (p *tParser) andForm() (Form, error) {
+	left, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	kids := []Form{left}
+	for p.acceptSym("∧") || p.acceptKw("and") {
+		k, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, k)
+	}
+	if len(kids) == 1 {
+		return left, nil
+	}
+	return &FAnd{Kids: kids}, nil
+}
+
+func (p *tParser) unary() (Form, error) {
+	if p.acceptSym("¬") || p.acceptKw("not") {
+		k, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &FNot{Kid: k}, nil
+	}
+	if p.acceptSym("∃") || p.acceptKw("exists") {
+		return p.exists()
+	}
+	if p.acceptSym("(") {
+		f, err := p.formula()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSym(")"); err != nil {
+			return nil, err
+		}
+		return f, nil
+	}
+	return p.atomOrCmp()
+}
+
+func (p *tParser) exists() (Form, error) {
+	e := &FExists{}
+	for {
+		v := p.next()
+		if v.kind != tident {
+			return nil, p.errf("expected quantified variable, found %q", v.text)
+		}
+		bs := BindSpec{Var: v.raw}
+		if p.acceptSym("∈") || p.acceptKw("in") {
+			rel := p.next()
+			if rel.kind != tident {
+				return nil, p.errf("expected relation after ∈")
+			}
+			bs.Rel = rel.raw
+		}
+		e.Vars = append(e.Vars, bs)
+		if !p.acceptSym(",") {
+			break
+		}
+	}
+	if err := p.expectSym("["); err != nil {
+		return nil, err
+	}
+	body, err := p.formula()
+	if err != nil {
+		return nil, err
+	}
+	e.Body = body
+	if err := p.expectSym("]"); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// atomOrCmp parses "v ∈ R" memberships and comparisons.
+func (p *tParser) atomOrCmp() (Form, error) {
+	l, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	// Membership: a bare variable followed by ∈.
+	if ref, ok := l.(TRef); ok && ref.Attr == "" {
+		if p.acceptSym("∈") || p.acceptKw("in") {
+			rel := p.next()
+			if rel.kind != tident {
+				return nil, p.errf("expected relation after ∈")
+			}
+			return &FMember{Var: ref.Var, Rel: rel.raw}, nil
+		}
+		return nil, p.errf("bare variable %q needs ∈ or an attribute", ref.Var)
+	}
+	t := p.peek()
+	if t.kind != tsym {
+		return nil, p.errf("expected comparison, found %q", t.text)
+	}
+	var op value.CmpOp
+	switch t.text {
+	case "=":
+		op = value.Eq
+	case "<>", "!=":
+		op = value.Ne
+	case "<":
+		op = value.Lt
+	case "<=":
+		op = value.Le
+	case ">":
+		op = value.Gt
+	case ">=":
+		op = value.Ge
+	default:
+		return nil, p.errf("expected comparison operator, found %q", t.text)
+	}
+	p.pos++
+	r, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	return &FCmp{L: l, R: r, Op: op}, nil
+}
+
+func (p *tParser) term() (Term, error) {
+	t := p.next()
+	switch t.kind {
+	case tnumber:
+		if strings.Contains(t.text, ".") {
+			f, _ := strconv.ParseFloat(t.text, 64)
+			return TConst{Val: value.Float(f)}, nil
+		}
+		i, _ := strconv.ParseInt(t.text, 10, 64)
+		return TConst{Val: value.Int(i)}, nil
+	case tstring:
+		return TConst{Val: value.Str(t.text)}, nil
+	case tident:
+		if p.acceptSym(".") {
+			a := p.next()
+			if a.kind != tident {
+				return nil, p.errf("expected attribute after %q.", t.raw)
+			}
+			return TRef{Var: t.raw, Attr: a.raw}, nil
+		}
+		return TRef{Var: t.raw}, nil
+	}
+	return nil, p.errf("expected term, found %q", t.text)
+}

@@ -1,0 +1,402 @@
+// Package trc implements the textbook Tuple Relational Calculus front end
+// and the two normalization steps of Section 2.1:
+//
+//  1. scope clarification — whenever a variable is quantified it is also
+//     bound to a relation at its quantifier (membership atoms like
+//     "s ∈ S" move from the body into the binder), and free variables'
+//     memberships become top-level bindings;
+//  2. clean heads — body variables never appear in the head; head terms
+//     like "r.A" become head attributes assigned via explicit assignment
+//     predicates (query (1)).
+//
+// The loose textbook form {r.A | r∈R ∧ ∃s[r.B=s.B ∧ s.C=0 ∧ s∈S]}
+// normalizes to the strict ARC collection
+// {Q(A) | ∃r∈R, s∈S[Q.A=r.A ∧ r.B=s.B ∧ s.C=0]}.
+package trc
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/alt"
+	"repro/internal/value"
+)
+
+// Query is the loose textbook TRC AST.
+type Query struct {
+	Head []HeadTerm
+	Body Form
+}
+
+// HeadTerm is one projected term "var.Attr".
+type HeadTerm struct {
+	Var  string
+	Attr string
+}
+
+// String renders the loose query.
+func (q *Query) String() string {
+	parts := make([]string, len(q.Head))
+	for i, h := range q.Head {
+		parts[i] = h.Var + "." + h.Attr
+	}
+	return "{" + strings.Join(parts, ", ") + " | " + q.Body.String() + "}"
+}
+
+// Form is a loose TRC formula.
+type Form interface {
+	isForm()
+	String() string
+}
+
+// FAnd is conjunction.
+type FAnd struct{ Kids []Form }
+
+func (*FAnd) isForm() {}
+
+// String renders "a ∧ b".
+func (f *FAnd) String() string {
+	parts := make([]string, len(f.Kids))
+	for i, k := range f.Kids {
+		parts[i] = k.String()
+	}
+	return strings.Join(parts, " ∧ ")
+}
+
+// FOr is disjunction.
+type FOr struct{ Kids []Form }
+
+func (*FOr) isForm() {}
+
+// String renders "(a ∨ b)".
+func (f *FOr) String() string {
+	parts := make([]string, len(f.Kids))
+	for i, k := range f.Kids {
+		parts[i] = k.String()
+	}
+	return "(" + strings.Join(parts, " ∨ ") + ")"
+}
+
+// FNot is negation.
+type FNot struct{ Kid Form }
+
+func (*FNot) isForm() {}
+
+// String renders "¬(kid)".
+func (f *FNot) String() string { return "¬(" + f.Kid.String() + ")" }
+
+// FMember is a membership atom "v ∈ R" appearing in the body (the loose
+// style that step 1 normalizes away).
+type FMember struct {
+	Var string
+	Rel string
+}
+
+func (*FMember) isForm() {}
+
+// String renders "v ∈ R".
+func (f *FMember) String() string { return f.Var + " ∈ " + f.Rel }
+
+// FCmp is a comparison between terms.
+type FCmp struct {
+	L, R Term
+	Op   value.CmpOp
+}
+
+func (*FCmp) isForm() {}
+
+// String renders "l op r".
+func (f *FCmp) String() string { return f.L.String() + " " + f.Op.String() + " " + f.R.String() }
+
+// FExists is "∃v1[∈R1], v2… [body]" — sources optional in loose form.
+type FExists struct {
+	Vars []BindSpec
+	Body Form
+}
+
+func (*FExists) isForm() {}
+
+// String renders the quantifier.
+func (f *FExists) String() string {
+	parts := make([]string, len(f.Vars))
+	for i, v := range f.Vars {
+		if v.Rel != "" {
+			parts[i] = v.Var + " ∈ " + v.Rel
+		} else {
+			parts[i] = v.Var
+		}
+	}
+	body := ""
+	if f.Body != nil {
+		body = f.Body.String()
+	}
+	return "∃" + strings.Join(parts, ", ") + "[" + body + "]"
+}
+
+// BindSpec is one quantified variable with an optional relation source.
+type BindSpec struct {
+	Var string
+	Rel string
+}
+
+// Term is a loose TRC term.
+type Term interface {
+	isTerm()
+	String() string
+}
+
+// TRef is "var.Attr".
+type TRef struct{ Var, Attr string }
+
+func (TRef) isTerm() {}
+
+// String renders "var.attr".
+func (t TRef) String() string { return t.Var + "." + t.Attr }
+
+// TConst is a literal.
+type TConst struct{ Val value.Value }
+
+func (TConst) isTerm() {}
+
+// String renders the literal.
+func (t TConst) String() string { return t.Val.String() }
+
+// Normalize applies both normalization steps and returns the strict ARC
+// collection (head relation "Q"), plus the intermediate scoped form for
+// inspection.
+func (q *Query) Normalize() (*alt.Collection, *Query, error) {
+	scoped, err := q.clarifyScopes()
+	if err != nil {
+		return nil, nil, err
+	}
+	col, err := scoped.cleanHeads()
+	if err != nil {
+		return nil, scoped, err
+	}
+	if _, err := alt.ValidateCollection(col); err != nil {
+		return nil, scoped, fmt.Errorf("trc: normalized query invalid: %w", err)
+	}
+	return col, scoped, nil
+}
+
+// clarifyScopes is step 1: attach membership atoms to quantifiers and
+// hoist free variables' memberships into an explicit top-level quantifier.
+func (q *Query) clarifyScopes() (*Query, error) {
+	body, members, err := pullMembers(q.Body)
+	if err != nil {
+		return nil, err
+	}
+	// Free variables of the head and of the remaining body must have a
+	// top-level membership.
+	var free []BindSpec
+	for v, rel := range members {
+		free = append(free, BindSpec{Var: v, Rel: rel})
+	}
+	sortBinds(free)
+	if len(free) == 0 {
+		return nil, fmt.Errorf("trc: no top-level range variables; every head variable needs a membership like r ∈ R")
+	}
+	return &Query{
+		Head: q.Head,
+		Body: &FExists{Vars: free, Body: body},
+	}, nil
+}
+
+// pullMembers removes top-spine membership atoms from f and resolves
+// quantified variables' sources recursively.
+func pullMembers(f Form) (Form, map[string]string, error) {
+	members := map[string]string{}
+	var rewrite func(Form, bool) (Form, error)
+	rewrite = func(f Form, topSpine bool) (Form, error) {
+		switch x := f.(type) {
+		case nil:
+			return nil, nil
+		case *FAnd:
+			var kids []Form
+			for _, k := range x.Kids {
+				nk, err := rewrite(k, topSpine)
+				if err != nil {
+					return nil, err
+				}
+				if nk != nil {
+					kids = append(kids, nk)
+				}
+			}
+			switch len(kids) {
+			case 0:
+				return nil, nil
+			case 1:
+				return kids[0], nil
+			}
+			return &FAnd{Kids: kids}, nil
+		case *FMember:
+			if !topSpine {
+				return nil, fmt.Errorf("trc: membership %s appears under ∨/¬; move it to the quantifier", x)
+			}
+			if prev, dup := members[x.Var]; dup && prev != x.Rel {
+				return nil, fmt.Errorf("trc: variable %q ranges over both %s and %s", x.Var, prev, x.Rel)
+			}
+			members[x.Var] = x.Rel
+			return nil, nil
+		case *FExists:
+			inner, innerMembers, err := pullMembers(x.Body)
+			if err != nil {
+				return nil, err
+			}
+			vars := make([]BindSpec, len(x.Vars))
+			for i, v := range x.Vars {
+				rel := v.Rel
+				if rel == "" {
+					rel = innerMembers[v.Var]
+					delete(innerMembers, v.Var)
+				}
+				if rel == "" {
+					return nil, fmt.Errorf("trc: quantified variable %q has no relation membership", v.Var)
+				}
+				vars[i] = BindSpec{Var: v.Var, Rel: rel}
+			}
+			// Leftover inner memberships belong to outer scopes.
+			for v, rel := range innerMembers {
+				if !topSpine {
+					return nil, fmt.Errorf("trc: membership %s ∈ %s cannot cross a ∨/¬ boundary", v, rel)
+				}
+				if prev, dup := members[v]; dup && prev != rel {
+					return nil, fmt.Errorf("trc: variable %q ranges over both %s and %s", v, prev, rel)
+				}
+				members[v] = rel
+			}
+			return &FExists{Vars: vars, Body: inner}, nil
+		case *FOr:
+			var kids []Form
+			for _, k := range x.Kids {
+				nk, err := rewrite(k, false)
+				if err != nil {
+					return nil, err
+				}
+				kids = append(kids, nk)
+			}
+			return &FOr{Kids: kids}, nil
+		case *FNot:
+			nk, err := rewrite(x.Kid, false)
+			if err != nil {
+				return nil, err
+			}
+			return &FNot{Kid: nk}, nil
+		case *FCmp:
+			return x, nil
+		}
+		return nil, fmt.Errorf("trc: unknown form %T", f)
+	}
+	out, err := rewrite(f, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, members, nil
+}
+
+func sortBinds(bs []BindSpec) {
+	for i := 1; i < len(bs); i++ {
+		for j := i; j > 0 && bs[j].Var < bs[j-1].Var; j-- {
+			bs[j], bs[j-1] = bs[j-1], bs[j]
+		}
+	}
+}
+
+// cleanHeads is step 2: head terms become head attributes with explicit
+// assignment predicates, and the loose forms convert to ALT nodes.
+func (q *Query) cleanHeads() (*alt.Collection, error) {
+	top, ok := q.Body.(*FExists)
+	if !ok {
+		return nil, fmt.Errorf("trc: clarifyScopes must run first")
+	}
+	attrs := make([]string, len(q.Head))
+	used := map[string]int{}
+	var assigns []alt.Formula
+	for i, h := range q.Head {
+		name := h.Attr
+		if n, dup := used[name]; dup {
+			used[name] = n + 1
+			name = fmt.Sprintf("%s_%d", name, n+1)
+		} else {
+			used[name] = 1
+		}
+		attrs[i] = name
+		assigns = append(assigns, alt.Eq(alt.Ref("Q", name), alt.Ref(h.Var, h.Attr)))
+	}
+	body, err := convertForm(top.Body)
+	if err != nil {
+		return nil, err
+	}
+	conjs := assigns
+	if body != nil {
+		conjs = append(conjs, body)
+	}
+	bindings := make([]*alt.Binding, len(top.Vars))
+	for i, v := range top.Vars {
+		bindings[i] = alt.Bind(v.Var, v.Rel)
+	}
+	return alt.Col("Q", attrs, alt.Exists(bindings, alt.AndF(conjs...))), nil
+}
+
+func convertForm(f Form) (alt.Formula, error) {
+	switch x := f.(type) {
+	case nil:
+		return nil, nil
+	case *FAnd:
+		var kids []alt.Formula
+		for _, k := range x.Kids {
+			nk, err := convertForm(k)
+			if err != nil {
+				return nil, err
+			}
+			if nk != nil {
+				kids = append(kids, nk)
+			}
+		}
+		return alt.AndF(kids...), nil
+	case *FOr:
+		var kids []alt.Formula
+		for _, k := range x.Kids {
+			nk, err := convertForm(k)
+			if err != nil {
+				return nil, err
+			}
+			kids = append(kids, nk)
+		}
+		return alt.OrF(kids...), nil
+	case *FNot:
+		nk, err := convertForm(x.Kid)
+		if err != nil {
+			return nil, err
+		}
+		return alt.NotF(nk), nil
+	case *FCmp:
+		return &alt.Pred{Left: convertTerm(x.L), Op: x.Op, Right: convertTerm(x.R)}, nil
+	case *FExists:
+		body, err := convertForm(x.Body)
+		if err != nil {
+			return nil, err
+		}
+		bindings := make([]*alt.Binding, len(x.Vars))
+		for i, v := range x.Vars {
+			if v.Rel == "" {
+				return nil, fmt.Errorf("trc: unscoped quantified variable %q", v.Var)
+			}
+			bindings[i] = alt.Bind(v.Var, v.Rel)
+		}
+		return alt.Exists(bindings, body), nil
+	case *FMember:
+		return nil, fmt.Errorf("trc: stray membership %s after scope clarification", x)
+	}
+	return nil, fmt.Errorf("trc: unknown form %T", f)
+}
+
+func convertTerm(t Term) alt.Term {
+	switch x := t.(type) {
+	case TRef:
+		return alt.Ref(x.Var, x.Attr)
+	case TConst:
+		return alt.CVal(x.Val)
+	}
+	panic(fmt.Sprintf("trc: unknown term %T", t))
+}

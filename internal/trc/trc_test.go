@@ -1,0 +1,145 @@
+package trc
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/alt"
+	"repro/internal/convention"
+	"repro/internal/eval"
+	"repro/internal/relation"
+)
+
+func TestSection21Normalization(t *testing.T) {
+	// The paper's running example, loose textbook form.
+	q := MustParse("{r.A | r ∈ R ∧ ∃s[r.B = s.B ∧ s.C = 0 ∧ s ∈ S]}")
+	col, scoped, err := q.Normalize()
+	if err != nil {
+		t.Fatalf("normalize: %v", err)
+	}
+	// Step 1: the membership moved into the quantifier.
+	ss := scoped.String()
+	if !strings.Contains(ss, "s ∈ S") || strings.Contains(ss, "∧ s ∈ S") {
+		t.Errorf("scoped form should bind s at its quantifier: %s", ss)
+	}
+	// Step 2: clean head with an assignment predicate.
+	cs := col.String()
+	if !strings.Contains(cs, "Q.A = r.A") {
+		t.Errorf("strict form should assign the head: %s", cs)
+	}
+	// Semantics: equals the hand-built query (1).
+	cat := eval.NewCatalog().
+		AddRelation(relation.New("R", "A", "B").Add(1, 10).Add(2, 20).Add(3, 30)).
+		AddRelation(relation.New("S", "B", "C").Add(10, 0).Add(20, 5).Add(30, 0))
+	got, err := eval.Eval(col, cat, convention.SetLogic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := relation.New("W", "A").Add(1).Add(3)
+	if !got.EqualSet(want) {
+		t.Fatalf("normalized query result:\n%s", got)
+	}
+}
+
+func TestASCIIInput(t *testing.T) {
+	q := MustParse("{r.A | r in R and exists s[r.B = s.B and s in S]}")
+	col, _, err := q.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := alt.ValidateCollection(col); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantifierWithInlineBinding(t *testing.T) {
+	// The intermediate style ∃s∈S[...] is also valid input.
+	q := MustParse("{r.A | r ∈ R ∧ ∃s ∈ S[r.B = s.B]}")
+	col, _, err := q.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := col.Body.(*alt.Quantifier).Body.(*alt.And)
+	_ = inner
+}
+
+func TestNegationAndDisjunction(t *testing.T) {
+	q := MustParse("{r.A | r ∈ R ∧ ¬(∃s[s.B = r.B ∧ s ∈ S])}")
+	col, _, err := q.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := eval.NewCatalog().
+		AddRelation(relation.New("R", "A", "B").Add(1, 10).Add(2, 99)).
+		AddRelation(relation.New("S", "B").Add(10))
+	got, err := eval.Eval(col, cat, convention.SetLogic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.EqualSet(relation.New("W", "A").Add(2)) {
+		t.Fatalf("negation:\n%s", got)
+	}
+}
+
+func TestMultipleHeadTermsAndDuplicates(t *testing.T) {
+	q := MustParse("{r.A, s.A | r ∈ R ∧ s ∈ S ∧ r.B = s.B}")
+	col, _, err := q.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col.Head.Attrs[0] == col.Head.Attrs[1] {
+		t.Fatalf("duplicate head attrs not renamed: %v", col.Head.Attrs)
+	}
+	cat := eval.NewCatalog().
+		AddRelation(relation.New("R", "A", "B").Add(1, 10)).
+		AddRelation(relation.New("S", "A", "B").Add(7, 10))
+	got, err := eval.Eval(col, cat, convention.SetLogic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.EqualSet(relation.New("W", "a", "b").Add(1, 7)) {
+		t.Fatalf("two-relation head:\n%s", got)
+	}
+}
+
+func TestNormalizeErrors(t *testing.T) {
+	cases := map[string]string{
+		"{r.A | ∃s[s.B = r.B ∧ s ∈ S]}":     "no top-level range variables", // r unbound
+		"{r.A | r ∈ R ∧ (s ∈ S ∨ r.A = 1)}": "under ∨",                      // membership under or
+		"{r.A | r ∈ R ∧ r ∈ S}":             "ranges over both",             // conflicting membership
+		"{r.A | ∃s[r.B = s.B] ∧ r ∈ R}":     "no relation membership",       // s unbound
+	}
+	for src, want := range cases {
+		q, err := Parse(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		_, _, err = q.Normalize()
+		if err == nil || !strings.Contains(err.Error(), want) {
+			t.Errorf("%q: got %v, want error containing %q", src, err, want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"",
+		"{r.A",
+		"{r.A | }",
+		"{r | r ∈ R}",
+		"{r.A | r ∈ R ∧ r.B ~ 1}",
+		"{r.A | r ∈ R} extra",
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestLooseFormString(t *testing.T) {
+	q := MustParse("{r.A | r ∈ R ∧ ∃s[r.B = s.B ∧ s ∈ S]}")
+	s := q.String()
+	if !strings.Contains(s, "{r.A | ") || !strings.Contains(s, "∃s[") {
+		t.Fatalf("loose rendering broken: %s", s)
+	}
+}

@@ -1,0 +1,149 @@
+package value
+
+// TV is a three-valued logic truth value. SQL predicates over NULL yield
+// Unknown; conventions decide whether Unknown filters like False (SQL
+// WHERE) or whether 2VL is in force (Soufflé has no NULL, so predicates
+// are always True/False).
+type TV int
+
+const (
+	// False is definite falsity.
+	False TV = iota
+	// Unknown is the third truth value produced by comparisons with NULL.
+	Unknown
+	// True is definite truth.
+	True
+)
+
+// String returns F/U/T for goldens and truth-table tests.
+func (t TV) String() string {
+	switch t {
+	case False:
+		return "F"
+	case Unknown:
+		return "U"
+	case True:
+		return "T"
+	}
+	return "?"
+}
+
+// TVFromBool lifts a bool into 3VL.
+func TVFromBool(b bool) TV {
+	if b {
+		return True
+	}
+	return False
+}
+
+// Holds reports whether t passes a filter: only True rows survive a WHERE
+// clause (Unknown is discarded), per the SQL standard.
+func (t TV) Holds() bool { return t == True }
+
+// And is Kleene conjunction: min of the operands.
+func (t TV) And(o TV) TV {
+	if t < o {
+		return t
+	}
+	return o
+}
+
+// Or is Kleene disjunction: max of the operands.
+func (t TV) Or(o TV) TV {
+	if t > o {
+		return t
+	}
+	return o
+}
+
+// Not is Kleene negation: True↔False, Unknown fixed.
+func (t TV) Not() TV {
+	switch t {
+	case True:
+		return False
+	case False:
+		return True
+	}
+	return Unknown
+}
+
+// CmpOp is a comparison operator usable on values under 3VL.
+type CmpOp int
+
+const (
+	// Eq is "=".
+	Eq CmpOp = iota
+	// Ne is "<>".
+	Ne
+	// Lt is "<".
+	Lt
+	// Le is "<=".
+	Le
+	// Gt is ">".
+	Gt
+	// Ge is ">=".
+	Ge
+)
+
+// String renders the operator in ARC/SQL surface syntax.
+func (op CmpOp) String() string {
+	switch op {
+	case Eq:
+		return "="
+	case Ne:
+		return "<>"
+	case Lt:
+		return "<"
+	case Le:
+		return "<="
+	case Gt:
+		return ">"
+	case Ge:
+		return ">="
+	}
+	return "?"
+}
+
+// Flip returns the operator with operands swapped (a op b == b op.Flip() a).
+func (op CmpOp) Flip() CmpOp {
+	switch op {
+	case Lt:
+		return Gt
+	case Le:
+		return Ge
+	case Gt:
+		return Lt
+	case Ge:
+		return Le
+	}
+	return op
+}
+
+// Apply evaluates "a op b" under three-valued logic: any NULL operand
+// yields Unknown; incomparable kinds yield Unknown as well (engines raise
+// type errors; for a reference semantics Unknown is the conservative
+// choice and our validators reject ill-typed queries earlier).
+func (op CmpOp) Apply(a, b Value) TV {
+	if a.IsNull() || b.IsNull() {
+		return Unknown
+	}
+	c, ok := a.Compare(b)
+	if !ok {
+		return Unknown
+	}
+	switch op {
+	case Eq:
+		return TVFromBool(c == 0)
+	case Ne:
+		return TVFromBool(c != 0)
+	case Lt:
+		return TVFromBool(c < 0)
+	case Le:
+		return TVFromBool(c <= 0)
+	case Gt:
+		return TVFromBool(c > 0)
+	case Ge:
+		return TVFromBool(c >= 0)
+	}
+	return Unknown
+}

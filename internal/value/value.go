@@ -1,0 +1,265 @@
+// Package value implements the scalar value system shared by every
+// substrate in this repository: typed constants, SQL-style NULL, numeric
+// coercion, arithmetic with NULL propagation, and the three-valued logic
+// (3VL) that the paper's convention discussion (Section 2.6, Section 2.10)
+// depends on.
+package value
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Kind enumerates the dynamic type of a Value.
+type Kind int
+
+const (
+	// KindNull is the SQL NULL marker. It is its own kind: a NULL carries
+	// no payload and compares as Unknown under three-valued logic.
+	KindNull Kind = iota
+	// KindInt is a 64-bit signed integer.
+	KindInt
+	// KindFloat is a 64-bit IEEE float.
+	KindFloat
+	// KindString is an immutable string.
+	KindString
+	// KindBool is a boolean constant (used by conventions and tests; the
+	// relational predicates themselves evaluate to TV, not Value).
+	KindBool
+)
+
+// String returns the kind name as used in error messages.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	case KindBool:
+		return "bool"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Value is an immutable scalar. The zero Value is NULL, so uninitialized
+// attributes behave like SQL missing values without extra bookkeeping.
+type Value struct {
+	kind Kind
+	i    int64
+	f    float64
+	s    string
+	b    bool
+}
+
+// Null returns the NULL value.
+func Null() Value { return Value{} }
+
+// Int returns an integer value.
+func Int(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// Float returns a float value.
+func Float(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// Str returns a string value.
+func Str(v string) Value { return Value{kind: KindString, s: v} }
+
+// Bool returns a boolean value.
+func Bool(v bool) Value { return Value{kind: KindBool, b: v} }
+
+// Kind reports the dynamic type of v.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether v is the NULL marker.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// AsInt returns the integer payload. It is valid only for KindInt.
+func (v Value) AsInt() int64 { return v.i }
+
+// AsFloat returns the float payload, coercing integers. It is valid for
+// KindInt and KindFloat.
+func (v Value) AsFloat() float64 {
+	if v.kind == KindInt {
+		return float64(v.i)
+	}
+	return v.f
+}
+
+// AsString returns the string payload. It is valid only for KindString.
+func (v Value) AsString() string { return v.s }
+
+// AsBool returns the boolean payload. It is valid only for KindBool.
+func (v Value) AsBool() bool { return v.b }
+
+// IsNumeric reports whether v is an int or float.
+func (v Value) IsNumeric() bool { return v.kind == KindInt || v.kind == KindFloat }
+
+// String renders v the way the experiment harness and goldens print it.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return "'" + v.s + "'"
+	case KindBool:
+		if v.b {
+			return "true"
+		}
+		return "false"
+	}
+	return "?"
+}
+
+// Key returns a string that is equal for equal values and distinct for
+// distinct values (within the value domain used here). Integers and floats
+// that denote the same number share a key, matching comparison semantics.
+func (v Value) Key() string {
+	switch v.kind {
+	case KindNull:
+		return "\x00N"
+	case KindInt:
+		return "\x01" + strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		if v.f == math.Trunc(v.f) && !math.IsInf(v.f, 0) && math.Abs(v.f) < 1e15 {
+			// Align with equal integers so 2.0 and 2 group together.
+			return "\x01" + strconv.FormatInt(int64(v.f), 10)
+		}
+		return "\x02" + strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return "\x03" + v.s
+	case KindBool:
+		if v.b {
+			return "\x04t"
+		}
+		return "\x04f"
+	}
+	return "\x05?"
+}
+
+// Equal reports strict equality under two-valued logic: NULL equals NULL.
+// Relational predicate evaluation uses Compare (3VL-aware) instead; Equal
+// exists for keys, dedup, and test assertions.
+func (v Value) Equal(o Value) bool { return v.Key() == o.Key() }
+
+// Compare compares two non-null values, returning -1, 0, or +1 and true,
+// or false when the values are incomparable (NULL involved, or mixed
+// non-numeric kinds). Numeric kinds coerce to float for comparison.
+func (v Value) Compare(o Value) (int, bool) {
+	if v.IsNull() || o.IsNull() {
+		return 0, false
+	}
+	if v.IsNumeric() && o.IsNumeric() {
+		a, b := v.AsFloat(), o.AsFloat()
+		switch {
+		case a < b:
+			return -1, true
+		case a > b:
+			return 1, true
+		}
+		return 0, true
+	}
+	if v.kind == KindString && o.kind == KindString {
+		switch {
+		case v.s < o.s:
+			return -1, true
+		case v.s > o.s:
+			return 1, true
+		}
+		return 0, true
+	}
+	if v.kind == KindBool && o.kind == KindBool {
+		bi := func(b bool) int {
+			if b {
+				return 1
+			}
+			return 0
+		}
+		return bi(v.b) - bi(o.b), true
+	}
+	return 0, false
+}
+
+// Less is a total order over all values (NULL first, then by kind, then by
+// payload), used for canonical sorting of relations. It is not the SQL
+// comparison — use Compare for predicate semantics.
+func (v Value) Less(o Value) bool {
+	if v.kind != o.kind {
+		// Numeric kinds interleave by value so 1 < 1.5 < 2 regardless of kind.
+		if v.IsNumeric() && o.IsNumeric() {
+			return v.AsFloat() < o.AsFloat()
+		}
+		return v.kind < o.kind
+	}
+	if c, ok := v.Compare(o); ok {
+		return c < 0
+	}
+	return false
+}
+
+// Arithmetic. All operations propagate NULL and require numeric operands;
+// the second return is false on a type error (the evaluator reports it).
+
+func arith(a, b Value, fi func(int64, int64) (int64, bool), ff func(float64, float64) float64) (Value, bool) {
+	if a.IsNull() || b.IsNull() {
+		return Null(), true
+	}
+	if !a.IsNumeric() || !b.IsNumeric() {
+		return Null(), false
+	}
+	if a.kind == KindInt && b.kind == KindInt {
+		if r, ok := fi(a.i, b.i); ok {
+			return Int(r), true
+		}
+		return Null(), false
+	}
+	return Float(ff(a.AsFloat(), b.AsFloat())), true
+}
+
+// Add returns a+b with NULL propagation.
+func Add(a, b Value) (Value, bool) {
+	return arith(a, b,
+		func(x, y int64) (int64, bool) { return x + y, true },
+		func(x, y float64) float64 { return x + y })
+}
+
+// Sub returns a-b with NULL propagation.
+func Sub(a, b Value) (Value, bool) {
+	return arith(a, b,
+		func(x, y int64) (int64, bool) { return x - y, true },
+		func(x, y float64) float64 { return x - y })
+}
+
+// Mul returns a*b with NULL propagation.
+func Mul(a, b Value) (Value, bool) {
+	return arith(a, b,
+		func(x, y int64) (int64, bool) { return x * y, true },
+		func(x, y float64) float64 { return x * y })
+}
+
+// Div returns a/b with NULL propagation. Integer division by zero and
+// float division by zero both yield NULL-with-ok=false is too harsh for
+// SQL flavor; we return NULL, true (SQL raises; engines differ) — the
+// conventions layer documents this as DivZeroIsNull.
+func Div(a, b Value) (Value, bool) {
+	if a.IsNull() || b.IsNull() {
+		return Null(), true
+	}
+	if !a.IsNumeric() || !b.IsNumeric() {
+		return Null(), false
+	}
+	if b.AsFloat() == 0 {
+		return Null(), true
+	}
+	if a.kind == KindInt && b.kind == KindInt {
+		return Int(a.i / b.i), true
+	}
+	return Float(a.AsFloat() / b.AsFloat()), true
+}

@@ -1,0 +1,255 @@
+package value
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindNull: "null", KindInt: "int", KindFloat: "float",
+		KindString: "string", KindBool: "bool", Kind(99): "kind(99)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestZeroValueIsNull(t *testing.T) {
+	var v Value
+	if !v.IsNull() {
+		t.Fatal("zero Value must be NULL")
+	}
+	if v.String() != "NULL" {
+		t.Fatalf("NULL renders as %q", v.String())
+	}
+}
+
+func TestConstructorsAndAccessors(t *testing.T) {
+	if Int(7).AsInt() != 7 || Int(7).Kind() != KindInt {
+		t.Error("Int round trip failed")
+	}
+	if Float(2.5).AsFloat() != 2.5 {
+		t.Error("Float round trip failed")
+	}
+	if Str("x").AsString() != "x" {
+		t.Error("Str round trip failed")
+	}
+	if !Bool(true).AsBool() || Bool(false).AsBool() {
+		t.Error("Bool round trip failed")
+	}
+	if Int(3).AsFloat() != 3.0 {
+		t.Error("Int should coerce via AsFloat")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Int(-4), "-4"},
+		{Float(1.5), "1.5"},
+		{Str("ab"), "'ab'"},
+		{Bool(true), "true"},
+		{Bool(false), "false"},
+		{Null(), "NULL"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestKeyIntFloatAlignment(t *testing.T) {
+	if Int(2).Key() != Float(2.0).Key() {
+		t.Error("2 and 2.0 must share a key (they compare equal)")
+	}
+	if Int(2).Key() == Float(2.5).Key() {
+		t.Error("2 and 2.5 must not share a key")
+	}
+	if Null().Key() == Int(0).Key() {
+		t.Error("NULL must not collide with 0")
+	}
+	if Str("1").Key() == Int(1).Key() {
+		t.Error("'1' must not collide with 1")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !Null().Equal(Null()) {
+		t.Error("Equal treats NULL = NULL for dedup purposes")
+	}
+	if !Int(1).Equal(Float(1)) {
+		t.Error("1 equals 1.0")
+	}
+	if Int(1).Equal(Int(2)) {
+		t.Error("1 != 2")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	if _, ok := Null().Compare(Int(1)); ok {
+		t.Error("NULL compares as not-ok")
+	}
+	if c, ok := Int(1).Compare(Float(1.5)); !ok || c != -1 {
+		t.Errorf("1 vs 1.5 = %d,%v", c, ok)
+	}
+	if c, ok := Str("b").Compare(Str("a")); !ok || c != 1 {
+		t.Errorf("'b' vs 'a' = %d,%v", c, ok)
+	}
+	if c, ok := Str("a").Compare(Str("a")); !ok || c != 0 {
+		t.Errorf("'a' vs 'a' = %d,%v", c, ok)
+	}
+	if _, ok := Str("a").Compare(Int(1)); ok {
+		t.Error("mixed string/int must be incomparable")
+	}
+	if c, ok := Bool(true).Compare(Bool(false)); !ok || c != 1 {
+		t.Errorf("true vs false = %d,%v", c, ok)
+	}
+}
+
+func TestLessTotalOrder(t *testing.T) {
+	// NULL sorts before everything; numerics interleave by value.
+	if !Null().Less(Int(-100)) {
+		t.Error("NULL < -100 in the canonical order")
+	}
+	if !Int(1).Less(Float(1.5)) || Float(1.5).Less(Int(1)) {
+		t.Error("numeric interleaving broken")
+	}
+	if !Int(2).Less(Str("a")) {
+		t.Error("kind ordering: numbers before strings")
+	}
+	if Int(1).Less(Int(1)) {
+		t.Error("irreflexive")
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	if v, ok := Add(Int(2), Int(3)); !ok || v.AsInt() != 5 {
+		t.Errorf("2+3 = %v,%v", v, ok)
+	}
+	if v, ok := Sub(Int(5), Int(3)); !ok || v.AsInt() != 2 {
+		t.Errorf("5-3 = %v,%v", v, ok)
+	}
+	if v, ok := Mul(Float(2), Int(3)); !ok || v.AsFloat() != 6 {
+		t.Errorf("2.0*3 = %v,%v", v, ok)
+	}
+	if v, ok := Div(Int(7), Int(2)); !ok || v.AsInt() != 3 {
+		t.Errorf("7/2 = %v,%v (integer division)", v, ok)
+	}
+	if v, ok := Div(Float(7), Int(2)); !ok || v.AsFloat() != 3.5 {
+		t.Errorf("7.0/2 = %v,%v", v, ok)
+	}
+	if v, ok := Div(Int(1), Int(0)); !ok || !v.IsNull() {
+		t.Errorf("1/0 = %v,%v (NULL by convention)", v, ok)
+	}
+	if v, ok := Add(Null(), Int(1)); !ok || !v.IsNull() {
+		t.Errorf("NULL+1 = %v,%v (NULL propagation)", v, ok)
+	}
+	if _, ok := Add(Str("x"), Int(1)); ok {
+		t.Error("'x'+1 is a type error")
+	}
+}
+
+func TestTVTruthTables(t *testing.T) {
+	tvs := []TV{False, Unknown, True}
+	// Kleene tables.
+	andWant := [3][3]TV{
+		{False, False, False},
+		{False, Unknown, Unknown},
+		{False, Unknown, True},
+	}
+	orWant := [3][3]TV{
+		{False, Unknown, True},
+		{Unknown, Unknown, True},
+		{True, True, True},
+	}
+	for i, a := range tvs {
+		for j, b := range tvs {
+			if got := a.And(b); got != andWant[i][j] {
+				t.Errorf("%v AND %v = %v, want %v", a, b, got, andWant[i][j])
+			}
+			if got := a.Or(b); got != orWant[i][j] {
+				t.Errorf("%v OR %v = %v, want %v", a, b, got, orWant[i][j])
+			}
+		}
+	}
+	if True.Not() != False || False.Not() != True || Unknown.Not() != Unknown {
+		t.Error("Kleene negation broken")
+	}
+	if !True.Holds() || False.Holds() || Unknown.Holds() {
+		t.Error("only True passes a WHERE filter")
+	}
+}
+
+func TestTVStrings(t *testing.T) {
+	if False.String() != "F" || Unknown.String() != "U" || True.String() != "T" {
+		t.Error("TV rendering broken")
+	}
+	if TV(42).String() != "?" {
+		t.Error("unknown TV renders '?'")
+	}
+}
+
+func TestDeMorganProperty(t *testing.T) {
+	// Kleene logic satisfies De Morgan: not(a and b) == not a or not b.
+	f := func(ai, bi uint8) bool {
+		a, b := TV(ai%3), TV(bi%3)
+		return a.And(b).Not() == a.Not().Or(b.Not()) &&
+			a.Or(b).Not() == a.Not().And(b.Not())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCmpOpApply(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		op   CmpOp
+		want TV
+	}{
+		{Int(1), Int(1), Eq, True},
+		{Int(1), Int(2), Eq, False},
+		{Int(1), Int(2), Ne, True},
+		{Int(1), Int(2), Lt, True},
+		{Int(2), Int(2), Le, True},
+		{Int(3), Int(2), Gt, True},
+		{Int(2), Int(2), Ge, True},
+		{Int(2), Int(3), Ge, False},
+		{Null(), Int(1), Eq, Unknown},
+		{Int(1), Null(), Lt, Unknown},
+		{Str("a"), Int(1), Eq, Unknown}, // incomparable kinds
+		{Str("a"), Str("b"), Lt, True},
+	}
+	for _, c := range cases {
+		if got := c.op.Apply(c.a, c.b); got != c.want {
+			t.Errorf("%v %v %v = %v, want %v", c.a, c.op, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCmpOpStringsAndFlip(t *testing.T) {
+	ops := []CmpOp{Eq, Ne, Lt, Le, Gt, Ge}
+	names := []string{"=", "<>", "<", "<=", ">", ">="}
+	for i, op := range ops {
+		if op.String() != names[i] {
+			t.Errorf("op %d renders %q", i, op.String())
+		}
+	}
+	// a op b == b flip(op) a on all comparable pairs.
+	vals := []Value{Int(1), Int(2), Float(1.5)}
+	for _, op := range ops {
+		for _, a := range vals {
+			for _, b := range vals {
+				if op.Apply(a, b) != op.Flip().Apply(b, a) {
+					t.Errorf("flip law broken for %v %v %v", a, op, b)
+				}
+			}
+		}
+	}
+}

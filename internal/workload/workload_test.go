@@ -1,0 +1,96 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/value"
+)
+
+func TestPaperInstances(t *testing.T) {
+	r, s := CountBugInstance()
+	if r.Card() != 1 || s.Card() != 0 {
+		t.Error("count-bug instance wrong")
+	}
+	r2, s2 := ConventionInstance()
+	if r2.Card() != 1 || s2.Card() != 0 {
+		t.Error("convention instance wrong")
+	}
+	if Beers().Card() != 5 {
+		t.Error("beers instance wrong")
+	}
+	er, es := Employees()
+	if er.Card() != 5 || es.Card() != 5 {
+		t.Error("employees instance wrong")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := RandomBinary(Rand(42), "R", "A", "B", 50, 10, 10)
+	b := RandomBinary(Rand(42), "R", "A", "B", 50, 10, 10)
+	if !a.EqualBag(b) {
+		t.Fatal("generators must be deterministic per seed")
+	}
+}
+
+func TestRandomParentIsAcyclic(t *testing.T) {
+	p := RandomParent(Rand(7), 20, 40)
+	p.Each(func(tp relation.Tuple, _ int) {
+		if tp[0].AsInt() >= tp[1].AsInt() {
+			t.Fatalf("edge %v not forward", tp)
+		}
+	})
+}
+
+func TestChain(t *testing.T) {
+	c := Chain(5)
+	if c.Card() != 4 {
+		t.Fatalf("chain(5) has %d edges", c.Card())
+	}
+}
+
+func TestNullRate(t *testing.T) {
+	r := RandomUnary(Rand(1), "S", "A", 200, 10, 0.5)
+	nulls := 0
+	r.Each(func(tp relation.Tuple, m int) {
+		if tp[0].IsNull() {
+			nulls += m
+		}
+	})
+	if nulls < 50 || nulls > 150 {
+		t.Fatalf("null rate off: %d/200", nulls)
+	}
+}
+
+func TestMatMulReference(t *testing.T) {
+	a := relation.New("A", "row", "col", "val").Add(0, 0, 1).Add(0, 1, 2)
+	b := relation.New("B", "row", "col", "val").Add(0, 0, 3).Add(1, 0, 4)
+	c := MatMulReference(a, b)
+	// C[0][0] = 1*3 + 2*4 = 11.
+	if !c.Contains(relation.Tuple{value.Int(0), value.Int(0), value.Int(11)}) {
+		t.Fatalf("matmul reference wrong:\n%s", c)
+	}
+}
+
+func TestCountBugRandomShapes(t *testing.T) {
+	r, s := CountBugRandom(Rand(3), 30, 4)
+	if r.Card() != 30 {
+		t.Fatalf("R card = %d", r.Card())
+	}
+	// At least one id should have no S rows (that is the point).
+	ids := map[int64]bool{}
+	s.Each(func(tp relation.Tuple, _ int) { ids[tp[0].AsInt()] = true })
+	if len(ids) == 30 {
+		t.Fatal("expected some empty groups")
+	}
+}
+
+func TestLikesRandom(t *testing.T) {
+	l := LikesRandom(Rand(5), 6, 3)
+	if l.Card() == 0 {
+		t.Fatal("empty likes")
+	}
+	if l.Arity() != 2 {
+		t.Fatal("bad schema")
+	}
+}
