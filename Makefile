@@ -1,0 +1,26 @@
+# Mirrors .github/workflows/ci.yml so local runs and CI stay in sync.
+
+GO ?= go
+
+.PHONY: all build test bench lint
+
+all: lint build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+# One iteration of every benchmark (including the E01–E21 experiment
+# harness): the CI smoke pass. Use `go test -bench=<pattern> .` directly
+# for real measurements.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+lint:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; \
+	fi
+	$(GO) vet ./...

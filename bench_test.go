@@ -14,14 +14,17 @@ import (
 	"repro/internal/core"
 	"repro/internal/datalog"
 	"repro/internal/eval"
+	"repro/internal/exec"
 	"repro/internal/experiments"
 	"repro/internal/pattern"
 	"repro/internal/qgen"
+	"repro/internal/relation"
 	"repro/internal/relpat"
 	"repro/internal/rewrite"
 	"repro/internal/sql"
 	"repro/internal/sql2arc"
 	"repro/internal/sqleval"
+	"repro/internal/value"
 	"repro/internal/workload"
 )
 
@@ -211,6 +214,107 @@ func BenchmarkMatMul(b *testing.B) {
 				workload.MatMulReference(ma, mb)
 			}
 		})
+	}
+}
+
+// --- exec-layer micro-benchmarks ------------------------------------------
+
+// BenchmarkExecHashJoin measures the streaming hash join against the
+// nested-loop shape it replaced, across input sizes.
+func BenchmarkExecHashJoin(b *testing.B) {
+	for _, n := range []int{100, 1000, 10000} {
+		rng := workload.Rand(11)
+		r := workload.RandomBinary(rng, "R", "a", "b", n, n, n/4+1)
+		s := workload.RandomBinary(rng, "S", "b", "c", n, n/4+1, 8)
+		b.Run(fmt.Sprintf("hash/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rows := 0
+				for range exec.HashJoin(exec.Scan(r), []int{1}, exec.Scan(s), []int{0}) {
+					rows++
+				}
+				if rows == 0 {
+					b.Fatal("empty join")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("nested/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rows := 0
+				r.Each(func(lt relation.Tuple, _ int) {
+					s.Each(func(st relation.Tuple, _ int) {
+						if lt[1].Key() == st[0].Key() {
+							rows++
+						}
+					})
+				})
+				if rows == 0 {
+					b.Fatal("empty join")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExecIndexJoin measures the index-probe join, whose hash table
+// is cached on the relation and amortized across iterations.
+func BenchmarkExecIndexJoin(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		rng := workload.Rand(12)
+		r := workload.RandomBinary(rng, "R", "a", "b", n, n, n/4+1)
+		s := workload.RandomBinary(rng, "S", "b", "c", n, n/4+1, 8)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rows := 0
+				for range exec.IndexJoin(exec.Scan(r), []int{1}, s, []int{0}) {
+					rows++
+				}
+				if rows == 0 {
+					b.Fatal("empty join")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRelationProbe measures a single indexed point lookup against
+// the scan it replaces.
+func BenchmarkRelationProbe(b *testing.B) {
+	rng := workload.Rand(13)
+	r := workload.RandomBinary(rng, "R", "a", "b", 10000, 10000, 100)
+	probe := []value.Value{value.Int(4321)}
+	b.Run("probe", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r.Probe([]int{0}, probe, func(relation.Tuple, int) bool { return true })
+		}
+	})
+	b.Run("scan", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r.Each(func(t relation.Tuple, _ int) {
+				_ = t[0].Key() == probe[0].Key()
+			})
+		}
+	})
+}
+
+// BenchmarkExecGroupAggregate measures streaming γ.
+func BenchmarkExecGroupAggregate(b *testing.B) {
+	rng := workload.Rand(14)
+	r := workload.RandomBinary(rng, "R", "a", "b", 10000, 200, 1000)
+	aggs := []exec.Agg{{Func: exec.Count}, {Func: exec.Sum, Col: 1}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		groups := 0
+		for range exec.GroupAggregate(exec.Scan(r), []int{0}, aggs, convention.SQL()) {
+			groups++
+		}
+		if groups == 0 {
+			b.Fatal("no groups")
+		}
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/exec"
 	"repro/internal/relation"
 	"repro/internal/value"
 )
@@ -153,20 +154,63 @@ func stratify(p *Program) ([][]*Rule, error) {
 	return out, nil
 }
 
-// fixpoint runs one stratum's rules to their least fixed point.
+// deltaAtom is an internal literal used only by the semi-naive fixpoint:
+// a positive atom constrained to read from the previous round's delta
+// relation instead of the full predicate extent.
+type deltaAtom struct {
+	Atom Atom
+	rel  *relation.Relation
+}
+
+func (deltaAtom) isLiteral() {}
+
+// String renders "Δatom".
+func (l deltaAtom) String() string { return "Δ" + l.Atom.String() }
+
+// fixpoint runs one stratum's rules to their least fixed point with
+// semi-naive evaluation: after an initial naive round, each rule is
+// re-derived only through delta versions — one per body occurrence of a
+// predicate defined in this stratum, with that occurrence reading just
+// the tuples added in the previous round and the remaining literals
+// reading the full (current) extents. Stratification guarantees negated
+// and aggregated dependencies live in earlier strata, so only positive
+// atoms need delta versions.
 func (e *dlEval) fixpoint(rules []*Rule) error {
-	for iter := 0; iter < maxFixpointIterations; iter++ {
-		grew := false
-		for _, r := range rules {
-			added, err := e.applyRule(r)
-			if err != nil {
-				return err
-			}
-			grew = grew || added
+	local := map[string]bool{}
+	for _, r := range rules {
+		local[r.Head.Pred] = true
+	}
+	// Round 0: one naive pass seeds the deltas.
+	delta := map[string]*relation.Relation{}
+	for _, r := range rules {
+		if err := e.applyRule(r, r.Body, delta); err != nil {
+			return err
 		}
-		if !grew {
+	}
+	for iter := 0; iter < maxFixpointIterations; iter++ {
+		if len(delta) == 0 {
 			return nil
 		}
+		next := map[string]*relation.Relation{}
+		for _, r := range rules {
+			for j, l := range r.Body {
+				pa, ok := l.(PosAtom)
+				if !ok || !local[pa.Atom.Pred] {
+					continue
+				}
+				d := delta[pa.Atom.Pred]
+				if d == nil {
+					continue
+				}
+				body := make([]Literal, len(r.Body))
+				copy(body, r.Body)
+				body[j] = deltaAtom{Atom: pa.Atom, rel: d}
+				if err := e.applyRule(r, body, next); err != nil {
+					return err
+				}
+			}
+		}
+		delta = next
 	}
 	return fmt.Errorf("datalog: fixpoint did not converge")
 }
@@ -181,12 +225,12 @@ func (b bindings) clone() bindings {
 	return nb
 }
 
-// applyRule derives all consequences of one rule; returns whether any new
-// tuple appeared.
-func (e *dlEval) applyRule(r *Rule) (bool, error) {
+// applyRule derives all consequences of one rule-body variant, inserting
+// new head tuples into the IDB and recording them in delta (the feed for
+// the next semi-naive round).
+func (e *dlEval) applyRule(r *Rule, body []Literal, delta map[string]*relation.Relation) error {
 	head := e.idb[r.Head.Pred]
-	added := false
-	err := e.solve(r.Body, bindings{}, func(b bindings) error {
+	return e.solve(body, bindings{}, func(b bindings) error {
 		t := make(relation.Tuple, len(r.Head.Args))
 		for i, a := range r.Head.Args {
 			switch x := a.(type) {
@@ -202,13 +246,18 @@ func (e *dlEval) applyRule(r *Rule) (bool, error) {
 				return fmt.Errorf("datalog: wildcard in rule head of %s", r.Head.Pred)
 			}
 		}
-		if !head.Contains(t) {
-			head.Insert(t)
-			added = true
+		if head.Contains(t) {
+			return nil
 		}
+		head.Insert(t)
+		d := delta[r.Head.Pred]
+		if d == nil {
+			d = relation.New(r.Head.Pred, head.Attrs()...)
+			delta[r.Head.Pred] = d
+		}
+		d.Insert(t)
 		return nil
 	})
-	return added, err
 }
 
 // solve enumerates all groundings of body, calling emit per solution. It
@@ -242,6 +291,8 @@ func (e *dlEval) ready(l Literal, b bindings) bool {
 	switch x := l.(type) {
 	case PosAtom:
 		return e.rel(x.Atom.Pred) != nil
+	case deltaAtom:
+		return true
 	case NegAtom:
 		if e.rel(x.Atom.Pred) == nil {
 			return false
@@ -416,27 +467,24 @@ func (e *dlEval) eachSolution(l Literal, b bindings, k func(bindings) error) err
 		if rel.Arity() != len(x.Atom.Args) {
 			return fmt.Errorf("datalog: %s used with arity %d, has %d", x.Atom.Pred, len(x.Atom.Args), rel.Arity())
 		}
-		var failure error
-		for _, t := range rel.Tuples() {
-			nb, ok := unify(x.Atom, t, b)
-			if !ok {
-				continue
-			}
-			if err := k(nb); err != nil {
-				failure = err
-				break
-			}
-		}
-		return failure
+		return solveAtom(x.Atom, rel, b, k)
+	case deltaAtom:
+		return solveAtom(x.Atom, x.rel, b, k)
 	case NegAtom:
 		rel := e.rel(x.Atom.Pred)
 		if rel == nil {
 			return fmt.Errorf("datalog: unknown predicate %q", x.Atom.Pred)
 		}
-		for _, t := range rel.Tuples() {
+		cols, vals := boundArgCols(x.Atom, b)
+		found := false
+		for t := range exec.Probe(rel, cols, vals) {
 			if _, ok := unify(x.Atom, t, b); ok {
-				return nil // a match exists: negation fails
+				found = true // a match exists: negation fails
+				break
 			}
+		}
+		if found {
+			return nil
 		}
 		return k(b)
 	case Cmp:
@@ -557,6 +605,50 @@ func (e *dlEval) aggregate(a AggLiteral, b bindings) (value.Value, bool, error) 
 		return value.Float(sum / float64(len(vals))), true, nil
 	}
 	return value.Null(), false, fmt.Errorf("datalog: unknown aggregate %q", a.Func)
+}
+
+// solveAtom enumerates the tuples of rel compatible with the atom's
+// already-bound arguments via a hash-index probe, unifying each candidate
+// with b (the probe restricts to key-equal tuples on the bound positions;
+// unify re-checks everything, including repeated variables).
+func solveAtom(a Atom, rel *relation.Relation, b bindings, k func(bindings) error) error {
+	cols, vals := boundArgCols(a, b)
+	var failure error
+	for t := range exec.Probe(rel, cols, vals) {
+		nb, ok := unify(a, t, b)
+		if !ok {
+			continue
+		}
+		if err := k(nb); err != nil {
+			failure = err
+			break
+		}
+	}
+	return failure
+}
+
+// boundArgCols lists the argument positions of a whose value is already
+// determined — constants and bound variables — with those values, giving
+// the probe key for an index lookup. Values whose key identity is weaker
+// than Eq (integral numerics beyond 2^53) are left to unify's re-check.
+func boundArgCols(a Atom, b bindings) ([]int, []value.Value) {
+	var cols []int
+	var vals []value.Value
+	for i, arg := range a.Args {
+		switch x := arg.(type) {
+		case Const:
+			if x.Val.Indexable() {
+				cols = append(cols, i)
+				vals = append(vals, x.Val)
+			}
+		case Var:
+			if v, ok := b[x.Name]; ok && v.Indexable() {
+				cols = append(cols, i)
+				vals = append(vals, v)
+			}
+		}
+	}
+	return cols, vals
 }
 
 func unify(a Atom, t relation.Tuple, b bindings) (bindings, bool) {

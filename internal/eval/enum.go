@@ -2,9 +2,11 @@ package eval
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/alt"
 	"repro/internal/convention"
+	"repro/internal/exec"
 	"repro/internal/relation"
 	"repro/internal/value"
 )
@@ -13,24 +15,37 @@ import (
 // base. Inner nodes nest loops left to right (with access-pattern-aware
 // reordering for external/abstract leaves); left/full nodes implement the
 // outer-join semantics of Section 2.11 with their attached ON predicates.
-func (ev *evaluator) enumNode(n *joinNode, base *env, si *scopeInfo) ([]*env, error) {
+// bound tracks the scope-local variables already enumerated on this path,
+// so that index probes never read a local variable's value before its own
+// leaf binds it (which would silently resolve to a shadowed outer
+// variable of the same name).
+func (ev *evaluator) enumNode(n *joinNode, base *env, si *scopeInfo, bound map[string]bool) ([]*env, error) {
 	if n.isLeaf() {
-		return ev.enumerateLeaf(n.leaf, base, si)
+		return ev.enumerateLeaf(n.leaf, base, si, bound)
 	}
 	switch n.kind {
 	case alt.JoinInner:
-		return ev.enumInner(n, base, si)
+		return ev.enumInner(n, base, si, bound)
 	case alt.JoinLeft:
-		return ev.enumLeft(n, base, si)
+		return ev.enumLeft(n, base, si, bound)
 	case alt.JoinFull:
-		return ev.enumFull(n, base, si)
+		return ev.enumFull(n, base, si, bound)
 	}
 	return nil, fmt.Errorf("unknown join node kind %v", n.kind)
 }
 
-func (ev *evaluator) enumInner(n *joinNode, base *env, si *scopeInfo) ([]*env, error) {
+func copyBound(bound map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(bound)+2)
+	for v := range bound {
+		out[v] = true
+	}
+	return out
+}
+
+func (ev *evaluator) enumInner(n *joinNode, base *env, si *scopeInfo, bound map[string]bool) ([]*env, error) {
 	envs := []*env{base}
 	remaining := append([]*joinNode(nil), n.kids...)
+	bound = copyBound(bound)
 	for len(remaining) > 0 {
 		if len(envs) == 0 {
 			return nil, nil // inner join already empty
@@ -53,25 +68,32 @@ func (ev *evaluator) enumInner(n *joinNode, base *env, si *scopeInfo) ([]*env, e
 		remaining = append(remaining[:pick], remaining[pick+1:]...)
 		var next []*env
 		for _, e := range envs {
-			exts, err := ev.enumNode(k, e, si)
+			exts, err := ev.enumNode(k, e, si, bound)
 			if err != nil {
 				return nil, err
 			}
 			next = append(next, exts...)
 		}
 		envs = next
+		for v := range k.vars {
+			bound[v] = true
+		}
 	}
 	return envs, nil
 }
 
-func (ev *evaluator) enumLeft(n *joinNode, base *env, si *scopeInfo) ([]*env, error) {
-	lefts, err := ev.enumNode(n.kids[0], base, si)
+func (ev *evaluator) enumLeft(n *joinNode, base *env, si *scopeInfo, bound map[string]bool) ([]*env, error) {
+	lefts, err := ev.enumNode(n.kids[0], base, si, bound)
 	if err != nil {
 		return nil, err
 	}
+	rightBound := copyBound(bound)
+	for v := range n.kids[0].vars {
+		rightBound[v] = true
+	}
 	var out []*env
 	for _, l := range lefts {
-		rights, err := ev.enumNode(n.kids[1], l, si)
+		rights, err := ev.enumNode(n.kids[1], l, si, rightBound)
 		if err != nil {
 			return nil, err
 		}
@@ -97,12 +119,12 @@ func (ev *evaluator) enumLeft(n *joinNode, base *env, si *scopeInfo) ([]*env, er
 	return out, nil
 }
 
-func (ev *evaluator) enumFull(n *joinNode, base *env, si *scopeInfo) ([]*env, error) {
-	lefts, err := ev.enumNode(n.kids[0], base, si)
+func (ev *evaluator) enumFull(n *joinNode, base *env, si *scopeInfo, bound map[string]bool) ([]*env, error) {
+	lefts, err := ev.enumNode(n.kids[0], base, si, bound)
 	if err != nil {
 		return nil, err
 	}
-	rights, err := ev.enumNode(n.kids[1], base, si)
+	rights, err := ev.enumNode(n.kids[1], base, si, bound)
 	if err != nil {
 		return nil, err
 	}
@@ -261,9 +283,33 @@ func (ev *evaluator) readyNode(n *joinNode, e *env, si *scopeInfo) (bool, error)
 // from the scope's equality predicates whose other side is evaluable in
 // the current environment — the access-pattern mechanism of Section 2.13.
 func (ev *evaluator) boundInputs(b *alt.Binding, e *env, si *scopeInfo) (map[string]value.Value, []*alt.Pred, error) {
+	return ev.eqInputs(b, e, si, nil)
+}
+
+// probeInputs is boundInputs restricted to predicates that are safe to
+// use as index probes: predicates on a FULL-join node's ON list are
+// excluded (unmatched full-join rows null-extend without any ON
+// re-check, so a probe would drop them), and so are predicates whose
+// other side reads a scope-local variable not yet enumerated on this
+// path — its env value, if present, belongs to a shadowed outer
+// variable of the same name. enumed is that path's enumerated-local set.
+func (ev *evaluator) probeInputs(b *alt.Binding, e *env, si *scopeInfo, enumed map[string]bool) (map[string]value.Value, []*alt.Pred, error) {
+	if enumed == nil {
+		enumed = map[string]bool{}
+	}
+	return ev.eqInputs(b, e, si, enumed)
+}
+
+// eqInputs feeds both boundInputs (enumed == nil: the seed access-pattern
+// behaviour for externals/abstract relations) and probeInputs (enumed !=
+// nil: the probe-safety filters apply).
+func (ev *evaluator) eqInputs(b *alt.Binding, e *env, si *scopeInfo, enumed map[string]bool) (map[string]value.Value, []*alt.Pred, error) {
 	bound := map[string]value.Value{}
 	var used []*alt.Pred
 	for _, p := range si.eqPreds {
+		if enumed != nil && si.fullOn[p] {
+			continue
+		}
 		for _, side := range [2]int{0, 1} {
 			var me, other alt.Term
 			if side == 0 {
@@ -278,6 +324,9 @@ func (ev *evaluator) boundInputs(b *alt.Binding, e *env, si *scopeInfo) (map[str
 			if refersToVar(other, b.Var) {
 				continue
 			}
+			if enumed != nil && ev.readsUnenumeratedLocal(other, si, enumed) {
+				continue
+			}
 			v, err := ev.evalTermAgg(other, e, nil)
 			if err != nil {
 				continue // other side not yet evaluable in this order
@@ -287,6 +336,24 @@ func (ev *evaluator) boundInputs(b *alt.Binding, e *env, si *scopeInfo) (map[str
 		}
 	}
 	return bound, used, nil
+}
+
+// readsUnenumeratedLocal reports whether t references a variable bound by
+// this scope's quantifier whose leaf has not been enumerated yet on the
+// current path — evaluating it now would resolve a shadowed outer
+// variable of the same name (or fail), so it must not feed a probe.
+func (ev *evaluator) readsUnenumeratedLocal(t alt.Term, si *scopeInfo, enumed map[string]bool) bool {
+	link := ev.curLink()
+	for _, r := range alt.TermAttrRefs(t, nil) {
+		res, ok := link.Refs[r]
+		if !ok || res.Kind != alt.RefBinding {
+			continue
+		}
+		if link.BindingQuantifier[res.Binding] == si.q && !enumed[r.Var] {
+			return true
+		}
+	}
+	return false
 }
 
 func refersToVar(t alt.Term, v string) bool {
@@ -315,7 +382,7 @@ func describeLeaves(nodes []*joinNode) string {
 }
 
 // enumerateLeaf extends e with every tuple of one binding's source.
-func (ev *evaluator) enumerateLeaf(b *alt.Binding, e *env, si *scopeInfo) ([]*env, error) {
+func (ev *evaluator) enumerateLeaf(b *alt.Binding, e *env, si *scopeInfo, bound map[string]bool) ([]*env, error) {
 	link := ev.curLink()
 	if v, isConst := link.ConstOfBinding[b]; isConst {
 		return []*env{e.extend(b.Var, varVals{"val": v}, 1)}, nil
@@ -325,20 +392,20 @@ func (ev *evaluator) enumerateLeaf(b *alt.Binding, e *env, si *scopeInfo) ([]*en
 		if err != nil {
 			return nil, err
 		}
-		return ev.bindRelation(b.Var, rel, e), nil
+		return ev.bindRelation(b, rel, e, si, bound)
 	}
 	if rel, ok := ev.overrides[b.Rel]; ok {
-		return ev.bindRelation(b.Var, rel, e), nil
+		return ev.bindRelation(b, rel, e, si, bound)
 	}
 	if rel := ev.cat.Relation(b.Rel); rel != nil {
-		return ev.bindRelation(b.Var, rel, e), nil
+		return ev.bindRelation(b, rel, e, si, bound)
 	}
 	if _, ok := ev.cat.views[b.Rel]; ok {
 		rel, err := ev.evalView(b.Rel)
 		if err != nil {
 			return nil, err
 		}
-		return ev.bindRelation(b.Var, rel, e), nil
+		return ev.bindRelation(b, rel, e, si, bound)
 	}
 	if ext, ok := ev.cat.externals[b.Rel]; ok {
 		return ev.enumExternal(b, ext, e, si)
@@ -349,10 +416,37 @@ func (ev *evaluator) enumerateLeaf(b *alt.Binding, e *env, si *scopeInfo) ([]*en
 	return nil, fmt.Errorf("unknown relation %q", b.Rel)
 }
 
-func (ev *evaluator) bindRelation(v string, rel *relation.Relation, e *env) []*env {
+// bindRelation extends e with the tuples of rel bound to b.Var. When the
+// scope has equality predicates connecting b's attributes to terms already
+// evaluable in e, enumeration probes rel's lazy hash index on those
+// attributes instead of scanning — the probe only drops tuples the WHERE
+// (or ON) stage would reject anyway, since every probe predicate is
+// re-checked there.
+func (ev *evaluator) bindRelation(b *alt.Binding, rel *relation.Relation, e *env, si *scopeInfo, enumed map[string]bool) ([]*env, error) {
+	bound, _, err := ev.probeInputs(b, e, si, enumed)
+	if err != nil {
+		return nil, err
+	}
+	var probeAttrs []string
+	for a, v := range bound {
+		if rel.AttrIndex(a) >= 0 && v.Indexable() {
+			probeAttrs = append(probeAttrs, a)
+		}
+	}
+	seq := exec.Scan(rel)
+	if len(probeAttrs) > 0 {
+		sort.Strings(probeAttrs) // one canonical index per attribute set
+		cols := make([]int, len(probeAttrs))
+		vals := make([]value.Value, len(probeAttrs))
+		for i, a := range probeAttrs {
+			cols[i] = rel.AttrIndex(a)
+			vals[i] = bound[a]
+		}
+		seq = exec.Probe(rel, cols, vals)
+	}
 	var out []*env
 	attrs := rel.Attrs()
-	rel.Each(func(t relation.Tuple, mult int) {
+	for t, mult := range seq {
 		vals := make(varVals, len(attrs))
 		for i, a := range attrs {
 			vals[a] = t[i]
@@ -361,9 +455,9 @@ func (ev *evaluator) bindRelation(v string, rel *relation.Relation, e *env) []*e
 		if ev.conv.Semantics == convention.Bag {
 			w = mult
 		}
-		out = append(out, e.extend(v, vals, w))
-	})
-	return out
+		out = append(out, e.extend(b.Var, vals, w))
+	}
+	return out, nil
 }
 
 // evalSubCollection evaluates a nested collection source laterally: once

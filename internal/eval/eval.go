@@ -528,7 +528,7 @@ func (ev *evaluator) computeAgg(a *alt.Agg, envs []*env) (value.Value, error) {
 // boolean subformulas. Environments are weighted relative to e.
 func (ev *evaluator) satisfyingEnvs(si *scopeInfo, e *env) ([]*env, error) {
 	base := &env{vars: e.vars, weight: 1}
-	envs, err := ev.enumNode(si.tree, base, si)
+	envs, err := ev.enumNode(si.tree, base, si, map[string]bool{})
 	if err != nil {
 		return nil, err
 	}

@@ -45,6 +45,11 @@ type scopeInfo struct {
 	// eqPreds holds all plain equality predicates — the access-pattern
 	// feed for external and abstract relation leaves.
 	eqPreds []*alt.Pred
+	// fullOn marks eq predicates routed to a FULL-join node's ON list.
+	// Those must not restrict leaf enumeration: a full join's unmatched
+	// rows null-extend on both sides with no ON re-check, so probing by
+	// an ON predicate would silently drop their null-extensions.
+	fullOn map[*alt.Pred]bool
 }
 
 // scopeInfoFor builds (and caches) the plan for a quantifier under the
@@ -54,7 +59,7 @@ func (ev *evaluator) scopeInfoFor(q *alt.Quantifier) (*scopeInfo, error) {
 		return si, nil
 	}
 	link := ev.curLink()
-	si := &scopeInfo{q: q}
+	si := &scopeInfo{q: q, fullOn: map[*alt.Pred]bool{}}
 
 	// Collect this quantifier's bindings (incl. synthetic constant-leaf
 	// bindings created by the linker).
@@ -136,6 +141,11 @@ func (ev *evaluator) scopeInfoFor(q *alt.Quantifier) (*scopeInfo, error) {
 		target := onTarget(si.tree, vars)
 		if target != nil {
 			target.on = append(target.on, p)
+			if target.kind == alt.JoinFull {
+				if pp, ok := p.(*alt.Pred); ok {
+					si.fullOn[pp] = true
+				}
+			}
 		} else {
 			si.where = append(si.where, p)
 		}

@@ -1,0 +1,203 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/convention"
+	"repro/internal/relation"
+	"repro/internal/value"
+)
+
+// AggFunc enumerates the aggregate functions γ supports.
+type AggFunc int
+
+const (
+	// Count counts input rows (with bag weight under bag semantics).
+	Count AggFunc = iota
+	// CountDistinct counts distinct non-NULL values of the column.
+	CountDistinct
+	// Sum adds the column (NULL inputs skipped, SQL style).
+	Sum
+	// Avg is the mean of the non-NULL column values.
+	Avg
+	// Min is the least non-NULL column value.
+	Min
+	// Max is the greatest non-NULL column value.
+	Max
+)
+
+// String names the function for error messages.
+func (f AggFunc) String() string {
+	switch f {
+	case Count:
+		return "count"
+	case CountDistinct:
+		return "count-distinct"
+	case Sum:
+		return "sum"
+	case Avg:
+		return "avg"
+	case Min:
+		return "min"
+	case Max:
+		return "max"
+	}
+	return fmt.Sprintf("agg(%d)", int(f))
+}
+
+// Agg is one aggregate column of a γ: Func applied to input column Col
+// (Col is ignored for Count, which counts rows).
+type Agg struct {
+	Func AggFunc
+	Col  int
+}
+
+// aggState accumulates one aggregate over one group.
+type aggState struct {
+	sum      value.Value
+	min, max value.Value
+	count    int
+	distinct map[string]bool
+	haveAny  bool
+}
+
+// GroupAggregate is γ: it partitions in by the values at keyCols and
+// streams one output tuple per group — the key values followed by one
+// value per aggregate. Grouping is hash-based and the input is fully
+// consumed before the first group is emitted (γ is a pipeline breaker).
+// Conventions apply as in the rest of the repository: set semantics
+// collapses bag weights to 1, and EmptyAggregate picks SUM's value over
+// zero rows. With no key columns the operator emits exactly one group
+// even over empty input (the SQL "group by true" behaviour); keyed
+// grouping over empty input emits nothing.
+func GroupAggregate(in Seq, keyCols []int, aggs []Agg, conv convention.Conventions) Seq {
+	return func(yield func(relation.Tuple, int) bool) {
+		type grp struct {
+			key    relation.Tuple
+			states []*aggState
+		}
+		newStates := func() []*aggState {
+			sts := make([]*aggState, len(aggs))
+			for i := range sts {
+				sts[i] = &aggState{}
+				if aggs[i].Func == CountDistinct {
+					sts[i].distinct = map[string]bool{}
+				}
+			}
+			return sts
+		}
+		index := map[string]int{}
+		var groups []*grp
+		if len(keyCols) == 0 {
+			groups = append(groups, &grp{key: relation.Tuple{}, states: newStates()})
+		}
+		for t, m := range in {
+			w := m
+			if conv.Semantics == convention.Set {
+				w = 1
+			}
+			var g *grp
+			if len(keyCols) == 0 {
+				g = groups[0]
+			} else {
+				k := keyAt(t, keyCols)
+				i, ok := index[k]
+				if !ok {
+					key := make(relation.Tuple, len(keyCols))
+					for j, c := range keyCols {
+						key[j] = t[c]
+					}
+					i = len(groups)
+					index[k] = i
+					groups = append(groups, &grp{key: key, states: newStates()})
+				}
+				g = groups[i]
+			}
+			for i, a := range aggs {
+				g.states[i].observe(a, t, w)
+			}
+		}
+		for _, g := range groups {
+			out := make(relation.Tuple, 0, len(g.key)+len(aggs))
+			out = append(out, g.key...)
+			for i, a := range aggs {
+				out = append(out, g.states[i].result(a, conv))
+			}
+			if !yield(out, 1) {
+				return
+			}
+		}
+	}
+}
+
+// observe folds one weighted input row into the state.
+func (st *aggState) observe(a Agg, t relation.Tuple, w int) {
+	if a.Func == Count {
+		st.count += w
+		st.haveAny = true
+		return
+	}
+	v := t[a.Col]
+	if v.IsNull() {
+		return // SQL aggregates ignore NULL inputs
+	}
+	st.count += w
+	if st.distinct != nil {
+		st.distinct[v.Key()] = true
+	}
+	contrib := v
+	if w > 1 {
+		if c, ok := value.Mul(v, value.Int(int64(w))); ok {
+			contrib = c
+		}
+	}
+	if !st.haveAny {
+		st.sum, st.min, st.max = contrib, v, v
+		st.haveAny = true
+		return
+	}
+	if s, ok := value.Add(st.sum, contrib); ok {
+		st.sum = s
+	}
+	if c, ok := v.Compare(st.min); ok && c < 0 {
+		st.min = v
+	}
+	if c, ok := v.Compare(st.max); ok && c > 0 {
+		st.max = v
+	}
+}
+
+// result finalizes the state into the aggregate's output value.
+func (st *aggState) result(a Agg, conv convention.Conventions) value.Value {
+	switch a.Func {
+	case Count:
+		return value.Int(int64(st.count))
+	case CountDistinct:
+		return value.Int(int64(len(st.distinct)))
+	case Sum:
+		if !st.haveAny {
+			if conv.EmptyAggregate == convention.ZeroOnEmpty {
+				return value.Int(0)
+			}
+			return value.Null()
+		}
+		return st.sum
+	case Avg:
+		if !st.haveAny {
+			return value.Null()
+		}
+		v, _ := value.Div(value.Float(st.sum.AsFloat()), value.Int(int64(st.count)))
+		return v
+	case Min:
+		if !st.haveAny {
+			return value.Null()
+		}
+		return st.min
+	case Max:
+		if !st.haveAny {
+			return value.Null()
+		}
+		return st.max
+	}
+	return value.Null()
+}

@@ -1,0 +1,117 @@
+// Package exec is the shared physical-execution layer: classical
+// relational operators (σ, π, ⋈, γ, dedup) implemented as streaming
+// iterators over relation.Relation, composed functionally instead of
+// materialize-and-rescan. Equality joins probe the lazy hash indexes that
+// Relation maintains per attribute set, so an indexed join is one hash
+// lookup per probe row rather than a nested full scan.
+//
+// The three evaluators (internal/eval, internal/sqleval,
+// internal/datalog) currently drive their enumeration hot paths through
+// Scan and Probe — their binding/environment representations are not
+// tuple-shaped yet, so the join and γ operators here serve as the layer's
+// property-tested API surface for the planned tuple-level compilation
+// (see ROADMAP "Open items") and the micro-benchmarks.
+package exec
+
+import (
+	"iter"
+
+	"repro/internal/relation"
+	"repro/internal/value"
+)
+
+// Seq is a stream of distinct tuples with bag multiplicities — the unit
+// every operator consumes and produces. Yield returning false stops the
+// producer (early termination propagates through compositions).
+type Seq = iter.Seq2[relation.Tuple, int]
+
+// Scan streams every distinct tuple of r with its multiplicity, in
+// insertion order.
+func Scan(r *relation.Relation) Seq {
+	return func(yield func(relation.Tuple, int) bool) {
+		r.EachWhile(yield)
+	}
+}
+
+// Probe streams the tuples of r whose values at cols equal vals, via r's
+// lazy hash index on cols. With no columns it degenerates to Scan.
+func Probe(r *relation.Relation, cols []int, vals []value.Value) Seq {
+	return func(yield func(relation.Tuple, int) bool) {
+		r.Probe(cols, vals, yield)
+	}
+}
+
+// Filter streams the rows of in that keep accepts (σ).
+func Filter(in Seq, keep func(relation.Tuple, int) bool) Seq {
+	return func(yield func(relation.Tuple, int) bool) {
+		for t, m := range in {
+			if !keep(t, m) {
+				continue
+			}
+			if !yield(t, m) {
+				return
+			}
+		}
+	}
+}
+
+// Project streams in projected onto cols (π), keeping bag multiplicities;
+// duplicate collapse is a separate Dedup, per the paper's γ reading.
+// Projected tuples are freshly allocated, so callers may retain them.
+func Project(in Seq, cols []int) Seq {
+	return func(yield func(relation.Tuple, int) bool) {
+		for t, m := range in {
+			out := make(relation.Tuple, len(cols))
+			for i, c := range cols {
+				out[i] = t[c]
+			}
+			if !yield(out, m) {
+				return
+			}
+		}
+	}
+}
+
+// Dedup streams the distinct tuples of in with multiplicity 1, in first-
+// occurrence order (the set-semantics reading of the stream).
+func Dedup(in Seq) Seq {
+	return func(yield func(relation.Tuple, int) bool) {
+		seen := map[string]bool{}
+		for t, _ := range in {
+			k := t.Key()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			if !yield(t, 1) {
+				return
+			}
+		}
+	}
+}
+
+// Materialize drains in into a fresh relation with the given name and
+// attributes, merging multiplicities of equal tuples.
+func Materialize(in Seq, name string, attrs ...string) *relation.Relation {
+	out := relation.New(name, attrs...)
+	for t, m := range in {
+		out.InsertMult(t, m)
+	}
+	return out
+}
+
+// Collect drains in into a slice of (tuple, multiplicity) pairs. Tuples
+// are cloned, so the result is safe to retain.
+func Collect(in Seq) []Row {
+	var out []Row
+	for t, m := range in {
+		out = append(out, Row{Tup: t.Clone(), Mult: m})
+	}
+	return out
+}
+
+// Row is one collected stream element.
+type Row struct {
+	Tup  relation.Tuple
+	Mult int
+}

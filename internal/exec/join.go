@@ -1,0 +1,105 @@
+package exec
+
+import (
+	"repro/internal/relation"
+	"repro/internal/value"
+)
+
+// keyAt extracts the probe key of t at cols.
+func keyAt(t relation.Tuple, cols []int) string {
+	vals := make([]value.Value, len(cols))
+	for i, c := range cols {
+		vals[i] = t[c]
+	}
+	return relation.KeyOf(vals)
+}
+
+// HashJoin is the classical equi-join ⋈: it materializes the right stream
+// into a hash table keyed on rightCols, then streams the left side,
+// emitting left++right concatenated tuples with multiplied weights for
+// every key match. Join identity is value.Key (2 matches 2.0; NULL keys
+// match NULL keys — callers needing SQL's NULL-never-matches recheck with
+// a Filter, as the evaluators' WHERE stages do).
+func HashJoin(left Seq, leftCols []int, right Seq, rightCols []int) Seq {
+	return func(yield func(relation.Tuple, int) bool) {
+		table := map[string][]Row{}
+		for t, m := range right {
+			k := keyAt(t, rightCols)
+			table[k] = append(table[k], Row{Tup: t.Clone(), Mult: m})
+		}
+		for lt, lm := range left {
+			for _, r := range table[keyAt(lt, leftCols)] {
+				out := make(relation.Tuple, 0, len(lt)+len(r.Tup))
+				out = append(out, lt...)
+				out = append(out, r.Tup...)
+				if !yield(out, lm*r.Mult) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// IndexJoin streams the left side and probes right's lazy hash index on
+// rightCols per row — the indexed nested-loop form of HashJoin that
+// reuses (and amortizes across calls) the index the relation caches.
+func IndexJoin(left Seq, leftCols []int, right *relation.Relation, rightCols []int) Seq {
+	return func(yield func(relation.Tuple, int) bool) {
+		vals := make([]value.Value, len(leftCols))
+		for lt, lm := range left {
+			for i, c := range leftCols {
+				vals[i] = lt[c]
+			}
+			stop := false
+			right.Probe(rightCols, vals, func(rt relation.Tuple, rm int) bool {
+				out := make(relation.Tuple, 0, len(lt)+len(rt))
+				out = append(out, lt...)
+				out = append(out, rt...)
+				if !yield(out, lm*rm) {
+					stop = true
+					return false
+				}
+				return true
+			})
+			if stop {
+				return
+			}
+		}
+	}
+}
+
+// SemiJoin streams the left rows that have at least one key match in
+// right on the given columns (⋉), preserving left multiplicities — the
+// streaming form of the semijoin-like dedup the paper describes for
+// nested comprehensions.
+func SemiJoin(left Seq, leftCols []int, right *relation.Relation, rightCols []int) Seq {
+	return filterByMatch(left, leftCols, right, rightCols, true)
+}
+
+// AntiJoin streams the left rows with no key match in right (▷),
+// preserving left multiplicities.
+func AntiJoin(left Seq, leftCols []int, right *relation.Relation, rightCols []int) Seq {
+	return filterByMatch(left, leftCols, right, rightCols, false)
+}
+
+func filterByMatch(left Seq, leftCols []int, right *relation.Relation, rightCols []int, want bool) Seq {
+	return func(yield func(relation.Tuple, int) bool) {
+		vals := make([]value.Value, len(leftCols))
+		for lt, lm := range left {
+			for i, c := range leftCols {
+				vals[i] = lt[c]
+			}
+			matched := false
+			right.Probe(rightCols, vals, func(relation.Tuple, int) bool {
+				matched = true
+				return false // one witness suffices
+			})
+			if matched != want {
+				continue
+			}
+			if !yield(lt, lm) {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package relation
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/value"
+)
+
+func probeAll(r *Relation, cols []int, vals []value.Value) []Tuple {
+	var out []Tuple
+	r.Probe(cols, vals, func(t Tuple, _ int) bool {
+		out = append(out, t.Clone())
+		return true
+	})
+	return out
+}
+
+func TestProbeBasic(t *testing.T) {
+	r := New("R", "a", "b").Add(1, 10).Add(1, 11).Add(2, 20)
+	got := probeAll(r, []int{0}, []value.Value{value.Int(1)})
+	if len(got) != 2 {
+		t.Fatalf("probe a=1: got %d tuples, want 2", len(got))
+	}
+	if got := probeAll(r, []int{0}, []value.Value{value.Int(9)}); len(got) != 0 {
+		t.Fatalf("probe a=9: got %d tuples, want 0", len(got))
+	}
+	// Multi-column probe.
+	if got := probeAll(r, []int{0, 1}, []value.Value{value.Int(1), value.Int(11)}); len(got) != 1 {
+		t.Fatalf("probe (a,b)=(1,11): got %d tuples, want 1", len(got))
+	}
+}
+
+// TestProbeSeesInsertedTuple is the invalidation contract: probe, insert,
+// probe again must reflect the new tuple (the index is rebuilt lazily
+// after an insert of a new distinct tuple).
+func TestProbeSeesInsertedTuple(t *testing.T) {
+	r := New("R", "a", "b").Add(1, 10)
+	if got := probeAll(r, []int{0}, []value.Value{value.Int(1)}); len(got) != 1 {
+		t.Fatalf("before insert: got %d tuples, want 1", len(got))
+	}
+	r.Add(1, 99)
+	got := probeAll(r, []int{0}, []value.Value{value.Int(1)})
+	if len(got) != 2 {
+		t.Fatalf("after insert: got %d tuples, want 2 (stale index?)", len(got))
+	}
+	// A multiplicity bump keeps row slots valid and must be visible too.
+	r.Add(1, 99)
+	found := false
+	r.Probe([]int{0}, []value.Value{value.Int(1)}, func(tp Tuple, m int) bool {
+		if tp[1].AsInt() == 99 {
+			found = m == 2
+		}
+		return true
+	})
+	if !found {
+		t.Fatal("multiplicity bump not visible through the index")
+	}
+}
+
+func TestProbeNumericKeyAlignment(t *testing.T) {
+	r := New("R", "a").Add(2)
+	if got := probeAll(r, []int{0}, []value.Value{value.Float(2)}); len(got) != 1 {
+		t.Fatalf("probe a=2.0 against int 2: got %d tuples, want 1", len(got))
+	}
+}
+
+func TestProbeEmptyColsIsScan(t *testing.T) {
+	r := New("R", "a").Add(1).Add(2)
+	if got := probeAll(r, nil, nil); len(got) != 2 {
+		t.Fatalf("zero-column probe: got %d tuples, want full scan (2)", len(got))
+	}
+}
+
+// TestProbeMatchesScanProperty: for random instances and probe values, the
+// probe result must equal the filter of a full scan on key equality.
+func TestProbeMatchesScanProperty(t *testing.T) {
+	f := func(xs []int8, probe int8) bool {
+		r := New("R", "x")
+		for _, x := range xs {
+			r.Add(int(x))
+		}
+		want := 0
+		r.Each(func(tp Tuple, m int) {
+			if tp[0].Key() == value.Int(int64(probe)).Key() {
+				want += m
+			}
+		})
+		got := 0
+		r.Probe([]int{0}, []value.Value{value.Int(int64(probe))}, func(_ Tuple, m int) bool {
+			got += m
+			return true
+		})
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

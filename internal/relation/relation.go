@@ -9,6 +9,7 @@ package relation
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/value"
@@ -48,6 +49,11 @@ type Relation struct {
 	pos   map[string]int // attribute name -> column
 	rows  []row
 	index map[string]int // tuple key -> rows slot
+	// hashIdx caches per-column-set hash indexes for Probe: column-set
+	// signature -> (value key -> row slots). Built lazily, dropped whenever
+	// a new distinct tuple is inserted (multiplicity bumps keep slots
+	// valid, so they do not invalidate).
+	hashIdx map[string]map[string][]int
 }
 
 // New returns an empty relation with the given name and attributes.
@@ -103,6 +109,7 @@ func (r *Relation) InsertMult(t Tuple, n int) {
 	}
 	r.index[k] = len(r.rows)
 	r.rows = append(r.rows, row{tup: t.Clone(), mult: n})
+	r.hashIdx = nil // new distinct tuple: cached hash indexes are stale
 }
 
 // Add is a convenience builder: it converts Go literals (int, int64,
@@ -166,6 +173,77 @@ func (r *Relation) Card() int {
 func (r *Relation) Each(f func(Tuple, int)) {
 	for _, rw := range r.rows {
 		f(rw.tup, rw.mult)
+	}
+}
+
+// EachWhile calls f per distinct tuple with its multiplicity, in insertion
+// order, stopping early when f returns false.
+func (r *Relation) EachWhile(f func(Tuple, int) bool) {
+	for _, rw := range r.rows {
+		if !f(rw.tup, rw.mult) {
+			return
+		}
+	}
+}
+
+// KeyOf returns the probe key of a value list — the identity Probe indexes
+// by, consistent with Tuple.Key on the projected columns.
+func KeyOf(vals []value.Value) string { return Tuple(vals).Key() }
+
+// hashIndexFor returns the hash index on the given column set, building it
+// on first use. The result maps the KeyOf of the column values to the row
+// slots holding them. Callers must not mutate the returned slices.
+func (r *Relation) hashIndexFor(cols []int) map[string][]int {
+	sig := make([]byte, 0, 16)
+	for _, c := range cols {
+		sig = strconv.AppendInt(sig, int64(c), 10)
+		sig = append(sig, ',')
+	}
+	s := string(sig)
+	if idx, ok := r.hashIdx[s]; ok {
+		return idx
+	}
+	idx := make(map[string][]int, len(r.rows))
+	key := make([]value.Value, len(cols))
+	for slot, rw := range r.rows {
+		for i, c := range cols {
+			key[i] = rw.tup[c]
+		}
+		k := KeyOf(key)
+		idx[k] = append(idx[k], slot)
+	}
+	if r.hashIdx == nil {
+		r.hashIdx = make(map[string]map[string][]int)
+	}
+	r.hashIdx[s] = idx
+	return idx
+}
+
+// Probe calls f for each distinct tuple whose values at cols equal vals
+// (by value key, so 2 and 2.0 match), with its multiplicity, in insertion
+// order; f returning false stops the probe. It uses a lazy per-column-set
+// hash index that survives multiplicity bumps and is rebuilt after inserts
+// of new distinct tuples, so a probe after an insert sees the new tuple.
+//
+// Probe identity is value.Key, which agrees with value.Eq for every
+// probe value whose Indexable() is true; callers probing with
+// non-indexable values (integral numerics beyond 2^53, where Eq's float
+// coercion collapses distinct integers) must fall back to a scan with an
+// Eq re-check, as the evaluators do.
+func (r *Relation) Probe(cols []int, vals []value.Value, f func(Tuple, int) bool) {
+	if len(cols) != len(vals) {
+		panic(fmt.Sprintf("Probe: %d columns, %d values", len(cols), len(vals)))
+	}
+	if len(cols) == 0 {
+		r.EachWhile(f)
+		return
+	}
+	slots := r.hashIndexFor(cols)[KeyOf(vals)]
+	for _, slot := range slots {
+		rw := r.rows[slot]
+		if !f(rw.tup, rw.mult) {
+			return
+		}
 	}
 }
 

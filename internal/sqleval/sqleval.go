@@ -10,6 +10,7 @@ package sqleval
 import (
 	"fmt"
 
+	"repro/internal/exec"
 	"repro/internal/relation"
 	"repro/internal/sql"
 	"repro/internal/value"
@@ -125,7 +126,14 @@ func (e *evaluator) evalQuery(q sql.Query, outer *frame) (*relation.Relation, er
 }
 
 func (e *evaluator) evalSelect(s *sql.Select, outer *frame) (*relation.Relation, error) {
-	rows, err := e.fromRows(s.From, outer)
+	// Top-level equality conjuncts of WHERE feed index-probe pushdown
+	// during FROM enumeration; WHERE still re-checks every conjunct, so
+	// the probes only skip rows WHERE would reject.
+	pd := pushdown{
+		conds: eqConds(s.Where, nil),
+		local: fromAliases(s.From, map[string]bool{}),
+	}
+	rows, err := e.fromRows(s.From, outer, pd)
 	if err != nil {
 		return nil, err
 	}
@@ -283,12 +291,61 @@ func (e *evaluator) groupRows(s *sql.Select, rows []row, outer *frame) ([]*group
 	return groups, nil
 }
 
-// fromRows enumerates the FROM clause (comma items cross-join).
-func (e *evaluator) fromRows(refs []sql.TableRef, outer *frame) ([]row, error) {
+// pushdown carries the probe-pushdown context of one SELECT's FROM
+// clause: the equality conjuncts usable as index probes and the set of
+// every alias the clause binds (needed to detect references that would
+// resolve to an outer correlation frame before their own table binds).
+type pushdown struct {
+	conds []*sql.Cmp
+	local map[string]bool
+}
+
+// with returns the context with a different condition list (same FROM).
+func (p pushdown) with(conds []*sql.Cmp) pushdown {
+	return pushdown{conds: conds, local: p.local}
+}
+
+// fromAliases collects every alias bound by refs, including nested join
+// subtrees.
+func fromAliases(refs []sql.TableRef, dst map[string]bool) map[string]bool {
+	for _, ref := range refs {
+		switch x := ref.(type) {
+		case *sql.BaseTable:
+			dst[x.Binding()] = true
+		case *sql.SubqueryTable:
+			dst[x.Alias] = true
+		case *sql.JoinRef:
+			fromAliases([]sql.TableRef{x.Left, x.Right}, dst)
+		}
+	}
+	return dst
+}
+
+// eqConds collects the top-level conjuncts of w that are plain equality
+// comparisons — the candidates for index-probe pushdown.
+func eqConds(w sql.Expr, dst []*sql.Cmp) []*sql.Cmp {
+	switch n := w.(type) {
+	case *sql.AndE:
+		for _, k := range n.Kids {
+			dst = eqConds(k, dst)
+		}
+	case *sql.Cmp:
+		if n.Op == value.Eq {
+			dst = append(dst, n)
+		}
+	}
+	return dst
+}
+
+// fromRows enumerates the FROM clause (comma items cross-join). pd.conds
+// are equality conjuncts guaranteed to be re-checked downstream (WHERE,
+// or the ON of the join they came from); base-table enumeration uses them
+// as hash-index probes when the other side is already evaluable.
+func (e *evaluator) fromRows(refs []sql.TableRef, outer *frame, pd pushdown) ([]row, error) {
 	rows := []row{{vals: map[string]map[string]value.Value{}, weight: 1}}
 	for _, ref := range refs {
 		var err error
-		rows, err = e.joinInto(rows, ref, outer)
+		rows, err = e.joinInto(rows, ref, outer, pd)
 		if err != nil {
 			return nil, err
 		}
@@ -296,14 +353,14 @@ func (e *evaluator) fromRows(refs []sql.TableRef, outer *frame) ([]row, error) {
 	return rows, nil
 }
 
-func (e *evaluator) joinInto(rows []row, ref sql.TableRef, outer *frame) ([]row, error) {
+func (e *evaluator) joinInto(rows []row, ref sql.TableRef, outer *frame, pd pushdown) ([]row, error) {
 	switch x := ref.(type) {
 	case *sql.BaseTable:
 		rel := e.db[x.Name]
 		if rel == nil {
 			return nil, fmt.Errorf("unknown table %q", x.Name)
 		}
-		return extendAll(rows, x.Binding(), rel), nil
+		return e.extendTable(rows, x.Binding(), rel, pd, outer), nil
 	case *sql.SubqueryTable:
 		if x.Lateral {
 			var out []row
@@ -312,7 +369,7 @@ func (e *evaluator) joinInto(rows []row, ref sql.TableRef, outer *frame) ([]row,
 				if err != nil {
 					return nil, err
 				}
-				out = append(out, extendAll([]row{r}, x.Alias, rel)...)
+				out = append(out, e.extendAll([]row{r}, x.Alias, rel)...)
 			}
 			return out, nil
 		}
@@ -320,24 +377,41 @@ func (e *evaluator) joinInto(rows []row, ref sql.TableRef, outer *frame) ([]row,
 		if err != nil {
 			return nil, err
 		}
-		return extendAll(rows, x.Alias, rel), nil
+		return e.extendAll(rows, x.Alias, rel), nil
 	case *sql.JoinRef:
-		left, err := e.joinInto(rows, x.Left, outer)
+		// Per-side probe-safety policy, decided once here: ON equalities
+		// filter an inner join's sides symmetrically (probe-safe for
+		// both); a left join's right side may be ON-restricted (dropped
+		// rows either fail ON — same matched outcome — or a WHERE
+		// conjunct), but its preserved left side and both FULL sides must
+		// not be, since their unmatched rows null-extend with no ON
+		// re-check.
+		leftPD, rightPD := pd, pd
+		switch x.Kind {
+		case sql.JoinInner, sql.JoinCross:
+			withOn := pd.with(eqConds(x.On, append([]*sql.Cmp(nil), pd.conds...)))
+			leftPD, rightPD = withOn, withOn
+		case sql.JoinLeft:
+			rightPD = pd.with(eqConds(x.On, append([]*sql.Cmp(nil), pd.conds...)))
+		}
+		left, err := e.joinInto(rows, x.Left, outer, leftPD)
 		if err != nil {
 			return nil, err
 		}
-		return e.joinRight(left, x, outer)
+		return e.joinRight(left, x, outer, rightPD)
 	}
 	return nil, fmt.Errorf("unknown table ref %T", ref)
 }
 
 // joinRight joins already-enumerated left rows with x.Right under x.Kind.
-func (e *evaluator) joinRight(left []row, x *sql.JoinRef, outer *frame) ([]row, error) {
+// rightPD carries the equality conjuncts probe-safe for the right side,
+// as decided by joinInto.
+func (e *evaluator) joinRight(left []row, x *sql.JoinRef, outer *frame, rightPD pushdown) ([]row, error) {
 	switch x.Kind {
 	case sql.JoinInner, sql.JoinCross, sql.JoinLeft:
 		var out []row
 		for _, l := range left {
-			rights, err := e.joinInto([]row{l}, x.Right, outer)
+			rights, err := e.joinInto([]row{l}, x.Right, outer, rightPD)
 			if err != nil {
 				return nil, err
 			}
@@ -363,7 +437,7 @@ func (e *evaluator) joinRight(left []row, x *sql.JoinRef, outer *frame) ([]row, 
 		return out, nil
 	case sql.JoinFull:
 		base := row{vals: map[string]map[string]value.Value{}, weight: 1}
-		rights, err := e.joinInto([]row{base}, x.Right, outer)
+		rights, err := e.joinInto([]row{base}, x.Right, outer, rightPD)
 		if err != nil {
 			return nil, err
 		}
@@ -455,17 +529,152 @@ func (e *evaluator) nullExtend(r row, ref sql.TableRef, outer *frame) (row, erro
 	return row{}, fmt.Errorf("unknown table ref %T", ref)
 }
 
-func extendAll(rows []row, alias string, rel *relation.Relation) []row {
+// extendAll cross-joins rows with rel by full scan (no pushdown).
+func (e *evaluator) extendAll(rows []row, alias string, rel *relation.Relation) []row {
+	return e.extendWithPlans(rows, alias, rel, nil, pushdown{}, nil)
+}
+
+// probePlan is one pushdown condition usable against the table being
+// extended: probe column col of the relation with the value of other.
+// refs are other's column references, for the per-row resolvability
+// check.
+type probePlan struct {
+	col   int
+	other sql.Expr
+	refs  []*sql.ColRef
+}
+
+// probePlans selects the conditions usable as index probes when extending
+// with alias: one side must be a column qualified with alias, and the
+// other side a simple expression (literals, column refs, arithmetic) that
+// cannot resolve to the probed table itself — a reference that is
+// qualified with alias, or unqualified but naming one of rel's columns,
+// would change meaning once the alias is bound, so those are skipped.
+func probePlans(alias string, rel *relation.Relation, conds []*sql.Cmp) []probePlan {
+	var plans []probePlan
+	for _, c := range conds {
+		for _, sides := range [2][2]sql.Expr{{c.L, c.R}, {c.R, c.L}} {
+			me, other := sides[0], sides[1]
+			ref, ok := me.(*sql.ColRef)
+			if !ok || ref.Table != alias {
+				continue
+			}
+			col := rel.AttrIndex(ref.Column)
+			if col < 0 || !simpleExprAvoiding(other, alias, rel) {
+				continue
+			}
+			plans = append(plans, probePlan{col: col, other: other, refs: collectColRefs(other, nil)})
+			break
+		}
+	}
+	return plans
+}
+
+// simpleExprAvoiding reports whether x is a side-effect-free expression
+// whose column references cannot resolve to the alias being probed.
+func simpleExprAvoiding(x sql.Expr, alias string, rel *relation.Relation) bool {
+	switch n := x.(type) {
+	case *sql.Lit:
+		return true
+	case *sql.ColRef:
+		if n.Table == alias {
+			return false
+		}
+		if n.Table == "" && rel.AttrIndex(n.Column) >= 0 {
+			return false
+		}
+		return true
+	case *sql.BinE:
+		return simpleExprAvoiding(n.L, alias, rel) && simpleExprAvoiding(n.R, alias, rel)
+	}
+	return false
+}
+
+// collectColRefs gathers the column references of a probe expression.
+func collectColRefs(x sql.Expr, dst []*sql.ColRef) []*sql.ColRef {
+	switch n := x.(type) {
+	case *sql.ColRef:
+		dst = append(dst, n)
+	case *sql.BinE:
+		dst = collectColRefs(n.L, dst)
+		dst = collectColRefs(n.R, dst)
+	}
+	return dst
+}
+
+// probeResolvable reports whether every column reference of a probe
+// expression already resolves to its final binding in the current row:
+// a reference qualified with an alias of this FROM clause that is not
+// bound yet would fall through to an outer correlation frame (alias
+// shadowing) and probe with the wrong value, and an unqualified
+// reference must be bound at this level for the same reason.
+func probeResolvable(refs []*sql.ColRef, vals map[string]map[string]value.Value, local map[string]bool) bool {
+	for _, ref := range refs {
+		if ref.Table != "" {
+			if _, bound := vals[ref.Table]; bound {
+				continue
+			}
+			if local[ref.Table] {
+				return false // later table of this FROM; outer lookup would shadow it
+			}
+			continue // genuinely outer correlation
+		}
+		found := false
+		for _, cols := range vals {
+			if _, ok := cols[ref.Column]; ok {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// extendTable cross-joins rows with a base table, deriving the probe
+// plans once for the call.
+func (e *evaluator) extendTable(rows []row, alias string, rel *relation.Relation, pd pushdown, outer *frame) []row {
+	return e.extendWithPlans(rows, alias, rel, probePlans(alias, rel, pd.conds), pd, outer)
+}
+
+// extendWithPlans cross-joins rows with rel. Pushdown plans whose probe
+// expression evaluates in the current row (or an outer correlation frame)
+// turn the scan into a hash-index probe; plans that do not resolve yet
+// fall back to scanning, row by row. With no plans it is a pure scan.
+func (e *evaluator) extendWithPlans(rows []row, alias string, rel *relation.Relation, plans []probePlan, pd pushdown, outer *frame) []row {
 	attrs := rel.Attrs()
+	var cols []int
+	var vals []value.Value
 	var out []row
 	for _, r := range rows {
-		rel.Each(func(t relation.Tuple, mult int) {
-			cols := make(map[string]value.Value, len(attrs))
-			for i, a := range attrs {
-				cols[a] = t[i]
+		cols, vals = cols[:0], vals[:0]
+		if len(plans) > 0 {
+			fr := &frame{parent: outer, vals: r.vals}
+			for _, p := range plans {
+				if !probeResolvable(p.refs, r.vals, pd.local) {
+					continue // would resolve through a shadowed outer frame; scan covers it
+				}
+				v, err := e.evalExpr(p.other, fr, nil)
+				if err != nil || !v.Indexable() {
+					continue // not evaluable yet, or key identity too weak; scan covers it
+				}
+				cols = append(cols, p.col)
+				vals = append(vals, v)
 			}
-			out = append(out, r.extend(alias, cols, mult))
-		})
+		}
+		seq := exec.Scan(rel)
+		if len(cols) > 0 {
+			seq = exec.Probe(rel, cols, vals)
+		}
+		for t, mult := range seq {
+			rowCols := make(map[string]value.Value, len(attrs))
+			for i, a := range attrs {
+				rowCols[a] = t[i]
+			}
+			out = append(out, r.extend(alias, rowCols, mult))
+		}
 	}
 	return out
 }

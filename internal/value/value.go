@@ -128,8 +128,11 @@ func (v Value) Key() string {
 	case KindInt:
 		return "\x01" + strconv.FormatInt(v.i, 10)
 	case KindFloat:
-		if v.f == math.Trunc(v.f) && !math.IsInf(v.f, 0) && math.Abs(v.f) < 1e15 {
-			// Align with equal integers so 2.0 and 2 group together.
+		if v.f == math.Trunc(v.f) && !math.IsInf(v.f, 0) && math.Abs(v.f) <= maxExactFloat {
+			// Align with equal integers so 2.0 and 2 group together. The
+			// cutoff is 2^53, the largest range where float64 represents
+			// every integer exactly, so within it Key agrees with the
+			// float-coercing Compare.
 			return "\x01" + strconv.FormatInt(int64(v.f), 10)
 		}
 		return "\x02" + strconv.FormatFloat(v.f, 'g', -1, 64)
@@ -148,6 +151,25 @@ func (v Value) Key() string {
 // Relational predicate evaluation uses Compare (3VL-aware) instead; Equal
 // exists for keys, dedup, and test assertions.
 func (v Value) Equal(o Value) bool { return v.Key() == o.Key() }
+
+// maxExactFloat is 2^53, the largest magnitude below which float64
+// represents every integer exactly.
+const maxExactFloat = float64(1 << 53)
+
+// Indexable reports whether hash-probing by v's Key finds every value
+// that the float-coercing Eq predicate would match: true except for
+// integral numerics beyond 2^53, where Eq collapses distinct integers
+// (float coercion rounds) while keys stay exact. Non-indexable probe
+// values must fall back to a scan with an Eq re-check.
+func (v Value) Indexable() bool {
+	switch v.kind {
+	case KindInt:
+		return math.Abs(float64(v.i)) <= maxExactFloat
+	case KindFloat:
+		return v.f != math.Trunc(v.f) || math.IsInf(v.f, 0) || math.Abs(v.f) <= maxExactFloat
+	}
+	return true
+}
 
 // Compare compares two non-null values, returning -1, 0, or +1 and true,
 // or false when the values are incomparable (NULL involved, or mixed
