@@ -2,7 +2,12 @@
 
 GO ?= go
 
-.PHONY: all build test bench lint
+# Benchmark-regression gate (same knobs as CI).
+BENCH_PATTERN ?= Join|Fixpoint|Group
+BENCH_WARN ?= 15
+BENCH_FAIL ?= 50
+
+.PHONY: all build test bench lint benchdiff bench-baseline
 
 all: lint build test
 
@@ -24,3 +29,22 @@ lint:
 		echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; \
 	fi
 	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; \
+	fi
+
+# Run the gated benchmarks and compare against the committed baseline —
+# the local twin of CI's bench-regression job.
+benchdiff:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime=100ms -count=3 . | \
+		$(GO) run ./cmd/benchdiff parse -out /tmp/benchdiff-new.json
+	$(GO) run ./cmd/benchdiff compare -baseline bench/baseline.json \
+		-new /tmp/benchdiff-new.json -match '$(BENCH_PATTERN)' \
+		-warn $(BENCH_WARN) -fail $(BENCH_FAIL)
+
+# Refresh the committed baseline from this machine.
+bench-baseline:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime=100ms -count=3 . | \
+		$(GO) run ./cmd/benchdiff parse -out bench/baseline.json

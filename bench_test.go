@@ -318,6 +318,56 @@ func BenchmarkExecGroupAggregate(b *testing.B) {
 	}
 }
 
+// benchSQLBoth measures one query through both sqleval paths: the
+// pre-planner enumeration baseline and the internal/plan compilation.
+func benchSQLBoth(b *testing.B, src string, db sqleval.DB) {
+	q := sql.MustParse(src)
+	if _, err := sqleval.EvalMode(q, db, sqleval.PlanForce); err != nil {
+		b.Fatalf("query fell out of the planner fragment: %v", err)
+	}
+	for _, m := range []struct {
+		name string
+		mode sqleval.PlanMode
+	}{{"enum", sqleval.PlanOff}, {"plan", sqleval.PlanAuto}} {
+		b.Run(m.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sqleval.EvalMode(q, db, m.mode); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSQLGroupBy measures the streamed γ against per-row grouping.
+func BenchmarkSQLGroupBy(b *testing.B) {
+	rng := workload.Rand(2)
+	r := workload.RandomBinary(rng, "R", "A", "B", 5000, 500, 100)
+	benchSQLBoth(b, "select R.A, sum(R.B) sm, count(R.B) ct from R group by R.A",
+		sqleval.DB{"R": r})
+}
+
+// BenchmarkSQLInSemiJoin measures a decorrelated IN subquery against the
+// per-row re-evaluation the enumeration path performs.
+func BenchmarkSQLInSemiJoin(b *testing.B) {
+	rng := workload.Rand(3)
+	r := workload.RandomBinary(rng, "R", "A", "B", 2000, 1000, 50)
+	s := workload.RandomBinary(rng, "S", "B", "C", 2000, 50, 20)
+	benchSQLBoth(b, "select R.A from R where R.B in (select S.B from S where S.C = 3)",
+		sqleval.DB{"R": r, "S": s})
+}
+
+// BenchmarkSQLOuterJoin measures the hashed FULL JOIN against the
+// nested-pair enumeration.
+func BenchmarkSQLOuterJoin(b *testing.B) {
+	rng := workload.Rand(4)
+	r := workload.RandomBinary(rng, "R", "A", "B", 1000, 1000, 200)
+	s := workload.RandomBinary(rng, "S", "B", "C", 1000, 200, 20)
+	benchSQLBoth(b, "select R.A, S.C from R full join S on R.B = S.B",
+		sqleval.DB{"R": r, "S": s})
+}
+
 // BenchmarkSQLEval measures the independent SQL baseline evaluator.
 func BenchmarkSQLEval(b *testing.B) {
 	rng := workload.Rand(5)

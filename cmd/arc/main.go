@@ -14,6 +14,10 @@
 //	-eval                 evaluate and print the result relation
 //	-conv set|sql|sqldistinct|souffle       conventions (default set)
 //	-lint                 run the COUNT-bug lint
+//	-explain              print the tuple-level query plan: the compiled
+//	                      exec-operator pipeline per quantifier scope
+//	                      (plus, for -lang sql, the SQL planner's plan),
+//	                      or why a scope stays on enumeration
 //
 // Data files list relations as "Name(attr1,attr2)" header lines followed
 // by comma-separated rows; "null" is NULL; everything parseable as a
@@ -39,6 +43,7 @@ func main() {
 	doEval := flag.Bool("eval", false, "evaluate the query")
 	convName := flag.String("conv", "set", "conventions: set|sql|sqldistinct|souffle")
 	doLint := flag.Bool("lint", false, "run the COUNT-bug lint")
+	doExplain := flag.Bool("explain", false, "print the tuple-level query plan")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: arc [flags] <query | @file>")
@@ -81,18 +86,42 @@ func main() {
 	if err := render(col, *out); err != nil {
 		die(err)
 	}
-	if *doEval {
+	if *doExplain || *doEval {
 		cat, rels, err := loadCatalog(*dbPath)
 		if err != nil {
 			die(err)
 		}
-		_ = rels
-		res, err := core.Eval(col, cat, conventionsByName(*convName))
-		if err != nil {
-			die(err)
+		if *doExplain {
+			explain(col, *lang, src, cat, rels, *convName)
 		}
-		fmt.Print(res.String())
+		if *doEval {
+			res, err := core.Eval(col, cat, conventionsByName(*convName))
+			if err != nil {
+				die(err)
+			}
+			fmt.Print(res.String())
+		}
 	}
+}
+
+// explain prints the ARC scope plans (and, for SQL input, the SQL
+// planner's physical plan) against the loaded catalog.
+func explain(col *core.Collection, lang, src string, cat *core.Catalog, rels []*core.Relation, convName string) {
+	if lang == "sql" {
+		s, err := core.ExplainSQL(src, rels...)
+		if err != nil {
+			fmt.Printf("sql plan: not planner-compiled (%v)\n", err)
+		} else {
+			fmt.Println("sql plan:")
+			fmt.Print(s)
+		}
+	}
+	s, err := core.ExplainARC(col, cat, conventionsByName(convName))
+	if err != nil {
+		die(err)
+	}
+	fmt.Println("arc plan:")
+	fmt.Print(s)
 }
 
 func parseInput(lang, src string) (*core.Collection, *core.Sentence, error) {

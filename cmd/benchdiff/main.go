@@ -1,0 +1,261 @@
+// Command benchdiff is the benchmark-regression gate of CI: it parses
+// `go test -bench` output into a JSON snapshot, compares a snapshot
+// against the committed baseline with warn/fail thresholds on the
+// geometric-mean ratio, and can inject a synthetic regression to prove
+// the gate trips (the dry run CI performs).
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchtime=100ms . | benchdiff parse -out BENCH_<sha>.json
+//	benchdiff compare -baseline bench/baseline.json -new BENCH_<sha>.json \
+//	    [-match 'Join|Fixpoint|Group'] [-warn 15] [-fail 50]
+//	benchdiff inject -in BENCH_<sha>.json -factor 2.0 -out regressed.json
+//
+// compare exits 1 when the geomean regression exceeds the fail
+// threshold, 0 otherwise (warnings are printed but do not fail).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Snapshot is one benchmark run: benchmark name → ns/op (geomean over
+// repeated counts).
+type Snapshot struct {
+	Benchmarks map[string]float64 `json:"benchmarks"`
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "parse":
+		cmdParse(os.Args[2:])
+	case "compare":
+		cmdCompare(os.Args[2:])
+	case "inject":
+		cmdInject(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: benchdiff parse|compare|inject [flags]")
+	os.Exit(2)
+}
+
+func cmdParse(args []string) {
+	fs := flag.NewFlagSet("parse", flag.ExitOnError)
+	out := fs.String("out", "", "output JSON path (default stdout)")
+	fs.Parse(args)
+	snap, err := parseBench(os.Stdin)
+	if err != nil {
+		die(err)
+	}
+	if len(snap.Benchmarks) == 0 {
+		die(fmt.Errorf("no benchmark lines found on stdin"))
+	}
+	if err := writeSnapshot(snap, *out); err != nil {
+		die(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchdiff: parsed %d benchmarks\n", len(snap.Benchmarks))
+}
+
+func cmdCompare(args []string) {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	baseline := fs.String("baseline", "", "baseline snapshot JSON")
+	newPath := fs.String("new", "", "new snapshot JSON")
+	match := fs.String("match", "Join|Fixpoint|Group", "regexp selecting gated benchmarks")
+	warn := fs.Float64("warn", 15, "warn when geomean regression exceeds this percent")
+	fail := fs.Float64("fail", 50, "fail when geomean regression exceeds this percent")
+	fs.Parse(args)
+	if *baseline == "" || *newPath == "" {
+		die(fmt.Errorf("compare needs -baseline and -new"))
+	}
+	old, err := readSnapshot(*baseline)
+	if err != nil {
+		die(err)
+	}
+	cur, err := readSnapshot(*newPath)
+	if err != nil {
+		die(err)
+	}
+	report, verdict, err := compare(old, cur, *match, *warn, *fail)
+	if err != nil {
+		die(err)
+	}
+	fmt.Print(report)
+	if verdict == verdictFail {
+		os.Exit(1)
+	}
+}
+
+func cmdInject(args []string) {
+	fs := flag.NewFlagSet("inject", flag.ExitOnError)
+	in := fs.String("in", "", "input snapshot JSON")
+	out := fs.String("out", "", "output JSON path (default stdout)")
+	factor := fs.Float64("factor", 2.0, "multiply every ns/op by this factor")
+	fs.Parse(args)
+	snap, err := readSnapshot(*in)
+	if err != nil {
+		die(err)
+	}
+	for k, v := range snap.Benchmarks {
+		snap.Benchmarks[k] = v * *factor
+	}
+	if err := writeSnapshot(snap, *out); err != nil {
+		die(err)
+	}
+}
+
+// benchLine matches one `go test -bench` result line; the -<procs>
+// suffix is stripped so snapshots compare across machines.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// parseBench folds repeated counts of the same benchmark into their
+// geometric mean.
+func parseBench(r io.Reader) (*Snapshot, error) {
+	logSum := map[string]float64{}
+	n := map[string]int{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil || ns <= 0 {
+			continue
+		}
+		logSum[m[1]] += math.Log(ns)
+		n[m[1]]++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	snap := &Snapshot{Benchmarks: map[string]float64{}}
+	for name, s := range logSum {
+		snap.Benchmarks[name] = math.Exp(s / float64(n[name]))
+	}
+	return snap, nil
+}
+
+type verdictKind int
+
+const (
+	verdictOK verdictKind = iota
+	verdictWarn
+	verdictFail
+)
+
+// compare renders a per-benchmark ratio table for the gated set and the
+// geomean verdict against the warn/fail thresholds (in percent).
+func compare(old, cur *Snapshot, match string, warnPct, failPct float64) (string, verdictKind, error) {
+	re, err := regexp.Compile(match)
+	if err != nil {
+		return "", verdictOK, err
+	}
+	var names, gone, added []string
+	for name := range old.Benchmarks {
+		if !re.MatchString(name) {
+			continue
+		}
+		if _, ok := cur.Benchmarks[name]; ok {
+			names = append(names, name)
+		} else {
+			gone = append(gone, name)
+		}
+	}
+	for name := range cur.Benchmarks {
+		if _, ok := old.Benchmarks[name]; !ok && re.MatchString(name) {
+			added = append(added, name)
+		}
+	}
+	if len(names) == 0 {
+		return "", verdictOK, fmt.Errorf("no common benchmarks match %q", match)
+	}
+	sort.Strings(names)
+	sort.Strings(gone)
+	sort.Strings(added)
+	var b strings.Builder
+	// Coverage erosion must be visible: a renamed or deleted gated
+	// benchmark silently leaving the geomean would look like green.
+	for _, n := range gone {
+		fmt.Fprintf(&b, "WARN: gated benchmark %s is in the baseline but not in the new run\n", n)
+	}
+	for _, n := range added {
+		fmt.Fprintf(&b, "note: gated benchmark %s is new (not in the baseline)\n", n)
+	}
+	width := 0
+	for _, n := range names {
+		if len(n) > width {
+			width = len(n)
+		}
+	}
+	logSum := 0.0
+	for _, n := range names {
+		ratio := cur.Benchmarks[n] / old.Benchmarks[n]
+		logSum += math.Log(ratio)
+		fmt.Fprintf(&b, "%-*s  %12.0f ns/op  → %12.0f ns/op  (%+.1f%%)\n",
+			width, n, old.Benchmarks[n], cur.Benchmarks[n], (ratio-1)*100)
+	}
+	geomean := math.Exp(logSum / float64(len(names)))
+	pct := (geomean - 1) * 100
+	verdict := verdictOK
+	switch {
+	case pct > failPct:
+		verdict = verdictFail
+		fmt.Fprintf(&b, "FAIL: geomean %+.1f%% exceeds the %.0f%% regression gate over %d benchmarks\n",
+			pct, failPct, len(names))
+	case pct > warnPct:
+		verdict = verdictWarn
+		fmt.Fprintf(&b, "WARN: geomean %+.1f%% exceeds the %.0f%% warning threshold over %d benchmarks\n",
+			pct, warnPct, len(names))
+	default:
+		fmt.Fprintf(&b, "OK: geomean %+.1f%% over %d gated benchmarks\n", pct, len(names))
+	}
+	return b.String(), verdict, nil
+}
+
+func readSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	snap := &Snapshot{}
+	if err := json.Unmarshal(data, snap); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return snap, nil
+}
+
+func writeSnapshot(snap *Snapshot, path string) error {
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+BenchmarkEvalJoin/n=800-8         	       3	  884935 ns/op
+BenchmarkEvalJoin/n=800-8         	       3	  900123 ns/op
+BenchmarkDatalogFixpoint-8        	       3	 1029007 ns/op	 1230592 B/op	    9657 allocs/op
+BenchmarkEvalGroupBy/n=5000-8     	       3	 1536111 ns/op
+BenchmarkSQLParser-8              	   10000	    1234 ns/op
+PASS
+ok  	repro	1.234s
+`
+
+func parseSample(t *testing.T) *Snapshot {
+	t.Helper()
+	snap, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+func TestParseBench(t *testing.T) {
+	snap := parseSample(t)
+	if len(snap.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4: %v", len(snap.Benchmarks), snap.Benchmarks)
+	}
+	// Repeated counts fold to their geomean, procs suffix stripped.
+	v, ok := snap.Benchmarks["BenchmarkEvalJoin/n=800"]
+	if !ok {
+		t.Fatalf("missing EvalJoin: %v", snap.Benchmarks)
+	}
+	if v < 884935 || v > 900123 {
+		t.Fatalf("geomean %v outside the repeated samples", v)
+	}
+}
+
+func TestCompareOKAndThresholds(t *testing.T) {
+	old := parseSample(t)
+	// Identical snapshots: OK.
+	report, verdict, err := compare(old, parseSample(t), "Join|Fixpoint|Group", 15, 50)
+	if err != nil || verdict != verdictOK {
+		t.Fatalf("identical compare: verdict %v err %v\n%s", verdict, err, report)
+	}
+	if strings.Contains(report, "SQLParser") {
+		t.Fatalf("ungated benchmark leaked into the report:\n%s", report)
+	}
+
+	// +30%: warn but do not fail.
+	warm := parseSample(t)
+	for k := range warm.Benchmarks {
+		warm.Benchmarks[k] *= 1.30
+	}
+	report, verdict, err = compare(old, warm, "Join|Fixpoint|Group", 15, 50)
+	if err != nil || verdict != verdictWarn {
+		t.Fatalf("+30%% compare: verdict %v err %v\n%s", verdict, err, report)
+	}
+}
+
+// TestInjectedRegressionFails is the dry run the CI job repeats with the
+// real baseline: a synthetic 2× slowdown must trip the fail gate.
+func TestInjectedRegressionFails(t *testing.T) {
+	old := parseSample(t)
+	bad := parseSample(t)
+	for k := range bad.Benchmarks {
+		bad.Benchmarks[k] *= 2.0
+	}
+	report, verdict, err := compare(old, bad, "Join|Fixpoint|Group", 15, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if verdict != verdictFail {
+		t.Fatalf("injected 2× regression did not fail:\n%s", report)
+	}
+	if !strings.Contains(report, "FAIL: geomean") {
+		t.Fatalf("report missing FAIL verdict:\n%s", report)
+	}
+}
+
+// TestImprovementStaysGreen pins the direction of the gate: a speedup
+// must never trip it.
+func TestImprovementStaysGreen(t *testing.T) {
+	old := parseSample(t)
+	fast := parseSample(t)
+	for k := range fast.Benchmarks {
+		fast.Benchmarks[k] *= 0.2
+	}
+	_, verdict, err := compare(old, fast, "Join|Fixpoint|Group", 15, 50)
+	if err != nil || verdict != verdictOK {
+		t.Fatalf("5× speedup flagged: verdict %v err %v", verdict, err)
+	}
+}

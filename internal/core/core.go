@@ -84,6 +84,26 @@ func ParseTRC(src string) (*Collection, error) {
 // the annotation (the higraph cross-references).
 func Validate(col *Collection) (*alt.Link, error) { return alt.ValidateCollection(col) }
 
+// ExplainARC renders the tuple-level query plan of every quantifier
+// scope in col (or why a scope stays on environment enumeration).
+func ExplainARC(col *Collection, cat *Catalog, conv Conventions) (string, error) {
+	return eval.ExplainCollection(col, cat, conv)
+}
+
+// ExplainSQL renders the physical plan the SQL planner compiles src
+// onto; the error reports the bailout reason for unplannable queries.
+func ExplainSQL(src string, rels ...*Relation) (string, error) {
+	q, err := sql.Parse(src)
+	if err != nil {
+		return "", err
+	}
+	db := sqleval.DB{}
+	for _, r := range rels {
+		db[r.Name()] = r
+	}
+	return sqleval.Explain(q, db)
+}
+
 // Eval evaluates a collection against a catalog under conventions.
 func Eval(col *Collection, cat *Catalog, conv Conventions) (*Relation, error) {
 	return eval.Eval(col, cat, conv)

@@ -128,20 +128,81 @@ func (ev *evaluator) enumFull(n *joinNode, base *env, si *scopeInfo, bound map[s
 	if err != nil {
 		return nil, err
 	}
+	// Separable ON equalities (one side readable from each subtree) hash
+	// the right envs so each left env only visits its key bucket; the
+	// full ON condition is still re-checked per candidate, so NULL keys
+	// and Key-vs-Eq divergence keep exact semantics. Empty sides fall
+	// through to the nested path, which then only null-extends.
+	eqs := splitFullEqs(n)
+	all := make([]int, len(rights))
+	for i := range all {
+		all[i] = i
+	}
+	// candidatesOf returns two slices of right indexes to pair a left env
+	// with; the default is every right (the nested baseline). Hashing is
+	// only used when every ON conjunct is an extracted equality: with
+	// residual conjuncts, pruning a pair could also prune a per-pair
+	// evaluation error the nested path would surface.
+	candidatesOf := func(l *env) ([]int, []int) { return all, nil }
+	if len(eqs) == len(n.on) && len(eqs) > 0 && len(lefts) > 0 && len(rights) > 0 {
+		buckets := map[string][]int{}
+		var overflow []int // non-indexable, or not evaluable on this env
+		var kb []byte
+		for ri, r := range rights {
+			kb = kb[:0]
+			indexable := true
+			for _, eq := range eqs {
+				v, err := ev.evalTermAgg(eq.right, r, nil)
+				if err != nil {
+					// The nested path may never evaluate this term (an
+					// earlier ON conjunct can short-circuit), so an
+					// erroring row stays a candidate for every left and
+					// onHolds reproduces the baseline behaviour.
+					indexable = false
+					break
+				}
+				if !v.Indexable() {
+					indexable = false
+				}
+				kb = v.AppendKey(kb)
+				kb = append(kb, '\x1f')
+			}
+			if indexable {
+				buckets[string(kb)] = append(buckets[string(kb)], ri)
+			} else {
+				overflow = append(overflow, ri)
+			}
+		}
+		candidatesOf = func(l *env) ([]int, []int) {
+			kb = kb[:0]
+			for _, eq := range eqs {
+				v, err := ev.evalTermAgg(eq.left, l, nil)
+				if err != nil || !v.Indexable() {
+					return all, nil // unevaluable or weak key: check every right
+				}
+				kb = v.AppendKey(kb)
+				kb = append(kb, '\x1f')
+			}
+			return buckets[string(kb)], overflow
+		}
+	}
 	matchedR := make([]bool, len(rights))
 	var out []*env
 	for _, l := range lefts {
 		matched := false
-		for ri, r := range rights {
-			m := ev.mergeEnvs(base, l, r, n.kids[1])
-			ok, err := ev.onHolds(n, m)
-			if err != nil {
-				return nil, err
-			}
-			if ok {
-				matched = true
-				matchedR[ri] = true
-				out = append(out, m)
+		primary, extra := candidatesOf(l)
+		for _, cands := range [2][]int{primary, extra} {
+			for _, ri := range cands {
+				m := ev.mergeEnvs(base, l, rights[ri], n.kids[1])
+				ok, err := ev.onHolds(n, m)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					matched = true
+					matchedR[ri] = true
+					out = append(out, m)
+				}
 			}
 		}
 		if !matched {
@@ -163,6 +224,47 @@ func (ev *evaluator) enumFull(n *joinNode, base *env, si *scopeInfo, bound map[s
 		out = append(out, ne)
 	}
 	return out, nil
+}
+
+// fullEq is one hashable ON equality of a FULL-join node: left is
+// evaluable from the left subtree's envs, right from the right's.
+type fullEq struct {
+	left, right alt.Term
+}
+
+// splitFullEqs extracts the ON equality conjuncts usable as hash keys: a
+// plain equality whose sides read disjoint subtrees (either side may
+// also read outer variables, which both envs carry). Every conjunct is
+// re-checked by onHolds per candidate, so extraction only prunes.
+func splitFullEqs(n *joinNode) []fullEq {
+	var eqs []fullEq
+	for _, f := range n.on {
+		p, ok := f.(*alt.Pred)
+		if !ok || p.Op != value.Eq || alt.ContainsAgg(p.Left) || alt.ContainsAgg(p.Right) {
+			continue
+		}
+		leftVars, rightVars := n.kids[0].vars, n.kids[1].vars
+		switch {
+		case !refersAnySubtreeVar(p.Left, rightVars) && !refersAnySubtreeVar(p.Right, leftVars) &&
+			(refersAnySubtreeVar(p.Left, leftVars) || refersAnySubtreeVar(p.Right, rightVars)):
+			eqs = append(eqs, fullEq{left: p.Left, right: p.Right})
+		case !refersAnySubtreeVar(p.Right, rightVars) && !refersAnySubtreeVar(p.Left, leftVars) &&
+			(refersAnySubtreeVar(p.Right, leftVars) || refersAnySubtreeVar(p.Left, rightVars)):
+			eqs = append(eqs, fullEq{left: p.Right, right: p.Left})
+		}
+	}
+	return eqs
+}
+
+// refersAnySubtreeVar reports whether t references any variable of the
+// given subtree var set.
+func refersAnySubtreeVar(t alt.Term, vars map[string]bool) bool {
+	for _, r := range alt.TermAttrRefs(t, nil) {
+		if vars[r.Var] {
+			return true
+		}
+	}
+	return false
 }
 
 // onHolds evaluates a left/full node's ON predicates in env e.

@@ -280,6 +280,16 @@ func (ev *evaluator) produceQuant(q *alt.Quantifier, e *env, gen bool) ([]prodRo
 	if err != nil {
 		return nil, err
 	}
+	if sp := ev.scopePlanFor(si); sp != nil {
+		rows, err := sp.produce(ev, e)
+		if err != nil {
+			return nil, err
+		}
+		if !gen {
+			rows = dedupRows(rows)
+		}
+		return rows, nil
+	}
 	envs, err := ev.satisfyingEnvs(si, e)
 	if err != nil {
 		return nil, err

@@ -45,6 +45,12 @@ type scopeInfo struct {
 	// eqPreds holds all plain equality predicates — the access-pattern
 	// feed for external and abstract relation leaves.
 	eqPreds []*alt.Pred
+	// plan is the tuple-level compilation of the scope (see compile.go);
+	// nil (with planReason saying why) keeps the scope on environment
+	// enumeration. Compiled lazily on first production.
+	plan       *scopePlan
+	planTried  bool
+	planReason string
 	// fullOn marks eq predicates routed to a FULL-join node's ON list.
 	// Those must not restrict leaf enumeration: a full join's unmatched
 	// rows null-extend on both sides with no ON re-check, so probing by

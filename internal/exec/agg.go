@@ -24,6 +24,9 @@ const (
 	Min
 	// Max is the greatest non-NULL column value.
 	Max
+	// CountCol counts non-NULL values of the column (SQL count(col),
+	// where Count is count(*)).
+	CountCol
 )
 
 // String names the function for error messages.
@@ -41,6 +44,8 @@ func (f AggFunc) String() string {
 		return "min"
 	case Max:
 		return "max"
+	case CountCol:
+		return "count-col"
 	}
 	return fmt.Sprintf("agg(%d)", int(f))
 }
@@ -74,12 +79,11 @@ func GroupAggregate(in Seq, keyCols []int, aggs []Agg, conv convention.Conventio
 	return func(yield func(relation.Tuple, int) bool) {
 		type grp struct {
 			key    relation.Tuple
-			states []*aggState
+			states []aggState
 		}
-		newStates := func() []*aggState {
-			sts := make([]*aggState, len(aggs))
+		newStates := func() []aggState {
+			sts := make([]aggState, len(aggs))
 			for i := range sts {
-				sts[i] = &aggState{}
 				if aggs[i].Func == CountDistinct {
 					sts[i].distinct = map[string]bool{}
 				}
@@ -91,6 +95,7 @@ func GroupAggregate(in Seq, keyCols []int, aggs []Agg, conv convention.Conventio
 		if len(keyCols) == 0 {
 			groups = append(groups, &grp{key: relation.Tuple{}, states: newStates()})
 		}
+		var kb []byte
 		for t, m := range in {
 			w := m
 			if conv.Semantics == convention.Set {
@@ -100,15 +105,19 @@ func GroupAggregate(in Seq, keyCols []int, aggs []Agg, conv convention.Conventio
 			if len(keyCols) == 0 {
 				g = groups[0]
 			} else {
-				k := keyAt(t, keyCols)
-				i, ok := index[k]
+				kb = kb[:0]
+				for _, c := range keyCols {
+					kb = t[c].AppendKey(kb)
+					kb = append(kb, '\x1f')
+				}
+				i, ok := index[string(kb)]
 				if !ok {
 					key := make(relation.Tuple, len(keyCols))
 					for j, c := range keyCols {
 						key[j] = t[c]
 					}
 					i = len(groups)
-					index[k] = i
+					index[string(kb)] = i
 					groups = append(groups, &grp{key: key, states: newStates()})
 				}
 				g = groups[i]
@@ -130,7 +139,8 @@ func GroupAggregate(in Seq, keyCols []int, aggs []Agg, conv convention.Conventio
 	}
 }
 
-// observe folds one weighted input row into the state.
+// observe folds one weighted input row into the state, maintaining only
+// what the aggregate function needs.
 func (st *aggState) observe(a Agg, t relation.Tuple, w int) {
 	if a.Func == Count {
 		st.count += w
@@ -142,35 +152,52 @@ func (st *aggState) observe(a Agg, t relation.Tuple, w int) {
 		return // SQL aggregates ignore NULL inputs
 	}
 	st.count += w
-	if st.distinct != nil {
-		st.distinct[v.Key()] = true
-	}
-	contrib := v
-	if w > 1 {
-		if c, ok := value.Mul(v, value.Int(int64(w))); ok {
-			contrib = c
-		}
-	}
-	if !st.haveAny {
-		st.sum, st.min, st.max = contrib, v, v
+	switch a.Func {
+	case CountCol:
 		st.haveAny = true
-		return
-	}
-	if s, ok := value.Add(st.sum, contrib); ok {
-		st.sum = s
-	}
-	if c, ok := v.Compare(st.min); ok && c < 0 {
-		st.min = v
-	}
-	if c, ok := v.Compare(st.max); ok && c > 0 {
-		st.max = v
+	case CountDistinct:
+		st.distinct[v.Key()] = true
+		st.haveAny = true
+	case Sum, Avg:
+		contrib := v
+		if w > 1 {
+			if c, ok := value.Mul(v, value.Int(int64(w))); ok {
+				contrib = c
+			}
+		}
+		if !st.haveAny {
+			st.sum = contrib
+			st.haveAny = true
+			return
+		}
+		if s, ok := value.Add(st.sum, contrib); ok {
+			st.sum = s
+		}
+	case Min:
+		if !st.haveAny {
+			st.min = v
+			st.haveAny = true
+			return
+		}
+		if c, ok := v.Compare(st.min); ok && c < 0 {
+			st.min = v
+		}
+	case Max:
+		if !st.haveAny {
+			st.max = v
+			st.haveAny = true
+			return
+		}
+		if c, ok := v.Compare(st.max); ok && c > 0 {
+			st.max = v
+		}
 	}
 }
 
 // result finalizes the state into the aggregate's output value.
 func (st *aggState) result(a Agg, conv convention.Conventions) value.Value {
 	switch a.Func {
-	case Count:
+	case Count, CountCol:
 		return value.Int(int64(st.count))
 	case CountDistinct:
 		return value.Int(int64(len(st.distinct)))

@@ -5,12 +5,12 @@
 // Relation maintains per attribute set, so an indexed join is one hash
 // lookup per probe row rather than a nested full scan.
 //
-// The three evaluators (internal/eval, internal/sqleval,
-// internal/datalog) currently drive their enumeration hot paths through
-// Scan and Probe — their binding/environment representations are not
-// tuple-shaped yet, so the join and γ operators here serve as the layer's
-// property-tested API surface for the planned tuple-level compilation
-// (see ROADMAP "Open items") and the micro-benchmarks.
+// All three evaluators lower onto this layer: internal/plan compiles SQL
+// blocks into trees of these operators (EquiJoin/OuterHashJoin over
+// HashTable, GroupAggregate, Filter, Dedup), internal/eval compiles ARC
+// quantifier scopes onto the same pipeline, and internal/datalog drives
+// its semi-naive rounds through Scan/Probe. The enumeration fallbacks of
+// the evaluators use Scan/Probe directly.
 package exec
 
 import (
@@ -77,12 +77,13 @@ func Project(in Seq, cols []int) Seq {
 func Dedup(in Seq) Seq {
 	return func(yield func(relation.Tuple, int) bool) {
 		seen := map[string]bool{}
+		var kb []byte
 		for t, _ := range in {
-			k := t.Key()
-			if seen[k] {
+			kb = t.AppendKey(kb[:0])
+			if seen[string(kb)] {
 				continue
 			}
-			seen[k] = true
+			seen[string(kb)] = true
 			if !yield(t, 1) {
 				return
 			}

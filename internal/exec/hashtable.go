@@ -1,0 +1,229 @@
+package exec
+
+import (
+	"repro/internal/relation"
+	"repro/internal/value"
+)
+
+// HashTable is a materialized, hash-indexed build side for tuple joins:
+// the planner's unit of join compilation. Rows are bucketed by the
+// value.Key of their key columns; rows whose key contains a value that is
+// not Indexable (integral numerics beyond 2^53, where Key identity is
+// finer than Eq) go to an overflow list that every lookup scans, so a
+// candidate set is complete under Eq even where hashing is not.
+// Candidates are a superset of the Eq matches — callers re-check with
+// EqMatch (strict 3VL True, so NULL keys never join).
+type HashTable struct {
+	cols     []int
+	rows     []Row
+	buckets  map[string][]int
+	overflow []int
+	arity    int
+}
+
+// BuildHashTable drains in into a hash table keyed on cols. arity is the
+// tuple width of the build side (needed for null-extension when the input
+// is empty).
+func BuildHashTable(in Seq, cols []int, arity int) *HashTable {
+	ht := &HashTable{
+		cols:    append([]int(nil), cols...),
+		buckets: map[string][]int{},
+		arity:   arity,
+	}
+	for t, m := range in {
+		slot := len(ht.rows)
+		ht.rows = append(ht.rows, Row{Tup: t.Clone(), Mult: m})
+		indexable := true
+		for _, c := range cols {
+			if !t[c].Indexable() {
+				indexable = false
+				break
+			}
+		}
+		if indexable {
+			k := keyAt(t, cols)
+			ht.buckets[k] = append(ht.buckets[k], slot)
+		} else {
+			ht.overflow = append(ht.overflow, slot)
+		}
+	}
+	return ht
+}
+
+// Len returns the number of distinct build rows.
+func (ht *HashTable) Len() int { return len(ht.rows) }
+
+// Arity returns the build-side tuple width.
+func (ht *HashTable) Arity() int { return ht.arity }
+
+// Rows returns the build rows in build order (callers must not mutate).
+func (ht *HashTable) Rows() []Row { return ht.rows }
+
+// Candidates calls f with (slot, row) for every build row that may
+// Eq-match vals on the key columns: the Key bucket plus the overflow list
+// when every probe value is indexable, or every row otherwise. With no
+// key columns every row is a candidate (the cross-join degenerate case).
+// f returning false stops the enumeration.
+func (ht *HashTable) Candidates(vals []value.Value, f func(slot int, r Row) bool) {
+	if len(ht.cols) == 0 {
+		for i, r := range ht.rows {
+			if !f(i, r) {
+				return
+			}
+		}
+		return
+	}
+	for _, v := range vals {
+		if !v.Indexable() {
+			for i, r := range ht.rows {
+				if !f(i, r) {
+					return
+				}
+			}
+			return
+		}
+	}
+	var kb [64]byte
+	for _, i := range ht.buckets[string(relation.Tuple(vals).AppendKey(kb[:0]))] {
+		if !f(i, ht.rows[i]) {
+			return
+		}
+	}
+	for _, i := range ht.overflow {
+		if !f(i, ht.rows[i]) {
+			return
+		}
+	}
+}
+
+// EqMatch reports whether row r's key columns all strictly equal vals
+// under 3VL (Eq must be True, so NULLs never match — SQL join identity,
+// unlike the Key identity HashJoin uses).
+func (ht *HashTable) EqMatch(r Row, vals []value.Value) bool {
+	for i, c := range ht.cols {
+		if value.Eq.Apply(r.Tup[c], vals[i]) != value.True {
+			return false
+		}
+	}
+	return true
+}
+
+// valsAt extracts the probe key of t at cols into dst.
+func valsAt(t relation.Tuple, cols []int, dst []value.Value) []value.Value {
+	dst = dst[:0]
+	for _, c := range cols {
+		dst = append(dst, t[c])
+	}
+	return dst
+}
+
+// concatNull builds left ++ right where either side may be nil, in which
+// case it is replaced by arity NULLs (outer-join null extension).
+func concatNull(left relation.Tuple, leftArity int, right relation.Tuple, rightArity int) relation.Tuple {
+	out := make(relation.Tuple, 0, leftArity+rightArity)
+	if left == nil {
+		for i := 0; i < leftArity; i++ {
+			out = append(out, value.Null())
+		}
+	} else {
+		out = append(out, left...)
+	}
+	if right == nil {
+		for i := 0; i < rightArity; i++ {
+			out = append(out, value.Null())
+		}
+	} else {
+		out = append(out, right...)
+	}
+	return out
+}
+
+// EquiJoin streams the strict-equality hash join of left against ht:
+// left ++ right concatenations for every candidate whose key columns
+// Eq-match (3VL True) the left row's values at leftCols, optionally
+// filtered by the residual on predicate over the concatenated tuple.
+// Unlike HashJoin, NULL keys never match and Eq-vs-Key divergence beyond
+// 2^53 is handled by ht's overflow list.
+func EquiJoin(left Seq, leftCols []int, ht *HashTable, on func(relation.Tuple) bool) Seq {
+	return func(yield func(relation.Tuple, int) bool) {
+		vals := make([]value.Value, 0, len(leftCols))
+		for lt, lm := range left {
+			vals = valsAt(lt, leftCols, vals)
+			stop := false
+			ht.Candidates(vals, func(_ int, r Row) bool {
+				if !ht.EqMatch(r, vals) {
+					return true
+				}
+				out := concatNull(lt, len(lt), r.Tup, ht.arity)
+				if on != nil && !on(out) {
+					return true
+				}
+				if !yield(out, lm*r.Mult) {
+					stop = true
+					return false
+				}
+				return true
+			})
+			if stop {
+				return
+			}
+		}
+	}
+}
+
+// OuterHashJoin streams the left-outer (full=false) or full-outer
+// (full=true) hash join of left against ht. A left row joins every
+// candidate whose keys Eq-match and whose concatenated tuple passes the
+// residual on predicate (nil = always); rows with no match null-extend
+// the build side. Under full=true, unmatched build rows are emitted
+// null-extended on the probe side after the probe input drains.
+func OuterHashJoin(left Seq, leftCols []int, ht *HashTable, on func(relation.Tuple) bool, full bool, leftArity int) Seq {
+	return func(yield func(relation.Tuple, int) bool) {
+		var matched []bool
+		if full {
+			matched = make([]bool, len(ht.rows))
+		}
+		vals := make([]value.Value, 0, len(leftCols))
+		for lt, lm := range left {
+			vals = valsAt(lt, leftCols, vals)
+			any := false
+			stop := false
+			ht.Candidates(vals, func(slot int, r Row) bool {
+				if !ht.EqMatch(r, vals) {
+					return true
+				}
+				out := concatNull(lt, len(lt), r.Tup, ht.arity)
+				if on != nil && !on(out) {
+					return true
+				}
+				any = true
+				if full {
+					matched[slot] = true
+				}
+				if !yield(out, lm*r.Mult) {
+					stop = true
+					return false
+				}
+				return true
+			})
+			if stop {
+				return
+			}
+			if !any {
+				if !yield(concatNull(lt, len(lt), nil, ht.arity), lm) {
+					return
+				}
+			}
+		}
+		if full {
+			for slot, r := range ht.rows {
+				if matched[slot] {
+					continue
+				}
+				if !yield(concatNull(nil, leftArity, r.Tup, ht.arity), r.Mult) {
+					return
+				}
+			}
+		}
+	}
+}

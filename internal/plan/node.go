@@ -1,0 +1,678 @@
+// Package plan is the tuple-level query planner: it compiles SQL
+// SELECT/UNION blocks (internal/sql) — FROM join trees, WHERE with
+// decorrelatable IN/EXISTS/NOT IN subqueries, GROUP BY / HAVING, DISTINCT
+// — into trees of the streaming physical operators in internal/exec,
+// instead of the per-row environment enumeration the reference evaluator
+// uses. Every plan renders an EXPLAIN-style string (golden-testable), and
+// the compiled fragment is differentially verified byte-identical against
+// the enumeration path over the qgen corpus. Queries outside the fragment
+// fail compilation with ErrNotPlannable and callers fall back to
+// enumeration, so planning is always semantics-preserving.
+//
+// internal/eval performs the analogous compilation for ARC quantifier
+// scopes (see eval.ExplainCollection); both lower onto the same exec
+// operators.
+package plan
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/convention"
+	"repro/internal/exec"
+	"repro/internal/relation"
+	"repro/internal/value"
+)
+
+// ErrNotPlannable marks queries outside the compiled fragment; callers
+// fall back to the enumeration evaluator (which also owns user-facing
+// error reporting for genuinely invalid queries).
+var ErrNotPlannable = errors.New("not plannable")
+
+// notPlannable builds a wrapped ErrNotPlannable with a reason.
+func notPlannable(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrNotPlannable, fmt.Sprintf(format, args...))
+}
+
+// ColID identifies one column of an intermediate schema: the binding
+// alias and column name, or a computed column with an empty Rel.
+type ColID struct {
+	Rel, Col string
+}
+
+// String renders "rel.col" or the bare column name.
+func (c ColID) String() string {
+	if c.Rel == "" {
+		return c.Col
+	}
+	return c.Rel + "." + c.Col
+}
+
+// runCtx carries runtime state through one plan execution: the first
+// error raised by a compiled expression aborts the run.
+type runCtx struct {
+	err error
+}
+
+// fail records the first runtime error.
+func (c *runCtx) fail(err error) {
+	if c.err == nil {
+		c.err = err
+	}
+}
+
+// exprFn is a compiled scalar expression over one tuple shape. Errors are
+// reported through ctx and the result is NULL.
+type exprFn func(t relation.Tuple, ctx *runCtx) value.Value
+
+// predFn is a compiled predicate under three-valued logic.
+type predFn func(t relation.Tuple, ctx *runCtx) value.TV
+
+// Node is one physical operator of a compiled plan.
+type Node interface {
+	// Schema lists the output columns.
+	Schema() []ColID
+	// Run streams the operator's output tuples. Implementations stop
+	// early once ctx.err is set.
+	Run(ctx *runCtx) exec.Seq
+	// writeExplain renders the operator subtree at the given depth.
+	writeExplain(b *strings.Builder, depth int)
+}
+
+func indent(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+}
+
+// Plan is a compiled query: a physical root plus the output column names
+// of the final result relation.
+type Plan struct {
+	root  Node
+	attrs []string
+}
+
+// Attrs returns the output column names.
+func (p *Plan) Attrs() []string { return p.attrs }
+
+// Explain renders the plan tree, one operator per line.
+func (p *Plan) Explain() string {
+	var b strings.Builder
+	p.root.writeExplain(&b, 0)
+	return b.String()
+}
+
+// Execute runs the plan and materializes the result relation (named
+// "result", like the reference evaluator's output).
+func (p *Plan) Execute() (*relation.Relation, error) {
+	ctx := &runCtx{}
+	out := relation.New("result", p.attrs...)
+	for t, m := range p.root.Run(ctx) {
+		if ctx.err != nil {
+			break
+		}
+		out.InsertMult(t, m)
+	}
+	if ctx.err != nil {
+		return nil, ctx.err
+	}
+	return out, nil
+}
+
+// run streams the plan root (used when a plan is a subtree of another —
+// derived tables and semi-join build sides share the enclosing ctx).
+func (p *Plan) run(ctx *runCtx) exec.Seq {
+	return p.root.Run(ctx)
+}
+
+// --- Leaves ---------------------------------------------------------------
+
+// scanNode streams a base relation, optionally restricted by an index
+// probe on constant equality columns pushed down from WHERE.
+type scanNode struct {
+	rel       *relation.Relation
+	alias     string
+	schema    []ColID
+	probeCols []int
+	probeVals []value.Value
+	probeStrs []string
+}
+
+func newScanNode(rel *relation.Relation, alias string) *scanNode {
+	n := &scanNode{rel: rel, alias: alias}
+	for _, a := range rel.Attrs() {
+		n.schema = append(n.schema, ColID{Rel: alias, Col: a})
+	}
+	return n
+}
+
+func (n *scanNode) Schema() []ColID { return n.schema }
+
+func (n *scanNode) Run(_ *runCtx) exec.Seq {
+	if len(n.probeCols) > 0 {
+		return exec.Probe(n.rel, n.probeCols, n.probeVals)
+	}
+	return exec.Scan(n.rel)
+}
+
+func (n *scanNode) writeExplain(b *strings.Builder, depth int) {
+	indent(b, depth)
+	b.WriteString("Scan ")
+	b.WriteString(n.rel.Name())
+	if n.alias != n.rel.Name() {
+		b.WriteString(" as ")
+		b.WriteString(n.alias)
+	}
+	if len(n.probeStrs) > 0 {
+		fmt.Fprintf(b, " probe(%s)", strings.Join(n.probeStrs, ", "))
+	}
+	b.WriteString("\n")
+}
+
+// valuesNode yields a single empty tuple — the FROM-less SELECT source.
+type valuesNode struct{}
+
+func (valuesNode) Schema() []ColID { return nil }
+
+func (valuesNode) Run(_ *runCtx) exec.Seq {
+	return func(yield func(relation.Tuple, int) bool) {
+		yield(relation.Tuple{}, 1)
+	}
+}
+
+func (valuesNode) writeExplain(b *strings.Builder, depth int) {
+	indent(b, depth)
+	b.WriteString("Values (1 row)\n")
+}
+
+// derivedNode materializes a subquery plan as a named relation (derived
+// table / CTE-style FROM subquery) and streams it, making it probe-able
+// by the joins above it.
+type derivedNode struct {
+	sub    *Plan
+	alias  string
+	schema []ColID
+}
+
+func newDerivedNode(sub *Plan, alias string) *derivedNode {
+	n := &derivedNode{sub: sub, alias: alias}
+	for _, a := range sub.attrs {
+		n.schema = append(n.schema, ColID{Rel: alias, Col: a})
+	}
+	return n
+}
+
+func (n *derivedNode) Schema() []ColID { return n.schema }
+
+func (n *derivedNode) Run(ctx *runCtx) exec.Seq {
+	return func(yield func(relation.Tuple, int) bool) {
+		for t, m := range n.sub.run(ctx) {
+			if ctx.err != nil {
+				return
+			}
+			if !yield(t, m) {
+				return
+			}
+		}
+	}
+}
+
+func (n *derivedNode) writeExplain(b *strings.Builder, depth int) {
+	indent(b, depth)
+	fmt.Fprintf(b, "Derived as %s\n", n.alias)
+	n.sub.root.writeExplain(b, depth+1)
+}
+
+// --- Joins ----------------------------------------------------------------
+
+// joinKind enumerates the physical join flavours.
+type joinKind int
+
+const (
+	joinInner joinKind = iota
+	joinLeft
+	joinFull
+)
+
+func (k joinKind) String() string {
+	switch k {
+	case joinInner:
+		return "INNER"
+	case joinLeft:
+		return "LEFT"
+	case joinFull:
+		return "FULL"
+	}
+	return "?"
+}
+
+// hashJoinNode joins two subtrees: the right side is materialized into an
+// exec.HashTable on its key columns, the left side streams and probes.
+// Key equality is strict (3VL True) and the residual ON predicate is
+// evaluated over the concatenated tuple; LEFT/FULL kinds null-extend
+// unmatched rows per SQL outer-join semantics.
+type hashJoinNode struct {
+	kind        joinKind
+	left, right Node
+	leftCols    []int
+	rightCols   []int
+	keyStrs     []string
+	residual    predFn
+	residualStr string
+	schema      []ColID
+}
+
+func newHashJoinNode(kind joinKind, left, right Node) *hashJoinNode {
+	n := &hashJoinNode{kind: kind, left: left, right: right}
+	n.schema = append(append([]ColID(nil), left.Schema()...), right.Schema()...)
+	return n
+}
+
+func (n *hashJoinNode) Schema() []ColID { return n.schema }
+
+func (n *hashJoinNode) Run(ctx *runCtx) exec.Seq {
+	ht := exec.BuildHashTable(n.right.Run(ctx), n.rightCols, len(n.right.Schema()))
+	var on func(relation.Tuple) bool
+	if n.residual != nil {
+		on = func(t relation.Tuple) bool {
+			if ctx.err != nil {
+				return false
+			}
+			return n.residual(t, ctx).Holds()
+		}
+	}
+	left := guard(n.left.Run(ctx), ctx)
+	switch n.kind {
+	case joinLeft:
+		return exec.OuterHashJoin(left, n.leftCols, ht, on, false, len(n.left.Schema()))
+	case joinFull:
+		return exec.OuterHashJoin(left, n.leftCols, ht, on, true, len(n.left.Schema()))
+	}
+	return exec.EquiJoin(left, n.leftCols, ht, on)
+}
+
+func (n *hashJoinNode) writeExplain(b *strings.Builder, depth int) {
+	indent(b, depth)
+	if len(n.keyStrs) == 0 {
+		fmt.Fprintf(b, "CrossJoin %s", n.kind)
+	} else {
+		fmt.Fprintf(b, "HashJoin %s (%s)", n.kind, strings.Join(n.keyStrs, ", "))
+	}
+	if n.residualStr != "" {
+		fmt.Fprintf(b, " residual(%s)", n.residualStr)
+	}
+	b.WriteString("\n")
+	n.left.writeExplain(b, depth+1)
+	n.right.writeExplain(b, depth+1)
+}
+
+// guard stops a stream once ctx carries an error.
+func guard(in exec.Seq, ctx *runCtx) exec.Seq {
+	return func(yield func(relation.Tuple, int) bool) {
+		for t, m := range in {
+			if ctx.err != nil {
+				return
+			}
+			if !yield(t, m) {
+				return
+			}
+		}
+	}
+}
+
+// semiJoinNode filters the input by a decorrelated subquery: the
+// subquery's correlation columns are materialized into a hash table and
+// each input row probes with its correlated expressions. mode selects
+// EXISTS (at least one strict-Eq candidate), or IN (three-valued
+// membership of inExpr among candidates' in-column — the SQL [NOT] IN
+// NULL semantics fall out of the 3VL fold).
+type semiJoinNode struct {
+	input     Node
+	sub       *Plan
+	subCols   []int // correlation columns of the subquery projection
+	probes    []exprFn
+	probeStrs []string
+	inExpr    exprFn // nil for EXISTS
+	inCol     int    // membership column of the subquery projection
+	inStr     string
+	negated   bool
+}
+
+func (n *semiJoinNode) Schema() []ColID { return n.input.Schema() }
+
+func (n *semiJoinNode) Run(ctx *runCtx) exec.Seq {
+	if n.inExpr != nil && len(n.subCols) == 0 {
+		return n.runUncorrelatedIn(ctx)
+	}
+	return func(yield func(relation.Tuple, int) bool) {
+		ht := exec.BuildHashTable(n.sub.run(ctx), n.subCols, len(n.sub.attrs))
+		vals := make([]value.Value, len(n.probes))
+		for t, m := range n.input.Run(ctx) {
+			if ctx.err != nil {
+				return
+			}
+			for i, p := range n.probes {
+				vals[i] = p(t, ctx)
+			}
+			if ctx.err != nil {
+				return
+			}
+			var tv value.TV
+			if n.inExpr == nil {
+				// EXISTS: any strict-Eq candidate suffices.
+				tv = value.False
+				ht.Candidates(vals, func(_ int, r exec.Row) bool {
+					if ht.EqMatch(r, vals) {
+						tv = value.True
+						return false
+					}
+					return true
+				})
+			} else {
+				// IN: 3VL OR-fold of (inExpr = candidate) over the
+				// correlated candidates.
+				x := n.inExpr(t, ctx)
+				if ctx.err != nil {
+					return
+				}
+				tv = value.False
+				ht.Candidates(vals, func(_ int, r exec.Row) bool {
+					if !ht.EqMatch(r, vals) {
+						return true
+					}
+					tv = tv.Or(value.Eq.Apply(x, r.Tup[n.inCol]))
+					return tv != value.True
+				})
+			}
+			if n.negated {
+				tv = tv.Not()
+			}
+			if !tv.Holds() {
+				continue
+			}
+			if !yield(t, m) {
+				return
+			}
+		}
+	}
+}
+
+// runUncorrelatedIn hashes the membership column itself — with no
+// correlation keys, the generic path would rescan every subquery row per
+// input row. The 3VL fold collapses to: any strict-Eq match → True; else
+// Unknown when the subquery is non-empty and contains a NULL or the
+// probe is NULL; else False (True only after negation flips).
+func (n *semiJoinNode) runUncorrelatedIn(ctx *runCtx) exec.Seq {
+	return func(yield func(relation.Tuple, int) bool) {
+		ht := exec.BuildHashTable(n.sub.run(ctx), []int{n.inCol}, len(n.sub.attrs))
+		hasNull := false
+		for _, r := range ht.Rows() {
+			if r.Tup[n.inCol].IsNull() {
+				hasNull = true
+				break
+			}
+		}
+		vals := make([]value.Value, 1)
+		for t, m := range n.input.Run(ctx) {
+			if ctx.err != nil {
+				return
+			}
+			vals[0] = n.inExpr(t, ctx)
+			if ctx.err != nil {
+				return
+			}
+			tv := value.False
+			if ht.Len() > 0 {
+				matched := false
+				ht.Candidates(vals, func(_ int, r exec.Row) bool {
+					if ht.EqMatch(r, vals) {
+						matched = true
+						return false
+					}
+					return true
+				})
+				switch {
+				case matched:
+					tv = value.True
+				case hasNull || vals[0].IsNull():
+					tv = value.Unknown
+				}
+			}
+			if n.negated {
+				tv = tv.Not()
+			}
+			if !tv.Holds() {
+				continue
+			}
+			if !yield(t, m) {
+				return
+			}
+		}
+	}
+}
+
+func (n *semiJoinNode) writeExplain(b *strings.Builder, depth int) {
+	indent(b, depth)
+	op := "SemiJoin"
+	word := "EXISTS"
+	if n.negated {
+		op = "AntiJoin"
+		word = "NOT EXISTS"
+	}
+	if n.inExpr != nil {
+		word = "IN"
+		if n.negated {
+			word = "NOT IN"
+		}
+	}
+	fmt.Fprintf(b, "%s %s", op, word)
+	if n.inStr != "" {
+		fmt.Fprintf(b, " (%s)", n.inStr)
+	}
+	if len(n.probeStrs) > 0 {
+		fmt.Fprintf(b, " corr(%s)", strings.Join(n.probeStrs, ", "))
+	}
+	b.WriteString("\n")
+	n.input.writeExplain(b, depth+1)
+	n.sub.root.writeExplain(b, depth+1)
+}
+
+// --- Tuple-at-a-time operators --------------------------------------------
+
+// filterNode keeps rows whose predicate is True (σ under 3VL).
+type filterNode struct {
+	input Node
+	pred  predFn
+	str   string
+}
+
+func (n *filterNode) Schema() []ColID { return n.input.Schema() }
+
+func (n *filterNode) Run(ctx *runCtx) exec.Seq {
+	return exec.Filter(guard(n.input.Run(ctx), ctx), func(t relation.Tuple, _ int) bool {
+		if ctx.err != nil {
+			return false
+		}
+		return n.pred(t, ctx).Holds()
+	})
+}
+
+func (n *filterNode) writeExplain(b *strings.Builder, depth int) {
+	indent(b, depth)
+	fmt.Fprintf(b, "Filter (%s)\n", n.str)
+	n.input.writeExplain(b, depth+1)
+}
+
+// projectNode computes the output expressions (π with computation).
+type projectNode struct {
+	input  Node
+	exprs  []exprFn
+	schema []ColID
+}
+
+func newProjectNode(input Node, exprs []exprFn, names []string) *projectNode {
+	n := &projectNode{input: input, exprs: exprs}
+	for _, name := range names {
+		n.schema = append(n.schema, ColID{Col: name})
+	}
+	return n
+}
+
+func (n *projectNode) Schema() []ColID { return n.schema }
+
+func (n *projectNode) Run(ctx *runCtx) exec.Seq {
+	return func(yield func(relation.Tuple, int) bool) {
+		for t, m := range n.input.Run(ctx) {
+			if ctx.err != nil {
+				return
+			}
+			out := make(relation.Tuple, len(n.exprs))
+			for i, e := range n.exprs {
+				out[i] = e(t, ctx)
+			}
+			if ctx.err != nil {
+				return
+			}
+			if !yield(out, m) {
+				return
+			}
+		}
+	}
+}
+
+func (n *projectNode) writeExplain(b *strings.Builder, depth int) {
+	indent(b, depth)
+	cols := make([]string, len(n.schema))
+	for i, c := range n.schema {
+		cols[i] = c.Col
+	}
+	fmt.Fprintf(b, "Project [%s]\n", strings.Join(cols, ", "))
+	n.input.writeExplain(b, depth+1)
+}
+
+// dedupNode collapses duplicates (DISTINCT / UNION set semantics).
+type dedupNode struct {
+	input Node
+}
+
+func (n *dedupNode) Schema() []ColID { return n.input.Schema() }
+
+func (n *dedupNode) Run(ctx *runCtx) exec.Seq {
+	return exec.Dedup(guard(n.input.Run(ctx), ctx))
+}
+
+func (n *dedupNode) writeExplain(b *strings.Builder, depth int) {
+	indent(b, depth)
+	b.WriteString("Dedup\n")
+	n.input.writeExplain(b, depth+1)
+}
+
+// unionNode concatenates its inputs (UNION ALL; the set UNION adds a
+// dedupNode above).
+type unionNode struct {
+	kids []Node
+}
+
+func (n *unionNode) Schema() []ColID { return n.kids[0].Schema() }
+
+func (n *unionNode) Run(ctx *runCtx) exec.Seq {
+	return func(yield func(relation.Tuple, int) bool) {
+		for _, k := range n.kids {
+			for t, m := range k.Run(ctx) {
+				if ctx.err != nil {
+					return
+				}
+				if !yield(t, m) {
+					return
+				}
+			}
+		}
+	}
+}
+
+func (n *unionNode) writeExplain(b *strings.Builder, depth int) {
+	indent(b, depth)
+	b.WriteString("UnionAll\n")
+	for _, k := range n.kids {
+		k.writeExplain(b, depth+1)
+	}
+}
+
+// aggSpec is one aggregate column of a groupNode.
+type aggSpec struct {
+	fn      exec.AggFunc
+	arg     exprFn // nil for count(*)
+	name    string // surface aggregate name, for error messages
+	str     string // rendered form, for EXPLAIN and post-group matching
+	numeric bool   // sum/avg: non-null inputs must be numeric
+}
+
+// groupNode is γ: it projects each input row to [keys..., agg args...],
+// streams through exec.GroupAggregate, and emits [keys..., agg values...]
+// per group. Grouping with no keys emits exactly one group even over
+// empty input (implicit grouping).
+type groupNode struct {
+	input   Node
+	keys    []exprFn
+	keyStrs []string
+	aggs    []aggSpec
+	conv    convention.Conventions
+	schema  []ColID
+}
+
+func (n *groupNode) Schema() []ColID { return n.schema }
+
+func (n *groupNode) Run(ctx *runCtx) exec.Seq {
+	pre := func(yield func(relation.Tuple, int) bool) {
+		// GroupAggregate copies key values and folds aggregate inputs
+		// immediately, so the projection scratch tuple is reusable.
+		scratch := make(relation.Tuple, 0, len(n.keys)+len(n.aggs))
+		for t, m := range n.input.Run(ctx) {
+			if ctx.err != nil {
+				return
+			}
+			out := scratch[:0]
+			for _, k := range n.keys {
+				out = append(out, k(t, ctx))
+			}
+			for _, a := range n.aggs {
+				if a.arg == nil {
+					out = append(out, value.Null())
+					continue
+				}
+				v := a.arg(t, ctx)
+				if a.numeric && !v.IsNull() && !v.IsNumeric() {
+					ctx.fail(fmt.Errorf("%s over non-numeric value %v", a.name, v))
+				}
+				out = append(out, v)
+			}
+			if ctx.err != nil {
+				return
+			}
+			if !yield(out, m) {
+				return
+			}
+		}
+	}
+	keyCols := make([]int, len(n.keys))
+	for i := range n.keys {
+		keyCols[i] = i
+	}
+	aggs := make([]exec.Agg, len(n.aggs))
+	for i, a := range n.aggs {
+		aggs[i] = exec.Agg{Func: a.fn, Col: len(n.keys) + i}
+	}
+	return exec.GroupAggregate(pre, keyCols, aggs, n.conv)
+}
+
+func (n *groupNode) writeExplain(b *strings.Builder, depth int) {
+	indent(b, depth)
+	aggStrs := make([]string, len(n.aggs))
+	for i, a := range n.aggs {
+		aggStrs[i] = a.str
+	}
+	fmt.Fprintf(b, "GroupAggregate keys=[%s] aggs=[%s]\n",
+		strings.Join(n.keyStrs, ", "), strings.Join(aggStrs, ", "))
+	n.input.writeExplain(b, depth+1)
+}

@@ -1,0 +1,109 @@
+package qgen
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/convention"
+	"repro/internal/eval"
+	"repro/internal/plan"
+	"repro/internal/sql"
+	"repro/internal/sql2arc"
+	"repro/internal/sqleval"
+	"repro/internal/workload"
+)
+
+// TestPlannerDifferentialSQL is the planner acceptance property: over
+// thousands of random queries, the plan-compiled path must return
+// byte-identical results (canonical rendering, so attribute names and
+// multiplicities included) to the pre-planner enumeration path — and the
+// core qgen grammar must actually be planner-compiled, not silently
+// falling back.
+func TestPlannerDifferentialSQL(t *testing.T) {
+	rng := workload.Rand(20260730)
+	planned, total := 0, 0
+	trial := func(i int, src string) {
+		t.Helper()
+		inst := RandomInstance(rng, 12, i%3 == 0)
+		db := sqleval.DB{}
+		for _, r := range inst.Relations() {
+			db[r.Name()] = r
+		}
+		q, err := sql.Parse(src)
+		if err != nil {
+			t.Fatalf("trial %d: parse %q: %v", i, src, err)
+		}
+		want, err := sqleval.EvalMode(q, db, sqleval.PlanOff)
+		if err != nil {
+			t.Fatalf("trial %d: enumeration rejected %q: %v", i, src, err)
+		}
+		total++
+		if _, cerr := plan.Compile(q, db); cerr == nil {
+			planned++
+		} else if !errors.Is(cerr, plan.ErrNotPlannable) {
+			t.Fatalf("trial %d: compile error does not wrap ErrNotPlannable: %q: %v", i, src, cerr)
+		}
+		got, err := sqleval.EvalMode(q, db, sqleval.PlanAuto)
+		if err != nil {
+			t.Fatalf("trial %d: planner path failed on %q: %v", i, src, err)
+		}
+		if got.String() != want.String() {
+			t.Fatalf("trial %d: planner divergence on %q\nenumeration:\n%s\nplanner:\n%s",
+				i, src, want, got)
+		}
+	}
+	for i := 0; i < 3000; i++ {
+		trial(i, Generate(rng))
+	}
+	corePlanned := planned
+	if corePlanned < total*95/100 {
+		t.Fatalf("planner compiled only %d/%d core-grammar queries", corePlanned, total)
+	}
+	for i := 0; i < 1000; i++ {
+		trial(3000+i, GenerateJoins(rng))
+	}
+	t.Logf("planner compiled %d/%d queries (core grammar: %d/3000)", planned, total, corePlanned)
+	if planned < 3000 {
+		t.Fatalf("fewer than 3000 planner-compiled queries were differentially verified (%d)", planned)
+	}
+}
+
+// TestScopeCompilerDifferentialARC pins the ARC side of the same
+// property: the tuple-compiled quantifier scopes must agree with the
+// environment enumeration path over the random corpus. (The experiment
+// goldens cover the paper's example corpus; here the two eval paths are
+// compared directly.)
+func TestScopeCompilerDifferentialARC(t *testing.T) {
+	rng := workload.Rand(424242)
+	compiledSame := 0
+	for i := 0; i < 400; i++ {
+		src := Generate(rng)
+		inst := RandomInstance(rng, 10, i%4 == 0)
+		cat := eval.NewCatalog()
+		for _, r := range inst.Relations() {
+			cat.AddRelation(r)
+		}
+		col, err := sql2arc.TranslateString(src)
+		if err != nil {
+			t.Fatalf("trial %d: sql2arc rejected %q: %v", i, src, err)
+		}
+		eval.DisableScopePlans = true
+		want, errEnum := eval.Eval(col, cat, convention.SQL())
+		eval.DisableScopePlans = false
+		got, errPlan := eval.Eval(col, cat, convention.SQL())
+		if (errEnum == nil) != (errPlan == nil) {
+			t.Fatalf("trial %d: error divergence on %q: enum=%v plan=%v", i, src, errEnum, errPlan)
+		}
+		if errEnum != nil {
+			continue
+		}
+		if got.String() != want.String() {
+			t.Fatalf("trial %d: scope-compiler divergence on %q\nenumeration:\n%s\ncompiled:\n%s",
+				i, src, want, got)
+		}
+		compiledSame++
+	}
+	if compiledSame < 300 {
+		t.Fatalf("too few ARC differential trials completed: %d", compiledSame)
+	}
+}

@@ -143,6 +143,45 @@ func (g *gen) query(top bool) string {
 	return q + tail
 }
 
+// GenerateJoins produces one random query over the same schema whose
+// FROM uses explicit [INNER|LEFT|FULL] JOIN … ON syntax — the corpus the
+// planner-vs-enumeration differential suite uses to stress hashed
+// outer-join compilation (NULL join keys, constant ON conjuncts,
+// residual ON predicates).
+func GenerateJoins(rng *rand.Rand) string {
+	g := &gen{rng: rng}
+	n := 2 + g.rng.Intn(2)
+	var aliasIdx []int
+	for i := 0; i < n; i++ {
+		aliasIdx = append(aliasIdx, g.addAlias())
+	}
+	from := tables[g.tableOf[aliasIdx[0]]].name + " " + g.aliases[aliasIdx[0]]
+	for i := 1; i < n; i++ {
+		kind := []string{"join", "left join", "full join"}[g.rng.Intn(3)]
+		on := fmt.Sprintf("%s = %s", g.col(aliasIdx[i-1]), g.col(aliasIdx[i]))
+		if g.rng.Intn(3) == 0 {
+			on += fmt.Sprintf(" and %s %s %d",
+				g.col(aliasIdx[g.rng.Intn(i+1)]),
+				[]string{"=", "<", ">="}[g.rng.Intn(3)], g.rng.Intn(5))
+		}
+		from += fmt.Sprintf(" %s %s %s on %s",
+			kind, tables[g.tableOf[aliasIdx[i]]].name, g.aliases[aliasIdx[i]], on)
+	}
+	var items []string
+	for i := 0; i < 1+g.rng.Intn(2); i++ {
+		items = append(items, fmt.Sprintf("%s c%d", g.col(g.rng.Intn(n)), i))
+	}
+	q := "select " + strings.Join(items, ", ") + " from " + from
+	var conds []string
+	for k := g.rng.Intn(2); k > 0; k-- {
+		conds = append(conds, g.condition())
+	}
+	if len(conds) > 0 {
+		q += " where " + strings.Join(conds, " and ")
+	}
+	return q
+}
+
 // condition generates one WHERE conjunct.
 func (g *gen) condition() string {
 	switch c := g.rng.Intn(6); {

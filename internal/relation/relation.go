@@ -19,13 +19,16 @@ import (
 type Tuple []value.Value
 
 // Key returns a hashable identity for the tuple.
-func (t Tuple) Key() string {
-	var b strings.Builder
+func (t Tuple) Key() string { return string(t.AppendKey(nil)) }
+
+// AppendKey appends the tuple's Key encoding to b — the allocation-free
+// form used with reusable buffers on hashing hot paths.
+func (t Tuple) AppendKey(b []byte) []byte {
 	for _, v := range t {
-		b.WriteString(v.Key())
-		b.WriteByte('\x1f')
+		b = v.AppendKey(b)
+		b = append(b, '\x1f')
 	}
-	return b.String()
+	return b
 }
 
 // Clone returns a copy that the caller may retain.
@@ -50,10 +53,29 @@ type Relation struct {
 	rows  []row
 	index map[string]int // tuple key -> rows slot
 	// hashIdx caches per-column-set hash indexes for Probe: column-set
-	// signature -> (value key -> row slots). Built lazily, dropped whenever
-	// a new distinct tuple is inserted (multiplicity bumps keep slots
-	// valid, so they do not invalidate).
-	hashIdx map[string]map[string][]int
+	// signature -> index. Built lazily and maintained incrementally:
+	// inserting a new distinct tuple appends its slot to every cached
+	// index's bucket (multiplicity bumps keep slots valid as-is), so the
+	// semi-naive Datalog delta loop and other insert-heavy workloads
+	// never pay for wholesale rebuilds.
+	hashIdx map[string]*hashIndex
+}
+
+// hashIndex is one cached per-column-set hash index.
+type hashIndex struct {
+	cols    []int
+	buckets map[string][]int // column-values key -> row slots
+}
+
+// add appends a newly inserted row slot to the index's bucket.
+func (ix *hashIndex) add(t Tuple, slot int) {
+	var kb [64]byte
+	buf := kb[:0]
+	for _, c := range ix.cols {
+		buf = t[c].AppendKey(buf)
+		buf = append(buf, '\x1f')
+	}
+	ix.buckets[string(buf)] = append(ix.buckets[string(buf)], slot)
 }
 
 // New returns an empty relation with the given name and attributes.
@@ -102,14 +124,20 @@ func (r *Relation) InsertMult(t Tuple, n int) {
 	if n <= 0 {
 		panic("InsertMult: non-positive multiplicity")
 	}
-	k := t.Key()
-	if i, ok := r.index[k]; ok {
+	var kb [128]byte
+	buf := t.AppendKey(kb[:0])
+	if i, ok := r.index[string(buf)]; ok {
 		r.rows[i].mult += n
 		return
 	}
-	r.index[k] = len(r.rows)
+	slot := len(r.rows)
+	r.index[string(buf)] = slot
 	r.rows = append(r.rows, row{tup: t.Clone(), mult: n})
-	r.hashIdx = nil // new distinct tuple: cached hash indexes are stale
+	// New distinct tuple: maintain the cached hash indexes incrementally
+	// instead of dropping them.
+	for _, ix := range r.hashIdx {
+		ix.add(r.rows[slot].tup, slot)
+	}
 }
 
 // Add is a convenience builder: it converts Go literals (int, int64,
@@ -147,7 +175,8 @@ func Lift(v any) value.Value {
 
 // Mult returns the multiplicity of t (0 if absent).
 func (r *Relation) Mult(t Tuple) int {
-	if i, ok := r.index[t.Key()]; ok {
+	var kb [128]byte
+	if i, ok := r.index[string(t.AppendKey(kb[:0]))]; ok {
 		return r.rows[i].mult
 	}
 	return 0
@@ -190,40 +219,39 @@ func (r *Relation) EachWhile(f func(Tuple, int) bool) {
 // by, consistent with Tuple.Key on the projected columns.
 func KeyOf(vals []value.Value) string { return Tuple(vals).Key() }
 
-// hashIndexFor returns the hash index on the given column set, building it
-// on first use. The result maps the KeyOf of the column values to the row
-// slots holding them. Callers must not mutate the returned slices.
-func (r *Relation) hashIndexFor(cols []int) map[string][]int {
+// hashIndexFor returns the hash index on the given column set, building
+// it on first use; afterwards InsertMult maintains it incrementally.
+// Callers must not mutate the returned buckets.
+func (r *Relation) hashIndexFor(cols []int) *hashIndex {
 	sig := make([]byte, 0, 16)
 	for _, c := range cols {
 		sig = strconv.AppendInt(sig, int64(c), 10)
 		sig = append(sig, ',')
 	}
 	s := string(sig)
-	if idx, ok := r.hashIdx[s]; ok {
-		return idx
+	if ix, ok := r.hashIdx[s]; ok {
+		return ix
 	}
-	idx := make(map[string][]int, len(r.rows))
-	key := make([]value.Value, len(cols))
+	ix := &hashIndex{
+		cols:    append([]int(nil), cols...),
+		buckets: make(map[string][]int, len(r.rows)),
+	}
 	for slot, rw := range r.rows {
-		for i, c := range cols {
-			key[i] = rw.tup[c]
-		}
-		k := KeyOf(key)
-		idx[k] = append(idx[k], slot)
+		ix.add(rw.tup, slot)
 	}
 	if r.hashIdx == nil {
-		r.hashIdx = make(map[string]map[string][]int)
+		r.hashIdx = make(map[string]*hashIndex)
 	}
-	r.hashIdx[s] = idx
-	return idx
+	r.hashIdx[s] = ix
+	return ix
 }
 
 // Probe calls f for each distinct tuple whose values at cols equal vals
 // (by value key, so 2 and 2.0 match), with its multiplicity, in insertion
 // order; f returning false stops the probe. It uses a lazy per-column-set
-// hash index that survives multiplicity bumps and is rebuilt after inserts
-// of new distinct tuples, so a probe after an insert sees the new tuple.
+// hash index that survives multiplicity bumps and is maintained
+// incrementally on inserts of new distinct tuples, so a probe after an
+// insert sees the new tuple without a rebuild.
 //
 // Probe identity is value.Key, which agrees with value.Eq for every
 // probe value whose Indexable() is true; callers probing with
@@ -238,7 +266,9 @@ func (r *Relation) Probe(cols []int, vals []value.Value, f func(Tuple, int) bool
 		r.EachWhile(f)
 		return
 	}
-	slots := r.hashIndexFor(cols)[KeyOf(vals)]
+	var kb [64]byte
+	buf := Tuple(vals).AppendKey(kb[:0])
+	slots := r.hashIndexFor(cols).buckets[string(buf)]
 	for _, slot := range slots {
 		rw := r.rows[slot]
 		if !f(rw.tup, rw.mult) {

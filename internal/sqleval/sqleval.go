@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"repro/internal/exec"
+	"repro/internal/plan"
 	"repro/internal/relation"
 	"repro/internal/sql"
 	"repro/internal/value"
@@ -28,10 +29,52 @@ func NewDB(rels ...*relation.Relation) DB {
 	return db
 }
 
-// Eval evaluates a parsed query against db.
+// PlanMode selects how Eval executes a query.
+type PlanMode int
+
+const (
+	// PlanAuto compiles the query onto the internal/plan physical layer
+	// when it fits the planner fragment, falling back to per-row
+	// enumeration otherwise (the default).
+	PlanAuto PlanMode = iota
+	// PlanOff always uses the reference enumeration path — the baseline
+	// side of the planner's differential verification.
+	PlanOff
+	// PlanForce requires the planner and surfaces its bailout reason
+	// instead of falling back (for tests and EXPLAIN tooling).
+	PlanForce
+)
+
+// DefaultPlanMode is the mode Eval uses; tests flip it to pin a path.
+var DefaultPlanMode = PlanAuto
+
+// Eval evaluates a parsed query against db under DefaultPlanMode.
 func Eval(q sql.Query, db DB) (*relation.Relation, error) {
+	return EvalMode(q, db, DefaultPlanMode)
+}
+
+// EvalMode evaluates a parsed query under an explicit plan mode.
+func EvalMode(q sql.Query, db DB, mode PlanMode) (*relation.Relation, error) {
+	if mode != PlanOff {
+		if p, err := plan.Compile(q, db); err == nil {
+			return p.Execute()
+		} else if mode == PlanForce {
+			return nil, err
+		}
+	}
 	e := &evaluator{db: db}
 	return e.evalQuery(q, nil)
+}
+
+// Explain compiles the query through the planner and renders its
+// physical plan, or reports why the query is outside the planner
+// fragment (in which case Eval uses enumeration).
+func Explain(q sql.Query, db DB) (string, error) {
+	p, err := plan.Compile(q, db)
+	if err != nil {
+		return "", err
+	}
+	return p.Explain(), nil
 }
 
 // EvalString parses and evaluates a SQL string.

@@ -121,30 +121,35 @@ func (v Value) String() string {
 // Key returns a string that is equal for equal values and distinct for
 // distinct values (within the value domain used here). Integers and floats
 // that denote the same number share a key, matching comparison semantics.
-func (v Value) Key() string {
+func (v Value) Key() string { return string(v.AppendKey(nil)) }
+
+// AppendKey appends the Key encoding of v to b and returns the extended
+// slice — the allocation-free form the hashing hot paths (hash indexes,
+// joins, γ grouping, dedup) use with a reusable buffer.
+func (v Value) AppendKey(b []byte) []byte {
 	switch v.kind {
 	case KindNull:
-		return "\x00N"
+		return append(b, 0x00, 'N')
 	case KindInt:
-		return "\x01" + strconv.FormatInt(v.i, 10)
+		return strconv.AppendInt(append(b, 0x01), v.i, 10)
 	case KindFloat:
 		if v.f == math.Trunc(v.f) && !math.IsInf(v.f, 0) && math.Abs(v.f) <= maxExactFloat {
 			// Align with equal integers so 2.0 and 2 group together. The
 			// cutoff is 2^53, the largest range where float64 represents
 			// every integer exactly, so within it Key agrees with the
 			// float-coercing Compare.
-			return "\x01" + strconv.FormatInt(int64(v.f), 10)
+			return strconv.AppendInt(append(b, 0x01), int64(v.f), 10)
 		}
-		return "\x02" + strconv.FormatFloat(v.f, 'g', -1, 64)
+		return strconv.AppendFloat(append(b, 0x02), v.f, 'g', -1, 64)
 	case KindString:
-		return "\x03" + v.s
+		return append(append(b, 0x03), v.s...)
 	case KindBool:
 		if v.b {
-			return "\x04t"
+			return append(b, 0x04, 't')
 		}
-		return "\x04f"
+		return append(b, 0x04, 'f')
 	}
-	return "\x05?"
+	return append(b, 0x05, '?')
 }
 
 // Equal reports strict equality under two-valued logic: NULL equals NULL.
