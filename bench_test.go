@@ -194,6 +194,34 @@ func BenchmarkRecursion(b *testing.B) {
 	}
 }
 
+// BenchmarkSQLRecursiveCTE scales WITH RECURSIVE transitive closure
+// through the fixpoint-engine plan path and the independent reference
+// iteration — the SQL face of the shared recursion engine.
+func BenchmarkSQLRecursiveCTE(b *testing.B) {
+	q := sql.MustParse(`with recursive tc(s, t) as (
+		select P.s, P.t from P
+		union
+		select tc.s, P.t from tc, P where tc.t = P.s
+	) select tc.s, tc.t from tc`)
+	for _, n := range []int{25, 50} {
+		db := sqleval.NewDB(workload.Chain(n))
+		b.Run(fmt.Sprintf("plan/chain=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sqleval.EvalMode(q, db, sqleval.PlanForce); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("reference/chain=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sqleval.EvalMode(q, db, sqleval.PlanOff); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkMatMul compares the ARC evaluation of (26) against the direct
 // sparse baseline across matrix sizes.
 func BenchmarkMatMul(b *testing.B) {

@@ -26,6 +26,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -34,6 +35,7 @@ import (
 	"repro/internal/alt"
 	"repro/internal/convention"
 	"repro/internal/core"
+	"repro/internal/plan"
 )
 
 func main() {
@@ -61,6 +63,12 @@ func main() {
 
 	col, sentence, err := parseInput(*lang, src)
 	if err != nil {
+		// SQL queries outside the ARC translation fragment (e.g. WITH
+		// RECURSIVE) still evaluate and explain through the SQL engine.
+		if *lang == "sql" && (*doEval || *doExplain) {
+			runSQLOnly(src, *dbPath, *doExplain, *doEval)
+			return
+		}
 		die(err)
 	}
 
@@ -101,6 +109,37 @@ func main() {
 			}
 			fmt.Print(res.String())
 		}
+	}
+}
+
+// runSQLOnly evaluates and explains a SQL query that has no ARC
+// translation (recursive CTEs and other fragments the translator does
+// not cover) directly through the SQL planner and evaluator.
+func runSQLOnly(src, dbPath string, doExplain, doEval bool) {
+	_, rels, err := loadCatalog(dbPath)
+	if err != nil {
+		die(err)
+	}
+	if doExplain {
+		s, err := core.ExplainSQL(src, rels...)
+		switch {
+		case err == nil:
+			fmt.Println("sql plan:")
+			fmt.Print(s)
+		case errors.Is(err, plan.ErrNotPlannable):
+			fmt.Printf("sql plan: not planner-compiled (%v)\n", err)
+		default:
+			// Parse and other genuine errors must fail, not render as a
+			// planner bailout.
+			die(err)
+		}
+	}
+	if doEval {
+		res, err := core.EvalSQL(src, rels...)
+		if err != nil {
+			die(err)
+		}
+		fmt.Print(res.String())
 	}
 }
 

@@ -5,15 +5,13 @@ import (
 	"sort"
 
 	"repro/internal/exec"
+	"repro/internal/fixpoint"
 	"repro/internal/relation"
 	"repro/internal/value"
 )
 
 // EDB maps extensional predicate names to relations.
 type EDB map[string]*relation.Relation
-
-// maxFixpointIterations bounds the stratum fixpoint loop.
-const maxFixpointIterations = 1000000
 
 // EvalProgram evaluates a stratified Datalog program over an EDB and
 // returns every IDB relation. Semantics follow Soufflé's conventions
@@ -86,67 +84,41 @@ func (e *dlEval) rel(pred string) *relation.Relation {
 }
 
 // stratify orders rules into strata such that negated and aggregated
-// dependencies are fully computed in earlier strata.
+// dependencies are fully computed in earlier strata, delegating the
+// layering itself to the generic fixpoint.Stratify.
 func stratify(p *Program) ([][]*Rule, error) {
 	idb := map[string]bool{}
 	for _, r := range p.Rules {
 		idb[r.Head.Pred] = true
 	}
-	stratum := map[string]int{}
-	n := len(idb) + 1
-	changed := true
-	for round := 0; changed; round++ {
-		if round > n*n+1 {
-			return nil, fmt.Errorf("datalog: program is not stratifiable (negation or aggregation through recursion)")
-		}
-		changed = false
-		for _, r := range p.Rules {
-			h := r.Head.Pred
-			for _, l := range r.Body {
-				var dep string
-				bump := 0
-				switch x := l.(type) {
-				case PosAtom:
-					dep = x.Atom.Pred
-				case NegAtom:
-					dep, bump = x.Atom.Pred, 1
-				case AggLiteral:
-					// Everything inside an aggregate body must be complete
-					// before the aggregate is taken.
-					for _, bl := range x.Body {
-						var d string
-						switch y := bl.(type) {
-						case PosAtom:
-							d = y.Atom.Pred
-						case NegAtom:
-							d = y.Atom.Pred
-						}
-						if d != "" && idb[d] && stratum[h] < stratum[d]+1 {
-							stratum[h] = stratum[d] + 1
-							changed = true
-						}
+	var deps []fixpoint.Dep
+	for _, r := range p.Rules {
+		h := r.Head.Pred
+		for _, l := range r.Body {
+			switch x := l.(type) {
+			case PosAtom:
+				deps = append(deps, fixpoint.Dep{Head: h, Dep: x.Atom.Pred})
+			case NegAtom:
+				deps = append(deps, fixpoint.Dep{Head: h, Dep: x.Atom.Pred, Strict: true})
+			case AggLiteral:
+				// Everything inside an aggregate body must be complete
+				// before the aggregate is taken.
+				for _, bl := range x.Body {
+					switch y := bl.(type) {
+					case PosAtom:
+						deps = append(deps, fixpoint.Dep{Head: h, Dep: y.Atom.Pred, Strict: true})
+					case NegAtom:
+						deps = append(deps, fixpoint.Dep{Head: h, Dep: y.Atom.Pred, Strict: true})
 					}
-					continue
-				default:
-					continue
-				}
-				if !idb[dep] {
-					continue
-				}
-				if stratum[h] < stratum[dep]+bump {
-					stratum[h] = stratum[dep] + bump
-					changed = true
 				}
 			}
 		}
 	}
-	maxS := 0
-	for _, s := range stratum {
-		if s > maxS {
-			maxS = s
-		}
+	stratum, n, err := fixpoint.Stratify(idb, deps)
+	if err != nil {
+		return nil, fmt.Errorf("datalog: program is not stratifiable (negation or aggregation through recursion)")
 	}
-	out := make([][]*Rule, maxS+1)
+	out := make([][]*Rule, n)
 	for _, r := range p.Rules {
 		s := stratum[r.Head.Pred]
 		out[s] = append(out[s], r)
@@ -167,52 +139,54 @@ func (deltaAtom) isLiteral() {}
 // String renders "Δatom".
 func (l deltaAtom) String() string { return "Δ" + l.Atom.String() }
 
-// fixpoint runs one stratum's rules to their least fixed point with
-// semi-naive evaluation: after an initial naive round, each rule is
-// re-derived only through delta versions — one per body occurrence of a
-// predicate defined in this stratum, with that occurrence reading just
-// the tuples added in the previous round and the remaining literals
-// reading the full (current) extents. Stratification guarantees negated
-// and aggregated dependencies live in earlier strata, so only positive
-// atoms need delta versions.
+// fixpoint runs one stratum's rules to their least fixed point through
+// the shared semi-naive engine: each rule becomes a fixpoint.Rule whose
+// delta variants substitute a deltaAtom for one stratum-local body
+// occurrence, so that occurrence reads just the tuples added in the
+// previous round while the remaining literals read the full (current)
+// extents. Stratification guarantees negated and aggregated dependencies
+// live in earlier strata, so only positive atoms need delta versions.
 func (e *dlEval) fixpoint(rules []*Rule) error {
 	local := map[string]bool{}
 	for _, r := range rules {
 		local[r.Head.Pred] = true
 	}
-	// Round 0: one naive pass seeds the deltas.
-	delta := map[string]*relation.Relation{}
+	frules := make([]fixpoint.Rule, 0, len(rules))
 	for _, r := range rules {
-		if err := e.applyRule(r, r.Body, delta); err != nil {
-			return err
-		}
-	}
-	for iter := 0; iter < maxFixpointIterations; iter++ {
-		if len(delta) == 0 {
-			return nil
-		}
-		next := map[string]*relation.Relation{}
-		for _, r := range rules {
-			for j, l := range r.Body {
-				pa, ok := l.(PosAtom)
-				if !ok || !local[pa.Atom.Pred] {
-					continue
-				}
-				d := delta[pa.Atom.Pred]
-				if d == nil {
-					continue
-				}
-				body := make([]Literal, len(r.Body))
-				copy(body, r.Body)
-				body[j] = deltaAtom{Atom: pa.Atom, rel: d}
-				if err := e.applyRule(r, body, next); err != nil {
-					return err
-				}
+		r := r
+		var occIdx []int
+		var occs []string
+		for j, l := range r.Body {
+			if pa, ok := l.(PosAtom); ok && local[pa.Atom.Pred] {
+				occIdx = append(occIdx, j)
+				occs = append(occs, pa.Atom.Pred)
 			}
 		}
-		delta = next
+		kind := fixpoint.Seed
+		if len(occs) > 0 {
+			kind = fixpoint.Delta
+		}
+		frules = append(frules, fixpoint.Rule{
+			Target: r.Head.Pred,
+			Kind:   kind,
+			Occs:   occs,
+			Eval: func(occ int, delta *relation.Relation, emit fixpoint.Emit) error {
+				body := r.Body
+				if occ >= 0 {
+					j := occIdx[occ]
+					body = make([]Literal, len(r.Body))
+					copy(body, r.Body)
+					body[j] = deltaAtom{Atom: r.Body[j].(PosAtom).Atom, rel: delta}
+				}
+				return e.applyRule(r, body, emit)
+			},
+		})
 	}
-	return fmt.Errorf("datalog: fixpoint did not converge")
+	name := "datalog stratum"
+	if len(rules) > 0 {
+		name = "datalog stratum of " + rules[0].Head.Pred
+	}
+	return fixpoint.Run(e.idb, frules, fixpoint.Options{Name: name})
 }
 
 type bindings map[string]value.Value
@@ -225,11 +199,10 @@ func (b bindings) clone() bindings {
 	return nb
 }
 
-// applyRule derives all consequences of one rule-body variant, inserting
-// new head tuples into the IDB and recording them in delta (the feed for
-// the next semi-naive round).
-func (e *dlEval) applyRule(r *Rule, body []Literal, delta map[string]*relation.Relation) error {
-	head := e.idb[r.Head.Pred]
+// applyRule derives all consequences of one rule-body variant, handing
+// each head tuple to the engine's emit (which deduplicates against the
+// IDB total and feeds the next semi-naive round's delta).
+func (e *dlEval) applyRule(r *Rule, body []Literal, emit fixpoint.Emit) error {
 	return e.solve(body, bindings{}, func(b bindings) error {
 		t := make(relation.Tuple, len(r.Head.Args))
 		for i, a := range r.Head.Args {
@@ -246,17 +219,7 @@ func (e *dlEval) applyRule(r *Rule, body []Literal, delta map[string]*relation.R
 				return fmt.Errorf("datalog: wildcard in rule head of %s", r.Head.Pred)
 			}
 		}
-		if head.Contains(t) {
-			return nil
-		}
-		head.Insert(t)
-		d := delta[r.Head.Pred]
-		if d == nil {
-			d = relation.New(r.Head.Pred, head.Attrs()...)
-			delta[r.Head.Pred] = d
-		}
-		d.Insert(t)
-		return nil
+		return emit(t)
 	})
 }
 

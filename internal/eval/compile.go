@@ -808,6 +808,14 @@ func ExplainCollection(col *alt.Collection, cat *Catalog, conv convention.Conven
 	ev.pushLink(link)
 	defer ev.popLink()
 	var b strings.Builder
+	if link.RecursiveCols[col] {
+		// Recursive collections render their fixpoint rules (with the
+		// per-round delta pipelines) instead of the flat scope walk.
+		if err := ev.explainRecursive(col, &b); err != nil {
+			return "", err
+		}
+		return b.String(), nil
+	}
 	var walk func(f alt.Formula) error
 	walk = func(f alt.Formula) error {
 		switch x := f.(type) {

@@ -87,6 +87,9 @@ func (ev *evaluator) enumLeft(n *joinNode, base *env, si *scopeInfo, bound map[s
 	if err != nil {
 		return nil, err
 	}
+	if out, handled, err := ev.enumLeftHashed(n, base, lefts, si, bound); handled || err != nil {
+		return out, err
+	}
 	rightBound := copyBound(bound)
 	for v := range n.kids[0].vars {
 		rightBound[v] = true
@@ -119,6 +122,100 @@ func (ev *evaluator) enumLeft(n *joinNode, base *env, si *scopeInfo, bound map[s
 	return out, nil
 }
 
+// enumLeftHashed joins a LEFT node by enumerating and hashing the right
+// subtree once instead of re-enumerating it per left environment. Sound
+// only when the right subtree enumerates independently of the left
+// bindings — a multi-leaf subtree over plain relation sources (no
+// lateral collection sources, externals, or abstract relations, whose
+// enumeration depends on bound inputs) — and every ON conjunct is a
+// separable equality, hashed as the bucket key and still re-checked per
+// candidate by onHolds (so NULL keys, Key-vs-Eq divergence, and
+// per-pair evaluation errors keep exact baseline semantics; erroring or
+// non-indexable right keys overflow to every left, as in enumFull).
+// Single-leaf rights keep the per-left path, whose index probes already
+// make them cheap.
+// DisableLeftHash forces enumLeft onto the per-left re-enumeration path
+// — the baseline side of the hashed-left-join differential test.
+var DisableLeftHash = false
+
+func (ev *evaluator) enumLeftHashed(n *joinNode, base *env, lefts []*env, si *scopeInfo, bound map[string]bool) ([]*env, bool, error) {
+	if DisableLeftHash {
+		return nil, false, nil
+	}
+	leaves, plain := ev.plainSubtree(n.kids[1])
+	if leaves < 2 || !plain || len(lefts) == 0 {
+		return nil, false, nil
+	}
+	eqs := splitFullEqs(n)
+	if len(eqs) == 0 || len(eqs) != len(n.on) {
+		return nil, false, nil
+	}
+	rights, err := ev.enumNode(n.kids[1], base, si, copyBound(bound))
+	if err != nil {
+		return nil, false, err
+	}
+	h := ev.hashRightEnvs(eqs, rights)
+	var out []*env
+	for _, l := range lefts {
+		primary, extra := h.candidatesOf(l)
+		matched := false
+		for _, cands := range [2][]int{primary, extra} {
+			for _, ri := range cands {
+				m := ev.mergeEnvs(base, l, rights[ri], n.kids[1])
+				ok, err := ev.onHolds(n, m)
+				if err != nil {
+					return nil, false, err
+				}
+				if ok {
+					matched = true
+					out = append(out, m)
+				}
+			}
+		}
+		if !matched {
+			ne, err := ev.nullExtend(l, n.kids[1])
+			if err != nil {
+				return nil, false, err
+			}
+			out = append(out, ne)
+		}
+	}
+	return out, true, nil
+}
+
+// plainSubtree counts the leaves of a join subtree and reports whether
+// every leaf ranges over a plain relation source (constant, recursion
+// override, base relation, or view) — the sources whose enumeration
+// never depends on previously bound variables.
+func (ev *evaluator) plainSubtree(n *joinNode) (int, bool) {
+	if n.isLeaf() {
+		b := n.leaf
+		if b.Sub != nil {
+			return 1, false // lateral: evaluated per outer environment
+		}
+		if _, isConst := ev.curLink().ConstOfBinding[b]; isConst {
+			return 1, true
+		}
+		if _, ok := ev.overrides[b.Rel]; ok {
+			return 1, true
+		}
+		if ev.cat.Relation(b.Rel) != nil {
+			return 1, true
+		}
+		if _, ok := ev.cat.views[b.Rel]; ok {
+			return 1, true
+		}
+		return 1, false
+	}
+	count, plain := 0, true
+	for _, k := range n.kids {
+		c, p := ev.plainSubtree(k)
+		count += c
+		plain = plain && p
+	}
+	return count, plain
+}
+
 func (ev *evaluator) enumFull(n *joinNode, base *env, si *scopeInfo, bound map[string]bool) ([]*env, error) {
 	lefts, err := ev.enumNode(n.kids[0], base, si, bound)
 	if err != nil {
@@ -132,65 +229,20 @@ func (ev *evaluator) enumFull(n *joinNode, base *env, si *scopeInfo, bound map[s
 	// the right envs so each left env only visits its key bucket; the
 	// full ON condition is still re-checked per candidate, so NULL keys
 	// and Key-vs-Eq divergence keep exact semantics. Empty sides fall
-	// through to the nested path, which then only null-extends.
-	eqs := splitFullEqs(n)
-	all := make([]int, len(rights))
-	for i := range all {
-		all[i] = i
-	}
-	// candidatesOf returns two slices of right indexes to pair a left env
-	// with; the default is every right (the nested baseline). Hashing is
-	// only used when every ON conjunct is an extracted equality: with
+	// through to the nested path, which then only null-extends. Hashing
+	// is only used when every ON conjunct is an extracted equality: with
 	// residual conjuncts, pruning a pair could also prune a per-pair
 	// evaluation error the nested path would surface.
-	candidatesOf := func(l *env) ([]int, []int) { return all, nil }
+	eqs := splitFullEqs(n)
+	h := allRightCandidates(len(rights))
 	if len(eqs) == len(n.on) && len(eqs) > 0 && len(lefts) > 0 && len(rights) > 0 {
-		buckets := map[string][]int{}
-		var overflow []int // non-indexable, or not evaluable on this env
-		var kb []byte
-		for ri, r := range rights {
-			kb = kb[:0]
-			indexable := true
-			for _, eq := range eqs {
-				v, err := ev.evalTermAgg(eq.right, r, nil)
-				if err != nil {
-					// The nested path may never evaluate this term (an
-					// earlier ON conjunct can short-circuit), so an
-					// erroring row stays a candidate for every left and
-					// onHolds reproduces the baseline behaviour.
-					indexable = false
-					break
-				}
-				if !v.Indexable() {
-					indexable = false
-				}
-				kb = v.AppendKey(kb)
-				kb = append(kb, '\x1f')
-			}
-			if indexable {
-				buckets[string(kb)] = append(buckets[string(kb)], ri)
-			} else {
-				overflow = append(overflow, ri)
-			}
-		}
-		candidatesOf = func(l *env) ([]int, []int) {
-			kb = kb[:0]
-			for _, eq := range eqs {
-				v, err := ev.evalTermAgg(eq.left, l, nil)
-				if err != nil || !v.Indexable() {
-					return all, nil // unevaluable or weak key: check every right
-				}
-				kb = v.AppendKey(kb)
-				kb = append(kb, '\x1f')
-			}
-			return buckets[string(kb)], overflow
-		}
+		h = ev.hashRightEnvs(eqs, rights)
 	}
 	matchedR := make([]bool, len(rights))
 	var out []*env
 	for _, l := range lefts {
 		matched := false
-		primary, extra := candidatesOf(l)
+		primary, extra := h.candidatesOf(l)
 		for _, cands := range [2][]int{primary, extra} {
 			for _, ri := range cands {
 				m := ev.mergeEnvs(base, l, rights[ri], n.kids[1])
@@ -224,6 +276,80 @@ func (ev *evaluator) enumFull(n *joinNode, base *env, si *scopeInfo, bound map[s
 		out = append(out, ne)
 	}
 	return out, nil
+}
+
+// rightEnvHash buckets a join node's right-side environments by their
+// separable-equality key terms, shared by enumFull and enumLeftHashed.
+// Rights whose key terms error (the nested path may never evaluate them
+// — an earlier ON conjunct can short-circuit) or are non-indexable go
+// to the overflow list, staying candidates for every left so onHolds
+// reproduces baseline behaviour exactly.
+type rightEnvHash struct {
+	ev       *evaluator
+	eqs      []fullEq
+	buckets  map[string][]int
+	overflow []int
+	all      []int
+	kb       []byte
+}
+
+// allRightCandidates is the no-hash baseline: every left visits every
+// right.
+func allRightCandidates(n int) *rightEnvHash {
+	h := &rightEnvHash{all: make([]int, n)}
+	for i := range h.all {
+		h.all[i] = i
+	}
+	return h
+}
+
+// hashRightEnvs builds the bucket+overflow index over rights.
+func (ev *evaluator) hashRightEnvs(eqs []fullEq, rights []*env) *rightEnvHash {
+	h := allRightCandidates(len(rights))
+	h.ev = ev
+	h.eqs = eqs
+	h.buckets = map[string][]int{}
+	for ri, r := range rights {
+		h.kb = h.kb[:0]
+		indexable := true
+		for _, eq := range eqs {
+			v, err := ev.evalTermAgg(eq.right, r, nil)
+			if err != nil {
+				indexable = false
+				break
+			}
+			if !v.Indexable() {
+				indexable = false
+			}
+			h.kb = v.AppendKey(h.kb)
+			h.kb = append(h.kb, '\x1f')
+		}
+		if indexable {
+			h.buckets[string(h.kb)] = append(h.buckets[string(h.kb)], ri)
+		} else {
+			h.overflow = append(h.overflow, ri)
+		}
+	}
+	return h
+}
+
+// candidatesOf returns the right indexes a left env must visit: its key
+// bucket plus the overflow, or every right when hashing is off or the
+// left key is unevaluable / too weak for index identity.
+func (h *rightEnvHash) candidatesOf(l *env) ([]int, []int) {
+	if h.buckets == nil {
+		return h.all, nil
+	}
+	h.kb = h.kb[:0]
+	for _, eq := range h.eqs {
+		v, err := h.ev.evalTermAgg(eq.left, l, nil)
+		if err != nil || !v.Indexable() {
+			return h.all, nil
+		}
+		h.kb = v.AppendKey(h.kb)
+		h.kb = append(h.kb, '\x1f')
+	}
+	return h.buckets[string(h.kb)], h.overflow
 }
 
 // fullEq is one hashable ON equality of a FULL-join node: left is

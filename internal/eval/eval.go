@@ -85,39 +85,6 @@ func (ev *evaluator) evalCollection(col *alt.Collection, link *alt.Link, e *env)
 	return ev.evalOnce(col, e)
 }
 
-func (ev *evaluator) evalRecursive(col *alt.Collection, e *env) (*relation.Relation, error) {
-	name := col.Head.Rel
-	saved, hadSaved := ev.overrides[name]
-	defer func() {
-		if hadSaved {
-			ev.overrides[name] = saved
-		} else {
-			delete(ev.overrides, name)
-		}
-	}()
-	cur := relation.New(name, col.Head.Attrs...)
-	for i := 0; i < maxLFPIterations; i++ {
-		ev.overrides[name] = cur
-		next, err := ev.evalOnce(col, e)
-		if err != nil {
-			return nil, err
-		}
-		union := cur.Clone()
-		grew := false
-		next.Each(func(t relation.Tuple, _ int) {
-			if !union.Contains(t) {
-				union.Insert(t)
-				grew = true
-			}
-		})
-		if !grew {
-			return cur, nil
-		}
-		cur = union
-	}
-	return nil, fmt.Errorf("recursion in %s did not reach a fixed point after %d iterations", name, maxLFPIterations)
-}
-
 // evalOnce evaluates a collection body once, producing its relation.
 func (ev *evaluator) evalOnce(col *alt.Collection, e *env) (*relation.Relation, error) {
 	base := &env{vars: e.vars, weight: 1}

@@ -1,0 +1,302 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/alt"
+	"repro/internal/fixpoint"
+	"repro/internal/relation"
+)
+
+// This file lowers recursive ARC collections onto the shared semi-naive
+// engine in internal/fixpoint. The collection body's top-level disjuncts
+// become the rules of a single-relation fixpoint:
+//
+//   - disjuncts that never reference the head relation are seed rules,
+//     derived once in round 0;
+//   - a disjunct that references the head exactly once, as a plain
+//     binding of its own inner-join scope, is linear: each round it
+//     re-derives only through the previous round's delta, bound to the
+//     recursive name via the evaluator's override slot (which the
+//     compiled scope pipeline of compile.go resolves at run time, so the
+//     body compiles once and probes the rotating delta);
+//   - everything else (non-linear recursion, references through nested
+//     scopes or negation, grouped or outer-join scopes) falls back to
+//     naive re-derivation from the full total each round, which is sound
+//     because accumulation is set-monotone.
+//
+// This replaces the seed evaluator's iterate-evalOnce-and-union loop,
+// which re-derived every tuple of every round from scratch.
+
+// arcRule is one classified disjunct of a recursive collection body.
+type arcRule struct {
+	f    alt.Formula
+	kind fixpoint.RuleKind
+}
+
+// kindString names a rule kind for EXPLAIN output.
+func kindString(k fixpoint.RuleKind) string {
+	switch k {
+	case fixpoint.Seed:
+		return "seed"
+	case fixpoint.Delta:
+		return "delta (semi-naive)"
+	case fixpoint.Naive:
+		return "naive per round"
+	}
+	return "?"
+}
+
+// recursiveRules splits the body into disjunct rules and classifies each.
+func (ev *evaluator) recursiveRules(col *alt.Collection) []arcRule {
+	var disjuncts []alt.Formula
+	if or, ok := col.Body.(*alt.Or); ok {
+		disjuncts = or.Kids
+	} else {
+		disjuncts = []alt.Formula{col.Body}
+	}
+	rules := make([]arcRule, len(disjuncts))
+	for i, f := range disjuncts {
+		rules[i] = arcRule{f: f, kind: ev.classifyDisjunct(f, col.Head.Rel)}
+	}
+	return rules
+}
+
+// classifyDisjunct decides the round discipline for one disjunct. Delta
+// rotation is only sound when the single recursive occurrence is a plain
+// binding of the disjunct's own scope, joined monotonically: no grouping
+// (an aggregate over a partial extent is not a partial aggregate), no
+// outer joins (null-extension of the delta differs from null-extension
+// of the total), and no further references through nested scopes,
+// filters, or negation.
+func (ev *evaluator) classifyDisjunct(f alt.Formula, name string) fixpoint.RuleKind {
+	total := countRecRefs(f, name)
+	if total == 0 {
+		return fixpoint.Seed
+	}
+	q, ok := f.(*alt.Quantifier)
+	if !ok {
+		return fixpoint.Naive
+	}
+	direct := 0
+	for _, b := range q.Bindings {
+		if b.Sub == nil && b.Rel == name {
+			direct++
+		}
+	}
+	if total != 1 || direct != 1 || q.Grouping != nil {
+		return fixpoint.Naive
+	}
+	si, err := ev.scopeInfoFor(q)
+	if err != nil || treeHasOuter(si.tree) || len(si.aggTerms) > 0 {
+		return fixpoint.Naive
+	}
+	return fixpoint.Delta
+}
+
+// countRecRefs counts every reference to the recursive relation within f:
+// binding leaves at any quantifier depth, including nested collection
+// sources' bodies.
+func countRecRefs(f alt.Formula, name string) int {
+	n := 0
+	switch x := f.(type) {
+	case *alt.And:
+		for _, k := range x.Kids {
+			n += countRecRefs(k, name)
+		}
+	case *alt.Or:
+		for _, k := range x.Kids {
+			n += countRecRefs(k, name)
+		}
+	case *alt.Not:
+		n += countRecRefs(x.Kid, name)
+	case *alt.Quantifier:
+		for _, b := range x.Bindings {
+			if b.Sub != nil {
+				n += countRecRefs(b.Sub.Body, name)
+				continue
+			}
+			if b.Rel == name {
+				n++
+			}
+		}
+		n += countRecRefs(x.Body, name)
+	}
+	return n
+}
+
+// evalRecursive computes a recursive collection by semi-naive least
+// fixed point through internal/fixpoint, rotating the head-name override
+// between the round's delta (linear rules) and the running total (naive
+// rules) so the same compiled scope pipelines serve every variant.
+func (ev *evaluator) evalRecursive(col *alt.Collection, e *env) (*relation.Relation, error) {
+	name := col.Head.Rel
+	saved, hadSaved := ev.overrides[name]
+	defer func() {
+		if hadSaved {
+			ev.overrides[name] = saved
+		} else {
+			delete(ev.overrides, name)
+		}
+	}()
+	total := relation.New(name, col.Head.Attrs...)
+	rules := ev.recursiveRules(col)
+	frules := make([]fixpoint.Rule, len(rules))
+	for i := range rules {
+		r := rules[i]
+		var occs []string
+		if r.kind == fixpoint.Delta {
+			occs = []string{name}
+		}
+		frules[i] = fixpoint.Rule{
+			Target: name,
+			Kind:   r.kind,
+			Occs:   occs,
+			Eval: func(occ int, delta *relation.Relation, emit fixpoint.Emit) error {
+				rel := total
+				if occ >= 0 {
+					rel = delta
+				}
+				ev.overrides[name] = rel
+				return ev.deriveDisjunct(col, r.f, e, emit)
+			},
+		}
+	}
+	err := fixpoint.Run(map[string]*relation.Relation{name: total}, frules, fixpoint.Options{
+		Name:          "recursive collection " + name,
+		MaxIterations: maxLFPIterations,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return total, nil
+}
+
+// deriveDisjunct derives one rule's head tuples for the current variant.
+// A quantifier disjunct whose compiled scope plan assigns every head
+// attribute exactly once streams tuples straight off the pipeline; other
+// shapes go through the production path and build assignment rows.
+func (ev *evaluator) deriveDisjunct(col *alt.Collection, f alt.Formula, e *env, emit fixpoint.Emit) error {
+	name := col.Head.Rel
+	if q, ok := f.(*alt.Quantifier); ok {
+		si, err := ev.scopeInfoFor(q)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		if sp := ev.scopePlanFor(si); sp != nil && !sp.grouped {
+			if cols, ok := sp.directHeadCols(col.Head.Attrs); ok {
+				if err := sp.emitHeadTuples(ev, e, cols, emit); err != nil {
+					return fmt.Errorf("%s: %w", name, err)
+				}
+				return nil
+			}
+		}
+	}
+	base := &env{vars: e.vars, weight: 1}
+	rows, err := ev.produce(f, base, true)
+	if err != nil {
+		return fmt.Errorf("%s: %w", name, err)
+	}
+	t := make(relation.Tuple, len(col.Head.Attrs))
+	for _, r := range rows {
+		if r.weight <= 0 {
+			continue
+		}
+		for i, a := range col.Head.Attrs {
+			v, ok := r.assign[a]
+			if !ok {
+				return fmt.Errorf("%s: head attribute %q not assigned for a produced row", name, a)
+			}
+			t[i] = v
+		}
+		if err := emit(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// directHeadCols maps head attributes to producer indexes when the plan
+// assigns each head attribute exactly once; ok is false when the shapes
+// differ (extra, missing, or duplicated assignments), sending the rule
+// through the production path instead.
+func (sp *scopePlan) directHeadCols(attrs []string) ([]int, bool) {
+	if len(sp.producers) != len(attrs) {
+		return nil, false
+	}
+	byAttr := make(map[string]int, len(sp.producers))
+	for i, p := range sp.producers {
+		if _, dup := byAttr[p.attr]; dup {
+			return nil, false
+		}
+		byAttr[p.attr] = i
+	}
+	cols := make([]int, len(attrs))
+	for i, a := range attrs {
+		j, ok := byAttr[a]
+		if !ok {
+			return nil, false
+		}
+		cols[i] = j
+	}
+	return cols, true
+}
+
+// emitHeadTuples streams the compiled scope's satisfying tuples projected
+// onto the head layout. The scratch tuple is reused; emit clones on
+// insertion.
+func (sp *scopePlan) emitHeadTuples(ev *evaluator, e *env, cols []int, emit fixpoint.Emit) error {
+	out := make(relation.Tuple, len(cols))
+	return sp.each(ev, e, func(t relation.Tuple, _ int) (bool, error) {
+		for i, pi := range cols {
+			v, err := sp.producers[pi].term.eval(ev, t, e)
+			if err != nil {
+				return false, err
+			}
+			out[i] = v
+		}
+		if err := emit(out); err != nil {
+			return false, err
+		}
+		return true, nil
+	})
+}
+
+// explainRecursive renders the fixpoint plan of a recursive collection:
+// one rule per disjunct with its round discipline and, for compiled
+// scopes, the per-round delta pipeline.
+func (ev *evaluator) explainRecursive(col *alt.Collection, b *strings.Builder) error {
+	name := col.Head.Rel
+	saved, hadSaved := ev.overrides[name]
+	defer func() {
+		if hadSaved {
+			ev.overrides[name] = saved
+		} else {
+			delete(ev.overrides, name)
+		}
+	}()
+	// Scope compilation resolves the recursive name through the override
+	// slot, exactly as evalRecursive binds it per round.
+	ev.overrides[name] = relation.New(name, col.Head.Attrs...)
+	fmt.Fprintf(b, "Fixpoint %s (semi-naive, Δ%s per round):\n", name, name)
+	for i, r := range ev.recursiveRules(col) {
+		fmt.Fprintf(b, "  rule %d [%s]:\n", i+1, kindString(r.kind))
+		q, ok := r.f.(*alt.Quantifier)
+		if !ok {
+			fmt.Fprintf(b, "    (production %s)\n", r.f)
+			continue
+		}
+		si, err := ev.scopeInfoFor(q)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(b, "    scope %s:\n", quantHeader(q))
+		if sp := ev.scopePlanFor(si); sp != nil {
+			sp.explain(b, 3)
+		} else {
+			fmt.Fprintf(b, "      (environment enumeration: %s)\n", si.planReason)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+package eval
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/arc"
+	"repro/internal/convention"
+	"repro/internal/fixpoint"
+	"repro/internal/workload"
+)
+
+// TestRecursionSemiNaiveTC pins the semi-naive ARC fixpoint on linear
+// transitive closure.
+func TestRecursionSemiNaiveTC(t *testing.T) {
+	col := arc.MustParseCollection(
+		"{A(s, t) | ∃p ∈ P [A.s = p.s ∧ A.t = p.t] ∨ ∃p ∈ P, a2 ∈ A [A.s = p.s ∧ p.t = a2.s ∧ A.t = a2.t]}")
+	p := workload.Chain(20)
+	out, err := Eval(col, NewCatalog().AddRelation(p), convention.SetLogic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := out.Distinct(), 19*20/2; got != want {
+		t.Fatalf("TC over chain(20): %d tuples, want %d", got, want)
+	}
+}
+
+// TestRecursionNonLinear exercises the naive-per-round fallback: the
+// doubly recursive TC formulation (two references to A in one disjunct)
+// must reach the same fixpoint as the linear one.
+func TestRecursionNonLinear(t *testing.T) {
+	linear := arc.MustParseCollection(
+		"{A(s, t) | ∃p ∈ P [A.s = p.s ∧ A.t = p.t] ∨ ∃p ∈ P, a2 ∈ A [A.s = p.s ∧ p.t = a2.s ∧ A.t = a2.t]}")
+	nonlinear := arc.MustParseCollection(
+		"{A(s, t) | ∃p ∈ P [A.s = p.s ∧ A.t = p.t] ∨ ∃a1 ∈ A, a2 ∈ A [A.s = a1.s ∧ a1.t = a2.s ∧ A.t = a2.t]}")
+	p := workload.Chain(16)
+	lin, err := Eval(linear, NewCatalog().AddRelation(p), convention.SetLogic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	non, err := Eval(nonlinear, NewCatalog().AddRelation(p), convention.SetLogic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lin.String() != non.String() {
+		t.Fatalf("non-linear TC diverges from linear TC\nlinear:\n%s\nnon-linear:\n%s", lin, non)
+	}
+}
+
+// TestRecursionIterationCap pins the termination guard: a recursive
+// collection that keeps deriving fresh tuples (a number stream) must
+// surface the engine's iteration-cap error rather than loop forever.
+func TestRecursionIterationCap(t *testing.T) {
+	col := arc.MustParseCollection(
+		"{N(x) | N.x = 0 ∨ ∃n ∈ N [N.x = n.x + 1]}")
+	_, err := Eval(col, NewCatalog(), convention.SetLogic())
+	if !errors.Is(err, fixpoint.ErrIterationCap) {
+		t.Fatalf("diverging recursion: got %v, want ErrIterationCap", err)
+	}
+}
+
+// TestExplainRecursiveGolden pins the fixpoint plan rendering of a
+// recursive collection: rule classification plus the per-round delta
+// pipeline of the compiled scopes.
+func TestExplainRecursiveGolden(t *testing.T) {
+	col := arc.MustParseCollection(
+		"{A(s, t) | ∃p ∈ P [A.s = p.s ∧ A.t = p.t] ∨ ∃p ∈ P, a2 ∈ A [A.s = p.s ∧ p.t = a2.s ∧ A.t = a2.t]}")
+	cat := NewCatalog().AddRelation(workload.Chain(3))
+	got, err := ExplainCollection(col, cat, convention.SetLogic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `Fixpoint A (semi-naive, ΔA per round):
+  rule 1 [seed]:
+    scope ∃p ∈ P:
+      Scan P [p]
+      Produce {s = p.s, t = p.t}
+  rule 2 [delta (semi-naive)]:
+    scope ∃p ∈ P, a2 ∈ A:
+      Scan P [p]
+      IndexJoin A [a2] probe(a2.s = p.t)
+      Produce {s = p.s, t = a2.t}
+`
+	if got != want {
+		t.Fatalf("recursive explain mismatch\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}

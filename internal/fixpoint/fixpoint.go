@@ -1,0 +1,278 @@
+// Package fixpoint is the shared semi-naive fixpoint engine: the one
+// implementation of "recursion as a delta-driven loop over relational
+// operators" that all three front ends lower onto. Recursive relations
+// are represented as (total, delta) pairs; each round re-derives rule
+// consequences only through the tuples added in the previous round,
+// rotating the deltas until nothing new appears (or the iteration cap
+// trips).
+//
+//   - internal/datalog compiles each stratum's rules into Rule values
+//     whose delta variants substitute the rotated delta relation for one
+//     body occurrence (the classic per-occurrence semi-naive rewrite).
+//   - internal/eval runs recursive ARC collections through the same Run
+//     loop: each disjunct becomes a rule, with linear disjuncts reading
+//     the delta through the evaluator's override slot and non-linear ones
+//     falling back to naive re-derivation per round.
+//   - internal/plan executes SQL WITH RECURSIVE through CTE.Run, the
+//     working-table variant of the loop (the SQL-standard semantics where
+//     the step sees only the previous round's rows), with the step's
+//     compiled exec tree reading the delta through a Handle.
+//
+// The engine owns termination: accumulation into totals is set-monotone
+// (a tuple enters the total and the next delta only when new), so every
+// monotone program over a finite instance converges; MaxIterations bounds
+// runaway recursion (e.g. a UNION ALL step that keeps producing rows over
+// a cyclic instance) with ErrIterationCap.
+package fixpoint
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/relation"
+)
+
+// DefaultMaxIterations bounds Run's round loop — far beyond any finite
+// monotone workload, it only trips on genuinely diverging programs.
+const DefaultMaxIterations = 1000000
+
+// DefaultMaxCTEIterations bounds the WITH RECURSIVE working-table loop.
+// Lower than DefaultMaxIterations because a diverging UNION ALL step
+// grows its result every round; the cap turns an infinite loop into a
+// clear error before memory does. A variable so guard tests can tighten
+// it without spinning the full bound.
+var DefaultMaxCTEIterations = 100000
+
+// ErrIterationCap marks a fixpoint that did not converge within the
+// iteration bound. Callers test with errors.Is.
+var ErrIterationCap = errors.New("fixpoint iteration cap exceeded")
+
+// capErr builds a wrapped ErrIterationCap naming the fixpoint.
+func capErr(name string, max int) error {
+	return fmt.Errorf("%w: %s did not converge within %d iterations", ErrIterationCap, name, max)
+}
+
+// RuleKind selects how Run drives a rule through the rounds.
+type RuleKind int
+
+const (
+	// Seed rules have no recursive body occurrences: they run once, in
+	// round 0 only.
+	Seed RuleKind = iota
+	// Delta rules are the semi-naive workhorse: round 0 runs them naively
+	// (occ = -1), and every later round runs one variant per recursive
+	// body occurrence with that occurrence bound to the previous round's
+	// delta and the remaining occurrences reading full totals.
+	Delta
+	// Naive rules re-derive from full totals every round — the sound
+	// fallback for bodies where per-occurrence delta rotation does not
+	// apply (e.g. ARC disjuncts that reach the recursive relation through
+	// nested scopes, negation, or grouping).
+	Naive
+)
+
+// Emit hands one derived head tuple to the engine, which inserts it into
+// the target's total (and the next delta) only when new. The tuple is
+// cloned on insertion, so callers may reuse the backing slice.
+type Emit func(t relation.Tuple) error
+
+// Rule is one derivation rule of a recursive component.
+type Rule struct {
+	// Target names the recursive relation the rule derives into; it must
+	// be a key of the totals map passed to Run.
+	Target string
+	// Kind selects the rule's round discipline.
+	Kind RuleKind
+	// Occs names the recursive relation read by each delta-rotated body
+	// occurrence, in body order (Delta rules only). An occurrence whose
+	// relation produced no delta last round is skipped.
+	Occs []string
+	// Eval derives the rule's head tuples for one variant: occ == -1 is
+	// the naive variant (every occurrence reads totals), occ >= 0 binds
+	// body occurrence occ to delta. Eval must route every derived tuple
+	// through emit.
+	Eval func(occ int, delta *relation.Relation, emit Emit) error
+}
+
+// Options configures one Run.
+type Options struct {
+	// Name labels the fixpoint in error messages (a stratum, a collection
+	// head, a CTE).
+	Name string
+	// MaxIterations bounds the round loop; 0 means DefaultMaxIterations.
+	MaxIterations int
+}
+
+func (o Options) max(def int) int {
+	if o.MaxIterations > 0 {
+		return o.MaxIterations
+	}
+	return def
+}
+
+// Run computes the least fixed point of rules over totals. The totals
+// relations are the accumulators: round 0 seeds them through every rule's
+// naive variant, and each following round derives only through deltas
+// (Delta rules) or re-derives from totals (Naive rules), until a round
+// adds nothing. Insertion into totals is immediate, so rules later in the
+// slice observe tuples emitted earlier in the same round — exactly the
+// behaviour of the per-stratum naive pass this engine replaces.
+func Run(totals map[string]*relation.Relation, rules []Rule, opt Options) error {
+	for _, r := range rules {
+		if totals[r.Target] == nil {
+			return fmt.Errorf("fixpoint %s: rule targets unknown relation %q", opt.Name, r.Target)
+		}
+	}
+	delta := map[string]*relation.Relation{}
+	emitInto := func(target string, next map[string]*relation.Relation) Emit {
+		total := totals[target]
+		return func(t relation.Tuple) error {
+			if total.Contains(t) {
+				return nil
+			}
+			total.Insert(t)
+			d := next[target]
+			if d == nil {
+				d = relation.New(target, total.Attrs()...)
+				next[target] = d
+			}
+			d.Insert(t)
+			return nil
+		}
+	}
+	// Round 0: every rule runs naively, seeding the deltas.
+	for _, r := range rules {
+		if err := r.Eval(-1, nil, emitInto(r.Target, delta)); err != nil {
+			return err
+		}
+	}
+	max := opt.max(DefaultMaxIterations)
+	for iter := 0; ; iter++ {
+		if len(delta) == 0 {
+			return nil
+		}
+		if iter >= max {
+			return capErr(opt.Name, max)
+		}
+		next := map[string]*relation.Relation{}
+		for _, r := range rules {
+			switch r.Kind {
+			case Seed:
+				continue
+			case Naive:
+				if err := r.Eval(-1, nil, emitInto(r.Target, next)); err != nil {
+					return err
+				}
+			case Delta:
+				for occ, pred := range r.Occs {
+					d := delta[pred]
+					if d == nil || d.Distinct() == 0 {
+						continue
+					}
+					if err := r.Eval(occ, d, emitInto(r.Target, next)); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		delta = next
+	}
+}
+
+// EmitMult is Emit with a bag multiplicity, for the UNION ALL working
+// table (which accumulates duplicates).
+type EmitMult func(t relation.Tuple, mult int) error
+
+// CTE is the SQL WITH RECURSIVE working-table loop: result and working
+// table start as the base query's output; each round the step runs with
+// the recursive reference bound to the working table only (the previous
+// round's rows — the SQL-standard semantics), its output becomes the next
+// working table, and the loop ends when a round produces nothing.
+//
+// Distinct selects UNION (each round's output is deduplicated and rows
+// already in the result are dropped — the set-semantics termination
+// guarantee) versus UNION ALL (multiplicities accumulate and termination
+// relies on the step eventually producing no rows; the iteration cap
+// catches cyclic instances).
+type CTE struct {
+	// Name labels the CTE in errors and names the result relation.
+	Name string
+	// Attrs is the result schema (the declared column list, or the base
+	// query's output names).
+	Attrs []string
+	// Base streams the non-recursive term's output.
+	Base func(emit EmitMult) error
+	// Step streams one round of the recursive term with the recursive
+	// reference bound to delta (the previous working table).
+	Step func(delta *relation.Relation, emit EmitMult) error
+	// Distinct is true for UNION, false for UNION ALL.
+	Distinct bool
+	// MaxIterations bounds the loop; 0 means DefaultMaxCTEIterations.
+	MaxIterations int
+}
+
+// Run executes the loop and returns the accumulated result relation.
+func (c *CTE) Run() (*relation.Relation, error) {
+	total := relation.New(c.Name, c.Attrs...)
+	work := relation.New(c.Name, c.Attrs...)
+	collect := func(next *relation.Relation) EmitMult {
+		return func(t relation.Tuple, mult int) error {
+			if len(t) != len(c.Attrs) {
+				return fmt.Errorf("recursive CTE %s: term arity %d, want %d", c.Name, len(t), len(c.Attrs))
+			}
+			if c.Distinct {
+				if total.Contains(t) || next.Contains(t) {
+					return nil
+				}
+				next.Insert(t)
+				return nil
+			}
+			next.InsertMult(t, mult)
+			return nil
+		}
+	}
+	if err := c.Base(collect(work)); err != nil {
+		return nil, err
+	}
+	work.Each(func(t relation.Tuple, m int) { total.InsertMult(t, m) })
+	max := DefaultMaxCTEIterations
+	if c.MaxIterations > 0 {
+		max = c.MaxIterations
+	}
+	for iter := 0; work.Distinct() > 0; iter++ {
+		if iter >= max {
+			return nil, fmt.Errorf("%w: recursive CTE %s did not converge within %d iterations (%s)", ErrIterationCap, c.Name, max, capHint(c.Distinct))
+		}
+		next := relation.New(c.Name, c.Attrs...)
+		if err := c.Step(work, collect(next)); err != nil {
+			return nil, err
+		}
+		next.Each(func(t relation.Tuple, m int) { total.InsertMult(t, m) })
+		work = next
+	}
+	return total, nil
+}
+
+// capHint explains a tripped CTE cap per recursion mode: UNION ALL
+// diverges on any cyclic instance, UNION only when the step keeps
+// deriving genuinely new rows (a growing value domain).
+func capHint(distinct bool) string {
+	if distinct {
+		return "the step keeps deriving new rows over a growing domain"
+	}
+	return "UNION ALL recursion needs a bounded step"
+}
+
+// Handle is a mutable relation slot: compiled operator trees that must
+// read "the current delta" (or "the finished CTE result") capture a
+// Handle at compile time and the loop retargets it per round, so the tree
+// is compiled once and re-executed against rotating relations.
+type Handle struct {
+	rel *relation.Relation
+}
+
+// Set retargets the handle.
+func (h *Handle) Set(r *relation.Relation) { h.rel = r }
+
+// Rel returns the current relation, or nil before the first Set.
+func (h *Handle) Rel() *relation.Relation { return h.rel }

@@ -1,0 +1,188 @@
+package fixpoint
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/relation"
+	"repro/internal/value"
+)
+
+// chain builds P = {(0,1), (1,2), ...,(n-1,n)}.
+func chain(n int) *relation.Relation {
+	p := relation.New("P", "s", "t")
+	for i := 0; i < n; i++ {
+		p.Add(i, i+1)
+	}
+	return p
+}
+
+// tcRules builds the two TC rules over edge relation p:
+// A(x,y) :- P(x,y).  A(x,y) :- P(x,z), A(z,y).
+func tcRules(p *relation.Relation, totals map[string]*relation.Relation) []Rule {
+	return []Rule{
+		{
+			Target: "A",
+			Kind:   Seed,
+			Eval: func(_ int, _ *relation.Relation, emit Emit) error {
+				for t := range exec.Scan(p) {
+					if err := emit(t); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+		},
+		{
+			Target: "A",
+			Kind:   Delta,
+			Occs:   []string{"A"},
+			Eval: func(occ int, delta *relation.Relation, emit Emit) error {
+				a := totals["A"]
+				if occ == 0 {
+					a = delta
+				}
+				for pt := range exec.Scan(p) {
+					var failure error
+					a.Probe([]int{0}, []value.Value{pt[1]}, func(at relation.Tuple, _ int) bool {
+						if err := emit(relation.Tuple{pt[0], at[1]}); err != nil {
+							failure = err
+							return false
+						}
+						return true
+					})
+					if failure != nil {
+						return failure
+					}
+				}
+				return nil
+			},
+		},
+	}
+}
+
+func TestRunTransitiveClosure(t *testing.T) {
+	const n = 20
+	totals := map[string]*relation.Relation{"A": relation.New("A", "s", "t")}
+	if err := Run(totals, tcRules(chain(n), totals), Options{Name: "tc"}); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := totals["A"].Distinct(), n*(n+1)/2; got != want {
+		t.Fatalf("TC over chain(%d): %d tuples, want %d", n, got, want)
+	}
+}
+
+func TestRunIterationCap(t *testing.T) {
+	totals := map[string]*relation.Relation{"G": relation.New("G", "x")}
+	round := 0
+	rules := []Rule{{
+		Target: "G",
+		Kind:   Naive,
+		Eval: func(_ int, _ *relation.Relation, emit Emit) error {
+			round++
+			return emit(relation.Tuple{value.Int(int64(round))})
+		},
+	}}
+	err := Run(totals, rules, Options{Name: "diverge", MaxIterations: 5})
+	if !errors.Is(err, ErrIterationCap) {
+		t.Fatalf("diverging fixpoint: got %v, want ErrIterationCap", err)
+	}
+}
+
+func TestRunUnknownTarget(t *testing.T) {
+	err := Run(map[string]*relation.Relation{}, []Rule{{Target: "Q"}}, Options{Name: "bad"})
+	if err == nil {
+		t.Fatal("rule with unknown target must fail")
+	}
+}
+
+// cteTC builds the WITH RECURSIVE working-table loop for TC over edges.
+func cteTC(edges *relation.Relation, distinct bool, maxIter int) *CTE {
+	return &CTE{
+		Name:  "tc",
+		Attrs: []string{"s", "t"},
+		Base: func(emit EmitMult) error {
+			for t, m := range exec.Scan(edges) {
+				if err := emit(t, m); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		Step: func(delta *relation.Relation, emit EmitMult) error {
+			for dt, dm := range exec.Scan(delta) {
+				var failure error
+				edges.Probe([]int{0}, []value.Value{dt[1]}, func(et relation.Tuple, em int) bool {
+					if err := emit(relation.Tuple{dt[0], et[1]}, dm*em); err != nil {
+						failure = err
+						return false
+					}
+					return true
+				})
+				if failure != nil {
+					return failure
+				}
+			}
+			return nil
+		},
+		Distinct:      distinct,
+		MaxIterations: maxIter,
+	}
+}
+
+func TestCTEUnionOverCycle(t *testing.T) {
+	edges := relation.New("E", "s", "t").Add(0, 1).Add(1, 0)
+	out, err := cteTC(edges, true, 0).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reachability over the 2-cycle: all four (s,t) pairs.
+	if out.Distinct() != 4 {
+		t.Fatalf("UNION TC over 2-cycle: %d tuples, want 4", out.Distinct())
+	}
+	if out.Card() != 4 {
+		t.Fatalf("UNION must deduplicate: card %d, want 4", out.Card())
+	}
+}
+
+func TestCTEUnionAllCycleTripsCap(t *testing.T) {
+	edges := relation.New("E", "s", "t").Add(0, 1).Add(1, 0)
+	_, err := cteTC(edges, false, 50).Run()
+	if !errors.Is(err, ErrIterationCap) {
+		t.Fatalf("UNION ALL over a cycle: got %v, want ErrIterationCap", err)
+	}
+}
+
+func TestCTEUnionAllBoundedKeepsMultiplicities(t *testing.T) {
+	// Acyclic chain: UNION ALL terminates and keeps one row per distinct
+	// derivation path (here every pair has exactly one path).
+	out, err := cteTC(chain(4), false, 0).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := out.Card(), 4*5/2; got != want {
+		t.Fatalf("UNION ALL TC over chain(4): card %d, want %d", got, want)
+	}
+}
+
+func TestStratify(t *testing.T) {
+	derived := map[string]bool{"A": true, "B": true}
+	strata, n, err := Stratify(derived, []Dep{
+		{Head: "A", Dep: "E"},               // base edge: ignored
+		{Head: "A", Dep: "A"},               // positive self-recursion
+		{Head: "B", Dep: "A", Strict: true}, // B negates A
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || strata["A"] != 0 || strata["B"] != 1 {
+		t.Fatalf("strata = %v (n=%d), want A:0 B:1 (n=2)", strata, n)
+	}
+	if _, _, err := Stratify(derived, []Dep{
+		{Head: "A", Dep: "B"},
+		{Head: "B", Dep: "A", Strict: true},
+	}); err == nil {
+		t.Fatal("strict cycle must not stratify")
+	}
+}

@@ -1,0 +1,50 @@
+package fixpoint
+
+import "fmt"
+
+// Dep is one dependency edge for stratification: Head's rules read Dep.
+// Strict edges (negation, aggregation) require Dep to be fully computed
+// in an earlier stratum; non-strict edges allow Head and Dep to share a
+// stratum (mutual positive recursion).
+type Dep struct {
+	Head, Dep string
+	Strict    bool
+}
+
+// Stratify assigns each derived relation a stratum such that every
+// dependency points to the same or an earlier stratum, and every strict
+// dependency to a strictly earlier one. derived is the set of relation
+// names that have rules (edges to underived relations are ignored — base
+// data is always available). Returns the stratum map and the stratum
+// count; a strict dependency cycle is not stratifiable.
+func Stratify(derived map[string]bool, deps []Dep) (map[string]int, int, error) {
+	stratum := map[string]int{}
+	n := len(derived) + 1
+	changed := true
+	for round := 0; changed; round++ {
+		if round > n*n+1 {
+			return nil, 0, fmt.Errorf("fixpoint: dependencies are not stratifiable (a strict edge occurs in a cycle)")
+		}
+		changed = false
+		for _, d := range deps {
+			if !derived[d.Dep] {
+				continue
+			}
+			bump := 0
+			if d.Strict {
+				bump = 1
+			}
+			if stratum[d.Head] < stratum[d.Dep]+bump {
+				stratum[d.Head] = stratum[d.Dep] + bump
+				changed = true
+			}
+		}
+	}
+	maxS := 0
+	for name := range derived {
+		if stratum[name] > maxS {
+			maxS = stratum[name]
+		}
+	}
+	return stratum, maxS + 1, nil
+}

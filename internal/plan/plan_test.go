@@ -88,6 +88,40 @@ func TestGoldenPlans(t *testing.T) {
             Scan S
 `,
 		},
+		{
+			// Recursive CTE: the step compiles once into a pipeline whose
+			// self-reference scans the per-round delta.
+			"with recursive tc(x, y) as (select R.A, R.B from R union select tc.x, R.B from tc, R where tc.y = R.A) select tc.x from tc where tc.x = 1",
+			`With
+  RecursiveCTE tc [x, y] UNION
+    Base:
+      Project [A, B]
+        Scan R
+    Step (Δtc per round):
+      Project [x, B]
+        HashJoin INNER (tc.y = R.A)
+          CteScan Δtc
+          Scan R
+  Body:
+    Project [x]
+      Filter (tc.x = 1)
+        CteScan tc
+`,
+		},
+		{
+			// Plain CTE: materialized once, then scanned by the body join.
+			"with x as (select R.A a from R) select x.a from x, S where x.a = S.B",
+			`With
+  CTE x [a]
+    Project [a]
+      Scan R
+  Body:
+    Project [a]
+      HashJoin INNER (x.a = S.B)
+        CteScan x
+        Scan S
+`,
+		},
 	}
 	db := testDB()
 	for _, c := range cases {

@@ -24,10 +24,15 @@ func Compile(q sql.Query, db map[string]*relation.Relation) (*Plan, error) {
 // compilerCtx carries compile-time state shared across query levels.
 type compilerCtx struct {
 	db map[string]*relation.Relation
+	// ctes is the copy-on-write scope of WITH bindings in force; CTE
+	// names shadow database relations.
+	ctes map[string]*cteBinding
 }
 
 func (c *compilerCtx) compileQuery(q sql.Query, outer *scope) (*Plan, error) {
 	switch x := q.(type) {
+	case *sql.With:
+		return c.compileWith(x, outer)
 	case *sql.Union:
 		left, err := c.compileQuery(x.Left, outer)
 		if err != nil {
@@ -244,6 +249,9 @@ func splitEqCols(cj sql.Expr, combined *scope, nLeft int) (lc, rc int, ok bool) 
 func (c *compilerCtx) compileRef(ref sql.TableRef, outer *scope, conjs []sql.Expr, consumed []bool) (Node, error) {
 	switch x := ref.(type) {
 	case *sql.BaseTable:
+		if bind := c.withCTE(x.Name); bind != nil {
+			return newCTENode(bind, x.Binding()), nil
+		}
 		rel := c.db[x.Name]
 		if rel == nil {
 			return nil, notPlannable("unknown table %q", x.Name)

@@ -182,6 +182,94 @@ func GenerateJoins(rng *rand.Rand) string {
 	return q
 }
 
+// GenerateRecursive produces one random WITH RECURSIVE query over the
+// same schema — the corpus the recursion differential suite runs
+// plan-vs-reference. Shapes: transitive closure over R(A,B) read as an
+// edge relation, same-generation pairs, and depth-bounded step joins.
+// UNION variants rely on set termination over the small cyclic domains;
+// UNION ALL variants always carry a depth counter bounding the
+// recursion, since bag accumulation over a cyclic instance would
+// otherwise diverge.
+func GenerateRecursive(rng *rand.Rand) string {
+	g := &gen{rng: rng}
+	switch g.rng.Intn(3) {
+	case 0:
+		return g.recursiveTC()
+	case 1:
+		return g.recursiveSameGen()
+	}
+	return g.recursiveBounded()
+}
+
+// recursiveTC: plain transitive closure, UNION (set termination).
+func (g *gen) recursiveTC() string {
+	edge := []string{"R", "S", "T"}[g.rng.Intn(3)]
+	attrs := tables[indexOfTable(edge)].attrs
+	q := fmt.Sprintf(
+		"with recursive tc(x, y) as (select e.%[2]s, e.%[3]s from %[1]s e union select tc.x, e.%[3]s from tc, %[1]s e where tc.y = e.%[2]s) ",
+		edge, attrs[0], attrs[1])
+	return q + g.recursiveBody("tc", []string{"x", "y"})
+}
+
+// recursiveSameGen: same-generation pairs over R(A,B) (A = parent,
+// B = child), UNION.
+func (g *gen) recursiveSameGen() string {
+	q := "with recursive sg(x, y) as (" +
+		"select r.B, r2.B from R r, R r2 where r.A = r2.A" +
+		" union " +
+		"select r.B, r2.B from R r, sg, R r2 where r.A = sg.x and r2.A = sg.y) "
+	return q + g.recursiveBody("sg", []string{"x", "y"})
+}
+
+// recursiveBounded: depth-counted step join, UNION or UNION ALL (the
+// counter bounds both).
+func (g *gen) recursiveBounded() string {
+	edge := []string{"R", "S"}[g.rng.Intn(2)]
+	attrs := tables[indexOfTable(edge)].attrs
+	depth := 2 + g.rng.Intn(3)
+	mode := "union"
+	if g.rng.Intn(2) == 0 {
+		mode = "union all"
+	}
+	q := fmt.Sprintf(
+		"with recursive walk(x, y, d) as (select e.%[2]s, e.%[3]s, 1 from %[1]s e %[4]s select walk.x, e.%[3]s, walk.d + 1 from walk, %[1]s e where walk.y = e.%[2]s and walk.d < %[5]d) ",
+		edge, attrs[0], attrs[1], mode, depth)
+	return q + g.recursiveBody("walk", []string{"x", "y", "d"})
+}
+
+// recursiveBody builds the outer query over a CTE: projected columns
+// with optional constant restriction or a join back to a base table.
+func (g *gen) recursiveBody(cte string, cols []string) string {
+	c1 := cols[g.rng.Intn(len(cols))]
+	c2 := cols[g.rng.Intn(len(cols))]
+	switch g.rng.Intn(4) {
+	case 0:
+		return fmt.Sprintf("select %s.%s c0, %s.%s c1 from %s", cte, c1, cte, c2, cte)
+	case 1:
+		return fmt.Sprintf("select distinct %s.%s c0 from %s", cte, c1, cte)
+	case 2:
+		return fmt.Sprintf("select %s.%s c0, %s.%s c1 from %s where %s.%s %s %d",
+			cte, c1, cte, c2, cte, cte, cols[0],
+			[]string{"=", "<", ">="}[g.rng.Intn(3)], g.rng.Intn(6))
+	default:
+		// Join back to a base table on the first CTE column.
+		ti := g.pickTable()
+		tb := tables[ti]
+		ja := tb.attrs[g.rng.Intn(len(tb.attrs))]
+		return fmt.Sprintf("select %s.%s c0, z.%s c1 from %s, %s z where %s.%s = z.%s",
+			cte, c1, ja, cte, tb.name, cte, cols[g.rng.Intn(len(cols))], ja)
+	}
+}
+
+func indexOfTable(name string) int {
+	for i, t := range tables {
+		if t.name == name {
+			return i
+		}
+	}
+	return 0
+}
+
 // condition generates one WHERE conjunct.
 func (g *gen) condition() string {
 	switch c := g.rng.Intn(6); {

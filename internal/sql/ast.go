@@ -8,6 +8,7 @@
 package sql
 
 import (
+	"fmt"
 	"strings"
 
 	"repro/internal/value"
@@ -18,6 +19,162 @@ type Query interface {
 	isQuery()
 	// String renders the query as SQL text.
 	String() string
+}
+
+// With is a query with common table expressions: WITH [RECURSIVE]
+// name [(cols)] AS (query), ... body. Each CTE is visible to the CTEs
+// after it and to the body; under RECURSIVE a CTE of the form
+// "base UNION [ALL] step" whose step references its own name is a
+// recursive CTE (see SplitRecursive).
+type With struct {
+	Recursive bool
+	CTEs      []CTE
+	Body      Query
+}
+
+func (*With) isQuery() {}
+
+// String renders "WITH [RECURSIVE] name [(cols)] AS (q), ... body".
+func (w *With) String() string {
+	var b strings.Builder
+	b.WriteString("WITH ")
+	if w.Recursive {
+		b.WriteString("RECURSIVE ")
+	}
+	for i, c := range w.CTEs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(c.Name)
+		if len(c.Cols) > 0 {
+			b.WriteString("(" + strings.Join(c.Cols, ", ") + ")")
+		}
+		b.WriteString(" AS (" + c.Query.String() + ")")
+	}
+	b.WriteString(" ")
+	b.WriteString(w.Body.String())
+	return b.String()
+}
+
+// CTE is one common table expression of a WITH query.
+type CTE struct {
+	Name string
+	// Cols optionally renames the output columns.
+	Cols  []string
+	Query Query
+}
+
+// SplitRecursive splits a recursive CTE definition into its base and
+// step terms. ok is false when the definition never references its own
+// name (a plain CTE). A self-referencing definition must be
+// "base UNION [ALL] step" with the reference in the step only; anything
+// else is an error.
+func (c CTE) SplitRecursive() (base, step Query, all, ok bool, err error) {
+	if !ReferencesTable(c.Query, c.Name) {
+		return nil, nil, false, false, nil
+	}
+	u, isUnion := c.Query.(*Union)
+	if !isUnion {
+		return nil, nil, false, false, fmt.Errorf("sql: recursive CTE %q must have the form 'base UNION [ALL] step'", c.Name)
+	}
+	if ReferencesTable(u.Left, c.Name) {
+		return nil, nil, false, false, fmt.Errorf("sql: recursive CTE %q references itself in its non-recursive term", c.Name)
+	}
+	if !ReferencesTable(u.Right, c.Name) {
+		return nil, nil, false, false, fmt.Errorf("sql: recursive CTE %q must reference itself in its recursive (right) term", c.Name)
+	}
+	return u.Left, u.Right, u.All, true, nil
+}
+
+// ReferencesTable reports whether q contains a base-table reference to
+// name, anywhere: FROM items and join trees, derived tables, WHERE/ON/
+// HAVING and select-item subqueries (EXISTS, IN, scalar), and nested
+// WITH queries.
+func ReferencesTable(q Query, name string) bool {
+	found := false
+	var walkQ func(Query)
+	var walkRef func(TableRef)
+	var walkE func(Expr)
+	walkQ = func(q Query) {
+		if found || q == nil {
+			return
+		}
+		switch x := q.(type) {
+		case *Union:
+			walkQ(x.Left)
+			walkQ(x.Right)
+		case *With:
+			for _, c := range x.CTEs {
+				walkQ(c.Query)
+			}
+			walkQ(x.Body)
+		case *Select:
+			for _, f := range x.From {
+				walkRef(f)
+			}
+			for _, it := range x.Items {
+				walkE(it.Expr)
+			}
+			walkE(x.Where)
+			for _, g := range x.GroupBy {
+				walkE(g)
+			}
+			walkE(x.Having)
+		}
+	}
+	walkRef = func(r TableRef) {
+		if found {
+			return
+		}
+		switch x := r.(type) {
+		case *BaseTable:
+			if x.Name == name {
+				found = true
+			}
+		case *SubqueryTable:
+			walkQ(x.Query)
+		case *JoinRef:
+			walkRef(x.Left)
+			walkRef(x.Right)
+			walkE(x.On)
+		}
+	}
+	walkE = func(e Expr) {
+		if found || e == nil {
+			return
+		}
+		switch x := e.(type) {
+		case *Cmp:
+			walkE(x.L)
+			walkE(x.R)
+		case *AndE:
+			for _, k := range x.Kids {
+				walkE(k)
+			}
+		case *OrE:
+			for _, k := range x.Kids {
+				walkE(k)
+			}
+		case *NotE:
+			walkE(x.Kid)
+		case *IsNullE:
+			walkE(x.Arg)
+		case *BinE:
+			walkE(x.L)
+			walkE(x.R)
+		case *FuncE:
+			walkE(x.Arg)
+		case *Exists:
+			walkQ(x.Query)
+		case *InE:
+			walkE(x.Left)
+			walkQ(x.Query)
+		case *Scalar:
+			walkQ(x.Query)
+		}
+	}
+	walkQ(q)
+	return found
 }
 
 // Union combines two queries; All keeps duplicates.

@@ -110,9 +110,13 @@ var reserved = map[string]bool{
 	"outer": true, "cross": true, "lateral": true, "on": true, "and": true,
 	"or": true, "not": true, "exists": true, "in": true, "is": true,
 	"null": true, "true": true, "false": true, "order": true, "into": true,
+	"with": true, "recursive": true,
 }
 
 func (p *parser) parseQuery() (Query, error) {
+	if p.acceptKw("with") {
+		return p.parseWith()
+	}
 	left, err := p.parseSelect()
 	if err != nil {
 		return nil, err
@@ -127,6 +131,57 @@ func (p *parser) parseQuery() (Query, error) {
 		q = &Union{Left: q, Right: right, All: all}
 	}
 	return q, nil
+}
+
+// parseWith parses the CTE list and body after a consumed WITH keyword.
+func (p *parser) parseWith() (Query, error) {
+	w := &With{Recursive: p.acceptKw("recursive")}
+	for {
+		t := p.next()
+		if t.kind != tokIdent || reserved[t.text] {
+			return nil, p.errf("expected CTE name, found %q", t.text)
+		}
+		cte := CTE{Name: t.raw}
+		if p.accept("(") {
+			for {
+				c := p.next()
+				if c.kind != tokIdent || reserved[c.text] {
+					return nil, p.errf("expected column name in CTE %q, found %q", cte.Name, c.text)
+				}
+				cte.Cols = append(cte.Cols, c.raw)
+				if !p.accept(",") {
+					break
+				}
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expectKw("as"); err != nil {
+			return nil, err
+		}
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		q, err := p.parseQuery()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		cte.Query = q
+		w.CTEs = append(w.CTEs, cte)
+		if !p.accept(",") {
+			break
+		}
+	}
+	body, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	w.Body = body
+	return w, nil
 }
 
 func (p *parser) parseSelect() (*Select, error) {

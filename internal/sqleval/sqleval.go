@@ -142,8 +142,126 @@ func (r row) extend(alias string, cols map[string]value.Value, w int) row {
 	return row{vals: nv, weight: r.weight * w}
 }
 
+// MaxRecursiveIterations bounds the reference evaluator's WITH RECURSIVE
+// working-table loop: a UNION ALL step over a cyclic instance keeps
+// producing rows forever, and the cap turns that into a clear error. A
+// variable so guard tests can tighten it.
+var MaxRecursiveIterations = 100000
+
+// evalWith evaluates a WITH query: each CTE materializes (in order, so
+// later CTEs and the body see earlier ones) into a child scope's
+// database; recursive CTEs run the SQL working-table loop.
+func (e *evaluator) evalWith(w *sql.With, outer *frame) (*relation.Relation, error) {
+	child := &evaluator{db: make(DB, len(e.db)+len(w.CTEs))}
+	for k, v := range e.db {
+		child.db[k] = v
+	}
+	for _, cte := range w.CTEs {
+		if w.Recursive {
+			base, step, all, ok, err := cte.SplitRecursive()
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				// evalRecursiveCTE validates the declared columns and
+				// returns the final name and attribute list.
+				rel, err := child.evalRecursiveCTE(cte, base, step, all, outer)
+				if err != nil {
+					return nil, err
+				}
+				child.db[cte.Name] = rel
+				continue
+			}
+		}
+		rel, err := child.evalQuery(cte.Query, outer)
+		if err != nil {
+			return nil, err
+		}
+		attrs := rel.Attrs()
+		if len(cte.Cols) > 0 {
+			if len(cte.Cols) != len(attrs) {
+				return nil, fmt.Errorf("CTE %q declares %d columns, its query returns %d", cte.Name, len(cte.Cols), len(attrs))
+			}
+			attrs = cte.Cols
+		}
+		child.db[cte.Name] = rel.Rename(cte.Name, attrs)
+	}
+	return child.evalQuery(w.Body, outer)
+}
+
+// evalRecursiveCTE is the reference iteration for one recursive CTE,
+// with the SQL-standard working-table semantics: the result and working
+// table start as the base term's output; each round re-evaluates the
+// step with the CTE name bound to the working table only, and the new
+// rows (for UNION: deduplicated and not already in the result) become
+// the next working table. It shares no code with the planner's fixpoint
+// engine — it is the baseline the differential suite compares against.
+func (e *evaluator) evalRecursiveCTE(cte sql.CTE, baseQ, stepQ sql.Query, all bool, outer *frame) (*relation.Relation, error) {
+	base, err := e.evalQuery(baseQ, outer)
+	if err != nil {
+		return nil, err
+	}
+	attrs := base.Attrs()
+	if len(cte.Cols) > 0 {
+		if len(cte.Cols) != len(attrs) {
+			return nil, fmt.Errorf("CTE %q declares %d columns, its query returns %d", cte.Name, len(cte.Cols), len(attrs))
+		}
+		attrs = cte.Cols
+	}
+	distinct := !all
+	result := relation.New(cte.Name, attrs...)
+	work := relation.New(cte.Name, attrs...)
+	base.Each(func(t relation.Tuple, m int) {
+		if distinct {
+			if !work.Contains(t) {
+				work.Insert(t)
+			}
+			return
+		}
+		work.InsertMult(t, m)
+	})
+	work.Each(func(t relation.Tuple, m int) { result.InsertMult(t, m) })
+	stepEv := &evaluator{db: make(DB, len(e.db)+1)}
+	for k, v := range e.db {
+		stepEv.db[k] = v
+	}
+	for iter := 0; work.Distinct() > 0; iter++ {
+		if iter >= MaxRecursiveIterations {
+			hint := "UNION ALL recursion needs a bounded step"
+			if distinct {
+				hint = "the step keeps deriving new rows over a growing domain"
+			}
+			return nil, fmt.Errorf("recursive CTE %q did not converge within %d iterations (%s)", cte.Name, MaxRecursiveIterations, hint)
+		}
+		stepEv.db[cte.Name] = work
+		out, err := stepEv.evalQuery(stepQ, outer)
+		if err != nil {
+			return nil, err
+		}
+		if out.Arity() != len(attrs) {
+			return nil, fmt.Errorf("recursive CTE %q: step arity %d, want %d", cte.Name, out.Arity(), len(attrs))
+		}
+		next := relation.New(cte.Name, attrs...)
+		out.Each(func(t relation.Tuple, m int) {
+			if distinct {
+				if result.Contains(t) || next.Contains(t) {
+					return
+				}
+				next.Insert(t)
+				return
+			}
+			next.InsertMult(t, m)
+		})
+		next.Each(func(t relation.Tuple, m int) { result.InsertMult(t, m) })
+		work = next
+	}
+	return result, nil
+}
+
 func (e *evaluator) evalQuery(q sql.Query, outer *frame) (*relation.Relation, error) {
 	switch x := q.(type) {
+	case *sql.With:
+		return e.evalWith(x, outer)
 	case *sql.Union:
 		l, err := e.evalQuery(x.Left, outer)
 		if err != nil {
