@@ -3,7 +3,7 @@
 GO ?= go
 
 # Benchmark-regression gate (same knobs as CI).
-BENCH_PATTERN ?= Join|Fixpoint|Group|Recursion|RecursiveCTE
+BENCH_PATTERN ?= Join|Fixpoint|Group|Recursion|RecursiveCTE|Prepared|Concurrent
 BENCH_WARN ?= 15
 BENCH_FAIL ?= 50
 
@@ -16,6 +16,7 @@ build:
 
 test:
 	$(GO) test -race ./...
+	$(GO) test -race -parallel 8 -count=1 ./internal/engine ./internal/relation
 
 # One iteration of every benchmark (including the E01–E21 experiment
 # harness): the CI smoke pass. Use `go test -bench=<pattern> .` directly

@@ -6,6 +6,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -13,6 +14,7 @@ import (
 	"repro/internal/convention"
 	"repro/internal/core"
 	"repro/internal/datalog"
+	"repro/internal/engine"
 	"repro/internal/eval"
 	"repro/internal/exec"
 	"repro/internal/experiments"
@@ -220,6 +222,67 @@ func BenchmarkSQLRecursiveCTE(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkPreparedVsReparse pins the engine's compile-once contract: a
+// parameterized point lookup executed through one prepared statement
+// (bind $1, probe, stream) against the re-parse-and-re-plan-per-call
+// shape the pre-engine entry points had. The acceptance bar is ≥ 5×;
+// see also the ratio test in internal/engine.
+func BenchmarkPreparedVsReparse(b *testing.B) {
+	rng := workload.Rand(21)
+	r := workload.RandomBinary(rng, "R", "A", "B", 20000, 20000, 64)
+	db := engine.Open(r)
+	stmt, err := db.Prepare(engine.LangSQL, "select R.A, R.B from R where R.A = $1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.Run("prepared", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := stmt.QueryAll(ctx, i%20000); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	sdb := sqleval.DB{"R": r}
+	b.Run("reparse", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			src := fmt.Sprintf("select R.A, R.B from R where R.A = %d", i%20000)
+			if _, err := sqleval.EvalString(src, sdb); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkConcurrentSessions measures N goroutines sharing one DB and
+// one prepared statement — the race-safe concurrent-session contract
+// under load (indexes, plan, and statement cache all shared).
+func BenchmarkConcurrentSessions(b *testing.B) {
+	rng := workload.Rand(22)
+	r := workload.RandomBinary(rng, "R", "A", "B", 20000, 20000, 64)
+	db := engine.Open(r)
+	stmt, err := db.Prepare(engine.LangSQL, "select R.A, R.B from R where R.A = $1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.SetParallelism(2) // ≥ 8 sessions on a 4-core runner
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, err := stmt.QueryAll(ctx, (i*131)%20000); err != nil {
+				// b.Fatal must not run on a RunParallel worker goroutine.
+				b.Error(err)
+				return
+			}
+			i++
+		}
+	})
 }
 
 // BenchmarkMatMul compares the ARC evaluation of (26) against the direct

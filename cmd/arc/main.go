@@ -26,6 +26,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -103,7 +104,13 @@ func main() {
 			explain(col, *lang, src, cat, rels, *convName)
 		}
 		if *doEval {
-			res, err := core.Eval(col, cat, conventionsByName(*convName))
+			// One prepared statement through the unified engine — the
+			// same front door a long-running server would hold open.
+			stmt, err := core.OpenEngineCatalog(cat).PrepareARCCollection(col, conventionsByName(*convName))
+			if err != nil {
+				die(err)
+			}
+			res, err := stmt.QueryAll(context.Background())
 			if err != nil {
 				die(err)
 			}
@@ -114,14 +121,19 @@ func main() {
 
 // runSQLOnly evaluates and explains a SQL query that has no ARC
 // translation (recursive CTEs and other fragments the translator does
-// not cover) directly through the SQL planner and evaluator.
+// not cover) directly through the engine's SQL path.
 func runSQLOnly(src, dbPath string, doExplain, doEval bool) {
 	_, rels, err := loadCatalog(dbPath)
 	if err != nil {
 		die(err)
 	}
+	eng := core.OpenEngine(rels...)
+	stmt, err := eng.Prepare(core.LangSQL, src)
+	if err != nil {
+		die(err)
+	}
 	if doExplain {
-		s, err := core.ExplainSQL(src, rels...)
+		s, err := stmt.Explain()
 		switch {
 		case err == nil:
 			fmt.Println("sql plan:")
@@ -129,13 +141,12 @@ func runSQLOnly(src, dbPath string, doExplain, doEval bool) {
 		case errors.Is(err, plan.ErrNotPlannable):
 			fmt.Printf("sql plan: not planner-compiled (%v)\n", err)
 		default:
-			// Parse and other genuine errors must fail, not render as a
-			// planner bailout.
+			// Genuine errors must fail, not render as a planner bailout.
 			die(err)
 		}
 	}
 	if doEval {
-		res, err := core.EvalSQL(src, rels...)
+		res, err := stmt.QueryAll(context.Background())
 		if err != nil {
 			die(err)
 		}

@@ -4,14 +4,23 @@
 // the three modalities (comprehension text, ALT, higraph), and pattern
 // analysis. The examples and command-line tools are written against this
 // surface.
+//
+// Evaluation flows through internal/engine, the unified prepared-
+// statement front door for all three languages: OpenEngine exposes it
+// directly (Prepare once, Query many, streaming Rows cursors, race-safe
+// concurrent sessions), while the one-shot Eval/EvalSQL/EvalDatalog
+// functions remain as thin shims over it for compatibility.
 package core
 
 import (
+	"context"
+
 	"repro/internal/alt"
 	"repro/internal/arc"
 	"repro/internal/arc2sql"
 	"repro/internal/convention"
 	"repro/internal/datalog"
+	"repro/internal/engine"
 	"repro/internal/eval"
 	"repro/internal/higraph"
 	"repro/internal/pattern"
@@ -54,6 +63,44 @@ var (
 	// Souffle: set semantics, 2VL, SUM over empty = 0.
 	Souffle = convention.Souffle
 )
+
+// --- Engine API (the unified front door) ----------------------------------
+
+// Engine re-exports: one DB holds the catalog, statements prepare once
+// (parse + validate + plan) and execute many times, Query returns a
+// streaming Rows cursor, and N sessions may execute prepared statements
+// concurrently. See internal/engine for the full contract.
+type (
+	// Engine is a prepared-statement database over the three languages.
+	Engine = engine.DB
+	// Stmt is a prepared statement (Query/QueryAll/Columns/NumParams).
+	Stmt = engine.Stmt
+	// Rows is a streaming result cursor (Next/Scan/Columns/Close/Err).
+	Rows = engine.Rows
+	// Lang selects a statement's language.
+	Lang = engine.Lang
+	// Input is a named input-relation binding for ARC/Datalog statements.
+	Input = engine.Binding
+)
+
+// Language selectors for Engine.Prepare.
+const (
+	LangSQL     = engine.LangSQL
+	LangARC     = engine.LangARC
+	LangDatalog = engine.LangDatalog
+)
+
+// OpenEngine creates an engine over base relations.
+func OpenEngine(rels ...*Relation) *Engine { return engine.Open(rels...) }
+
+// OpenEngineCatalog creates an engine over an existing catalog (views,
+// abstract relations, and externals included).
+func OpenEngineCatalog(cat *Catalog, rels ...*Relation) *Engine {
+	return engine.OpenCatalog(cat, rels...)
+}
+
+// Bind builds a named input binding for ARC/Datalog statement execution.
+func Bind(name string, rel *Relation) Input { return engine.In(name, rel) }
 
 // NewRelation creates an empty relation.
 func NewRelation(name string, attrs ...string) *Relation { return relation.New(name, attrs...) }
@@ -104,9 +151,15 @@ func ExplainSQL(src string, rels ...*Relation) (string, error) {
 	return sqleval.Explain(q, db)
 }
 
-// Eval evaluates a collection against a catalog under conventions.
+// Eval evaluates a collection against a catalog under conventions — a
+// one-shot shim over the engine (prefer OpenEngineCatalog + Prepare for
+// repeated execution).
 func Eval(col *Collection, cat *Catalog, conv Conventions) (*Relation, error) {
-	return eval.Eval(col, cat, conv)
+	stmt, err := engine.OpenCatalog(cat).PrepareARCCollection(col, conv)
+	if err != nil {
+		return nil, err
+	}
+	return stmt.QueryAll(context.Background())
 }
 
 // EvalSentence evaluates a Boolean sentence.
@@ -122,13 +175,10 @@ func FromSQL(src string) (*Collection, error) { return sql2arc.TranslateString(s
 func ToSQL(col *Collection) (string, error) { return arc2sql.RenderString(col) }
 
 // EvalSQL runs a SQL string directly on relations with standard SQL
-// semantics (the independent baseline evaluator).
+// semantics — a one-shot shim over the engine (prefer OpenEngine +
+// Prepare with $n placeholders for repeated execution).
 func EvalSQL(src string, rels ...*Relation) (*Relation, error) {
-	db := sqleval.DB{}
-	for _, r := range rels {
-		db[r.Name()] = r
-	}
-	return sqleval.EvalString(src, db)
+	return engine.Open(rels...).QueryAll(context.Background(), engine.LangSQL, src)
 }
 
 // FromDatalog parses a Datalog program and translates one predicate into
@@ -142,17 +192,14 @@ func FromDatalog(src string, schemas map[string][]string, pred string) (*Collect
 }
 
 // EvalDatalog runs a Datalog program under Soufflé conventions and
-// returns one predicate.
+// returns one predicate — a one-shot shim over the engine (prefer
+// OpenEngine + PrepareDatalog for repeated execution).
 func EvalDatalog(src string, pred string, rels ...*Relation) (*Relation, error) {
-	p, err := datalog.Parse(src)
+	stmt, err := engine.Open(rels...).PrepareDatalog(src, pred)
 	if err != nil {
 		return nil, err
 	}
-	edb := datalog.EDB{}
-	for _, r := range rels {
-		edb[r.Name()] = r
-	}
-	return datalog.EvalPredicate(p, edb, pred)
+	return stmt.QueryAll(context.Background())
 }
 
 // ALT renders the machine-facing tree modality (Fig 2a).

@@ -19,7 +19,14 @@ type EDB map[string]*relation.Relation
 // aggregate body yield 0, min/max/mean over an empty body fail (derive
 // nothing).
 func EvalProgram(p *Program, edb EDB) (map[string]*relation.Relation, error) {
-	e := &dlEval{edb: edb, idb: map[string]*relation.Relation{}}
+	return EvalProgramWith(p, edb, nil)
+}
+
+// EvalProgramWith is EvalProgram with an optional cancellation check,
+// polled each stratum fixpoint round (the engine layer wires context
+// cancellation through it).
+func EvalProgramWith(p *Program, edb EDB, check func() error) (map[string]*relation.Relation, error) {
+	e := &dlEval{edb: edb, idb: map[string]*relation.Relation{}, check: check}
 	if err := e.prepare(p); err != nil {
 		return nil, err
 	}
@@ -37,7 +44,13 @@ func EvalProgram(p *Program, edb EDB) (map[string]*relation.Relation, error) {
 
 // EvalPredicate evaluates the program and returns one predicate.
 func EvalPredicate(p *Program, edb EDB, pred string) (*relation.Relation, error) {
-	out, err := EvalProgram(p, edb)
+	return EvalPredicateWith(p, edb, pred, nil)
+}
+
+// EvalPredicateWith is EvalPredicate with an optional cancellation check
+// polled each fixpoint round.
+func EvalPredicateWith(p *Program, edb EDB, pred string, check func() error) (*relation.Relation, error) {
+	out, err := EvalProgramWith(p, edb, check)
 	if err != nil {
 		return nil, err
 	}
@@ -49,8 +62,9 @@ func EvalPredicate(p *Program, edb EDB, pred string) (*relation.Relation, error)
 }
 
 type dlEval struct {
-	edb EDB
-	idb map[string]*relation.Relation
+	edb   EDB
+	idb   map[string]*relation.Relation
+	check func() error
 }
 
 // prepare creates empty IDB relations with positional attribute names and
@@ -186,7 +200,7 @@ func (e *dlEval) fixpoint(rules []*Rule) error {
 	if len(rules) > 0 {
 		name = "datalog stratum of " + rules[0].Head.Pred
 	}
-	return fixpoint.Run(e.idb, frules, fixpoint.Options{Name: name})
+	return fixpoint.Run(e.idb, frules, fixpoint.Options{Name: name, Check: e.check})
 }
 
 type bindings map[string]value.Value

@@ -1,0 +1,101 @@
+package engine
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"repro/internal/convention"
+)
+
+// stmtCache is the schema-versioned prepared-statement LRU. Entries are
+// keyed by language + source (+ conventions for ARC, which change the
+// statement's meaning); a hit is revalidated against the DB's schema
+// generation and the tuple generation of every relation the statement
+// references, so both schema changes (Register) and data changes
+// (inserts) re-prepare rather than serving a stale compilation.
+type stmtCache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recently used; values are *cacheEntry
+	entries map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key       string
+	stmt      *Stmt
+	schemaGen uint64
+	relGens   map[string]uint64
+}
+
+func newStmtCache(capacity int) *stmtCache {
+	return &stmtCache{cap: capacity, order: list.New(), entries: map[string]*list.Element{}}
+}
+
+// cacheKey builds the lookup key. Conventions only affect ARC statement
+// semantics, so SQL and Datalog share entries across convention changes.
+func cacheKey(lang Lang, conv convention.Conventions, src, pred string) string {
+	convPart := ""
+	if lang == LangARC {
+		convPart = conv.String()
+	}
+	return fmt.Sprintf("%s\x00%s\x00%s\x00%s", lang, convPart, pred, src)
+}
+
+// lookup returns the cached statement when present AND still valid under
+// the DB's current schema and tuple generations; an invalid entry is
+// evicted so the caller re-prepares.
+func (c *stmtCache) lookup(key string, db *DB) *Stmt {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil
+	}
+	e := el.Value.(*cacheEntry)
+	if !c.validLocked(e, db) {
+		c.order.Remove(el)
+		delete(c.entries, key)
+		return nil
+	}
+	c.order.MoveToFront(el)
+	return e.stmt
+}
+
+// validLocked checks the entry against the live generations.
+func (c *stmtCache) validLocked(e *cacheEntry, db *DB) bool {
+	if e.schemaGen != db.schemaGen.Load() {
+		return false
+	}
+	for name, gen := range e.relGens {
+		rel := db.Relation(name)
+		if rel == nil || rel.Generation() != gen {
+			return false
+		}
+	}
+	return true
+}
+
+// store inserts a fresh entry, evicting the least recently used past cap.
+func (c *stmtCache) store(key string, s *Stmt, schemaGen uint64, relGens map[string]uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.Remove(el)
+		delete(c.entries, key)
+	}
+	el := c.order.PushFront(&cacheEntry{key: key, stmt: s, schemaGen: schemaGen, relGens: relGens})
+	c.entries[key] = el
+	for c.order.Len() > c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.entries, last.Value.(*cacheEntry).key)
+	}
+}
+
+// Len reports the number of cached statements (for tests).
+func (c *stmtCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,332 @@
+// Package engine is the unified front door to the three query languages
+// the paper unifies: SQL, ARC comprehensions, and Datalog all prepare and
+// execute through one API, mirroring database/sql's Prepare/Query/Rows
+// contract.
+//
+//	db := engine.Open(rels...)
+//	stmt, err := db.Prepare(engine.LangSQL, "select R.A from R where R.B = $1")
+//	rows, err := stmt.Query(ctx, 7)
+//	for rows.Next() { rows.Scan(&a) }
+//	rows.Close()
+//
+// Prepare parses, validates, and plans ONCE; Query binds arguments and
+// executes without re-planning — SQL placeholders ($1, $2, …) are
+// plan-time leaves resolved at bind time, and ARC/Datalog statements bind
+// named input relations through the evaluator override / EDB slots.
+// Query returns a streaming cursor driven directly off the internal/exec
+// iterator tree (no forced materialization for planner-compiled SQL),
+// with context cancellation checked in the operator pull loop and in
+// fixpoint rounds.
+//
+// Concurrency contract: a DB and its prepared statements are safe for
+// concurrent use — compiled plans are immutable, all execution state is
+// per-call, and internal/relation's locking makes concurrent reads (and
+// reads concurrent with inserts) race-free. Register swaps relations
+// copy-on-write, so statements prepared earlier keep a consistent
+// snapshot; the statement cache revalidates against the schema and tuple
+// generations, so a later Prepare sees the new state.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/alt"
+	"repro/internal/convention"
+	"repro/internal/datalog"
+	"repro/internal/eval"
+	"repro/internal/relation"
+	"repro/internal/sql"
+)
+
+// Lang selects the query language of a prepared statement.
+type Lang int
+
+const (
+	// LangSQL prepares SQL text with $n placeholders.
+	LangSQL Lang = iota
+	// LangARC prepares an ARC comprehension.
+	LangARC
+	// LangDatalog prepares a Datalog program (the statement returns the
+	// last rule's head predicate unless PrepareDatalog names another).
+	LangDatalog
+)
+
+// String names the language.
+func (l Lang) String() string {
+	switch l {
+	case LangSQL:
+		return "sql"
+	case LangARC:
+		return "arc"
+	case LangDatalog:
+		return "datalog"
+	}
+	return fmt.Sprintf("lang(%d)", int(l))
+}
+
+// DB is one engine instance: the catalog every statement prepared from it
+// runs against, plus the schema-versioned statement cache.
+type DB struct {
+	mu   sync.RWMutex
+	rels map[string]*relation.Relation
+	cat  *eval.Catalog
+	conv convention.Conventions
+	// schemaGen bumps whenever the set of registered relations (or a
+	// relation's identity) changes; cached statements prepared under an
+	// older generation are re-prepared.
+	schemaGen atomic.Uint64
+	cache     *stmtCache
+}
+
+// DefaultStmtCacheSize bounds the per-DB prepared-statement LRU.
+const DefaultStmtCacheSize = 128
+
+// Open creates an engine over the given base relations, under SQL
+// conventions for ARC statements (change with SetConventions).
+func Open(rels ...*relation.Relation) *DB {
+	return OpenCatalog(eval.NewCatalog(), rels...)
+}
+
+// OpenCatalog creates an engine over an existing ARC catalog (keeping its
+// views, abstract relations, and externals), registering any extra
+// relations. The catalog's base relations become visible to SQL and
+// Datalog statements too. When extra relations are passed the catalog is
+// cloned first — the caller's catalog is never mutated, matching
+// Register's copy-on-write discipline.
+func OpenCatalog(cat *eval.Catalog, rels ...*relation.Relation) *DB {
+	if len(rels) > 0 {
+		cat = cat.Clone()
+	}
+	db := &DB{
+		rels:  map[string]*relation.Relation{},
+		cat:   cat,
+		conv:  convention.SQL(),
+		cache: newStmtCache(DefaultStmtCacheSize),
+	}
+	for _, r := range cat.BaseRelations() {
+		db.rels[r.Name()] = r
+	}
+	for _, r := range rels {
+		db.rels[r.Name()] = r
+		cat.AddRelation(r)
+	}
+	return db
+}
+
+// SetConventions sets the conventions ARC statements prepared afterwards
+// evaluate under (part of the statement cache key, so cached statements
+// under other conventions are unaffected).
+func (db *DB) SetConventions(conv convention.Conventions) *DB {
+	db.mu.Lock()
+	db.conv = conv
+	db.mu.Unlock()
+	return db
+}
+
+// Register adds or replaces base relations. The ARC catalog is swapped
+// copy-on-write, so evaluations already in flight keep their snapshot;
+// the schema generation bump invalidates cached statements.
+func (db *DB) Register(rels ...*relation.Relation) *DB {
+	db.mu.Lock()
+	cat := db.cat.Clone()
+	for _, r := range rels {
+		db.rels[r.Name()] = r
+		cat.AddRelation(r)
+	}
+	db.cat = cat
+	db.mu.Unlock()
+	db.schemaGen.Add(1)
+	return db
+}
+
+// Relation returns the registered relation with the given name, or nil.
+func (db *DB) Relation(name string) *relation.Relation {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.rels[name]
+}
+
+// snapshot captures the current relation map and catalog.
+func (db *DB) snapshot() (map[string]*relation.Relation, *eval.Catalog) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	rels := make(map[string]*relation.Relation, len(db.rels))
+	for k, v := range db.rels {
+		rels[k] = v
+	}
+	return rels, db.cat
+}
+
+// conventions reads the current ARC conventions.
+func (db *DB) conventions() convention.Conventions {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.conv
+}
+
+// Prepare parses, validates, and plans src once, returning a reusable
+// (and concurrently executable) statement. Statements are cached in a
+// schema-versioned LRU keyed by language and source: a hit is revalidated
+// against the schema generation and the tuple generation of every
+// relation the statement references, so data or schema changes re-prepare
+// instead of serving a stale compilation.
+func (db *DB) Prepare(lang Lang, src string) (*Stmt, error) {
+	return db.prepare(lang, src, "")
+}
+
+// PrepareDatalog prepares a Datalog program and selects which predicate
+// Query returns (defaults to the last rule's head when pred is empty).
+func (db *DB) PrepareDatalog(src, pred string) (*Stmt, error) {
+	return db.prepare(LangDatalog, src, pred)
+}
+
+func (db *DB) prepare(lang Lang, src, pred string) (*Stmt, error) {
+	conv := db.conventions()
+	key := cacheKey(lang, conv, src, pred)
+	if s := db.cache.lookup(key, db); s != nil {
+		return s, nil
+	}
+	// The schema generation is captured BEFORE the relation snapshot and
+	// the compile: if a Register lands anywhere in between, the stored
+	// generation is already stale and the next Prepare recompiles —
+	// never the reverse (a statement bound to replaced relations served
+	// as valid).
+	gen := db.schemaGen.Load()
+	rels, cat := db.snapshot()
+	s, err := compileStmt(db, lang, src, pred, rels, cat, conv)
+	if err != nil {
+		return nil, err
+	}
+	db.cache.store(key, s, gen, relGensOf(rels, s.refs))
+	return s, nil
+}
+
+// PrepareARCCollection prepares an already-parsed ARC collection under
+// explicit conventions — the facade's entry for callers that hold an AST
+// rather than source text. The statement is not cached.
+func (db *DB) PrepareARCCollection(col *alt.Collection, conv convention.Conventions) (*Stmt, error) {
+	db.mu.RLock()
+	cat := db.cat
+	db.mu.RUnlock()
+	return compileARC(db, col, col.String(), cat, conv)
+}
+
+// Query is the convenience one-shot: Prepare (hitting the statement
+// cache) then Query.
+func (db *DB) Query(ctx context.Context, lang Lang, src string, args ...any) (*Rows, error) {
+	s, err := db.Prepare(lang, src)
+	if err != nil {
+		return nil, err
+	}
+	return s.Query(ctx, args...)
+}
+
+// QueryAll is the convenience one-shot returning a materialized relation.
+func (db *DB) QueryAll(ctx context.Context, lang Lang, src string, args ...any) (*relation.Relation, error) {
+	s, err := db.Prepare(lang, src)
+	if err != nil {
+		return nil, err
+	}
+	return s.QueryAll(ctx, args...)
+}
+
+// relGens snapshots the tuple generation of every named relation the
+// statement references, from the same relation snapshot it was compiled
+// against — the statement cache's data-change fingerprint. Invalidation
+// on data (not just schema) change is deliberate, per the engine's cache
+// contract: a cached statement never predates the data it answers over,
+// and a held *Stmt — the compile-once fast path — is unaffected.
+func relGensOf(rels map[string]*relation.Relation, names []string) map[string]uint64 {
+	out := make(map[string]uint64, len(names))
+	for _, n := range names {
+		if r, ok := rels[n]; ok {
+			out[n] = r.Generation()
+		}
+	}
+	return out
+}
+
+// checkFromCtx turns a context into the cancellation poll the execution
+// layers share. Contexts that can never be cancelled poll nothing.
+func checkFromCtx(ctx context.Context) func() error {
+	if ctx == nil || ctx.Done() == nil {
+		return nil
+	}
+	return ctx.Err
+}
+
+// referencedSQL lists the base tables a SQL query reads.
+func referencedSQL(q sql.Query) []string { return sql.Tables(q) }
+
+// referencedARC lists the relation names an ARC collection binds,
+// including nested comprehension sources.
+func referencedARC(col *alt.Collection) []string {
+	var out []string
+	seen := map[string]bool{}
+	var walkF func(alt.Formula)
+	var walkC func(*alt.Collection)
+	walkF = func(f alt.Formula) {
+		switch x := f.(type) {
+		case *alt.And:
+			for _, k := range x.Kids {
+				walkF(k)
+			}
+		case *alt.Or:
+			for _, k := range x.Kids {
+				walkF(k)
+			}
+		case *alt.Not:
+			walkF(x.Kid)
+		case *alt.Quantifier:
+			for _, b := range x.Bindings {
+				if b.Sub != nil {
+					walkC(b.Sub)
+					continue
+				}
+				if !seen[b.Rel] {
+					seen[b.Rel] = true
+					out = append(out, b.Rel)
+				}
+			}
+			walkF(x.Body)
+		}
+	}
+	walkC = func(c *alt.Collection) { walkF(c.Body) }
+	walkC(col)
+	return out
+}
+
+// referencedDatalog lists the predicates a program reads or derives.
+func referencedDatalog(p *datalog.Program) []string {
+	var out []string
+	seen := map[string]bool{}
+	add := func(name string) {
+		if !seen[name] {
+			seen[name] = true
+			out = append(out, name)
+		}
+	}
+	var addLit func(l datalog.Literal)
+	addLit = func(l datalog.Literal) {
+		switch x := l.(type) {
+		case datalog.PosAtom:
+			add(x.Atom.Pred)
+		case datalog.NegAtom:
+			add(x.Atom.Pred)
+		case datalog.AggLiteral:
+			for _, bl := range x.Body {
+				addLit(bl)
+			}
+		}
+	}
+	for _, r := range p.Rules {
+		add(r.Head.Pred)
+		for _, l := range r.Body {
+			addLit(l)
+		}
+	}
+	return out
+}

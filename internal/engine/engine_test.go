@@ -1,0 +1,355 @@
+package engine
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/convention"
+	"repro/internal/relation"
+	"repro/internal/value"
+)
+
+func chain(n int) *relation.Relation {
+	p := relation.New("P", "s", "t")
+	for i := 0; i < n; i++ {
+		p.Add(i, i+1)
+	}
+	return p
+}
+
+func TestSQLPreparedParamQuery(t *testing.T) {
+	r := relation.New("R", "A", "B").Add(1, 10).Add(2, 20).Add(2, 21).Add(3, 30)
+	db := Open(r)
+	stmt, err := db.Prepare(LangSQL, "select R.A, R.B from R where R.A = $1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stmt.NumParams(); got != 1 {
+		t.Fatalf("NumParams = %d, want 1", got)
+	}
+	if cols := stmt.Columns(); len(cols) != 2 || cols[0] != "A" || cols[1] != "B" {
+		t.Fatalf("Columns = %v", cols)
+	}
+	for _, tc := range []struct {
+		arg  int
+		want int
+	}{{1, 1}, {2, 2}, {3, 1}, {9, 0}} {
+		rows, err := stmt.Query(context.Background(), tc.arg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for rows.Next() {
+			var a, b int64
+			if err := rows.Scan(&a, &b); err != nil {
+				t.Fatal(err)
+			}
+			if a != int64(tc.arg) {
+				t.Fatalf("A = %d, want %d", a, tc.arg)
+			}
+			n++
+		}
+		if err := rows.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if n != tc.want {
+			t.Fatalf("arg %d: %d rows, want %d", tc.arg, n, tc.want)
+		}
+	}
+	// The plan must actually probe on the parameter, not scan.
+	explain, err := stmt.Explain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(explain, "probe(A=$1)") {
+		t.Fatalf("expected a parameter probe in the plan:\n%s", explain)
+	}
+}
+
+func TestSQLArgCountAndTypeErrors(t *testing.T) {
+	db := Open(relation.New("R", "A", "B").Add(1, 2))
+	stmt, err := db.Prepare(LangSQL, "select R.A from R where R.A = $1 and R.B = $2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stmt.Query(context.Background(), 1); err == nil {
+		t.Fatal("expected an argument-count error")
+	}
+	if _, err := stmt.Query(context.Background(), 1, In("X", relation.New("X", "a"))); err == nil {
+		t.Fatal("expected a binding-rejected error for SQL")
+	}
+	if _, err := stmt.Query(context.Background(), 1, struct{}{}); err == nil {
+		t.Fatal("expected an unsupported-type error")
+	}
+}
+
+func TestSQLNullAndFloatParams(t *testing.T) {
+	r := relation.New("R", "A", "B").Add(1, 10).Add(2, nil)
+	db := Open(r)
+	// NULL binding: equality with NULL holds for no row.
+	rel, err := db.QueryAll(context.Background(), LangSQL, "select R.A from R where R.B = $1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Card() != 0 {
+		t.Fatalf("NULL = NULL matched %d rows, want 0", rel.Card())
+	}
+	// Float binding matches the int column under value equality.
+	rel, err = db.QueryAll(context.Background(), LangSQL, "select R.A from R where R.B = $1", 10.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Card() != 1 {
+		t.Fatalf("10.0 matched %d rows, want 1", rel.Card())
+	}
+}
+
+func TestARCPreparedWithBinding(t *testing.T) {
+	db := Open(chain(5)).SetConventions(convention.SetLogic())
+	stmt, err := db.Prepare(LangARC,
+		"{A(s, t) | ∃p ∈ P [A.s = p.s ∧ A.t = p.t] ∨ ∃p ∈ P, a2 ∈ A [A.s = p.s ∧ p.t = a2.s ∧ A.t = a2.t]}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := stmt.QueryAll(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Distinct() != 15 { // chain of 5 edges → 15 TC pairs
+		t.Fatalf("TC over chain(5) has %d pairs, want 15", rel.Distinct())
+	}
+	// Rebind P to a different instance through the override slot.
+	rel, err = stmt.QueryAll(context.Background(), In("P", chain(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Distinct() != 6 {
+		t.Fatalf("TC over bound chain(3) has %d pairs, want 6", rel.Distinct())
+	}
+	// The original catalog relation is untouched for the next execution.
+	rel, err = stmt.QueryAll(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Distinct() != 15 {
+		t.Fatalf("override leaked across executions: %d pairs", rel.Distinct())
+	}
+}
+
+func TestDatalogPreparedWithBinding(t *testing.T) {
+	db := Open(chain(4))
+	stmt, err := db.Prepare(LangDatalog, "A(x,y) :- P(x,y). A(x,y) :- P(x,z), A(z,y).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cols := stmt.Columns(); len(cols) != 2 {
+		t.Fatalf("Columns = %v", cols)
+	}
+	rel, err := stmt.QueryAll(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Distinct() != 10 {
+		t.Fatalf("TC over chain(4) has %d pairs, want 10", rel.Distinct())
+	}
+	rel, err = stmt.QueryAll(context.Background(), In("P", chain(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Distinct() != 3 {
+		t.Fatalf("TC over bound chain(2) has %d pairs, want 3", rel.Distinct())
+	}
+}
+
+func TestThreeLanguageAgreement(t *testing.T) {
+	// The paper's one-language-family claim, through the one front door:
+	// transitive closure in SQL, ARC, and Datalog over the same instance
+	// must be byte-identical.
+	db := Open(chain(10)).SetConventions(convention.SetLogic())
+	ctx := context.Background()
+	sqlRel, err := db.QueryAll(ctx, LangSQL, `with recursive tc(s, t) as (
+		select P.s, P.t from P union select tc.s, P.t from tc, P where tc.t = P.s
+	) select tc.s, tc.t from tc`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arcRel, err := db.QueryAll(ctx, LangARC,
+		"{A(s, t) | ∃p ∈ P [A.s = p.s ∧ A.t = p.t] ∨ ∃p ∈ P, a2 ∈ A [A.s = p.s ∧ p.t = a2.s ∧ A.t = a2.t]}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dlRel, err := db.QueryAll(ctx, LangDatalog, "A(x,y) :- P(x,y). A(x,y) :- P(x,z), A(z,y).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon := func(r *relation.Relation) string { return r.Rename("X", []string{"c1", "c2"}).String() }
+	if canon(sqlRel) != canon(arcRel) || canon(sqlRel) != canon(dlRel) {
+		t.Fatalf("three-way divergence:\nSQL:\n%s\nARC:\n%s\nDatalog:\n%s", sqlRel, arcRel, dlRel)
+	}
+}
+
+func TestStmtCacheHitAndInvalidation(t *testing.T) {
+	r := relation.New("R", "A", "B").Add(1, 10)
+	db := Open(r)
+	const src = "select R.A from R where R.A = $1"
+	s1, err := db.Prepare(LangSQL, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := db.Prepare(LangSQL, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Fatal("second Prepare missed the statement cache")
+	}
+	// Data change (tuple generation) invalidates.
+	r.Add(2, 20)
+	s3, err := db.Prepare(LangSQL, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3 == s1 {
+		t.Fatal("insert did not invalidate the cached statement")
+	}
+	// Schema change (Register) invalidates.
+	s4, _ := db.Prepare(LangSQL, src)
+	db.Register(relation.New("R", "A", "B").Add(7, 70))
+	s5, err := db.Prepare(LangSQL, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s5 == s4 {
+		t.Fatal("Register did not invalidate the cached statement")
+	}
+	// The re-prepared statement reads the replacement relation.
+	rel, err := s5.QueryAll(context.Background(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Card() != 1 {
+		t.Fatalf("re-prepared statement sees %d rows for A=7, want 1", rel.Card())
+	}
+	// The pre-Register statement still answers from its snapshot.
+	rel, err = s4.QueryAll(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Card() != 1 {
+		t.Fatalf("old statement lost its snapshot: %d rows for A=1", rel.Card())
+	}
+}
+
+func TestStmtCacheLRUEviction(t *testing.T) {
+	db := Open(relation.New("R", "A").Add(1))
+	db.cache = newStmtCache(2)
+	mustPrepare := func(src string) {
+		if _, err := db.Prepare(LangSQL, src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustPrepare("select R.A from R")
+	mustPrepare("select R.A c from R")
+	mustPrepare("select R.A d from R")
+	if n := db.cache.Len(); n != 2 {
+		t.Fatalf("cache holds %d entries, want 2", n)
+	}
+}
+
+func TestRowsMultiplicityExpansionAndValues(t *testing.T) {
+	r := relation.New("R", "A").Add(5).Add(5).Add(5).Add(8)
+	db := Open(r)
+	rows, err := db.Query(context.Background(), LangSQL, "select R.A from R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	counts := map[int64]int{}
+	for rows.Next() {
+		vs := rows.Values()
+		if len(vs) != 1 {
+			t.Fatalf("Values = %v", vs)
+		}
+		counts[vs[0].AsInt()]++
+	}
+	if rows.Err() != nil {
+		t.Fatal(rows.Err())
+	}
+	if counts[5] != 3 || counts[8] != 1 {
+		t.Fatalf("bag expansion wrong: %v", counts)
+	}
+}
+
+func TestRowsScanConversions(t *testing.T) {
+	r := relation.New("R", "i", "f", "s", "n").Add(4, 2.5, "hi", nil)
+	db := Open(r)
+	rows, err := db.Query(context.Background(), LangSQL, "select R.i, R.f, R.s, R.n from R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	if !rows.Next() {
+		t.Fatal("no row")
+	}
+	var i int64
+	var f float64
+	var s string
+	var n any
+	if err := rows.Scan(&i, &f, &s, &n); err != nil {
+		t.Fatal(err)
+	}
+	if i != 4 || f != 2.5 || s != "hi" || n != nil {
+		t.Fatalf("scanned (%v, %v, %q, %v)", i, f, s, n)
+	}
+	var v value.Value
+	if err := rows.Scan(&v, &v, &v, &v); err != nil {
+		t.Fatal(err)
+	}
+	if !v.IsNull() {
+		t.Fatalf("last column = %v, want NULL", v)
+	}
+	var wrong bool
+	if err := rows.Scan(&wrong, &f, &s, &n); err == nil {
+		t.Fatal("expected a conversion error scanning int into *bool")
+	}
+}
+
+func TestFallbackSQLThroughEngine(t *testing.T) {
+	// LATERAL is outside the planner fragment: the statement must fall
+	// back to the reference enumeration path, with parameters still bound.
+	r := relation.New("R", "A").Add(1).Add(2)
+	s := relation.New("S", "A", "B").Add(1, 10).Add(2, 20)
+	db := Open(r, s)
+	stmt, err := db.Prepare(LangSQL,
+		"select R.A, X.B from R, lateral (select S.B from S where S.A = R.A) X where R.A = $1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stmt.Explain(); err == nil {
+		t.Fatal("expected Explain to report the planner bailout")
+	}
+	rel, err := stmt.QueryAll(context.Background(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Card() != 1 || rel.Tuples()[0][1].AsInt() != 20 {
+		t.Fatalf("fallback result wrong:\n%s", rel)
+	}
+}
+
+func TestPrepareErrors(t *testing.T) {
+	db := Open(relation.New("R", "A").Add(1))
+	if _, err := db.Prepare(LangSQL, "select from where"); err == nil {
+		t.Fatal("expected a SQL parse error")
+	}
+	if _, err := db.Prepare(LangARC, "{broken"); err == nil {
+		t.Fatal("expected an ARC parse error")
+	}
+	if _, err := db.Prepare(LangDatalog, ""); err == nil {
+		t.Fatal("expected an empty-program error")
+	}
+	if _, err := db.PrepareDatalog("A(x) :- P(x).", "nope"); err == nil {
+		t.Fatal("expected an unknown-predicate error")
+	}
+}

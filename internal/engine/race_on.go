@@ -1,0 +1,7 @@
+//go:build race
+
+package engine
+
+// raceEnabled reports whether the race detector instruments this build
+// (timing-sensitive tests scale their thresholds under it).
+const raceEnabled = true

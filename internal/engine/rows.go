@@ -1,0 +1,197 @@
+package engine
+
+import (
+	"fmt"
+	"iter"
+
+	"repro/internal/exec"
+	"repro/internal/relation"
+	"repro/internal/value"
+)
+
+// Rows is a streaming cursor over a statement's result, in the
+// database/sql style: Next advances (expanding bag multiplicities into
+// one step per occurrence), Scan converts the current row into Go
+// values, Close releases the underlying iterator early. A Rows is bound
+// to one goroutine; concurrent sessions each hold their own cursor.
+type Rows struct {
+	cols  []string
+	next  func() (relation.Tuple, int, bool)
+	stop  func()
+	errFn func() error
+	check func() error
+
+	cur    relation.Tuple
+	rem    int // remaining occurrences of cur (bag multiplicity)
+	err    error
+	closed bool
+}
+
+// newRows wraps a streaming sequence. errFn reports the execution error
+// (if any) once the stream stops; check is the per-advance cancellation
+// poll.
+func newRows(cols []string, seq exec.Seq, errFn func() error, check func() error) *Rows {
+	next, stop := iter.Pull2(seq)
+	return &Rows{cols: cols, next: next, stop: stop, errFn: errFn, check: check}
+}
+
+// relationRows streams an already-materialized result.
+func relationRows(cols []string, rel *relation.Relation, check func() error) *Rows {
+	return newRows(cols, exec.Scan(rel), func() error { return nil }, check)
+}
+
+// Columns returns the result column names.
+func (r *Rows) Columns() []string { return r.cols }
+
+// Next advances to the next row occurrence, returning false when the
+// stream is exhausted, an execution error occurred, or the query's
+// context was cancelled — check Err after the loop.
+func (r *Rows) Next() bool {
+	if r.closed || r.err != nil {
+		return false
+	}
+	if r.rem > 1 {
+		r.rem--
+		return true
+	}
+	// Polled once per pulled row: a cursor advance already pays a
+	// coroutine switch (iter.Pull2), so one uncontended ctx.Err on top
+	// is noise, and it keeps cancellation prompt at the API boundary
+	// even for sources with no internal poll sites.
+	if r.check != nil {
+		if err := r.check(); err != nil {
+			r.fail(err)
+			return false
+		}
+	}
+	t, m, ok := r.next()
+	if !ok {
+		r.finish()
+		return false
+	}
+	r.cur, r.rem = t, m
+	return true
+}
+
+// Values returns a copy of the current row.
+func (r *Rows) Values() []value.Value {
+	out := make([]value.Value, len(r.cur))
+	copy(out, r.cur)
+	return out
+}
+
+// Scan converts the current row into dest pointers: *int, *int64,
+// *float64, *string, *bool, *value.Value, or *any (NULL scans as nil
+// into *any and as value.Null() into *value.Value; other destinations
+// reject it).
+func (r *Rows) Scan(dest ...any) error {
+	if r.closed {
+		return fmt.Errorf("engine: Scan after Close")
+	}
+	if r.cur == nil {
+		return fmt.Errorf("engine: Scan before Next")
+	}
+	if len(dest) != len(r.cur) {
+		return fmt.Errorf("engine: Scan got %d destinations for %d columns", len(dest), len(r.cur))
+	}
+	for i, d := range dest {
+		if err := scanValue(r.cur[i], d); err != nil {
+			return fmt.Errorf("engine: column %d (%s): %w", i, r.colName(i), err)
+		}
+	}
+	return nil
+}
+
+func (r *Rows) colName(i int) string {
+	if i < len(r.cols) {
+		return r.cols[i]
+	}
+	return fmt.Sprintf("col%d", i+1)
+}
+
+// scanValue converts one value into a destination pointer.
+func scanValue(v value.Value, dest any) error {
+	switch d := dest.(type) {
+	case *value.Value:
+		*d = v
+		return nil
+	case *any:
+		switch v.Kind() {
+		case value.KindNull:
+			*d = nil
+		case value.KindInt:
+			*d = v.AsInt()
+		case value.KindFloat:
+			*d = v.AsFloat()
+		case value.KindString:
+			*d = v.AsString()
+		case value.KindBool:
+			*d = v.AsBool()
+		}
+		return nil
+	case *int64:
+		if v.Kind() != value.KindInt {
+			return fmt.Errorf("cannot scan %s into *int64", v)
+		}
+		*d = v.AsInt()
+		return nil
+	case *int:
+		if v.Kind() != value.KindInt {
+			return fmt.Errorf("cannot scan %s into *int", v)
+		}
+		*d = int(v.AsInt())
+		return nil
+	case *float64:
+		if !v.IsNumeric() {
+			return fmt.Errorf("cannot scan %s into *float64", v)
+		}
+		*d = v.AsFloat()
+		return nil
+	case *string:
+		if v.Kind() != value.KindString {
+			return fmt.Errorf("cannot scan %s into *string", v)
+		}
+		*d = v.AsString()
+		return nil
+	case *bool:
+		if v.Kind() != value.KindBool {
+			return fmt.Errorf("cannot scan %s into *bool", v)
+		}
+		*d = v.AsBool()
+		return nil
+	}
+	return fmt.Errorf("unsupported Scan destination %T", dest)
+}
+
+// Err reports the first error the stream hit (an execution error or the
+// context's cancellation error); nil after a clean exhaustion.
+func (r *Rows) Err() error { return r.err }
+
+// Close releases the cursor. It is safe to call more than once and after
+// exhaustion.
+func (r *Rows) Close() error {
+	if !r.closed {
+		r.finish()
+	}
+	return r.err
+}
+
+// fail stops the cursor with an error.
+func (r *Rows) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+	if !r.closed {
+		r.closed = true
+		r.stop()
+	}
+}
+
+// finish stops the iterator and surfaces any execution error.
+func (r *Rows) finish() {
+	r.closed = true
+	r.stop()
+	if r.err == nil {
+		r.err = r.errFn()
+	}
+}

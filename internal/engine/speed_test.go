@@ -1,0 +1,79 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/sqleval"
+	"repro/internal/workload"
+)
+
+// TestPreparedAtLeast5xFasterThanReparse pins the issue's acceptance bar
+// in a test: Prepare once + Query N times must be at least 5× faster
+// than N× EvalString on a parameterized point lookup. The true margin is
+// more than an order of magnitude (parse + plan per call vs one hash
+// probe), so the 5× assertion has plenty of headroom; best-of-three
+// rounds smooths scheduler noise.
+func TestPreparedAtLeast5xFasterThanReparse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	rng := workload.Rand(23)
+	r := workload.RandomBinary(rng, "R", "A", "B", 20000, 20000, 64)
+	db := Open(r)
+	stmt, err := db.Prepare(LangSQL, "select R.A, R.B from R where R.A = $1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	sdb := sqleval.DB{"R": r}
+
+	const iters = 1500
+	best := func(f func() error) time.Duration {
+		bestD := time.Duration(1<<62 - 1)
+		for round := 0; round < 3; round++ {
+			start := time.Now()
+			if err := f(); err != nil {
+				t.Fatal(err)
+			}
+			if d := time.Since(start); d < bestD {
+				bestD = d
+			}
+		}
+		return bestD
+	}
+	prepared := best(func() error {
+		for i := 0; i < iters; i++ {
+			if _, err := stmt.QueryAll(ctx, i%20000); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	reparse := best(func() error {
+		for i := 0; i < iters; i++ {
+			src := fmt.Sprintf("select R.A, R.B from R where R.A = %d", i%20000)
+			if _, err := sqleval.EvalString(src, sdb); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	ratio := float64(reparse) / float64(prepared)
+	t.Logf("prepared %v vs reparse %v for %d executions → %.1f×", prepared, reparse, iters, ratio)
+	// The race detector instruments the lock/atomic-heavy probe-and-
+	// insert path much harder than the allocation-heavy parser, which
+	// compresses the ratio; the ≥ 5× acceptance bar is pinned on the
+	// uninstrumented build (and by BenchmarkPreparedVsReparse), with a
+	// reduced floor under -race so the instrumented CI pass still
+	// guards against the prepared path regressing to re-plan-per-call.
+	floor := 5.0
+	if raceEnabled {
+		floor = 2.5
+	}
+	if ratio < floor {
+		t.Fatalf("prepared path only %.1f× faster than re-parse, want ≥ %.1f×", ratio, floor)
+	}
+}

@@ -1,0 +1,356 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/alt"
+	"repro/internal/arc"
+	"repro/internal/convention"
+	"repro/internal/datalog"
+	"repro/internal/eval"
+	"repro/internal/plan"
+	"repro/internal/relation"
+	"repro/internal/sql"
+	"repro/internal/sqleval"
+	"repro/internal/value"
+)
+
+// Binding names an input relation for ARC and Datalog statement
+// execution: ARC statements read it through the evaluator's override
+// slot (shadowing a catalog relation of the same name for that execution
+// only), Datalog statements through an EDB slot.
+type Binding struct {
+	Name string
+	Rel  *relation.Relation
+}
+
+// In builds a named input binding.
+func In(name string, rel *relation.Relation) Binding { return Binding{Name: name, Rel: rel} }
+
+// Stmt is a prepared statement: parsed, validated, and (for SQL inside
+// the planner fragment) compiled exactly once at Prepare. A Stmt is
+// immutable and safe for concurrent Query calls; it is bound to the
+// relations registered at Prepare time (the statement cache revalidates
+// on schema or data changes, so a later Prepare reflects them).
+type Stmt struct {
+	db      *DB
+	lang    Lang
+	src     string
+	cols    []string
+	nparams int
+	refs    []string // referenced relation names, for cache revalidation
+
+	// SQL
+	q       sql.Query
+	plan    *plan.Plan // nil → enumeration fallback
+	planErr error      // the planner's bailout reason, for Explain
+	rels    sqleval.DB // prepare-time relation snapshot
+
+	// ARC
+	col  *alt.Collection
+	link *alt.Link
+	cat  *eval.Catalog
+	conv convention.Conventions
+
+	// Datalog
+	prog *datalog.Program
+	pred string
+}
+
+// compileStmt prepares one statement in the given language.
+func compileStmt(db *DB, lang Lang, src, pred string, rels map[string]*relation.Relation, cat *eval.Catalog, conv convention.Conventions) (*Stmt, error) {
+	switch lang {
+	case LangSQL:
+		return compileSQL(db, src, rels)
+	case LangARC:
+		col, err := arc.ParseCollection(src)
+		if err != nil {
+			return nil, err
+		}
+		return compileARC(db, col, src, cat, conv)
+	case LangDatalog:
+		return compileDatalog(db, src, pred, rels)
+	}
+	return nil, fmt.Errorf("engine: unknown language %v", lang)
+}
+
+func compileSQL(db *DB, src string, rels map[string]*relation.Relation) (*Stmt, error) {
+	q, err := sql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	s := &Stmt{
+		db:      db,
+		lang:    LangSQL,
+		src:     src,
+		q:       q,
+		nparams: sql.MaxParam(q),
+		refs:    referencedSQL(q),
+		rels:    rels,
+	}
+	if p, err := plan.Compile(q, rels); err == nil {
+		s.plan = p
+		s.cols = p.Attrs()
+	} else {
+		if !errors.Is(err, plan.ErrNotPlannable) {
+			return nil, err
+		}
+		s.planErr = err
+		s.cols = sqlColumns(q)
+	}
+	return s, nil
+}
+
+func compileARC(db *DB, col *alt.Collection, src string, cat *eval.Catalog, conv convention.Conventions) (*Stmt, error) {
+	link, err := alt.ValidateCollection(col)
+	if err != nil {
+		return nil, err
+	}
+	return &Stmt{
+		db:   db,
+		lang: LangARC,
+		src:  src,
+		cols: col.Head.Attrs,
+		refs: referencedARC(col),
+		col:  col,
+		link: link,
+		cat:  cat,
+		conv: conv,
+	}, nil
+}
+
+func compileDatalog(db *DB, src, pred string, rels map[string]*relation.Relation) (*Stmt, error) {
+	prog, err := datalog.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(prog.Rules) == 0 {
+		return nil, fmt.Errorf("engine: empty Datalog program")
+	}
+	if pred == "" {
+		pred = prog.Rules[len(prog.Rules)-1].Head.Pred
+	}
+	arity := -1
+	for _, r := range prog.Rules {
+		if r.Head.Pred == pred {
+			arity = len(r.Head.Args)
+			break
+		}
+	}
+	if arity < 0 {
+		return nil, fmt.Errorf("engine: predicate %q is not derived by the program", pred)
+	}
+	cols := make([]string, arity)
+	for i := range cols {
+		cols[i] = fmt.Sprintf("x%d", i+1)
+	}
+	edb := sqleval.DB{}
+	for name, r := range rels {
+		edb[name] = r
+	}
+	return &Stmt{
+		db:   db,
+		lang: LangDatalog,
+		src:  src,
+		cols: cols,
+		refs: referencedDatalog(prog),
+		prog: prog,
+		pred: pred,
+		rels: edb,
+	}, nil
+}
+
+// Lang returns the statement's language.
+func (s *Stmt) Lang() Lang { return s.lang }
+
+// Source returns the prepared source text.
+func (s *Stmt) Source() string { return s.src }
+
+// Columns returns the output column names.
+func (s *Stmt) Columns() []string { return s.cols }
+
+// NumParams returns how many positional $n arguments a SQL statement
+// binds (always 0 for ARC and Datalog, which bind named relations).
+func (s *Stmt) NumParams() int { return s.nparams }
+
+// Explain renders the compiled physical plan of a SQL statement, or the
+// reason it executes on the reference enumeration path; ARC statements
+// render their per-scope plans.
+func (s *Stmt) Explain() (string, error) {
+	switch s.lang {
+	case LangSQL:
+		if s.plan != nil {
+			return s.plan.Explain(), nil
+		}
+		return "", s.planErr
+	case LangARC:
+		return eval.ExplainCollection(s.col, s.cat, s.conv)
+	}
+	return "", fmt.Errorf("engine: no plan rendering for %v statements", s.lang)
+}
+
+// splitArgs validates and converts Query arguments: SQL statements take
+// exactly NumParams positional values; ARC and Datalog statements take
+// any number of named Bindings.
+func (s *Stmt) splitArgs(args []any) ([]value.Value, map[string]*relation.Relation, error) {
+	if s.lang == LangSQL {
+		vals := make([]value.Value, 0, len(args))
+		for i, a := range args {
+			if _, isBind := a.(Binding); isBind {
+				return nil, nil, fmt.Errorf("engine: SQL statements bind positional $n values, not named relations (argument %d)", i+1)
+			}
+			v, err := liftArg(a)
+			if err != nil {
+				return nil, nil, fmt.Errorf("engine: argument %d: %w", i+1, err)
+			}
+			vals = append(vals, v)
+		}
+		if len(vals) != s.nparams {
+			return nil, nil, fmt.Errorf("engine: statement binds %d parameter(s), got %d argument(s)", s.nparams, len(vals))
+		}
+		return vals, nil, nil
+	}
+	var inputs map[string]*relation.Relation
+	for i, a := range args {
+		b, ok := a.(Binding)
+		if !ok {
+			return nil, nil, fmt.Errorf("engine: %v statements take engine.In(name, relation) bindings, got %T (argument %d)", s.lang, a, i+1)
+		}
+		if b.Rel == nil {
+			return nil, nil, fmt.Errorf("engine: binding %q has a nil relation", b.Name)
+		}
+		if inputs == nil {
+			inputs = map[string]*relation.Relation{}
+		}
+		inputs[b.Name] = b.Rel
+	}
+	return nil, inputs, nil
+}
+
+// liftArg converts a Go value into a value.Value (the non-panicking
+// sibling of relation.Lift).
+func liftArg(a any) (value.Value, error) {
+	switch x := a.(type) {
+	case nil:
+		return value.Null(), nil
+	case value.Value:
+		return x, nil
+	case int:
+		return value.Int(int64(x)), nil
+	case int64:
+		return value.Int(x), nil
+	case float64:
+		return value.Float(x), nil
+	case string:
+		return value.Str(x), nil
+	case bool:
+		return value.Bool(x), nil
+	}
+	return value.Value{}, fmt.Errorf("unsupported argument type %T", a)
+}
+
+// Query executes the statement with the given arguments and returns a
+// streaming cursor. For planner-compiled SQL the cursor pulls rows
+// directly off the operator tree — nothing is materialized up front —
+// and ctx cancellation is polled in the pull loop and in fixpoint
+// rounds. ARC, Datalog, and fallback-path SQL evaluate eagerly (their
+// evaluators are materializing) and the cursor streams the result.
+func (s *Stmt) Query(ctx context.Context, args ...any) (*Rows, error) {
+	vals, inputs, err := s.splitArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	check := checkFromCtx(ctx)
+	if check != nil {
+		if err := check(); err != nil {
+			return nil, err
+		}
+	}
+	if s.lang == LangSQL && s.plan != nil {
+		seq, errFn := s.plan.Stream(vals, check)
+		return newRows(s.cols, seq, errFn, check), nil
+	}
+	rel, err := s.execMaterialized(vals, inputs, check)
+	if err != nil {
+		return nil, err
+	}
+	cols := s.cols
+	if cols == nil {
+		cols = rel.Attrs()
+	}
+	return relationRows(cols, rel, check), nil
+}
+
+// QueryAll executes the statement and materializes the full result
+// relation — the bulk form, byte-identical to the pre-engine evaluator
+// entry points.
+func (s *Stmt) QueryAll(ctx context.Context, args ...any) (*relation.Relation, error) {
+	vals, inputs, err := s.splitArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	check := checkFromCtx(ctx)
+	if check != nil {
+		if err := check(); err != nil {
+			return nil, err
+		}
+	}
+	if s.lang == LangSQL && s.plan != nil {
+		return s.plan.ExecuteWith(vals, check)
+	}
+	return s.execMaterialized(vals, inputs, check)
+}
+
+// execMaterialized runs the non-streaming paths.
+func (s *Stmt) execMaterialized(vals []value.Value, inputs map[string]*relation.Relation, check func() error) (*relation.Relation, error) {
+	switch s.lang {
+	case LangSQL:
+		// The statement fell outside the planner fragment at Prepare:
+		// run the reference enumeration path (never re-plan per call).
+		return sqleval.EvalWith(s.q, s.rels, sqleval.PlanOff, vals, check)
+	case LangARC:
+		return eval.EvalPrepared(s.col, s.link, s.cat, s.conv, inputs, check)
+	case LangDatalog:
+		edb := s.rels
+		if len(inputs) > 0 {
+			edb = make(sqleval.DB, len(s.rels)+len(inputs))
+			for k, v := range s.rels {
+				edb[k] = v
+			}
+			for k, v := range inputs {
+				edb[k] = v
+			}
+		}
+		return datalog.EvalPredicateWith(s.prog, datalog.EDB(edb), s.pred, check)
+	}
+	return nil, fmt.Errorf("engine: unknown language %v", s.lang)
+}
+
+// sqlColumns computes the output column names of a query on the
+// enumeration path: the leftmost SELECT's item names with the reference
+// evaluator's duplicate renaming.
+func sqlColumns(q sql.Query) []string {
+	switch x := q.(type) {
+	case *sql.With:
+		return sqlColumns(x.Body)
+	case *sql.Union:
+		return sqlColumns(x.Left)
+	case *sql.Select:
+		attrs := make([]string, len(x.Items))
+		seen := map[string]int{}
+		for i, it := range x.Items {
+			name := it.OutName(i)
+			if n, dup := seen[name]; dup {
+				seen[name] = n + 1
+				name = fmt.Sprintf("%s_%d", name, n+1)
+			} else {
+				seen[name] = 1
+			}
+			attrs[i] = name
+		}
+		return attrs
+	}
+	return nil
+}

@@ -48,6 +48,42 @@ func (c *Catalog) AddRelation(r *relation.Relation) *Catalog {
 // Relation returns the base relation with the given name, or nil.
 func (c *Catalog) Relation(name string) *relation.Relation { return c.base[name] }
 
+// BaseRelations lists the registered base relations (order unspecified).
+func (c *Catalog) BaseRelations() []*relation.Relation {
+	out := make([]*relation.Relation, 0, len(c.base))
+	for _, r := range c.base {
+		out = append(out, r)
+	}
+	return out
+}
+
+// Clone returns a shallow copy: the maps are fresh, the registered
+// relations, views, and externals are shared. The engine layer registers
+// new relations copy-on-write so in-flight evaluations keep a consistent
+// catalog snapshot.
+func (c *Catalog) Clone() *Catalog {
+	out := NewCatalog()
+	for k, v := range c.base {
+		out.base[k] = v
+	}
+	for k, v := range c.views {
+		out.views[k] = v
+	}
+	for k, v := range c.viewLinks {
+		out.viewLinks[k] = v
+	}
+	for k, v := range c.abstract {
+		out.abstract[k] = v
+	}
+	for k, v := range c.absLinks {
+		out.absLinks[k] = v
+	}
+	for k, v := range c.externals {
+		out.externals[k] = v
+	}
+	return out
+}
+
 // DefineView registers an intensional relation (view/CTE): a strictly
 // valid collection evaluated on demand and cached per evaluation.
 func (c *Catalog) DefineView(col *alt.Collection) error {

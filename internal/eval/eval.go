@@ -24,6 +24,21 @@ func Eval(col *alt.Collection, cat *Catalog, conv convention.Conventions) (*rela
 	return ev.evalCollection(col, link, newEnv())
 }
 
+// EvalPrepared evaluates an already-validated collection with its link —
+// the prepared-statement entry point, which skips per-execution
+// re-validation. inputs are named input relations bound through the
+// evaluator's override slot (they shadow catalog relations of the same
+// name for this execution only); check, when non-nil, is polled each
+// fixpoint round so long recursions honour context cancellation.
+func EvalPrepared(col *alt.Collection, link *alt.Link, cat *Catalog, conv convention.Conventions, inputs map[string]*relation.Relation, check func() error) (*relation.Relation, error) {
+	ev := newEvaluator(cat, conv)
+	ev.check = check
+	for name, rel := range inputs {
+		ev.overrides[name] = rel
+	}
+	return ev.evalCollection(col, link, newEnv())
+}
+
 // EvalSentence validates and evaluates a Boolean ARC sentence (Section
 // 2.5, queries (13)/(14)), returning its truth value. Under 3VL an
 // Unknown sentence reports false.
@@ -50,6 +65,7 @@ type evaluator struct {
 	viewCache  map[string]*relation.Relation
 	inProgress map[string]bool
 	scopeCache map[*alt.Quantifier]*scopeInfo
+	check      func() error // optional cancellation poll (fixpoint rounds)
 }
 
 func newEvaluator(cat *Catalog, conv convention.Conventions) *evaluator {

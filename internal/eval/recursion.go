@@ -166,6 +166,7 @@ func (ev *evaluator) evalRecursive(col *alt.Collection, e *env) (*relation.Relat
 	err := fixpoint.Run(map[string]*relation.Relation{name: total}, frules, fixpoint.Options{
 		Name:          "recursive collection " + name,
 		MaxIterations: maxLFPIterations,
+		Check:         ev.check,
 	})
 	if err != nil {
 		return nil, err

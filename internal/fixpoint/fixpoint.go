@@ -101,6 +101,10 @@ type Options struct {
 	Name string
 	// MaxIterations bounds the round loop; 0 means DefaultMaxIterations.
 	MaxIterations int
+	// Check, when non-nil, is polled before every round; a non-nil return
+	// aborts the fixpoint with that error. The engine layer wires context
+	// cancellation through it so long recursions stop between rounds.
+	Check func() error
 }
 
 func (o Options) max(def int) int {
@@ -141,6 +145,11 @@ func Run(totals map[string]*relation.Relation, rules []Rule, opt Options) error 
 		}
 	}
 	// Round 0: every rule runs naively, seeding the deltas.
+	if opt.Check != nil {
+		if err := opt.Check(); err != nil {
+			return err
+		}
+	}
 	for _, r := range rules {
 		if err := r.Eval(-1, nil, emitInto(r.Target, delta)); err != nil {
 			return err
@@ -153,6 +162,11 @@ func Run(totals map[string]*relation.Relation, rules []Rule, opt Options) error 
 		}
 		if iter >= max {
 			return capErr(opt.Name, max)
+		}
+		if opt.Check != nil {
+			if err := opt.Check(); err != nil {
+				return err
+			}
 		}
 		next := map[string]*relation.Relation{}
 		for _, r := range rules {
@@ -209,6 +223,9 @@ type CTE struct {
 	Distinct bool
 	// MaxIterations bounds the loop; 0 means DefaultMaxCTEIterations.
 	MaxIterations int
+	// Check, when non-nil, is polled before every round (context
+	// cancellation between working-table iterations).
+	Check func() error
 }
 
 // Run executes the loop and returns the accumulated result relation.
@@ -243,6 +260,11 @@ func (c *CTE) Run() (*relation.Relation, error) {
 		if iter >= max {
 			return nil, fmt.Errorf("%w: recursive CTE %s did not converge within %d iterations (%s)", ErrIterationCap, c.Name, max, capHint(c.Distinct))
 		}
+		if c.Check != nil {
+			if err := c.Check(); err != nil {
+				return nil, err
+			}
+		}
 		next := relation.New(c.Name, c.Attrs...)
 		if err := c.Step(work, collect(next)); err != nil {
 			return nil, err
@@ -263,16 +285,15 @@ func capHint(distinct bool) string {
 	return "UNION ALL recursion needs a bounded step"
 }
 
-// Handle is a mutable relation slot: compiled operator trees that must
+// Handle is a relation slot identity: compiled operator trees that must
 // read "the current delta" (or "the finished CTE result") capture a
-// Handle at compile time and the loop retargets it per round, so the tree
-// is compiled once and re-executed against rotating relations.
+// Handle pointer at compile time, and each execution maps it to that
+// run's relation in per-execution state (the plan layer's runCtx), so
+// one compiled tree serves concurrent executions with independent
+// rotating relations. It deliberately holds no relation — that would be
+// shared mutable state on an otherwise-immutable compiled plan.
 type Handle struct {
-	rel *relation.Relation
+	// _ keeps Handle non-zero-sized: distinct allocations must have
+	// distinct addresses, since pointer identity is the key.
+	_ byte
 }
-
-// Set retargets the handle.
-func (h *Handle) Set(r *relation.Relation) { h.rel = r }
-
-// Rel returns the current relation, or nil before the first Set.
-func (h *Handle) Rel() *relation.Relation { return h.rel }

@@ -64,6 +64,11 @@ func (s *scope) compileScalar(x sql.Expr) (exprFn, error) {
 	case *sql.Lit:
 		v := n.Val
 		return func(relation.Tuple, *runCtx) value.Value { return v }, nil
+	case *sql.Param:
+		// Resolved from the bound arguments at execution time — the
+		// plan-time leaf that makes re-execution re-plan-free.
+		i := n.Index - 1
+		return func(_ relation.Tuple, ctx *runCtx) value.Value { return ctx.param(i) }, nil
 	case *sql.ColRef:
 		depth, col, err := s.resolve(n)
 		if err != nil {
@@ -237,7 +242,7 @@ func andPreds(preds []predFn) predFn {
 // non-scalar expression returns an error.
 func (s *scope) refsAt(x sql.Expr) (local, outer bool, err error) {
 	switch n := x.(type) {
-	case *sql.Lit:
+	case *sql.Lit, *sql.Param:
 		return false, false, nil
 	case *sql.ColRef:
 		depth, _, err := s.resolve(n)

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/convention"
 	"repro/internal/exec"
+	"repro/internal/fixpoint"
 	"repro/internal/relation"
 	"repro/internal/value"
 )
@@ -50,9 +51,27 @@ func (c ColID) String() string {
 }
 
 // runCtx carries runtime state through one plan execution: the first
-// error raised by a compiled expression aborts the run.
+// error raised by a compiled expression aborts the run. All mutable
+// execution state lives here — bound parameter values, the rotating
+// fixpoint relations, and the per-execution build-side cache — so a
+// compiled Plan itself is immutable and any number of sessions can run
+// the same plan concurrently.
 type runCtx struct {
-	err error
+	err    error
+	params []value.Value
+	// check, when non-nil, is polled in the pull loop (every pollEvery
+	// rows through guard) and per fixpoint round; a non-nil return aborts
+	// the execution. Context cancellation arrives through it.
+	check    func() error
+	checkCnt uint
+	// handles maps fixpoint handles to their current relations for THIS
+	// execution: the materialized CTE results and, inside a recursive
+	// step, the rotating delta.
+	handles map[*fixpoint.Handle]*relation.Relation
+	// builds caches hash-join build sides that cannot change within one
+	// execution (no rotating delta below them), so a recursive step
+	// re-executed every round rebuilds only the delta side.
+	builds map[*hashJoinNode]*exec.HashTable
 }
 
 // fail records the first runtime error.
@@ -60,6 +79,50 @@ func (c *runCtx) fail(err error) {
 	if c.err == nil {
 		c.err = err
 	}
+}
+
+// pollEvery is how many guarded rows pass between cancellation checks.
+const pollEvery = 64
+
+// poll reports whether execution may continue, polling the cancellation
+// check every pollEvery calls.
+func (c *runCtx) poll() bool {
+	if c.err != nil {
+		return false
+	}
+	if c.check == nil {
+		return true
+	}
+	c.checkCnt++
+	if c.checkCnt%pollEvery == 0 {
+		if err := c.check(); err != nil {
+			c.fail(err)
+			return false
+		}
+	}
+	return true
+}
+
+// param returns the bound value of 0-based parameter i.
+func (c *runCtx) param(i int) value.Value {
+	if i < len(c.params) {
+		return c.params[i]
+	}
+	c.fail(fmt.Errorf("parameter $%d not bound (%d arguments)", i+1, len(c.params)))
+	return value.Null()
+}
+
+// handleRel reads the execution-local relation of a fixpoint handle.
+func (c *runCtx) handleRel(h *fixpoint.Handle) *relation.Relation {
+	return c.handles[h]
+}
+
+// setHandle retargets a fixpoint handle for this execution.
+func (c *runCtx) setHandle(h *fixpoint.Handle, rel *relation.Relation) {
+	if c.handles == nil {
+		c.handles = make(map[*fixpoint.Handle]*relation.Relation)
+	}
+	c.handles[h] = rel
 }
 
 // exprFn is a compiled scalar expression over one tuple shape. Errors are
@@ -87,14 +150,22 @@ func indent(b *strings.Builder, depth int) {
 }
 
 // Plan is a compiled query: a physical root plus the output column names
-// of the final result relation.
+// of the final result relation. A Plan is immutable after compilation;
+// all execution state lives in the per-call runCtx, so one plan may be
+// executed by any number of goroutines concurrently (the prepared-
+// statement contract).
 type Plan struct {
-	root  Node
-	attrs []string
+	root    Node
+	attrs   []string
+	nparams int
 }
 
 // Attrs returns the output column names.
 func (p *Plan) Attrs() []string { return p.attrs }
+
+// NumParams returns the number of $n placeholders the plan binds at
+// execution time (the largest index used).
+func (p *Plan) NumParams() int { return p.nparams }
 
 // Explain renders the plan tree, one operator per line.
 func (p *Plan) Explain() string {
@@ -106,10 +177,24 @@ func (p *Plan) Explain() string {
 // Execute runs the plan and materializes the result relation (named
 // "result", like the reference evaluator's output).
 func (p *Plan) Execute() (*relation.Relation, error) {
-	ctx := &runCtx{}
+	return p.ExecuteWith(nil, nil)
+}
+
+// ExecuteWith runs the plan with bound parameter values and an optional
+// cancellation check, materializing the result. The point-lookup shape
+// — a pure column projection directly over a (probed) scan — runs on a
+// dedicated loop with no operator composition, so a prepared point query
+// costs little more than the hash probe itself.
+func (p *Plan) ExecuteWith(params []value.Value, check func() error) (*relation.Relation, error) {
+	ctx := &runCtx{params: params, check: check}
+	if pn, ok := p.root.(*projectNode); ok && pn.srcCols != nil {
+		if sn, ok := pn.input.(*scanNode); ok {
+			return p.executePoint(ctx, pn, sn)
+		}
+	}
 	out := relation.New("result", p.attrs...)
 	for t, m := range p.root.Run(ctx) {
-		if ctx.err != nil {
+		if !ctx.poll() {
 			break
 		}
 		out.InsertMult(t, m)
@@ -120,6 +205,64 @@ func (p *Plan) Execute() (*relation.Relation, error) {
 	return out, nil
 }
 
+// executePoint is the fast path for Project(columns) over Scan: probe,
+// project, insert — one loop, fresh tuples handed to the result with
+// ownership (no re-clone).
+func (p *Plan) executePoint(ctx *runCtx, pn *projectNode, sn *scanNode) (*relation.Relation, error) {
+	out := relation.New("result", p.attrs...)
+	emit := func(t relation.Tuple, m int) bool {
+		if !ctx.poll() {
+			return false
+		}
+		row := make(relation.Tuple, len(pn.srcCols))
+		for i, c := range pn.srcCols {
+			row[i] = t[c]
+		}
+		out.InsertOwned(row, m)
+		return true
+	}
+	if len(sn.probes) == 0 {
+		sn.rel.EachWhile(emit)
+	} else {
+		cols, vals, reCols, reVals, null := sn.resolveProbes(ctx)
+		if null {
+			return out, ctx.err
+		}
+		match := emit
+		if len(reCols) > 0 {
+			match = func(t relation.Tuple, m int) bool {
+				for i, c := range reCols {
+					if value.Eq.Apply(t[c], reVals[i]) != value.True {
+						return true
+					}
+				}
+				return emit(t, m)
+			}
+		}
+		if len(cols) > 0 {
+			sn.rel.Probe(cols, vals, match)
+		} else {
+			sn.rel.EachWhile(match)
+		}
+	}
+	if ctx.err != nil {
+		return nil, ctx.err
+	}
+	return out, nil
+}
+
+// Stream starts one streaming execution of the plan with bound parameter
+// values: the returned sequence yields result tuples straight off the
+// operator tree (no materialization), and the error function reports the
+// first execution error once the stream ends (early or not). check, when
+// non-nil, is polled in the pull loop and per fixpoint round — context
+// cancellation makes the stream end with the check's error. The sequence
+// must be consumed by a single goroutine and at most once.
+func (p *Plan) Stream(params []value.Value, check func() error) (exec.Seq, func() error) {
+	ctx := &runCtx{params: params, check: check}
+	return guard(p.root.Run(ctx), ctx), func() error { return ctx.err }
+}
+
 // run streams the plan root (used when a plan is a subtree of another —
 // derived tables and semi-join build sides share the enclosing ctx).
 func (p *Plan) run(ctx *runCtx) exec.Seq {
@@ -128,14 +271,26 @@ func (p *Plan) run(ctx *runCtx) exec.Seq {
 
 // --- Leaves ---------------------------------------------------------------
 
+// scanProbe is one consumed equality conjunct pushed down onto a scan:
+// probe column col with a compile-time literal (param < 0) or the value
+// bound to $param+1 at execution time. Literal probe values were
+// validated at compile (non-NULL, Indexable, so probe Key identity is
+// exactly Eq); parameter values are classified per execution — NULL
+// yields no rows (x = NULL holds for nothing under 3VL), non-indexable
+// values fall back to a scan with a strict Eq re-check.
+type scanProbe struct {
+	col   int
+	val   value.Value
+	param int // 0-based parameter index, or -1 for a literal
+}
+
 // scanNode streams a base relation, optionally restricted by an index
-// probe on constant equality columns pushed down from WHERE.
+// probe on constant or parameter equality columns pushed down from WHERE.
 type scanNode struct {
 	rel       *relation.Relation
 	alias     string
 	schema    []ColID
-	probeCols []int
-	probeVals []value.Value
+	probes    []scanProbe
 	probeStrs []string
 }
 
@@ -149,11 +304,58 @@ func newScanNode(rel *relation.Relation, alias string) *scanNode {
 
 func (n *scanNode) Schema() []ColID { return n.schema }
 
-func (n *scanNode) Run(_ *runCtx) exec.Seq {
-	if len(n.probeCols) > 0 {
-		return exec.Probe(n.rel, n.probeCols, n.probeVals)
+// emptySeq yields nothing.
+func emptySeq(func(relation.Tuple, int) bool) {}
+
+// resolveProbes classifies the scan's probes for one execution: the
+// indexable (cols, vals) pairs to hash-probe, the (reCols, reVals)
+// pairs that need a scan-side strict Eq re-check (non-indexable
+// bindings), and whether a NULL binding makes the scan empty.
+func (n *scanNode) resolveProbes(ctx *runCtx) (cols []int, vals []value.Value, reCols []int, reVals []value.Value, null bool) {
+	cols = make([]int, 0, len(n.probes))
+	vals = make([]value.Value, 0, len(n.probes))
+	for _, pb := range n.probes {
+		v := pb.val
+		if pb.param >= 0 {
+			v = ctx.param(pb.param)
+			if v.IsNull() {
+				return nil, nil, nil, nil, true
+			}
+			if !v.Indexable() {
+				reCols = append(reCols, pb.col)
+				reVals = append(reVals, v)
+				continue
+			}
+		}
+		cols = append(cols, pb.col)
+		vals = append(vals, v)
 	}
-	return exec.Scan(n.rel)
+	return cols, vals, reCols, reVals, false
+}
+
+func (n *scanNode) Run(ctx *runCtx) exec.Seq {
+	if len(n.probes) == 0 {
+		return exec.Scan(n.rel)
+	}
+	cols, vals, reCols, reVals, null := n.resolveProbes(ctx)
+	if null {
+		return emptySeq
+	}
+	seq := exec.Scan(n.rel)
+	if len(cols) > 0 {
+		seq = exec.Probe(n.rel, cols, vals)
+	}
+	if len(reCols) > 0 {
+		seq = exec.Filter(seq, func(t relation.Tuple, _ int) bool {
+			for i, c := range reCols {
+				if value.Eq.Apply(t[c], reVals[i]) != value.True {
+					return false
+				}
+			}
+			return true
+		})
+	}
+	return seq
 }
 
 func (n *scanNode) writeExplain(b *strings.Builder, depth int) {
@@ -208,7 +410,7 @@ func (n *derivedNode) Schema() []ColID { return n.schema }
 func (n *derivedNode) Run(ctx *runCtx) exec.Seq {
 	return func(yield func(relation.Tuple, int) bool) {
 		for t, m := range n.sub.run(ctx) {
-			if ctx.err != nil {
+			if !ctx.poll() {
 				return
 			}
 			if !yield(t, m) {
@@ -252,6 +454,12 @@ func (k joinKind) String() string {
 // Key equality is strict (3VL True) and the residual ON predicate is
 // evaluated over the concatenated tuple; LEFT/FULL kinds null-extend
 // unmatched rows per SQL outer-join semantics.
+//
+// rightStatic marks a build side whose content cannot change within one
+// execution (no rotating fixpoint relation below it): its hash table is
+// built once per runCtx and reused across fixpoint rounds, so a
+// recursive CTE step joining the delta against a base table rebuilds
+// only the probe side each round.
 type hashJoinNode struct {
 	kind        joinKind
 	left, right Node
@@ -261,18 +469,36 @@ type hashJoinNode struct {
 	residual    predFn
 	residualStr string
 	schema      []ColID
+	rightStatic bool
 }
 
 func newHashJoinNode(kind joinKind, left, right Node) *hashJoinNode {
-	n := &hashJoinNode{kind: kind, left: left, right: right}
+	n := &hashJoinNode{kind: kind, left: left, right: right, rightStatic: subtreeStatic(right)}
 	n.schema = append(append([]ColID(nil), left.Schema()...), right.Schema()...)
 	return n
 }
 
 func (n *hashJoinNode) Schema() []ColID { return n.schema }
 
-func (n *hashJoinNode) Run(ctx *runCtx) exec.Seq {
+// buildSide returns the join's hash table, from the per-execution cache
+// when the right subtree is static.
+func (n *hashJoinNode) buildSide(ctx *runCtx) *exec.HashTable {
+	if !n.rightStatic {
+		return exec.BuildHashTable(n.right.Run(ctx), n.rightCols, len(n.right.Schema()))
+	}
+	if ht := ctx.builds[n]; ht != nil {
+		return ht
+	}
 	ht := exec.BuildHashTable(n.right.Run(ctx), n.rightCols, len(n.right.Schema()))
+	if ctx.builds == nil {
+		ctx.builds = make(map[*hashJoinNode]*exec.HashTable)
+	}
+	ctx.builds[n] = ht
+	return ht
+}
+
+func (n *hashJoinNode) Run(ctx *runCtx) exec.Seq {
+	ht := n.buildSide(ctx)
 	var on func(relation.Tuple) bool
 	if n.residual != nil {
 		on = func(t relation.Tuple) bool {
@@ -307,11 +533,13 @@ func (n *hashJoinNode) writeExplain(b *strings.Builder, depth int) {
 	n.right.writeExplain(b, depth+1)
 }
 
-// guard stops a stream once ctx carries an error.
+// guard stops a stream once ctx carries an error, polling the
+// cancellation check as rows pass (the operator pull loop's cancellation
+// point).
 func guard(in exec.Seq, ctx *runCtx) exec.Seq {
 	return func(yield func(relation.Tuple, int) bool) {
 		for t, m := range in {
-			if ctx.err != nil {
+			if !ctx.poll() {
 				return
 			}
 			if !yield(t, m) {
@@ -319,6 +547,42 @@ func guard(in exec.Seq, ctx *runCtx) exec.Seq {
 			}
 		}
 	}
+}
+
+// subtreeStatic reports whether a plan subtree's output is fixed for the
+// whole of one execution: scans of base relations, derived tables, and
+// pure operators over them. Anything that reads a fixpoint handle
+// (CTE results and rotating deltas) or that this walker does not know is
+// treated as non-static, which only costs a rebuild. Bound parameters
+// are constant per execution, so they do not break staticness.
+func subtreeStatic(n Node) bool {
+	switch x := n.(type) {
+	case *scanNode, valuesNode:
+		return true
+	case *derivedNode:
+		return subtreeStatic(x.sub.root)
+	case *hashJoinNode:
+		return subtreeStatic(x.left) && subtreeStatic(x.right)
+	case *semiJoinNode:
+		return subtreeStatic(x.input) && subtreeStatic(x.sub.root)
+	case *filterNode:
+		return subtreeStatic(x.input)
+	case *projectNode:
+		return subtreeStatic(x.input)
+	case *dedupNode:
+		return subtreeStatic(x.input)
+	case *unionNode:
+		for _, k := range x.kids {
+			if !subtreeStatic(k) {
+				return false
+			}
+		}
+		return true
+	case *groupNode:
+		return subtreeStatic(x.input)
+	}
+	// cteNode, withNode, unknown operators: conservatively dynamic.
+	return false
 }
 
 // semiJoinNode filters the input by a decorrelated subquery: the
@@ -349,7 +613,7 @@ func (n *semiJoinNode) Run(ctx *runCtx) exec.Seq {
 		ht := exec.BuildHashTable(n.sub.run(ctx), n.subCols, len(n.sub.attrs))
 		vals := make([]value.Value, len(n.probes))
 		for t, m := range n.input.Run(ctx) {
-			if ctx.err != nil {
+			if !ctx.poll() {
 				return
 			}
 			for i, p := range n.probes {
@@ -415,7 +679,7 @@ func (n *semiJoinNode) runUncorrelatedIn(ctx *runCtx) exec.Seq {
 		}
 		vals := make([]value.Value, 1)
 		for t, m := range n.input.Run(ctx) {
-			if ctx.err != nil {
+			if !ctx.poll() {
 				return
 			}
 			vals[0] = n.inExpr(t, ctx)
@@ -505,10 +769,14 @@ func (n *filterNode) writeExplain(b *strings.Builder, depth int) {
 }
 
 // projectNode computes the output expressions (π with computation).
+// srcCols, when non-nil, records that every output expression is a plain
+// input-column reference (srcCols[i] = input column of output i) — the
+// shape the point-lookup fast path in ExecuteWith exploits.
 type projectNode struct {
-	input  Node
-	exprs  []exprFn
-	schema []ColID
+	input   Node
+	exprs   []exprFn
+	schema  []ColID
+	srcCols []int
 }
 
 func newProjectNode(input Node, exprs []exprFn, names []string) *projectNode {
@@ -524,7 +792,7 @@ func (n *projectNode) Schema() []ColID { return n.schema }
 func (n *projectNode) Run(ctx *runCtx) exec.Seq {
 	return func(yield func(relation.Tuple, int) bool) {
 		for t, m := range n.input.Run(ctx) {
-			if ctx.err != nil {
+			if !ctx.poll() {
 				return
 			}
 			out := make(relation.Tuple, len(n.exprs))
@@ -580,7 +848,7 @@ func (n *unionNode) Run(ctx *runCtx) exec.Seq {
 	return func(yield func(relation.Tuple, int) bool) {
 		for _, k := range n.kids {
 			for t, m := range k.Run(ctx) {
-				if ctx.err != nil {
+				if !ctx.poll() {
 					return
 				}
 				if !yield(t, m) {
@@ -629,7 +897,7 @@ func (n *groupNode) Run(ctx *runCtx) exec.Seq {
 		// immediately, so the projection scratch tuple is reusable.
 		scratch := make(relation.Tuple, 0, len(n.keys)+len(n.aggs))
 		for t, m := range n.input.Run(ctx) {
-			if ctx.err != nil {
+			if !ctx.poll() {
 				return
 			}
 			out := scratch[:0]

@@ -18,7 +18,12 @@ import (
 // genuinely invalid queries.
 func Compile(q sql.Query, db map[string]*relation.Relation) (*Plan, error) {
 	c := &compilerCtx{db: db}
-	return c.compileQuery(q, nil)
+	p, err := c.compileQuery(q, nil)
+	if err != nil {
+		return nil, err
+	}
+	p.nparams = sql.MaxParam(q)
+	return p, nil
 }
 
 // compilerCtx carries compile-time state shared across query levels.
@@ -161,7 +166,30 @@ func (c *compilerCtx) compileSelect(s *sql.Select, outer *scope) (*Plan, error) 
 			}
 			exprs[i] = e
 		}
-		root = newProjectNode(node, exprs, attrs)
+		pn := newProjectNode(node, exprs, attrs)
+		// Pure column projections record their source columns, enabling
+		// the point-lookup fast path when the input is a direct scan.
+		if len(s.Items) > 0 {
+			srcCols := make([]int, len(s.Items))
+			plain := true
+			for i, it := range s.Items {
+				ref, ok := it.Expr.(*sql.ColRef)
+				if !ok {
+					plain = false
+					break
+				}
+				depth, col, err := fromScope.resolve(ref)
+				if err != nil || depth != 0 {
+					plain = false
+					break
+				}
+				srcCols[i] = col
+			}
+			if plain {
+				pn.srcCols = srcCols
+			}
+		}
+		root = pn
 	}
 	if s.Distinct {
 		root = &dedupNode{input: root}
@@ -274,11 +302,15 @@ func (c *compilerCtx) compileRef(ref sql.TableRef, outer *scope, conjs []sql.Exp
 	return nil, notPlannable("table ref %T", ref)
 }
 
-// pushProbes turns WHERE conjuncts of the form alias.col = literal into
-// index probes on a top-level base-table scan. The literal must be
-// non-NULL and Indexable so that probe (Key) identity coincides with Eq,
-// making the consumed conjunct exactly the filter it replaces. Probes are
-// never pushed below outer joins — compileJoinRef does not call this.
+// pushProbes turns WHERE conjuncts of the form alias.col = literal (or
+// alias.col = $n) into index probes on a top-level base-table scan,
+// consuming the conjunct. A literal must be non-NULL and Indexable so
+// that probe (Key) identity coincides with Eq, making the consumed
+// conjunct exactly the filter it replaces; a parameter's value is
+// classified per execution instead (NULL → empty scan, non-indexable →
+// scan with strict Eq re-check), which preserves the same equivalence
+// for every possible binding. Probes are never pushed below outer
+// joins — compileJoinRef does not call this.
 func (c *compilerCtx) pushProbes(n *scanNode, conjs []sql.Expr, consumed []bool) {
 	for i, cj := range conjs {
 		if consumed[i] {
@@ -293,18 +325,25 @@ func (c *compilerCtx) pushProbes(n *scanNode, conjs []sql.Expr, consumed []bool)
 			if !ok || ref.Table != n.alias {
 				continue
 			}
-			lit, ok := sides[1].(*sql.Lit)
-			if !ok || lit.Val.IsNull() || !lit.Val.Indexable() {
-				continue
-			}
 			col := n.rel.AttrIndex(ref.Column)
 			if col < 0 {
 				continue
 			}
-			n.probeCols = append(n.probeCols, col)
-			n.probeVals = append(n.probeVals, lit.Val)
-			n.probeStrs = append(n.probeStrs, fmt.Sprintf("%s=%s", ref.Column, lit.Val))
-			consumed[i] = true
+			switch other := sides[1].(type) {
+			case *sql.Lit:
+				if other.Val.IsNull() || !other.Val.Indexable() {
+					continue
+				}
+				n.probes = append(n.probes, scanProbe{col: col, val: other.Val, param: -1})
+				n.probeStrs = append(n.probeStrs, fmt.Sprintf("%s=%s", ref.Column, other.Val))
+				consumed[i] = true
+			case *sql.Param:
+				n.probes = append(n.probes, scanProbe{col: col, param: other.Index - 1})
+				n.probeStrs = append(n.probeStrs, fmt.Sprintf("%s=%s", ref.Column, other))
+				consumed[i] = true
+			default:
+				continue
+			}
 			break
 		}
 	}
@@ -719,6 +758,9 @@ func (pg *postGroup) compileScalar(x sql.Expr) (exprFn, error) {
 	case *sql.Lit:
 		v := n.Val
 		return func(relation.Tuple, *runCtx) value.Value { return v }, nil
+	case *sql.Param:
+		i := n.Index - 1
+		return func(_ relation.Tuple, ctx *runCtx) value.Value { return ctx.param(i) }, nil
 	case *sql.BinE:
 		l, err := pg.compileScalar(n.L)
 		if err != nil {

@@ -151,12 +151,14 @@ func (c *compilerCtx) compileRecursiveCTE(cte sql.CTE, baseQ, stepQ sql.Query, a
 	return out, nil
 }
 
-// materialize computes one CTE's relation into its result handle.
+// materialize computes one CTE's relation into its result handle. The
+// handle's relation is stored in the runCtx, never on the plan, so
+// concurrent executions of one compiled plan do not share fixpoint state.
 func (x *compiledCTE) materialize(ctx *runCtx) error {
 	if x.plain != nil {
 		rel := relation.New(x.name, x.attrs...)
 		for t, m := range x.plain.run(ctx) {
-			if ctx.err != nil {
+			if !ctx.poll() {
 				return ctx.err
 			}
 			rel.InsertMult(t, m)
@@ -164,7 +166,7 @@ func (x *compiledCTE) materialize(ctx *runCtx) error {
 		if ctx.err != nil {
 			return ctx.err
 		}
-		x.result.Set(rel)
+		ctx.setHandle(x.result, rel)
 		return nil
 	}
 	loop := &fixpoint.CTE{
@@ -172,7 +174,7 @@ func (x *compiledCTE) materialize(ctx *runCtx) error {
 		Attrs: x.attrs,
 		Base: func(emit fixpoint.EmitMult) error {
 			for t, m := range x.base.run(ctx) {
-				if ctx.err != nil {
+				if !ctx.poll() {
 					return ctx.err
 				}
 				if err := emit(t, m); err != nil {
@@ -182,9 +184,9 @@ func (x *compiledCTE) materialize(ctx *runCtx) error {
 			return ctx.err
 		},
 		Step: func(delta *relation.Relation, emit fixpoint.EmitMult) error {
-			x.delta.Set(delta)
+			ctx.setHandle(x.delta, delta)
 			for t, m := range x.step.run(ctx) {
-				if ctx.err != nil {
+				if !ctx.poll() {
 					return ctx.err
 				}
 				if err := emit(t, m); err != nil {
@@ -194,12 +196,13 @@ func (x *compiledCTE) materialize(ctx *runCtx) error {
 			return ctx.err
 		},
 		Distinct: x.distinct,
+		Check:    ctx.check,
 	}
 	rel, err := loop.Run()
 	if err != nil {
 		return err
 	}
-	x.result.Set(rel)
+	ctx.setHandle(x.result, rel)
 	return nil
 }
 
@@ -220,7 +223,7 @@ func (n *withNode) Run(ctx *runCtx) exec.Seq {
 			}
 		}
 		for t, m := range n.body.Run(ctx) {
-			if ctx.err != nil {
+			if !ctx.poll() {
 				return
 			}
 			if !yield(t, m) {
@@ -277,9 +280,9 @@ func newCTENode(bind *cteBinding, alias string) *cteNode {
 
 func (n *cteNode) Schema() []ColID { return n.schema }
 
-func (n *cteNode) Run(_ *runCtx) exec.Seq {
+func (n *cteNode) Run(ctx *runCtx) exec.Seq {
 	return func(yield func(relation.Tuple, int) bool) {
-		rel := n.handle.Rel()
+		rel := ctx.handleRel(n.handle)
 		if rel == nil {
 			return
 		}

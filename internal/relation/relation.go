@@ -4,6 +4,19 @@
 // instance can be interpreted under set or bag semantics — the paper's
 // point that set vs bag is a convention, not part of the language
 // (Section 2.7).
+//
+// Concurrency contract: a Relation is safe for concurrent use. Readers
+// (Probe, Each, Mult, …) snapshot the row store under a read lock and then
+// iterate without holding it, so reader callbacks may re-enter the
+// relation — including inserting into the relation being iterated, the
+// pattern the semi-naive fixpoint engine relies on. Writers (InsertMult)
+// hold the write lock for the whole mutation, including the incremental
+// maintenance of every cached hash index. Multiplicity bumps of existing
+// rows are atomic, so an unlocked reader iterating a snapshot observes
+// either the old or the new count, never a torn value. Iteration sees the
+// relation as of the snapshot; tuples inserted while a reader is mid-
+// iteration appear in subsequent probes/scans (the probe-insert-probe
+// semantics the index tests pin).
 package relation
 
 import (
@@ -11,6 +24,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/value"
 )
@@ -38,9 +53,12 @@ func (t Tuple) Clone() Tuple {
 	return c
 }
 
+// row is one stored distinct tuple. mult is accessed atomically: readers
+// iterate snapshots of the rows slice without holding the relation lock,
+// while a writer may bump the count of an existing row in place.
 type row struct {
 	tup  Tuple
-	mult int
+	mult int64
 }
 
 // Relation is a multiset of tuples over a fixed attribute list. The zero
@@ -50,14 +68,20 @@ type Relation struct {
 	name  string
 	attrs []string
 	pos   map[string]int // attribute name -> column
+
+	// mu guards rows, index, and hashIdx. gen counts distinct-tuple
+	// insertions (the tuple generation plan caches key on) and is read
+	// without the lock.
+	mu    sync.RWMutex
+	gen   atomic.Uint64
 	rows  []row
 	index map[string]int // tuple key -> rows slot
 	// hashIdx caches per-column-set hash indexes for Probe: column-set
-	// signature -> index. Built lazily and maintained incrementally:
-	// inserting a new distinct tuple appends its slot to every cached
-	// index's bucket (multiplicity bumps keep slots valid as-is), so the
-	// semi-naive Datalog delta loop and other insert-heavy workloads
-	// never pay for wholesale rebuilds.
+	// signature -> index. Built lazily under the write lock and maintained
+	// incrementally: inserting a new distinct tuple appends its slot to
+	// every cached index's bucket (multiplicity bumps keep slots valid
+	// as-is), so the semi-naive Datalog delta loop and other insert-heavy
+	// workloads never pay for wholesale rebuilds.
 	hashIdx map[string]*hashIndex
 }
 
@@ -78,20 +102,36 @@ func (ix *hashIndex) add(t Tuple, slot int) {
 	ix.buckets[string(buf)] = append(ix.buckets[string(buf)], slot)
 }
 
+// smallAttrs is the widest schema resolved by linear scan instead of a
+// positions map — relations are created on every query execution, and a
+// scan over a handful of names beats allocating a map.
+const smallAttrs = 8
+
 // New returns an empty relation with the given name and attributes.
-// Attribute names must be unique.
+// Attribute names must be unique. The internal maps (attribute
+// positions, the distinct-tuple index) are created lazily, so tiny
+// result relations — the per-query common case — stay allocation-light.
 func New(name string, attrs ...string) *Relation {
 	r := &Relation{
 		name:  name,
 		attrs: append([]string(nil), attrs...),
-		pos:   make(map[string]int, len(attrs)),
-		index: make(map[string]int),
+	}
+	if len(attrs) > smallAttrs {
+		r.pos = make(map[string]int, len(attrs))
+		for i, a := range attrs {
+			if _, dup := r.pos[a]; dup {
+				panic(fmt.Sprintf("relation %s: duplicate attribute %q", name, a))
+			}
+			r.pos[a] = i
+		}
+		return r
 	}
 	for i, a := range attrs {
-		if _, dup := r.pos[a]; dup {
-			panic(fmt.Sprintf("relation %s: duplicate attribute %q", name, a))
+		for j := 0; j < i; j++ {
+			if attrs[j] == a {
+				panic(fmt.Sprintf("relation %s: duplicate attribute %q", name, a))
+			}
 		}
-		r.pos[a] = i
 	}
 	return r
 }
@@ -104,8 +144,16 @@ func (r *Relation) Attrs() []string { return r.attrs }
 
 // AttrIndex returns the column of attribute a, or -1 if absent.
 func (r *Relation) AttrIndex(a string) int {
-	if i, ok := r.pos[a]; ok {
-		return i
+	if r.pos != nil {
+		if i, ok := r.pos[a]; ok {
+			return i
+		}
+		return -1
+	}
+	for i, x := range r.attrs {
+		if x == a {
+			return i
+		}
 	}
 	return -1
 }
@@ -113,11 +161,28 @@ func (r *Relation) AttrIndex(a string) int {
 // Arity returns the number of attributes.
 func (r *Relation) Arity() int { return len(r.attrs) }
 
+// Generation returns the tuple generation: a counter bumped once per
+// distinct tuple ever inserted. Plan and statement caches key on it to
+// detect data changes without comparing contents.
+func (r *Relation) Generation() uint64 { return r.gen.Load() }
+
 // Insert adds one occurrence of t.
 func (r *Relation) Insert(t Tuple) { r.InsertMult(t, 1) }
 
-// InsertMult adds n occurrences of t. n must be positive.
-func (r *Relation) InsertMult(t Tuple, n int) {
+// InsertMult adds n occurrences of t. n must be positive. The tuple is
+// copied; see InsertOwned for the transfer-of-ownership variant.
+func (r *Relation) InsertMult(t Tuple, n int) { r.insert(t, n, false) }
+
+// InsertOwned adds n occurrences of t, taking ownership of the tuple's
+// backing array — the caller must not reuse or mutate it afterwards.
+// The allocation-free sibling of InsertMult for producers that build a
+// fresh tuple per row (the plan layer's projections).
+func (r *Relation) InsertOwned(t Tuple, n int) { r.insert(t, n, true) }
+
+// insert is the shared insertion path. The distinct-tuple index map is
+// deferred until the second distinct tuple arrives, so empty and
+// single-row relations (point-lookup results) never allocate it.
+func (r *Relation) insert(t Tuple, n int, owned bool) {
 	if len(t) != len(r.attrs) {
 		panic(fmt.Sprintf("relation %s: tuple arity %d, want %d", r.name, len(t), len(r.attrs)))
 	}
@@ -126,18 +191,51 @@ func (r *Relation) InsertMult(t Tuple, n int) {
 	}
 	var kb [128]byte
 	buf := t.AppendKey(kb[:0])
+	stored := t
+	if !owned {
+		stored = t.Clone()
+	}
+	r.mu.Lock()
+	if r.index == nil {
+		// index == nil implies at most one stored row.
+		if len(r.rows) == 1 {
+			var kb0 [128]byte
+			if string(r.rows[0].tup.AppendKey(kb0[:0])) == string(buf) {
+				atomic.AddInt64(&r.rows[0].mult, int64(n))
+				r.mu.Unlock()
+				return
+			}
+			r.index = map[string]int{r.rows[0].tup.Key(): 0}
+		} else if len(r.rows) == 0 {
+			r.rows = append(r.rows, row{tup: stored, mult: int64(n)})
+			for _, ix := range r.hashIdx {
+				ix.add(stored, 0)
+			}
+			r.gen.Add(1)
+			r.mu.Unlock()
+			return
+		}
+	}
 	if i, ok := r.index[string(buf)]; ok {
-		r.rows[i].mult += n
+		// Atomic: unlocked readers may be reading this row's count from
+		// an earlier snapshot of the rows slice.
+		atomic.AddInt64(&r.rows[i].mult, int64(n))
+		r.mu.Unlock()
 		return
 	}
 	slot := len(r.rows)
+	if r.index == nil {
+		r.index = make(map[string]int)
+	}
 	r.index[string(buf)] = slot
-	r.rows = append(r.rows, row{tup: t.Clone(), mult: n})
+	r.rows = append(r.rows, row{tup: stored, mult: int64(n)})
 	// New distinct tuple: maintain the cached hash indexes incrementally
 	// instead of dropping them.
 	for _, ix := range r.hashIdx {
-		ix.add(r.rows[slot].tup, slot)
+		ix.add(stored, slot)
 	}
+	r.gen.Add(1)
+	r.mu.Unlock()
 }
 
 // Add is a convenience builder: it converts Go literals (int, int64,
@@ -176,8 +274,21 @@ func Lift(v any) value.Value {
 // Mult returns the multiplicity of t (0 if absent).
 func (r *Relation) Mult(t Tuple) int {
 	var kb [128]byte
-	if i, ok := r.index[string(t.AppendKey(kb[:0]))]; ok {
-		return r.rows[i].mult
+	buf := t.AppendKey(kb[:0])
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if r.index == nil {
+		// At most one stored row (the deferred-index state).
+		if len(r.rows) == 1 {
+			var kb0 [128]byte
+			if string(r.rows[0].tup.AppendKey(kb0[:0])) == string(buf) {
+				return int(atomic.LoadInt64(&r.rows[0].mult))
+			}
+		}
+		return 0
+	}
+	if i, ok := r.index[string(buf)]; ok {
+		return int(atomic.LoadInt64(&r.rows[i].mult))
 	}
 	return 0
 }
@@ -186,30 +297,48 @@ func (r *Relation) Mult(t Tuple) int {
 func (r *Relation) Contains(t Tuple) bool { return r.Mult(t) > 0 }
 
 // Distinct returns the number of distinct tuples.
-func (r *Relation) Distinct() int { return len(r.rows) }
+func (r *Relation) Distinct() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.rows)
+}
 
 // Card returns the total number of tuples counting multiplicity.
 func (r *Relation) Card() int {
+	rows := r.snapshot()
 	n := 0
-	for _, rw := range r.rows {
-		n += rw.mult
+	for i := range rows {
+		n += int(atomic.LoadInt64(&rows[i].mult))
 	}
 	return n
+}
+
+// snapshot captures the current rows slice header under the read lock.
+// The rows it covers are immutable except for their atomic multiplicity
+// counts, so the caller may iterate without holding the lock — which
+// keeps callbacks free to re-enter the relation.
+func (r *Relation) snapshot() []row {
+	r.mu.RLock()
+	rows := r.rows
+	r.mu.RUnlock()
+	return rows
 }
 
 // Each calls f once per distinct tuple with its multiplicity, in insertion
 // order. f must not retain the tuple beyond the call unless it clones.
 func (r *Relation) Each(f func(Tuple, int)) {
-	for _, rw := range r.rows {
-		f(rw.tup, rw.mult)
+	rows := r.snapshot()
+	for i := range rows {
+		f(rows[i].tup, int(atomic.LoadInt64(&rows[i].mult)))
 	}
 }
 
 // EachWhile calls f per distinct tuple with its multiplicity, in insertion
 // order, stopping early when f returns false.
 func (r *Relation) EachWhile(f func(Tuple, int) bool) {
-	for _, rw := range r.rows {
-		if !f(rw.tup, rw.mult) {
+	rows := r.snapshot()
+	for i := range rows {
+		if !f(rows[i].tup, int(atomic.LoadInt64(&rows[i].mult))) {
 			return
 		}
 	}
@@ -219,30 +348,45 @@ func (r *Relation) EachWhile(f func(Tuple, int) bool) {
 // by, consistent with Tuple.Key on the projected columns.
 func KeyOf(vals []value.Value) string { return Tuple(vals).Key() }
 
-// hashIndexFor returns the hash index on the given column set, building
-// it on first use; afterwards InsertMult maintains it incrementally.
-// Callers must not mutate the returned buckets.
-func (r *Relation) hashIndexFor(cols []int) *hashIndex {
+// smallSigs precomputes the signatures of single-column indexes on the
+// first 16 columns — the overwhelmingly common probe shape — so hot
+// probes never allocate the signature string.
+var smallSigs = [16]string{
+	"0,", "1,", "2,", "3,", "4,", "5,", "6,", "7,",
+	"8,", "9,", "10,", "11,", "12,", "13,", "14,", "15,",
+}
+
+// indexSig renders the column-set signature hash indexes are cached by.
+func indexSig(cols []int) string {
+	if len(cols) == 1 && cols[0] >= 0 && cols[0] < len(smallSigs) {
+		return smallSigs[cols[0]]
+	}
 	sig := make([]byte, 0, 16)
 	for _, c := range cols {
 		sig = strconv.AppendInt(sig, int64(c), 10)
 		sig = append(sig, ',')
 	}
-	s := string(sig)
-	if ix, ok := r.hashIdx[s]; ok {
+	return string(sig)
+}
+
+// hashIndexForLocked returns the hash index on the given column set,
+// building it on first use; afterwards InsertMult maintains it
+// incrementally. The caller must hold the write lock.
+func (r *Relation) hashIndexForLocked(sig string, cols []int) *hashIndex {
+	if ix, ok := r.hashIdx[sig]; ok {
 		return ix
 	}
 	ix := &hashIndex{
 		cols:    append([]int(nil), cols...),
 		buckets: make(map[string][]int, len(r.rows)),
 	}
-	for slot, rw := range r.rows {
-		ix.add(rw.tup, slot)
+	for slot := range r.rows {
+		ix.add(r.rows[slot].tup, slot)
 	}
 	if r.hashIdx == nil {
 		r.hashIdx = make(map[string]*hashIndex)
 	}
-	r.hashIdx[s] = ix
+	r.hashIdx[sig] = ix
 	return ix
 }
 
@@ -251,7 +395,8 @@ func (r *Relation) hashIndexFor(cols []int) *hashIndex {
 // order; f returning false stops the probe. It uses a lazy per-column-set
 // hash index that survives multiplicity bumps and is maintained
 // incrementally on inserts of new distinct tuples, so a probe after an
-// insert sees the new tuple without a rebuild.
+// insert sees the new tuple without a rebuild. The bucket is captured
+// under the lock and iterated without it, so f may insert into r.
 //
 // Probe identity is value.Key, which agrees with value.Eq for every
 // probe value whose Indexable() is true; callers probing with
@@ -268,10 +413,31 @@ func (r *Relation) Probe(cols []int, vals []value.Value, f func(Tuple, int) bool
 	}
 	var kb [64]byte
 	buf := Tuple(vals).AppendKey(kb[:0])
-	slots := r.hashIndexFor(cols).buckets[string(buf)]
+	sig := indexSig(cols)
+
+	// Fast path: the index already exists — capture its bucket and the
+	// rows header under the read lock. Slow path: build the index under
+	// the write lock (double-checked; another goroutine may have built it
+	// in between). Both capture rows and bucket under the same lock
+	// acquisition, so every slot in the bucket is covered by the header.
+	r.mu.RLock()
+	ix, ok := r.hashIdx[sig]
+	var slots []int
+	var rows []row
+	if ok {
+		slots = ix.buckets[string(buf)]
+		rows = r.rows
+	}
+	r.mu.RUnlock()
+	if !ok {
+		r.mu.Lock()
+		ix = r.hashIndexForLocked(sig, cols)
+		slots = ix.buckets[string(buf)]
+		rows = r.rows
+		r.mu.Unlock()
+	}
 	for _, slot := range slots {
-		rw := r.rows[slot]
-		if !f(rw.tup, rw.mult) {
+		if !f(rows[slot].tup, int(atomic.LoadInt64(&rows[slot].mult))) {
 			return
 		}
 	}
@@ -279,9 +445,10 @@ func (r *Relation) Probe(cols []int, vals []value.Value, f func(Tuple, int) bool
 
 // Tuples returns the distinct tuples in insertion order.
 func (r *Relation) Tuples() []Tuple {
-	out := make([]Tuple, 0, len(r.rows))
-	for _, rw := range r.rows {
-		out = append(out, rw.tup)
+	rows := r.snapshot()
+	out := make([]Tuple, 0, len(rows))
+	for i := range rows {
+		out = append(out, rows[i].tup)
 	}
 	return out
 }
@@ -290,7 +457,7 @@ func (r *Relation) Tuples() []Tuple {
 // set-semantics reading of the instance).
 func (r *Relation) Dedup() *Relation {
 	out := New(r.name, r.attrs...)
-	for _, rw := range r.rows {
+	for _, rw := range r.snapshot() {
 		out.InsertMult(rw.tup, 1)
 	}
 	return out
@@ -299,8 +466,9 @@ func (r *Relation) Dedup() *Relation {
 // Clone returns a deep copy.
 func (r *Relation) Clone() *Relation {
 	out := New(r.name, r.attrs...)
-	for _, rw := range r.rows {
-		out.InsertMult(rw.tup, rw.mult)
+	rows := r.snapshot()
+	for i := range rows {
+		out.InsertMult(rows[i].tup, int(atomic.LoadInt64(&rows[i].mult)))
 	}
 	return out
 }
@@ -321,8 +489,9 @@ func (r *Relation) Rename(name string, attrs []string) *Relation {
 		attrs = r.attrs
 	}
 	out := New(name, attrs...)
-	for _, rw := range r.rows {
-		out.InsertMult(rw.tup, rw.mult)
+	rows := r.snapshot()
+	for i := range rows {
+		out.InsertMult(rows[i].tup, int(atomic.LoadInt64(&rows[i].mult)))
 	}
 	return out
 }
@@ -339,20 +508,26 @@ func (r *Relation) Project(attrs ...string) *Relation {
 		cols[i] = c
 	}
 	out := New(r.name, attrs...)
-	for _, rw := range r.rows {
+	rows := r.snapshot()
+	for i := range rows {
 		t := make(Tuple, len(cols))
-		for i, c := range cols {
-			t[i] = rw.tup[c]
+		for j, c := range cols {
+			t[j] = rows[i].tup[c]
 		}
-		out.InsertMult(t, rw.mult)
+		out.InsertMult(t, int(atomic.LoadInt64(&rows[i].mult)))
 	}
 	return out
 }
 
-// sortedRows returns (key, mult) pairs sorted by key, for canonical
-// comparison and printing.
+// sortedRows returns (tuple, mult) pairs sorted by key, for canonical
+// comparison and printing. Multiplicities are loaded once, so the result
+// is a consistent-enough snapshot for display.
 func (r *Relation) sortedRows() []row {
-	rs := append([]row(nil), r.rows...)
+	src := r.snapshot()
+	rs := make([]row, len(src))
+	for i := range src {
+		rs[i] = row{tup: src[i].tup, mult: atomic.LoadInt64(&src[i].mult)}
+	}
 	sort.Slice(rs, func(i, j int) bool {
 		a, b := rs[i].tup, rs[j].tup
 		for k := 0; k < len(a) && k < len(b); k++ {
@@ -375,11 +550,12 @@ func (r *Relation) EqualSet(o *Relation) bool {
 	if r.Arity() != o.Arity() {
 		return false
 	}
-	if r.Distinct() != o.Distinct() {
+	rows := r.snapshot()
+	if len(rows) != o.Distinct() {
 		return false
 	}
-	for _, rw := range r.rows {
-		if _, ok := o.index[rw.tup.Key()]; !ok {
+	for i := range rows {
+		if !o.Contains(rows[i].tup) {
 			return false
 		}
 	}
@@ -389,12 +565,15 @@ func (r *Relation) EqualSet(o *Relation) bool {
 // EqualBag reports whether r and o contain the same tuples with the same
 // multiplicities.
 func (r *Relation) EqualBag(o *Relation) bool {
-	if r.Arity() != o.Arity() || r.Distinct() != o.Distinct() {
+	if r.Arity() != o.Arity() {
 		return false
 	}
-	for _, rw := range r.rows {
-		i, ok := o.index[rw.tup.Key()]
-		if !ok || o.rows[i].mult != rw.mult {
+	rows := r.snapshot()
+	if len(rows) != o.Distinct() {
+		return false
+	}
+	for i := range rows {
+		if o.Mult(rows[i].tup) != int(atomic.LoadInt64(&rows[i].mult)) {
 			return false
 		}
 	}
@@ -405,9 +584,10 @@ func (r *Relation) EqualBag(o *Relation) bool {
 // shown when any exceeds 1, sorted canonically — the format used by the
 // experiment harness and goldens.
 func (r *Relation) String() string {
+	sorted := r.sortedRows()
 	showMult := false
-	for _, rw := range r.rows {
-		if rw.mult != 1 {
+	for i := range sorted {
+		if sorted[i].mult != 1 {
 			showMult = true
 			break
 		}
@@ -418,7 +598,7 @@ func (r *Relation) String() string {
 		header = append(header, "#")
 	}
 	rows := [][]string{header}
-	for _, rw := range r.sortedRows() {
+	for _, rw := range sorted {
 		cells := make([]string, 0, len(rw.tup)+1)
 		for _, v := range rw.tup {
 			cells = append(cells, v.String())

@@ -459,6 +459,137 @@ func (*Lit) isExpr() {}
 // String renders the literal.
 func (l *Lit) String() string { return l.Val.String() }
 
+// Param is a positional placeholder ($1, $2, …): a value supplied at
+// execution time, so a query can be planned once and executed many times
+// with different bindings. Indexes are 1-based, database/sql style.
+type Param struct {
+	Index int
+}
+
+func (*Param) isExpr() {}
+
+// String renders "$n".
+func (p *Param) String() string { return "$" + itoa(p.Index) }
+
+// MaxParam returns the largest placeholder index used anywhere in q
+// (0 when the query has none) — the number of arguments an execution
+// must bind.
+func MaxParam(q Query) int {
+	max := 0
+	Walk(q, nil, func(e Expr) {
+		if p, ok := e.(*Param); ok && p.Index > max {
+			max = p.Index
+		}
+	}, nil)
+	return max
+}
+
+// Tables returns the distinct base-table names referenced anywhere in q
+// (FROM items, join trees, subqueries, CTE definitions), in first-
+// reference order. CTE names shadowing base tables are not subtracted,
+// so callers using this for cache invalidation over-approximate.
+func Tables(q Query) []string {
+	var out []string
+	seen := map[string]bool{}
+	Walk(q, nil, nil, func(r TableRef) {
+		if bt, ok := r.(*BaseTable); ok && !seen[bt.Name] {
+			seen[bt.Name] = true
+			out = append(out, bt.Name)
+		}
+	})
+	return out
+}
+
+// Walk traverses every node of q — query blocks, expressions (descending
+// into subqueries), and table references — calling the non-nil callbacks
+// on each.
+func Walk(q Query, fq func(Query), fe func(Expr), fr func(TableRef)) {
+	var walkQ func(Query)
+	var walkE func(Expr)
+	var walkRef func(TableRef)
+	walkE = func(e Expr) {
+		if e == nil {
+			return
+		}
+		if fe != nil {
+			fe(e)
+		}
+		switch x := e.(type) {
+		case *Cmp:
+			walkE(x.L)
+			walkE(x.R)
+		case *AndE:
+			for _, k := range x.Kids {
+				walkE(k)
+			}
+		case *OrE:
+			for _, k := range x.Kids {
+				walkE(k)
+			}
+		case *NotE:
+			walkE(x.Kid)
+		case *IsNullE:
+			walkE(x.Arg)
+		case *BinE:
+			walkE(x.L)
+			walkE(x.R)
+		case *FuncE:
+			walkE(x.Arg)
+		case *Exists:
+			walkQ(x.Query)
+		case *InE:
+			walkE(x.Left)
+			walkQ(x.Query)
+		case *Scalar:
+			walkQ(x.Query)
+		}
+	}
+	walkRef = func(r TableRef) {
+		if fr != nil {
+			fr(r)
+		}
+		switch x := r.(type) {
+		case *SubqueryTable:
+			walkQ(x.Query)
+		case *JoinRef:
+			walkRef(x.Left)
+			walkRef(x.Right)
+			walkE(x.On)
+		}
+	}
+	walkQ = func(q Query) {
+		if q == nil {
+			return
+		}
+		if fq != nil {
+			fq(q)
+		}
+		switch x := q.(type) {
+		case *Union:
+			walkQ(x.Left)
+			walkQ(x.Right)
+		case *With:
+			for _, c := range x.CTEs {
+				walkQ(c.Query)
+			}
+			walkQ(x.Body)
+		case *Select:
+			for _, ref := range x.From {
+				walkRef(ref)
+			}
+			for _, it := range x.Items {
+				walkE(it.Expr)
+			}
+			walkE(x.Where)
+			for _, g := range x.GroupBy {
+				walkE(g)
+			}
+			walkE(x.Having)
+		}
+	}
+	walkQ(q)
+}
+
 // Cmp is a binary comparison.
 type Cmp struct {
 	Op   value.CmpOp

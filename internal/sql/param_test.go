@@ -1,0 +1,60 @@
+package sql
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParamParseAndRender(t *testing.T) {
+	q, err := Parse("select R.A from R where R.A = $1 and R.B = $2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := MaxParam(q); got != 2 {
+		t.Fatalf("MaxParam = %d, want 2", got)
+	}
+	src := q.String()
+	q2, err := Parse(src)
+	if err != nil {
+		t.Fatalf("re-parse of %q: %v", src, err)
+	}
+	if q2.String() != src {
+		t.Fatalf("placeholder rendering does not round-trip: %q vs %q", src, q2.String())
+	}
+}
+
+func TestParamInNestedPositions(t *testing.T) {
+	q, err := Parse(`with recursive w(x, d) as (
+		select R.A, 1 from R where R.A = $3
+		union all
+		select w.x, w.d + 1 from w, R where w.x = R.A and w.d < $1
+	) select w.x from w where exists (select 1 from S where S.B = $2)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := MaxParam(q); got != 3 {
+		t.Fatalf("MaxParam = %d, want 3", got)
+	}
+}
+
+func TestParamErrors(t *testing.T) {
+	for _, src := range []string{
+		"select R.A from R where R.A = $0",
+		"select R.A from R where R.A = $x",
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Fatalf("expected a placeholder error for %q", src)
+		}
+	}
+}
+
+func TestTables(t *testing.T) {
+	q := MustParse(`with w as (select T.A from T)
+		select R.A from R join S on R.B = S.B
+		where exists (select 1 from U where U.C = R.A) and R.B in (select V.B from V)`)
+	got := Tables(q)
+	want := []string{"T", "R", "S", "U", "V"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Tables = %v, want %v", got, want)
+	}
+}

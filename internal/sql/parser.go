@@ -635,6 +635,16 @@ func (p *parser) parseTerm() (Expr, error) {
 			p.pos++
 			return &Lit{Val: value.Bool(false)}, nil
 		}
+		// $n positional placeholder (the lexer folds "$1" into one
+		// identifier token).
+		if strings.HasPrefix(t.text, "$") {
+			n, err := strconv.Atoi(t.text[1:])
+			if err != nil || n < 1 {
+				return nil, p.errf("bad placeholder %q (want $1, $2, …)", t.raw)
+			}
+			p.pos++
+			return &Param{Index: n}, nil
+		}
 		if aggNames[t.text] {
 			mark := p.save()
 			p.pos++

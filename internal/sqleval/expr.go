@@ -13,6 +13,11 @@ func (e *evaluator) evalExpr(x sql.Expr, fr *frame, grp *groupCtx) (value.Value,
 	switch n := x.(type) {
 	case *sql.Lit:
 		return n.Val, nil
+	case *sql.Param:
+		if n.Index < 1 || n.Index > len(e.params) {
+			return value.Null(), fmt.Errorf("parameter $%d not bound (%d arguments)", n.Index, len(e.params))
+		}
+		return e.params[n.Index-1], nil
 	case *sql.ColRef:
 		v, ok, err := fr.lookup(n.Table, n.Column)
 		if err != nil {

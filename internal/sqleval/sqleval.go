@@ -55,14 +55,22 @@ func Eval(q sql.Query, db DB) (*relation.Relation, error) {
 
 // EvalMode evaluates a parsed query under an explicit plan mode.
 func EvalMode(q sql.Query, db DB, mode PlanMode) (*relation.Relation, error) {
+	return EvalWith(q, db, mode, nil, nil)
+}
+
+// EvalWith evaluates a parsed query with $n parameter bindings and an
+// optional cancellation check (polled between query blocks and recursive
+// rounds on the enumeration path, and in the pull loop on the planner
+// path). It is the engine layer's entry point.
+func EvalWith(q sql.Query, db DB, mode PlanMode, params []value.Value, check func() error) (*relation.Relation, error) {
 	if mode != PlanOff {
 		if p, err := plan.Compile(q, db); err == nil {
-			return p.Execute()
+			return p.ExecuteWith(params, check)
 		} else if mode == PlanForce {
 			return nil, err
 		}
 	}
-	e := &evaluator{db: db}
+	e := &evaluator{db: db, params: params, check: check}
 	return e.evalQuery(q, nil)
 }
 
@@ -87,7 +95,23 @@ func EvalString(src string, db DB) (*relation.Relation, error) {
 }
 
 type evaluator struct {
-	db DB
+	db     DB
+	params []value.Value // $n bindings (1-based indexes into this slice + 1)
+	check  func() error  // optional cancellation poll
+}
+
+// child creates an evaluator over a different database view that shares
+// the parameter bindings and cancellation check.
+func (e *evaluator) child(db DB) *evaluator {
+	return &evaluator{db: db, params: e.params, check: e.check}
+}
+
+// poll surfaces a pending cancellation as an evaluation error.
+func (e *evaluator) poll() error {
+	if e.check == nil {
+		return nil
+	}
+	return e.check()
 }
 
 // frame is one correlation level: the aliases visible in a (sub)query.
@@ -152,7 +176,7 @@ var MaxRecursiveIterations = 100000
 // later CTEs and the body see earlier ones) into a child scope's
 // database; recursive CTEs run the SQL working-table loop.
 func (e *evaluator) evalWith(w *sql.With, outer *frame) (*relation.Relation, error) {
-	child := &evaluator{db: make(DB, len(e.db)+len(w.CTEs))}
+	child := e.child(make(DB, len(e.db)+len(w.CTEs)))
 	for k, v := range e.db {
 		child.db[k] = v
 	}
@@ -221,11 +245,14 @@ func (e *evaluator) evalRecursiveCTE(cte sql.CTE, baseQ, stepQ sql.Query, all bo
 		work.InsertMult(t, m)
 	})
 	work.Each(func(t relation.Tuple, m int) { result.InsertMult(t, m) })
-	stepEv := &evaluator{db: make(DB, len(e.db)+1)}
+	stepEv := e.child(make(DB, len(e.db)+1))
 	for k, v := range e.db {
 		stepEv.db[k] = v
 	}
 	for iter := 0; work.Distinct() > 0; iter++ {
+		if err := e.poll(); err != nil {
+			return nil, err
+		}
 		if iter >= MaxRecursiveIterations {
 			hint := "UNION ALL recursion needs a bounded step"
 			if distinct {
@@ -259,6 +286,9 @@ func (e *evaluator) evalRecursiveCTE(cte sql.CTE, baseQ, stepQ sql.Query, all bo
 }
 
 func (e *evaluator) evalQuery(q sql.Query, outer *frame) (*relation.Relation, error) {
+	if err := e.poll(); err != nil {
+		return nil, err
+	}
 	switch x := q.(type) {
 	case *sql.With:
 		return e.evalWith(x, outer)
@@ -735,7 +765,7 @@ func probePlans(alias string, rel *relation.Relation, conds []*sql.Cmp) []probeP
 // whose column references cannot resolve to the alias being probed.
 func simpleExprAvoiding(x sql.Expr, alias string, rel *relation.Relation) bool {
 	switch n := x.(type) {
-	case *sql.Lit:
+	case *sql.Lit, *sql.Param:
 		return true
 	case *sql.ColRef:
 		if n.Table == alias {
