@@ -1,0 +1,135 @@
+package repro
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/relation"
+	"repro/internal/server"
+	"repro/internal/server/client"
+	"repro/internal/value"
+	"repro/internal/workload"
+)
+
+// serverBenchDB builds the wire-throughput workload: a point-lookup
+// table, a pair of joinable relations, and a chain for recursion.
+func serverBenchDB() *engine.DB {
+	r := relation.New("R", "A", "B")
+	for i := 0; i < 1000; i++ {
+		r.Add(i, i*10)
+	}
+	j1 := relation.New("J1", "X", "V")
+	j2 := relation.New("J2", "Y", "W")
+	for i := 0; i < 100; i++ {
+		j1.Add(i, i+1000)
+		j2.Add(i, i+2000)
+	}
+	p := workload.Chain(20)
+	return engine.Open(r, j1, j2, p)
+}
+
+// BenchmarkServerThroughput measures end-to-end wire-protocol throughput:
+// N concurrent client sessions each cycling a point lookup, a hash join,
+// and a recursive transitive closure through prepared statements over
+// one shared server. The per-statement metrics contract is asserted at
+// the end of every run — a server that stops reporting is a failure,
+// not just a regression.
+func BenchmarkServerThroughput(b *testing.B) {
+	for _, sessions := range []int{4, 8} {
+		b.Run(fmt.Sprintf("sessions=%d", sessions), func(b *testing.B) {
+			srv := server.New(serverBenchDB(), server.Options{})
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			go srv.Serve(ln)
+			defer func() {
+				ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+				defer cancel()
+				srv.Shutdown(ctx)
+			}()
+
+			type sessionStmts struct {
+				conn                   *client.Conn
+				point, join, recursive *client.Stmt
+			}
+			conns := make([]sessionStmts, sessions)
+			for i := range conns {
+				c, err := client.Dial(ln.Addr().String())
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer c.Close()
+				point, err := c.Prepare(client.LangSQL, "select R.A, R.B from R where R.A = $1")
+				if err != nil {
+					b.Fatal(err)
+				}
+				join, err := c.Prepare(client.LangSQL, "select J1.V, J2.W from J1, J2 where J1.X = J2.Y")
+				if err != nil {
+					b.Fatal(err)
+				}
+				recursive, err := c.Prepare(client.LangSQL,
+					"with recursive A (s, t) as (select P.s, P.t from P union select P.s, A.t from P, A where P.t = A.s) select A.s, A.t from A")
+				if err != nil {
+					b.Fatal(err)
+				}
+				conns[i] = sessionStmts{conn: c, point: point, join: join, recursive: recursive}
+			}
+
+			b.ReportAllocs()
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			errc := make(chan error, sessions)
+			for i := range conns {
+				share := b.N / sessions
+				if i < b.N%sessions {
+					share++
+				}
+				wg.Add(1)
+				go func(s sessionStmts, share, seed int) {
+					defer wg.Done()
+					for it := 0; it < share; it++ {
+						var want int
+						var rows [][]value.Value
+						var err error
+						switch it % 3 {
+						case 0:
+							rows, err = s.point.QueryAll(value.Int(int64((seed + it) % 1000)))
+							want = 1
+						case 1:
+							rows, err = s.join.QueryAll()
+							want = 100
+						default:
+							rows, err = s.recursive.QueryAll()
+							want = 19 * 20 / 2 // TC of the 19-edge chain
+						}
+						if err != nil {
+							errc <- err
+							return
+						}
+						if len(rows) != want {
+							errc <- fmt.Errorf("rows = %d, want %d", len(rows), want)
+							return
+						}
+					}
+				}(conns[i], share, i*131)
+			}
+			wg.Wait()
+			b.StopTimer()
+			select {
+			case err := <-errc:
+				b.Fatal(err)
+			default:
+			}
+			snap := srv.Snapshot()
+			if snap.QueriesExecuted < uint64(b.N) || snap.QueryCount < uint64(b.N) || snap.RowsStreamed == 0 {
+				b.Fatalf("per-statement metrics missing: %+v", snap)
+			}
+		})
+	}
+}

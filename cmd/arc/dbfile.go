@@ -1,36 +1,19 @@
 package main
 
 import (
-	"fmt"
-	"os"
-	"strconv"
-	"strings"
-
 	"repro/internal/core"
+	"repro/internal/dbfile"
 	"repro/internal/relation"
-	"repro/internal/value"
 )
 
-// loadCatalog reads a data file into a catalog with standard externals.
-// Format:
-//
-//	# comment
-//	R(A,B)
-//	1,10
-//	2,null
-//
-//	S(B)
-//	10
+// loadCatalog reads a data file (see internal/dbfile for the format)
+// into a catalog with standard externals.
 func loadCatalog(path string) (*core.Catalog, []*relation.Relation, error) {
 	cat := core.NewCatalog().WithStandardExternals()
 	if path == "" {
 		return cat, nil, nil
 	}
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, nil, err
-	}
-	rels, err := parseDB(string(data))
+	rels, err := dbfile.Load(path)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -38,66 +21,4 @@ func loadCatalog(path string) (*core.Catalog, []*relation.Relation, error) {
 		cat.AddRelation(r)
 	}
 	return cat, rels, nil
-}
-
-func parseDB(src string) ([]*relation.Relation, error) {
-	var rels []*relation.Relation
-	var cur *relation.Relation
-	for ln, rawLine := range strings.Split(src, "\n") {
-		line := strings.TrimSpace(rawLine)
-		if line == "" || strings.HasPrefix(line, "#") {
-			cur = nil
-			continue
-		}
-		if cur == nil {
-			name, attrs, ok := parseHeader(line)
-			if !ok {
-				return nil, fmt.Errorf("line %d: expected relation header like R(A,B), got %q", ln+1, line)
-			}
-			cur = relation.New(name, attrs...)
-			rels = append(rels, cur)
-			continue
-		}
-		cells := strings.Split(line, ",")
-		if len(cells) != cur.Arity() {
-			return nil, fmt.Errorf("line %d: %d values for %d attributes of %s", ln+1, len(cells), cur.Arity(), cur.Name())
-		}
-		t := make(relation.Tuple, len(cells))
-		for i, c := range cells {
-			t[i] = parseCell(strings.TrimSpace(c))
-		}
-		cur.Insert(t)
-	}
-	return rels, nil
-}
-
-func parseHeader(line string) (string, []string, bool) {
-	open := strings.IndexByte(line, '(')
-	if open <= 0 || !strings.HasSuffix(line, ")") {
-		return "", nil, false
-	}
-	name := strings.TrimSpace(line[:open])
-	inner := line[open+1 : len(line)-1]
-	var attrs []string
-	for _, a := range strings.Split(inner, ",") {
-		a = strings.TrimSpace(a)
-		if a == "" {
-			return "", nil, false
-		}
-		attrs = append(attrs, a)
-	}
-	return name, attrs, true
-}
-
-func parseCell(c string) value.Value {
-	if strings.EqualFold(c, "null") {
-		return value.Null()
-	}
-	if i, err := strconv.ParseInt(c, 10, 64); err == nil {
-		return value.Int(i)
-	}
-	if f, err := strconv.ParseFloat(c, 64); err == nil {
-		return value.Float(f)
-	}
-	return value.Str(strings.Trim(c, "'\""))
 }

@@ -1,59 +1,6 @@
 package main
 
-import (
-	"testing"
-
-	"repro/internal/relation"
-	"repro/internal/value"
-)
-
-func TestParseDB(t *testing.T) {
-	src := `# a comment
-R(A,B)
-1,10
-2,null
-3,2.5
-4,'hello'
-
-S(B)
-10
-`
-	rels, err := parseDB(src)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(rels) != 2 {
-		t.Fatalf("relations = %d", len(rels))
-	}
-	r := rels[0]
-	if r.Name() != "R" || r.Card() != 4 {
-		t.Fatalf("R = %s", r)
-	}
-	if !r.Contains(relation.Tuple{value.Int(2), value.Null()}) {
-		t.Error("null cell broken")
-	}
-	if !r.Contains(relation.Tuple{value.Int(3), value.Float(2.5)}) {
-		t.Error("float cell broken")
-	}
-	if !r.Contains(relation.Tuple{value.Int(4), value.Str("hello")}) {
-		t.Error("string cell broken")
-	}
-	if rels[1].Name() != "S" || rels[1].Card() != 1 {
-		t.Fatalf("S = %s", rels[1])
-	}
-}
-
-func TestParseDBErrors(t *testing.T) {
-	if _, err := parseDB("not a header\n"); err == nil {
-		t.Error("bad header must error")
-	}
-	if _, err := parseDB("R(A,B)\n1\n"); err == nil {
-		t.Error("arity mismatch must error")
-	}
-	if _, err := parseDB("R(A,)\n"); err == nil {
-		t.Error("empty attribute must error")
-	}
-}
+import "testing"
 
 func TestConventionsByName(t *testing.T) {
 	if conventionsByName("souffle").String() != "set/2VL/sum∅=0" {

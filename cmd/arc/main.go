@@ -37,6 +37,9 @@ import (
 	"repro/internal/convention"
 	"repro/internal/core"
 	"repro/internal/plan"
+	"repro/internal/relation"
+	"repro/internal/server/client"
+	"repro/internal/value"
 )
 
 func main() {
@@ -47,6 +50,7 @@ func main() {
 	convName := flag.String("conv", "set", "conventions: set|sql|sqldistinct|souffle")
 	doLint := flag.Bool("lint", false, "run the COUNT-bug lint")
 	doExplain := flag.Bool("explain", false, "print the tuple-level query plan")
+	connect := flag.String("connect", "", "arcserve address: -eval runs on the server instead of in-process (-db/-conv stay server-side)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: arc [flags] <query | @file>")
@@ -67,7 +71,7 @@ func main() {
 		// SQL queries outside the ARC translation fragment (e.g. WITH
 		// RECURSIVE) still evaluate and explain through the SQL engine.
 		if *lang == "sql" && (*doEval || *doExplain) {
-			runSQLOnly(src, *dbPath, *doExplain, *doEval)
+			runSQLOnly(src, *dbPath, *doExplain, *doEval, *connect)
 			return
 		}
 		die(err)
@@ -101,9 +105,21 @@ func main() {
 			die(err)
 		}
 		if *doExplain {
-			explain(col, *lang, src, cat, rels, *convName)
+			if err := explain(col, *lang, src, cat, rels, *convName); err != nil {
+				if *connect != "" && *doEval {
+					fmt.Printf("arc plan: unavailable locally (%v)\n", err)
+				} else {
+					die(err)
+				}
+			}
 		}
 		if *doEval {
+			if *connect != "" {
+				// The direct-eval path moves behind the wire protocol:
+				// the query runs in an arcserve daemon's session.
+				remoteEval(*connect, *lang, src, col)
+				return
+			}
 			// One prepared statement through the unified engine — the
 			// same front door a long-running server would hold open.
 			stmt, err := core.OpenEngineCatalog(cat).PrepareARCCollection(col, conventionsByName(*convName))
@@ -119,10 +135,44 @@ func main() {
 	}
 }
 
+// remoteEval runs the query in an arcserve daemon instead of the
+// in-process engine: SQL goes over the wire verbatim, ARC and TRC as
+// the parsed collection's canonical ARC text (TRC has no wire language
+// of its own). The result prints in the same relation format as local
+// evaluation.
+func remoteEval(addr, lang, src string, col *core.Collection) {
+	c, err := client.Dial(addr)
+	if err != nil {
+		die(err)
+	}
+	defer c.Close()
+	var rows [][]value.Value
+	var cols []string
+	if lang == "sql" {
+		rows, cols, err = c.Query(client.LangSQL, src)
+	} else {
+		rows, cols, err = c.Query(client.LangARC, col.String())
+	}
+	if err != nil {
+		die(err)
+	}
+	res := relation.New("result", cols...)
+	for _, r := range rows {
+		res.Insert(relation.Tuple(r))
+	}
+	fmt.Print(res.String())
+}
+
 // runSQLOnly evaluates and explains a SQL query that has no ARC
 // translation (recursive CTEs and other fragments the translator does
 // not cover) directly through the engine's SQL path.
-func runSQLOnly(src, dbPath string, doExplain, doEval bool) {
+func runSQLOnly(src, dbPath string, doExplain, doEval bool, connect string) {
+	if doEval && connect != "" && !doExplain {
+		// Pure remote evaluation: the server holds the data, so skip the
+		// local catalog and prepare entirely.
+		remoteEval(connect, "sql", src, nil)
+		return
+	}
 	_, rels, err := loadCatalog(dbPath)
 	if err != nil {
 		die(err)
@@ -130,6 +180,14 @@ func runSQLOnly(src, dbPath string, doExplain, doEval bool) {
 	eng := core.OpenEngine(rels...)
 	stmt, err := eng.Prepare(core.LangSQL, src)
 	if err != nil {
+		if doEval && connect != "" {
+			// With a server to answer -eval, a failed local prepare
+			// (typically: the data lives server-side, so the tables are
+			// unknown here) only costs the explain.
+			fmt.Printf("sql plan: unavailable locally (%v)\n", err)
+			remoteEval(connect, "sql", src, nil)
+			return
+		}
 		die(err)
 	}
 	if doExplain {
@@ -146,6 +204,10 @@ func runSQLOnly(src, dbPath string, doExplain, doEval bool) {
 		}
 	}
 	if doEval {
+		if connect != "" {
+			remoteEval(connect, "sql", src, nil)
+			return
+		}
 		res, err := stmt.QueryAll(context.Background())
 		if err != nil {
 			die(err)
@@ -155,8 +217,10 @@ func runSQLOnly(src, dbPath string, doExplain, doEval bool) {
 }
 
 // explain prints the ARC scope plans (and, for SQL input, the SQL
-// planner's physical plan) against the loaded catalog.
-func explain(col *core.Collection, lang, src string, cat *core.Catalog, rels []*core.Relation, convName string) {
+// planner's physical plan) against the loaded catalog. The error is the
+// caller's to judge: fatal locally, survivable when a server will
+// answer -eval anyway.
+func explain(col *core.Collection, lang, src string, cat *core.Catalog, rels []*core.Relation, convName string) error {
 	if lang == "sql" {
 		s, err := core.ExplainSQL(src, rels...)
 		if err != nil {
@@ -168,10 +232,11 @@ func explain(col *core.Collection, lang, src string, cat *core.Catalog, rels []*
 	}
 	s, err := core.ExplainARC(col, cat, conventionsByName(convName))
 	if err != nil {
-		die(err)
+		return err
 	}
 	fmt.Println("arc plan:")
 	fmt.Print(s)
+	return nil
 }
 
 func parseInput(lang, src string) (*core.Collection, *core.Sentence, error) {

@@ -1,0 +1,102 @@
+// Command arcserve is the network daemon over the unified engine: it
+// loads a data file, opens an engine.DB, and serves the wire protocol
+// (see internal/server) on a TCP address, with an optional HTTP metrics
+// endpoint for capacity planning.
+//
+// Usage:
+//
+//	arcserve [flags]
+//
+//	-addr host:port      listen address (default 127.0.0.1:7878)
+//	-db file             data file to load (see internal/dbfile format)
+//	-metrics host:port   serve /metrics JSON on this address ("" = off)
+//	-fetch N             default Fetch batch size (rows)
+//	-v                   log connection-level diagnostics
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: the listener closes,
+// in-flight queries are cancelled through the engine's context plumbing,
+// and sessions drain (10s grace, then forced).
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/dbfile"
+	"repro/internal/engine"
+	"repro/internal/relation"
+	"repro/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "arcserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr    string
+		dbPath  string
+		metrics string
+		fetch   int
+		verbose bool
+	)
+	fs := newFlags(&addr, &dbPath, &metrics, &fetch, &verbose)
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		return err
+	}
+
+	var rels []*relation.Relation
+	if dbPath != "" {
+		var err error
+		rels, err = dbfile.Load(dbPath)
+		if err != nil {
+			return err
+		}
+	}
+	db := engine.Open(rels...)
+	opts := server.Options{FetchRows: fetch}
+	if verbose {
+		opts.Logf = log.Printf
+	}
+	srv := server.New(db, opts)
+
+	if metrics != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", srv.MetricsHandler())
+		go func() {
+			if err := http.ListenAndServe(metrics, mux); err != nil {
+				log.Printf("arcserve: metrics endpoint: %v", err)
+			}
+		}()
+		log.Printf("arcserve: metrics on http://%s/metrics", metrics)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe(addr) }()
+	log.Printf("arcserve: serving %d relation(s) on %s", len(rels), addr)
+
+	select {
+	case err := <-errc:
+		return err
+	case s := <-sig:
+		log.Printf("arcserve: %v — draining sessions", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("arcserve: forced shutdown: %v", err)
+		}
+		<-errc
+		return nil
+	}
+}

@@ -1,0 +1,133 @@
+// Command arcsql is the interactive wire-protocol client: it connects
+// to an arcserve daemon and runs queries in any of the three languages,
+// streaming results to stdout.
+//
+// Usage:
+//
+//	arcsql [flags] [query]
+//
+//	-addr host:port   server address (default 127.0.0.1:7878)
+//	-lang sql|arc|datalog   query language (default sql)
+//
+// With a query argument it runs once and exits; without one it reads
+// queries from stdin, one per line. REPL meta-commands: "\lang sql",
+// "\lang arc", "\lang datalog" switch languages, "\q" quits.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/server/client"
+	"repro/internal/value"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7878", "server address")
+	langName := flag.String("lang", "sql", "query language: sql|arc|datalog")
+	flag.Parse()
+
+	lang, ok := langByName(*langName)
+	if !ok {
+		die(fmt.Errorf("unknown language %q", *langName))
+	}
+	c, err := client.Dial(*addr)
+	if err != nil {
+		die(err)
+	}
+	defer c.Close()
+
+	if flag.NArg() > 0 {
+		if err := runQuery(c, lang, strings.Join(flag.Args(), " ")); err != nil {
+			die(err)
+		}
+		return
+	}
+
+	fmt.Printf("connected to %s (%s); \\lang switches language, \\q quits\n", *addr, *langName)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	prompt(lang)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+		case line == `\q`, line == `\quit`:
+			return
+		case strings.HasPrefix(line, `\lang`):
+			name := strings.TrimSpace(strings.TrimPrefix(line, `\lang`))
+			if l, ok := langByName(name); ok {
+				lang = l
+			} else {
+				fmt.Fprintf(os.Stderr, "unknown language %q\n", name)
+			}
+		default:
+			// Statement-level errors keep the session (and the REPL) alive.
+			if err := runQuery(c, lang, line); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+			}
+		}
+		prompt(lang)
+	}
+}
+
+func prompt(lang client.Lang) {
+	name := map[client.Lang]string{client.LangSQL: "sql", client.LangARC: "arc", client.LangDatalog: "datalog"}[lang]
+	fmt.Printf("%s> ", name)
+}
+
+func langByName(name string) (client.Lang, bool) {
+	switch name {
+	case "sql":
+		return client.LangSQL, true
+	case "arc":
+		return client.LangARC, true
+	case "datalog":
+		return client.LangDatalog, true
+	}
+	return 0, false
+}
+
+// runQuery prepares, streams, and prints one query.
+func runQuery(c *client.Conn, lang client.Lang, src string) error {
+	stmt, err := c.Prepare(lang, src)
+	if err != nil {
+		return err
+	}
+	defer stmt.Close()
+	rows, err := stmt.Query()
+	if err != nil {
+		return err
+	}
+	defer rows.Close()
+	fmt.Println(strings.Join(stmt.Columns(), "\t"))
+	n := 0
+	for rows.Next() {
+		cells := make([]string, 0, len(stmt.Columns()))
+		for _, v := range rows.Values() {
+			cells = append(cells, renderValue(v))
+		}
+		fmt.Println(strings.Join(cells, "\t"))
+		n++
+	}
+	if err := rows.Err(); err != nil {
+		return err
+	}
+	fmt.Printf("(%d row(s))\n", n)
+	return nil
+}
+
+func renderValue(v value.Value) string {
+	if v.IsNull() {
+		return "null"
+	}
+	return v.String()
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "arcsql:", err)
+	os.Exit(1)
+}

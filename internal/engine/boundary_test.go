@@ -1,0 +1,161 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// rowsDB builds a tiny DB for cursor-misuse tests.
+func rowsDB() *DB {
+	r := relation.New("R", "A", "B").Add(1, 10).Add(2, 20).Add(3, 30)
+	return Open(r)
+}
+
+// TestScanBeforeNext pins the first misuse edge: Scan before the first
+// Next returns a clear error, never a zero tuple.
+func TestScanBeforeNext(t *testing.T) {
+	db := rowsDB()
+	rows, err := db.Query(context.Background(), LangSQL, "select R.A from R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	var a int
+	if err := rows.Scan(&a); err == nil || !strings.Contains(err.Error(), "before Next") {
+		t.Fatalf("Scan before Next = %v, want 'before Next' error", err)
+	}
+}
+
+// TestScanAfterExhaustion pins the second misuse edge: once Next has
+// returned false, Scan errors instead of re-reading the last row.
+func TestScanAfterExhaustion(t *testing.T) {
+	db := rowsDB()
+	rows, err := db.Query(context.Background(), LangSQL, "select R.A from R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	n := 0
+	var a int
+	for rows.Next() {
+		if err := rows.Scan(&a); err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != 3 {
+		t.Fatalf("rows = %d, want 3", n)
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rows.Scan(&a); err == nil || !strings.Contains(err.Error(), "exhausted or closed") {
+		t.Fatalf("Scan after exhaustion = %v, want 'exhausted or closed' error", err)
+	}
+}
+
+// TestNextAfterClose pins the third misuse edge: Next after Close stays
+// false with Err() == nil, and Scan errors cleanly.
+func TestNextAfterClose(t *testing.T) {
+	db := rowsDB()
+	rows, err := db.Query(context.Background(), LangSQL, "select R.A from R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rows.Next() {
+		t.Fatal("first Next = false")
+	}
+	if err := rows.Close(); err != nil {
+		t.Fatalf("Close = %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if rows.Next() {
+			t.Fatal("Next after Close = true")
+		}
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatalf("Err after clean Close = %v, want nil", err)
+	}
+	var a int
+	if err := rows.Scan(&a); err == nil || !strings.Contains(err.Error(), "exhausted or closed") {
+		t.Fatalf("Scan after Close = %v, want 'exhausted or closed' error", err)
+	}
+}
+
+// TestRowsPanicRecovered pins the streaming backstop: a panic inside the
+// operator tree fails the cursor with a *PanicError instead of crashing,
+// and the cursor stays safely closed afterwards.
+func TestRowsPanicRecovered(t *testing.T) {
+	rows := newRows([]string{"A"},
+		func(yield func(relation.Tuple, int) bool) {
+			yield(relation.Tuple{relation.Lift(1)}, 1)
+			panic("operator bug")
+		},
+		func() error { return nil }, nil)
+	if !rows.Next() {
+		t.Fatal("first Next = false")
+	}
+	if rows.Next() {
+		t.Fatal("Next past panic = true")
+	}
+	var pe *PanicError
+	if !errors.As(rows.Err(), &pe) {
+		t.Fatalf("Err = %v, want *PanicError", rows.Err())
+	}
+	if pe.Op != "rows" || !strings.Contains(pe.Error(), "operator bug") {
+		t.Fatalf("PanicError = %v", pe)
+	}
+	// The coroutine is dead: Next and Close must stay inert.
+	if rows.Next() {
+		t.Fatal("Next after recovered panic = true")
+	}
+	if err := rows.Close(); !errors.As(err, &pe) {
+		t.Fatalf("Close = %v, want the recovered *PanicError", err)
+	}
+	var a int
+	if err := rows.Scan(&a); err == nil {
+		t.Fatal("Scan after recovered panic = nil error")
+	}
+}
+
+// TestLiftErrBoundary pins relation.LiftErr: unsupported client values
+// come back as errors through the engine bind path, while Lift keeps
+// panicking for internal literals.
+func TestLiftErrBoundary(t *testing.T) {
+	if _, err := relation.LiftErr(struct{ X int }{1}); err == nil {
+		t.Fatal("LiftErr on a struct = nil error")
+	}
+	db := rowsDB()
+	stmt, err := db.Prepare(LangSQL, "select R.A from R where R.A = $1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stmt.Query(context.Background(), []byte("junk")); err == nil {
+		t.Fatal("Query with unsupported argument type = nil error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Lift on a struct did not panic")
+		}
+	}()
+	relation.Lift(struct{ X int }{1})
+}
+
+// TestStatsCounters pins the prepare-path counters servers export.
+func TestStatsCounters(t *testing.T) {
+	db := rowsDB()
+	if _, err := db.Prepare(LangSQL, "select R.A from R"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Prepare(LangSQL, "select R.A from R"); err != nil {
+		t.Fatal(err)
+	}
+	st := db.Stats()
+	if st.Prepares != 2 || st.CacheHits != 1 || st.CacheLen != 1 {
+		t.Fatalf("Stats = %+v, want 2 prepares / 1 hit / 1 cached", st)
+	}
+}

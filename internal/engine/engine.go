@@ -79,6 +79,28 @@ type DB struct {
 	// older generation are re-prepared.
 	schemaGen atomic.Uint64
 	cache     *stmtCache
+	// Prepare-path counters, the statement-cache capacity-planning
+	// signal: prepares counts every Prepare (one-shot Query included),
+	// cacheHits the subset served from the LRU without recompiling.
+	prepares  atomic.Uint64
+	cacheHits atomic.Uint64
+}
+
+// DBStats is a point-in-time snapshot of the DB's prepare-path counters.
+type DBStats struct {
+	Prepares  uint64 // Prepare calls (including one-shot Query/QueryAll)
+	CacheHits uint64 // Prepares served from the statement cache
+	CacheLen  int    // statements currently cached
+}
+
+// Stats snapshots the prepare-path counters. HitRate is
+// CacheHits/Prepares; servers export it for capacity planning.
+func (db *DB) Stats() DBStats {
+	return DBStats{
+		Prepares:  db.prepares.Load(),
+		CacheHits: db.cacheHits.Load(),
+		CacheLen:  db.cache.Len(),
+	}
 }
 
 // DefaultStmtCacheSize bounds the per-DB prepared-statement LRU.
@@ -183,10 +205,15 @@ func (db *DB) PrepareDatalog(src, pred string) (*Stmt, error) {
 	return db.prepare(LangDatalog, src, pred)
 }
 
-func (db *DB) prepare(lang Lang, src, pred string) (*Stmt, error) {
+func (db *DB) prepare(lang Lang, src, pred string) (s *Stmt, err error) {
+	// Recover-to-error backstop: no parser or planner panic on hostile
+	// source may escape this boundary (see PanicError).
+	defer recoverTo(&err, "prepare")
+	db.prepares.Add(1)
 	conv := db.conventions()
 	key := cacheKey(lang, conv, src, pred)
 	if s := db.cache.lookup(key, db); s != nil {
+		db.cacheHits.Add(1)
 		return s, nil
 	}
 	// The schema generation is captured BEFORE the relation snapshot and
@@ -196,7 +223,7 @@ func (db *DB) prepare(lang Lang, src, pred string) (*Stmt, error) {
 	// as valid).
 	gen := db.schemaGen.Load()
 	rels, cat := db.snapshot()
-	s, err := compileStmt(db, lang, src, pred, rels, cat, conv)
+	s, err = compileStmt(db, lang, src, pred, rels, cat, conv)
 	if err != nil {
 		return nil, err
 	}

@@ -64,13 +64,32 @@ func (r *Rows) Next() bool {
 			return false
 		}
 	}
-	t, m, ok := r.next()
+	t, m, ok := r.pull()
 	if !ok {
-		r.finish()
+		if !r.closed {
+			r.finish()
+		}
 		return false
 	}
 	r.cur, r.rem = t, m
 	return true
+}
+
+// pull advances the underlying iterator with the engine's recover
+// backstop: a panic inside the operator tree (the streaming analogue of
+// a Query-time evaluator panic) fails this cursor instead of killing the
+// process. The coroutine is already dead after a panic, so the cursor is
+// marked closed without calling stop.
+func (r *Rows) pull() (t relation.Tuple, m int, ok bool) {
+	defer func() {
+		if p := recover(); p != nil {
+			r.err = &PanicError{Op: "rows", Val: p, Stack: stackNow()}
+			r.closed = true
+			r.cur, r.rem = nil, 0
+			t, m, ok = nil, 0, false
+		}
+	}()
+	return r.next()
 }
 
 // Values returns a copy of the current row.
@@ -85,10 +104,12 @@ func (r *Rows) Values() []value.Value {
 // into *any and as value.Null() into *value.Value; other destinations
 // reject it).
 func (r *Rows) Scan(dest ...any) error {
-	if r.closed {
-		return fmt.Errorf("engine: Scan after Close")
-	}
+	// cur is cleared on exhaustion, error, and Close, so a misuse never
+	// reads a stale (or zero) tuple — it gets a positional error instead.
 	if r.cur == nil {
+		if r.closed {
+			return fmt.Errorf("engine: Scan after Rows was exhausted or closed")
+		}
 		return fmt.Errorf("engine: Scan before Next")
 	}
 	if len(dest) != len(r.cur) {
@@ -183,13 +204,17 @@ func (r *Rows) fail(err error) {
 	}
 	if !r.closed {
 		r.closed = true
+		r.cur, r.rem = nil, 0
 		r.stop()
 	}
 }
 
-// finish stops the iterator and surfaces any execution error.
+// finish stops the iterator and surfaces any execution error. The
+// current tuple is dropped so a late Scan errors instead of reading
+// stale data.
 func (r *Rows) finish() {
 	r.closed = true
+	r.cur, r.rem = nil, 0
 	r.stop()
 	if r.err == nil {
 		r.err = r.errFn()

@@ -229,26 +229,11 @@ func (s *Stmt) splitArgs(args []any) ([]value.Value, map[string]*relation.Relati
 	return nil, inputs, nil
 }
 
-// liftArg converts a Go value into a value.Value (the non-panicking
-// sibling of relation.Lift).
+// liftArg converts a Go value into a value.Value via relation.LiftErr —
+// bind arguments are client-influenced, so unsupported types must come
+// back as errors, never as Lift's panic.
 func liftArg(a any) (value.Value, error) {
-	switch x := a.(type) {
-	case nil:
-		return value.Null(), nil
-	case value.Value:
-		return x, nil
-	case int:
-		return value.Int(int64(x)), nil
-	case int64:
-		return value.Int(x), nil
-	case float64:
-		return value.Float(x), nil
-	case string:
-		return value.Str(x), nil
-	case bool:
-		return value.Bool(x), nil
-	}
-	return value.Value{}, fmt.Errorf("unsupported argument type %T", a)
+	return relation.LiftErr(a)
 }
 
 // Query executes the statement with the given arguments and returns a
@@ -257,7 +242,10 @@ func liftArg(a any) (value.Value, error) {
 // and ctx cancellation is polled in the pull loop and in fixpoint
 // rounds. ARC, Datalog, and fallback-path SQL evaluate eagerly (their
 // evaluators are materializing) and the cursor streams the result.
-func (s *Stmt) Query(ctx context.Context, args ...any) (*Rows, error) {
+func (s *Stmt) Query(ctx context.Context, args ...any) (rows *Rows, err error) {
+	// Same backstop as Prepare: evaluator panics on hostile bindings
+	// become statement errors (streaming pulls are guarded in Rows.Next).
+	defer recoverTo(&err, "query")
 	vals, inputs, err := s.splitArgs(args)
 	if err != nil {
 		return nil, err
@@ -286,7 +274,8 @@ func (s *Stmt) Query(ctx context.Context, args ...any) (*Rows, error) {
 // QueryAll executes the statement and materializes the full result
 // relation — the bulk form, byte-identical to the pre-engine evaluator
 // entry points.
-func (s *Stmt) QueryAll(ctx context.Context, args ...any) (*relation.Relation, error) {
+func (s *Stmt) QueryAll(ctx context.Context, args ...any) (rel *relation.Relation, err error) {
+	defer recoverTo(&err, "query")
 	vals, inputs, err := s.splitArgs(args)
 	if err != nil {
 		return nil, err

@@ -250,25 +250,38 @@ func (r *Relation) Add(vals ...any) *Relation {
 	return r
 }
 
-// Lift converts a Go literal into a value.Value. nil becomes NULL.
+// Lift converts a Go literal into a value.Value. nil becomes NULL. It
+// panics on unsupported types — for internal literals only; code lifting
+// client-influenced values (engine bind arguments, server frame decoding)
+// must use LiftErr so a hostile input becomes an error, not a crash.
 func Lift(v any) value.Value {
+	lv, err := LiftErr(v)
+	if err != nil {
+		panic(fmt.Sprintf("Lift: %v", err))
+	}
+	return lv
+}
+
+// LiftErr converts a Go literal into a value.Value, returning an error on
+// unsupported types — the API-boundary sibling of Lift.
+func LiftErr(v any) (value.Value, error) {
 	switch x := v.(type) {
 	case nil:
-		return value.Null()
+		return value.Null(), nil
 	case value.Value:
-		return x
+		return x, nil
 	case int:
-		return value.Int(int64(x))
+		return value.Int(int64(x)), nil
 	case int64:
-		return value.Int(x)
+		return value.Int(x), nil
 	case float64:
-		return value.Float(x)
+		return value.Float(x), nil
 	case string:
-		return value.Str(x)
+		return value.Str(x), nil
 	case bool:
-		return value.Bool(x)
+		return value.Bool(x), nil
 	}
-	panic(fmt.Sprintf("Lift: unsupported literal %T", v))
+	return value.Value{}, fmt.Errorf("unsupported literal type %T", v)
 }
 
 // Mult returns the multiplicity of t (0 if absent).

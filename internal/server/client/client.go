@@ -1,0 +1,374 @@
+// Package client is the Go client for the arcserve wire protocol: it
+// dials a server, prepares statements in any of the three languages, and
+// streams results through a Rows-style cursor. Queries pipeline the
+// Bind+Execute+first-Fetch frames in one write, so a simple point query
+// costs a single round trip after Prepare.
+//
+// A Conn is bound to one goroutine (like a database/sql driver
+// connection); open one Conn per concurrent session.
+package client
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+
+	"repro/internal/server"
+	"repro/internal/value"
+)
+
+// Lang mirrors the wire language byte (aliasing the server package's
+// constants so the mapping has one source of truth).
+type Lang byte
+
+const (
+	LangSQL     = Lang(server.WireLangSQL)
+	LangARC     = Lang(server.WireLangARC)
+	LangDatalog = Lang(server.WireLangDatalog)
+)
+
+// Conn is one client session.
+type Conn struct {
+	conn    net.Conn
+	r       *bufio.Reader
+	w       *bufio.Writer
+	nextID  uint32
+	lastErr error // connection-fatal error; everything fails after it
+}
+
+// Dial connects and performs the Hello handshake.
+func Dial(addr string) (*Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Conn{conn: nc, r: bufio.NewReader(nc), w: bufio.NewWriter(nc)}
+	var e server.Enc
+	e.U32(server.ProtocolVersion)
+	e.Str("repro-go-client")
+	if err := c.roundTrip(server.FrameHello, e.Bytes(), server.FrameHelloOK, nil); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Close closes the connection.
+func (c *Conn) Close() error { return c.conn.Close() }
+
+// fatal records a connection-level failure.
+func (c *Conn) fatal(err error) error {
+	if c.lastErr == nil {
+		c.lastErr = err
+	}
+	return err
+}
+
+// send writes a frame into the buffered writer (no flush).
+func (c *Conn) send(typ byte, payload []byte) error {
+	if c.lastErr != nil {
+		return c.lastErr
+	}
+	if err := server.WriteFrame(c.w, typ, payload); err != nil {
+		return c.fatal(err)
+	}
+	return nil
+}
+
+// recv flushes pending writes and reads one response frame, decoding
+// Error frames into *server.WireError (which is NOT connection-fatal:
+// the server keeps the session open for statement-level errors).
+func (c *Conn) recv(want byte) ([]byte, error) {
+	if c.lastErr != nil {
+		return nil, c.lastErr
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, c.fatal(err)
+	}
+	typ, body, err := server.ReadFrame(c.r)
+	if err != nil {
+		return nil, c.fatal(err)
+	}
+	if typ == server.FrameError {
+		d := server.NewDec(body)
+		we := &server.WireError{Code: d.Str(), Message: d.Str()}
+		if d.Err() != nil {
+			return nil, c.fatal(d.Err())
+		}
+		return nil, we
+	}
+	if typ != want {
+		return nil, c.fatal(fmt.Errorf("client: expected frame 0x%02x, got 0x%02x", want, typ))
+	}
+	return body, nil
+}
+
+// roundTrip sends one frame and decodes the matching response.
+func (c *Conn) roundTrip(typ byte, payloadB []byte, want byte, into func(*server.Dec) error) error {
+	if err := c.send(typ, payloadB); err != nil {
+		return err
+	}
+	body, err := c.recv(want)
+	if err != nil {
+		return err
+	}
+	if into == nil {
+		return nil
+	}
+	d := server.NewDec(body)
+	if err := into(&d); err != nil {
+		return err
+	}
+	if d.Err() != nil {
+		return c.fatal(d.Err())
+	}
+	return nil
+}
+
+// Stmt is a server-side prepared statement handle owned by this session.
+type Stmt struct {
+	conn    *Conn
+	id      uint32
+	cols    []string
+	nparams int
+}
+
+// Prepare prepares src on the server.
+func (c *Conn) Prepare(lang Lang, src string) (*Stmt, error) {
+	return c.prepare(lang, src, "")
+}
+
+// PrepareDatalog prepares a Datalog program selecting the returned
+// predicate (empty = the last rule's head).
+func (c *Conn) PrepareDatalog(src, pred string) (*Stmt, error) {
+	return c.prepare(LangDatalog, src, pred)
+}
+
+func (c *Conn) prepare(lang Lang, src, pred string) (*Stmt, error) {
+	c.nextID++
+	id := c.nextID
+	var e server.Enc
+	e.U32(id)
+	e.U8(byte(lang))
+	e.Str(pred)
+	e.Str(src)
+	s := &Stmt{conn: c, id: id}
+	err := c.roundTrip(server.FramePrepare, e.Bytes(), server.FramePrepareOK, func(d *server.Dec) error {
+		if got := d.U32(); d.Err() == nil && got != id {
+			return c.fatal(fmt.Errorf("client: PrepareOK for statement %d, want %d", got, id))
+		}
+		s.nparams = int(d.U32())
+		ncols := int(d.U32())
+		if d.Err() != nil {
+			return nil
+		}
+		s.cols = make([]string, 0, ncols)
+		for i := 0; i < ncols && d.Err() == nil; i++ {
+			s.cols = append(s.cols, d.Str())
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Columns returns the statement's output column names.
+func (s *Stmt) Columns() []string { return s.cols }
+
+// NumParams returns the number of positional parameters.
+func (s *Stmt) NumParams() int { return s.nparams }
+
+// Close drops the server-side handle.
+func (s *Stmt) Close() error {
+	var e server.Enc
+	e.U8(0)
+	e.U32(s.id)
+	return s.conn.roundTrip(server.FrameClose, e.Bytes(), server.FrameCloseOK, nil)
+}
+
+// Rows streams a query result in fetch-sized batches.
+type Rows struct {
+	conn     *Conn
+	cursorID uint32
+	cols     []string
+	batch    [][]value.Value
+	pos      int
+	done     bool
+	closed   bool
+	err      error
+}
+
+// Query binds args, executes, and requests the first batch — pipelined
+// as Bind+Execute+Fetch in one write, then the three responses read back
+// in order.
+func (s *Stmt) Query(args ...value.Value) (*Rows, error) {
+	c := s.conn
+	c.nextID++
+	curID := c.nextID
+	var bindP server.Enc
+	bindP.U32(curID)
+	bindP.U32(s.id)
+	bindP.U32(uint32(len(args)))
+	for _, a := range args {
+		bindP.Val(a)
+	}
+	var execP server.Enc
+	execP.U32(curID)
+	var fetchP server.Enc
+	fetchP.U32(curID)
+	fetchP.U32(0) // server default batch size
+	if err := c.send(server.FrameBind, bindP.Bytes()); err != nil {
+		return nil, err
+	}
+	if err := c.send(server.FrameExecute, execP.Bytes()); err != nil {
+		return nil, err
+	}
+	if err := c.send(server.FrameFetch, fetchP.Bytes()); err != nil {
+		return nil, err
+	}
+	if _, err := c.recv(server.FrameBindOK); err != nil {
+		// The pipelined Execute and Fetch behind the failed Bind answer
+		// with unknown-cursor errors; drain both to stay in sync.
+		_, _ = c.recv(server.FrameExecuteOK)
+		_, _ = c.recv(server.FrameRows)
+		return nil, fmt.Errorf("bind: %w", err)
+	}
+	if _, err := c.recv(server.FrameExecuteOK); err != nil {
+		// The pipelined Fetch behind the failed Execute answers with an
+		// unknown-cursor error; drain it so the session stays in sync.
+		_, _ = c.recv(server.FrameRows)
+		return nil, err
+	}
+	r := &Rows{conn: c, cursorID: curID, cols: s.cols}
+	if err := r.readBatch(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// readBatch consumes one Rows frame into the buffer.
+func (r *Rows) readBatch() error {
+	body, err := r.conn.recv(server.FrameRows)
+	if err != nil {
+		r.err = err
+		r.done = true
+		return err
+	}
+	d := server.NewDec(body)
+	if got := d.U32(); d.Err() == nil && got != r.cursorID {
+		return r.conn.fatal(fmt.Errorf("client: Rows for cursor %d, want %d", got, r.cursorID))
+	}
+	r.done = d.U8() == 1
+	ncols := int(d.U32())
+	nrows := int(d.U32())
+	if d.Err() != nil {
+		return r.conn.fatal(d.Err())
+	}
+	r.batch = r.batch[:0]
+	r.pos = 0
+	for i := 0; i < nrows; i++ {
+		row := make([]value.Value, ncols)
+		for j := 0; j < ncols; j++ {
+			row[j] = d.Val()
+		}
+		if d.Err() != nil {
+			return r.conn.fatal(d.Err())
+		}
+		r.batch = append(r.batch, row)
+	}
+	return nil
+}
+
+// Next advances to the next row, fetching the next batch over the wire
+// when the buffered one is drained.
+func (r *Rows) Next() bool {
+	if r.closed || r.err != nil {
+		return false
+	}
+	for r.pos >= len(r.batch) {
+		if r.done {
+			return false
+		}
+		var e server.Enc
+		e.U32(r.cursorID)
+		e.U32(0)
+		if err := r.conn.send(server.FrameFetch, e.Bytes()); err != nil {
+			r.err = err
+			return false
+		}
+		if err := r.readBatch(); err != nil {
+			return false
+		}
+	}
+	r.pos++
+	return true
+}
+
+// Values returns the current row.
+func (r *Rows) Values() []value.Value {
+	if r.pos == 0 || r.pos > len(r.batch) {
+		return nil
+	}
+	return r.batch[r.pos-1]
+}
+
+// Columns returns the result column names.
+func (r *Rows) Columns() []string { return r.cols }
+
+// Err reports the first error the stream hit.
+func (r *Rows) Err() error {
+	if we, ok := r.err.(*server.WireError); ok {
+		return we
+	}
+	return r.err
+}
+
+// Close releases the server-side cursor (a no-op when the stream already
+// finished, since the server auto-closes exhausted cursors).
+func (r *Rows) Close() error {
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	if r.done || r.err != nil {
+		return nil
+	}
+	var e server.Enc
+	e.U8(1)
+	e.U32(r.cursorID)
+	return r.conn.roundTrip(server.FrameClose, e.Bytes(), server.FrameCloseOK, nil)
+}
+
+// QueryAll is the convenience bulk form.
+func (s *Stmt) QueryAll(args ...value.Value) ([][]value.Value, error) {
+	rows, err := s.Query(args...)
+	if err != nil {
+		return nil, err
+	}
+	var out [][]value.Value
+	for rows.Next() {
+		row := rows.Values()
+		cp := make([]value.Value, len(row))
+		copy(cp, row)
+		out = append(out, cp)
+	}
+	if err := rows.Err(); err != nil {
+		return nil, err
+	}
+	return out, rows.Close()
+}
+
+// Query is the one-shot convenience: Prepare, Query, drain, Close.
+func (c *Conn) Query(lang Lang, src string, args ...value.Value) ([][]value.Value, []string, error) {
+	s, err := c.Prepare(lang, src)
+	if err != nil {
+		return nil, nil, err
+	}
+	rows, err := s.QueryAll(args...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rows, s.cols, s.Close()
+}

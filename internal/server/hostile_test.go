@@ -1,0 +1,270 @@
+package server_test
+
+import (
+	"encoding/binary"
+	"io"
+	"math/rand"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/relation"
+	"repro/internal/server"
+	"repro/internal/server/client"
+)
+
+// readAllFrames drains a hostile connection until the server closes it,
+// returning the error codes of any Error frames seen on the way. The
+// read deadline guards against a server that neither answers nor closes.
+func readAllFrames(t *testing.T, nc net.Conn) []string {
+	t.Helper()
+	nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	var codes []string
+	for {
+		typ, body, err := server.ReadFrame(nc)
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				t.Fatal("server neither answered nor closed the hostile connection")
+			}
+			return codes
+		}
+		if typ == server.FrameError {
+			d := server.NewDec(body)
+			codes = append(codes, d.Str())
+		}
+	}
+}
+
+// assertHealthy proves an independent session still serves.
+func assertHealthy(t *testing.T, addr string) {
+	t.Helper()
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatalf("healthy dial after hostile input: %v", err)
+	}
+	defer c.Close()
+	rows, _, err := c.Query(client.LangSQL, "select R.A from R")
+	if err != nil {
+		t.Fatalf("healthy query after hostile input: %v", err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("healthy query rows = %d, want 5", len(rows))
+	}
+}
+
+// TestHostileByteStreams is the acceptance pin: garbage, truncated, and
+// oversized frames to one connection never crash the server process or
+// disturb other sessions. A long-lived healthy session runs before,
+// between, and after every attack.
+func TestHostileByteStreams(t *testing.T) {
+	_, addr := startServer(t, testDB(), server.Options{})
+
+	// The long-lived witness session: opened before the attacks, used
+	// after every one of them — a hostile stream must not disturb it.
+	witness := dial(t, addr)
+	witnessOK := func() {
+		t.Helper()
+		rows, _, err := witness.Query(client.LangSQL, "select R.A from R")
+		if err != nil || len(rows) != 5 {
+			t.Fatalf("witness session disturbed: rows=%d err=%v", len(rows), err)
+		}
+	}
+	witnessOK()
+
+	attacks := []struct {
+		name  string
+		bytes func() []byte
+	}{
+		{"random garbage", func() []byte {
+			rng := rand.New(rand.NewSource(1))
+			b := make([]byte, 4096)
+			rng.Read(b)
+			return b
+		}},
+		{"oversized length prefix", func() []byte {
+			// Type Hello, length 0xFFFFFFFF: must be rejected before any
+			// allocation.
+			b := []byte{server.FrameHello, 0xFF, 0xFF, 0xFF, 0xFF}
+			return append(b, make([]byte, 64)...)
+		}},
+		{"truncated payload", func() []byte {
+			// Header promises 100 bytes, delivers 10, then EOF.
+			b := []byte{server.FrameHello, 0, 0, 0, 100}
+			return append(b, make([]byte, 10)...)
+		}},
+		{"first frame not hello", func() []byte {
+			var e server.Enc
+			e.U32(1)
+			e.U8(0)
+			e.Str("")
+			e.Str("select R.A from R")
+			var buf []byte
+			hdr := []byte{server.FramePrepare, 0, 0, 0, byte(len(e.Bytes()))}
+			buf = append(buf, hdr...)
+			return append(buf, e.Bytes()...)
+		}},
+		{"unknown frame type", func() []byte {
+			good := helloBytes()
+			return append(good, 0x7E, 0, 0, 0, 0)
+		}},
+		{"bind with lying argc", func() []byte {
+			var bind server.Enc
+			bind.U32(1)
+			bind.U32(1)
+			bind.U32(0xFFFFFF) // claims 16M args in a tiny payload
+			return append(helloBytes(), frameBytes(server.FrameBind, bind.Bytes())...)
+		}},
+		{"bind with bad value kind", func() []byte {
+			var bind server.Enc
+			bind.U32(1)
+			bind.U32(1)
+			bind.U32(1)
+			bind.U8(0x99) // no such value kind
+			return append(helloBytes(), frameBytes(server.FrameBind, bind.Bytes())...)
+		}},
+		{"string overrunning payload", func() []byte {
+			var p server.Enc
+			p.U32(1)
+			p.U8(0)
+			p.U32(0xFFFF) // string length far beyond the payload
+			return append(helloBytes(), frameBytes(server.FramePrepare, p.Bytes())...)
+		}},
+		{"mid-frame hangup", func() []byte {
+			// A valid hello then half a Prepare header.
+			return append(helloBytes(), server.FramePrepare, 0, 0)
+		}},
+	}
+	for _, a := range attacks {
+		t.Run(a.name, func(t *testing.T) {
+			nc, err := net.Dial("tcp", addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer nc.Close()
+			if _, err := nc.Write(a.bytes()); err != nil {
+				t.Fatal(err)
+			}
+			// Half-close so the server sees EOF after the attack bytes.
+			if tc, ok := nc.(*net.TCPConn); ok {
+				tc.CloseWrite()
+			}
+			readAllFrames(t, nc)
+			witnessOK()            // the pre-existing session is undisturbed
+			assertHealthy(t, addr) // and new sessions still connect
+		})
+	}
+}
+
+// helloBytes encodes a valid Hello frame.
+func helloBytes() []byte {
+	var h server.Enc
+	h.U32(server.ProtocolVersion)
+	h.Str("attacker")
+	return frameBytes(server.FrameHello, h.Bytes())
+}
+
+// frameBytes wraps a payload in a frame header.
+func frameBytes(typ byte, payload []byte) []byte {
+	b := make([]byte, 5, 5+len(payload))
+	b[0] = typ
+	binary.BigEndian.PutUint32(b[1:], uint32(len(payload)))
+	return append(b, payload...)
+}
+
+// TestHostileKeepsProtocolErrorMetrics pins that attacks are visible to
+// the operator through the metrics counters.
+func TestHostileKeepsProtocolErrorMetrics(t *testing.T) {
+	srv, addr := startServer(t, testDB(), server.Options{})
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	nc.Write([]byte{0x7E, 0xFF, 0xFF, 0xFF, 0xFF})
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.CloseWrite()
+	}
+	io.Copy(io.Discard, nc)
+	if got := srv.Metrics().ProtocolErrors.Load(); got == 0 {
+		t.Fatal("ProtocolErrors = 0 after a malformed frame")
+	}
+}
+
+// TestOversizedRowIsStatementError pins the frame-limit edge: a single
+// row too large for any frame fails that fetch with a structured FETCH
+// error — the response stream stays in sync and the session survives.
+func TestOversizedRowIsStatementError(t *testing.T) {
+	wide := relation.New("Wide", "S")
+	wide.Add(strings.Repeat("x", 2<<20)) // one 2 MiB string > MaxFrame
+	wide.Add("small")
+	_, addr := startServer(t, engine.Open(wide, smallR()), server.Options{})
+	c := dial(t, addr)
+	stmt, err := c.Prepare(client.LangSQL, "select Wide.S from Wide")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = stmt.QueryAll()
+	we, ok := err.(*server.WireError)
+	if !ok || we.Code != server.CodeFetch {
+		t.Fatalf("oversized row error = %v, want FETCH WireError", err)
+	}
+	// Same session keeps serving smaller results.
+	rows, _, err := c.Query(client.LangSQL, "select R.A from R")
+	if err != nil || len(rows) != 5 {
+		t.Fatalf("session after oversized row: rows=%d err=%v", len(rows), err)
+	}
+}
+
+// smallR builds the 5-row R table used by the healthy-session probes.
+func smallR() *relation.Relation {
+	r := relation.New("R", "A", "B")
+	for i := 1; i <= 5; i++ {
+		r.Add(i, i*10)
+	}
+	return r
+}
+
+// TestCursorCapAllowsRebind pins that per-session caps gate only NEW
+// handles: rebinding an existing cursor id at the cap must succeed.
+func TestCursorCapAllowsRebind(t *testing.T) {
+	_, addr := startServer(t, engine.Open(smallR()), server.Options{MaxCursors: 2})
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	hello(t, nc)
+	var p server.Enc
+	p.U32(1)
+	p.U8(server.WireLangSQL)
+	p.Str("")
+	p.Str("select R.A from R")
+	send(t, nc, server.FramePrepare, p.Bytes())
+	if typ, _, err := server.ReadFrame(nc); err != nil || typ != server.FramePrepareOK {
+		t.Fatalf("prepare: typ=0x%02x err=%v", typ, err)
+	}
+	bind := func(curID uint32, wantOK bool) {
+		t.Helper()
+		var b server.Enc
+		b.U32(curID)
+		b.U32(1)
+		b.U32(0)
+		send(t, nc, server.FrameBind, b.Bytes())
+		typ, _, err := server.ReadFrame(nc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wantOK && typ != server.FrameBindOK {
+			t.Fatalf("bind cursor %d: frame 0x%02x, want BindOK", curID, typ)
+		}
+		if !wantOK && typ != server.FrameError {
+			t.Fatalf("bind cursor %d: frame 0x%02x, want Error", curID, typ)
+		}
+	}
+	bind(1, true)
+	bind(2, true)  // at the cap
+	bind(1, true)  // rebind of an existing id must still work
+	bind(3, false) // a genuinely new cursor is refused
+}

@@ -1,0 +1,130 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets is the number of power-of-two microsecond histogram
+// buckets: bucket i counts queries with latency in [2^i, 2^(i+1)) µs,
+// the last bucket absorbing everything slower (~8.4s and up).
+const latencyBuckets = 24
+
+// Metrics aggregates server-side counters. All fields are atomics so
+// sessions update them lock-free on the hot path; Snapshot reads them
+// for the expvar-style endpoint. The statement-cache hit rate comes from
+// the engine's own DBStats and is merged in by Server.Snapshot.
+type Metrics struct {
+	ActiveSessions atomic.Int64
+	TotalSessions  atomic.Uint64
+	FramesRead     atomic.Uint64
+	FramesWritten  atomic.Uint64
+
+	StatementsPrepared atomic.Uint64
+	QueriesExecuted    atomic.Uint64
+	RowsStreamed       atomic.Uint64
+	FetchBatches       atomic.Uint64
+
+	StatementErrors atomic.Uint64 // parse/bind/execute/fetch errors
+	ProtocolErrors  atomic.Uint64 // malformed frames (connection-fatal)
+	PanicsRecovered atomic.Uint64 // engine.PanicError surfaced to a client
+
+	latCount atomic.Uint64
+	latSumNs atomic.Uint64
+	latHist  [latencyBuckets]atomic.Uint64
+}
+
+// ObserveQuery records one query execution latency into the histogram.
+func (m *Metrics) ObserveQuery(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	m.latCount.Add(1)
+	m.latSumNs.Add(uint64(d))
+	us := uint64(d / time.Microsecond)
+	b := 0
+	for us > 1 && b < latencyBuckets-1 {
+		us >>= 1
+		b++
+	}
+	m.latHist[b].Add(1)
+}
+
+// LatencyBucket describes one histogram bucket in a snapshot.
+type LatencyBucket struct {
+	UpToMicros uint64 `json:"up_to_us"` // exclusive upper bound; 0 = +inf
+	Count      uint64 `json:"count"`
+}
+
+// Snapshot is the JSON shape of the metrics endpoint.
+type Snapshot struct {
+	ActiveSessions int64  `json:"active_sessions"`
+	TotalSessions  uint64 `json:"total_sessions"`
+	FramesRead     uint64 `json:"frames_read"`
+	FramesWritten  uint64 `json:"frames_written"`
+
+	StatementsPrepared uint64  `json:"statements_prepared"`
+	StmtCachePrepares  uint64  `json:"stmt_cache_prepares"`
+	StmtCacheHits      uint64  `json:"stmt_cache_hits"`
+	StmtCacheHitRate   float64 `json:"stmt_cache_hit_rate"`
+	StmtCacheLen       int     `json:"stmt_cache_len"`
+
+	QueriesExecuted uint64 `json:"queries_executed"`
+	RowsStreamed    uint64 `json:"rows_streamed"`
+	FetchBatches    uint64 `json:"fetch_batches"`
+
+	StatementErrors uint64 `json:"statement_errors"`
+	ProtocolErrors  uint64 `json:"protocol_errors"`
+	PanicsRecovered uint64 `json:"panics_recovered"`
+
+	QueryCount     uint64          `json:"query_count"`
+	QueryMeanMs    float64         `json:"query_mean_ms"`
+	QueryLatencyUs []LatencyBucket `json:"query_latency_us"`
+}
+
+// snapshot reads the counters (engine cache stats merged by the caller).
+func (m *Metrics) snapshot() Snapshot {
+	s := Snapshot{
+		ActiveSessions:     m.ActiveSessions.Load(),
+		TotalSessions:      m.TotalSessions.Load(),
+		FramesRead:         m.FramesRead.Load(),
+		FramesWritten:      m.FramesWritten.Load(),
+		StatementsPrepared: m.StatementsPrepared.Load(),
+		QueriesExecuted:    m.QueriesExecuted.Load(),
+		RowsStreamed:       m.RowsStreamed.Load(),
+		FetchBatches:       m.FetchBatches.Load(),
+		StatementErrors:    m.StatementErrors.Load(),
+		ProtocolErrors:     m.ProtocolErrors.Load(),
+		PanicsRecovered:    m.PanicsRecovered.Load(),
+		QueryCount:         m.latCount.Load(),
+	}
+	if s.QueryCount > 0 {
+		s.QueryMeanMs = float64(m.latSumNs.Load()) / float64(s.QueryCount) / 1e6
+	}
+	bound := uint64(2)
+	for i := 0; i < latencyBuckets; i++ {
+		if c := m.latHist[i].Load(); c > 0 {
+			up := bound
+			if i == latencyBuckets-1 {
+				up = 0
+			}
+			s.QueryLatencyUs = append(s.QueryLatencyUs, LatencyBucket{UpToMicros: up, Count: c})
+		}
+		bound <<= 1
+	}
+	return s
+}
+
+// MetricsHandler serves the server's metrics snapshot as indented JSON —
+// the expvar-style capacity-planning endpoint (mount it wherever the
+// operator wants, e.g. /metrics).
+func (s *Server) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		e := json.NewEncoder(w)
+		e.SetIndent("", "  ")
+		_ = e.Encode(s.Snapshot())
+	})
+}

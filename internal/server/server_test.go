@@ -1,0 +1,428 @@
+package server_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/relation"
+	"repro/internal/server"
+	"repro/internal/server/client"
+	"repro/internal/value"
+)
+
+// testDB builds a DB with a small table, a chain for recursion, and two
+// bigger relations for slow cross joins.
+func testDB() *engine.DB {
+	r := relation.New("R", "A", "B")
+	for i := 1; i <= 5; i++ {
+		r.Add(i, i*10)
+	}
+	p := relation.New("P", "s", "t")
+	for i := 0; i < 20; i++ {
+		p.Add(i, i+1)
+	}
+	big1 := relation.New("Big1", "X")
+	big2 := relation.New("Big2", "Y")
+	for i := 0; i < 1000; i++ {
+		big1.Add(i)
+		big2.Add(i)
+	}
+	return engine.Open(r, p, big1, big2)
+}
+
+// startServer runs a server on a loopback port, shut down at cleanup.
+// The returned address comes from the listener directly, so tests never
+// race the Serve goroutine's bookkeeping.
+func startServer(t *testing.T, db *engine.DB, opts server.Options) (*server.Server, string) {
+	t.Helper()
+	srv := server.New(db, opts)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		if err := <-serveDone; err != server.ErrServerClosed {
+			t.Errorf("Serve = %v, want server.ErrServerClosed", err)
+		}
+	})
+	return srv, ln.Addr().String()
+}
+
+func dial(t *testing.T, addr string) *client.Conn {
+	t.Helper()
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// TestSQLRoundTrip pins the basic Prepare/Bind/Execute/Fetch cycle with
+// a parameterized SQL statement.
+func TestSQLRoundTrip(t *testing.T) {
+	_, addr := startServer(t, testDB(), server.Options{})
+	c := dial(t, addr)
+	stmt, err := c.Prepare(client.LangSQL, "select R.A, R.B from R where R.A = $1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stmt.Columns(); len(got) != 2 || got[0] != "A" || got[1] != "B" {
+		t.Fatalf("Columns = %v", got)
+	}
+	if stmt.NumParams() != 1 {
+		t.Fatalf("NumParams = %d", stmt.NumParams())
+	}
+	rows, err := stmt.QueryAll(value.Int(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][0].AsInt() != 3 || rows[0][1].AsInt() != 30 {
+		t.Fatalf("rows = %v", rows)
+	}
+	// Re-execute with a different binding through the same handle.
+	rows, err = stmt.QueryAll(value.Int(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][1].AsInt() != 50 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+// TestAllThreeLanguages runs the paper's transitive-closure equivalence
+// through the wire: SQL WITH RECURSIVE, recursive ARC, and Datalog must
+// agree on the same server.
+func TestAllThreeLanguages(t *testing.T) {
+	_, addr := startServer(t, testDB(), server.Options{})
+	c := dial(t, addr)
+	sqlRows, _, err := c.Query(client.LangSQL,
+		"with recursive A (s, t) as (select P.s, P.t from P union select P.s, A.t from P, A where P.t = A.s) select A.s, A.t from A")
+	if err != nil {
+		t.Fatalf("sql: %v", err)
+	}
+	arcRows, _, err := c.Query(client.LangARC,
+		"{A(s, t) | ∃p ∈ P [A.s = p.s ∧ A.t = p.t] ∨ ∃p ∈ P, a2 ∈ A [A.s = p.s ∧ p.t = a2.s ∧ A.t = a2.t]}")
+	if err != nil {
+		t.Fatalf("arc: %v", err)
+	}
+	dlRows, _, err := c.Query(client.LangDatalog, "A(x,y) :- P(x,y). A(x,y) :- P(x,z), A(z,y).")
+	if err != nil {
+		t.Fatalf("datalog: %v", err)
+	}
+	want := 20 * 21 / 2 // TC of a 20-edge chain
+	if len(sqlRows) != want || len(arcRows) != want || len(dlRows) != want {
+		t.Fatalf("TC sizes: sql=%d arc=%d datalog=%d, want %d", len(sqlRows), len(arcRows), len(dlRows), want)
+	}
+	key := func(rows [][]value.Value) map[string]bool {
+		m := map[string]bool{}
+		for _, r := range rows {
+			m[fmt.Sprintf("%v|%v", r[0], r[1])] = true
+		}
+		return m
+	}
+	ks, ka, kd := key(sqlRows), key(arcRows), key(dlRows)
+	for k := range ks {
+		if !ka[k] || !kd[k] {
+			t.Fatalf("tuple %s missing from a front end", k)
+		}
+	}
+}
+
+// TestStreamingBatches pins fetch-sized batching: a result bigger than
+// one batch streams across multiple Rows frames.
+func TestStreamingBatches(t *testing.T) {
+	srv, addr := startServer(t, testDB(), server.Options{FetchRows: 16})
+	c := dial(t, addr)
+	stmt, err := c.Prepare(client.LangSQL, "select Big1.X from Big1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := stmt.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for rows.Next() {
+		n++
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1000 {
+		t.Fatalf("streamed %d rows, want 1000", n)
+	}
+	if got := srv.Metrics().FetchBatches.Load(); got < 1000/16 {
+		t.Fatalf("FetchBatches = %d, want >= %d", got, 1000/16)
+	}
+}
+
+// TestStatementErrorKeepsSession pins the error taxonomy: a parse error
+// is a statement error, not a connection error.
+func TestStatementErrorKeepsSession(t *testing.T) {
+	_, addr := startServer(t, testDB(), server.Options{})
+	c := dial(t, addr)
+	_, err := c.Prepare(client.LangSQL, "select from where")
+	we, ok := err.(*server.WireError)
+	if !ok || we.Code != server.CodeParse {
+		t.Fatalf("bad SQL error = %v, want PARSE server.WireError", err)
+	}
+	// Same connection still serves.
+	rows, _, err := c.Query(client.LangSQL, "select R.A from R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+}
+
+// TestUnknownHandles pins UNKNOWN_STMT / UNKNOWN_CURSOR statement errors.
+func TestUnknownHandles(t *testing.T) {
+	_, addr := startServer(t, testDB(), server.Options{})
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	hello(t, nc)
+	var bind server.Enc
+	bind.U32(1) // cursor
+	bind.U32(99)
+	bind.U32(0)
+	send(t, nc, server.FrameBind, bind.Bytes())
+	expectErrorCode(t, nc, server.CodeUnknownStmt)
+	var fetch server.Enc
+	fetch.U32(7)
+	fetch.U32(0)
+	send(t, nc, server.FrameFetch, fetch.Bytes())
+	expectErrorCode(t, nc, server.CodeUnknownCursor)
+}
+
+// TestPipelinedFrames pins the no-stall contract at the frame level: the
+// whole Hello+Prepare+Bind+Execute+Fetch conversation goes out in one
+// write, and the five responses come back in order.
+func TestPipelinedFrames(t *testing.T) {
+	_, addr := startServer(t, testDB(), server.Options{})
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+
+	var buf strings.Builder
+	var h server.Enc
+	h.U32(server.ProtocolVersion)
+	h.Str("pipeliner")
+	server.WriteFrame(&buf, server.FrameHello, h.Bytes())
+	var p server.Enc
+	p.U32(1)
+	p.U8(0) // sql
+	p.Str("")
+	p.Str("select R.A from R where R.B = $1")
+	server.WriteFrame(&buf, server.FramePrepare, p.Bytes())
+	var bind server.Enc
+	bind.U32(2)
+	bind.U32(1)
+	bind.U32(1)
+	bind.Val(value.Int(40))
+	server.WriteFrame(&buf, server.FrameBind, bind.Bytes())
+	var ex server.Enc
+	ex.U32(2)
+	server.WriteFrame(&buf, server.FrameExecute, ex.Bytes())
+	var f server.Enc
+	f.U32(2)
+	f.U32(0)
+	server.WriteFrame(&buf, server.FrameFetch, f.Bytes())
+	if _, err := nc.Write([]byte(buf.String())); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, want := range []byte{server.FrameHelloOK, server.FramePrepareOK, server.FrameBindOK, server.FrameExecuteOK, server.FrameRows} {
+		typ, body, err := server.ReadFrame(nc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if typ != want {
+			t.Fatalf("response frame 0x%02x, want 0x%02x", typ, want)
+		}
+		if typ == server.FrameRows {
+			d := server.NewDec(body)
+			if d.U32() != 2 || d.U8() != 1 /* done */ || d.U32() != 1 || d.U32() != 1 {
+				t.Fatalf("Rows header mismatch")
+			}
+			if v := d.Val(); v.AsInt() != 4 {
+				t.Fatalf("row = %v, want 4", v)
+			}
+			if err := d.Done(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestConcurrentSessions runs parallel sessions mixing the three
+// languages over one shared DB.
+func TestConcurrentSessions(t *testing.T) {
+	srv, addr := startServer(t, testDB(), server.Options{})
+	const sessions = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, sessions)
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := client.Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			stmt, err := c.Prepare(client.LangSQL, "select R.A from R where R.A = $1")
+			if err != nil {
+				errs <- err
+				return
+			}
+			for j := 0; j < 20; j++ {
+				want := int64(j%5 + 1)
+				rows, err := stmt.QueryAll(value.Int(want))
+				if err != nil {
+					errs <- fmt.Errorf("session %d: %w", i, err)
+					return
+				}
+				if len(rows) != 1 || rows[0][0].AsInt() != want {
+					errs <- fmt.Errorf("session %d: rows = %v", i, rows)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if hits := srv.Snapshot().StmtCacheHits; hits < sessions-1 {
+		t.Fatalf("cache hits = %d, want >= %d (sessions share one statement)", hits, sessions-1)
+	}
+}
+
+// TestShutdownCancelsInFlight pins graceful shutdown: a long-running
+// streamed query is cancelled through the context plumbing, the client
+// gets a structured error, and Shutdown returns.
+func TestShutdownCancelsInFlight(t *testing.T) {
+	srv, addr := startServer(t, testDB(), server.Options{FetchRows: 8})
+	c := dial(t, addr)
+	// A million-row cross join, streamed 8 rows per fetch: plenty of
+	// time to shut down mid-cursor.
+	stmt, err := c.Prepare(client.LangSQL, "select Big1.X, Big2.Y from Big1, Big2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := stmt.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if !rows.Next() {
+			t.Fatalf("stream ended early: %v", rows.Err())
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown = %v", err)
+	}
+	// Drain: the in-flight cursor must fail with a structured error, not
+	// hang or crash.
+	for rows.Next() {
+	}
+	if rows.Err() == nil {
+		t.Fatal("cursor survived shutdown with no error")
+	}
+}
+
+// TestMetricsEndpoint pins the expvar-style JSON shape.
+func TestMetricsEndpoint(t *testing.T) {
+	srv, addr := startServer(t, testDB(), server.Options{})
+	c := dial(t, addr)
+	for i := 0; i < 3; i++ {
+		if _, _, err := c.Query(client.LangSQL, "select R.A from R"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts := httptest.NewServer(srv.MetricsHandler())
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap server.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.QueriesExecuted != 3 || snap.RowsStreamed != 15 {
+		t.Fatalf("snapshot = %+v, want 3 queries / 15 rows", snap)
+	}
+	if snap.ActiveSessions != 1 || snap.TotalSessions != 1 {
+		t.Fatalf("sessions = %d active / %d total", snap.ActiveSessions, snap.TotalSessions)
+	}
+	if snap.StmtCachePrepares != 3 || snap.StmtCacheHits != 2 || snap.StmtCacheHitRate < 0.6 {
+		t.Fatalf("cache stats = %+v", snap)
+	}
+	if snap.QueryCount != 3 || len(snap.QueryLatencyUs) == 0 {
+		t.Fatalf("latency histogram missing: %+v", snap)
+	}
+}
+
+// --- raw-frame test helpers ---
+
+func hello(t *testing.T, nc net.Conn) {
+	t.Helper()
+	var h server.Enc
+	h.U32(server.ProtocolVersion)
+	h.Str("raw")
+	send(t, nc, server.FrameHello, h.Bytes())
+	typ, _, err := server.ReadFrame(nc)
+	if err != nil || typ != server.FrameHelloOK {
+		t.Fatalf("hello: typ=0x%02x err=%v", typ, err)
+	}
+}
+
+func send(t *testing.T, nc net.Conn, typ byte, payload []byte) {
+	t.Helper()
+	if err := server.WriteFrame(nc, typ, payload); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func expectErrorCode(t *testing.T, nc net.Conn, code string) {
+	t.Helper()
+	typ, body, err := server.ReadFrame(nc)
+	if err != nil {
+		t.Fatalf("reading error frame: %v", err)
+	}
+	if typ != server.FrameError {
+		t.Fatalf("frame 0x%02x, want Error", typ)
+	}
+	d := server.NewDec(body)
+	got := d.Str()
+	msg := d.Str()
+	if got != code {
+		t.Fatalf("error code %s (%s), want %s", got, msg, code)
+	}
+}

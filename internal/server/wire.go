@@ -1,0 +1,276 @@
+// Package server is the network front end over engine.DB: a TCP server
+// speaking a small length-prefixed wire protocol, with per-connection
+// sessions that own prepared-statement handles and stream query results
+// in fetch-sized batches.
+//
+// Framing: every frame is
+//
+//	[1 byte type][4 bytes big-endian payload length][payload]
+//
+// Client → server frames: Hello, Prepare, Bind, Execute, Fetch, Close.
+// Server → client frames: the matching *OK responses, Rows batches, and
+// Error frames carrying a structured code plus message. A session may
+// pipeline requests (e.g. Prepare+Bind+Execute+Fetch in one write); the
+// server processes frames in order and answers in order, so responses
+// match requests positionally without round-trip stalls.
+//
+// Every decoder in this file is strictly bounds-checked and returns
+// errors: the payload is the untrusted surface, and a hostile byte
+// stream must produce an Error frame (or a closed connection), never a
+// panic — see the hostile-input tests.
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/value"
+)
+
+// Frame types. Client-originated types are low, server-originated have
+// the high bit set.
+const (
+	FrameHello   byte = 0x01 // u32 version, string client name
+	FramePrepare byte = 0x02 // u32 stmtID, u8 lang, string pred, string src
+	FrameBind    byte = 0x03 // u32 cursorID, u32 stmtID, u32 argc, values
+	FrameExecute byte = 0x04 // u32 cursorID
+	FrameFetch   byte = 0x05 // u32 cursorID, u32 maxRows
+	FrameClose   byte = 0x06 // u8 kind (0 stmt, 1 cursor), u32 id
+
+	FrameHelloOK   byte = 0x81 // u32 version, string server banner
+	FramePrepareOK byte = 0x82 // u32 stmtID, u32 nparams, u32 ncols, strings
+	FrameBindOK    byte = 0x83 // u32 cursorID
+	FrameExecuteOK byte = 0x84 // u32 cursorID
+	FrameRows      byte = 0x85 // u32 cursorID, u8 done, u32 ncols, u32 nrows, rows
+	FrameCloseOK   byte = 0x86 // u8 kind, u32 id
+	FrameError     byte = 0x87 // string code, string message
+)
+
+// ProtocolVersion is the wire protocol revision negotiated by Hello.
+const ProtocolVersion = 1
+
+// Wire language bytes carried by Prepare frames — the single source the
+// server's dispatch and the client package both alias.
+const (
+	WireLangSQL     byte = 0
+	WireLangARC     byte = 1
+	WireLangDatalog byte = 2
+)
+
+// MaxFrame bounds a frame payload. A length prefix beyond it is a
+// protocol error — the cheap defense against a hostile client asking the
+// server to allocate gigabytes.
+const MaxFrame = 1 << 20
+
+// Structured error codes carried by Error frames.
+const (
+	CodeProtocol      = "PROTOCOL"       // malformed frame; the connection closes
+	CodeParse         = "PARSE"          // Prepare failed (syntax/validation/plan)
+	CodeBind          = "BIND"           // Bind arguments rejected
+	CodeExecute       = "EXECUTE"        // Execute failed
+	CodeFetch         = "FETCH"          // Fetch failed (execution error mid-stream)
+	CodeUnknownStmt   = "UNKNOWN_STMT"   // stmt id not prepared in this session
+	CodeUnknownCursor = "UNKNOWN_CURSOR" // cursor id not open in this session
+	CodeShutdown      = "SHUTDOWN"       // server is draining
+	CodeInternal      = "INTERNAL"       // recovered panic (engine.PanicError)
+)
+
+// WireError is a structured error received over (or destined for) the
+// wire.
+type WireError struct {
+	Code    string
+	Message string
+}
+
+func (e *WireError) Error() string { return fmt.Sprintf("%s: %s", e.Code, e.Message) }
+
+// errProtocol builds a connection-fatal protocol error.
+func errProtocol(format string, args ...any) *WireError {
+	return &WireError{Code: CodeProtocol, Message: fmt.Sprintf(format, args...)}
+}
+
+// ReadFrame reads one length-prefixed frame. It returns io.EOF only on a
+// clean end-of-stream boundary; a truncated header or payload surfaces
+// as ErrUnexpectedEOF, and an oversized length as a protocol error
+// before any payload allocation.
+func ReadFrame(r io.Reader) (typ byte, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		return 0, nil, err
+	}
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if n > MaxFrame {
+		return 0, nil, errProtocol("frame of %d bytes exceeds the %d-byte limit", n, MaxFrame)
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, err
+	}
+	return hdr[0], payload, nil
+}
+
+// WriteFrame writes one frame.
+func WriteFrame(w io.Writer, typ byte, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return errProtocol("outgoing frame of %d bytes exceeds the %d-byte limit", len(payload), MaxFrame)
+	}
+	var hdr [5]byte
+	hdr[0] = typ
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// Enc is an append-style payload encoder, exported so the client
+// package (and tests) build frames with the same code the server uses.
+type Enc struct{ b []byte }
+
+func (e *Enc) U8(v byte)    { e.b = append(e.b, v) }
+func (e *Enc) U32(v uint32) { e.b = binary.BigEndian.AppendUint32(e.b, v) }
+func (e *Enc) U64(v uint64) { e.b = binary.BigEndian.AppendUint64(e.b, v) }
+func (e *Enc) Str(s string) {
+	e.U32(uint32(len(s)))
+	e.b = append(e.b, s...)
+}
+
+// val encodes one value: a kind byte plus the kind's payload.
+func (e *Enc) Val(v value.Value) {
+	switch v.Kind() {
+	case value.KindNull:
+		e.U8(0)
+	case value.KindInt:
+		e.U8(1)
+		e.U64(uint64(v.AsInt()))
+	case value.KindFloat:
+		e.U8(2)
+		e.U64(math.Float64bits(v.AsFloat()))
+	case value.KindString:
+		e.U8(3)
+		e.Str(v.AsString())
+	case value.KindBool:
+		e.U8(4)
+		if v.AsBool() {
+			e.U8(1)
+		} else {
+			e.U8(0)
+		}
+	}
+}
+
+// Bytes returns the encoded payload.
+func (e *Enc) Bytes() []byte { return e.b }
+
+// Dec is a bounds-checked payload decoder: every read either succeeds or
+// records a protocol error, and reads after an error return zero values.
+type Dec struct {
+	b   []byte
+	pos int
+	err error
+}
+
+func (d *Dec) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = errProtocol(format, args...)
+	}
+}
+
+func (d *Dec) need(n int) bool {
+	if d.err != nil {
+		return false
+	}
+	if len(d.b)-d.pos < n {
+		d.fail("truncated payload: need %d bytes at offset %d of %d", n, d.pos, len(d.b))
+		return false
+	}
+	return true
+}
+
+func (d *Dec) U8() byte {
+	if !d.need(1) {
+		return 0
+	}
+	v := d.b[d.pos]
+	d.pos++
+	return v
+}
+
+func (d *Dec) U32() uint32 {
+	if !d.need(4) {
+		return 0
+	}
+	v := binary.BigEndian.Uint32(d.b[d.pos:])
+	d.pos += 4
+	return v
+}
+
+func (d *Dec) U64() uint64 {
+	if !d.need(8) {
+		return 0
+	}
+	v := binary.BigEndian.Uint64(d.b[d.pos:])
+	d.pos += 8
+	return v
+}
+
+func (d *Dec) Str() string {
+	n := d.U32()
+	if d.err != nil {
+		return ""
+	}
+	if uint64(n) > uint64(len(d.b)-d.pos) {
+		d.fail("string of %d bytes overruns payload", n)
+		return ""
+	}
+	s := string(d.b[d.pos : d.pos+int(n)])
+	d.pos += int(n)
+	return s
+}
+
+// val decodes one value.
+func (d *Dec) Val() value.Value {
+	switch k := d.U8(); k {
+	case 0:
+		return value.Null()
+	case 1:
+		return value.Int(int64(d.U64()))
+	case 2:
+		return value.Float(math.Float64frombits(d.U64()))
+	case 3:
+		return value.Str(d.Str())
+	case 4:
+		return value.Bool(d.U8() != 0)
+	default:
+		d.fail("unknown value kind 0x%02x", k)
+		return value.Value{}
+	}
+}
+
+// NewDec wraps a payload for decoding.
+func NewDec(b []byte) Dec { return Dec{b: b} }
+
+// Err reports the first decode error hit so far.
+func (d *Dec) Err() error { return d.err }
+
+// Done asserts the payload was fully consumed — trailing bytes mean the
+// client and server disagree about the frame layout.
+func (d *Dec) Done() error {
+	if d.err == nil && d.pos != len(d.b) {
+		d.fail("%d trailing bytes after payload", len(d.b)-d.pos)
+	}
+	return d.err
+}
