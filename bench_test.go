@@ -285,6 +285,117 @@ func BenchmarkConcurrentSessions(b *testing.B) {
 	})
 }
 
+// BenchmarkInsertThroughput measures the write path per inserted row:
+// autocommit (one copy-on-write commit per statement) against batched
+// transactions (one commit per 256 rows). The table is cleared whenever
+// it reaches 4096 rows so the copy-on-write clone cost stays bounded
+// and per-op numbers are comparable across b.N.
+func BenchmarkInsertThroughput(b *testing.B) {
+	ctx := context.Background()
+	const resetAt = 4096
+	b.Run("autocommit", func(b *testing.B) {
+		db := engine.Open(relation.New("R", "A", "B"))
+		stmt, err := db.Prepare(engine.LangSQL, "insert into R values ($1, $2)")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		rows := 0
+		for i := 0; i < b.N; i++ {
+			if _, err := stmt.Exec(ctx, i, i); err != nil {
+				b.Fatal(err)
+			}
+			if rows++; rows >= resetAt {
+				rows = 0
+				if _, err := db.Exec(ctx, engine.LangSQL, "delete from R"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("tx256", func(b *testing.B) {
+		db := engine.Open(relation.New("R", "A", "B"))
+		b.ReportAllocs()
+		i, rows := 0, 0
+		for i < b.N {
+			tx, err := db.Begin(ctx)
+			if err != nil {
+				b.Fatal(err)
+			}
+			stmt, err := tx.Prepare(engine.LangSQL, "insert into R values ($1, $2)")
+			if err != nil {
+				b.Fatal(err)
+			}
+			for j := 0; j < 256 && i < b.N; j++ {
+				if _, err := stmt.Exec(ctx, i, i); err != nil {
+					b.Fatal(err)
+				}
+				i++
+				rows++
+			}
+			if err := tx.Commit(); err != nil {
+				b.Fatal(err)
+			}
+			if rows >= resetAt {
+				rows = 0
+				if _, err := db.Exec(ctx, engine.LangSQL, "delete from R"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkSnapshotReadUnderWrites measures a prepared point query while
+// a background writer commits continuously: every commit moves the
+// store generation, so each read pays the statement-cache revalidation
+// (and usually a re-prepare) against the new snapshot — the worst case
+// for the snapshot indirection the MVCC layer added.
+func BenchmarkSnapshotReadUnderWrites(b *testing.B) {
+	ctx := context.Background()
+	rng := workload.Rand(23)
+	r := workload.RandomBinary(rng, "R", "A", "B", 20000, 20000, 64)
+	db := engine.Open(r, relation.New("W", "K"))
+	const src = "select R.A, R.B from R where R.A = $1"
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		n := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := db.Exec(ctx, engine.LangSQL, "insert into W values ($1)", n); err != nil {
+				b.Error(err)
+				return
+			}
+			if n++; n%1024 == 0 {
+				if _, err := db.Exec(ctx, engine.LangSQL, "delete from W"); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stmt, err := db.Prepare(engine.LangSQL, src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := stmt.QueryAll(ctx, i%20000); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	<-done
+}
+
 // BenchmarkMatMul compares the ARC evaluation of (26) against the direct
 // sparse baseline across matrix sizes.
 func BenchmarkMatMul(b *testing.B) {

@@ -39,7 +39,6 @@ import (
 	"repro/internal/plan"
 	"repro/internal/relation"
 	"repro/internal/server/client"
-	"repro/internal/value"
 )
 
 func main() {
@@ -146,16 +145,34 @@ func remoteEval(addr, lang, src string, col *core.Collection) {
 		die(err)
 	}
 	defer c.Close()
-	var rows [][]value.Value
-	var cols []string
+	wireLang, wireSrc := client.LangARC, ""
 	if lang == "sql" {
-		rows, cols, err = c.Query(client.LangSQL, src)
+		wireLang, wireSrc = client.LangSQL, src
+	} else if col != nil {
+		wireSrc = col.String()
 	} else {
-		rows, cols, err = c.Query(client.LangARC, col.String())
+		wireSrc = src // raw ARC text (fact ops have no Collection form)
 	}
+	stmt, err := c.Prepare(wireLang, wireSrc)
 	if err != nil {
 		die(err)
 	}
+	defer stmt.Close()
+	if stmt.Kind() != client.KindQuery {
+		// DML/DDL runs through the wire Exec frame and reports what
+		// changed instead of streaming rows.
+		res, err := stmt.Exec()
+		if err != nil {
+			die(err)
+		}
+		fmt.Printf("%d row(s) affected (generation %d)\n", res.RowsAffected, res.Generation)
+		return
+	}
+	rows, err := stmt.QueryAll()
+	if err != nil {
+		die(err)
+	}
+	cols := stmt.Columns()
 	res := relation.New("result", cols...)
 	for _, r := range rows {
 		res.Insert(relation.Tuple(r))
@@ -206,6 +223,16 @@ func runSQLOnly(src, dbPath string, doExplain, doEval bool, connect string) {
 	if doEval {
 		if connect != "" {
 			remoteEval(connect, "sql", src, nil)
+			return
+		}
+		if stmt.Kind() != core.KindQuery {
+			// DML/DDL against the loaded data file: the write applies to
+			// the in-process engine (the file itself is read-only input).
+			res, err := stmt.Exec(context.Background())
+			if err != nil {
+				die(err)
+			}
+			fmt.Printf("%d row(s) affected (generation %d)\n", res.RowsAffected, res.Generation)
 			return
 		}
 		res, err := stmt.QueryAll(context.Background())

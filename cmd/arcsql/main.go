@@ -1,6 +1,8 @@
 // Command arcsql is the interactive wire-protocol client: it connects
-// to an arcserve daemon and runs queries in any of the three languages,
-// streaming results to stdout.
+// to an arcserve daemon and runs statements in any of the three
+// languages — queries stream results to stdout; INSERT/DELETE, fact
+// ops (+Rel(…)/-Rel(…)), CREATE TABLE, and BEGIN/COMMIT/ROLLBACK
+// execute and report rows affected plus the commit generation.
 //
 // Usage:
 //
@@ -91,13 +93,34 @@ func langByName(name string) (client.Lang, bool) {
 	return 0, false
 }
 
-// runQuery prepares, streams, and prints one query.
+// runQuery prepares one statement and routes it by kind: queries stream
+// rows, everything else (DML, DDL, BEGIN/COMMIT/ROLLBACK) executes and
+// reports what changed.
 func runQuery(c *client.Conn, lang client.Lang, src string) error {
 	stmt, err := c.Prepare(lang, src)
 	if err != nil {
 		return err
 	}
 	defer stmt.Close()
+	if stmt.Kind() != client.KindQuery {
+		res, err := stmt.Exec()
+		if err != nil {
+			return err
+		}
+		switch stmt.Kind() {
+		case client.KindDML:
+			if res.Generation != 0 {
+				fmt.Printf("%d row(s) affected (generation %d)\n", res.RowsAffected, res.Generation)
+			} else {
+				fmt.Printf("%d row(s) affected (uncommitted)\n", res.RowsAffected)
+			}
+		case client.KindCommit:
+			fmt.Printf("COMMIT (generation %d)\n", res.Generation)
+		default:
+			fmt.Println(stmt.Kind().String())
+		}
+		return nil
+	}
 	rows, err := stmt.Query()
 	if err != nil {
 		return err

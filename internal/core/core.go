@@ -73,7 +73,7 @@ var (
 type (
 	// Engine is a prepared-statement database over the three languages.
 	Engine = engine.DB
-	// Stmt is a prepared statement (Query/QueryAll/Columns/NumParams).
+	// Stmt is a prepared statement (Query/QueryAll/Exec/Kind/Columns).
 	Stmt = engine.Stmt
 	// Rows is a streaming result cursor (Next/Scan/Columns/Close/Err).
 	Rows = engine.Rows
@@ -81,6 +81,17 @@ type (
 	Lang = engine.Lang
 	// Input is a named input-relation binding for ARC/Datalog statements.
 	Input = engine.Binding
+	// Result reports what a write changed (rows affected + generation).
+	Result = engine.Result
+	// StmtKind distinguishes query, DML, DDL, and transaction control.
+	StmtKind = engine.StmtKind
+	// Tx is an open transaction (Prepare/Query/Exec/Commit/Rollback),
+	// mirroring database/sql: snapshot-isolated reads, private write
+	// set, first-committer-wins commit.
+	Tx = engine.Tx
+	// Session is a connection-scoped context that executes SQL-level
+	// BEGIN/COMMIT/ROLLBACK as statements.
+	Session = engine.Session
 )
 
 // Language selectors for Engine.Prepare.
@@ -88,6 +99,27 @@ const (
 	LangSQL     = engine.LangSQL
 	LangARC     = engine.LangARC
 	LangDatalog = engine.LangDatalog
+)
+
+// Statement kinds reported by Stmt.Kind.
+const (
+	KindQuery    = engine.KindQuery
+	KindDML      = engine.KindDML
+	KindDDL      = engine.KindDDL
+	KindBegin    = engine.KindBegin
+	KindCommit   = engine.KindCommit
+	KindRollback = engine.KindRollback
+)
+
+// Write-path sentinel errors.
+var (
+	// ErrConflict reports a first-committer-wins commit loss; retry the
+	// transaction against the new snapshot.
+	ErrConflict = engine.ErrConflict
+	// ErrTxDone reports use of a committed/rolled-back transaction.
+	ErrTxDone = engine.ErrTxDone
+	// ErrDMLBinding reports a relation binding passed to a non-query.
+	ErrDMLBinding = engine.ErrDMLBinding
 )
 
 // OpenEngine creates an engine over base relations.

@@ -8,12 +8,16 @@ import (
 	"repro/internal/convention"
 )
 
-// stmtCache is the schema-versioned prepared-statement LRU. Entries are
-// keyed by language + source (+ conventions for ARC, which change the
-// statement's meaning); a hit is revalidated against the DB's schema
-// generation and the tuple generation of every relation the statement
-// references, so both schema changes (Register) and data changes
-// (inserts) re-prepare rather than serving a stale compilation.
+// stmtCache is the generation-versioned prepared-statement LRU. Entries
+// are keyed by language + source (+ conventions for ARC, which change the
+// statement's meaning); a hit is valid exactly while the store's commit
+// generation equals the one the statement was compiled under. One
+// comparison replaces the old per-relation Generation() recheck: a
+// snapshot is immutable, so the single commit generation is a complete
+// fingerprint of every relation a statement could reference — and a
+// transaction's own uncommitted writes never leak in, because
+// transactions compile against their write-set overlay through the
+// per-transaction cache, not this one.
 type stmtCache struct {
 	mu      sync.Mutex
 	cap     int
@@ -22,10 +26,9 @@ type stmtCache struct {
 }
 
 type cacheEntry struct {
-	key       string
-	stmt      *Stmt
-	schemaGen uint64
-	relGens   map[string]uint64
+	key  string
+	stmt *Stmt
+	gen  uint64 // store commit generation the statement compiled under
 }
 
 func newStmtCache(capacity int) *stmtCache {
@@ -42,9 +45,9 @@ func cacheKey(lang Lang, conv convention.Conventions, src, pred string) string {
 	return fmt.Sprintf("%s\x00%s\x00%s\x00%s", lang, convPart, pred, src)
 }
 
-// lookup returns the cached statement when present AND still valid under
-// the DB's current schema and tuple generations; an invalid entry is
-// evicted so the caller re-prepares.
+// lookup returns the cached statement when present AND compiled under
+// the store's current commit generation; a stale entry is evicted so the
+// caller re-prepares.
 func (c *stmtCache) lookup(key string, db *DB) *Stmt {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -53,7 +56,7 @@ func (c *stmtCache) lookup(key string, db *DB) *Stmt {
 		return nil
 	}
 	e := el.Value.(*cacheEntry)
-	if !c.validLocked(e, db) {
+	if e.gen != db.store.Gen() {
 		c.order.Remove(el)
 		delete(c.entries, key)
 		return nil
@@ -62,29 +65,15 @@ func (c *stmtCache) lookup(key string, db *DB) *Stmt {
 	return e.stmt
 }
 
-// validLocked checks the entry against the live generations.
-func (c *stmtCache) validLocked(e *cacheEntry, db *DB) bool {
-	if e.schemaGen != db.schemaGen.Load() {
-		return false
-	}
-	for name, gen := range e.relGens {
-		rel := db.Relation(name)
-		if rel == nil || rel.Generation() != gen {
-			return false
-		}
-	}
-	return true
-}
-
 // store inserts a fresh entry, evicting the least recently used past cap.
-func (c *stmtCache) store(key string, s *Stmt, schemaGen uint64, relGens map[string]uint64) {
+func (c *stmtCache) store(key string, s *Stmt, gen uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[key]; ok {
 		c.order.Remove(el)
 		delete(c.entries, key)
 	}
-	el := c.order.PushFront(&cacheEntry{key: key, stmt: s, schemaGen: schemaGen, relGens: relGens})
+	el := c.order.PushFront(&cacheEntry{key: key, stmt: s, gen: gen})
 	c.entries[key] = el
 	for c.order.Len() > c.cap {
 		last := c.order.Back()

@@ -1,13 +1,18 @@
 // Package engine is the unified front door to the three query languages
 // the paper unifies: SQL, ARC comprehensions, and Datalog all prepare and
 // execute through one API, mirroring database/sql's Prepare/Query/Rows
-// contract.
+// contract — now including the write path:
 //
 //	db := engine.Open(rels...)
 //	stmt, err := db.Prepare(engine.LangSQL, "select R.A from R where R.B = $1")
 //	rows, err := stmt.Query(ctx, 7)
 //	for rows.Next() { rows.Scan(&a) }
 //	rows.Close()
+//
+//	res, err := db.Exec(ctx, engine.LangSQL, "insert into R values ($1, $2)", 1, 10)
+//	tx, err := db.Begin(ctx)
+//	tx.Exec(ctx, engine.LangSQL, "delete from R where R.B > 5")
+//	err = tx.Commit()
 //
 // Prepare parses, validates, and plans ONCE; Query binds arguments and
 // executes without re-planning — SQL placeholders ($1, $2, …) are
@@ -18,13 +23,16 @@
 // with context cancellation checked in the operator pull loop and in
 // fixpoint rounds.
 //
-// Concurrency contract: a DB and its prepared statements are safe for
-// concurrent use — compiled plans are immutable, all execution state is
-// per-call, and internal/relation's locking makes concurrent reads (and
-// reads concurrent with inserts) race-free. Register swaps relations
-// copy-on-write, so statements prepared earlier keep a consistent
-// snapshot; the statement cache revalidates against the schema and tuple
-// generations, so a later Prepare sees the new state.
+// Concurrency and isolation contract: all data lives in a
+// relation.Store — an MVCC sequence of immutable generation-tagged
+// snapshots. Every Query runs against one snapshot end to end, so a
+// cursor opened before a concurrent committed write streams its
+// pre-write snapshot to completion. Writes go through Exec (autocommit,
+// retried on conflict) or an explicit Tx (first-committer-wins; see
+// Begin). A DB and its prepared statements are safe for concurrent use;
+// the statement cache revalidates against the store's single commit
+// generation, so a Prepare after any commit re-prepares against the new
+// snapshot while a held *Stmt keeps its own.
 package engine
 
 import (
@@ -67,23 +75,31 @@ func (l Lang) String() string {
 	return fmt.Sprintf("lang(%d)", int(l))
 }
 
-// DB is one engine instance: the catalog every statement prepared from it
-// runs against, plus the schema-versioned statement cache.
+// DB is one engine instance: the versioned store every statement
+// prepared from it runs against, the catalog template (views, abstract
+// relations, externals) projected onto each snapshot, and the
+// generation-versioned statement cache.
 type DB struct {
-	mu   sync.RWMutex
-	rels map[string]*relation.Relation
-	cat  *eval.Catalog
-	conv convention.Conventions
-	// schemaGen bumps whenever the set of registered relations (or a
-	// relation's identity) changes; cached statements prepared under an
-	// older generation are re-prepared.
-	schemaGen atomic.Uint64
-	cache     *stmtCache
+	store *relation.Store
+
+	mu sync.RWMutex
+	// catTmpl carries the non-base catalog entries (views, abstract
+	// relations, externals); base relations live in the store and are
+	// projected in per snapshot via catalogAt.
+	catTmpl *eval.Catalog
+	conv    convention.Conventions
+
+	cache *stmtCache
 	// Prepare-path counters, the statement-cache capacity-planning
 	// signal: prepares counts every Prepare (one-shot Query included),
 	// cacheHits the subset served from the LRU without recompiling.
 	prepares  atomic.Uint64
 	cacheHits atomic.Uint64
+
+	// catMu guards the per-generation memoized snapshot catalog.
+	catMu    sync.Mutex
+	catGen   uint64
+	catCache *eval.Catalog
 }
 
 // DBStats is a point-in-time snapshot of the DB's prepare-path counters.
@@ -115,28 +131,24 @@ func Open(rels ...*relation.Relation) *DB {
 // OpenCatalog creates an engine over an existing ARC catalog (keeping its
 // views, abstract relations, and externals), registering any extra
 // relations. The catalog's base relations become visible to SQL and
-// Datalog statements too. When extra relations are passed the catalog is
-// cloned first — the caller's catalog is never mutated, matching
-// Register's copy-on-write discipline.
+// Datalog statements too; the caller's catalog is never mutated.
 func OpenCatalog(cat *eval.Catalog, rels ...*relation.Relation) *DB {
-	if len(rels) > 0 {
-		cat = cat.Clone()
-	}
 	db := &DB{
-		rels:  map[string]*relation.Relation{},
-		cat:   cat,
-		conv:  convention.SQL(),
-		cache: newStmtCache(DefaultStmtCacheSize),
+		catTmpl: cat,
+		conv:    convention.SQL(),
+		cache:   newStmtCache(DefaultStmtCacheSize),
 	}
-	for _, r := range cat.BaseRelations() {
-		db.rels[r.Name()] = r
-	}
-	for _, r := range rels {
-		db.rels[r.Name()] = r
-		cat.AddRelation(r)
-	}
+	all := append(cat.BaseRelations(), rels...)
+	db.store = relation.NewStore(all...)
 	return db
 }
+
+// Store exposes the underlying MVCC store (read-mostly surface: Head for
+// snapshots, Gen for the commit generation).
+func (db *DB) Store() *relation.Store { return db.store }
+
+// Generation returns the store's current commit generation.
+func (db *DB) Generation() uint64 { return db.store.Gen() }
 
 // SetConventions sets the conventions ARC statements prepared afterwards
 // evaluate under (part of the statement cache key, so cached statements
@@ -148,38 +160,19 @@ func (db *DB) SetConventions(conv convention.Conventions) *DB {
 	return db
 }
 
-// Register adds or replaces base relations. The ARC catalog is swapped
-// copy-on-write, so evaluations already in flight keep their snapshot;
-// the schema generation bump invalidates cached statements.
+// Register adds or replaces base relations as an unconditional
+// administrative commit: it never conflicts, and the commit-generation
+// bump invalidates cached statements. Evaluations in flight keep their
+// snapshot.
 func (db *DB) Register(rels ...*relation.Relation) *DB {
-	db.mu.Lock()
-	cat := db.cat.Clone()
-	for _, r := range rels {
-		db.rels[r.Name()] = r
-		cat.AddRelation(r)
-	}
-	db.cat = cat
-	db.mu.Unlock()
-	db.schemaGen.Add(1)
+	db.store.Apply(rels...)
 	return db
 }
 
-// Relation returns the registered relation with the given name, or nil.
+// Relation returns the relation with the given name in the current
+// committed snapshot, or nil.
 func (db *DB) Relation(name string) *relation.Relation {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.rels[name]
-}
-
-// snapshot captures the current relation map and catalog.
-func (db *DB) snapshot() (map[string]*relation.Relation, *eval.Catalog) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	rels := make(map[string]*relation.Relation, len(db.rels))
-	for k, v := range db.rels {
-		rels[k] = v
-	}
-	return rels, db.cat
+	return db.store.Head().Relation(name)
 }
 
 // conventions reads the current ARC conventions.
@@ -189,11 +182,37 @@ func (db *DB) conventions() convention.Conventions {
 	return db.conv
 }
 
+// catalogAt projects the catalog template onto a snapshot's relations,
+// memoized per commit generation (ARC prepares against the same snapshot
+// reuse one projection).
+func (db *DB) catalogAt(snap *relation.Snapshot) *eval.Catalog {
+	db.catMu.Lock()
+	defer db.catMu.Unlock()
+	if db.catCache != nil && db.catGen == snap.Gen() {
+		return db.catCache
+	}
+	db.mu.RLock()
+	tmpl := db.catTmpl
+	db.mu.RUnlock()
+	cat := tmpl.CloneWithBase(snap.Rels())
+	db.catGen, db.catCache = snap.Gen(), cat
+	return cat
+}
+
+// catalogFor projects the template onto an arbitrary relation map (a
+// transaction overlay) without memoization.
+func (db *DB) catalogFor(rels map[string]*relation.Relation) *eval.Catalog {
+	db.mu.RLock()
+	tmpl := db.catTmpl
+	db.mu.RUnlock()
+	return tmpl.CloneWithBase(rels)
+}
+
 // Prepare parses, validates, and plans src once, returning a reusable
 // (and concurrently executable) statement. Statements are cached in a
-// schema-versioned LRU keyed by language and source: a hit is revalidated
-// against the schema generation and the tuple generation of every
-// relation the statement references, so data or schema changes re-prepare
+// generation-versioned LRU keyed by language and source: a hit is valid
+// exactly while the store's commit generation is unchanged, so any
+// committed write or Register re-prepares against the new snapshot
 // instead of serving a stale compilation.
 func (db *DB) Prepare(lang Lang, src string) (*Stmt, error) {
 	return db.prepare(lang, src, "")
@@ -216,29 +235,38 @@ func (db *DB) prepare(lang Lang, src, pred string) (s *Stmt, err error) {
 		db.cacheHits.Add(1)
 		return s, nil
 	}
-	// The schema generation is captured BEFORE the relation snapshot and
-	// the compile: if a Register lands anywhere in between, the stored
-	// generation is already stale and the next Prepare recompiles —
-	// never the reverse (a statement bound to replaced relations served
-	// as valid).
-	gen := db.schemaGen.Load()
-	rels, cat := db.snapshot()
-	s, err = compileStmt(db, lang, src, pred, rels, cat, conv)
+	// The snapshot is loaded once and both the compile and the cache
+	// entry's generation come from it: if a commit lands after the load,
+	// the stored generation is already stale and the next Prepare
+	// recompiles — never the reverse (a statement bound to replaced
+	// relations served as valid).
+	snap := db.store.Head()
+	s, err = compileStmt(db, lang, src, pred, copyRels(snap.Rels()), db.catalogAt(snap), conv)
 	if err != nil {
 		return nil, err
 	}
-	db.cache.store(key, s, gen, relGensOf(rels, s.refs))
+	s.gen = snap.Gen()
+	db.cache.store(key, s, snap.Gen())
 	return s, nil
+}
+
+// copyRels copies a snapshot's relation map before handing it to a
+// compilation: evaluators extend their relation map with CTE names, and
+// the snapshot's map is shared.
+func copyRels(src map[string]*relation.Relation) map[string]*relation.Relation {
+	out := make(map[string]*relation.Relation, len(src))
+	for k, v := range src {
+		out[k] = v
+	}
+	return out
 }
 
 // PrepareARCCollection prepares an already-parsed ARC collection under
 // explicit conventions — the facade's entry for callers that hold an AST
 // rather than source text. The statement is not cached.
 func (db *DB) PrepareARCCollection(col *alt.Collection, conv convention.Conventions) (*Stmt, error) {
-	db.mu.RLock()
-	cat := db.cat
-	db.mu.RUnlock()
-	return compileARC(db, col, col.String(), cat, conv)
+	snap := db.store.Head()
+	return compileARC(db, col, col.String(), db.catalogAt(snap), conv)
 }
 
 // Query is the convenience one-shot: Prepare (hitting the statement
@@ -258,22 +286,6 @@ func (db *DB) QueryAll(ctx context.Context, lang Lang, src string, args ...any) 
 		return nil, err
 	}
 	return s.QueryAll(ctx, args...)
-}
-
-// relGens snapshots the tuple generation of every named relation the
-// statement references, from the same relation snapshot it was compiled
-// against — the statement cache's data-change fingerprint. Invalidation
-// on data (not just schema) change is deliberate, per the engine's cache
-// contract: a cached statement never predates the data it answers over,
-// and a held *Stmt — the compile-once fast path — is unaffected.
-func relGensOf(rels map[string]*relation.Relation, names []string) map[string]uint64 {
-	out := make(map[string]uint64, len(names))
-	for _, n := range names {
-		if r, ok := rels[n]; ok {
-			out[n] = r.Generation()
-		}
-	}
-	return out
 }
 
 // checkFromCtx turns a context into the cancellation poll the execution

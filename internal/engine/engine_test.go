@@ -204,8 +204,13 @@ func TestStmtCacheHitAndInvalidation(t *testing.T) {
 	if s1 != s2 {
 		t.Fatal("second Prepare missed the statement cache")
 	}
-	// Data change (tuple generation) invalidates.
-	r.Add(2, 20)
+	// A committed write (new store generation) invalidates. Direct
+	// mutation of the seed *relation.Relation no longer does — the
+	// engine reads immutable snapshots, and the cache revalidates on
+	// the single commit generation instead of per-relation recheck.
+	if _, err := db.Exec(context.Background(), LangSQL, "insert into R values (2, 20)"); err != nil {
+		t.Fatal(err)
+	}
 	s3, err := db.Prepare(LangSQL, src)
 	if err != nil {
 		t.Fatal(err)

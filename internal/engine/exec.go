@@ -1,0 +1,257 @@
+// exec.go is the engine's write path: Exec runs DML (INSERT, DELETE,
+// fact ops) and DDL (CREATE TABLE) statements. Outside a transaction a
+// statement autocommits — its write set is built against the current
+// snapshot and committed first-committer-wins, retried a bounded number
+// of times on conflict. Inside a transaction (see tx.go) the statement
+// applies to the transaction's write set and becomes visible to others
+// only at Commit.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/relation"
+	"repro/internal/sql"
+	"repro/internal/value"
+)
+
+// ErrConflict reports a first-committer-wins write conflict: another
+// transaction committed a change to a relation this one wrote, after
+// this one began. Retry the transaction against the new snapshot.
+var ErrConflict = relation.ErrConflict
+
+// maxExecRetries bounds the autocommit retry loop: under sustained
+// write contention Exec retries against each new snapshot rather than
+// spinning forever.
+const maxExecRetries = 16
+
+// Result reports what a write changed.
+type Result struct {
+	// RowsAffected counts inserted/removed row occurrences (bag
+	// multiplicities included), 0 for DDL.
+	RowsAffected int64
+	// Generation is the store commit generation at which the write
+	// became visible, and 0 when the write is buffered in an open
+	// transaction (visibility arrives with the transaction's Commit).
+	Generation uint64
+}
+
+// Exec executes a one-shot write statement with autocommit: the
+// convenience form of Prepare + Stmt.Exec. BEGIN/COMMIT/ROLLBACK are
+// session state and are rejected here — use Begin/Tx or a Session.
+func (db *DB) Exec(ctx context.Context, lang Lang, src string, args ...any) (Result, error) {
+	s, err := db.Prepare(lang, src)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.Exec(ctx, args...)
+}
+
+// Exec executes a DML or DDL statement. A statement prepared from the
+// DB autocommits (with bounded first-committer-wins retries); a
+// statement prepared from a Tx or an in-transaction Session applies to
+// that transaction's write set and reports Generation 0 until the
+// transaction commits. Exec on a query statement is an error, as is
+// Exec on BEGIN/COMMIT/ROLLBACK outside a session.
+func (s *Stmt) Exec(ctx context.Context, args ...any) (res Result, err error) {
+	defer recoverTo(&err, "exec")
+	switch s.kind {
+	case KindDML, KindDDL:
+	case KindQuery:
+		return Result{}, fmt.Errorf("engine: query statement returns rows; use Query")
+	default:
+		return Result{}, fmt.Errorf("engine: %s is transaction control; run it through a Session or use Begin/Commit/Rollback", s.kind)
+	}
+	vals, _, err := s.splitArgs(args)
+	if err != nil {
+		return Result{}, err
+	}
+	check := checkFromCtx(ctx)
+	if check != nil {
+		if err := check(); err != nil {
+			return Result{}, err
+		}
+	}
+	if s.tx != nil {
+		return s.tx.exec(s, vals, check)
+	}
+	return s.autocommit(vals, check)
+}
+
+// autocommit applies the statement to a fresh write set against the
+// current snapshot and commits, retrying on first-committer-wins
+// conflicts. Statements whose effect depends on the snapshot (DELETE's
+// matching-rows query, INSERT … SELECT) are recompiled against each
+// retry's snapshot; snapshot-independent statements (INSERT … VALUES,
+// CREATE TABLE, fact ops) re-apply as compiled.
+func (s *Stmt) autocommit(vals []value.Value, check func() error) (Result, error) {
+	db := s.db
+	for attempt := 0; ; attempt++ {
+		if check != nil {
+			if err := check(); err != nil {
+				return Result{}, err
+			}
+		}
+		ws := db.store.Begin()
+		cur := s
+		if s.q != nil && s.gen != ws.Base().Gen() {
+			fresh, err := compileStmt(db, s.lang, s.src, s.pred, copyRels(ws.Base().Rels()), db.catalogAt(ws.Base()), s.conv)
+			if err != nil {
+				return Result{}, err
+			}
+			fresh.gen = ws.Base().Gen()
+			cur = fresh
+		}
+		n, err := cur.applyTo(ws, vals, check)
+		if err != nil {
+			return Result{}, err
+		}
+		snap, err := db.store.Commit(ws)
+		if err == nil {
+			return Result{RowsAffected: n, Generation: snap.Gen()}, nil
+		}
+		if !errors.Is(err, relation.ErrConflict) || attempt >= maxExecRetries {
+			return Result{}, err
+		}
+	}
+}
+
+// applyTo applies the compiled statement to a write set, returning the
+// affected row-occurrence count. The write set may be an autocommit
+// scratch set or an open transaction's.
+func (s *Stmt) applyTo(ws *relation.WriteSet, vals []value.Value, check func() error) (int64, error) {
+	if s.ops != nil {
+		return applyFactOps(ws, s.ops)
+	}
+	switch st := s.st.(type) {
+	case *sql.Insert:
+		return s.applyInsert(ws, st, vals, check)
+	case *sql.Delete:
+		return s.applyDelete(ws, st, vals, check)
+	case *sql.CreateTable:
+		if err := ws.Create(st.Name, st.Cols); err != nil {
+			return 0, err
+		}
+		return 0, nil
+	}
+	return 0, fmt.Errorf("engine: statement %q has no write recipe", s.src)
+}
+
+// applyInsert inserts VALUES rows (constant-evaluated against the bound
+// placeholders) or the materialized rows of the source query, mapping
+// them onto the target's columns; unnamed columns of a column-list
+// INSERT receive NULL.
+func (s *Stmt) applyInsert(ws *relation.WriteSet, ins *sql.Insert, vals []value.Value, check func() error) (int64, error) {
+	target := ws.Relation(ins.Table)
+	if target == nil {
+		return 0, fmt.Errorf("engine: INSERT into unknown relation %q", ins.Table)
+	}
+	width := target.Arity()
+	pos := s.insPos
+	if len(ins.Cols) > 0 {
+		width = len(ins.Cols)
+		if pos == nil || len(pos) != width {
+			return 0, fmt.Errorf("engine: INSERT into %s: stale column mapping", ins.Table)
+		}
+	}
+	emit := func(row relation.Tuple, mult int) error {
+		if len(row) != width {
+			return fmt.Errorf("engine: INSERT into %s: got %d value(s), want %d", ins.Table, len(row), width)
+		}
+		t := row
+		if pos != nil {
+			t = make(relation.Tuple, target.Arity())
+			for i := range t {
+				t[i] = value.Null()
+			}
+			for i, p := range pos {
+				if p >= len(t) {
+					return fmt.Errorf("engine: INSERT into %s: column %q out of range (schema changed?)", ins.Table, ins.Cols[i])
+				}
+				t[p] = row[i]
+			}
+		}
+		return ws.Insert(ins.Table, t, mult)
+	}
+	var n int64
+	if ins.Query == nil {
+		for _, exprs := range ins.Rows {
+			row := make(relation.Tuple, len(exprs))
+			for i, e := range exprs {
+				v, err := constEval(e, vals)
+				if err != nil {
+					return 0, err
+				}
+				row[i] = v
+			}
+			if err := emit(row, 1); err != nil {
+				return 0, err
+			}
+			n++
+		}
+		return n, nil
+	}
+	src, err := s.evalDMLQuery(vals, check)
+	if err != nil {
+		return 0, err
+	}
+	var emitErr error
+	src.EachWhile(func(t relation.Tuple, m int) bool {
+		if emitErr = emit(t, m); emitErr != nil {
+			return false
+		}
+		n += int64(m)
+		return true
+	})
+	return n, emitErr
+}
+
+// applyDelete runs the compiled matching-rows query and removes every
+// occurrence of the matched tuples from the target.
+func (s *Stmt) applyDelete(ws *relation.WriteSet, del *sql.Delete, vals []value.Value, check func() error) (int64, error) {
+	if ws.Relation(del.Table) == nil {
+		return 0, fmt.Errorf("engine: DELETE from unknown relation %q", del.Table)
+	}
+	matched, err := s.evalDMLQuery(vals, check)
+	if err != nil {
+		return 0, err
+	}
+	tuples := matched.Tuples()
+	if len(tuples) == 0 {
+		return 0, nil
+	}
+	removed, err := ws.Delete(del.Table, tuples)
+	if err != nil {
+		return 0, err
+	}
+	return int64(removed), nil
+}
+
+// applyFactOps applies an assertion/retraction batch in order.
+func applyFactOps(ws *relation.WriteSet, ops []factOp) (int64, error) {
+	var n int64
+	for _, op := range ops {
+		target := ws.Relation(op.rel)
+		if target == nil {
+			return n, fmt.Errorf("engine: fact op on unknown relation %q", op.rel)
+		}
+		if len(op.tuple) != target.Arity() {
+			return n, fmt.Errorf("engine: %s takes %d argument(s), got %d", op.rel, target.Arity(), len(op.tuple))
+		}
+		if op.assert {
+			if err := ws.Insert(op.rel, op.tuple, 1); err != nil {
+				return n, err
+			}
+			n++
+			continue
+		}
+		removed, err := ws.Delete(op.rel, []relation.Tuple{op.tuple})
+		if err != nil {
+			return n, err
+		}
+		n += int64(removed)
+	}
+	return n, nil
+}

@@ -1,0 +1,471 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/value"
+)
+
+func mustExec(t *testing.T, db *DB, lang Lang, src string, args ...any) Result {
+	t.Helper()
+	res, err := db.Exec(context.Background(), lang, src, args...)
+	if err != nil {
+		t.Fatalf("Exec(%q): %v", src, err)
+	}
+	return res
+}
+
+func countAll(t *testing.T, q func(context.Context, Lang, string, ...any) (*relation.Relation, error), lang Lang, src string, args ...any) int {
+	t.Helper()
+	rel, err := q(context.Background(), lang, src, args...)
+	if err != nil {
+		t.Fatalf("QueryAll(%q): %v", src, err)
+	}
+	return rel.Card()
+}
+
+func TestExecInsertValues(t *testing.T) {
+	db := Open(relation.New("R", "A", "B").Add(1, 10))
+	startGen := db.Generation()
+	res := mustExec(t, db, LangSQL, "insert into R values (2, 20), (3, 30)")
+	if res.RowsAffected != 2 {
+		t.Fatalf("RowsAffected = %d, want 2", res.RowsAffected)
+	}
+	if res.Generation != startGen+1 {
+		t.Fatalf("Generation = %d, want %d", res.Generation, startGen+1)
+	}
+	if got := countAll(t, db.QueryAll, LangSQL, "select R.A, R.B from R"); got != 3 {
+		t.Fatalf("rows after insert = %d, want 3", got)
+	}
+	// Parameters const-evaluate, including arithmetic over them.
+	res = mustExec(t, db, LangSQL, "insert into R values ($1, $1 + 1)", int64(4))
+	if res.RowsAffected != 1 {
+		t.Fatalf("RowsAffected = %d, want 1", res.RowsAffected)
+	}
+	if got := countAll(t, db.QueryAll, LangSQL, "select R.B from R where R.A = 4 and R.B = 5"); got != 1 {
+		t.Fatal("parameterized insert row missing")
+	}
+}
+
+func TestExecInsertColumnListNullFill(t *testing.T) {
+	db := Open(relation.New("R", "A", "B", "C"))
+	mustExec(t, db, LangSQL, "insert into R (C, A) values (30, 3)")
+	rel, err := db.QueryAll(context.Background(), LangSQL, "select R.A, R.B, R.C from R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuples := rel.Tuples()
+	if len(tuples) != 1 {
+		t.Fatalf("got %d rows, want 1", len(tuples))
+	}
+	tup := tuples[0]
+	if tup[0] != value.Int(3) || !tup[1].IsNull() || tup[2] != value.Int(30) {
+		t.Fatalf("row = %v, want (3, NULL, 30)", tup)
+	}
+	// Unknown and duplicate columns are prepare-time errors.
+	if _, err := db.Exec(context.Background(), LangSQL, "insert into R (A, Z) values (1, 2)"); err == nil {
+		t.Fatal("unknown column accepted")
+	}
+	if _, err := db.Exec(context.Background(), LangSQL, "insert into R (A, A) values (1, 2)"); err == nil {
+		t.Fatal("duplicate column accepted")
+	}
+}
+
+func TestExecInsertSelect(t *testing.T) {
+	db := Open(
+		relation.New("Src", "X", "Y").Add(1, 10).Add(2, 20).Add(2, 20),
+		relation.New("Dst", "A", "B"),
+	)
+	res := mustExec(t, db, LangSQL, "insert into Dst select Src.X, Src.Y from Src where Src.X > 1")
+	// Bag semantics: the duplicate (2,20) carries multiplicity 2.
+	if res.RowsAffected != 2 {
+		t.Fatalf("RowsAffected = %d, want 2", res.RowsAffected)
+	}
+	if got := countAll(t, db.QueryAll, LangSQL, "select Dst.A from Dst"); got != 2 {
+		t.Fatalf("Dst rows = %d, want 2", got)
+	}
+}
+
+func TestExecDelete(t *testing.T) {
+	db := Open(relation.New("R", "A", "B").Add(1, 10).Add(2, 20).Add(2, 20).Add(3, 30))
+	res := mustExec(t, db, LangSQL, "delete from R where R.A = $1", int64(2))
+	// Every occurrence of a matched tuple goes.
+	if res.RowsAffected != 2 {
+		t.Fatalf("RowsAffected = %d, want 2", res.RowsAffected)
+	}
+	if got := countAll(t, db.QueryAll, LangSQL, "select R.A from R"); got != 2 {
+		t.Fatalf("remaining rows = %d, want 2", got)
+	}
+	// No matches: zero affected, no error, and no generation bump.
+	gen := db.Generation()
+	res = mustExec(t, db, LangSQL, "delete from R where R.A = 99")
+	if res.RowsAffected != 0 {
+		t.Fatalf("RowsAffected = %d, want 0", res.RowsAffected)
+	}
+	if db.Generation() != gen {
+		t.Fatalf("no-op delete bumped generation %d -> %d", gen, db.Generation())
+	}
+	// DELETE with alias and no WHERE clears the table.
+	res = mustExec(t, db, LangSQL, "delete from R r")
+	if res.RowsAffected != 2 {
+		t.Fatalf("RowsAffected = %d, want 2", res.RowsAffected)
+	}
+}
+
+func TestExecCreateTable(t *testing.T) {
+	db := Open()
+	res := mustExec(t, db, LangSQL, "create table T (A int, B text)")
+	if res.RowsAffected != 0 {
+		t.Fatalf("DDL RowsAffected = %d, want 0", res.RowsAffected)
+	}
+	mustExec(t, db, LangSQL, "insert into T values (1, 'x')")
+	if got := countAll(t, db.QueryAll, LangSQL, "select T.A from T"); got != 1 {
+		t.Fatalf("rows = %d, want 1", got)
+	}
+	if _, err := db.Exec(context.Background(), LangSQL, "create table T (C int)"); err == nil {
+		t.Fatal("re-creating an existing table succeeded")
+	}
+}
+
+func TestExecFactOps(t *testing.T) {
+	db := Open(relation.New("Edge", "src", "dst").Add(1, 2))
+	res := mustExec(t, db, LangARC, "+Edge(2, 3). +Edge(3, 4).")
+	if res.RowsAffected != 2 {
+		t.Fatalf("RowsAffected = %d, want 2", res.RowsAffected)
+	}
+	// Repeated assertion accumulates multiplicity; retraction removes all.
+	mustExec(t, db, LangARC, "+Edge(2, 3)")
+	res = mustExec(t, db, LangDatalog, "-Edge(2, 3).")
+	if res.RowsAffected != 2 {
+		t.Fatalf("retraction RowsAffected = %d, want 2", res.RowsAffected)
+	}
+	if got := countAll(t, db.QueryAll, LangSQL, "select Edge.src from Edge"); got != 2 {
+		t.Fatalf("edges = %d, want 2", got)
+	}
+	if _, err := db.Exec(context.Background(), LangARC, "+Nope(1)"); err == nil {
+		t.Fatal("fact op on unknown relation succeeded")
+	}
+	if _, err := db.Exec(context.Background(), LangARC, "+Edge(1)"); err == nil {
+		t.Fatal("arity-mismatched fact op succeeded")
+	}
+}
+
+func TestExecKindMisuse(t *testing.T) {
+	db := Open(relation.New("R", "A").Add(1))
+	if _, err := db.Exec(context.Background(), LangSQL, "select R.A from R"); err == nil {
+		t.Fatal("Exec of a query succeeded")
+	}
+	s, err := db.Prepare(LangSQL, "insert into R values (9)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Kind() != KindDML {
+		t.Fatalf("Kind = %v, want KindDML", s.Kind())
+	}
+	if _, err := s.Query(context.Background()); err == nil {
+		t.Fatal("Query of a DML statement succeeded")
+	}
+	if _, err := s.QueryAll(context.Background()); err == nil {
+		t.Fatal("QueryAll of a DML statement succeeded")
+	}
+	q, err := db.Prepare(LangSQL, "select R.A from R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Kind() != KindQuery {
+		t.Fatalf("Kind = %v, want KindQuery", q.Kind())
+	}
+	if _, err := q.Exec(context.Background()); err == nil {
+		t.Fatal("Exec of a query statement succeeded")
+	}
+}
+
+func TestDMLBindingRejected(t *testing.T) {
+	db := Open(relation.New("R", "A"))
+	extra := relation.New("R", "A").Add(5)
+	_, err := db.Exec(context.Background(), LangSQL, "insert into R values (1)", In("R", extra))
+	if !errors.Is(err, ErrDMLBinding) {
+		t.Fatalf("binding a relation to DML: err = %v, want ErrDMLBinding", err)
+	}
+	// ARC/Datalog fact batches likewise take no bindings.
+	_, err = db.Exec(context.Background(), LangARC, "+R(1)", In("R", extra))
+	if !errors.Is(err, ErrDMLBinding) {
+		t.Fatalf("binding a relation to fact ops: err = %v, want ErrDMLBinding", err)
+	}
+}
+
+func TestTxReadYourWrites(t *testing.T) {
+	ctx := context.Background()
+	db := Open(relation.New("R", "A", "B").Add(1, 10))
+	tx, err := db.Begin(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prepare BEFORE the write: the statement must re-resolve against the
+	// transaction's overlay after the write and see the new row exactly
+	// once.
+	s, err := tx.Prepare(LangSQL, "select R.A from R where R.A = $1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec(ctx, LangSQL, "insert into R values (2, 20)"); err != nil {
+		t.Fatal(err)
+	}
+	rel, err := s.QueryAll(ctx, int64(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Card() != 1 {
+		t.Fatalf("tx-prepared statement sees %d rows for its own write, want exactly 1", rel.Card())
+	}
+	// Other sessions don't see it before commit.
+	if got := countAll(t, db.QueryAll, LangSQL, "select R.A from R where R.A = 2"); got != 0 {
+		t.Fatalf("uncommitted write visible outside the transaction (%d rows)", got)
+	}
+	// Statement identity is stable while the write set doesn't move:
+	// two resolves at the same version return the same compilation.
+	r1, err := tx.resolve(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := tx.resolve(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Fatal("resolve recompiled at an unchanged write-set version")
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := countAll(t, db.QueryAll, LangSQL, "select R.A from R where R.A = 2"); got != 1 {
+		t.Fatalf("committed write invisible (%d rows)", got)
+	}
+	// The transaction is done: statements and control both fail.
+	if _, err := s.QueryAll(ctx, int64(2)); !errors.Is(err, ErrTxDone) {
+		t.Fatalf("query on committed tx: err = %v, want ErrTxDone", err)
+	}
+	if err := tx.Rollback(); !errors.Is(err, ErrTxDone) {
+		t.Fatalf("rollback after commit: err = %v, want ErrTxDone", err)
+	}
+}
+
+func TestTxRollbackDiscards(t *testing.T) {
+	ctx := context.Background()
+	db := Open(relation.New("R", "A"))
+	tx, err := db.Begin(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec(ctx, LangSQL, "insert into R values (1)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if got := countAll(t, db.QueryAll, LangSQL, "select R.A from R"); got != 0 {
+		t.Fatalf("rolled-back write visible (%d rows)", got)
+	}
+}
+
+func TestTxFirstCommitterWins(t *testing.T) {
+	ctx := context.Background()
+	db := Open(relation.New("R", "A").Add(1), relation.New("S", "B"))
+	tx1, err := db.Begin(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx2, err := db.Begin(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx1.Exec(ctx, LangSQL, "insert into R values (2)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx2.Exec(ctx, LangSQL, "insert into R values (3)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx1.Commit(); err != nil {
+		t.Fatalf("first committer failed: %v", err)
+	}
+	if err := tx2.Commit(); !errors.Is(err, ErrConflict) {
+		t.Fatalf("second committer: err = %v, want ErrConflict", err)
+	}
+	// Only the winner's write landed.
+	if got := countAll(t, db.QueryAll, LangSQL, "select R.A from R"); got != 2 {
+		t.Fatalf("rows = %d, want 2", got)
+	}
+	// Disjoint write sets don't conflict.
+	tx3, _ := db.Begin(ctx)
+	tx4, _ := db.Begin(ctx)
+	if _, err := tx3.Exec(ctx, LangSQL, "insert into R values (9)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx4.Exec(ctx, LangSQL, "insert into S values (9)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx3.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx4.Commit(); err != nil {
+		t.Fatalf("disjoint writer conflicted: %v", err)
+	}
+}
+
+func TestCursorOpenedBeforeDeleteStreamsOldSnapshot(t *testing.T) {
+	ctx := context.Background()
+	r := relation.New("R", "A")
+	for i := range 100 {
+		r.Add(i)
+	}
+	db := Open(r)
+	rows, err := db.Query(ctx, LangSQL, "select R.A from R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	// Committed DELETE lands while the cursor is open.
+	res := mustExec(t, db, LangSQL, "delete from R where R.A < 50")
+	if res.RowsAffected != 50 {
+		t.Fatalf("delete removed %d, want 50", res.RowsAffected)
+	}
+	n := 0
+	for rows.Next() {
+		n++
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// The cursor streams its pre-delete snapshot to completion.
+	if n != 100 {
+		t.Fatalf("cursor streamed %d rows, want the full pre-delete 100", n)
+	}
+	if got := countAll(t, db.QueryAll, LangSQL, "select R.A from R"); got != 50 {
+		t.Fatalf("post-delete rows = %d, want 50", got)
+	}
+}
+
+func TestSessionSQLTransactionControl(t *testing.T) {
+	ctx := context.Background()
+	db := Open(relation.New("R", "A"))
+	sess := db.NewSession()
+	defer sess.Close()
+
+	if _, err := sess.Exec(ctx, LangSQL, "commit"); err == nil {
+		t.Fatal("COMMIT with no open transaction succeeded")
+	}
+	if _, err := sess.Exec(ctx, LangSQL, "begin"); err != nil {
+		t.Fatal(err)
+	}
+	if !sess.InTx() {
+		t.Fatal("session not in transaction after BEGIN")
+	}
+	if _, err := sess.Exec(ctx, LangSQL, "begin"); err == nil {
+		t.Fatal("nested BEGIN succeeded")
+	}
+	if _, err := sess.Exec(ctx, LangSQL, "insert into R values (1)"); err != nil {
+		t.Fatal(err)
+	}
+	// Read-your-writes through the session surface.
+	if got := countAll(t, sess.QueryAll, LangSQL, "select R.A from R"); got != 1 {
+		t.Fatalf("session sees %d rows in tx, want 1", got)
+	}
+	if got := countAll(t, db.QueryAll, LangSQL, "select R.A from R"); got != 0 {
+		t.Fatalf("uncommitted session write leaked (%d rows)", got)
+	}
+	res, err := sess.Exec(ctx, LangSQL, "commit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Generation == 0 {
+		t.Fatal("COMMIT reported generation 0")
+	}
+	if sess.InTx() {
+		t.Fatal("session still in transaction after COMMIT")
+	}
+	if got := countAll(t, db.QueryAll, LangSQL, "select R.A from R"); got != 1 {
+		t.Fatalf("committed rows = %d, want 1", got)
+	}
+	// ROLLBACK path.
+	if _, err := sess.Exec(ctx, LangSQL, "begin transaction"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Exec(ctx, LangSQL, "delete from R"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Exec(ctx, LangSQL, "rollback"); err != nil {
+		t.Fatal(err)
+	}
+	if got := countAll(t, db.QueryAll, LangSQL, "select R.A from R"); got != 1 {
+		t.Fatalf("rollback lost committed data: rows = %d, want 1", got)
+	}
+}
+
+func TestSessionEpochMoves(t *testing.T) {
+	ctx := context.Background()
+	db := Open(relation.New("R", "A"), relation.New("S", "B"))
+	sess := db.NewSession()
+	defer sess.Close()
+	e0 := sess.Epoch()
+	// Another writer commits: the out-of-tx epoch moves.
+	mustExec(t, db, LangSQL, "insert into S values (1)")
+	if sess.Epoch() == e0 {
+		t.Fatal("epoch unchanged after a concurrent commit")
+	}
+	if err := sess.Begin(ctx); err != nil {
+		t.Fatal(err)
+	}
+	e1 := sess.Epoch()
+	// In-tx: a concurrent commit does NOT move the epoch (snapshot
+	// isolation), but the session's own write does. The concurrent
+	// writer touches S only, so the session's R-write still commits.
+	mustExec(t, db, LangSQL, "insert into S values (2)")
+	if sess.Epoch() != e1 {
+		t.Fatal("in-tx epoch moved on a concurrent commit")
+	}
+	if _, err := sess.Exec(ctx, LangSQL, "insert into R values (3)"); err != nil {
+		t.Fatal(err)
+	}
+	if sess.Epoch() == e1 {
+		t.Fatal("in-tx epoch unchanged after own write")
+	}
+	if _, err := sess.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if sess.Epoch() == e1 {
+		t.Fatal("epoch unchanged after commit")
+	}
+}
+
+func TestAutocommitRetriesOnConflict(t *testing.T) {
+	ctx := context.Background()
+	db := Open(relation.New("R", "A"))
+	var wg sync.WaitGroup
+	const writers, per = 8, 25
+	errs := make(chan error, writers)
+	for w := range writers {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range per {
+				if _, err := db.Exec(ctx, LangSQL, fmt.Sprintf("insert into R values (%d)", w*per+i)); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := countAll(t, db.QueryAll, LangSQL, "select R.A from R"); got != writers*per {
+		t.Fatalf("rows = %d, want %d", got, writers*per)
+	}
+}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/relation"
@@ -73,6 +74,64 @@ func FuzzPrepareDatalog(f *testing.F) {
 		stmt, err := db.Prepare(LangDatalog, src)
 		assertNoPanicError(t, err)
 		_ = stmt
+	})
+}
+
+// FuzzExecSQL asserts the write path never panics on arbitrary SQL
+// bytes: Prepare classifies the statement, Exec applies DML/DDL through
+// a write set and commits. Each input runs against a fresh DB so
+// accumulated writes never change what a given input exercises.
+func FuzzExecSQL(f *testing.F) {
+	for _, seed := range []string{
+		"insert into R values (1, 2)",
+		"insert into R (B, A) values (3, 4), (5, 6)",
+		"insert into R select P.s, P.t from P",
+		"insert into R values ($1, $1 + 1)",
+		"delete from R",
+		"delete from R where R.A = 1",
+		"delete from R r where r.A in (select P.s from P)",
+		"create table T (X int, Y text)",
+		"begin", "commit", "rollback",
+		"insert into", "delete where", "create table R (A, A)",
+		"insert into R values ((((", "insert into Nope values (1)",
+		"delete from R where $9", "create table \x00 (a)",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		db := fuzzDB()
+		stmt, err := db.Prepare(LangSQL, src)
+		assertNoPanicError(t, err)
+		if err != nil {
+			return
+		}
+		if stmt.Kind() == KindQuery {
+			return
+		}
+		_, err = stmt.Exec(context.Background())
+		assertNoPanicError(t, err)
+	})
+}
+
+// FuzzExecFactOps asserts the shared ARC/Datalog assertion/retraction
+// surface never panics on arbitrary bytes.
+func FuzzExecFactOps(f *testing.F) {
+	for _, seed := range []string{
+		"+R(1, 2).", "-P(1, 2)", "+R(1, 2) -R(1, 2); +P('a', \"b\")",
+		"+R(1.5, -2)", "+R(true, null)", "+", "-", "+R(", "+R(1",
+		"+R('unterminated", "+R(1,2,3)", "+Nope(1)", "++--",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		db := fuzzDB()
+		stmt, err := db.Prepare(LangARC, src)
+		assertNoPanicError(t, err)
+		if err != nil || stmt.Kind() == KindQuery {
+			return
+		}
+		_, err = stmt.Exec(context.Background())
+		assertNoPanicError(t, err)
 	})
 }
 

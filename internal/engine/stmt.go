@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 
 	"repro/internal/alt"
 	"repro/internal/arc"
@@ -20,7 +21,9 @@ import (
 // Binding names an input relation for ARC and Datalog statement
 // execution: ARC statements read it through the evaluator's override
 // slot (shadowing a catalog relation of the same name for that execution
-// only), Datalog statements through an EDB slot.
+// only), Datalog statements through an EDB slot. Bindings are a
+// query-only affordance — binding a relation to a DML statement is
+// ErrDMLBinding.
 type Binding struct {
 	Name string
 	Rel  *relation.Relation
@@ -29,24 +32,88 @@ type Binding struct {
 // In builds a named input binding.
 func In(name string, rel *relation.Relation) Binding { return Binding{Name: name, Rel: rel} }
 
+// ErrDMLBinding is returned when an engine.In relation binding is passed
+// to a DML or DDL statement: writes name their target in the statement
+// text, and an override relation would make the write target ambiguous.
+var ErrDMLBinding = errors.New("engine: relation bindings apply to queries only, not DML/DDL statements")
+
+// StmtKind classifies what a prepared statement does when run, so
+// callers (and the wire server) can route it: Query through
+// Query/cursors, DML and DDL through Exec, and transaction control
+// through a session.
+type StmtKind int
+
+const (
+	// KindQuery returns rows (SELECT, ARC collections, Datalog programs).
+	KindQuery StmtKind = iota
+	// KindDML writes data (INSERT, DELETE, ARC/Datalog fact ops).
+	KindDML
+	// KindDDL changes the schema (CREATE TABLE).
+	KindDDL
+	// KindBegin is BEGIN / START TRANSACTION.
+	KindBegin
+	// KindCommit is COMMIT.
+	KindCommit
+	// KindRollback is ROLLBACK.
+	KindRollback
+)
+
+// String names the kind.
+func (k StmtKind) String() string {
+	switch k {
+	case KindQuery:
+		return "query"
+	case KindDML:
+		return "dml"
+	case KindDDL:
+		return "ddl"
+	case KindBegin:
+		return "begin"
+	case KindCommit:
+		return "commit"
+	case KindRollback:
+		return "rollback"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Returns whether statements of this kind stream rows.
+func (k StmtKind) ReturnsRows() bool { return k == KindQuery }
+
 // Stmt is a prepared statement: parsed, validated, and (for SQL inside
 // the planner fragment) compiled exactly once at Prepare. A Stmt is
 // immutable and safe for concurrent Query calls; it is bound to the
-// relations registered at Prepare time (the statement cache revalidates
-// on schema or data changes, so a later Prepare reflects them).
+// snapshot current at Prepare time (the statement cache revalidates on
+// the store's commit generation, so a later Prepare reflects new
+// commits). Statements prepared inside a transaction track the
+// transaction's write set instead: each execution resolves through the
+// per-transaction cache, so it sees the transaction's own uncommitted
+// writes exactly once per write version.
 type Stmt struct {
 	db      *DB
 	lang    Lang
+	kind    StmtKind
 	src     string
 	cols    []string
 	nparams int
-	refs    []string // referenced relation names, for cache revalidation
+	refs    []string // referenced relation names (diagnostics)
+	gen     uint64   // store commit generation the snapshot compiled under
+	ver     uint64   // write-set version, for transaction-owned statements
+	tx      *Tx      // non-nil when prepared inside a transaction
 
-	// SQL
+	// SQL query machinery — also the embedded query of INSERT … SELECT
+	// and the synthetic full-row SELECT of DELETE … WHERE.
 	q       sql.Query
 	plan    *plan.Plan // nil → enumeration fallback
 	planErr error      // the planner's bailout reason, for Explain
-	rels    sqleval.DB // prepare-time relation snapshot
+	rels    sqleval.DB // prepare-time relation snapshot (or tx overlay)
+
+	// SQL DML/DDL
+	st     sql.Statement // *sql.Insert, *sql.Delete, *sql.CreateTable
+	insPos []int         // INSERT: target column of each written value
+
+	// ARC / Datalog fact ops
+	ops []factOp
 
 	// ARC
 	col  *alt.Collection
@@ -64,26 +131,58 @@ func compileStmt(db *DB, lang Lang, src, pred string, rels map[string]*relation.
 	switch lang {
 	case LangSQL:
 		return compileSQL(db, src, rels)
-	case LangARC:
+	case LangARC, LangDatalog:
+		if isFactOps(src) {
+			return compileFactOps(db, lang, src, rels)
+		}
+		if lang == LangDatalog {
+			return compileDatalog(db, src, pred, rels)
+		}
 		col, err := arc.ParseCollection(src)
 		if err != nil {
 			return nil, err
 		}
 		return compileARC(db, col, src, cat, conv)
-	case LangDatalog:
-		return compileDatalog(db, src, pred, rels)
 	}
 	return nil, fmt.Errorf("engine: unknown language %v", lang)
 }
 
 func compileSQL(db *DB, src string, rels map[string]*relation.Relation) (*Stmt, error) {
-	q, err := sql.Parse(src)
+	st, err := sql.ParseStatement(src)
 	if err != nil {
 		return nil, err
 	}
+	switch x := st.(type) {
+	case sql.Query:
+		return compileSQLQuery(db, src, x, rels)
+	case *sql.Insert:
+		return compileInsert(db, src, x, rels)
+	case *sql.Delete:
+		return compileDelete(db, src, x, rels)
+	case *sql.CreateTable:
+		seen := map[string]bool{}
+		for _, c := range x.Cols {
+			if seen[c] {
+				return nil, fmt.Errorf("engine: CREATE TABLE %s: duplicate column %q", x.Name, c)
+			}
+			seen[c] = true
+		}
+		return &Stmt{db: db, lang: LangSQL, kind: KindDDL, src: src, st: x, refs: []string{x.Name}}, nil
+	case *sql.BeginStmt:
+		return &Stmt{db: db, lang: LangSQL, kind: KindBegin, src: src}, nil
+	case *sql.CommitStmt:
+		return &Stmt{db: db, lang: LangSQL, kind: KindCommit, src: src}, nil
+	case *sql.RollbackStmt:
+		return &Stmt{db: db, lang: LangSQL, kind: KindRollback, src: src}, nil
+	}
+	return nil, fmt.Errorf("engine: unsupported statement %T", st)
+}
+
+func compileSQLQuery(db *DB, src string, q sql.Query, rels map[string]*relation.Relation) (*Stmt, error) {
 	s := &Stmt{
 		db:      db,
 		lang:    LangSQL,
+		kind:    KindQuery,
 		src:     src,
 		q:       q,
 		nparams: sql.MaxParam(q),
@@ -103,6 +202,177 @@ func compileSQL(db *DB, src string, rels map[string]*relation.Relation) (*Stmt, 
 	return s, nil
 }
 
+// compileInsert validates an INSERT against the target relation and, for
+// the INSERT … SELECT form, compiles the source query. VALUES rows must
+// be constant expressions over literals, $n placeholders, and
+// arithmetic; their width (and the source query's) must match the
+// written column list.
+func compileInsert(db *DB, src string, ins *sql.Insert, rels map[string]*relation.Relation) (*Stmt, error) {
+	target, ok := rels[ins.Table]
+	if !ok {
+		return nil, fmt.Errorf("engine: INSERT into unknown relation %q", ins.Table)
+	}
+	s := &Stmt{
+		db:      db,
+		lang:    LangSQL,
+		kind:    KindDML,
+		src:     src,
+		st:      ins,
+		nparams: sql.MaxParamStmt(ins),
+		refs:    append([]string{ins.Table}, insertQueryRefs(ins)...),
+		rels:    rels,
+	}
+	width := target.Arity()
+	if len(ins.Cols) > 0 {
+		width = len(ins.Cols)
+		s.insPos = make([]int, width)
+		seen := map[string]bool{}
+		for i, c := range ins.Cols {
+			pos := target.AttrIndex(c)
+			if pos < 0 {
+				return nil, fmt.Errorf("engine: INSERT into %s: unknown column %q", ins.Table, c)
+			}
+			if seen[c] {
+				return nil, fmt.Errorf("engine: INSERT into %s: column %q written twice", ins.Table, c)
+			}
+			seen[c] = true
+			s.insPos[i] = pos
+		}
+	}
+	if ins.Query == nil {
+		for ri, row := range ins.Rows {
+			if len(row) != width {
+				return nil, fmt.Errorf("engine: INSERT into %s: row %d has %d value(s), want %d", ins.Table, ri+1, len(row), width)
+			}
+			for _, e := range row {
+				if err := checkConstExpr(e); err != nil {
+					return nil, fmt.Errorf("engine: INSERT into %s: %w", ins.Table, err)
+				}
+			}
+		}
+		return s, nil
+	}
+	s.q = ins.Query
+	if p, err := plan.Compile(ins.Query, rels); err == nil {
+		s.plan = p
+		if got := len(p.Attrs()); got != width {
+			return nil, fmt.Errorf("engine: INSERT into %s: query yields %d column(s), want %d", ins.Table, got, width)
+		}
+	} else {
+		if !errors.Is(err, plan.ErrNotPlannable) {
+			return nil, err
+		}
+		s.planErr = err
+		if got := len(sqlColumns(ins.Query)); got != width {
+			return nil, fmt.Errorf("engine: INSERT into %s: query yields %d column(s), want %d", ins.Table, got, width)
+		}
+	}
+	return s, nil
+}
+
+func insertQueryRefs(ins *sql.Insert) []string {
+	if ins.Query == nil {
+		return nil
+	}
+	return referencedSQL(ins.Query)
+}
+
+// compileDelete lowers DELETE FROM t [alias] WHERE cond into a synthetic
+// full-row SELECT over the target (so the WHERE runs through the planner
+// like any query), executed at Exec time to enumerate the tuples to
+// remove.
+func compileDelete(db *DB, src string, del *sql.Delete, rels map[string]*relation.Relation) (*Stmt, error) {
+	target, ok := rels[del.Table]
+	if !ok {
+		return nil, fmt.Errorf("engine: DELETE from unknown relation %q", del.Table)
+	}
+	b := del.Binding()
+	items := make([]sql.SelectItem, target.Arity())
+	for i, a := range target.Attrs() {
+		items[i] = sql.SelectItem{Expr: &sql.ColRef{Table: b, Column: a}, Alias: a}
+	}
+	q := &sql.Select{
+		Items: items,
+		From:  []sql.TableRef{&sql.BaseTable{Name: del.Table, Alias: del.Alias}},
+		Where: del.Where,
+	}
+	s := &Stmt{
+		db:      db,
+		lang:    LangSQL,
+		kind:    KindDML,
+		src:     src,
+		st:      del,
+		q:       q,
+		nparams: sql.MaxParamStmt(del),
+		refs:    referencedSQL(q),
+		rels:    rels,
+	}
+	if p, err := plan.Compile(q, rels); err == nil {
+		s.plan = p
+	} else {
+		if !errors.Is(err, plan.ErrNotPlannable) {
+			return nil, err
+		}
+		s.planErr = err
+	}
+	return s, nil
+}
+
+// checkConstExpr verifies a VALUES expression is evaluable without a row
+// context: literals, placeholders, and arithmetic over them.
+func checkConstExpr(e sql.Expr) error {
+	switch x := e.(type) {
+	case *sql.Lit, *sql.Param:
+		return nil
+	case *sql.BinE:
+		if err := checkConstExpr(x.L); err != nil {
+			return err
+		}
+		return checkConstExpr(x.R)
+	}
+	return fmt.Errorf("VALUES expressions must be constants, got %s", e.String())
+}
+
+// constEval evaluates a checked VALUES expression against the bound
+// placeholder values.
+func constEval(e sql.Expr, vals []value.Value) (value.Value, error) {
+	switch x := e.(type) {
+	case *sql.Lit:
+		return x.Val, nil
+	case *sql.Param:
+		if x.Index < 1 || x.Index > len(vals) {
+			return value.Value{}, fmt.Errorf("engine: placeholder $%d out of range", x.Index)
+		}
+		return vals[x.Index-1], nil
+	case *sql.BinE:
+		l, err := constEval(x.L, vals)
+		if err != nil {
+			return value.Value{}, err
+		}
+		r, err := constEval(x.R, vals)
+		if err != nil {
+			return value.Value{}, err
+		}
+		var out value.Value
+		ok := false
+		switch x.Op {
+		case '+':
+			out, ok = value.Add(l, r)
+		case '-':
+			out, ok = value.Sub(l, r)
+		case '*':
+			out, ok = value.Mul(l, r)
+		case '/':
+			out, ok = value.Div(l, r)
+		}
+		if !ok {
+			return value.Value{}, fmt.Errorf("engine: cannot evaluate %s %c %s", l, x.Op, r)
+		}
+		return out, nil
+	}
+	return value.Value{}, fmt.Errorf("engine: non-constant VALUES expression %s", e.String())
+}
+
 func compileARC(db *DB, col *alt.Collection, src string, cat *eval.Catalog, conv convention.Conventions) (*Stmt, error) {
 	link, err := alt.ValidateCollection(col)
 	if err != nil {
@@ -111,6 +381,7 @@ func compileARC(db *DB, col *alt.Collection, src string, cat *eval.Catalog, conv
 	return &Stmt{
 		db:   db,
 		lang: LangARC,
+		kind: KindQuery,
 		src:  src,
 		cols: col.Head.Attrs,
 		refs: referencedARC(col),
@@ -153,6 +424,7 @@ func compileDatalog(db *DB, src, pred string, rels map[string]*relation.Relation
 	return &Stmt{
 		db:   db,
 		lang: LangDatalog,
+		kind: KindQuery,
 		src:  src,
 		cols: cols,
 		refs: referencedDatalog(prog),
@@ -165,36 +437,66 @@ func compileDatalog(db *DB, src, pred string, rels map[string]*relation.Relation
 // Lang returns the statement's language.
 func (s *Stmt) Lang() Lang { return s.lang }
 
+// Kind returns the statement's kind: query, DML, DDL, or transaction
+// control.
+func (s *Stmt) Kind() StmtKind { return s.kind }
+
 // Source returns the prepared source text.
 func (s *Stmt) Source() string { return s.src }
 
-// Columns returns the output column names.
+// Columns returns the output column names (nil for non-query kinds).
 func (s *Stmt) Columns() []string { return s.cols }
 
 // NumParams returns how many positional $n arguments a SQL statement
 // binds (always 0 for ARC and Datalog, which bind named relations).
 func (s *Stmt) NumParams() int { return s.nparams }
 
-// Explain renders the compiled physical plan of a SQL statement, or the
-// reason it executes on the reference enumeration path; ARC statements
-// render their per-scope plans.
+// Explain renders the compiled physical plan of a SQL statement — for
+// DELETE, the plan of its synthetic matching-rows query — or the reason
+// it executes on the reference enumeration path; ARC statements render
+// their per-scope plans.
 func (s *Stmt) Explain() (string, error) {
 	switch s.lang {
 	case LangSQL:
 		if s.plan != nil {
 			return s.plan.Explain(), nil
 		}
-		return "", s.planErr
+		if s.planErr != nil {
+			return "", s.planErr
+		}
+		return "", fmt.Errorf("engine: no plan for %s statements", s.kind)
 	case LangARC:
+		if s.kind != KindQuery {
+			return "", fmt.Errorf("engine: no plan rendering for %s statements", s.kind)
+		}
 		return eval.ExplainCollection(s.col, s.cat, s.conv)
 	}
 	return "", fmt.Errorf("engine: no plan rendering for %v statements", s.lang)
 }
 
-// splitArgs validates and converts Query arguments: SQL statements take
-// exactly NumParams positional values; ARC and Datalog statements take
-// any number of named Bindings.
+// current resolves the statement to its freshest compilation: statements
+// prepared inside a transaction re-resolve through the per-transaction
+// cache whenever the transaction has written since they were compiled,
+// so every execution sees the write set's current overlay exactly once.
+func (s *Stmt) current() (*Stmt, error) {
+	if s.tx == nil {
+		return s, nil
+	}
+	return s.tx.resolve(s)
+}
+
+// splitArgs validates and converts execution arguments: SQL statements
+// take exactly NumParams positional values; ARC and Datalog queries take
+// any number of named Bindings; DML and DDL statements reject Bindings
+// with ErrDMLBinding.
 func (s *Stmt) splitArgs(args []any) ([]value.Value, map[string]*relation.Relation, error) {
+	if s.kind != KindQuery {
+		for i, a := range args {
+			if b, isBind := a.(Binding); isBind {
+				return nil, nil, fmt.Errorf("%w (binding %q, argument %d)", ErrDMLBinding, b.Name, i+1)
+			}
+		}
+	}
 	if s.lang == LangSQL {
 		vals := make([]value.Value, 0, len(args))
 		for i, a := range args {
@@ -211,6 +513,12 @@ func (s *Stmt) splitArgs(args []any) ([]value.Value, map[string]*relation.Relati
 			return nil, nil, fmt.Errorf("engine: statement binds %d parameter(s), got %d argument(s)", s.nparams, len(vals))
 		}
 		return vals, nil, nil
+	}
+	if s.kind != KindQuery {
+		if len(args) != 0 {
+			return nil, nil, fmt.Errorf("engine: %v fact operations take no arguments, got %d", s.lang, len(args))
+		}
+		return nil, nil, nil
 	}
 	var inputs map[string]*relation.Relation
 	for i, a := range args {
@@ -236,16 +544,31 @@ func liftArg(a any) (value.Value, error) {
 	return relation.LiftErr(a)
 }
 
-// Query executes the statement with the given arguments and returns a
-// streaming cursor. For planner-compiled SQL the cursor pulls rows
+// errNotRows is the structured misuse error for Query on a non-query
+// statement.
+func errNotRows(kind StmtKind) error {
+	return fmt.Errorf("engine: %s statement does not return rows; use Exec", kind)
+}
+
+// Query executes a query statement with the given arguments and returns
+// a streaming cursor. For planner-compiled SQL the cursor pulls rows
 // directly off the operator tree — nothing is materialized up front —
 // and ctx cancellation is polled in the pull loop and in fixpoint
 // rounds. ARC, Datalog, and fallback-path SQL evaluate eagerly (their
 // evaluators are materializing) and the cursor streams the result.
+// Calling Query on a DML, DDL, or transaction-control statement is an
+// error.
 func (s *Stmt) Query(ctx context.Context, args ...any) (rows *Rows, err error) {
 	// Same backstop as Prepare: evaluator panics on hostile bindings
 	// become statement errors (streaming pulls are guarded in Rows.Next).
 	defer recoverTo(&err, "query")
+	if s.kind != KindQuery {
+		return nil, errNotRows(s.kind)
+	}
+	s, err = s.current()
+	if err != nil {
+		return nil, err
+	}
 	vals, inputs, err := s.splitArgs(args)
 	if err != nil {
 		return nil, err
@@ -276,6 +599,13 @@ func (s *Stmt) Query(ctx context.Context, args ...any) (rows *Rows, err error) {
 // entry points.
 func (s *Stmt) QueryAll(ctx context.Context, args ...any) (rel *relation.Relation, err error) {
 	defer recoverTo(&err, "query")
+	if s.kind != KindQuery {
+		return nil, errNotRows(s.kind)
+	}
+	s, err = s.current()
+	if err != nil {
+		return nil, err
+	}
 	vals, inputs, err := s.splitArgs(args)
 	if err != nil {
 		return nil, err
@@ -317,6 +647,16 @@ func (s *Stmt) execMaterialized(vals []value.Value, inputs map[string]*relation.
 	return nil, fmt.Errorf("engine: unknown language %v", s.lang)
 }
 
+// evalDMLQuery materializes the embedded query of a DML statement
+// (INSERT … SELECT source, DELETE matching rows) with the statement's
+// compiled plan or the enumeration fallback.
+func (s *Stmt) evalDMLQuery(vals []value.Value, check func() error) (*relation.Relation, error) {
+	if s.plan != nil {
+		return s.plan.ExecuteWith(vals, check)
+	}
+	return sqleval.EvalWith(s.q, s.rels, sqleval.PlanOff, vals, check)
+}
+
 // sqlColumns computes the output column names of a query on the
 // enumeration path: the leftmost SELECT's item names with the reference
 // evaluator's duplicate renaming.
@@ -342,4 +682,12 @@ func sqlColumns(q sql.Query) []string {
 		return attrs
 	}
 	return nil
+}
+
+// isFactOps reports whether an ARC/Datalog source is a fact-operation
+// batch (assertions/retractions) rather than a query: it starts with
+// '+' or '-'.
+func isFactOps(src string) bool {
+	t := strings.TrimSpace(src)
+	return len(t) > 0 && (t[0] == '+' || t[0] == '-')
 }

@@ -84,6 +84,19 @@ func (c *Catalog) Clone() *Catalog {
 	return out
 }
 
+// CloneWithBase returns a copy sharing views, abstract relations, and
+// externals, with the base-relation map replaced by base (copied, so the
+// caller's map stays private). The MVCC engine uses this to project one
+// catalog template onto each committed snapshot's relations.
+func (c *Catalog) CloneWithBase(base map[string]*relation.Relation) *Catalog {
+	out := c.Clone()
+	out.base = make(map[string]*relation.Relation, len(base))
+	for k, v := range base {
+		out.base[k] = v
+	}
+	return out
+}
+
 // DefineView registers an intensional relation (view/CTE): a strictly
 // valid collection evaluated on demand and cached per evaluation.
 func (c *Catalog) DefineView(col *alt.Collection) error {

@@ -238,6 +238,44 @@ func (r *Relation) insert(t Tuple, n int, owned bool) {
 	r.mu.Unlock()
 }
 
+// RemoveKeys deletes every stored tuple whose Key() is in keys, returning
+// the number of row occurrences removed (counting multiplicity). The row
+// store and distinct-tuple index are rebuilt compactly and all cached
+// hash indexes dropped, so it is meant for transaction-local working
+// copies (the MVCC write path), not for relations concurrent readers may
+// hold snapshots of — a deletion is published by committing the working
+// copy as a new snapshot, never by mutating a shared relation in place.
+func (r *Relation) RemoveKeys(keys map[string]struct{}) int {
+	if len(keys) == 0 {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	removed := 0
+	kept := r.rows[:0]
+	var kb [128]byte
+	for i := range r.rows {
+		if _, hit := keys[string(r.rows[i].tup.AppendKey(kb[:0]))]; hit {
+			removed += int(atomic.LoadInt64(&r.rows[i].mult))
+			continue
+		}
+		kept = append(kept, r.rows[i])
+	}
+	if removed == 0 {
+		return 0
+	}
+	r.rows = kept
+	if r.index != nil {
+		r.index = make(map[string]int, len(kept))
+		for i := range kept {
+			r.index[string(kept[i].tup.AppendKey(kb[:0]))] = i
+		}
+	}
+	r.hashIdx = nil
+	r.gen.Add(1)
+	return removed
+}
+
 // Add is a convenience builder: it converts Go literals (int, int64,
 // float64, string, bool, nil, value.Value) into values and inserts the
 // tuple, returning r for chaining.

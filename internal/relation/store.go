@@ -1,0 +1,316 @@
+// store.go implements the MVCC versioning layer over relations: a Store
+// holds an immutable, generation-tagged Snapshot of the whole base-
+// relation catalog, writers accumulate changes in a WriteSet against the
+// snapshot they began from, and Commit publishes a new snapshot under
+// first-committer-wins conflict detection. Readers never block and never
+// see a torn state: once a *Relation appears in a committed snapshot it
+// is treated as immutable (only its lazy hash indexes, which are
+// internally locked, may still change), so a query or cursor holding a
+// snapshot streams exactly the data that was committed when it started —
+// the janus-datalog datom/transaction shape, at relation granularity.
+package relation
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrConflict is returned by Store.Commit when another transaction
+// committed a change to one of this write set's relations after the
+// write set's base snapshot was taken — the first committer won.
+var ErrConflict = errors.New("relation: write conflict: relation changed since the transaction began (first committer wins)")
+
+// Store is the versioned catalog of base relations. The zero value is
+// not usable; construct with NewStore.
+type Store struct {
+	// mu serializes commits (conflict check + head swap). Readers load
+	// the head snapshot atomically and never take it.
+	mu   sync.Mutex
+	head atomic.Pointer[Snapshot]
+}
+
+// Snapshot is one immutable version of the catalog: the relation map,
+// the commit generation that produced it, and per-relation version tags
+// (the generation at which each relation last changed) used for
+// first-committer-wins conflict detection. Callers must not mutate the
+// returned maps or the relations they contain.
+type Snapshot struct {
+	gen    uint64
+	rels   map[string]*Relation
+	relVer map[string]uint64
+}
+
+// NewStore builds a store whose initial snapshot (generation 1) holds
+// the given relations, keyed by name.
+func NewStore(rels ...*Relation) *Store {
+	snap := &Snapshot{
+		gen:    1,
+		rels:   make(map[string]*Relation, len(rels)),
+		relVer: make(map[string]uint64, len(rels)),
+	}
+	for _, r := range rels {
+		snap.rels[r.Name()] = r
+		snap.relVer[r.Name()] = 1
+	}
+	st := &Store{}
+	st.head.Store(snap)
+	return st
+}
+
+// Head returns the current committed snapshot.
+func (st *Store) Head() *Snapshot { return st.head.Load() }
+
+// Gen returns the current commit generation — the single fingerprint
+// statement caches revalidate on.
+func (st *Store) Gen() uint64 { return st.head.Load().gen }
+
+// Gen returns the snapshot's commit generation.
+func (s *Snapshot) Gen() uint64 { return s.gen }
+
+// Relation returns the named relation in this snapshot, or nil.
+func (s *Snapshot) Relation(name string) *Relation { return s.rels[name] }
+
+// Rels returns the snapshot's relation map. The map is shared and must
+// not be mutated; copy before extending.
+func (s *Snapshot) Rels() map[string]*Relation { return s.rels }
+
+// Names returns the relation names in this snapshot, sorted.
+func (s *Snapshot) Names() []string {
+	out := make([]string, 0, len(s.rels))
+	for n := range s.rels {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Begin opens a write set against the current head snapshot.
+func (st *Store) Begin() *WriteSet {
+	return &WriteSet{base: st.Head(), pend: map[string]*pendingRel{}}
+}
+
+// WriteSet accumulates a transaction's uncommitted changes: per-relation
+// working copies (cloned copy-on-write from the base snapshot on first
+// write) plus creations. It also serves reads inside the transaction:
+// Relation and Rels overlay the working copies on the base snapshot, so
+// a statement compiled against the overlay sees the transaction's own
+// writes exactly once. A WriteSet is not safe for concurrent use — a
+// transaction belongs to one session.
+type WriteSet struct {
+	base *Snapshot
+	pend map[string]*pendingRel
+	// ver counts applied write statements — the read-your-writes
+	// fingerprint transaction-local statement caches revalidate on.
+	ver uint64
+	// overlay caches the materialized Rels() map until ver changes.
+	overlay    map[string]*Relation
+	overlayVer uint64
+}
+
+type pendingRel struct {
+	work    *Relation
+	created bool
+}
+
+// Base returns the snapshot the write set reads beneath its own writes.
+func (ws *WriteSet) Base() *Snapshot { return ws.base }
+
+// Ver returns the write version: it bumps on every applied change, so a
+// statement prepared inside the transaction at version v stays valid
+// until the transaction writes again.
+func (ws *WriteSet) Ver() uint64 { return ws.ver }
+
+// Dirty reports whether the write set holds any changes.
+func (ws *WriteSet) Dirty() bool { return len(ws.pend) > 0 }
+
+// Relation resolves a name through the overlay: the working copy if this
+// transaction wrote the relation, the base snapshot's version otherwise.
+func (ws *WriteSet) Relation(name string) *Relation {
+	if p, ok := ws.pend[name]; ok {
+		return p.work
+	}
+	return ws.base.rels[name]
+}
+
+// Rels materializes the overlay map (base relations with this write
+// set's working copies substituted). The map is cached until the next
+// write and must not be mutated by callers.
+func (ws *WriteSet) Rels() map[string]*Relation {
+	if ws.overlay != nil && ws.overlayVer == ws.ver && len(ws.pend) == 0 {
+		return ws.overlay
+	}
+	if len(ws.pend) == 0 {
+		ws.overlay, ws.overlayVer = ws.base.rels, ws.ver
+		return ws.overlay
+	}
+	if ws.overlay == nil || ws.overlayVer != ws.ver {
+		m := make(map[string]*Relation, len(ws.base.rels)+len(ws.pend))
+		for k, v := range ws.base.rels {
+			m[k] = v
+		}
+		for k, p := range ws.pend {
+			m[k] = p.work
+		}
+		ws.overlay, ws.overlayVer = m, ws.ver
+	}
+	return ws.overlay
+}
+
+// working returns the mutable transaction-local copy of name, cloning
+// the base version copy-on-write on first touch.
+func (ws *WriteSet) working(name string) (*Relation, error) {
+	if p, ok := ws.pend[name]; ok {
+		return p.work, nil
+	}
+	base, ok := ws.base.rels[name]
+	if !ok {
+		return nil, fmt.Errorf("relation: unknown relation %q", name)
+	}
+	work := base.Clone()
+	ws.pend[name] = &pendingRel{work: work}
+	return work, nil
+}
+
+// Create adds a new empty relation to the write set. It fails if the
+// name already exists in the overlay.
+func (ws *WriteSet) Create(name string, attrs []string) error {
+	if ws.Relation(name) != nil {
+		return fmt.Errorf("relation: %q already exists", name)
+	}
+	for i, a := range attrs {
+		for j := 0; j < i; j++ {
+			if attrs[j] == a {
+				return fmt.Errorf("relation: %q: duplicate attribute %q", name, a)
+			}
+		}
+	}
+	ws.pend[name] = &pendingRel{work: New(name, attrs...), created: true}
+	ws.ver++
+	return nil
+}
+
+// Put replaces (or adds) a relation wholesale — the write-set form of
+// the engine's Register.
+func (ws *WriteSet) Put(r *Relation) {
+	ws.pend[r.Name()] = &pendingRel{work: r, created: ws.Relation(r.Name()) == nil}
+	ws.ver++
+}
+
+// Insert adds n occurrences of t to the named relation's working copy.
+func (ws *WriteSet) Insert(name string, t Tuple, n int) error {
+	work, err := ws.working(name)
+	if err != nil {
+		return err
+	}
+	if len(t) != work.Arity() {
+		return fmt.Errorf("relation: %q takes %d columns, got %d", name, work.Arity(), len(t))
+	}
+	work.InsertMult(t, n)
+	ws.ver++
+	return nil
+}
+
+// Delete removes the given distinct tuples (all their occurrences) from
+// the named relation's working copy, returning the number of row
+// occurrences removed.
+func (ws *WriteSet) Delete(name string, tuples []Tuple) (int, error) {
+	if len(tuples) == 0 {
+		// Still bump ver: the statement ran (and an empty delete still
+		// touched the relation logically — cheap and keeps callers
+		// simple). No working copy is forced, so no conflict either.
+		return 0, nil
+	}
+	work, err := ws.working(name)
+	if err != nil {
+		return 0, err
+	}
+	keys := make(map[string]struct{}, len(tuples))
+	for _, t := range tuples {
+		if len(t) != work.Arity() {
+			return 0, fmt.Errorf("relation: %q takes %d columns, got %d", name, work.Arity(), len(t))
+		}
+		keys[t.Key()] = struct{}{}
+	}
+	removed := work.RemoveKeys(keys)
+	ws.ver++
+	return removed, nil
+}
+
+// Names returns the written relation names, sorted (for deterministic
+// error messages and tests).
+func (ws *WriteSet) Names() []string {
+	out := make([]string, 0, len(ws.pend))
+	for n := range ws.pend {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Commit publishes the write set as a new snapshot. Conflict detection
+// is first-committer-wins, keyed on relation versions: if any relation
+// this write set touched was changed (or created, or removed) by a
+// commit after the write set's base snapshot, Commit returns an error
+// wrapping ErrConflict and publishes nothing. Unchanged relations are
+// shared structurally between snapshots. An empty write set commits as
+// a no-op returning the current head.
+func (st *Store) Commit(ws *WriteSet) (*Snapshot, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	head := st.head.Load()
+	if len(ws.pend) == 0 {
+		return head, nil
+	}
+	if head != ws.base {
+		for name := range ws.pend {
+			bv, bok := ws.base.relVer[name]
+			hv, hok := head.relVer[name]
+			if bok != hok || bv != hv {
+				return nil, fmt.Errorf("%w: %s", ErrConflict, name)
+			}
+		}
+	}
+	gen := head.gen + 1
+	next := &Snapshot{
+		gen:    gen,
+		rels:   make(map[string]*Relation, len(head.rels)+len(ws.pend)),
+		relVer: make(map[string]uint64, len(head.relVer)+len(ws.pend)),
+	}
+	for k, v := range head.rels {
+		next.rels[k] = v
+		next.relVer[k] = head.relVer[k]
+	}
+	for name, p := range ws.pend {
+		next.rels[name] = p.work
+		next.relVer[name] = gen
+	}
+	st.head.Store(next)
+	return next, nil
+}
+
+// Apply commits an unconditional upsert of the given relations — the
+// administrative Register path, which replaces rather than conflicts.
+func (st *Store) Apply(rels ...*Relation) *Snapshot {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	head := st.head.Load()
+	gen := head.gen + 1
+	next := &Snapshot{
+		gen:    gen,
+		rels:   make(map[string]*Relation, len(head.rels)+len(rels)),
+		relVer: make(map[string]uint64, len(head.relVer)+len(rels)),
+	}
+	for k, v := range head.rels {
+		next.rels[k] = v
+		next.relVer[k] = head.relVer[k]
+	}
+	for _, r := range rels {
+		next.rels[r.Name()] = r
+		next.relVer[r.Name()] = gen
+	}
+	st.head.Store(next)
+	return next
+}

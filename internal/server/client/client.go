@@ -125,10 +125,51 @@ func (c *Conn) roundTrip(typ byte, payloadB []byte, want byte, into func(*server
 	return nil
 }
 
+// Kind mirrors the statement-kind byte PrepareOK carries (aliasing the
+// server package's constants).
+type Kind byte
+
+const (
+	KindQuery    = Kind(server.WireKindQuery)
+	KindDML      = Kind(server.WireKindDML)
+	KindDDL      = Kind(server.WireKindDDL)
+	KindBegin    = Kind(server.WireKindBegin)
+	KindCommit   = Kind(server.WireKindCommit)
+	KindRollback = Kind(server.WireKindRollback)
+)
+
+// String names the kind for diagnostics.
+func (k Kind) String() string {
+	switch k {
+	case KindQuery:
+		return "query"
+	case KindDML:
+		return "DML"
+	case KindDDL:
+		return "DDL"
+	case KindBegin:
+		return "BEGIN"
+	case KindCommit:
+		return "COMMIT"
+	case KindRollback:
+		return "ROLLBACK"
+	}
+	return fmt.Sprintf("kind(%d)", byte(k))
+}
+
+// Result reports what a write changed: affected row occurrences plus
+// the commit generation the write became visible at (0 while buffered
+// inside an open transaction).
+type Result struct {
+	RowsAffected int64
+	Generation   uint64
+}
+
 // Stmt is a server-side prepared statement handle owned by this session.
 type Stmt struct {
 	conn    *Conn
 	id      uint32
+	kind    Kind
 	cols    []string
 	nparams int
 }
@@ -157,6 +198,7 @@ func (c *Conn) prepare(lang Lang, src, pred string) (*Stmt, error) {
 		if got := d.U32(); d.Err() == nil && got != id {
 			return c.fatal(fmt.Errorf("client: PrepareOK for statement %d, want %d", got, id))
 		}
+		s.kind = Kind(d.U8())
 		s.nparams = int(d.U32())
 		ncols := int(d.U32())
 		if d.Err() != nil {
@@ -179,6 +221,28 @@ func (s *Stmt) Columns() []string { return s.cols }
 
 // NumParams returns the number of positional parameters.
 func (s *Stmt) NumParams() int { return s.nparams }
+
+// Kind reports what the statement is (query, DML, DDL, or transaction
+// control), as classified by the server at prepare time.
+func (s *Stmt) Kind() Kind { return s.kind }
+
+// Exec runs a DML/DDL statement (or SQL-level transaction control) on
+// the server. Queries are rejected with WRONG_KIND — use Query.
+func (s *Stmt) Exec(args ...value.Value) (Result, error) {
+	var e server.Enc
+	e.U32(s.id)
+	e.U32(uint32(len(args)))
+	for _, a := range args {
+		e.Val(a)
+	}
+	var res Result
+	err := s.conn.roundTrip(server.FrameExec, e.Bytes(), server.FrameExecOK, func(d *server.Dec) error {
+		res.RowsAffected = int64(d.U64())
+		res.Generation = d.U64()
+		return nil
+	})
+	return res, err
+}
 
 // Close drops the server-side handle.
 func (s *Stmt) Close() error {
@@ -358,6 +422,50 @@ func (s *Stmt) QueryAll(args ...value.Value) ([][]value.Value, error) {
 		return nil, err
 	}
 	return out, rows.Close()
+}
+
+// Exec is the one-shot write convenience: Prepare, Exec, Close.
+func (c *Conn) Exec(lang Lang, src string, args ...value.Value) (Result, error) {
+	s, err := c.Prepare(lang, src)
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := s.Exec(args...)
+	if err != nil {
+		return Result{}, err
+	}
+	return res, s.Close()
+}
+
+// Begin opens the connection's transaction, returning the snapshot
+// generation it reads from. Statements prepared before BEGIN remain
+// usable inside the transaction: the server re-resolves them against
+// the transaction's overlay.
+func (c *Conn) Begin() (uint64, error) {
+	var gen uint64
+	err := c.roundTrip(server.FrameBegin, nil, server.FrameBeginOK, func(d *server.Dec) error {
+		gen = d.U64()
+		return nil
+	})
+	return gen, err
+}
+
+// Commit publishes the connection's transaction, returning the new
+// commit generation. A first-committer-wins loss surfaces as a
+// *server.WireError with code CONFLICT; either way the transaction is
+// over.
+func (c *Conn) Commit() (uint64, error) {
+	var gen uint64
+	err := c.roundTrip(server.FrameCommit, nil, server.FrameCommitOK, func(d *server.Dec) error {
+		gen = d.U64()
+		return nil
+	})
+	return gen, err
+}
+
+// Rollback discards the connection's transaction.
+func (c *Conn) Rollback() error {
+	return c.roundTrip(server.FrameRollback, nil, server.FrameRollbackOK, nil)
 }
 
 // Query is the one-shot convenience: Prepare, Query, drain, Close.

@@ -187,12 +187,27 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
+// stmtHandle is one session-scoped prepared statement: the source to
+// re-prepare from plus the engine statement it currently resolves to.
+// The engine compiles statements against immutable snapshots, so a
+// handle compiled at one epoch would silently keep answering from that
+// snapshot forever; the session re-resolves the handle (a statement-
+// cache hit in the common case) whenever its epoch no longer matches
+// the session's — which also moves handles in and out of transactions.
+type stmtHandle struct {
+	lang  engine.Lang
+	pred  string
+	src   string
+	stmt  *engine.Stmt
+	epoch engine.SessionEpoch
+}
+
 // cursor is one open result stream: the bound portal (statement + args)
 // and, once Execute ran, the engine cursor it streams from. elapsed
 // accumulates Execute plus every Fetch pull, so the latency histogram
 // reflects real execution time even for lazily-streamed plans.
 type cursor struct {
-	stmt    *engine.Stmt
+	h       *stmtHandle
 	args    []any
 	rows    *engine.Rows
 	cols    []string
@@ -208,7 +223,12 @@ type session struct {
 	w    *bufio.Writer
 	ctx  context.Context
 
-	stmts   map[uint32]*engine.Stmt
+	// eng is the connection's engine session: transaction state lives
+	// here, so BEGIN/COMMIT/ROLLBACK (frames or SQL) scope to this
+	// client only.
+	eng *engine.Session
+
+	stmts   map[uint32]*stmtHandle
 	cursors map[uint32]*cursor
 	greeted bool
 	// werr is the first response-write failure (an oversized outgoing
@@ -235,7 +255,8 @@ func (s *Server) serveConn(conn net.Conn) {
 		r:       bufio.NewReader(conn),
 		w:       bufio.NewWriter(conn),
 		ctx:     s.baseCtx,
-		stmts:   map[uint32]*engine.Stmt{},
+		eng:     s.db.NewSession(),
+		stmts:   map[uint32]*stmtHandle{},
 		cursors: map[uint32]*cursor{},
 	}
 	defer func() {
@@ -245,6 +266,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		stopWatch()
 		sess.closeAllCursors()
+		sess.eng.Close() // roll back any transaction the client abandoned
 		conn.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
@@ -361,6 +383,14 @@ func (sess *session) handle(typ byte, payload []byte) error {
 		return sess.handleFetch(payload)
 	case FrameClose:
 		return sess.handleClose(payload)
+	case FrameExec:
+		return sess.handleExec(payload)
+	case FrameBegin:
+		return sess.handleBegin(payload)
+	case FrameCommit:
+		return sess.handleCommit(payload)
+	case FrameRollback:
+		return sess.handleRollback(payload)
 	}
 	return errProtocol("unknown frame type 0x%02x", typ)
 }
@@ -416,28 +446,66 @@ func (sess *session) handlePrepare(payload []byte) error {
 		sess.stmtError(CodeParse, fmt.Errorf("session holds %d prepared statements (limit %d); close some", len(sess.stmts), sess.srv.opts.MaxStmts))
 		return nil
 	}
-	var stmt *engine.Stmt
-	var err error
-	if lang == engine.LangDatalog && pred != "" {
-		stmt, err = sess.srv.db.PrepareDatalog(src, pred)
-	} else {
-		stmt, err = sess.srv.db.Prepare(lang, src)
-	}
-	if err != nil {
+	h := &stmtHandle{lang: lang, pred: pred, src: src}
+	if err := sess.resolveHandle(h); err != nil {
 		sess.stmtError(CodeParse, err)
 		return nil
 	}
-	sess.stmts[id] = stmt
+	sess.stmts[id] = h
 	sess.srv.metrics.StatementsPrepared.Add(1)
-	cols := stmt.Columns()
+	cols := h.stmt.Columns()
 	var e Enc
 	e.U32(id)
-	e.U32(uint32(stmt.NumParams()))
+	e.U8(wireKind(h.stmt.Kind()))
+	e.U32(uint32(h.stmt.NumParams()))
 	e.U32(uint32(len(cols)))
 	for _, c := range cols {
 		e.Str(c)
 	}
 	sess.send(FramePrepareOK, e.Bytes())
+	return nil
+}
+
+// wireKind projects engine.StmtKind onto the wire byte.
+func wireKind(k engine.StmtKind) byte {
+	switch k {
+	case engine.KindDML:
+		return WireKindDML
+	case engine.KindDDL:
+		return WireKindDDL
+	case engine.KindBegin:
+		return WireKindBegin
+	case engine.KindCommit:
+		return WireKindCommit
+	case engine.KindRollback:
+		return WireKindRollback
+	default:
+		return WireKindQuery
+	}
+}
+
+// resolveHandle (re)prepares a handle through the engine session when
+// the session's epoch moved since the handle last resolved — a fresh
+// commit landed, or a transaction opened/advanced/closed. At an
+// unchanged epoch it's a field comparison; at a changed one it's
+// usually a statement-cache hit.
+func (sess *session) resolveHandle(h *stmtHandle) error {
+	epoch := sess.eng.Epoch()
+	if h.stmt != nil && h.epoch == epoch {
+		return nil
+	}
+	var stmt *engine.Stmt
+	var err error
+	if h.lang == engine.LangDatalog && h.pred != "" {
+		stmt, err = sess.eng.PrepareDatalog(h.src, h.pred)
+	} else {
+		stmt, err = sess.eng.Prepare(h.lang, h.src)
+	}
+	if err != nil {
+		return err
+	}
+	h.stmt = stmt
+	h.epoch = epoch
 	return nil
 }
 
@@ -458,9 +526,16 @@ func (sess *session) handleBind(payload []byte) error {
 	if err := d.Done(); err != nil {
 		return err
 	}
-	stmt, ok := sess.stmts[stmtID]
+	h, ok := sess.stmts[stmtID]
 	if !ok {
 		sess.stmtError(CodeUnknownStmt, fmt.Errorf("statement %d is not prepared in this session", stmtID))
+		return nil
+	}
+	switch h.stmt.Kind() {
+	case engine.KindBegin, engine.KindCommit, engine.KindRollback:
+		// Transaction control is session state, not a portal: there is
+		// nothing a cursor over BEGIN could ever stream or execute.
+		sess.stmtError(CodeWrongKind, fmt.Errorf("cannot bind a cursor to a %s statement; send a %s frame (or Exec)", h.stmt.Kind(), h.stmt.Kind()))
 		return nil
 	}
 	old, rebind := sess.cursors[curID]
@@ -473,7 +548,7 @@ func (sess *session) handleBind(payload []byte) error {
 	if rebind && old.rows != nil {
 		old.rows.Close()
 	}
-	sess.cursors[curID] = &cursor{stmt: stmt, args: args, cols: stmt.Columns()}
+	sess.cursors[curID] = &cursor{h: h, args: args, cols: h.stmt.Columns()}
 	var e Enc
 	e.U32(curID)
 	sess.send(FrameBindOK, e.Bytes())
@@ -495,12 +570,27 @@ func (sess *session) handleExecute(payload []byte) error {
 		sess.stmtError(CodeExecute, fmt.Errorf("cursor %d is already executing", curID))
 		return nil
 	}
+	// A fetch cursor only makes sense over a statement that returns
+	// rows: Execute of a DML/DDL portal is a structured kind error, not
+	// a protocol mismatch. (Send an Exec frame instead.)
+	if k := cur.h.stmt.Kind(); !k.ReturnsRows() {
+		sess.stmtError(CodeWrongKind, fmt.Errorf("statement is %s, which returns no rows; use an Exec frame", k))
+		return nil
+	}
+	// Re-resolve the portal's statement so the cursor streams the
+	// session's current snapshot (or transaction overlay), not the one
+	// current when the handle was first prepared.
+	if err := sess.resolveHandle(cur.h); err != nil {
+		sess.finishCursor(curID, cur)
+		sess.stmtError(CodeExecute, err)
+		return nil
+	}
 	// The latency histogram accumulates Execute plus every Fetch pull
 	// into cur.elapsed and observes at cursor completion: for
 	// planner-compiled SQL, Query only builds the operator tree — the
 	// real work happens while Fetch pulls rows.
 	start := time.Now()
-	rows, err := cur.stmt.Query(sess.ctx, cur.args...)
+	rows, err := cur.h.stmt.Query(sess.ctx, cur.args...)
 	cur.elapsed += time.Since(start)
 	if err != nil {
 		sess.finishCursor(curID, cur)
@@ -613,6 +703,122 @@ func (sess *session) handleClose(payload []byte) error {
 	e.U8(kind)
 	e.U32(id)
 	sess.send(FrameCloseOK, e.Bytes())
+	return nil
+}
+
+// handleExec runs a DML/DDL statement (or SQL transaction control)
+// directly from a prepared handle — no cursor, one ExecOK response
+// carrying rows-affected plus the commit generation the write became
+// visible at (0 while buffered in an open transaction).
+func (sess *session) handleExec(payload []byte) error {
+	d := NewDec(payload)
+	stmtID := d.U32()
+	argc := d.U32()
+	if d.err == nil && uint64(argc) > uint64(len(payload)) {
+		d.fail("argument count %d overruns payload", argc)
+	}
+	args := make([]any, 0, argc)
+	for i := uint32(0); i < argc && d.err == nil; i++ {
+		args = append(args, d.Val())
+	}
+	if err := d.Done(); err != nil {
+		return err
+	}
+	h, ok := sess.stmts[stmtID]
+	if !ok {
+		sess.stmtError(CodeUnknownStmt, fmt.Errorf("statement %d is not prepared in this session", stmtID))
+		return nil
+	}
+	if h.stmt.Kind() == engine.KindQuery {
+		sess.stmtError(CodeWrongKind, fmt.Errorf("statement is a query; bind a cursor and use Execute/Fetch"))
+		return nil
+	}
+	if err := sess.resolveHandle(h); err != nil {
+		sess.stmtError(CodeExecute, err)
+		return nil
+	}
+	res, err := sess.eng.ExecStmt(sess.ctx, h.stmt, args...)
+	if err != nil {
+		sess.stmtError(execErrCode(sess, err), err)
+		return nil
+	}
+	sess.srv.metrics.QueriesExecuted.Add(1)
+	var e Enc
+	e.U64(uint64(res.RowsAffected))
+	e.U64(res.Generation)
+	sess.send(FrameExecOK, e.Bytes())
+	return nil
+}
+
+// execErrCode classifies a write-path failure into a wire code.
+func execErrCode(sess *session, err error) string {
+	switch {
+	case errors.Is(err, engine.ErrConflict):
+		return CodeConflict
+	case errors.Is(err, engine.ErrTxDone):
+		return CodeTx
+	case sess.srv.baseCtx.Err() != nil && errors.Is(err, sess.srv.baseCtx.Err()):
+		return CodeShutdown
+	}
+	return CodeExecute
+}
+
+// handleBegin opens the session's transaction; BeginOK reports the
+// snapshot generation the transaction reads from.
+func (sess *session) handleBegin(payload []byte) error {
+	if len(payload) != 0 {
+		return errProtocol("Begin carries no payload, got %d bytes", len(payload))
+	}
+	if sess.eng.InTx() {
+		sess.stmtError(CodeTx, fmt.Errorf("transaction already open (nested transactions are not supported)"))
+		return nil
+	}
+	if err := sess.eng.Begin(sess.ctx); err != nil {
+		sess.stmtError(execErrCode(sess, err), err)
+		return nil
+	}
+	var e Enc
+	e.U64(sess.eng.Epoch().Gen) // the base snapshot the transaction reads
+	sess.send(FrameBeginOK, e.Bytes())
+	return nil
+}
+
+// handleCommit publishes the session's transaction; CommitOK reports
+// the new commit generation. A first-committer-wins loss answers
+// CONFLICT and the transaction is over either way.
+func (sess *session) handleCommit(payload []byte) error {
+	if len(payload) != 0 {
+		return errProtocol("Commit carries no payload, got %d bytes", len(payload))
+	}
+	if !sess.eng.InTx() {
+		sess.stmtError(CodeTx, fmt.Errorf("no open transaction"))
+		return nil
+	}
+	gen, err := sess.eng.Commit()
+	if err != nil {
+		sess.stmtError(execErrCode(sess, err), err)
+		return nil
+	}
+	var e Enc
+	e.U64(gen)
+	sess.send(FrameCommitOK, e.Bytes())
+	return nil
+}
+
+// handleRollback discards the session's transaction.
+func (sess *session) handleRollback(payload []byte) error {
+	if len(payload) != 0 {
+		return errProtocol("Rollback carries no payload, got %d bytes", len(payload))
+	}
+	if !sess.eng.InTx() {
+		sess.stmtError(CodeTx, fmt.Errorf("no open transaction"))
+		return nil
+	}
+	if err := sess.eng.Rollback(); err != nil {
+		sess.stmtError(execErrCode(sess, err), err)
+		return nil
+	}
+	sess.send(FrameRollbackOK, nil)
 	return nil
 }
 

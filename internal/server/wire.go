@@ -7,7 +7,8 @@
 //
 //	[1 byte type][4 bytes big-endian payload length][payload]
 //
-// Client → server frames: Hello, Prepare, Bind, Execute, Fetch, Close.
+// Client → server frames: Hello, Prepare, Bind, Execute, Fetch, Close,
+// Exec (DML/DDL), Begin, Commit, Rollback.
 // Server → client frames: the matching *OK responses, Rows batches, and
 // Error frames carrying a structured code plus message. A session may
 // pipeline requests (e.g. Prepare+Bind+Execute+Fetch in one write); the
@@ -33,24 +34,35 @@ import (
 // Frame types. Client-originated types are low, server-originated have
 // the high bit set.
 const (
-	FrameHello   byte = 0x01 // u32 version, string client name
-	FramePrepare byte = 0x02 // u32 stmtID, u8 lang, string pred, string src
-	FrameBind    byte = 0x03 // u32 cursorID, u32 stmtID, u32 argc, values
-	FrameExecute byte = 0x04 // u32 cursorID
-	FrameFetch   byte = 0x05 // u32 cursorID, u32 maxRows
-	FrameClose   byte = 0x06 // u8 kind (0 stmt, 1 cursor), u32 id
+	FrameHello    byte = 0x01 // u32 version, string client name
+	FramePrepare  byte = 0x02 // u32 stmtID, u8 lang, string pred, string src
+	FrameBind     byte = 0x03 // u32 cursorID, u32 stmtID, u32 argc, values
+	FrameExecute  byte = 0x04 // u32 cursorID
+	FrameFetch    byte = 0x05 // u32 cursorID, u32 maxRows
+	FrameClose    byte = 0x06 // u8 kind (0 stmt, 1 cursor), u32 id
+	FrameExec     byte = 0x07 // u32 stmtID, u32 argc, values
+	FrameBegin    byte = 0x08 // (empty)
+	FrameCommit   byte = 0x09 // (empty)
+	FrameRollback byte = 0x0A // (empty)
 
-	FrameHelloOK   byte = 0x81 // u32 version, string server banner
-	FramePrepareOK byte = 0x82 // u32 stmtID, u32 nparams, u32 ncols, strings
-	FrameBindOK    byte = 0x83 // u32 cursorID
-	FrameExecuteOK byte = 0x84 // u32 cursorID
-	FrameRows      byte = 0x85 // u32 cursorID, u8 done, u32 ncols, u32 nrows, rows
-	FrameCloseOK   byte = 0x86 // u8 kind, u32 id
-	FrameError     byte = 0x87 // string code, string message
+	FrameHelloOK    byte = 0x81 // u32 version, string server banner
+	FramePrepareOK  byte = 0x82 // u32 stmtID, u8 kind, u32 nparams, u32 ncols, strings
+	FrameBindOK     byte = 0x83 // u32 cursorID
+	FrameExecuteOK  byte = 0x84 // u32 cursorID
+	FrameRows       byte = 0x85 // u32 cursorID, u8 done, u32 ncols, u32 nrows, rows
+	FrameCloseOK    byte = 0x86 // u8 kind, u32 id
+	FrameError      byte = 0x87 // string code, string message
+	FrameExecOK     byte = 0x88 // u64 rowsAffected, u64 generation
+	FrameBeginOK    byte = 0x89 // u64 baseGeneration
+	FrameCommitOK   byte = 0x8A // u64 commitGeneration
+	FrameRollbackOK byte = 0x8B // (empty)
 )
 
 // ProtocolVersion is the wire protocol revision negotiated by Hello.
-const ProtocolVersion = 1
+// Revision 2 added the write path: Exec/Begin/Commit/Rollback frames, a
+// statement-kind byte in PrepareOK, and the CONFLICT/WRONG_KIND/TX
+// error codes.
+const ProtocolVersion = 2
 
 // Wire language bytes carried by Prepare frames — the single source the
 // server's dispatch and the client package both alias.
@@ -76,6 +88,20 @@ const (
 	CodeUnknownCursor = "UNKNOWN_CURSOR" // cursor id not open in this session
 	CodeShutdown      = "SHUTDOWN"       // server is draining
 	CodeInternal      = "INTERNAL"       // recovered panic (engine.PanicError)
+	CodeConflict      = "CONFLICT"       // first-committer-wins write conflict
+	CodeWrongKind     = "WRONG_KIND"     // statement kind vs operation mismatch
+	CodeTx            = "TX"             // transaction-state misuse (e.g. COMMIT with no BEGIN)
+)
+
+// Wire statement-kind bytes carried by PrepareOK (the client-visible
+// projection of engine.StmtKind).
+const (
+	WireKindQuery    byte = 0
+	WireKindDML      byte = 1
+	WireKindDDL      byte = 2
+	WireKindBegin    byte = 3
+	WireKindCommit   byte = 4
+	WireKindRollback byte = 5
 )
 
 // WireError is a structured error received over (or destined for) the

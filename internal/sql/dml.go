@@ -1,0 +1,347 @@
+// dml.go extends the SQL surface beyond queries: INSERT/DELETE (DML),
+// CREATE TABLE (DDL), and BEGIN/COMMIT/ROLLBACK (transaction control),
+// unified under the Statement interface so the engine can prepare any
+// statement and dispatch on its kind. The write-path subset is
+// deliberately small — the paper's unification argument is about the
+// query languages; writes just need to exist so the system is a
+// database rather than a query service.
+package sql
+
+import "strings"
+
+// Statement is anything executable: every Query is a Statement, as are
+// the DML, DDL, and transaction-control nodes below.
+type Statement interface {
+	isStatement()
+	// String renders the statement as SQL text.
+	String() string
+}
+
+func (*Select) isStatement() {}
+func (*Union) isStatement()  {}
+func (*With) isStatement()   {}
+
+// Insert is INSERT INTO table [(cols)] VALUES (…), … or
+// INSERT INTO table [(cols)] query. Exactly one of Rows and Query is
+// set.
+type Insert struct {
+	Table string
+	// Cols optionally names the target columns; unnamed columns of the
+	// target receive NULL. Empty means the table's full column list in
+	// order.
+	Cols  []string
+	Rows  [][]Expr // VALUES form: literals, params, arithmetic
+	Query Query    // INSERT … SELECT form
+}
+
+func (*Insert) isStatement() {}
+
+// String renders the INSERT.
+func (i *Insert) String() string {
+	var b strings.Builder
+	b.WriteString("INSERT INTO ")
+	b.WriteString(i.Table)
+	if len(i.Cols) > 0 {
+		b.WriteString(" (" + strings.Join(i.Cols, ", ") + ")")
+	}
+	if i.Query != nil {
+		b.WriteString(" " + i.Query.String())
+		return b.String()
+	}
+	b.WriteString(" VALUES ")
+	for ri, row := range i.Rows {
+		if ri > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString("(" + joinExprs(row, ", ") + ")")
+	}
+	return b.String()
+}
+
+// Delete is DELETE FROM table [alias] [WHERE cond].
+type Delete struct {
+	Table string
+	Alias string
+	Where Expr
+}
+
+func (*Delete) isStatement() {}
+
+// Binding is the row-variable name WHERE resolves against: the alias if
+// present, else the table name.
+func (d *Delete) Binding() string {
+	if d.Alias != "" {
+		return d.Alias
+	}
+	return d.Table
+}
+
+// String renders the DELETE.
+func (d *Delete) String() string {
+	var b strings.Builder
+	b.WriteString("DELETE FROM ")
+	b.WriteString(d.Table)
+	if d.Alias != "" {
+		b.WriteString(" " + d.Alias)
+	}
+	if d.Where != nil {
+		b.WriteString(" WHERE " + d.Where.String())
+	}
+	return b.String()
+}
+
+// CreateTable is CREATE TABLE name (col [type], …). Column types are
+// accepted and discarded: values are dynamically typed, per the value
+// package.
+type CreateTable struct {
+	Name string
+	Cols []string
+}
+
+func (*CreateTable) isStatement() {}
+
+// String renders the CREATE TABLE.
+func (c *CreateTable) String() string {
+	return "CREATE TABLE " + c.Name + " (" + strings.Join(c.Cols, ", ") + ")"
+}
+
+// BeginStmt is BEGIN [TRANSACTION].
+type BeginStmt struct{}
+
+func (*BeginStmt) isStatement() {}
+
+// String renders BEGIN.
+func (*BeginStmt) String() string { return "BEGIN" }
+
+// CommitStmt is COMMIT.
+type CommitStmt struct{}
+
+func (*CommitStmt) isStatement() {}
+
+// String renders COMMIT.
+func (*CommitStmt) String() string { return "COMMIT" }
+
+// RollbackStmt is ROLLBACK.
+type RollbackStmt struct{}
+
+func (*RollbackStmt) isStatement() {}
+
+// String renders ROLLBACK.
+func (*RollbackStmt) String() string { return "ROLLBACK" }
+
+// MaxParamStmt is MaxParam over any statement: the largest placeholder
+// index used anywhere (0 when there are none).
+func MaxParamStmt(s Statement) int {
+	max := 0
+	bump := func(e Expr) {
+		// Walk requires a Query root; wrap the expression in a synthetic
+		// select item to reuse its expression traversal.
+		Walk(&Select{Items: []SelectItem{{Expr: e}}}, nil, func(x Expr) {
+			if p, ok := x.(*Param); ok && p.Index > max {
+				max = p.Index
+			}
+		}, nil)
+	}
+	switch x := s.(type) {
+	case Query:
+		return MaxParam(x)
+	case *Insert:
+		if x.Query != nil {
+			return MaxParam(x.Query)
+		}
+		for _, row := range x.Rows {
+			for _, e := range row {
+				bump(e)
+			}
+		}
+	case *Delete:
+		if x.Where != nil {
+			bump(x.Where)
+		}
+	}
+	return max
+}
+
+// ParseStatement parses any statement: queries via Parse's grammar, plus
+// INSERT, DELETE, CREATE TABLE, and BEGIN/COMMIT/ROLLBACK.
+func ParseStatement(src string) (Statement, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	st, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(";")
+	if !p.atEOF() {
+		return nil, p.errf("trailing input starting at %q", p.peek().text)
+	}
+	return st, nil
+}
+
+func (p *parser) parseStatement() (Statement, error) {
+	switch {
+	case p.peekKw("insert"):
+		return p.parseInsert()
+	case p.peekKw("delete"):
+		return p.parseDelete()
+	case p.peekKw("create"):
+		return p.parseCreateTable()
+	case p.acceptKw("begin"):
+		p.acceptKw("transaction")
+		return &BeginStmt{}, nil
+	case p.acceptKw("start", "transaction"):
+		return &BeginStmt{}, nil
+	case p.acceptKw("commit"):
+		p.acceptKw("transaction")
+		return &CommitStmt{}, nil
+	case p.acceptKw("rollback"):
+		p.acceptKw("transaction")
+		return &RollbackStmt{}, nil
+	}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	return q.(Statement), nil
+}
+
+// parseName consumes a non-reserved identifier (a table or column name).
+func (p *parser) parseName(what string) (string, error) {
+	t := p.peek()
+	if t.kind != tokIdent || reserved[t.text] {
+		return "", p.errf("expected %s, found %q", what, t.text)
+	}
+	p.pos++
+	return t.raw, nil
+}
+
+func (p *parser) parseInsert() (Statement, error) {
+	p.acceptKw("insert")
+	if err := p.expectKw("into"); err != nil {
+		return nil, err
+	}
+	name, err := p.parseName("table name")
+	if err != nil {
+		return nil, err
+	}
+	ins := &Insert{Table: name}
+	if p.accept("(") {
+		for {
+			col, err := p.parseName("column name")
+			if err != nil {
+				return nil, err
+			}
+			ins.Cols = append(ins.Cols, col)
+			if !p.accept(",") {
+				break
+			}
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+	}
+	if p.acceptKw("values") {
+		for {
+			if err := p.expect("("); err != nil {
+				return nil, err
+			}
+			var row []Expr
+			for {
+				e, err := p.parseAdditive()
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, e)
+				if !p.accept(",") {
+					break
+				}
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			ins.Rows = append(ins.Rows, row)
+			if !p.accept(",") {
+				break
+			}
+		}
+		return ins, nil
+	}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	ins.Query = q
+	return ins, nil
+}
+
+func (p *parser) parseDelete() (Statement, error) {
+	p.acceptKw("delete")
+	if err := p.expectKw("from"); err != nil {
+		return nil, err
+	}
+	name, err := p.parseName("table name")
+	if err != nil {
+		return nil, err
+	}
+	del := &Delete{Table: name}
+	p.acceptKw("as")
+	if t := p.peek(); t.kind == tokIdent && !reserved[t.text] {
+		p.pos++
+		del.Alias = t.raw
+	}
+	if p.acceptKw("where") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		del.Where = e
+	}
+	return del, nil
+}
+
+func (p *parser) parseCreateTable() (Statement, error) {
+	p.acceptKw("create")
+	if err := p.expectKw("table"); err != nil {
+		return nil, err
+	}
+	name, err := p.parseName("table name")
+	if err != nil {
+		return nil, err
+	}
+	ct := &CreateTable{Name: name}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.parseName("column name")
+		if err != nil {
+			return nil, err
+		}
+		ct.Cols = append(ct.Cols, col)
+		// Optional type annotation(s): swallow identifiers up to the next
+		// ',' or ')' — "x int", "name text not null" all parse; the engine
+		// is dynamically typed and ignores them.
+		for {
+			t := p.peek()
+			if t.kind == tokIdent && !reserved[t.text] {
+				p.pos++
+				continue
+			}
+			if t.kind == tokIdent && (t.text == "not" || t.text == "null") {
+				p.pos++
+				continue
+			}
+			break
+		}
+		if !p.accept(",") {
+			break
+		}
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	return ct, nil
+}

@@ -1,0 +1,94 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseStatementKinds(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string // rendered form (round-trip pin)
+	}{
+		{"INSERT INTO t VALUES (1, 'a'), (2, 'b')", "INSERT INTO t VALUES (1, 'a'), (2, 'b')"},
+		{"insert into t (x, y) values ($1, $2);", "INSERT INTO t (x, y) VALUES ($1, $2)"},
+		{"INSERT INTO t SELECT x FROM s", "INSERT INTO t SELECT x FROM s"},
+		{"INSERT INTO t (x) SELECT x FROM s WHERE x > 3", "INSERT INTO t (x) SELECT x FROM s WHERE x > 3"},
+		{"DELETE FROM t", "DELETE FROM t"},
+		{"DELETE FROM t WHERE x = $1", "DELETE FROM t WHERE x = $1"},
+		{"DELETE FROM t u WHERE u.x > 2", "DELETE FROM t u WHERE u.x > 2"},
+		{"CREATE TABLE t (x int, y text)", "CREATE TABLE t (x, y)"},
+		{"create table t (x, y)", "CREATE TABLE t (x, y)"},
+		{"BEGIN", "BEGIN"},
+		{"begin transaction;", "BEGIN"},
+		{"START TRANSACTION", "BEGIN"},
+		{"COMMIT", "COMMIT"},
+		{"ROLLBACK;", "ROLLBACK"},
+		{"SELECT x FROM t WHERE x = 1", "SELECT x FROM t WHERE x = 1"},
+	}
+	for _, c := range cases {
+		st, err := ParseStatement(c.src)
+		if err != nil {
+			t.Errorf("ParseStatement(%q): %v", c.src, err)
+			continue
+		}
+		if got := st.String(); got != c.want {
+			t.Errorf("ParseStatement(%q).String() = %q, want %q", c.src, got, c.want)
+		}
+	}
+}
+
+func TestParseStatementErrors(t *testing.T) {
+	for _, src := range []string{
+		"INSERT t VALUES (1)",        // missing INTO
+		"INSERT INTO t",              // no VALUES or query
+		"INSERT INTO t VALUES 1",     // unparenthesized row
+		"DELETE t",                   // missing FROM
+		"CREATE TABLE t",             // missing column list
+		"CREATE TABLE (x)",           // missing name
+		"DELETE FROM t WHERE",        // dangling WHERE
+		"INSERT INTO t VALUES (1) x", // trailing input
+		"CREATE TABLE select (x)",    // reserved name
+	} {
+		if _, err := ParseStatement(src); err == nil {
+			t.Errorf("ParseStatement(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestMaxParamStmt(t *testing.T) {
+	cases := []struct {
+		src  string
+		want int
+	}{
+		{"INSERT INTO t VALUES ($1, $3)", 3},
+		{"INSERT INTO t VALUES (1, 2)", 0},
+		{"INSERT INTO t SELECT x FROM s WHERE x = $2", 2},
+		{"DELETE FROM t WHERE x = $4", 4},
+		{"DELETE FROM t", 0},
+		{"SELECT x FROM t WHERE x = $1", 1},
+		{"BEGIN", 0},
+	}
+	for _, c := range cases {
+		st, err := ParseStatement(c.src)
+		if err != nil {
+			t.Fatalf("ParseStatement(%q): %v", c.src, err)
+		}
+		if got := MaxParamStmt(st); got != c.want {
+			t.Errorf("MaxParamStmt(%q) = %d, want %d", c.src, got, c.want)
+		}
+	}
+}
+
+func TestParseStatementQueryStillWorks(t *testing.T) {
+	st, err := ParseStatement("WITH v AS (SELECT x FROM t) SELECT x FROM v UNION SELECT y FROM u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.(Query); !ok {
+		t.Fatalf("expected a Query statement, got %T", st)
+	}
+	if !strings.HasPrefix(st.String(), "WITH v AS") {
+		t.Fatalf("bad render: %s", st.String())
+	}
+}
