@@ -258,6 +258,50 @@ func BenchmarkPreparedVsReparse(b *testing.B) {
 	})
 }
 
+// BenchmarkTracedVsUntraced pins the observability overhead contract:
+// tracing disabled costs nothing (the untraced cursor path is the same
+// with or without the trace package compiled in), and tracing enabled
+// stays within small-constant-factor territory on a point query — both
+// shapes drain the same prepared statement through a streaming cursor.
+func BenchmarkTracedVsUntraced(b *testing.B) {
+	rng := workload.Rand(23)
+	r := workload.RandomBinary(rng, "R", "A", "B", 20000, 20000, 64)
+	db := engine.Open(r)
+	stmt, err := db.Prepare(engine.LangSQL, "select R.A, R.B from R where R.A = $1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.Run("untraced", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rows, err := stmt.Query(ctx, i%20000)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for rows.Next() {
+			}
+			if err := rows.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("traced", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rows, _, err := stmt.QueryTraced(ctx, i%20000)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for rows.Next() {
+			}
+			if err := rows.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkConcurrentSessions measures N goroutines sharing one DB and
 // one prepared statement — the race-safe concurrent-session contract
 // under load (indexes, plan, and statement cache all shared).

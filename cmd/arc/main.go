@@ -18,6 +18,9 @@
 //	                      exec-operator pipeline per quantifier scope
 //	                      (plus, for -lang sql, the SQL planner's plan),
 //	                      or why a scope stays on enumeration
+//	-explain-analyze      run the query (locally or, with -connect, on
+//	                      the server) and print the executed plan with
+//	                      actual row counts and timings instead of rows
 //
 // Data files list relations as "Name(attr1,attr2)" header lines followed
 // by comma-separated rows; "null" is NULL; everything parseable as a
@@ -49,6 +52,7 @@ func main() {
 	convName := flag.String("conv", "set", "conventions: set|sql|sqldistinct|souffle")
 	doLint := flag.Bool("lint", false, "run the COUNT-bug lint")
 	doExplain := flag.Bool("explain", false, "print the tuple-level query plan")
+	doAnalyze := flag.Bool("explain-analyze", false, "run the query and print the executed plan with actual rows and timings (instead of the rows)")
 	connect := flag.String("connect", "", "arcserve address: -eval runs on the server instead of in-process (-db/-conv stay server-side)")
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -69,8 +73,8 @@ func main() {
 	if err != nil {
 		// SQL queries outside the ARC translation fragment (e.g. WITH
 		// RECURSIVE) still evaluate and explain through the SQL engine.
-		if *lang == "sql" && (*doEval || *doExplain) {
-			runSQLOnly(src, *dbPath, *doExplain, *doEval, *connect)
+		if *lang == "sql" && (*doEval || *doExplain || *doAnalyze) {
+			runSQLOnly(src, *dbPath, *doExplain, *doEval, *doAnalyze, *connect)
 			return
 		}
 		die(err)
@@ -97,6 +101,26 @@ func main() {
 	}
 	if err := render(col, *out); err != nil {
 		die(err)
+	}
+	if *doAnalyze {
+		if *connect != "" {
+			remoteAnalyze(*connect, *lang, src, col)
+			return
+		}
+		cat, _, err := loadCatalog(*dbPath)
+		if err != nil {
+			die(err)
+		}
+		stmt, err := core.OpenEngineCatalog(cat).PrepareARCCollection(col, conventionsByName(*convName))
+		if err != nil {
+			die(err)
+		}
+		text, err := stmt.ExplainAnalyze(context.Background())
+		if err != nil {
+			die(err)
+		}
+		fmt.Print(text)
+		return
 	}
 	if *doExplain || *doEval {
 		cat, rels, err := loadCatalog(*dbPath)
@@ -180,10 +204,40 @@ func remoteEval(addr, lang, src string, col *core.Collection) {
 	fmt.Print(res.String())
 }
 
+// remoteAnalyze runs EXPLAIN ANALYZE in an arcserve daemon via the
+// Analyze wire frame and prints the rendered executed plan.
+func remoteAnalyze(addr, lang, src string, col *core.Collection) {
+	c, err := client.Dial(addr)
+	if err != nil {
+		die(err)
+	}
+	defer c.Close()
+	wireLang, wireSrc := client.LangARC, src
+	if lang == "sql" {
+		wireLang = client.LangSQL
+	} else if col != nil {
+		wireSrc = col.String()
+	}
+	stmt, err := c.Prepare(wireLang, wireSrc)
+	if err != nil {
+		die(err)
+	}
+	defer stmt.Close()
+	text, err := stmt.ExplainAnalyze()
+	if err != nil {
+		die(err)
+	}
+	fmt.Print(text)
+}
+
 // runSQLOnly evaluates and explains a SQL query that has no ARC
 // translation (recursive CTEs and other fragments the translator does
 // not cover) directly through the engine's SQL path.
-func runSQLOnly(src, dbPath string, doExplain, doEval bool, connect string) {
+func runSQLOnly(src, dbPath string, doExplain, doEval, doAnalyze bool, connect string) {
+	if doAnalyze && connect != "" {
+		remoteAnalyze(connect, "sql", src, nil)
+		return
+	}
 	if doEval && connect != "" && !doExplain {
 		// Pure remote evaluation: the server holds the data, so skip the
 		// local catalog and prepare entirely.
@@ -219,6 +273,14 @@ func runSQLOnly(src, dbPath string, doExplain, doEval bool, connect string) {
 			// Genuine errors must fail, not render as a planner bailout.
 			die(err)
 		}
+	}
+	if doAnalyze {
+		text, err := stmt.ExplainAnalyze(context.Background())
+		if err != nil {
+			die(err)
+		}
+		fmt.Print(text)
+		return
 	}
 	if doEval {
 		if connect != "" {

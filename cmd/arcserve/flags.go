@@ -1,13 +1,18 @@
 package main
 
-import "flag"
+import (
+	"flag"
+	"time"
+)
 
 // newFlags builds the daemon's flag set (split out for testability).
-func newFlags(addr, dbPath, metrics *string, fetch *int, verbose *bool) *flag.FlagSet {
+func newFlags(addr, dbPath, metrics, slowLog *string, slowMs *time.Duration, fetch *int, verbose *bool) *flag.FlagSet {
 	fs := flag.NewFlagSet("arcserve", flag.ContinueOnError)
 	fs.StringVar(addr, "addr", "127.0.0.1:7878", "listen address")
 	fs.StringVar(dbPath, "db", "", "data file to load")
 	fs.StringVar(metrics, "metrics", "", "HTTP metrics address (empty = off)")
+	fs.StringVar(slowLog, "slow-log", "", "slow-query log file, JSON lines (\"-\" = stderr, empty = off)")
+	fs.DurationVar(slowMs, "slow-threshold", 100*time.Millisecond, "statements at least this slow are logged (with -slow-log)")
 	fs.IntVar(fetch, "fetch", 0, "default Fetch batch size (0 = server default)")
 	fs.BoolVar(verbose, "v", false, "log connection-level diagnostics")
 	return fs

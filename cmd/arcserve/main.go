@@ -9,7 +9,13 @@
 //
 //	-addr host:port      listen address (default 127.0.0.1:7878)
 //	-db file             data file to load (see internal/dbfile format)
-//	-metrics host:port   serve /metrics JSON on this address ("" = off)
+//	-metrics host:port   serve /metrics on this address ("" = off):
+//	                     Prometheus text format by default,
+//	                     ?format=json for the JSON snapshot
+//	-slow-log file       structured slow-query log, one JSON object per
+//	                     line ("-" = stderr, "" = off)
+//	-slow-threshold d    statements at least this slow are logged
+//	                     (default 100ms)
 //	-fetch N             default Fetch batch size (rows)
 //	-v                   log connection-level diagnostics
 //
@@ -21,6 +27,7 @@ package main
 import (
 	"context"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
@@ -46,10 +53,12 @@ func run() error {
 		addr    string
 		dbPath  string
 		metrics string
+		slowLog string
+		slowMs  time.Duration
 		fetch   int
 		verbose bool
 	)
-	fs := newFlags(&addr, &dbPath, &metrics, &fetch, &verbose)
+	fs := newFlags(&addr, &dbPath, &metrics, &slowLog, &slowMs, &fetch, &verbose)
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		return err
 	}
@@ -63,6 +72,19 @@ func run() error {
 		}
 	}
 	db := engine.Open(rels...)
+	if slowLog != "" {
+		w := io.Writer(os.Stderr)
+		if slowLog != "-" {
+			f, err := os.OpenFile(slowLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		db.SetSlowQueryLog(w, slowMs)
+		log.Printf("arcserve: slow-query log (>= %v) to %s", slowMs, slowLog)
+	}
 	opts := server.Options{FetchRows: fetch}
 	if verbose {
 		opts.Logf = log.Printf

@@ -13,7 +13,9 @@
 //
 // With a query argument it runs once and exits; without one it reads
 // queries from stdin, one per line. REPL meta-commands: "\lang sql",
-// "\lang arc", "\lang datalog" switch languages, "\q" quits.
+// "\lang arc", "\lang datalog" switch languages, "\analyze <query>"
+// runs EXPLAIN ANALYZE server-side and prints the executed plan with
+// actual row counts and timings, "\q" quits.
 package main
 
 import (
@@ -66,6 +68,13 @@ func main() {
 			} else {
 				fmt.Fprintf(os.Stderr, "unknown language %q\n", name)
 			}
+		case strings.HasPrefix(line, `\analyze`):
+			src := strings.TrimSpace(strings.TrimPrefix(line, `\analyze`))
+			if src == "" {
+				fmt.Fprintln(os.Stderr, `usage: \analyze <query>`)
+			} else if err := runAnalyze(c, lang, src); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+			}
 		default:
 			// Statement-level errors keep the session (and the REPL) alive.
 			if err := runQuery(c, lang, line); err != nil {
@@ -91,6 +100,23 @@ func langByName(name string) (client.Lang, bool) {
 		return client.LangDatalog, true
 	}
 	return 0, false
+}
+
+// runAnalyze runs EXPLAIN ANALYZE server-side: the query executes to
+// completion with operator tracing on and only the rendered plan comes
+// back over the wire.
+func runAnalyze(c *client.Conn, lang client.Lang, src string) error {
+	stmt, err := c.Prepare(lang, src)
+	if err != nil {
+		return err
+	}
+	defer stmt.Close()
+	text, err := stmt.ExplainAnalyze()
+	if err != nil {
+		return err
+	}
+	fmt.Print(text)
+	return nil
 }
 
 // runQuery prepares one statement and routes it by kind: queries stream

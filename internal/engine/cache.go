@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/convention"
 )
@@ -23,6 +24,9 @@ type stmtCache struct {
 	cap     int
 	order   *list.List // front = most recently used; values are *cacheEntry
 	entries map[string]*list.Element
+	// evictions counts capacity evictions (LRU entries pushed out by new
+	// stores, not stale-generation removals) — the cache-undersized signal.
+	evictions atomic.Uint64
 }
 
 type cacheEntry struct {
@@ -79,8 +83,12 @@ func (c *stmtCache) store(key string, s *Stmt, gen uint64) {
 		last := c.order.Back()
 		c.order.Remove(last)
 		delete(c.entries, last.Value.(*cacheEntry).key)
+		c.evictions.Add(1)
 	}
 }
+
+// Evictions reports how many entries capacity pressure has evicted.
+func (c *stmtCache) Evictions() uint64 { return c.evictions.Load() }
 
 // Len reports the number of cached statements (for tests).
 func (c *stmtCache) Len() int {

@@ -96,26 +96,76 @@ type DB struct {
 	prepares  atomic.Uint64
 	cacheHits atomic.Uint64
 
+	// Exec-path counters (see DBStats): per-kind execution counts, the
+	// write path's conflict/retry totals, and transaction boundaries.
+	queryExecs      atomic.Uint64
+	dmlExecs        atomic.Uint64
+	ddlExecs        atomic.Uint64
+	conflicts       atomic.Uint64
+	conflictRetries atomic.Uint64
+	txBegins        atomic.Uint64
+	txCommits       atomic.Uint64
+	txRollbacks     atomic.Uint64
+	slowQueries     atomic.Uint64
+
+	// slow is the installed slow-query log, nil when disabled (the
+	// per-execution cost of the disabled path is one pointer load).
+	slow atomic.Pointer[slowLog]
+
 	// catMu guards the per-generation memoized snapshot catalog.
 	catMu    sync.Mutex
 	catGen   uint64
 	catCache *eval.Catalog
 }
 
-// DBStats is a point-in-time snapshot of the DB's prepare-path counters.
+// DBStats is a point-in-time snapshot of the DB's execution counters:
+// the prepare path (statement-cache capacity planning), the per-kind
+// execution counts, the write path's conflict behaviour, transaction
+// boundaries, and the underlying store's commit-path counters.
 type DBStats struct {
-	Prepares  uint64 // Prepare calls (including one-shot Query/QueryAll)
-	CacheHits uint64 // Prepares served from the statement cache
-	CacheLen  int    // statements currently cached
+	Prepares       uint64 // Prepare calls (including one-shot Query/QueryAll)
+	CacheHits      uint64 // Prepares served from the statement cache
+	CacheLen       int    // statements currently cached
+	CacheEvictions uint64 // statements evicted past the LRU capacity
+
+	QueryExecs uint64 // query executions (Query/QueryAll/QueryTraced)
+	DMLExecs   uint64 // DML executions (INSERT/DELETE/fact ops)
+	DDLExecs   uint64 // DDL executions (CREATE/DROP TABLE)
+
+	Conflicts       uint64 // first-committer-wins commit rejections seen by the engine
+	ConflictRetries uint64 // autocommit executions retried after a conflict
+
+	TxBegins    uint64 // transactions opened
+	TxCommits   uint64 // transactions committed successfully
+	TxRollbacks uint64 // transactions rolled back
+
+	SlowQueries uint64 // statements recorded by the slow-query log
+
+	// Store is the MVCC store's own commit-path view: generation,
+	// published commits, and conflict rejections (which include
+	// conflicts raised against write sets the engine retried).
+	Store relation.StoreStats
 }
 
-// Stats snapshots the prepare-path counters. HitRate is
-// CacheHits/Prepares; servers export it for capacity planning.
+// Stats snapshots the execution counters. Cache hit rate is
+// CacheHits/Prepares; servers export the whole block for capacity
+// planning and conflict monitoring.
 func (db *DB) Stats() DBStats {
 	return DBStats{
-		Prepares:  db.prepares.Load(),
-		CacheHits: db.cacheHits.Load(),
-		CacheLen:  db.cache.Len(),
+		Prepares:        db.prepares.Load(),
+		CacheHits:       db.cacheHits.Load(),
+		CacheLen:        db.cache.Len(),
+		CacheEvictions:  db.cache.Evictions(),
+		QueryExecs:      db.queryExecs.Load(),
+		DMLExecs:        db.dmlExecs.Load(),
+		DDLExecs:        db.ddlExecs.Load(),
+		Conflicts:       db.conflicts.Load(),
+		ConflictRetries: db.conflictRetries.Load(),
+		TxBegins:        db.txBegins.Load(),
+		TxCommits:       db.txCommits.Load(),
+		TxRollbacks:     db.txRollbacks.Load(),
+		SlowQueries:     db.slowQueries.Load(),
+		Store:           db.store.Stats(),
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/relation"
 	"repro/internal/sql"
@@ -58,7 +59,10 @@ func (db *DB) Exec(ctx context.Context, lang Lang, src string, args ...any) (Res
 func (s *Stmt) Exec(ctx context.Context, args ...any) (res Result, err error) {
 	defer recoverTo(&err, "exec")
 	switch s.kind {
-	case KindDML, KindDDL:
+	case KindDML:
+		s.db.dmlExecs.Add(1)
+	case KindDDL:
+		s.db.ddlExecs.Add(1)
 	case KindQuery:
 		return Result{}, fmt.Errorf("engine: query statement returns rows; use Query")
 	default:
@@ -74,10 +78,19 @@ func (s *Stmt) Exec(ctx context.Context, args ...any) (res Result, err error) {
 			return Result{}, err
 		}
 	}
+	start := time.Now()
 	if s.tx != nil {
-		return s.tx.exec(s, vals, check)
+		res, err := s.tx.exec(s, vals, check)
+		if err == nil {
+			s.db.observeSlow(s.lang, s.kind, s.src, time.Since(start), res.RowsAffected, 0, nil)
+		}
+		return res, err
 	}
-	return s.autocommit(vals, check)
+	res, retries, err := s.autocommit(vals, check)
+	if err == nil {
+		s.db.observeSlow(s.lang, s.kind, s.src, time.Since(start), res.RowsAffected, retries, nil)
+	}
+	return res, err
 }
 
 // autocommit applies the statement to a fresh write set against the
@@ -86,12 +99,13 @@ func (s *Stmt) Exec(ctx context.Context, args ...any) (res Result, err error) {
 // matching-rows query, INSERT … SELECT) are recompiled against each
 // retry's snapshot; snapshot-independent statements (INSERT … VALUES,
 // CREATE TABLE, fact ops) re-apply as compiled.
-func (s *Stmt) autocommit(vals []value.Value, check func() error) (Result, error) {
+// The retry count it reports feeds the slow-query log.
+func (s *Stmt) autocommit(vals []value.Value, check func() error) (Result, int, error) {
 	db := s.db
 	for attempt := 0; ; attempt++ {
 		if check != nil {
 			if err := check(); err != nil {
-				return Result{}, err
+				return Result{}, attempt, err
 			}
 		}
 		ws := db.store.Begin()
@@ -99,22 +113,27 @@ func (s *Stmt) autocommit(vals []value.Value, check func() error) (Result, error
 		if s.q != nil && s.gen != ws.Base().Gen() {
 			fresh, err := compileStmt(db, s.lang, s.src, s.pred, copyRels(ws.Base().Rels()), db.catalogAt(ws.Base()), s.conv)
 			if err != nil {
-				return Result{}, err
+				return Result{}, attempt, err
 			}
 			fresh.gen = ws.Base().Gen()
 			cur = fresh
 		}
 		n, err := cur.applyTo(ws, vals, check)
 		if err != nil {
-			return Result{}, err
+			return Result{}, attempt, err
 		}
 		snap, err := db.store.Commit(ws)
 		if err == nil {
-			return Result{RowsAffected: n, Generation: snap.Gen()}, nil
+			return Result{RowsAffected: n, Generation: snap.Gen()}, attempt, nil
 		}
-		if !errors.Is(err, relation.ErrConflict) || attempt >= maxExecRetries {
-			return Result{}, err
+		if errors.Is(err, relation.ErrConflict) {
+			db.conflicts.Add(1)
+			if attempt < maxExecRetries {
+				db.conflictRetries.Add(1)
+				continue
+			}
 		}
+		return Result{}, attempt, err
 	}
 }
 
@@ -132,6 +151,11 @@ func (s *Stmt) applyTo(ws *relation.WriteSet, vals []value.Value, check func() e
 		return s.applyDelete(ws, st, vals, check)
 	case *sql.CreateTable:
 		if err := ws.Create(st.Name, st.Cols); err != nil {
+			return 0, err
+		}
+		return 0, nil
+	case *sql.DropTable:
+		if err := ws.Drop(st.Name); err != nil {
 			return 0, err
 		}
 		return 0, nil

@@ -25,6 +25,12 @@ type Rows struct {
 	rem    int // remaining occurrences of cur (bag multiplicity)
 	err    error
 	closed bool
+
+	// nrows counts row occurrences handed out; onDone, when set, fires
+	// exactly once when the cursor finishes (exhaustion, error, or Close)
+	// with the final count — the engine's tracing and slow-query-log hook.
+	nrows  int64
+	onDone func(rows int64)
 }
 
 // newRows wraps a streaming sequence. errFn reports the execution error
@@ -52,6 +58,7 @@ func (r *Rows) Next() bool {
 	}
 	if r.rem > 1 {
 		r.rem--
+		r.nrows++
 		return true
 	}
 	// Polled once per pulled row: a cursor advance already pays a
@@ -72,6 +79,7 @@ func (r *Rows) Next() bool {
 		return false
 	}
 	r.cur, r.rem = t, m
+	r.nrows++
 	return true
 }
 
@@ -87,6 +95,7 @@ func (r *Rows) pull() (t relation.Tuple, m int, ok bool) {
 			r.closed = true
 			r.cur, r.rem = nil, 0
 			t, m, ok = nil, 0, false
+			r.fireDone()
 		}
 	}()
 	return r.next()
@@ -207,6 +216,7 @@ func (r *Rows) fail(err error) {
 		r.cur, r.rem = nil, 0
 		r.stop()
 	}
+	r.fireDone()
 }
 
 // finish stops the iterator and surfaces any execution error. The
@@ -218,5 +228,15 @@ func (r *Rows) finish() {
 	r.stop()
 	if r.err == nil {
 		r.err = r.errFn()
+	}
+	r.fireDone()
+}
+
+// fireDone invokes the completion hook exactly once.
+func (r *Rows) fireDone() {
+	if r.onDone != nil {
+		f := r.onDone
+		r.onDone = nil
+		f(r.nrows)
 	}
 }

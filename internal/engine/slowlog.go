@@ -1,0 +1,95 @@
+// slowlog.go is the engine's structured slow-query log: a JSON-lines
+// stream of every statement whose execution crossed a configurable
+// duration threshold, recording a stable statement fingerprint (so log
+// aggregation groups re-executions of one statement regardless of bound
+// arguments), the statement kind, duration, row count, conflict retries,
+// and — for traced queries — the operator trace summary.
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// SlowQueryEntry is one line of the slow-query log, serialized as JSON.
+type SlowQueryEntry struct {
+	// Time is the completion time, RFC 3339 with nanoseconds, UTC.
+	Time string `json:"time"`
+	// Fingerprint identifies the statement text (FNV-64a over language
+	// and source), stable across executions and argument values.
+	Fingerprint string  `json:"fingerprint"`
+	Lang        string  `json:"lang"`
+	Kind        string  `json:"kind"`
+	Source      string  `json:"source"`
+	DurationMS  float64 `json:"duration_ms"`
+	// Rows counts rows returned (queries) or affected (writes).
+	Rows int64 `json:"rows"`
+	// Retries counts autocommit conflict retries (writes only).
+	Retries int `json:"retries,omitempty"`
+	// Trace is the operator trace summary when the execution was traced.
+	Trace string `json:"trace,omitempty"`
+}
+
+// slowLog is the installed sink: writes are serialized under mu so
+// concurrent sessions emit whole lines.
+type slowLog struct {
+	mu        sync.Mutex
+	w         io.Writer
+	threshold time.Duration
+}
+
+// SetSlowQueryLog installs (or, with a nil writer, removes) the
+// slow-query log: statements that run for threshold or longer append one
+// JSON line to w. The writer is serialized internally; installation is
+// atomic with respect to in-flight executions.
+func (db *DB) SetSlowQueryLog(w io.Writer, threshold time.Duration) {
+	if w == nil {
+		db.slow.Store(nil)
+		return
+	}
+	db.slow.Store(&slowLog{w: w, threshold: threshold})
+}
+
+// Fingerprint returns the slow-query-log identity of a statement text:
+// 16 hex digits of FNV-64a over the language name and source.
+func Fingerprint(lang Lang, src string) string {
+	h := fnv.New64a()
+	io.WriteString(h, lang.String())
+	h.Write([]byte{0})
+	io.WriteString(h, src)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// observeSlow records one finished execution, emitting a log line when
+// the slow-query log is installed and the duration crosses its
+// threshold. The disabled path is one atomic pointer load.
+func (db *DB) observeSlow(lang Lang, kind StmtKind, src string, d time.Duration, rows int64, retries int, tr *trace.Trace) {
+	sl := db.slow.Load()
+	if sl == nil || d < sl.threshold {
+		return
+	}
+	db.slowQueries.Add(1)
+	line, err := json.Marshal(SlowQueryEntry{
+		Time:        time.Now().UTC().Format(time.RFC3339Nano),
+		Fingerprint: Fingerprint(lang, src),
+		Lang:        lang.String(),
+		Kind:        kind.String(),
+		Source:      src,
+		DurationMS:  float64(d) / float64(time.Millisecond),
+		Rows:        rows,
+		Retries:     retries,
+		Trace:       tr.Summary(),
+	})
+	if err != nil {
+		return
+	}
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	sl.w.Write(append(line, '\n'))
+}

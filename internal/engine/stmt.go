@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/alt"
 	"repro/internal/arc"
@@ -15,6 +17,7 @@ import (
 	"repro/internal/relation"
 	"repro/internal/sql"
 	"repro/internal/sqleval"
+	"repro/internal/trace"
 	"repro/internal/value"
 )
 
@@ -124,6 +127,11 @@ type Stmt struct {
 	// Datalog
 	prog *datalog.Program
 	pred string
+
+	// lastTrace holds the trace of the most recent traced execution
+	// through this handle (QueryTraced / ExplainAnalyze), for callers
+	// that drain a cursor first and inspect the statistics after.
+	lastTrace atomic.Pointer[trace.Trace]
 }
 
 // compileStmt prepares one statement in the given language.
@@ -166,6 +174,11 @@ func compileSQL(db *DB, src string, rels map[string]*relation.Relation) (*Stmt, 
 				return nil, fmt.Errorf("engine: CREATE TABLE %s: duplicate column %q", x.Name, c)
 			}
 			seen[c] = true
+		}
+		return &Stmt{db: db, lang: LangSQL, kind: KindDDL, src: src, st: x, refs: []string{x.Name}}, nil
+	case *sql.DropTable:
+		if _, ok := rels[x.Name]; !ok {
+			return nil, fmt.Errorf("engine: DROP TABLE %s: unknown relation", x.Name)
 		}
 		return &Stmt{db: db, lang: LangSQL, kind: KindDDL, src: src, st: x, refs: []string{x.Name}}, nil
 	case *sql.BeginStmt:
@@ -565,6 +578,7 @@ func (s *Stmt) Query(ctx context.Context, args ...any) (rows *Rows, err error) {
 	if s.kind != KindQuery {
 		return nil, errNotRows(s.kind)
 	}
+	orig := s
 	s, err = s.current()
 	if err != nil {
 		return nil, err
@@ -579,19 +593,40 @@ func (s *Stmt) Query(ctx context.Context, args ...any) (rows *Rows, err error) {
 			return nil, err
 		}
 	}
+	s.db.queryExecs.Add(1)
+	start := time.Time{}
+	if s.db.slow.Load() != nil {
+		start = time.Now()
+	}
 	if s.lang == LangSQL && s.plan != nil {
 		seq, errFn := s.plan.Stream(vals, check)
-		return newRows(s.cols, seq, errFn, check), nil
+		rows = newRows(s.cols, seq, errFn, check)
+	} else {
+		rel, err := s.execMaterialized(vals, inputs, check)
+		if err != nil {
+			return nil, err
+		}
+		cols := s.cols
+		if cols == nil {
+			cols = rel.Attrs()
+		}
+		rows = relationRows(cols, rel, check)
 	}
-	rel, err := s.execMaterialized(vals, inputs, check)
-	if err != nil {
-		return nil, err
+	orig.hookSlowLog(rows, start)
+	return rows, nil
+}
+
+// hookSlowLog arms a cursor's completion hook for the slow-query log,
+// measuring from start (execution begin) to cursor completion. When the
+// log is disabled (zero start) this is a no-op, so the untraced query
+// path allocates nothing extra.
+func (s *Stmt) hookSlowLog(rows *Rows, start time.Time) {
+	if start.IsZero() || s.db.slow.Load() == nil {
+		return
 	}
-	cols := s.cols
-	if cols == nil {
-		cols = rel.Attrs()
+	rows.onDone = func(n int64) {
+		s.db.observeSlow(s.lang, s.kind, s.src, time.Since(start), n, 0, nil)
 	}
-	return relationRows(cols, rel, check), nil
 }
 
 // QueryAll executes the statement and materializes the full result
@@ -616,8 +651,164 @@ func (s *Stmt) QueryAll(ctx context.Context, args ...any) (rel *relation.Relatio
 			return nil, err
 		}
 	}
+	s.db.queryExecs.Add(1)
+	start := time.Time{}
+	if s.db.slow.Load() != nil {
+		start = time.Now()
+	}
 	if s.lang == LangSQL && s.plan != nil {
-		return s.plan.ExecuteWith(vals, check)
+		rel, err = s.plan.ExecuteWith(vals, check)
+	} else {
+		rel, err = s.execMaterialized(vals, inputs, check)
+	}
+	if err == nil && !start.IsZero() {
+		s.db.observeSlow(s.lang, s.kind, s.src, time.Since(start), int64(rel.Card()), 0, nil)
+	}
+	return rel, err
+}
+
+// LastTrace returns the operator trace of this handle's most recent
+// traced execution (QueryTraced or ExplainAnalyze), or nil when the
+// statement has never been traced. The trace is fully populated only
+// after the traced cursor has been drained or closed.
+func (s *Stmt) LastTrace() *trace.Trace { return s.lastTrace.Load() }
+
+// QueryTraced is Query with operator-level tracing enabled: per-operator
+// row counts and timings, hash-join build/probe statistics, and fixpoint
+// round history accumulate into the returned trace as the cursor is
+// consumed. The trace's totals (Rows, Elapsed) are set when the cursor
+// finishes. Untraced executions of the same statement are unaffected —
+// tracing state lives in the per-execution trace, never on the plan.
+func (s *Stmt) QueryTraced(ctx context.Context, args ...any) (rows *Rows, tr *trace.Trace, err error) {
+	defer recoverTo(&err, "query")
+	if s.kind != KindQuery {
+		return nil, nil, errNotRows(s.kind)
+	}
+	tr = trace.New()
+	s.lastTrace.Store(tr)
+	rows, _, err = s.queryTraced(ctx, tr, args)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rows, tr, nil
+}
+
+// queryTraced runs the traced execution, returning the cursor and the
+// resolved (possibly transaction-recompiled) statement.
+func (s *Stmt) queryTraced(ctx context.Context, tr *trace.Trace, args []any) (*Rows, *Stmt, error) {
+	cur, err := s.current()
+	if err != nil {
+		return nil, nil, err
+	}
+	vals, inputs, err := cur.splitArgs(args)
+	if err != nil {
+		return nil, nil, err
+	}
+	check := checkFromCtx(ctx)
+	if check != nil {
+		if err := check(); err != nil {
+			return nil, nil, err
+		}
+	}
+	cur.db.queryExecs.Add(1)
+	start := time.Now()
+	var rows *Rows
+	if cur.lang == LangSQL && cur.plan != nil {
+		seq, errFn := cur.plan.StreamTraced(vals, check, tr)
+		rows = newRows(cur.cols, seq, errFn, check)
+	} else {
+		rel, err := cur.execTracedMaterialized(vals, inputs, check, tr)
+		if err != nil {
+			return nil, nil, err
+		}
+		cols := cur.cols
+		if cols == nil {
+			cols = rel.Attrs()
+		}
+		rows = relationRows(cols, rel, check)
+	}
+	db, lang, kind, src := s.db, s.lang, s.kind, s.src
+	rows.onDone = func(n int64) {
+		tr.Rows = n
+		tr.Elapsed = time.Since(start)
+		db.observeSlow(lang, kind, src, tr.Elapsed, n, 0, tr)
+	}
+	return rows, cur, nil
+}
+
+// ExplainAnalyze executes the query to completion with tracing enabled
+// and renders the executed plan annotated with actual row counts,
+// per-operator timings, join build/probe statistics, and — for
+// recursive queries — per-round fixpoint delta sizes. SQL statements
+// outside the planner fragment return the planner's bailout reason
+// (there is no operator tree to annotate); Datalog statements have no
+// plan rendering.
+func (s *Stmt) ExplainAnalyze(ctx context.Context, args ...any) (text string, err error) {
+	defer recoverTo(&err, "analyze")
+	if s.kind != KindQuery {
+		return "", fmt.Errorf("engine: no EXPLAIN ANALYZE for %s statements", s.kind)
+	}
+	tr := trace.New()
+	s.lastTrace.Store(tr)
+	rows, cur, err := s.queryTraced(ctx, tr, args)
+	if err != nil {
+		return "", err
+	}
+	for rows.Next() {
+	}
+	if err := rows.Close(); err != nil {
+		return "", err
+	}
+	return cur.renderAnalyze(tr)
+}
+
+// renderAnalyze renders the annotated executed plan for one finished
+// traced execution.
+func (s *Stmt) renderAnalyze(tr *trace.Trace) (string, error) {
+	var b strings.Builder
+	switch s.lang {
+	case LangSQL:
+		if s.plan == nil {
+			if s.planErr != nil {
+				return "", s.planErr
+			}
+			return "", fmt.Errorf("engine: no plan for %s statements", s.kind)
+		}
+		b.WriteString(s.plan.ExplainAnalyze(tr))
+	case LangARC:
+		text, err := eval.ExplainCollection(s.col, s.cat, s.conv)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(text)
+		if !strings.HasSuffix(text, "\n") {
+			b.WriteString("\n")
+		}
+		tr.EachFixpoint(func(fp *trace.Fixpoint) {
+			var total int64
+			deltas := make([]string, len(fp.Rounds))
+			for i, r := range fp.Rounds {
+				deltas[i] = fmt.Sprintf("%d", r.Delta)
+				total += r.Nanos
+			}
+			fmt.Fprintf(&b, "Fixpoint %s: rounds=%d deltas=[%s] time=%s\n",
+				fp.Name, len(fp.Rounds), strings.Join(deltas, " "), trace.FormatDuration(total))
+		})
+	default:
+		return "", fmt.Errorf("engine: no plan rendering for %v statements", s.lang)
+	}
+	fmt.Fprintf(&b, "Total: rows=%d time=%s\n", tr.Rows, trace.FormatDuration(tr.Elapsed.Nanoseconds()))
+	return b.String(), nil
+}
+
+// execTracedMaterialized is execMaterialized with fixpoint round
+// observation wired through the evaluators that support it.
+func (s *Stmt) execTracedMaterialized(vals []value.Value, inputs map[string]*relation.Relation, check func() error, tr *trace.Trace) (*relation.Relation, error) {
+	if s.lang == LangARC {
+		obs := func(name string) func(delta int, elapsed time.Duration) {
+			return tr.Fixpoint("arc:"+name, name).Observe
+		}
+		return eval.EvalPreparedObserved(s.col, s.link, s.cat, s.conv, inputs, check, obs)
 	}
 	return s.execMaterialized(vals, inputs, check)
 }

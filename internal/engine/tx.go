@@ -45,6 +45,7 @@ func (db *DB) Begin(ctx context.Context) (*Tx, error) {
 	if err := ctxErr(ctx); err != nil {
 		return nil, err
 	}
+	db.txBegins.Add(1)
 	return &Tx{db: db, ws: db.store.Begin(), cache: map[string]*txEntry{}}, nil
 }
 
@@ -172,8 +173,12 @@ func (tx *Tx) Commit() error {
 	tx.done = true
 	snap, err := tx.db.store.Commit(tx.ws)
 	if err != nil {
+		if errors.Is(err, relation.ErrConflict) {
+			tx.db.conflicts.Add(1)
+		}
 		return err
 	}
+	tx.db.txCommits.Add(1)
 	tx.gen = snap.Gen()
 	return nil
 }
@@ -185,6 +190,7 @@ func (tx *Tx) Rollback() error {
 		return ErrTxDone
 	}
 	tx.done = true
+	tx.db.txRollbacks.Add(1)
 	return nil
 }
 

@@ -2,6 +2,7 @@ package eval
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/alt"
 	"repro/internal/convention"
@@ -39,6 +40,26 @@ func EvalPrepared(col *alt.Collection, link *alt.Link, cat *Catalog, conv conven
 	return ev.evalCollection(col, link, newEnv())
 }
 
+// RoundObserver supplies the per-round callback for one named recursive
+// computation: it is called once per fixpoint (with the collection head's
+// name) and its result — which may be nil — observes each round's new
+// tuple count and derivation time. A callback factory rather than a trace
+// type keeps this package free of observability dependencies.
+type RoundObserver func(name string) func(delta int, elapsed time.Duration)
+
+// EvalPreparedObserved is EvalPrepared with fixpoint round observation:
+// each recursive collection's rounds are reported through obs. It is the
+// EXPLAIN ANALYZE execution path for ARC statements.
+func EvalPreparedObserved(col *alt.Collection, link *alt.Link, cat *Catalog, conv convention.Conventions, inputs map[string]*relation.Relation, check func() error, obs RoundObserver) (*relation.Relation, error) {
+	ev := newEvaluator(cat, conv)
+	ev.check = check
+	ev.onRound = obs
+	for name, rel := range inputs {
+		ev.overrides[name] = rel
+	}
+	return ev.evalCollection(col, link, newEnv())
+}
+
 // EvalSentence validates and evaluates a Boolean ARC sentence (Section
 // 2.5, queries (13)/(14)), returning its truth value. Under 3VL an
 // Unknown sentence reports false.
@@ -65,7 +86,17 @@ type evaluator struct {
 	viewCache  map[string]*relation.Relation
 	inProgress map[string]bool
 	scopeCache map[*alt.Quantifier]*scopeInfo
-	check      func() error // optional cancellation poll (fixpoint rounds)
+	check      func() error  // optional cancellation poll (fixpoint rounds)
+	onRound    RoundObserver // optional fixpoint round observation
+}
+
+// roundObserver resolves the per-fixpoint callback for a named recursive
+// computation (nil when observation is off).
+func (ev *evaluator) roundObserver(name string) func(delta int, elapsed time.Duration) {
+	if ev.onRound == nil {
+		return nil
+	}
+	return ev.onRound(name)
 }
 
 func newEvaluator(cat *Catalog, conv convention.Conventions) *evaluator {

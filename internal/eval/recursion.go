@@ -167,6 +167,7 @@ func (ev *evaluator) evalRecursive(col *alt.Collection, e *env) (*relation.Relat
 		Name:          "recursive collection " + name,
 		MaxIterations: maxLFPIterations,
 		Check:         ev.check,
+		OnRound:       ev.roundObserver(name),
 	})
 	if err != nil {
 		return nil, err

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"repro/internal/relation"
+	"repro/internal/trace"
 	"repro/internal/value"
 )
 
@@ -145,11 +146,23 @@ func concatNull(left relation.Tuple, leftArity int, right relation.Tuple, rightA
 // Unlike HashJoin, NULL keys never match and Eq-vs-Key divergence beyond
 // 2^53 is handled by ht's overflow list.
 func EquiJoin(left Seq, leftCols []int, ht *HashTable, on func(relation.Tuple) bool) Seq {
+	return equiJoin(left, leftCols, ht, on, nil)
+}
+
+// EquiJoinTraced is EquiJoin with per-probe-row hit/miss counting into
+// op: a probe row with at least one surviving match (post-residual)
+// counts as a hit, otherwise as a miss.
+func EquiJoinTraced(left Seq, leftCols []int, ht *HashTable, on func(relation.Tuple) bool, op *trace.Op) Seq {
+	return equiJoin(left, leftCols, ht, on, op)
+}
+
+func equiJoin(left Seq, leftCols []int, ht *HashTable, on func(relation.Tuple) bool, op *trace.Op) Seq {
 	return func(yield func(relation.Tuple, int) bool) {
 		vals := make([]value.Value, 0, len(leftCols))
 		for lt, lm := range left {
 			vals = valsAt(lt, leftCols, vals)
 			stop := false
+			any := false
 			ht.Candidates(vals, func(_ int, r Row) bool {
 				if !ht.EqMatch(r, vals) {
 					return true
@@ -158,12 +171,20 @@ func EquiJoin(left Seq, leftCols []int, ht *HashTable, on func(relation.Tuple) b
 				if on != nil && !on(out) {
 					return true
 				}
+				any = true
 				if !yield(out, lm*r.Mult) {
 					stop = true
 					return false
 				}
 				return true
 			})
+			if op != nil {
+				if any {
+					op.ProbeHits++
+				} else {
+					op.ProbeMisses++
+				}
+			}
 			if stop {
 				return
 			}
@@ -178,6 +199,16 @@ func EquiJoin(left Seq, leftCols []int, ht *HashTable, on func(relation.Tuple) b
 // the build side. Under full=true, unmatched build rows are emitted
 // null-extended on the probe side after the probe input drains.
 func OuterHashJoin(left Seq, leftCols []int, ht *HashTable, on func(relation.Tuple) bool, full bool, leftArity int) Seq {
+	return outerHashJoin(left, leftCols, ht, on, full, leftArity, nil)
+}
+
+// OuterHashJoinTraced is OuterHashJoin with per-probe-row hit/miss
+// counting into op (a null-extended probe row counts as a miss).
+func OuterHashJoinTraced(left Seq, leftCols []int, ht *HashTable, on func(relation.Tuple) bool, full bool, leftArity int, op *trace.Op) Seq {
+	return outerHashJoin(left, leftCols, ht, on, full, leftArity, op)
+}
+
+func outerHashJoin(left Seq, leftCols []int, ht *HashTable, on func(relation.Tuple) bool, full bool, leftArity int, op *trace.Op) Seq {
 	return func(yield func(relation.Tuple, int) bool) {
 		var matched []bool
 		if full {
@@ -206,6 +237,13 @@ func OuterHashJoin(left Seq, leftCols []int, ht *HashTable, on func(relation.Tup
 				}
 				return true
 			})
+			if op != nil {
+				if any {
+					op.ProbeHits++
+				} else {
+					op.ProbeMisses++
+				}
+			}
 			if stop {
 				return
 			}

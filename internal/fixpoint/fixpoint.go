@@ -28,6 +28,7 @@ package fixpoint
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/relation"
 )
@@ -105,6 +106,11 @@ type Options struct {
 	// aborts the fixpoint with that error. The engine layer wires context
 	// cancellation through it so long recursions stop between rounds.
 	Check func() error
+	// OnRound, when non-nil, observes each completed round: the number of
+	// new tuples it added across targets and how long it took. Round 0
+	// (the seed pass) is reported too. A callback rather than a trace
+	// type keeps this package free of observability dependencies.
+	OnRound func(delta int, elapsed time.Duration)
 }
 
 func (o Options) max(def int) int {
@@ -150,10 +156,17 @@ func Run(totals map[string]*relation.Relation, rules []Rule, opt Options) error 
 			return err
 		}
 	}
+	var roundStart time.Time
+	if opt.OnRound != nil {
+		roundStart = time.Now()
+	}
 	for _, r := range rules {
 		if err := r.Eval(-1, nil, emitInto(r.Target, delta)); err != nil {
 			return err
 		}
+	}
+	if opt.OnRound != nil {
+		opt.OnRound(deltaSize(delta), time.Since(roundStart))
 	}
 	max := opt.max(DefaultMaxIterations)
 	for iter := 0; ; iter++ {
@@ -167,6 +180,9 @@ func Run(totals map[string]*relation.Relation, rules []Rule, opt Options) error 
 			if err := opt.Check(); err != nil {
 				return err
 			}
+		}
+		if opt.OnRound != nil {
+			roundStart = time.Now()
 		}
 		next := map[string]*relation.Relation{}
 		for _, r := range rules {
@@ -189,8 +205,21 @@ func Run(totals map[string]*relation.Relation, rules []Rule, opt Options) error 
 				}
 			}
 		}
+		if opt.OnRound != nil {
+			opt.OnRound(deltaSize(next), time.Since(roundStart))
+		}
 		delta = next
 	}
+}
+
+// deltaSize sums a round's new tuples across targets. Deltas hold each
+// tuple at most once per round, so cardinality equals the insert count.
+func deltaSize(m map[string]*relation.Relation) int {
+	n := 0
+	for _, d := range m {
+		n += d.Card()
+	}
+	return n
 }
 
 // EmitMult is Emit with a bag multiplicity, for the UNION ALL working
@@ -226,6 +255,10 @@ type CTE struct {
 	// Check, when non-nil, is polled before every round (context
 	// cancellation between working-table iterations).
 	Check func() error
+	// OnRound, when non-nil, observes each completed round — the base
+	// pass first, then one call per step round — with the round's
+	// working-table size and derivation time.
+	OnRound func(delta int, elapsed time.Duration)
 }
 
 // Run executes the loop and returns the accumulated result relation.
@@ -248,10 +281,17 @@ func (c *CTE) Run() (*relation.Relation, error) {
 			return nil
 		}
 	}
+	var roundStart time.Time
+	if c.OnRound != nil {
+		roundStart = time.Now()
+	}
 	if err := c.Base(collect(work)); err != nil {
 		return nil, err
 	}
 	work.Each(func(t relation.Tuple, m int) { total.InsertMult(t, m) })
+	if c.OnRound != nil {
+		c.OnRound(work.Card(), time.Since(roundStart))
+	}
 	max := DefaultMaxCTEIterations
 	if c.MaxIterations > 0 {
 		max = c.MaxIterations
@@ -265,11 +305,17 @@ func (c *CTE) Run() (*relation.Relation, error) {
 				return nil, err
 			}
 		}
+		if c.OnRound != nil {
+			roundStart = time.Now()
+		}
 		next := relation.New(c.Name, c.Attrs...)
 		if err := c.Step(work, collect(next)); err != nil {
 			return nil, err
 		}
 		next.Each(func(t relation.Tuple, m int) { total.InsertMult(t, m) })
+		if c.OnRound != nil {
+			c.OnRound(next.Card(), time.Since(roundStart))
+		}
 		work = next
 	}
 	return total, nil

@@ -1,0 +1,166 @@
+package plan
+
+import (
+	"fmt"
+	"regexp"
+	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/sql"
+	"repro/internal/trace"
+)
+
+// scrubTimes replaces run-dependent timings with a fixed token so
+// EXPLAIN ANALYZE output is golden-testable.
+var timeRe = regexp.MustCompile(`time=[^ )\n]+`)
+
+func scrubTimes(s string) string { return timeRe.ReplaceAllString(s, "time=X") }
+
+// analyzedDB builds small populated relations with deterministic
+// cardinalities for the analyze goldens.
+func analyzedDB() map[string]*relation.Relation {
+	r := relation.New("R", "A", "B")
+	r.Add(1, 10)
+	r.Add(2, 20)
+	r.Add(3, 30)
+	s := relation.New("S", "B", "C")
+	s.Add(10, 100)
+	s.Add(20, 200)
+	s.Add(99, 999)
+	e := relation.New("E", "x", "y")
+	e.Add(1, 2)
+	e.Add(2, 3)
+	e.Add(3, 4)
+	return map[string]*relation.Relation{"R": r, "S": s, "E": e}
+}
+
+// runAnalyzed compiles src, drains one traced execution, and returns the
+// timing-scrubbed EXPLAIN ANALYZE rendering.
+func runAnalyzed(t *testing.T, src string) string {
+	t.Helper()
+	p, err := Compile(sql.MustParse(src), analyzedDB())
+	if err != nil {
+		t.Fatalf("compile %q: %v", src, err)
+	}
+	tr := trace.New()
+	seq, errFn := p.StreamTraced(nil, nil, tr)
+	for range seq {
+	}
+	if err := errFn(); err != nil {
+		t.Fatalf("execute %q: %v", src, err)
+	}
+	return scrubTimes(p.ExplainAnalyze(tr))
+}
+
+// TestGoldenAnalyze pins the EXPLAIN ANALYZE renderings: per-operator
+// actual rows, hash-join build/probe counters, and per-round fixpoint
+// deltas for a recursive CTE.
+func TestGoldenAnalyze(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{
+			// Hash join: 3 probe rows, 2 hits, 1 miss against a 3-row build.
+			"select r.A, s.C from R r, S s where r.B = s.B",
+			`Project [A, C] (rows=2 time=X)
+  HashJoin INNER (r.B = s.B) (rows=2 build=3 hits=2 misses=1 time=X)
+    Scan R as r (rows=3 time=X)
+    Scan S as s (rows=3 time=X)
+`,
+		},
+		{
+			// Decorrelated IN: the subquery side is the build input.
+			"select R.A from R where R.B in (select S.B from S)",
+			`Project [A] (rows=2 time=X)
+  SemiJoin IN (R.B → S.B) (rows=2 time=X)
+    Scan R (rows=3 time=X)
+    Project [v] (rows=3 time=X)
+      Scan S (rows=3 time=X)
+`,
+		},
+		{
+			// Recursive CTE over the chain 1→2→3→4: base 3 edges, then
+			// deltas 2, 1, and the empty fixpoint round. The step's build
+			// side (Scan E) is built once and reused across rounds, while
+			// CteScan Δtc accumulates every round's delta.
+			"with recursive tc(x, y) as (select E.x, E.y from E union select tc.x, E.y from tc, E where tc.y = E.x) select tc.x, tc.y from tc",
+			`With
+  RecursiveCTE tc [x, y] UNION (rounds=4 deltas=[3 2 1 0])
+    Base:
+      Project [x, y] (rows=3 time=X)
+        Scan E (rows=3 time=X)
+    Step (Δtc per round):
+      Project [x, y] (rows=3 time=X)
+        HashJoin INNER (tc.y = E.x) (rows=3 build=3 hits=3 misses=3 time=X)
+          CteScan Δtc (rows=6 time=X)
+          Scan E (rows=3 time=X)
+  Body:
+    Project [x, y] (rows=6 time=X)
+      CteScan tc (rows=6 time=X)
+`,
+		},
+	}
+	for _, c := range cases {
+		if got := runAnalyzed(t, c.src); got != c.want {
+			t.Errorf("analyze mismatch for %q\ngot:\n%s\nwant:\n%s", c.src, got, c.want)
+		}
+	}
+}
+
+// TestAnalyzeNeverExecuted pins the marker for operators an execution
+// never reached: a point probe that misses leaves the join's build side
+// unvisited only when the outer side short-circuits; here an empty probe
+// side ends the stream before the filter input runs.
+func TestAnalyzeNeverExecuted(t *testing.T) {
+	db := analyzedDB()
+	p, err := Compile(sql.MustParse("select R.A from R where R.A = 77"), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.New()
+	seq, errFn := p.StreamTraced(nil, nil, tr)
+	for range seq {
+	}
+	if err := errFn(); err != nil {
+		t.Fatal(err)
+	}
+	got := scrubTimes(p.ExplainAnalyze(tr))
+	want := "Project [A] (rows=0 time=X)\n  Scan R probe(A=77) (rows=0 time=X)\n"
+	if got != want {
+		t.Errorf("got:\n%s\nwant:\n%s", got, want)
+	}
+	// Untraced rendering of the same plan is the plain Explain.
+	if p.ExplainAnalyze(nil) != p.Explain() {
+		t.Error("ExplainAnalyze(nil) diverges from Explain")
+	}
+}
+
+// TestTracedMatchesUntraced pins the zero-interference contract over the
+// golden-plan queries: a traced execution returns byte-identical results
+// to an untraced one.
+func TestTracedMatchesUntraced(t *testing.T) {
+	for _, src := range []string{
+		"select r.A, s.C from R r, S s where r.B = s.B",
+		"select R.A from R where R.B in (select S.B from S)",
+		"with recursive tc(x, y) as (select E.x, E.y from E union select tc.x, E.y from tc, E where tc.y = E.x) select tc.x, tc.y from tc",
+	} {
+		p, err := Compile(sql.MustParse(src), analyzedDB())
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, err := p.ExecuteWith(nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		traced := relation.New("result", p.Attrs()...)
+		seq, errFn := p.StreamTraced(nil, nil, trace.New())
+		for tup, m := range seq {
+			traced.InsertMult(tup, m)
+		}
+		if err := errFn(); err != nil {
+			t.Fatal(err)
+		}
+		if !plain.EqualBag(traced) {
+			t.Errorf("%q: traced result diverges:\nplain\n%s\ntraced\n%s", src, plain, traced)
+		}
+		_ = fmt.Sprint(traced)
+	}
+}

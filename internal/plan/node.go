@@ -18,11 +18,13 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/convention"
 	"repro/internal/exec"
 	"repro/internal/fixpoint"
 	"repro/internal/relation"
+	"repro/internal/trace"
 	"repro/internal/value"
 )
 
@@ -72,6 +74,10 @@ type runCtx struct {
 	// execution (no rotating delta below them), so a recursive step
 	// re-executed every round rebuilds only the delta side.
 	builds map[*hashJoinNode]*exec.HashTable
+	// trace, when non-nil, collects per-operator counters and timings for
+	// this execution (EXPLAIN ANALYZE). nil disables every
+	// instrumentation site, so an untraced run pays nothing per row.
+	trace *trace.Trace
 }
 
 // fail records the first runtime error.
@@ -125,6 +131,32 @@ func (c *runCtx) setHandle(h *fixpoint.Handle, rel *relation.Relation) {
 	c.handles[h] = rel
 }
 
+// traced wraps a node's output stream with row and time accounting when
+// tracing is enabled; with tracing off it returns seq untouched. An
+// operator's time runs from the start of its iteration minus the time
+// spent inside its consumer's yield — inclusive of its inputs
+// (Postgres-style actual time), exclusive of its parents.
+func (c *runCtx) traced(n Node, seq exec.Seq) exec.Seq {
+	if c.trace == nil {
+		return seq
+	}
+	op := c.trace.Op(n)
+	return func(yield func(relation.Tuple, int) bool) {
+		start := time.Now()
+		var downstream time.Duration
+		seq(func(t relation.Tuple, m int) bool {
+			op.Rows++
+			ys := time.Now()
+			ok := yield(t, m)
+			downstream += time.Since(ys)
+			return ok
+		})
+		if d := time.Since(start) - downstream; d > 0 {
+			op.Nanos += d.Nanoseconds()
+		}
+	}
+}
+
 // exprFn is a compiled scalar expression over one tuple shape. Errors are
 // reported through ctx and the result is NULL.
 type exprFn func(t relation.Tuple, ctx *runCtx) value.Value
@@ -139,8 +171,25 @@ type Node interface {
 	// Run streams the operator's output tuples. Implementations stop
 	// early once ctx.err is set.
 	Run(ctx *runCtx) exec.Seq
-	// writeExplain renders the operator subtree at the given depth.
-	writeExplain(b *strings.Builder, depth int)
+	// writeExplain renders the operator subtree at the given depth. A
+	// non-nil tr annotates each line with that execution's actual
+	// counters (EXPLAIN ANALYZE); nil renders the plain plan.
+	writeExplain(b *strings.Builder, depth int, tr *trace.Trace)
+}
+
+// writeStats appends an operator's executed-run annotation: actual rows
+// and inclusive time, or a marker when the operator never ran (an input
+// cut short by early termination). No-op when tr is nil.
+func writeStats(b *strings.Builder, tr *trace.Trace, key any) {
+	if tr == nil {
+		return
+	}
+	op := tr.Lookup(key)
+	if op == nil {
+		b.WriteString(" (never executed)")
+		return
+	}
+	fmt.Fprintf(b, " (rows=%d time=%s)", op.Rows, trace.FormatDuration(op.Nanos))
 }
 
 func indent(b *strings.Builder, depth int) {
@@ -170,7 +219,16 @@ func (p *Plan) NumParams() int { return p.nparams }
 // Explain renders the plan tree, one operator per line.
 func (p *Plan) Explain() string {
 	var b strings.Builder
-	p.root.writeExplain(&b, 0)
+	p.root.writeExplain(&b, 0, nil)
+	return b.String()
+}
+
+// ExplainAnalyze renders the plan annotated with the actual rows,
+// probe/build counters, per-round fixpoint deltas, and timings of one
+// executed run — the trace a drained StreamTraced execution filled.
+func (p *Plan) ExplainAnalyze(tr *trace.Trace) string {
+	var b strings.Builder
+	p.root.writeExplain(&b, 0, tr)
 	return b.String()
 }
 
@@ -263,6 +321,15 @@ func (p *Plan) Stream(params []value.Value, check func() error) (exec.Seq, func(
 	return guard(p.root.Run(ctx), ctx), func() error { return ctx.err }
 }
 
+// StreamTraced is Stream with operator tracing: per-operator counters
+// and timings accumulate into tr as the stream drains. The same
+// compiled plan serves traced and untraced executions concurrently —
+// the trace rides the per-execution runCtx.
+func (p *Plan) StreamTraced(params []value.Value, check func() error, tr *trace.Trace) (exec.Seq, func() error) {
+	ctx := &runCtx{params: params, check: check, trace: tr}
+	return guard(p.root.Run(ctx), ctx), func() error { return ctx.err }
+}
+
 // run streams the plan root (used when a plan is a subtree of another —
 // derived tables and semi-join build sides share the enclosing ctx).
 func (p *Plan) run(ctx *runCtx) exec.Seq {
@@ -335,11 +402,11 @@ func (n *scanNode) resolveProbes(ctx *runCtx) (cols []int, vals []value.Value, r
 
 func (n *scanNode) Run(ctx *runCtx) exec.Seq {
 	if len(n.probes) == 0 {
-		return exec.Scan(n.rel)
+		return ctx.traced(n, exec.Scan(n.rel))
 	}
 	cols, vals, reCols, reVals, null := n.resolveProbes(ctx)
 	if null {
-		return emptySeq
+		return ctx.traced(n, emptySeq)
 	}
 	seq := exec.Scan(n.rel)
 	if len(cols) > 0 {
@@ -355,10 +422,10 @@ func (n *scanNode) Run(ctx *runCtx) exec.Seq {
 			return true
 		})
 	}
-	return seq
+	return ctx.traced(n, seq)
 }
 
-func (n *scanNode) writeExplain(b *strings.Builder, depth int) {
+func (n *scanNode) writeExplain(b *strings.Builder, depth int, tr *trace.Trace) {
 	indent(b, depth)
 	b.WriteString("Scan ")
 	b.WriteString(n.rel.Name())
@@ -369,6 +436,7 @@ func (n *scanNode) writeExplain(b *strings.Builder, depth int) {
 	if len(n.probeStrs) > 0 {
 		fmt.Fprintf(b, " probe(%s)", strings.Join(n.probeStrs, ", "))
 	}
+	writeStats(b, tr, n)
 	b.WriteString("\n")
 }
 
@@ -383,7 +451,7 @@ func (valuesNode) Run(_ *runCtx) exec.Seq {
 	}
 }
 
-func (valuesNode) writeExplain(b *strings.Builder, depth int) {
+func (valuesNode) writeExplain(b *strings.Builder, depth int, _ *trace.Trace) {
 	indent(b, depth)
 	b.WriteString("Values (1 row)\n")
 }
@@ -408,7 +476,7 @@ func newDerivedNode(sub *Plan, alias string) *derivedNode {
 func (n *derivedNode) Schema() []ColID { return n.schema }
 
 func (n *derivedNode) Run(ctx *runCtx) exec.Seq {
-	return func(yield func(relation.Tuple, int) bool) {
+	return ctx.traced(n, func(yield func(relation.Tuple, int) bool) {
 		for t, m := range n.sub.run(ctx) {
 			if !ctx.poll() {
 				return
@@ -417,13 +485,15 @@ func (n *derivedNode) Run(ctx *runCtx) exec.Seq {
 				return
 			}
 		}
-	}
+	})
 }
 
-func (n *derivedNode) writeExplain(b *strings.Builder, depth int) {
+func (n *derivedNode) writeExplain(b *strings.Builder, depth int, tr *trace.Trace) {
 	indent(b, depth)
-	fmt.Fprintf(b, "Derived as %s\n", n.alias)
-	n.sub.root.writeExplain(b, depth+1)
+	fmt.Fprintf(b, "Derived as %s", n.alias)
+	writeStats(b, tr, n)
+	b.WriteString("\n")
+	n.sub.root.writeExplain(b, depth+1, tr)
 }
 
 // --- Joins ----------------------------------------------------------------
@@ -498,7 +568,17 @@ func (n *hashJoinNode) buildSide(ctx *runCtx) *exec.HashTable {
 }
 
 func (n *hashJoinNode) Run(ctx *runCtx) exec.Seq {
-	ht := n.buildSide(ctx)
+	var op *trace.Op
+	var ht *exec.HashTable
+	if ctx.trace != nil {
+		op = ctx.trace.Op(n)
+		bs := time.Now()
+		ht = n.buildSide(ctx)
+		op.Nanos += time.Since(bs).Nanoseconds()
+		op.BuildRows = int64(ht.Len())
+	} else {
+		ht = n.buildSide(ctx)
+	}
 	var on func(relation.Tuple) bool
 	if n.residual != nil {
 		on = func(t relation.Tuple) bool {
@@ -511,14 +591,14 @@ func (n *hashJoinNode) Run(ctx *runCtx) exec.Seq {
 	left := guard(n.left.Run(ctx), ctx)
 	switch n.kind {
 	case joinLeft:
-		return exec.OuterHashJoin(left, n.leftCols, ht, on, false, len(n.left.Schema()))
+		return ctx.traced(n, exec.OuterHashJoinTraced(left, n.leftCols, ht, on, false, len(n.left.Schema()), op))
 	case joinFull:
-		return exec.OuterHashJoin(left, n.leftCols, ht, on, true, len(n.left.Schema()))
+		return ctx.traced(n, exec.OuterHashJoinTraced(left, n.leftCols, ht, on, true, len(n.left.Schema()), op))
 	}
-	return exec.EquiJoin(left, n.leftCols, ht, on)
+	return ctx.traced(n, exec.EquiJoinTraced(left, n.leftCols, ht, on, op))
 }
 
-func (n *hashJoinNode) writeExplain(b *strings.Builder, depth int) {
+func (n *hashJoinNode) writeExplain(b *strings.Builder, depth int, tr *trace.Trace) {
 	indent(b, depth)
 	if len(n.keyStrs) == 0 {
 		fmt.Fprintf(b, "CrossJoin %s", n.kind)
@@ -528,9 +608,17 @@ func (n *hashJoinNode) writeExplain(b *strings.Builder, depth int) {
 	if n.residualStr != "" {
 		fmt.Fprintf(b, " residual(%s)", n.residualStr)
 	}
+	if tr != nil {
+		if op := tr.Lookup(n); op != nil {
+			fmt.Fprintf(b, " (rows=%d build=%d hits=%d misses=%d time=%s)",
+				op.Rows, op.BuildRows, op.ProbeHits, op.ProbeMisses, trace.FormatDuration(op.Nanos))
+		} else {
+			b.WriteString(" (never executed)")
+		}
+	}
 	b.WriteString("\n")
-	n.left.writeExplain(b, depth+1)
-	n.right.writeExplain(b, depth+1)
+	n.left.writeExplain(b, depth+1, tr)
+	n.right.writeExplain(b, depth+1, tr)
 }
 
 // guard stops a stream once ctx carries an error, polling the
@@ -607,10 +695,13 @@ func (n *semiJoinNode) Schema() []ColID { return n.input.Schema() }
 
 func (n *semiJoinNode) Run(ctx *runCtx) exec.Seq {
 	if n.inExpr != nil && len(n.subCols) == 0 {
-		return n.runUncorrelatedIn(ctx)
+		return ctx.traced(n, n.runUncorrelatedIn(ctx))
 	}
-	return func(yield func(relation.Tuple, int) bool) {
+	return ctx.traced(n, func(yield func(relation.Tuple, int) bool) {
 		ht := exec.BuildHashTable(n.sub.run(ctx), n.subCols, len(n.sub.attrs))
+		if op := ctx.trace.Lookup(n); op != nil {
+			op.BuildRows = int64(ht.Len())
+		}
 		vals := make([]value.Value, len(n.probes))
 		for t, m := range n.input.Run(ctx) {
 			if !ctx.poll() {
@@ -659,7 +750,7 @@ func (n *semiJoinNode) Run(ctx *runCtx) exec.Seq {
 				return
 			}
 		}
-	}
+	})
 }
 
 // runUncorrelatedIn hashes the membership column itself — with no
@@ -716,7 +807,7 @@ func (n *semiJoinNode) runUncorrelatedIn(ctx *runCtx) exec.Seq {
 	}
 }
 
-func (n *semiJoinNode) writeExplain(b *strings.Builder, depth int) {
+func (n *semiJoinNode) writeExplain(b *strings.Builder, depth int, tr *trace.Trace) {
 	indent(b, depth)
 	op := "SemiJoin"
 	word := "EXISTS"
@@ -737,9 +828,10 @@ func (n *semiJoinNode) writeExplain(b *strings.Builder, depth int) {
 	if len(n.probeStrs) > 0 {
 		fmt.Fprintf(b, " corr(%s)", strings.Join(n.probeStrs, ", "))
 	}
+	writeStats(b, tr, n)
 	b.WriteString("\n")
-	n.input.writeExplain(b, depth+1)
-	n.sub.root.writeExplain(b, depth+1)
+	n.input.writeExplain(b, depth+1, tr)
+	n.sub.root.writeExplain(b, depth+1, tr)
 }
 
 // --- Tuple-at-a-time operators --------------------------------------------
@@ -754,18 +846,20 @@ type filterNode struct {
 func (n *filterNode) Schema() []ColID { return n.input.Schema() }
 
 func (n *filterNode) Run(ctx *runCtx) exec.Seq {
-	return exec.Filter(guard(n.input.Run(ctx), ctx), func(t relation.Tuple, _ int) bool {
+	return ctx.traced(n, exec.Filter(guard(n.input.Run(ctx), ctx), func(t relation.Tuple, _ int) bool {
 		if ctx.err != nil {
 			return false
 		}
 		return n.pred(t, ctx).Holds()
-	})
+	}))
 }
 
-func (n *filterNode) writeExplain(b *strings.Builder, depth int) {
+func (n *filterNode) writeExplain(b *strings.Builder, depth int, tr *trace.Trace) {
 	indent(b, depth)
-	fmt.Fprintf(b, "Filter (%s)\n", n.str)
-	n.input.writeExplain(b, depth+1)
+	fmt.Fprintf(b, "Filter (%s)", n.str)
+	writeStats(b, tr, n)
+	b.WriteString("\n")
+	n.input.writeExplain(b, depth+1, tr)
 }
 
 // projectNode computes the output expressions (π with computation).
@@ -790,7 +884,7 @@ func newProjectNode(input Node, exprs []exprFn, names []string) *projectNode {
 func (n *projectNode) Schema() []ColID { return n.schema }
 
 func (n *projectNode) Run(ctx *runCtx) exec.Seq {
-	return func(yield func(relation.Tuple, int) bool) {
+	return ctx.traced(n, func(yield func(relation.Tuple, int) bool) {
 		for t, m := range n.input.Run(ctx) {
 			if !ctx.poll() {
 				return
@@ -806,17 +900,19 @@ func (n *projectNode) Run(ctx *runCtx) exec.Seq {
 				return
 			}
 		}
-	}
+	})
 }
 
-func (n *projectNode) writeExplain(b *strings.Builder, depth int) {
+func (n *projectNode) writeExplain(b *strings.Builder, depth int, tr *trace.Trace) {
 	indent(b, depth)
 	cols := make([]string, len(n.schema))
 	for i, c := range n.schema {
 		cols[i] = c.Col
 	}
-	fmt.Fprintf(b, "Project [%s]\n", strings.Join(cols, ", "))
-	n.input.writeExplain(b, depth+1)
+	fmt.Fprintf(b, "Project [%s]", strings.Join(cols, ", "))
+	writeStats(b, tr, n)
+	b.WriteString("\n")
+	n.input.writeExplain(b, depth+1, tr)
 }
 
 // dedupNode collapses duplicates (DISTINCT / UNION set semantics).
@@ -827,13 +923,15 @@ type dedupNode struct {
 func (n *dedupNode) Schema() []ColID { return n.input.Schema() }
 
 func (n *dedupNode) Run(ctx *runCtx) exec.Seq {
-	return exec.Dedup(guard(n.input.Run(ctx), ctx))
+	return ctx.traced(n, exec.Dedup(guard(n.input.Run(ctx), ctx)))
 }
 
-func (n *dedupNode) writeExplain(b *strings.Builder, depth int) {
+func (n *dedupNode) writeExplain(b *strings.Builder, depth int, tr *trace.Trace) {
 	indent(b, depth)
-	b.WriteString("Dedup\n")
-	n.input.writeExplain(b, depth+1)
+	b.WriteString("Dedup")
+	writeStats(b, tr, n)
+	b.WriteString("\n")
+	n.input.writeExplain(b, depth+1, tr)
 }
 
 // unionNode concatenates its inputs (UNION ALL; the set UNION adds a
@@ -845,7 +943,7 @@ type unionNode struct {
 func (n *unionNode) Schema() []ColID { return n.kids[0].Schema() }
 
 func (n *unionNode) Run(ctx *runCtx) exec.Seq {
-	return func(yield func(relation.Tuple, int) bool) {
+	return ctx.traced(n, func(yield func(relation.Tuple, int) bool) {
 		for _, k := range n.kids {
 			for t, m := range k.Run(ctx) {
 				if !ctx.poll() {
@@ -856,14 +954,16 @@ func (n *unionNode) Run(ctx *runCtx) exec.Seq {
 				}
 			}
 		}
-	}
+	})
 }
 
-func (n *unionNode) writeExplain(b *strings.Builder, depth int) {
+func (n *unionNode) writeExplain(b *strings.Builder, depth int, tr *trace.Trace) {
 	indent(b, depth)
-	b.WriteString("UnionAll\n")
+	b.WriteString("UnionAll")
+	writeStats(b, tr, n)
+	b.WriteString("\n")
 	for _, k := range n.kids {
-		k.writeExplain(b, depth+1)
+		k.writeExplain(b, depth+1, tr)
 	}
 }
 
@@ -931,16 +1031,18 @@ func (n *groupNode) Run(ctx *runCtx) exec.Seq {
 	for i, a := range n.aggs {
 		aggs[i] = exec.Agg{Func: a.fn, Col: len(n.keys) + i}
 	}
-	return exec.GroupAggregate(pre, keyCols, aggs, n.conv)
+	return ctx.traced(n, exec.GroupAggregate(pre, keyCols, aggs, n.conv))
 }
 
-func (n *groupNode) writeExplain(b *strings.Builder, depth int) {
+func (n *groupNode) writeExplain(b *strings.Builder, depth int, tr *trace.Trace) {
 	indent(b, depth)
 	aggStrs := make([]string, len(n.aggs))
 	for i, a := range n.aggs {
 		aggStrs[i] = a.str
 	}
-	fmt.Fprintf(b, "GroupAggregate keys=[%s] aggs=[%s]\n",
+	fmt.Fprintf(b, "GroupAggregate keys=[%s] aggs=[%s]",
 		strings.Join(n.keyStrs, ", "), strings.Join(aggStrs, ", "))
-	n.input.writeExplain(b, depth+1)
+	writeStats(b, tr, n)
+	b.WriteString("\n")
+	n.input.writeExplain(b, depth+1, tr)
 }

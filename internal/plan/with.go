@@ -2,12 +2,14 @@ package plan
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"repro/internal/exec"
 	"repro/internal/fixpoint"
 	"repro/internal/relation"
 	"repro/internal/sql"
+	"repro/internal/trace"
 )
 
 // This file lowers WITH [RECURSIVE] onto the shared fixpoint engine.
@@ -198,6 +200,9 @@ func (x *compiledCTE) materialize(ctx *runCtx) error {
 		Distinct: x.distinct,
 		Check:    ctx.check,
 	}
+	if ctx.trace != nil {
+		loop.OnRound = ctx.trace.Fixpoint(x, x.name).Observe
+	}
 	rel, err := loop.Run()
 	if err != nil {
 		return err
@@ -233,31 +238,43 @@ func (n *withNode) Run(ctx *runCtx) exec.Seq {
 	}
 }
 
-func (n *withNode) writeExplain(b *strings.Builder, depth int) {
+func (n *withNode) writeExplain(b *strings.Builder, depth int, tr *trace.Trace) {
 	indent(b, depth)
 	b.WriteString("With\n")
 	for _, cte := range n.ctes {
 		indent(b, depth+1)
 		if cte.plain != nil {
 			fmt.Fprintf(b, "CTE %s [%s]\n", cte.name, strings.Join(cte.attrs, ", "))
-			cte.plain.root.writeExplain(b, depth+2)
+			cte.plain.root.writeExplain(b, depth+2, tr)
 			continue
 		}
 		mode := "UNION"
 		if !cte.distinct {
 			mode = "UNION ALL"
 		}
-		fmt.Fprintf(b, "RecursiveCTE %s [%s] %s\n", cte.name, strings.Join(cte.attrs, ", "), mode)
+		fmt.Fprintf(b, "RecursiveCTE %s [%s] %s", cte.name, strings.Join(cte.attrs, ", "), mode)
+		if tr != nil {
+			if fp := tr.LookupFixpoint(cte); fp != nil {
+				deltas := make([]string, len(fp.Rounds))
+				for i, r := range fp.Rounds {
+					deltas[i] = strconv.Itoa(r.Delta)
+				}
+				fmt.Fprintf(b, " (rounds=%d deltas=[%s])", len(fp.Rounds), strings.Join(deltas, " "))
+			} else {
+				b.WriteString(" (never executed)")
+			}
+		}
+		b.WriteString("\n")
 		indent(b, depth+2)
 		b.WriteString("Base:\n")
-		cte.base.root.writeExplain(b, depth+3)
+		cte.base.root.writeExplain(b, depth+3, tr)
 		indent(b, depth+2)
 		fmt.Fprintf(b, "Step (Δ%s per round):\n", cte.name)
-		cte.step.root.writeExplain(b, depth+3)
+		cte.step.root.writeExplain(b, depth+3, tr)
 	}
 	indent(b, depth+1)
 	b.WriteString("Body:\n")
-	n.body.writeExplain(b, depth+2)
+	n.body.writeExplain(b, depth+2, tr)
 }
 
 // cteNode streams a CTE reference through its handle: the materialized
@@ -281,16 +298,16 @@ func newCTENode(bind *cteBinding, alias string) *cteNode {
 func (n *cteNode) Schema() []ColID { return n.schema }
 
 func (n *cteNode) Run(ctx *runCtx) exec.Seq {
-	return func(yield func(relation.Tuple, int) bool) {
+	return ctx.traced(n, func(yield func(relation.Tuple, int) bool) {
 		rel := ctx.handleRel(n.handle)
 		if rel == nil {
 			return
 		}
 		rel.EachWhile(yield)
-	}
+	})
 }
 
-func (n *cteNode) writeExplain(b *strings.Builder, depth int) {
+func (n *cteNode) writeExplain(b *strings.Builder, depth int, tr *trace.Trace) {
 	indent(b, depth)
 	name := n.name
 	if n.delta {
@@ -300,5 +317,6 @@ func (n *cteNode) writeExplain(b *strings.Builder, depth int) {
 	if n.alias != n.name {
 		fmt.Fprintf(b, " as %s", n.alias)
 	}
+	writeStats(b, tr, n)
 	b.WriteString("\n")
 }

@@ -30,6 +30,34 @@ type Store struct {
 	// the head snapshot atomically and never take it.
 	mu   sync.Mutex
 	head atomic.Pointer[Snapshot]
+
+	// Commit-path counters (observability, see Stats): commits counts
+	// published write-set commits plus administrative Apply publishes,
+	// conflicts counts first-committer-wins rejections.
+	commits   atomic.Uint64
+	conflicts atomic.Uint64
+}
+
+// StoreStats is a point-in-time snapshot of the store's commit-path
+// counters, the store half of the engine's observability surface.
+type StoreStats struct {
+	// Gen is the current commit generation. One snapshot exists per
+	// generation, so it doubles as the count of snapshots ever published.
+	Gen uint64
+	// Commits counts published commits (write sets and Apply upserts;
+	// empty-write-set no-ops excluded).
+	Commits uint64
+	// Conflicts counts Commit calls rejected first-committer-wins.
+	Conflicts uint64
+}
+
+// Stats snapshots the commit-path counters.
+func (st *Store) Stats() StoreStats {
+	return StoreStats{
+		Gen:       st.Gen(),
+		Commits:   st.commits.Load(),
+		Conflicts: st.conflicts.Load(),
+	}
 }
 
 // Snapshot is one immutable version of the catalog: the relation map,
@@ -113,6 +141,9 @@ type WriteSet struct {
 type pendingRel struct {
 	work    *Relation
 	created bool
+	// dropped marks a pending DROP: the name resolves to nothing inside
+	// the transaction and is removed from the catalog at Commit.
+	dropped bool
 }
 
 // Base returns the snapshot the write set reads beneath its own writes.
@@ -130,6 +161,9 @@ func (ws *WriteSet) Dirty() bool { return len(ws.pend) > 0 }
 // transaction wrote the relation, the base snapshot's version otherwise.
 func (ws *WriteSet) Relation(name string) *Relation {
 	if p, ok := ws.pend[name]; ok {
+		if p.dropped {
+			return nil
+		}
 		return p.work
 	}
 	return ws.base.rels[name]
@@ -152,6 +186,10 @@ func (ws *WriteSet) Rels() map[string]*Relation {
 			m[k] = v
 		}
 		for k, p := range ws.pend {
+			if p.dropped {
+				delete(m, k)
+				continue
+			}
 			m[k] = p.work
 		}
 		ws.overlay, ws.overlayVer = m, ws.ver
@@ -163,6 +201,9 @@ func (ws *WriteSet) Rels() map[string]*Relation {
 // the base version copy-on-write on first touch.
 func (ws *WriteSet) working(name string) (*Relation, error) {
 	if p, ok := ws.pend[name]; ok {
+		if p.dropped {
+			return nil, fmt.Errorf("relation: unknown relation %q", name)
+		}
 		return p.work, nil
 	}
 	base, ok := ws.base.rels[name]
@@ -188,6 +229,20 @@ func (ws *WriteSet) Create(name string, attrs []string) error {
 		}
 	}
 	ws.pend[name] = &pendingRel{work: New(name, attrs...), created: true}
+	ws.ver++
+	return nil
+}
+
+// Drop removes a relation from the write set's overlay: the name stops
+// resolving inside the transaction immediately, and Commit removes it
+// from the catalog (a later commit touching the name conflicts — a drop
+// is a write like any other). Dropping an unknown name is an error;
+// creating the same name again after a drop in one transaction works.
+func (ws *WriteSet) Drop(name string) error {
+	if ws.Relation(name) == nil {
+		return fmt.Errorf("relation: unknown relation %q", name)
+	}
+	ws.pend[name] = &pendingRel{dropped: true}
 	ws.ver++
 	return nil
 }
@@ -269,6 +324,7 @@ func (st *Store) Commit(ws *WriteSet) (*Snapshot, error) {
 			bv, bok := ws.base.relVer[name]
 			hv, hok := head.relVer[name]
 			if bok != hok || bv != hv {
+				st.conflicts.Add(1)
 				return nil, fmt.Errorf("%w: %s", ErrConflict, name)
 			}
 		}
@@ -284,10 +340,19 @@ func (st *Store) Commit(ws *WriteSet) (*Snapshot, error) {
 		next.relVer[k] = head.relVer[k]
 	}
 	for name, p := range ws.pend {
+		if p.dropped {
+			// A dropped name disappears from BOTH maps: a concurrent
+			// writer that still has the old version tag sees a
+			// present/absent mismatch and conflicts.
+			delete(next.rels, name)
+			delete(next.relVer, name)
+			continue
+		}
 		next.rels[name] = p.work
 		next.relVer[name] = gen
 	}
 	st.head.Store(next)
+	st.commits.Add(1)
 	return next, nil
 }
 
@@ -312,5 +377,6 @@ func (st *Store) Apply(rels ...*Relation) *Snapshot {
 		next.relVer[r.Name()] = gen
 	}
 	st.head.Store(next)
+	st.commits.Add(1)
 	return next
 }

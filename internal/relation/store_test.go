@@ -246,3 +246,77 @@ func TestRelationRemoveKeys(t *testing.T) {
 		t.Fatalf("removing an absent key reported removals")
 	}
 }
+
+// TestStoreDrop pins WriteSet.Drop: the relation vanishes from the
+// overlay and (after commit) the head, a concurrent writer to the
+// dropped relation loses first-committer-wins, and dropping an unknown
+// relation errors.
+func TestStoreDrop(t *testing.T) {
+	r := New("e", "x")
+	r.Add(1)
+	st := NewStore(r, New("keep", "y"))
+
+	ws := st.Begin()
+	if err := ws.Drop("e"); err != nil {
+		t.Fatal(err)
+	}
+	if ws.Relation("e") != nil {
+		t.Fatal("dropped relation still visible through the overlay")
+	}
+	if _, ok := ws.Rels()["e"]; ok {
+		t.Fatal("dropped relation still listed by Rels")
+	}
+	if err := ws.Insert("e", tup(2), 1); err == nil {
+		t.Fatal("insert into dropped relation succeeded")
+	}
+	if err := ws.Drop("nope"); err == nil {
+		t.Fatal("dropping an unknown relation succeeded")
+	}
+
+	// A writer that began before the drop commits and touches e must
+	// conflict once the drop lands.
+	loser := st.Begin()
+	if err := loser.Insert("e", tup(9), 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Commit(ws); err != nil {
+		t.Fatal(err)
+	}
+	if st.Head().Relation("e") != nil {
+		t.Fatal("dropped relation survives at head")
+	}
+	if st.Head().Relation("keep") == nil {
+		t.Fatal("unrelated relation was dropped too")
+	}
+	if _, err := st.Commit(loser); !errors.Is(err, ErrConflict) {
+		t.Fatalf("concurrent write to dropped relation: err = %v, want ErrConflict", err)
+	}
+}
+
+// TestStoreStats pins the commit-path counters: Gen doubles as the
+// published-snapshot count, Commits counts successes, Conflicts counts
+// first-committer-wins losses.
+func TestStoreStats(t *testing.T) {
+	st := NewStore(New("a", "x"))
+	if s := st.Stats(); s.Gen != 1 || s.Commits != 0 || s.Conflicts != 0 {
+		t.Fatalf("fresh stats = %+v", s)
+	}
+	w1 := st.Begin()
+	w2 := st.Begin()
+	if err := w1.Insert("a", tup(1), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Insert("a", tup(2), 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Commit(w1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Commit(w2); !errors.Is(err, ErrConflict) {
+		t.Fatalf("second committer won: %v", err)
+	}
+	s := st.Stats()
+	if s.Gen != 2 || s.Commits != 1 || s.Conflicts != 1 {
+		t.Fatalf("stats after one win + one loss = %+v", s)
+	}
+}

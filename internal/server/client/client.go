@@ -244,6 +244,24 @@ func (s *Stmt) Exec(args ...value.Value) (Result, error) {
 	return res, err
 }
 
+// ExplainAnalyze runs a query statement server-side with operator
+// tracing enabled and returns the rendered executed plan (per-operator
+// actual rows and timings). The rows themselves are not shipped.
+func (s *Stmt) ExplainAnalyze(args ...value.Value) (string, error) {
+	var e server.Enc
+	e.U32(s.id)
+	e.U32(uint32(len(args)))
+	for _, a := range args {
+		e.Val(a)
+	}
+	var text string
+	err := s.conn.roundTrip(server.FrameAnalyze, e.Bytes(), server.FrameAnalyzeOK, func(d *server.Dec) error {
+		text = d.Str()
+		return nil
+	})
+	return text, err
+}
+
 // Close drops the server-side handle.
 func (s *Stmt) Close() error {
 	var e server.Enc

@@ -2,14 +2,20 @@ package server
 
 import (
 	"encoding/json"
+	"fmt"
+	"io"
+	"math/bits"
 	"net/http"
+	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 )
 
 // latencyBuckets is the number of power-of-two microsecond histogram
-// buckets: bucket i counts queries with latency in [2^i, 2^(i+1)) µs,
-// the last bucket absorbing everything slower (~8.4s and up).
+// buckets: bucket i counts queries with latency at most 2^i µs (and, for
+// i > 0, more than 2^(i-1) µs), the last bucket absorbing everything
+// slower (+Inf upper bound, ~4.2s and up in the one below it).
 const latencyBuckets = 24
 
 // Metrics aggregates server-side counters. All fields are atomics so
@@ -37,25 +43,37 @@ type Metrics struct {
 }
 
 // ObserveQuery records one query execution latency into the histogram.
+// The duration is ceiled to whole microseconds before bucketing, so a
+// 1.5µs query lands in the ≤2µs bucket — each bucket's advertised upper
+// bound is exact, which keeps the JSON and Prometheus renderings of one
+// histogram consistent by construction.
 func (m *Metrics) ObserveQuery(d time.Duration) {
 	if d < 0 {
 		d = 0
 	}
 	m.latCount.Add(1)
 	m.latSumNs.Add(uint64(d))
-	us := uint64(d / time.Microsecond)
+	us := uint64((d + time.Microsecond - 1) / time.Microsecond)
 	b := 0
-	for us > 1 && b < latencyBuckets-1 {
-		us >>= 1
-		b++
+	if us > 1 {
+		// Smallest b with us <= 2^b. bits.Len64 is the log2 ceiling:
+		// us=2 → 1, us=3..4 → 2, us=5..8 → 3, …
+		b = bits.Len64(us - 1)
+	}
+	if b > latencyBuckets-1 {
+		b = latencyBuckets - 1
 	}
 	m.latHist[b].Add(1)
 }
 
-// LatencyBucket describes one histogram bucket in a snapshot.
+// LatencyBucket describes one histogram bucket in a snapshot. Buckets
+// are CUMULATIVE (Prometheus-style): Count is the number of queries at
+// or under the bound, and every bucket is present whether or not it is
+// empty, so the JSON endpoint and the Prometheus exposition are two
+// renderings of the identical data.
 type LatencyBucket struct {
-	UpToMicros uint64 `json:"up_to_us"` // exclusive upper bound; 0 = +inf
-	Count      uint64 `json:"count"`
+	UpToMicros uint64 `json:"up_to_us"` // inclusive upper bound; 0 = +Inf
+	Count      uint64 `json:"count"`    // cumulative count at or under the bound
 }
 
 // Snapshot is the JSON shape of the metrics endpoint.
@@ -70,6 +88,7 @@ type Snapshot struct {
 	StmtCacheHits      uint64  `json:"stmt_cache_hits"`
 	StmtCacheHitRate   float64 `json:"stmt_cache_hit_rate"`
 	StmtCacheLen       int     `json:"stmt_cache_len"`
+	StmtCacheEvictions uint64  `json:"stmt_cache_evictions"`
 
 	QueriesExecuted uint64 `json:"queries_executed"`
 	RowsStreamed    uint64 `json:"rows_streamed"`
@@ -79,8 +98,25 @@ type Snapshot struct {
 	ProtocolErrors  uint64 `json:"protocol_errors"`
 	PanicsRecovered uint64 `json:"panics_recovered"`
 
+	// Engine execution counters (merged from engine.DBStats).
+	ExecQueries     uint64 `json:"exec_queries"`
+	ExecDML         uint64 `json:"exec_dml"`
+	ExecDDL         uint64 `json:"exec_ddl"`
+	Conflicts       uint64 `json:"conflicts"`
+	ConflictRetries uint64 `json:"conflict_retries"`
+	TxBegins        uint64 `json:"tx_begins"`
+	TxCommits       uint64 `json:"tx_commits"`
+	TxRollbacks     uint64 `json:"tx_rollbacks"`
+	SlowQueries     uint64 `json:"slow_queries"`
+
+	// Store commit-path counters (merged from relation.StoreStats).
+	StoreGeneration uint64 `json:"store_generation"`
+	StoreCommits    uint64 `json:"store_commits"`
+	StoreConflicts  uint64 `json:"store_conflicts"`
+
 	QueryCount     uint64          `json:"query_count"`
 	QueryMeanMs    float64         `json:"query_mean_ms"`
+	QuerySumMs     float64         `json:"query_sum_ms"`
 	QueryLatencyUs []LatencyBucket `json:"query_latency_us"`
 }
 
@@ -99,32 +135,115 @@ func (m *Metrics) snapshot() Snapshot {
 		ProtocolErrors:     m.ProtocolErrors.Load(),
 		PanicsRecovered:    m.PanicsRecovered.Load(),
 		QueryCount:         m.latCount.Load(),
+		QuerySumMs:         float64(m.latSumNs.Load()) / 1e6,
 	}
 	if s.QueryCount > 0 {
-		s.QueryMeanMs = float64(m.latSumNs.Load()) / float64(s.QueryCount) / 1e6
+		s.QueryMeanMs = s.QuerySumMs / float64(s.QueryCount)
 	}
-	bound := uint64(2)
+	s.QueryLatencyUs = make([]LatencyBucket, latencyBuckets)
+	var cum uint64
 	for i := 0; i < latencyBuckets; i++ {
-		if c := m.latHist[i].Load(); c > 0 {
-			up := bound
-			if i == latencyBuckets-1 {
-				up = 0
-			}
-			s.QueryLatencyUs = append(s.QueryLatencyUs, LatencyBucket{UpToMicros: up, Count: c})
+		cum += m.latHist[i].Load()
+		up := uint64(1) << uint(i)
+		if i == latencyBuckets-1 {
+			up = 0 // +Inf
 		}
-		bound <<= 1
+		s.QueryLatencyUs[i] = LatencyBucket{UpToMicros: up, Count: cum}
 	}
 	return s
 }
 
-// MetricsHandler serves the server's metrics snapshot as indented JSON —
-// the expvar-style capacity-planning endpoint (mount it wherever the
-// operator wants, e.g. /metrics).
+// MetricsHandler serves the server's metrics snapshot. The default
+// response is the Prometheus text exposition format
+// (text/plain; version=0.0.4); JSON is served on ?format=json or an
+// application/json Accept header — the same snapshot either way.
 func (s *Server) MetricsHandler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json; charset=utf-8")
-		e := json.NewEncoder(w)
-		e.SetIndent("", "  ")
-		_ = e.Encode(s.Snapshot())
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if wantsJSON(r) {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			e := json.NewEncoder(w)
+			e.SetIndent("", "  ")
+			_ = e.Encode(s.Snapshot())
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		writePrometheus(w, s.Snapshot())
 	})
+}
+
+// wantsJSON selects the JSON rendering of the metrics endpoint.
+func wantsJSON(r *http.Request) bool {
+	if r == nil {
+		return false
+	}
+	if r.URL.Query().Get("format") == "json" {
+		return true
+	}
+	return strings.Contains(r.Header.Get("Accept"), "application/json")
+}
+
+// promMetric is one exposed series: HELP, TYPE, and a single sample.
+func promMetric(w io.Writer, name, kind, help string, value string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %s\n", name, help, name, kind, name, value)
+}
+
+func promCounter(w io.Writer, name, help string, v uint64) {
+	promMetric(w, name, "counter", help, strconv.FormatUint(v, 10))
+}
+
+func promGauge(w io.Writer, name, help string, v int64) {
+	promMetric(w, name, "gauge", help, strconv.FormatInt(v, 10))
+}
+
+// writePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4). The latency histogram's cumulative buckets are
+// the snapshot's own representation, so the two formats cannot drift.
+func writePrometheus(w io.Writer, s Snapshot) {
+	promGauge(w, "arcserve_active_sessions", "Connections currently open.", s.ActiveSessions)
+	promCounter(w, "arcserve_sessions_total", "Connections accepted since start.", s.TotalSessions)
+	promCounter(w, "arcserve_frames_read_total", "Protocol frames read.", s.FramesRead)
+	promCounter(w, "arcserve_frames_written_total", "Protocol frames written.", s.FramesWritten)
+
+	promCounter(w, "arcserve_statements_prepared_total", "Prepare frames answered successfully.", s.StatementsPrepared)
+	promCounter(w, "arcserve_stmt_cache_prepares_total", "Engine Prepare calls.", s.StmtCachePrepares)
+	promCounter(w, "arcserve_stmt_cache_hits_total", "Prepares served from the statement cache.", s.StmtCacheHits)
+	promCounter(w, "arcserve_stmt_cache_evictions_total", "Statements evicted past the cache capacity.", s.StmtCacheEvictions)
+	promGauge(w, "arcserve_stmt_cache_entries", "Statements currently cached.", int64(s.StmtCacheLen))
+
+	promCounter(w, "arcserve_queries_executed_total", "Execute and Exec frames answered successfully.", s.QueriesExecuted)
+	promCounter(w, "arcserve_rows_streamed_total", "Rows shipped in Fetch batches.", s.RowsStreamed)
+	promCounter(w, "arcserve_fetch_batches_total", "Fetch batches shipped.", s.FetchBatches)
+
+	promCounter(w, "arcserve_statement_errors_total", "Statement-level errors answered to clients.", s.StatementErrors)
+	promCounter(w, "arcserve_protocol_errors_total", "Connection-fatal protocol errors.", s.ProtocolErrors)
+	promCounter(w, "arcserve_panics_recovered_total", "Engine panics recovered into errors.", s.PanicsRecovered)
+
+	promCounter(w, "arcserve_exec_query_total", "Engine query executions.", s.ExecQueries)
+	promCounter(w, "arcserve_exec_dml_total", "Engine DML executions.", s.ExecDML)
+	promCounter(w, "arcserve_exec_ddl_total", "Engine DDL executions.", s.ExecDDL)
+	promCounter(w, "arcserve_conflicts_total", "First-committer-wins conflicts seen by the engine.", s.Conflicts)
+	promCounter(w, "arcserve_conflict_retries_total", "Autocommit retries after a conflict.", s.ConflictRetries)
+	promCounter(w, "arcserve_tx_begins_total", "Transactions opened.", s.TxBegins)
+	promCounter(w, "arcserve_tx_commits_total", "Transactions committed.", s.TxCommits)
+	promCounter(w, "arcserve_tx_rollbacks_total", "Transactions rolled back.", s.TxRollbacks)
+	promCounter(w, "arcserve_slow_queries_total", "Statements recorded by the slow-query log.", s.SlowQueries)
+
+	promGauge(w, "arcserve_store_generation", "Current MVCC commit generation.", int64(s.StoreGeneration))
+	promCounter(w, "arcserve_store_commits_total", "Snapshots published by the store.", s.StoreCommits)
+	promCounter(w, "arcserve_store_conflicts_total", "Commits rejected by the store.", s.StoreConflicts)
+
+	name := "arcserve_query_duration_seconds"
+	fmt.Fprintf(w, "# HELP %s Query execution latency.\n# TYPE %s histogram\n", name, name)
+	var infCount uint64
+	for _, b := range s.QueryLatencyUs {
+		le := "+Inf"
+		if b.UpToMicros != 0 {
+			le = strconv.FormatFloat(float64(b.UpToMicros)/1e6, 'g', -1, 64)
+		} else {
+			infCount = b.Count
+		}
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, b.Count)
+	}
+	fmt.Fprintf(w, "%s_sum %s\n", name, strconv.FormatFloat(s.QuerySumMs/1e3, 'g', -1, 64))
+	fmt.Fprintf(w, "%s_count %d\n", name, infCount)
 }

@@ -1,0 +1,110 @@
+package server
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestHistogramBucketBoundaries pins the bucket math: durations are
+// ceiled to whole microseconds and bucket i's inclusive upper bound is
+// exactly 2^i µs, so the JSON and Prometheus renderings agree by
+// construction.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		d      time.Duration
+		bucket int // index whose raw count the observation lands in
+	}{
+		{0, 0},                          // clamps into the ≤1µs bucket
+		{500 * time.Nanosecond, 0},      // ceil → 1µs
+		{time.Microsecond, 0},           // exactly the 1µs bound
+		{1500 * time.Nanosecond, 1},     // ceil → 2µs: must NOT truncate into ≤1µs
+		{2 * time.Microsecond, 1},       // exactly the 2µs bound
+		{2001 * time.Nanosecond, 2},     // ceil → 3µs → ≤4µs
+		{4 * time.Microsecond, 2},       // exactly the 4µs bound
+		{5 * time.Microsecond, 3},       // ≤8µs
+		{time.Hour, latencyBuckets - 1}, // overflow → +Inf bucket
+	}
+	for _, c := range cases {
+		var m Metrics
+		m.ObserveQuery(c.d)
+		s := m.snapshot()
+		// Recover the raw (non-cumulative) placement from the cumulative
+		// buckets: the first bucket whose cumulative count is 1.
+		got := -1
+		for i, b := range s.QueryLatencyUs {
+			if b.Count == 1 {
+				got = i
+				break
+			}
+		}
+		if got != c.bucket {
+			t.Errorf("ObserveQuery(%v) landed in bucket %d, want %d", c.d, got, c.bucket)
+		}
+	}
+}
+
+// TestHistogramCumulative pins the snapshot's cumulative form: all
+// buckets present, counts non-decreasing, +Inf terminal equal to the
+// observation count, and bounds doubling from 1µs.
+func TestHistogramCumulative(t *testing.T) {
+	var m Metrics
+	for _, d := range []time.Duration{
+		time.Microsecond, 3 * time.Microsecond, 3 * time.Microsecond,
+		100 * time.Millisecond, time.Minute,
+	} {
+		m.ObserveQuery(d)
+	}
+	s := m.snapshot()
+	if len(s.QueryLatencyUs) != latencyBuckets {
+		t.Fatalf("got %d buckets, want %d", len(s.QueryLatencyUs), latencyBuckets)
+	}
+	for i, b := range s.QueryLatencyUs {
+		if i == latencyBuckets-1 {
+			if b.UpToMicros != 0 {
+				t.Fatalf("last bucket bound = %d, want 0 (+Inf)", b.UpToMicros)
+			}
+			break
+		}
+		if want := uint64(1) << uint(i); b.UpToMicros != want {
+			t.Fatalf("bucket %d bound = %dµs, want %dµs", i, b.UpToMicros, want)
+		}
+		if b.Count > s.QueryLatencyUs[i+1].Count {
+			t.Fatalf("bucket %d count %d > bucket %d count %d (not cumulative)",
+				i, b.Count, i+1, s.QueryLatencyUs[i+1].Count)
+		}
+	}
+	if last := s.QueryLatencyUs[latencyBuckets-1]; last.Count != 5 || last.Count != s.QueryCount {
+		t.Fatalf("+Inf bucket = %d, count = %d, want both 5", last.Count, s.QueryCount)
+	}
+	if s.QueryLatencyUs[0].Count != 1 { // only the exact-1µs observation
+		t.Fatalf("≤1µs bucket = %d, want 1", s.QueryLatencyUs[0].Count)
+	}
+	if s.QueryLatencyUs[1].Count != 1 { // nothing lands in (1µs, 2µs]
+		t.Fatalf("≤2µs bucket = %d, want 1", s.QueryLatencyUs[1].Count)
+	}
+	if s.QueryLatencyUs[2].Count != 3 { // the two 3µs observations join
+		t.Fatalf("≤4µs bucket = %d, want 3", s.QueryLatencyUs[2].Count)
+	}
+}
+
+// TestPrometheusLeBounds pins the seconds-unit le rendering of the
+// µs-exact bounds (1µs → "1e-06").
+func TestPrometheusLeBounds(t *testing.T) {
+	var m Metrics
+	m.ObserveQuery(3 * time.Microsecond)
+	var b strings.Builder
+	writePrometheus(&b, m.snapshot())
+	out := b.String()
+	for _, want := range []string{
+		`arcserve_query_duration_seconds_bucket{le="1e-06"} 0`,
+		`arcserve_query_duration_seconds_bucket{le="2e-06"} 0`,
+		`arcserve_query_duration_seconds_bucket{le="4e-06"} 1`,
+		`arcserve_query_duration_seconds_bucket{le="+Inf"} 1`,
+		`arcserve_query_duration_seconds_count 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition lacks %q:\n%s", want, out)
+		}
+	}
+}

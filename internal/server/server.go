@@ -86,9 +86,22 @@ func (s *Server) Snapshot() Snapshot {
 	snap.StmtCachePrepares = st.Prepares
 	snap.StmtCacheHits = st.CacheHits
 	snap.StmtCacheLen = st.CacheLen
+	snap.StmtCacheEvictions = st.CacheEvictions
 	if st.Prepares > 0 {
 		snap.StmtCacheHitRate = float64(st.CacheHits) / float64(st.Prepares)
 	}
+	snap.ExecQueries = st.QueryExecs
+	snap.ExecDML = st.DMLExecs
+	snap.ExecDDL = st.DDLExecs
+	snap.Conflicts = st.Conflicts
+	snap.ConflictRetries = st.ConflictRetries
+	snap.TxBegins = st.TxBegins
+	snap.TxCommits = st.TxCommits
+	snap.TxRollbacks = st.TxRollbacks
+	snap.SlowQueries = st.SlowQueries
+	snap.StoreGeneration = st.Store.Gen
+	snap.StoreCommits = st.Store.Commits
+	snap.StoreConflicts = st.Store.Conflicts
 	return snap
 }
 
@@ -385,6 +398,8 @@ func (sess *session) handle(typ byte, payload []byte) error {
 		return sess.handleClose(payload)
 	case FrameExec:
 		return sess.handleExec(payload)
+	case FrameAnalyze:
+		return sess.handleAnalyze(payload)
 	case FrameBegin:
 		return sess.handleBegin(payload)
 	case FrameCommit:
@@ -747,6 +762,56 @@ func (sess *session) handleExec(payload []byte) error {
 	e.U64(uint64(res.RowsAffected))
 	e.U64(res.Generation)
 	sess.send(FrameExecOK, e.Bytes())
+	return nil
+}
+
+// handleAnalyze runs a prepared query with operator tracing enabled and
+// answers AnalyzeOK carrying the rendered executed plan (EXPLAIN
+// ANALYZE over the wire). The query runs to completion server-side — no
+// cursor is involved, and the rows themselves are not shipped.
+func (sess *session) handleAnalyze(payload []byte) error {
+	d := NewDec(payload)
+	stmtID := d.U32()
+	argc := d.U32()
+	if d.err == nil && uint64(argc) > uint64(len(payload)) {
+		d.fail("argument count %d overruns payload", argc)
+	}
+	args := make([]any, 0, argc)
+	for i := uint32(0); i < argc && d.err == nil; i++ {
+		args = append(args, d.Val())
+	}
+	if err := d.Done(); err != nil {
+		return err
+	}
+	h, ok := sess.stmts[stmtID]
+	if !ok {
+		sess.stmtError(CodeUnknownStmt, fmt.Errorf("statement %d is not prepared in this session", stmtID))
+		return nil
+	}
+	if h.stmt.Kind() != engine.KindQuery {
+		sess.stmtError(CodeWrongKind, fmt.Errorf("statement is %s; only queries can be analyzed", h.stmt.Kind()))
+		return nil
+	}
+	if err := sess.resolveHandle(h); err != nil {
+		sess.stmtError(CodeExecute, err)
+		return nil
+	}
+	start := time.Now()
+	text, err := h.stmt.ExplainAnalyze(sess.ctx, args...)
+	elapsed := time.Since(start)
+	if err != nil {
+		code := CodeExecute
+		if sess.srv.baseCtx.Err() != nil && errors.Is(err, sess.srv.baseCtx.Err()) {
+			code = CodeShutdown
+		}
+		sess.stmtError(code, err)
+		return nil
+	}
+	sess.srv.metrics.QueriesExecuted.Add(1)
+	sess.srv.metrics.ObserveQuery(elapsed)
+	var e Enc
+	e.Str(text)
+	sess.send(FrameAnalyzeOK, e.Bytes())
 	return nil
 }
 

@@ -366,11 +366,14 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	ts := httptest.NewServer(srv.MetricsHandler())
 	defer ts.Close()
-	resp, err := ts.Client().Get(ts.URL)
+	resp, err := ts.Client().Get(ts.URL + "?format=json")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("Content-Type = %q, want application/json", ct)
+	}
 	var snap server.Snapshot
 	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
 		t.Fatal(err)
@@ -386,6 +389,19 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	if snap.QueryCount != 3 || len(snap.QueryLatencyUs) == 0 {
 		t.Fatalf("latency histogram missing: %+v", snap)
+	}
+	if snap.ExecQueries != 3 {
+		t.Fatalf("ExecQueries = %d, want 3", snap.ExecQueries)
+	}
+	// Buckets are cumulative: the +Inf (last) bucket must equal the count.
+	last := snap.QueryLatencyUs[len(snap.QueryLatencyUs)-1]
+	if last.UpToMicros != 0 || last.Count != snap.QueryCount {
+		t.Fatalf("last bucket = %+v, want +Inf with count %d", last, snap.QueryCount)
+	}
+	for i := 1; i < len(snap.QueryLatencyUs); i++ {
+		if snap.QueryLatencyUs[i].Count < snap.QueryLatencyUs[i-1].Count {
+			t.Fatalf("bucket counts not monotone at %d: %+v", i, snap.QueryLatencyUs)
+		}
 	}
 }
 

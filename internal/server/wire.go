@@ -44,6 +44,7 @@ const (
 	FrameBegin    byte = 0x08 // (empty)
 	FrameCommit   byte = 0x09 // (empty)
 	FrameRollback byte = 0x0A // (empty)
+	FrameAnalyze  byte = 0x0B // u32 stmtID, u32 argc, values
 
 	FrameHelloOK    byte = 0x81 // u32 version, string server banner
 	FramePrepareOK  byte = 0x82 // u32 stmtID, u8 kind, u32 nparams, u32 ncols, strings
@@ -56,13 +57,16 @@ const (
 	FrameBeginOK    byte = 0x89 // u64 baseGeneration
 	FrameCommitOK   byte = 0x8A // u64 commitGeneration
 	FrameRollbackOK byte = 0x8B // (empty)
+	FrameAnalyzeOK  byte = 0x8C // string renderedPlan
 )
 
 // ProtocolVersion is the wire protocol revision negotiated by Hello.
 // Revision 2 added the write path: Exec/Begin/Commit/Rollback frames, a
 // statement-kind byte in PrepareOK, and the CONFLICT/WRONG_KIND/TX
-// error codes.
-const ProtocolVersion = 2
+// error codes. Revision 3 added EXPLAIN ANALYZE: the Analyze frame runs
+// a prepared query with operator tracing enabled and answers AnalyzeOK
+// carrying the rendered executed plan.
+const ProtocolVersion = 3
 
 // Wire language bytes carried by Prepare frames — the single source the
 // server's dispatch and the client package both alias.

@@ -105,6 +105,16 @@ func (c *CreateTable) String() string {
 	return "CREATE TABLE " + c.Name + " (" + strings.Join(c.Cols, ", ") + ")"
 }
 
+// DropTable is DROP TABLE name.
+type DropTable struct {
+	Name string
+}
+
+func (*DropTable) isStatement() {}
+
+// String renders the DROP TABLE.
+func (d *DropTable) String() string { return "DROP TABLE " + d.Name }
+
 // BeginStmt is BEGIN [TRANSACTION].
 type BeginStmt struct{}
 
@@ -189,6 +199,8 @@ func (p *parser) parseStatement() (Statement, error) {
 		return p.parseDelete()
 	case p.peekKw("create"):
 		return p.parseCreateTable()
+	case p.peekKw("drop"):
+		return p.parseDropTable()
 	case p.acceptKw("begin"):
 		p.acceptKw("transaction")
 		return &BeginStmt{}, nil
@@ -300,6 +312,18 @@ func (p *parser) parseDelete() (Statement, error) {
 		del.Where = e
 	}
 	return del, nil
+}
+
+func (p *parser) parseDropTable() (Statement, error) {
+	p.acceptKw("drop")
+	if err := p.expectKw("table"); err != nil {
+		return nil, err
+	}
+	name, err := p.parseName("table name")
+	if err != nil {
+		return nil, err
+	}
+	return &DropTable{Name: name}, nil
 }
 
 func (p *parser) parseCreateTable() (Statement, error) {
