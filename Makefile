@@ -3,7 +3,7 @@
 GO ?= go
 
 # Benchmark-regression gate (same knobs as CI).
-BENCH_PATTERN ?= Join|Fixpoint|Group|Recursion|RecursiveCTE|Prepared|Concurrent|Server|InsertThroughput|SnapshotRead|Traced
+BENCH_PATTERN ?= Join|Fixpoint|Group|Recursion|RecursiveCTE|Prepared|Concurrent|Server|InsertThroughput|SnapshotRead|Traced|WAL|Range
 BENCH_WARN ?= 15
 BENCH_FAIL ?= 50
 

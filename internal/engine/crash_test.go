@@ -1,0 +1,296 @@
+package engine
+
+import (
+	"bufio"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/relation"
+	"repro/internal/storage"
+)
+
+// copyDir clones a storage directory byte-for-byte (one level of
+// checkpoint subdirectories) so a crash can be simulated destructively
+// on the copy while the source keeps accumulating state.
+func copyDir(t *testing.T, src, dst string) {
+	t.Helper()
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		sp, dp := filepath.Join(src, e.Name()), filepath.Join(dst, e.Name())
+		if e.IsDir() {
+			copyDir(t, sp, dp)
+			continue
+		}
+		b, err := os.ReadFile(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(dp, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestCrashRecoveryTorture is the durability torture loop: concurrent
+// writers commit through the full engine write path, then the process
+// "dies" — simulated by abandoning the directory without Close and
+// mutilating the WAL at a random byte offset (torn tail) or with a
+// flipped CRC byte. Every reopen must recover exactly a committed
+// prefix: for the recovered generation G, every row acknowledged at a
+// generation <= G is present and every row acknowledged after G is
+// absent — never a partial commit, never corruption.
+func TestCrashRecoveryTorture(t *testing.T) {
+	const writers = 4
+	const commitsPerWriter = 25
+	rng := rand.New(rand.NewSource(20260808))
+
+	for round := 0; round < 6; round++ {
+		dir := t.TempDir()
+		var seed []*relation.Relation
+		for w := 0; w < writers; w++ {
+			seed = append(seed, relation.New(fmt.Sprintf("W%d", w), "seq"))
+		}
+		db, err := OpenDurable(dir, storage.Options{}, seed...)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// ack[gen] = (writer, seq) committed at that generation. Writers
+		// hit distinct tables so commits never conflict; each Exec's
+		// Result.Generation is unique.
+		type commit struct{ writer, seq int }
+		acks := make([]map[uint64]commit, writers)
+		done := make(chan error, writers)
+		for w := 0; w < writers; w++ {
+			acks[w] = map[uint64]commit{}
+			go func(w int) {
+				src := fmt.Sprintf("insert into W%d values ($1)", w)
+				for i := 0; i < commitsPerWriter; i++ {
+					res, err := db.Exec(nil, LangSQL, src, int64(i))
+					if err != nil {
+						done <- err
+						return
+					}
+					acks[w][res.Generation] = commit{writer: w, seq: i}
+				}
+				done <- nil
+			}(w)
+		}
+		for w := 0; w < writers; w++ {
+			if err := <-done; err != nil {
+				t.Fatal(err)
+			}
+		}
+		ack := map[uint64]commit{}
+		for _, m := range acks {
+			for g, c := range m {
+				ack[g] = c
+			}
+		}
+
+		// "Crash": no Close, no checkpoint — just take the bytes.
+		crashDir := filepath.Join(t.TempDir(), "crash")
+		copyDir(t, dir, crashDir)
+		db.Close()
+
+		wals, err := filepath.Glob(filepath.Join(crashDir, "wal-*.log"))
+		if err != nil || len(wals) == 0 {
+			t.Fatalf("no WAL in crash copy: %v (%v)", wals, err)
+		}
+		wal := wals[len(wals)-1]
+		raw, err := os.ReadFile(wal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch round % 3 {
+		case 0: // torn tail: kill at a random WAL byte offset
+			cut := 8 + rng.Intn(len(raw)-8)
+			if err := os.WriteFile(wal, raw[:cut], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		case 1: // bit rot: flip a random byte past the magic
+			raw[8+rng.Intn(len(raw)-8)] ^= 0xFF
+			if err := os.WriteFile(wal, raw, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		case 2: // clean crash: the full log survives
+		}
+
+		db2, err := OpenDurable(crashDir, storage.Options{})
+		if err != nil {
+			t.Fatalf("round %d: reopen after crash: %v", round, err)
+		}
+		recGen := db2.Generation()
+		for w := 0; w < writers; w++ {
+			rel := db2.Relation(fmt.Sprintf("W%d", w))
+			if rel == nil {
+				t.Fatalf("round %d: table W%d lost", round, w)
+			}
+			got := map[int]bool{}
+			rel.Each(func(tp relation.Tuple, m int) {
+				n := tp[0].AsInt()
+				if m != 1 {
+					t.Errorf("round %d: W%d seq %d has multiplicity %d", round, w, n, m)
+				}
+				got[int(n)] = true
+			})
+			want := map[int]bool{}
+			for g, c := range acks[w] {
+				if g <= recGen {
+					want[c.seq] = true
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("round %d: W%d recovered %d rows, want %d (gen %d)", round, w, len(got), len(want), recGen)
+			}
+			for s := range want {
+				if !got[s] {
+					t.Fatalf("round %d: W%d missing committed seq %d (gen <= %d)", round, w, s, recGen)
+				}
+			}
+		}
+		// The prefix property across all writers: no acknowledged commit
+		// past the recovered generation may have left its row behind.
+		for g := range ack {
+			if g > recGen {
+				c := ack[g]
+				rel := db2.Relation(fmt.Sprintf("W%d", c.writer))
+				found := false
+				rel.Each(func(tp relation.Tuple, m int) {
+					if n := tp[0].AsInt(); int(n) == c.seq {
+						found = true
+					}
+				})
+				if found {
+					t.Fatalf("round %d: row from generation %d survived a recovery to generation %d", round, g, recGen)
+				}
+			}
+		}
+		db2.Close()
+	}
+}
+
+// crashChildEnv marks a test binary re-executed as the crash victim.
+const crashChildEnv = "REPRO_CRASH_CHILD_DIR"
+
+// TestCrashChild is not a test: it is the subprocess body for
+// TestKillMinus9Durability. It opens the directory named by the
+// environment with fsync on and inserts rows forever, acknowledging
+// each durably committed sequence number on stdout.
+func TestCrashChild(t *testing.T) {
+	dir := os.Getenv(crashChildEnv)
+	if dir == "" {
+		t.Skip("not a crash child")
+	}
+	db, err := OpenDurable(dir, storage.Options{Fsync: true}, relation.New("K", "seq"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; ; i++ {
+		if _, err := db.Exec(nil, LangSQL, "insert into K values ($1)", int64(i)); err != nil {
+			t.Fatal(err)
+		}
+		// The WAL append is fsynced before Exec returns, so this ack
+		// promises the row survives SIGKILL.
+		fmt.Printf("ack %d\n", i)
+	}
+}
+
+// TestKillMinus9Durability is the real-crash half of the torture suite:
+// a child process commits with -fsync semantics and is SIGKILLed at a
+// random moment; every row it acknowledged before dying must be present
+// after recovery, and the recovered rows must be a contiguous prefix
+// (acknowledged rows plus at most the commits that were in flight).
+func TestKillMinus9Durability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Skip("no test binary path")
+	}
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	for round := 0; round < 3; round++ {
+		dir := t.TempDir()
+		cmd := exec.Command(exe, "-test.run", "TestCrashChild")
+		cmd.Env = append(os.Environ(), crashChildEnv+"="+dir)
+		out, err := cmd.StdoutPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+
+		acked := -1
+		scanner := bufio.NewScanner(out)
+		deadline := time.After(time.Duration(30+rng.Intn(120)) * time.Millisecond)
+		killed := false
+	scan:
+		for scanner.Scan() {
+			line := scanner.Text()
+			if n, ok := strings.CutPrefix(line, "ack "); ok {
+				v, err := strconv.Atoi(n)
+				if err == nil && v > acked {
+					acked = v
+				}
+			}
+			select {
+			case <-deadline:
+				cmd.Process.Signal(syscall.SIGKILL)
+				killed = true
+				break scan
+			default:
+			}
+		}
+		if !killed {
+			cmd.Process.Signal(syscall.SIGKILL)
+		}
+		cmd.Wait()
+		if acked < 0 {
+			t.Fatalf("round %d: child died before acknowledging any commit", round)
+		}
+
+		db, err := OpenDurable(dir, storage.Options{})
+		if err != nil {
+			t.Fatalf("round %d: recovery after SIGKILL: %v", round, err)
+		}
+		rel := db.Relation("K")
+		if rel == nil {
+			t.Fatalf("round %d: table K lost", round)
+		}
+		got := map[int]bool{}
+		max := -1
+		rel.Each(func(tp relation.Tuple, m int) {
+			n := tp[0].AsInt()
+			got[int(n)] = true
+			if int(n) > max {
+				max = int(n)
+			}
+		})
+		if max < acked {
+			t.Fatalf("round %d: acknowledged seq %d lost to SIGKILL (recovered up to %d)", round, acked, max)
+		}
+		for i := 0; i <= max; i++ {
+			if !got[i] {
+				t.Fatalf("round %d: recovered rows are not a prefix: missing %d of 0..%d", round, i, max)
+			}
+		}
+		db.Close()
+		t.Logf("round %d: acked %d, recovered prefix 0..%d", round, acked, max)
+	}
+}

@@ -1,0 +1,91 @@
+// durable.go plugs the internal/storage backend (write-ahead log +
+// checkpoint segments) into the engine: OpenDurable recovers a database
+// from a storage directory — or bootstraps one from seed relations —
+// and every commit thereafter is journaled before it becomes visible.
+// An in-memory DB (Open/OpenCatalog) has no manager; the durable
+// surface below degrades gracefully for it.
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/convention"
+	"repro/internal/eval"
+	"repro/internal/relation"
+	"repro/internal/storage"
+)
+
+// OpenDurable opens an engine backed by the storage directory dir. A
+// fresh (or empty) directory is bootstrapped from the seed relations:
+// the seed state is checkpointed immediately, so it survives a crash
+// before the first commit. An existing directory recovers to its last
+// durably committed generation (newest checkpoint plus WAL replay,
+// truncating a torn tail) — recovered state wins over the seeds, and
+// only seed relations whose names are absent from the recovered catalog
+// are added (as a logged administrative commit).
+func OpenDurable(dir string, opts storage.Options, seed ...*relation.Relation) (*DB, error) {
+	mgr, rec, err := storage.Open(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	db := &DB{
+		catTmpl: eval.NewCatalog(),
+		conv:    convention.SQL(),
+		cache:   newStmtCache(DefaultStmtCacheSize),
+	}
+	if rec.Empty {
+		db.store = relation.NewStore(seed...)
+		if err := mgr.Bootstrap(db.store); err != nil {
+			mgr.Close()
+			return nil, err
+		}
+		db.durable = mgr
+		return db, nil
+	}
+	db.store = relation.NewStoreAt(rec.Gen, rec.Rels...)
+	mgr.Attach(db.store)
+	db.durable = mgr
+	var missing []*relation.Relation
+	have := db.store.Head().Rels()
+	for _, r := range seed {
+		if _, ok := have[r.Name()]; !ok {
+			missing = append(missing, r)
+		}
+	}
+	if len(missing) > 0 {
+		db.store.Apply(missing...)
+	}
+	return db, nil
+}
+
+// Durable reports whether the DB is backed by a storage directory.
+func (db *DB) Durable() bool { return db.durable != nil }
+
+// Checkpoint writes the current head as a full snapshot checkpoint and
+// truncates the write-ahead log (see storage.Manager.Checkpoint). It is
+// an error on an in-memory DB.
+func (db *DB) Checkpoint() error {
+	if db.durable == nil {
+		return fmt.Errorf("engine: in-memory database has no checkpoint")
+	}
+	return db.durable.Checkpoint()
+}
+
+// RecoveryStats reports what OpenDurable recovered; ok is false for an
+// in-memory DB.
+func (db *DB) RecoveryStats() (storage.RecoveryStats, bool) {
+	if db.durable == nil {
+		return storage.RecoveryStats{}, false
+	}
+	return db.durable.RecoveryStats(), true
+}
+
+// Close flushes and closes the durable backend (further commits fail);
+// it is a no-op on an in-memory DB. It does not checkpoint — callers
+// wanting a clean cold start (no WAL replay) checkpoint first.
+func (db *DB) Close() error {
+	if db.durable == nil {
+		return nil
+	}
+	return db.durable.Close()
+}

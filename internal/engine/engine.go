@@ -47,6 +47,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/relation"
 	"repro/internal/sql"
+	"repro/internal/storage"
 )
 
 // Lang selects the query language of a prepared statement.
@@ -81,6 +82,10 @@ func (l Lang) String() string {
 // generation-versioned statement cache.
 type DB struct {
 	store *relation.Store
+
+	// durable is the storage backend journaling this DB's commits, nil
+	// for an in-memory DB (see durable.go).
+	durable *storage.Manager
 
 	mu sync.RWMutex
 	// catTmpl carries the non-base catalog entries (views, abstract
@@ -145,12 +150,21 @@ type DBStats struct {
 	// published commits, and conflict rejections (which include
 	// conflicts raised against write sets the engine retried).
 	Store relation.StoreStats
+
+	// Storage is the durable backend's counter snapshot (WAL appends,
+	// checkpoints, block cache, recovery time), nil for an in-memory DB.
+	Storage *storage.Stats
 }
 
 // Stats snapshots the execution counters. Cache hit rate is
 // CacheHits/Prepares; servers export the whole block for capacity
 // planning and conflict monitoring.
 func (db *DB) Stats() DBStats {
+	var st *storage.Stats
+	if db.durable != nil {
+		s := db.durable.Stats()
+		st = &s
+	}
 	return DBStats{
 		Prepares:        db.prepares.Load(),
 		CacheHits:       db.cacheHits.Load(),
@@ -166,6 +180,7 @@ func (db *DB) Stats() DBStats {
 		TxRollbacks:     db.txRollbacks.Load(),
 		SlowQueries:     db.slowQueries.Load(),
 		Store:           db.store.Stats(),
+		Storage:         st,
 	}
 }
 

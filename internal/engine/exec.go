@@ -149,6 +149,8 @@ func (s *Stmt) applyTo(ws *relation.WriteSet, vals []value.Value, check func() e
 		return s.applyInsert(ws, st, vals, check)
 	case *sql.Delete:
 		return s.applyDelete(ws, st, vals, check)
+	case *sql.Update:
+		return s.applyUpdate(ws, st, vals, check)
 	case *sql.CreateTable:
 		if err := ws.Create(st.Name, st.Cols); err != nil {
 			return 0, err
@@ -249,6 +251,51 @@ func (s *Stmt) applyDelete(ws *relation.WriteSet, del *sql.Delete, vals []value.
 	removed, err := ws.Delete(del.Table, tuples)
 	if err != nil {
 		return 0, err
+	}
+	return int64(removed), nil
+}
+
+// applyUpdate runs the compiled matching-rows query — each matched row
+// followed by its SET values — then removes the matched tuples and
+// re-inserts the rewritten ones with their multiplicities. Deletes all
+// land before the first insert, so updates that permute existing tuples
+// (key swaps) cannot clobber each other's rows.
+func (s *Stmt) applyUpdate(ws *relation.WriteSet, up *sql.Update, vals []value.Value, check func() error) (int64, error) {
+	target := ws.Relation(up.Table)
+	if target == nil {
+		return 0, fmt.Errorf("engine: UPDATE unknown relation %q", up.Table)
+	}
+	arity := target.Arity()
+	pos := s.insPos
+	if len(pos) != len(up.Cols) {
+		return 0, fmt.Errorf("engine: UPDATE %s: stale column mapping", up.Table)
+	}
+	matched, err := s.evalDMLQuery(vals, check)
+	if err != nil {
+		return 0, err
+	}
+	var olds, news []relation.Tuple
+	var mults []int
+	matched.Each(func(t relation.Tuple, m int) {
+		nw := append(relation.Tuple(nil), t[:arity]...)
+		for i, p := range pos {
+			nw[p] = t[arity+i]
+		}
+		olds = append(olds, t[:arity])
+		news = append(news, nw)
+		mults = append(mults, m)
+	})
+	if len(olds) == 0 {
+		return 0, nil
+	}
+	removed, err := ws.Delete(up.Table, olds)
+	if err != nil {
+		return 0, err
+	}
+	for i, nw := range news {
+		if err := ws.Insert(up.Table, nw, mults[i]); err != nil {
+			return 0, err
+		}
 	}
 	return int64(removed), nil
 }

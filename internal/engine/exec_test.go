@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 
@@ -114,6 +115,97 @@ func TestExecDelete(t *testing.T) {
 	res = mustExec(t, db, LangSQL, "delete from R r")
 	if res.RowsAffected != 2 {
 		t.Fatalf("RowsAffected = %d, want 2", res.RowsAffected)
+	}
+}
+
+func TestExecUpdate(t *testing.T) {
+	db := Open(relation.New("R", "A", "B").Add(1, 10).Add(2, 20).Add(2, 20).Add(3, 30))
+	res := mustExec(t, db, LangSQL, "update R set B = $1 where R.A = 2", int64(99))
+	// Every occurrence of a matched tuple is rewritten: (2,20)×2 → (2,99)×2.
+	if res.RowsAffected != 2 {
+		t.Fatalf("RowsAffected = %d, want 2", res.RowsAffected)
+	}
+	if got := countAll(t, db.QueryAll, LangSQL, "select R.A from R where R.B = 99"); got != 2 {
+		t.Fatalf("rewritten occurrences = %d, want 2", got)
+	}
+	if got := countAll(t, db.QueryAll, LangSQL, "select R.A from R"); got != 4 {
+		t.Fatalf("total rows = %d, want 4 (update must not change cardinality)", got)
+	}
+	// SET may reference the row being updated, and BETWEEN range
+	// predicates drive the matching-rows query.
+	res = mustExec(t, db, LangSQL, "update R set B = R.B + 1 where R.A between 1 and 2")
+	if res.RowsAffected != 3 {
+		t.Fatalf("RowsAffected = %d, want 3", res.RowsAffected)
+	}
+	if got := countAll(t, db.QueryAll, LangSQL, "select R.A from R where R.B = 100"); got != 2 {
+		t.Fatalf("B=100 occurrences = %d, want 2", got)
+	}
+	// Aliased form with an unqualified SET column reference.
+	res = mustExec(t, db, LangSQL, "update R r set B = B + A where r.B = 11")
+	if res.RowsAffected != 1 {
+		t.Fatalf("aliased RowsAffected = %d, want 1", res.RowsAffected)
+	}
+	if got := countAll(t, db.QueryAll, LangSQL, "select R.A from R where R.B = 12"); got != 1 {
+		t.Fatalf("B=12 occurrences = %d, want 1", got)
+	}
+	// Value swap across columns must read the old row on both sides.
+	mustExec(t, db, LangSQL, "delete from R")
+	mustExec(t, db, LangSQL, "insert into R values (1, 2)")
+	mustExec(t, db, LangSQL, "update R set A = R.B, B = R.A")
+	if got := countAll(t, db.QueryAll, LangSQL, "select R.A from R where R.A = 2 and R.B = 1"); got != 1 {
+		t.Fatalf("swap produced wrong row (want exactly (2,1))")
+	}
+	// No matches: zero affected, no error, and no generation bump.
+	gen := db.Generation()
+	res = mustExec(t, db, LangSQL, "update R set B = 0 where R.A = 42")
+	if res.RowsAffected != 0 {
+		t.Fatalf("RowsAffected = %d, want 0", res.RowsAffected)
+	}
+	if db.Generation() != gen {
+		t.Fatalf("no-op update bumped generation %d -> %d", gen, db.Generation())
+	}
+}
+
+func TestExecUpdateRangePlan(t *testing.T) {
+	db := Open(relation.New("R", "A", "B").Add(1, 10).Add(5, 50).Add(9, 90))
+	s, err := db.Prepare(LangSQL, "update R set B = 0 where R.A >= 2 and R.A < 7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := s.Explain()
+	if err != nil {
+		t.Fatalf("Explain: %v", err)
+	}
+	if !strings.Contains(text, "RangeScan R A in [2, 7)") {
+		t.Fatalf("UPDATE range WHERE did not lower to a RangeScan:\n%s", text)
+	}
+	res, err := s.Exec(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RowsAffected != 1 {
+		t.Fatalf("RowsAffected = %d, want 1", res.RowsAffected)
+	}
+	if got := countAll(t, db.QueryAll, LangSQL, "select R.A from R where R.B = 0"); got != 1 {
+		t.Fatalf("B=0 occurrences = %d, want 1", got)
+	}
+}
+
+func TestExecUpdateErrors(t *testing.T) {
+	db := Open(relation.New("R", "A", "B").Add(1, 10))
+	for _, src := range []string{
+		"update Nope set A = 1",     // unknown table
+		"update R set C = 1",        // unknown column
+		"update R set A = 1, A = 2", // column set twice
+	} {
+		if _, err := db.Prepare(LangSQL, src); err == nil {
+			t.Errorf("Prepare(%q) succeeded, want error", src)
+		}
+	}
+	// An unknown column in WHERE compiles to the enumeration fallback
+	// (same as DELETE) and must fail at execution.
+	if _, err := db.Exec(context.Background(), LangSQL, "update R set A = 1 where R.C = 1"); err == nil {
+		t.Error("Exec with unknown WHERE column succeeded, want error")
 	}
 }
 

@@ -112,8 +112,8 @@ type Stmt struct {
 	rels    sqleval.DB // prepare-time relation snapshot (or tx overlay)
 
 	// SQL DML/DDL
-	st     sql.Statement // *sql.Insert, *sql.Delete, *sql.CreateTable
-	insPos []int         // INSERT: target column of each written value
+	st     sql.Statement // *sql.Insert, *sql.Delete, *sql.Update, *sql.CreateTable
+	insPos []int         // INSERT/UPDATE: target column of each written value
 
 	// ARC / Datalog fact ops
 	ops []factOp
@@ -167,6 +167,8 @@ func compileSQL(db *DB, src string, rels map[string]*relation.Relation) (*Stmt, 
 		return compileInsert(db, src, x, rels)
 	case *sql.Delete:
 		return compileDelete(db, src, x, rels)
+	case *sql.Update:
+		return compileUpdate(db, src, x, rels)
 	case *sql.CreateTable:
 		seen := map[string]bool{}
 		for _, c := range x.Cols {
@@ -331,6 +333,65 @@ func compileDelete(db *DB, src string, del *sql.Delete, rels map[string]*relatio
 	return s, nil
 }
 
+// compileUpdate lowers UPDATE t SET … WHERE … into a synthetic SELECT
+// projecting the target's full row followed by each SET expression, so
+// row matching and new-value computation both run through the planner
+// (range and probe pushdown included) like any query. Exec removes each
+// matched tuple's occurrences and re-inserts the rewritten tuples.
+func compileUpdate(db *DB, src string, up *sql.Update, rels map[string]*relation.Relation) (*Stmt, error) {
+	target, ok := rels[up.Table]
+	if !ok {
+		return nil, fmt.Errorf("engine: UPDATE unknown relation %q", up.Table)
+	}
+	pos := make([]int, len(up.Cols))
+	seen := map[string]bool{}
+	for i, c := range up.Cols {
+		p := target.AttrIndex(c)
+		if p < 0 {
+			return nil, fmt.Errorf("engine: UPDATE %s: unknown column %q", up.Table, c)
+		}
+		if seen[c] {
+			return nil, fmt.Errorf("engine: UPDATE %s: column %q set twice", up.Table, c)
+		}
+		seen[c] = true
+		pos[i] = p
+	}
+	b := up.Binding()
+	items := make([]sql.SelectItem, 0, target.Arity()+len(up.Cols))
+	for _, a := range target.Attrs() {
+		items = append(items, sql.SelectItem{Expr: &sql.ColRef{Table: b, Column: a}, Alias: a})
+	}
+	for i, e := range up.Exprs {
+		items = append(items, sql.SelectItem{Expr: e, Alias: fmt.Sprintf("set_%d", i)})
+	}
+	q := &sql.Select{
+		Items: items,
+		From:  []sql.TableRef{&sql.BaseTable{Name: up.Table, Alias: up.Alias}},
+		Where: up.Where,
+	}
+	s := &Stmt{
+		db:      db,
+		lang:    LangSQL,
+		kind:    KindDML,
+		src:     src,
+		st:      up,
+		q:       q,
+		insPos:  pos,
+		nparams: sql.MaxParamStmt(up),
+		refs:    referencedSQL(q),
+		rels:    rels,
+	}
+	if p, err := plan.Compile(q, rels); err == nil {
+		s.plan = p
+	} else {
+		if !errors.Is(err, plan.ErrNotPlannable) {
+			return nil, err
+		}
+		s.planErr = err
+	}
+	return s, nil
+}
+
 // checkConstExpr verifies a VALUES expression is evaluable without a row
 // context: literals, placeholders, and arithmetic over them.
 func checkConstExpr(e sql.Expr) error {
@@ -465,7 +526,8 @@ func (s *Stmt) Columns() []string { return s.cols }
 func (s *Stmt) NumParams() int { return s.nparams }
 
 // Explain renders the compiled physical plan of a SQL statement — for
-// DELETE, the plan of its synthetic matching-rows query — or the reason
+// DELETE and UPDATE, the plan of the synthetic matching-rows query — or
+// the reason
 // it executes on the reference enumeration path; ARC statements render
 // their per-scope plans.
 func (s *Stmt) Explain() (string, error) {

@@ -41,6 +41,18 @@ func Probe(r *relation.Relation, cols []int, vals []value.Value) Seq {
 	}
 }
 
+// RangeScan streams the distinct tuples of r whose value at col lies
+// between lo and hi under Compare semantics (a NULL bound leaves that
+// side unbounded), in ascending column order, via r's lazy per-column
+// ordered index. NULL column values and values incomparable with the
+// bounds never match, so the stream is exactly the rows a 3VL filter on
+// the consumed range predicate would keep.
+func RangeScan(r *relation.Relation, col int, lo, hi value.Value, loIncl, hiIncl bool) Seq {
+	return func(yield func(relation.Tuple, int) bool) {
+		r.RangeProbe(col, lo, hi, loIncl, hiIncl, yield)
+	}
+}
+
 // Filter streams the rows of in that keep accepts (σ).
 func Filter(in Seq, keep func(relation.Tuple, int) bool) Seq {
 	return func(yield func(relation.Tuple, int) bool) {

@@ -246,7 +246,7 @@ func (p *Plan) Execute() (*relation.Relation, error) {
 func (p *Plan) ExecuteWith(params []value.Value, check func() error) (*relation.Relation, error) {
 	ctx := &runCtx{params: params, check: check}
 	if pn, ok := p.root.(*projectNode); ok && pn.srcCols != nil {
-		if sn, ok := pn.input.(*scanNode); ok {
+		if sn, ok := pn.input.(*scanNode); ok && sn.rng == nil {
 			return p.executePoint(ctx, pn, sn)
 		}
 	}
@@ -351,14 +351,38 @@ type scanProbe struct {
 	param int // 0-based parameter index, or -1 for a literal
 }
 
+// scanBound is one end of a pushed-down range restriction: a literal
+// value (param < 0) or a parameter resolved per execution. An unset
+// bound leaves that side of the range open.
+type scanBound struct {
+	set   bool
+	incl  bool
+	val   value.Value
+	param int // 0-based parameter index, or -1 for a literal
+}
+
+// scanRange is a consumed conjunction of ordering conjuncts on one scan
+// column (lo <= c AND c < hi, either side optional), served by the
+// relation's ordered index instead of a full scan plus filter. The
+// ordered probe follows the 3VL Compare contract exactly — NULL column
+// values and values incomparable with the bounds never match — so the
+// consumed conjuncts are precisely the filters they replace.
+type scanRange struct {
+	col    int
+	lo, hi scanBound
+}
+
 // scanNode streams a base relation, optionally restricted by an index
-// probe on constant or parameter equality columns pushed down from WHERE.
+// probe on constant or parameter equality columns pushed down from
+// WHERE, or by a range over the relation's ordered index.
 type scanNode struct {
 	rel       *relation.Relation
 	alias     string
 	schema    []ColID
 	probes    []scanProbe
 	probeStrs []string
+	rng       *scanRange
+	rangeStr  string
 }
 
 func newScanNode(rel *relation.Relation, alias string) *scanNode {
@@ -400,7 +424,33 @@ func (n *scanNode) resolveProbes(ctx *runCtx) (cols []int, vals []value.Value, r
 	return cols, vals, reCols, reVals, false
 }
 
+// resolveRange materializes the range bounds for one execution. A set
+// bound that resolves to NULL (a NULL parameter) makes the whole scan
+// empty: the consumed comparison is Unknown for every row.
+func (n *scanNode) resolveRange(ctx *runCtx) (lo, hi value.Value, empty bool) {
+	resolve := func(b scanBound) (value.Value, bool) {
+		if !b.set {
+			return value.Null(), false // unbounded side
+		}
+		v := b.val
+		if b.param >= 0 {
+			v = ctx.param(b.param)
+		}
+		return v, v.IsNull()
+	}
+	lo, emptyLo := resolve(n.rng.lo)
+	hi, emptyHi := resolve(n.rng.hi)
+	return lo, hi, emptyLo || emptyHi
+}
+
 func (n *scanNode) Run(ctx *runCtx) exec.Seq {
+	if n.rng != nil {
+		lo, hi, empty := n.resolveRange(ctx)
+		if empty {
+			return ctx.traced(n, emptySeq)
+		}
+		return ctx.traced(n, exec.RangeScan(n.rel, n.rng.col, lo, hi, n.rng.lo.incl, n.rng.hi.incl))
+	}
 	if len(n.probes) == 0 {
 		return ctx.traced(n, exec.Scan(n.rel))
 	}
@@ -427,7 +477,11 @@ func (n *scanNode) Run(ctx *runCtx) exec.Seq {
 
 func (n *scanNode) writeExplain(b *strings.Builder, depth int, tr *trace.Trace) {
 	indent(b, depth)
-	b.WriteString("Scan ")
+	if n.rng != nil {
+		b.WriteString("RangeScan ")
+	} else {
+		b.WriteString("Scan ")
+	}
 	b.WriteString(n.rel.Name())
 	if n.alias != n.rel.Name() {
 		b.WriteString(" as ")
@@ -435,6 +489,10 @@ func (n *scanNode) writeExplain(b *strings.Builder, depth int, tr *trace.Trace) 
 	}
 	if len(n.probeStrs) > 0 {
 		fmt.Fprintf(b, " probe(%s)", strings.Join(n.probeStrs, ", "))
+	}
+	if n.rangeStr != "" {
+		b.WriteString(" ")
+		b.WriteString(n.rangeStr)
 	}
 	writeStats(b, tr, n)
 	b.WriteString("\n")

@@ -48,8 +48,39 @@ func TestGoldenPlans(t *testing.T) {
   AntiJoin NOT EXISTS corr(R.B = S.B)
     Scan R
     Project [k0]
-      Filter (S.C < 2)
-        Scan S
+      RangeScan S C in (-inf, 2)
+`,
+		},
+		{
+			// Range conjuncts on one column merge into a bounded RangeScan.
+			"select R.A from R where R.A >= 2 and R.A < 7",
+			`Project [A]
+  RangeScan R A in [2, 7)
+`,
+		},
+		{
+			// BETWEEN desugars into the same bounded range, closed above.
+			"select R.A from R where R.B between 1 and 5",
+			`Project [A]
+  RangeScan R B in [1, 5]
+`,
+		},
+		{
+			// Parameter bounds resolve per execution; a second range column
+			// stays a filter, and a flipped literal side still binds.
+			"select R.A from R where 3 < R.A and R.A <= $1 and R.B < 9",
+			`Project [A]
+  Filter (R.B < 9)
+    RangeScan R A in (3, $1]
+`,
+		},
+		{
+			// An equality probe wins over range pushdown: the ordering
+			// conjunct stays a filter above the probed scan.
+			"select R.A from R where R.A = 1 and R.B < 4",
+			`Project [A]
+  Filter (R.B < 4)
+    Scan R probe(A=1)
 `,
 		},
 		{

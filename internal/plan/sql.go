@@ -286,6 +286,7 @@ func (c *compilerCtx) compileRef(ref sql.TableRef, outer *scope, conjs []sql.Exp
 		}
 		n := newScanNode(rel, x.Binding())
 		c.pushProbes(n, conjs, consumed)
+		c.pushRange(n, conjs, consumed)
 		return n, nil
 	case *sql.SubqueryTable:
 		if x.Lateral {
@@ -347,6 +348,120 @@ func (c *compilerCtx) pushProbes(n *scanNode, conjs []sql.Expr, consumed []bool)
 			break
 		}
 	}
+}
+
+// flipCmp mirrors an ordering comparison so `lit < col` reads as
+// `col > lit`.
+func flipCmp(op value.CmpOp) value.CmpOp {
+	switch op {
+	case value.Lt:
+		return value.Gt
+	case value.Le:
+		return value.Ge
+	case value.Gt:
+		return value.Lt
+	case value.Ge:
+		return value.Le
+	}
+	return op
+}
+
+// pushRange turns ordering conjuncts on one column of a top-level
+// base-table scan — alias.col < lit, alias.col >= $n, and the two
+// conjuncts BETWEEN desugars into — into a bounded range scan over the
+// relation's ordered index, consuming the conjuncts. Only scans without
+// equality probes take a range (a hash probe already narrows the scan
+// more than an ordered slice would); the first ranged column wins, each
+// side binds at most once, and everything else stays a filter. The
+// ordered probe matches the 3VL Compare contract exactly — NULL column
+// values, NULL bounds, and cross-class values match nothing — so a
+// consumed conjunct is precisely the filter it replaces, for literal
+// and for every possible parameter binding alike.
+func (c *compilerCtx) pushRange(n *scanNode, conjs []sql.Expr, consumed []bool) {
+	if len(n.probes) > 0 {
+		return
+	}
+	var rng *scanRange
+	var colName, loStr, hiStr string
+	for i, cj := range conjs {
+		if consumed[i] {
+			continue
+		}
+		cmp, ok := cj.(*sql.Cmp)
+		if !ok {
+			continue
+		}
+		op := cmp.Op
+		var ref *sql.ColRef
+		var other sql.Expr
+		if l, isRef := cmp.L.(*sql.ColRef); isRef && l.Table == n.alias {
+			ref, other = l, cmp.R
+		} else if r, isRef := cmp.R.(*sql.ColRef); isRef && r.Table == n.alias {
+			ref, other = r, cmp.L
+			op = flipCmp(op)
+		} else {
+			continue
+		}
+		if op != value.Lt && op != value.Le && op != value.Gt && op != value.Ge {
+			continue
+		}
+		col := n.rel.AttrIndex(ref.Column)
+		if col < 0 {
+			continue
+		}
+		b := scanBound{set: true, incl: op == value.Le || op == value.Ge, param: -1}
+		var bStr string
+		switch o := other.(type) {
+		case *sql.Lit:
+			if o.Val.IsNull() {
+				continue // c < NULL is Unknown everywhere; leave the filter
+			}
+			b.val = o.Val
+			bStr = fmt.Sprintf("%s", o.Val)
+		case *sql.Param:
+			b.param = o.Index - 1
+			bStr = o.String()
+		default:
+			continue
+		}
+		if rng == nil {
+			rng = &scanRange{col: col}
+			colName = ref.Column
+		} else if rng.col != col {
+			continue
+		}
+		if op == value.Lt || op == value.Le {
+			if rng.hi.set {
+				continue
+			}
+			rng.hi, hiStr = b, bStr
+		} else {
+			if rng.lo.set {
+				continue
+			}
+			rng.lo, loStr = b, bStr
+		}
+		consumed[i] = true
+	}
+	if rng == nil {
+		return
+	}
+	n.rng = rng
+	open, lo := "(", "-inf"
+	if rng.lo.set {
+		lo = loStr
+		if rng.lo.incl {
+			open = "["
+		}
+	}
+	close, hi := ")", "+inf"
+	if rng.hi.set {
+		hi = hiStr
+		if rng.hi.incl {
+			close = "]"
+		}
+	}
+	n.rangeStr = fmt.Sprintf("%s in %s%s, %s%s", colName, open, lo, hi, close)
 }
 
 // compileJoinRef lowers an explicit join tree. ON column equalities

@@ -2,6 +2,7 @@ package qgen
 
 import (
 	"errors"
+	"strings"
 	"testing"
 
 	"repro/internal/convention"
@@ -66,6 +67,52 @@ func TestPlannerDifferentialSQL(t *testing.T) {
 	if planned < 3000 {
 		t.Fatalf("fewer than 3000 planner-compiled queries were differentially verified (%d)", planned)
 	}
+}
+
+// TestPlannerDifferentialRange pins the RangeScan lowering: over the
+// range-heavy corpus (BETWEEN, one- and two-sided bounds, flipped
+// literal sides, NULL-laden instances) the planner path must return
+// byte-identical results to the enumeration path, and the corpus must
+// actually compile to RangeScan plans rather than silently staying on
+// filtered full scans.
+func TestPlannerDifferentialRange(t *testing.T) {
+	rng := workload.Rand(20260808)
+	ranged := 0
+	for i := 0; i < 1500; i++ {
+		src := GenerateRange(rng)
+		inst := RandomInstance(rng, 12, i%2 == 0)
+		db := sqleval.DB{}
+		for _, r := range inst.Relations() {
+			db[r.Name()] = r
+		}
+		q, err := sql.Parse(src)
+		if err != nil {
+			t.Fatalf("trial %d: parse %q: %v", i, src, err)
+		}
+		want, err := sqleval.EvalMode(q, db, sqleval.PlanOff)
+		if err != nil {
+			t.Fatalf("trial %d: enumeration rejected %q: %v", i, src, err)
+		}
+		if p, cerr := plan.Compile(q, db); cerr == nil {
+			if strings.Contains(p.Explain(), "RangeScan") {
+				ranged++
+			}
+		} else if !errors.Is(cerr, plan.ErrNotPlannable) {
+			t.Fatalf("trial %d: compile error does not wrap ErrNotPlannable: %q: %v", i, src, cerr)
+		}
+		got, err := sqleval.EvalMode(q, db, sqleval.PlanAuto)
+		if err != nil {
+			t.Fatalf("trial %d: planner path failed on %q: %v", i, src, err)
+		}
+		if got.String() != want.String() {
+			t.Fatalf("trial %d: range divergence on %q\nenumeration:\n%s\nplanner:\n%s",
+				i, src, want, got)
+		}
+	}
+	if ranged < 1000 {
+		t.Fatalf("only %d/1500 range-corpus queries compiled to a RangeScan", ranged)
+	}
+	t.Logf("range corpus: %d/1500 RangeScan plans", ranged)
 }
 
 // TestScopeCompilerDifferentialARC pins the ARC side of the same

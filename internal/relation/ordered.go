@@ -1,0 +1,138 @@
+// ordered.go adds the ordered counterpart of the lazy hash indexes: a
+// per-column sorted index (value.Less order) serving range predicates.
+// Where Probe answers "rows whose column equals v", RangeProbe answers
+// "rows whose column falls in [lo,hi]" with any combination of
+// open/closed/unbounded ends — the in-memory fallback behind
+// exec.RangeScan when a relation lives purely in RAM rather than in
+// sorted segment files.
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/value"
+)
+
+// orderedIndex is one cached per-column sorted index: slots ordered by
+// the column value under value.Less over a captured rows header. gen is
+// the relation generation it was built at; any mutation bumps the
+// generation and invalidates the index wholesale (range workloads are
+// read-heavy; incremental maintenance of a sorted slice is not worth
+// its complexity).
+type orderedIndex struct {
+	gen   uint64
+	rows  []row
+	slots []int
+}
+
+// ordClass buckets values into the comparability classes of the Less
+// total order: NULL < numerics (ints and floats interleaved) < strings
+// < bools. Compare is total within a class (except NULL) and undefined
+// across classes.
+func ordClass(v value.Value) int {
+	switch v.Kind() {
+	case value.KindNull:
+		return 0
+	case value.KindInt, value.KindFloat:
+		return 1
+	case value.KindString:
+		return 2
+	}
+	return 3
+}
+
+// orderedIndexFor returns the sorted index on col, rebuilding it if the
+// relation changed since it was built.
+func (r *Relation) orderedIndexFor(col int) *orderedIndex {
+	gen := r.gen.Load()
+	r.mu.RLock()
+	ix, ok := r.ordIdx[col]
+	r.mu.RUnlock()
+	if ok && ix.gen == gen {
+		return ix
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	gen = r.gen.Load()
+	if ix, ok := r.ordIdx[col]; ok && ix.gen == gen {
+		return ix
+	}
+	ix = &orderedIndex{gen: gen, rows: r.rows, slots: make([]int, len(r.rows))}
+	for i := range ix.slots {
+		ix.slots[i] = i
+	}
+	sort.SliceStable(ix.slots, func(a, b int) bool {
+		return ix.rows[ix.slots[a]].tup[col].Less(ix.rows[ix.slots[b]].tup[col])
+	})
+	if r.ordIdx == nil {
+		r.ordIdx = make(map[int]*orderedIndex)
+	}
+	r.ordIdx[col] = ix
+	return ix
+}
+
+// RangeProbe calls f for each distinct tuple whose value at col falls
+// between lo and hi under Compare semantics, with its multiplicity,
+// in ascending column order; f returning false stops the probe. A NULL
+// bound means unbounded on that side (at least one bound must be set).
+// Matching follows the 3VL comparison contract exactly: NULL column
+// values never match, and values incomparable with the bounds (a string
+// against numeric bounds) never match — so consuming a `lo <= c AND
+// c <= hi` filter into a RangeProbe preserves query semantics
+// bit-for-bit. Bounds of different classes (c > 1 AND c < 'z') match
+// nothing, mirroring the conjunction of two class-restricted predicates.
+func (r *Relation) RangeProbe(col int, lo, hi value.Value, loIncl, hiIncl bool, f func(Tuple, int) bool) {
+	if col < 0 || col >= len(r.attrs) {
+		panic(fmt.Sprintf("RangeProbe: relation %s has no column %d", r.name, col))
+	}
+	if lo.IsNull() && hi.IsNull() {
+		panic("RangeProbe: both bounds unbounded")
+	}
+	cls := ordClass(lo)
+	if lo.IsNull() {
+		cls = ordClass(hi)
+	} else if !hi.IsNull() && ordClass(hi) != cls {
+		return // conjunction of two different-class predicates: empty
+	}
+	ix := r.orderedIndexFor(col)
+	at := func(i int) value.Value { return ix.rows[ix.slots[i]].tup[col] }
+
+	// beforeLo: v sorts strictly before the range start. Downward-closed
+	// in the Less order, so sort.Search finds the boundary.
+	beforeLo := func(v value.Value) bool {
+		if c := ordClass(v); c != cls {
+			return c < cls
+		}
+		if lo.IsNull() {
+			return false
+		}
+		c, _ := v.Compare(lo)
+		if loIncl {
+			return c < 0
+		}
+		return c <= 0
+	}
+	// withinHi: v sorts at or before the range end.
+	withinHi := func(v value.Value) bool {
+		if c := ordClass(v); c != cls {
+			return c < cls
+		}
+		if hi.IsNull() {
+			return true
+		}
+		c, _ := v.Compare(hi)
+		if hiIncl {
+			return c <= 0
+		}
+		return c < 0
+	}
+	start := sort.Search(len(ix.slots), func(i int) bool { return !beforeLo(at(i)) })
+	end := start + sort.Search(len(ix.slots)-start, func(i int) bool { return !withinHi(at(start + i)) })
+	for _, slot := range ix.slots[start:end] {
+		if !f(ix.rows[slot].tup, int(atomic.LoadInt64(&ix.rows[slot].mult))) {
+			return
+		}
+	}
+}

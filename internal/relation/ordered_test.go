@@ -1,0 +1,175 @@
+package relation
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/value"
+)
+
+// rangeRel builds a relation with mixed-class values in one column.
+func rangeRel() *Relation {
+	r := New("t", "k", "v")
+	r.Add(5, "a")
+	r.Add(1, "b")
+	r.Add(3, "c")
+	r.Add(nil, "null")
+	r.Add(2.5, "f")
+	r.Add("x", "s1")
+	r.Add("m", "s2")
+	r.Add(true, "b1")
+	r.Add(3, "c") // mult bump
+	return r
+}
+
+func collectRange(r *Relation, col int, lo, hi value.Value, loIncl, hiIncl bool) []string {
+	var out []string
+	r.RangeProbe(col, lo, hi, loIncl, hiIncl, func(t Tuple, m int) bool {
+		for i := 0; i < m; i++ {
+			out = append(out, t[1].AsString())
+		}
+		return true
+	})
+	return out
+}
+
+func TestRangeProbe(t *testing.T) {
+	r := rangeRel()
+	cases := []struct {
+		lo, hi         value.Value
+		loIncl, hiIncl bool
+		want           []string
+	}{
+		// 1 <= k <= 3: ints 1, 3(x2) and float 2.5, ordered by value.
+		{value.Int(1), value.Int(3), true, true, []string{"b", "f", "c", "c"}},
+		// 1 < k < 3
+		{value.Int(1), value.Int(3), false, false, []string{"f"}},
+		// k >= 3: numerics only — strings/bools/NULL excluded.
+		{value.Int(3), value.Null(), true, false, []string{"c", "c", "a"}},
+		// k < 2.6 over numerics.
+		{value.Null(), value.Float(2.6), false, false, []string{"b", "f"}},
+		// string range.
+		{value.Str("a"), value.Str("z"), true, true, []string{"s2", "s1"}},
+		// k > "x": nothing above "x".
+		{value.Str("x"), value.Null(), false, false, nil},
+		// mixed-class bounds: empty.
+		{value.Int(0), value.Str("z"), true, true, nil},
+	}
+	for i, c := range cases {
+		got := collectRange(r, 0, c.lo, c.hi, c.loIncl, c.hiIncl)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("case %d: got %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+// RangeProbe must observe inserts that happened after the index was
+// built (generation-based invalidation).
+func TestRangeProbeAfterInsert(t *testing.T) {
+	r := New("t", "k", "v")
+	r.Add(1, "a")
+	r.Add(5, "b")
+	if got := collectRange(r, 0, value.Int(0), value.Int(9), true, true); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Fatalf("before insert: %v", got)
+	}
+	r.Add(3, "c")
+	if got := collectRange(r, 0, value.Int(0), value.Int(9), true, true); !reflect.DeepEqual(got, []string{"a", "c", "b"}) {
+		t.Fatalf("after insert: %v", got)
+	}
+}
+
+// The journal a hooked store's write set accumulates must replay to the
+// same catalog state the commit produced.
+func TestCommitHookJournalReplay(t *testing.T) {
+	seed := New("t", "a", "b")
+	seed.Add(1, "x")
+	st := NewStore(seed)
+
+	var logged []LogOp
+	var loggedGen uint64
+	st.SetCommitHook(func(gen uint64, ops []LogOp) error {
+		loggedGen = gen
+		logged = append(logged, ops...)
+		return nil
+	})
+
+	ws := st.Begin()
+	if err := ws.Create("u", []string{"c"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ws.Insert("u", Tuple{value.Int(7)}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := ws.Insert("t", Tuple{value.Int(2), value.Str("y")}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ws.Delete("t", []Tuple{{value.Int(1), value.Str("x")}}); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := st.Commit(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loggedGen != snap.Gen() {
+		t.Fatalf("hook gen %d, snapshot gen %d", loggedGen, snap.Gen())
+	}
+
+	// Replay against a copy of the base catalog.
+	cat := map[string]*Relation{"t": seed.Clone()}
+	for _, op := range logged {
+		if err := ApplyLogOp(cat, op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for name, want := range snap.Rels() {
+		got, ok := cat[name]
+		if !ok {
+			t.Fatalf("replay missing %q", name)
+		}
+		if !got.EqualBag(want) {
+			t.Fatalf("replay of %q diverged:\n%v\nvs\n%v", name, got, want)
+		}
+	}
+	if len(cat) != len(snap.Rels()) {
+		t.Fatalf("replay has %d relations, snapshot %d", len(cat), len(snap.Rels()))
+	}
+}
+
+// A failing hook must abort the commit without publishing.
+func TestCommitHookFailureAborts(t *testing.T) {
+	st := NewStore(New("t", "a"))
+	boom := errors.New("disk on fire")
+	st.SetCommitHook(func(uint64, []LogOp) error { return boom })
+	ws := st.Begin()
+	if err := ws.Insert("t", Tuple{value.Int(1)}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Commit(ws); !errors.Is(err, boom) {
+		t.Fatalf("commit error = %v, want wrapped hook error", err)
+	}
+	if st.Head().Relation("t").Card() != 0 {
+		t.Fatal("aborted commit became visible")
+	}
+	if st.Gen() != 1 {
+		t.Fatalf("generation advanced to %d on aborted commit", st.Gen())
+	}
+}
+
+func TestNewStoreAt(t *testing.T) {
+	st := NewStoreAt(41, New("t", "a"))
+	if st.Gen() != 41 {
+		t.Fatalf("gen = %d, want 41", st.Gen())
+	}
+	ws := st.Begin()
+	if err := ws.Insert("t", Tuple{value.Int(1)}, 1); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := st.Commit(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Gen() != 42 {
+		t.Fatalf("post-commit gen = %d, want 42", snap.Gen())
+	}
+}

@@ -83,6 +83,10 @@ type Relation struct {
 	// as-is), so the semi-naive Datalog delta loop and other insert-heavy
 	// workloads never pay for wholesale rebuilds.
 	hashIdx map[string]*hashIndex
+	// ordIdx caches per-column sorted indexes for RangeProbe (see
+	// ordered.go). Unlike hashIdx they are invalidated wholesale by any
+	// generation bump rather than maintained incrementally.
+	ordIdx map[int]*orderedIndex
 }
 
 // hashIndex is one cached per-column-set hash index.
@@ -272,6 +276,7 @@ func (r *Relation) RemoveKeys(keys map[string]struct{}) int {
 		}
 	}
 	r.hashIdx = nil
+	r.ordIdx = nil
 	r.gen.Add(1)
 	return removed
 }

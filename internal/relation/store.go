@@ -31,11 +31,131 @@ type Store struct {
 	mu   sync.Mutex
 	head atomic.Pointer[Snapshot]
 
+	// hook, when set, observes every commit under mu before the new
+	// snapshot becomes visible — the write-ahead ordering the durable
+	// storage backend relies on. See SetCommitHook.
+	hook atomic.Pointer[CommitHook]
+
 	// Commit-path counters (observability, see Stats): commits counts
 	// published write-set commits plus administrative Apply publishes,
 	// conflicts counts first-committer-wins rejections.
 	commits   atomic.Uint64
 	conflicts atomic.Uint64
+}
+
+// OpKind enumerates the journaled write-set operations a CommitHook
+// receives. Replaying a journal in order against the catalog state at
+// the journal's start reproduces the committed state exactly.
+type OpKind uint8
+
+const (
+	// OpCreate adds a new empty relation.
+	OpCreate OpKind = iota + 1
+	// OpDrop removes a relation from the catalog.
+	OpDrop
+	// OpInsert adds Mult occurrences of Tuple.
+	OpInsert
+	// OpDelete removes all occurrences of each tuple in Tuples.
+	OpDelete
+	// OpPut replaces (or adds) a relation wholesale with Rows/Mults —
+	// the administrative Register/Apply path.
+	OpPut
+)
+
+// LogOp is one journaled mutation. Only the fields relevant to Kind are
+// set; tuples are deep copies owned by the op.
+type LogOp struct {
+	Kind   OpKind
+	Rel    string
+	Attrs  []string // OpCreate, OpPut
+	Tuple  Tuple    // OpInsert
+	Mult   int64    // OpInsert
+	Tuples []Tuple  // OpDelete
+	Rows   []Tuple  // OpPut
+	Mults  []int64  // OpPut
+}
+
+// CommitHook observes a committed journal under the store's commit lock
+// *before* the new snapshot is published: gen is the generation the
+// commit will produce. Returning an error aborts the commit (nothing
+// becomes visible) — the durable backend uses this to refuse commits it
+// could not log.
+type CommitHook func(gen uint64, ops []LogOp) error
+
+// SetCommitHook installs the commit hook. Install before the store
+// serves writers: write sets opened while no hook was set do not
+// journal their operations.
+func (st *Store) SetCommitHook(h CommitHook) {
+	if h == nil {
+		st.hook.Store(nil)
+		return
+	}
+	st.hook.Store(&h)
+}
+
+// Barrier runs f with the current head snapshot while holding the
+// commit lock: no commit is in flight, every hook invocation for
+// generations <= head.Gen() has returned, and none for a later
+// generation has started. This is the cut point checkpointing needs to
+// rotate the log without losing or duplicating a record. f must not
+// call back into the store.
+func (st *Store) Barrier(f func(head *Snapshot)) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	f(st.head.Load())
+}
+
+// ApplyLogOp replays one journaled operation against a mutable catalog
+// map — the WAL recovery path. The map's relations must be private to
+// the caller (replay mutates them in place).
+func ApplyLogOp(cat map[string]*Relation, op LogOp) error {
+	switch op.Kind {
+	case OpCreate:
+		if _, ok := cat[op.Rel]; ok {
+			return fmt.Errorf("relation: replay: %q already exists", op.Rel)
+		}
+		cat[op.Rel] = New(op.Rel, op.Attrs...)
+	case OpDrop:
+		if _, ok := cat[op.Rel]; !ok {
+			return fmt.Errorf("relation: replay: unknown relation %q", op.Rel)
+		}
+		delete(cat, op.Rel)
+	case OpInsert:
+		r, ok := cat[op.Rel]
+		if !ok {
+			return fmt.Errorf("relation: replay: unknown relation %q", op.Rel)
+		}
+		r.InsertMult(op.Tuple, int(op.Mult))
+	case OpDelete:
+		r, ok := cat[op.Rel]
+		if !ok {
+			return fmt.Errorf("relation: replay: unknown relation %q", op.Rel)
+		}
+		keys := make(map[string]struct{}, len(op.Tuples))
+		for _, t := range op.Tuples {
+			keys[t.Key()] = struct{}{}
+		}
+		r.RemoveKeys(keys)
+	case OpPut:
+		r := New(op.Rel, op.Attrs...)
+		for i, t := range op.Rows {
+			r.InsertMult(t, int(op.Mults[i]))
+		}
+		cat[op.Rel] = r
+	default:
+		return fmt.Errorf("relation: replay: unknown op kind %d", op.Kind)
+	}
+	return nil
+}
+
+// putOp snapshots a relation wholesale as an OpPut journal entry.
+func putOp(r *Relation) LogOp {
+	op := LogOp{Kind: OpPut, Rel: r.Name(), Attrs: append([]string(nil), r.Attrs()...)}
+	r.Each(func(t Tuple, m int) {
+		op.Rows = append(op.Rows, t.Clone())
+		op.Mults = append(op.Mults, int64(m))
+	})
+	return op
 }
 
 // StoreStats is a point-in-time snapshot of the store's commit-path
@@ -73,15 +193,21 @@ type Snapshot struct {
 
 // NewStore builds a store whose initial snapshot (generation 1) holds
 // the given relations, keyed by name.
-func NewStore(rels ...*Relation) *Store {
+func NewStore(rels ...*Relation) *Store { return NewStoreAt(1, rels...) }
+
+// NewStoreAt builds a store whose initial snapshot carries the given
+// generation — the recovery path, where a store reopened from a
+// checkpoint plus WAL replay must keep numbering commits where the
+// previous incarnation stopped.
+func NewStoreAt(gen uint64, rels ...*Relation) *Store {
 	snap := &Snapshot{
-		gen:    1,
+		gen:    gen,
 		rels:   make(map[string]*Relation, len(rels)),
 		relVer: make(map[string]uint64, len(rels)),
 	}
 	for _, r := range rels {
 		snap.rels[r.Name()] = r
-		snap.relVer[r.Name()] = 1
+		snap.relVer[r.Name()] = gen
 	}
 	st := &Store{}
 	st.head.Store(snap)
@@ -115,9 +241,15 @@ func (s *Snapshot) Names() []string {
 	return out
 }
 
-// Begin opens a write set against the current head snapshot.
+// Begin opens a write set against the current head snapshot. If the
+// store has a commit hook, the write set journals its operations for
+// the hook to log at commit.
 func (st *Store) Begin() *WriteSet {
-	return &WriteSet{base: st.Head(), pend: map[string]*pendingRel{}}
+	return &WriteSet{
+		base:    st.Head(),
+		pend:    map[string]*pendingRel{},
+		journal: st.hook.Load() != nil,
+	}
 }
 
 // WriteSet accumulates a transaction's uncommitted changes: per-relation
@@ -136,6 +268,11 @@ type WriteSet struct {
 	// overlay caches the materialized Rels() map until ver changes.
 	overlay    map[string]*Relation
 	overlayVer uint64
+	// journal records each applied operation in ops for the store's
+	// commit hook (the WAL record). Off unless the store had a hook when
+	// the write set was opened.
+	journal bool
+	ops     []LogOp
 }
 
 type pendingRel struct {
@@ -229,6 +366,9 @@ func (ws *WriteSet) Create(name string, attrs []string) error {
 		}
 	}
 	ws.pend[name] = &pendingRel{work: New(name, attrs...), created: true}
+	if ws.journal {
+		ws.ops = append(ws.ops, LogOp{Kind: OpCreate, Rel: name, Attrs: append([]string(nil), attrs...)})
+	}
 	ws.ver++
 	return nil
 }
@@ -243,6 +383,9 @@ func (ws *WriteSet) Drop(name string) error {
 		return fmt.Errorf("relation: unknown relation %q", name)
 	}
 	ws.pend[name] = &pendingRel{dropped: true}
+	if ws.journal {
+		ws.ops = append(ws.ops, LogOp{Kind: OpDrop, Rel: name})
+	}
 	ws.ver++
 	return nil
 }
@@ -251,6 +394,11 @@ func (ws *WriteSet) Drop(name string) error {
 // the engine's Register.
 func (ws *WriteSet) Put(r *Relation) {
 	ws.pend[r.Name()] = &pendingRel{work: r, created: ws.Relation(r.Name()) == nil}
+	if ws.journal {
+		// Snapshot the content now: r is the live working copy and later
+		// statements may mutate it, which must journal as separate ops.
+		ws.ops = append(ws.ops, putOp(r))
+	}
 	ws.ver++
 }
 
@@ -264,6 +412,9 @@ func (ws *WriteSet) Insert(name string, t Tuple, n int) error {
 		return fmt.Errorf("relation: %q takes %d columns, got %d", name, work.Arity(), len(t))
 	}
 	work.InsertMult(t, n)
+	if ws.journal {
+		ws.ops = append(ws.ops, LogOp{Kind: OpInsert, Rel: name, Tuple: t.Clone(), Mult: int64(n)})
+	}
 	ws.ver++
 	return nil
 }
@@ -290,6 +441,13 @@ func (ws *WriteSet) Delete(name string, tuples []Tuple) (int, error) {
 		keys[t.Key()] = struct{}{}
 	}
 	removed := work.RemoveKeys(keys)
+	if ws.journal && removed > 0 {
+		op := LogOp{Kind: OpDelete, Rel: name, Tuples: make([]Tuple, len(tuples))}
+		for i, t := range tuples {
+			op.Tuples[i] = t.Clone()
+		}
+		ws.ops = append(ws.ops, op)
+	}
 	ws.ver++
 	return removed, nil
 }
@@ -330,6 +488,14 @@ func (st *Store) Commit(ws *WriteSet) (*Snapshot, error) {
 		}
 	}
 	gen := head.gen + 1
+	// Write-ahead: the hook logs the journal before the snapshot becomes
+	// visible. A hook failure aborts the commit — an acknowledged commit
+	// is always on stable storage first.
+	if h := st.hook.Load(); h != nil {
+		if err := (*h)(gen, ws.ops); err != nil {
+			return nil, fmt.Errorf("relation: commit hook: %w", err)
+		}
+	}
 	next := &Snapshot{
 		gen:    gen,
 		rels:   make(map[string]*Relation, len(head.rels)+len(ws.pend)),
@@ -363,6 +529,15 @@ func (st *Store) Apply(rels ...*Relation) *Snapshot {
 	defer st.mu.Unlock()
 	head := st.head.Load()
 	gen := head.gen + 1
+	if h := st.hook.Load(); h != nil {
+		ops := make([]LogOp, len(rels))
+		for i, r := range rels {
+			ops[i] = putOp(r)
+		}
+		// Apply has no error path; a failed log is surfaced by the next
+		// durable operation, and the upsert proceeds in memory.
+		_ = (*h)(gen, ops)
+	}
 	next := &Snapshot{
 		gen:    gen,
 		rels:   make(map[string]*Relation, len(head.rels)+len(rels)),

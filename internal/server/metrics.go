@@ -114,10 +114,26 @@ type Snapshot struct {
 	StoreCommits    uint64 `json:"store_commits"`
 	StoreConflicts  uint64 `json:"store_conflicts"`
 
+	// Durable-backend counters (merged from storage.Stats); nil when the
+	// server fronts an in-memory DB, so RAM deployments expose no
+	// misleading zero-valued storage series.
+	Storage *StorageSnapshot `json:"storage,omitempty"`
+
 	QueryCount     uint64          `json:"query_count"`
 	QueryMeanMs    float64         `json:"query_mean_ms"`
 	QuerySumMs     float64         `json:"query_sum_ms"`
 	QueryLatencyUs []LatencyBucket `json:"query_latency_us"`
+}
+
+// StorageSnapshot is the JSON shape of the durable backend's counters.
+type StorageSnapshot struct {
+	WALRecords       uint64  `json:"wal_records"`
+	WALBytes         uint64  `json:"wal_bytes"`
+	Checkpoints      uint64  `json:"checkpoints"`
+	CheckpointGen    uint64  `json:"checkpoint_generation"`
+	BlockCacheHits   uint64  `json:"block_cache_hits"`
+	BlockCacheMisses uint64  `json:"block_cache_misses"`
+	RecoverySeconds  float64 `json:"recovery_seconds"`
 }
 
 // snapshot reads the counters (engine cache stats merged by the caller).
@@ -231,6 +247,17 @@ func writePrometheus(w io.Writer, s Snapshot) {
 	promGauge(w, "arcserve_store_generation", "Current MVCC commit generation.", int64(s.StoreGeneration))
 	promCounter(w, "arcserve_store_commits_total", "Snapshots published by the store.", s.StoreCommits)
 	promCounter(w, "arcserve_store_conflicts_total", "Commits rejected by the store.", s.StoreConflicts)
+
+	if st := s.Storage; st != nil {
+		promCounter(w, "arcserve_wal_records_total", "WAL records appended.", st.WALRecords)
+		promCounter(w, "arcserve_wal_bytes_total", "WAL bytes appended.", st.WALBytes)
+		promCounter(w, "arcserve_checkpoints_total", "Checkpoints written.", st.Checkpoints)
+		promGauge(w, "arcserve_checkpoint_generation", "Generation of the newest checkpoint.", int64(st.CheckpointGen))
+		promCounter(w, "arcserve_block_cache_hits_total", "Segment block cache hits.", st.BlockCacheHits)
+		promCounter(w, "arcserve_block_cache_misses_total", "Segment block cache misses.", st.BlockCacheMisses)
+		promMetric(w, "arcserve_recovery_duration_seconds", "gauge", "Wall time the last startup spent recovering.",
+			strconv.FormatFloat(st.RecoverySeconds, 'g', -1, 64))
+	}
 
 	name := "arcserve_query_duration_seconds"
 	fmt.Fprintf(w, "# HELP %s Query execution latency.\n# TYPE %s histogram\n", name, name)

@@ -9,8 +9,11 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/engine"
+	"repro/internal/relation"
 	"repro/internal/server"
 	"repro/internal/server/client"
+	"repro/internal/storage"
 	"repro/internal/value"
 )
 
@@ -220,6 +223,65 @@ func TestPrometheusExposition(t *testing.T) {
 	}
 	if !sawFirst {
 		t.Fatalf("histogram lacks the exact 1e-06 first bound: %+v", hist)
+	}
+	// RAM-backed server: no storage series (they would read as a durable
+	// deployment that never writes).
+	if strings.Contains(string(body), "arcserve_wal_records_total") {
+		t.Fatal("in-memory server exposes WAL metrics")
+	}
+}
+
+// TestPrometheusStorageMetrics pins the durable-backend series: a server
+// over OpenDurable exposes WAL/checkpoint/block-cache counters that move
+// with the write path, and the JSON rendering carries the same block.
+func TestPrometheusStorageMetrics(t *testing.T) {
+	db, err := engine.OpenDurable(t.TempDir(), storage.Options{},
+		relation.New("R", "A", "B").Add(1, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	srv, addr := startServer(t, db, server.Options{})
+	c := dial(t, addr)
+	if _, err := c.Exec(client.LangSQL, "insert into R values (2, 20)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exec(client.LangSQL, "update R set B = 0 where R.A = 2"); err != nil {
+		t.Fatal(err)
+	}
+
+	ts := httptest.NewServer(srv.MetricsHandler())
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := validatePrometheus(t, string(body))
+	for _, name := range []string{
+		"arcserve_wal_records_total",
+		"arcserve_wal_bytes_total",
+		"arcserve_checkpoints_total",
+		"arcserve_checkpoint_generation",
+		"arcserve_block_cache_hits_total",
+		"arcserve_block_cache_misses_total",
+		"arcserve_recovery_duration_seconds",
+	} {
+		if _, ok := samples[name]; !ok {
+			t.Errorf("metric %s missing from durable exposition", name)
+		}
+	}
+	if ss := samples["arcserve_wal_records_total"]; len(ss) > 0 && ss[0].value < 2 {
+		t.Fatalf("arcserve_wal_records_total = %v, want >= 2 (insert + update)", ss[0].value)
+	}
+
+	snap := srv.Snapshot()
+	if snap.Storage == nil || snap.Storage.WALRecords < 2 {
+		t.Fatalf("Snapshot().Storage = %+v, want WAL records >= 2", snap.Storage)
 	}
 }
 

@@ -102,6 +102,17 @@ func (s *Server) Snapshot() Snapshot {
 	snap.StoreGeneration = st.Store.Gen
 	snap.StoreCommits = st.Store.Commits
 	snap.StoreConflicts = st.Store.Conflicts
+	if sg := st.Storage; sg != nil {
+		snap.Storage = &StorageSnapshot{
+			WALRecords:       sg.WALRecords,
+			WALBytes:         sg.WALBytes,
+			Checkpoints:      sg.Checkpoints,
+			CheckpointGen:    sg.CheckpointGen,
+			BlockCacheHits:   sg.BlockCacheHits,
+			BlockCacheMisses: sg.BlockCacheMisses,
+			RecoverySeconds:  sg.RecoveryDuration.Seconds(),
+		}
+	}
 	return snap
 }
 

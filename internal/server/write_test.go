@@ -96,6 +96,41 @@ func TestWireExecAndKinds(t *testing.T) {
 	}
 }
 
+// TestWireUpdate pins the UPDATE round trip on the wire: PrepareOK
+// reports DML, Exec rewrites matched rows in place, and the new values
+// are visible to a follow-up query on the same connection.
+func TestWireUpdate(t *testing.T) {
+	db := engine.Open(relation.New("Acct", "id", "bal").Add(1, 100).Add(2, 200).Add(3, 300))
+	_, addr := startServer(t, db, server.Options{})
+	c := dial(t, addr)
+
+	up, err := c.Prepare(client.LangSQL, "update Acct set bal = bal + $1 where Acct.id between $2 and $3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.Kind() != client.KindDML {
+		t.Fatalf("UPDATE kind = %v, want DML", up.Kind())
+	}
+	res, err := up.Exec(value.Int(5), value.Int(1), value.Int(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RowsAffected != 2 || res.Generation == 0 {
+		t.Fatalf("Exec result = %+v, want 2 rows at a nonzero generation", res)
+	}
+
+	rows, _, err := c.Query(client.LangSQL, "select Acct.id, Acct.bal from Acct where Acct.bal = $1", value.Int(105))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][0] != value.Int(1) {
+		t.Fatalf("updated row not visible over the wire: %v", rows)
+	}
+	// Query on a DML statement stays a structured kind error.
+	_, err = up.Query(value.Int(1), value.Int(1), value.Int(1))
+	wireCode(t, err, server.CodeWrongKind)
+}
+
 // TestWireTransactions pins BEGIN/COMMIT/ROLLBACK frames: isolation
 // until commit, read-your-writes through the same connection (including
 // a statement prepared before BEGIN), conflict and tx-state errors.

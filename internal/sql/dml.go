@@ -90,6 +90,48 @@ func (d *Delete) String() string {
 	return b.String()
 }
 
+// Update is UPDATE table [alias] SET col = expr, … [WHERE cond]. Cols
+// and Exprs pair up positionally.
+type Update struct {
+	Table string
+	Alias string
+	Cols  []string
+	Exprs []Expr
+	Where Expr
+}
+
+func (*Update) isStatement() {}
+
+// Binding is the row-variable name SET expressions and WHERE resolve
+// against: the alias if present, else the table name.
+func (u *Update) Binding() string {
+	if u.Alias != "" {
+		return u.Alias
+	}
+	return u.Table
+}
+
+// String renders the UPDATE.
+func (u *Update) String() string {
+	var b strings.Builder
+	b.WriteString("UPDATE ")
+	b.WriteString(u.Table)
+	if u.Alias != "" {
+		b.WriteString(" " + u.Alias)
+	}
+	b.WriteString(" SET ")
+	for i, c := range u.Cols {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(c + " = " + u.Exprs[i].String())
+	}
+	if u.Where != nil {
+		b.WriteString(" WHERE " + u.Where.String())
+	}
+	return b.String()
+}
+
 // CreateTable is CREATE TABLE name (col [type], …). Column types are
 // accepted and discarded: values are dynamically typed, per the value
 // package.
@@ -168,6 +210,13 @@ func MaxParamStmt(s Statement) int {
 		if x.Where != nil {
 			bump(x.Where)
 		}
+	case *Update:
+		for _, e := range x.Exprs {
+			bump(e)
+		}
+		if x.Where != nil {
+			bump(x.Where)
+		}
 	}
 	return max
 }
@@ -197,6 +246,8 @@ func (p *parser) parseStatement() (Statement, error) {
 		return p.parseInsert()
 	case p.peekKw("delete"):
 		return p.parseDelete()
+	case p.peekKw("update"):
+		return p.parseUpdate()
 	case p.peekKw("create"):
 		return p.parseCreateTable()
 	case p.peekKw("drop"):
@@ -312,6 +363,52 @@ func (p *parser) parseDelete() (Statement, error) {
 		del.Where = e
 	}
 	return del, nil
+}
+
+func (p *parser) parseUpdate() (Statement, error) {
+	p.acceptKw("update")
+	name, err := p.parseName("table name")
+	if err != nil {
+		return nil, err
+	}
+	up := &Update{Table: name}
+	p.acceptKw("as")
+	if t := p.peek(); t.kind == tokIdent && !reserved[t.text] {
+		p.pos++
+		up.Alias = t.raw
+	}
+	if err := p.expectKw("set"); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.parseName("column name")
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		// Additive expressions over literals, placeholders, and row
+		// columns — the same scalar fragment INSERT VALUES uses, plus
+		// column references (v = v + 1).
+		e, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		up.Cols = append(up.Cols, col)
+		up.Exprs = append(up.Exprs, e)
+		if !p.accept(",") {
+			break
+		}
+	}
+	if p.acceptKw("where") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		up.Where = e
+	}
+	return up, nil
 }
 
 func (p *parser) parseDropTable() (Statement, error) {

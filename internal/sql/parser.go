@@ -110,7 +110,7 @@ var reserved = map[string]bool{
 	"outer": true, "cross": true, "lateral": true, "on": true, "and": true,
 	"or": true, "not": true, "exists": true, "in": true, "is": true,
 	"null": true, "true": true, "false": true, "order": true, "into": true,
-	"with": true, "recursive": true,
+	"with": true, "recursive": true, "between": true, "set": true,
 }
 
 func (p *parser) parseQuery() (Query, error) {
@@ -457,8 +457,15 @@ func (p *parser) parseComparison() (Expr, error) {
 		}
 		return &IsNullE{Arg: left, Negated: neg}, nil
 	}
-	// [NOT] IN (subquery)
+	// [NOT] IN (subquery) / [NOT] BETWEEN lo AND hi
 	if p.acceptKw("not") {
+		if p.acceptKw("between") {
+			rng, err := p.parseBetween(left)
+			if err != nil {
+				return nil, err
+			}
+			return &NotE{Kid: rng}, nil
+		}
 		if err := p.expectKw("in"); err != nil {
 			return nil, err
 		}
@@ -466,6 +473,9 @@ func (p *parser) parseComparison() (Expr, error) {
 	}
 	if p.acceptKw("in") {
 		return p.parseIn(left, false)
+	}
+	if p.acceptKw("between") {
+		return p.parseBetween(left)
 	}
 	// comparison operator
 	t := p.peek()
@@ -498,6 +508,29 @@ func (p *parser) parseComparison() (Expr, error) {
 		}
 	}
 	return left, nil
+}
+
+// parseBetween desugars `x BETWEEN lo AND hi` into x >= lo AND x <= hi
+// — no dedicated AST node, so every downstream consumer (3VL
+// evaluation, the planner's range pushdown, sql2arc) sees the two
+// ordering conjuncts it already understands. Bounds are additive
+// expressions: the AND after the low bound belongs to the BETWEEN.
+func (p *parser) parseBetween(left Expr) (Expr, error) {
+	lo, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("and"); err != nil {
+		return nil, err
+	}
+	hi, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	return &AndE{Kids: []Expr{
+		&Cmp{Op: value.Ge, L: left, R: lo},
+		&Cmp{Op: value.Le, L: left, R: hi},
+	}}, nil
 }
 
 func (p *parser) parseIn(left Expr, negated bool) (Expr, error) {

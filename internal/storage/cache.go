@@ -1,0 +1,94 @@
+// cache.go implements the LRU block cache shared by all open segments:
+// decoded blocks keyed by (segment id, block index), bounded by the
+// approximate byte size of the raw blocks they were decoded from.
+package storage
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultBlockCacheBytes is the cache budget used when Options leaves
+// BlockCacheBytes zero.
+const DefaultBlockCacheBytes = 16 << 20
+
+type cacheKey struct {
+	seg   uint64
+	block int
+}
+
+type cacheItem struct {
+	key  cacheKey
+	ents []segEntry
+	size int
+}
+
+// BlockCache is a byte-bounded LRU over decoded segment blocks. Safe
+// for concurrent use; hit/miss counters feed the storage metrics.
+type BlockCache struct {
+	mu    sync.Mutex
+	max   int
+	used  int
+	order *list.List // front = most recent; values are *cacheItem
+	items map[cacheKey]*list.Element
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// NewBlockCache builds a cache bounded to maxBytes (<=0 uses the
+// default budget).
+func NewBlockCache(maxBytes int) *BlockCache {
+	if maxBytes <= 0 {
+		maxBytes = DefaultBlockCacheBytes
+	}
+	return &BlockCache{
+		max:   maxBytes,
+		order: list.New(),
+		items: make(map[cacheKey]*list.Element),
+	}
+}
+
+func (c *BlockCache) get(seg uint64, block int) ([]segEntry, bool) {
+	k := cacheKey{seg, block}
+	c.mu.Lock()
+	el, ok := c.items[k]
+	if ok {
+		c.order.MoveToFront(el)
+	}
+	c.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return el.Value.(*cacheItem).ents, true
+}
+
+func (c *BlockCache) put(seg uint64, block int, ents []segEntry, size int) {
+	k := cacheKey{seg, block}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		c.order.MoveToFront(el)
+		it := el.Value.(*cacheItem)
+		c.used += size - it.size
+		it.ents, it.size = ents, size
+	} else {
+		c.items[k] = c.order.PushFront(&cacheItem{key: k, ents: ents, size: size})
+		c.used += size
+	}
+	for c.used > c.max && c.order.Len() > 1 {
+		el := c.order.Back()
+		it := el.Value.(*cacheItem)
+		c.order.Remove(el)
+		delete(c.items, it.key)
+		c.used -= it.size
+	}
+}
+
+// Stats returns the cumulative hit/miss counters.
+func (c *BlockCache) Stats() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
+}

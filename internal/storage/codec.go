@@ -1,0 +1,250 @@
+// Package storage is the durable backend behind relation.Store: a
+// write-ahead log of committed write-set journals (length-prefixed,
+// CRC-checksummed records, configurable fsync), periodic checkpoints as
+// sorted immutable segment files keyed by the order-preserving binary
+// encoding from internal/value, an LRU block cache over segment blocks,
+// and crash recovery that loads the newest checkpoint and replays the
+// log to the last valid record.
+//
+// On-disk layout under the storage directory:
+//
+//	CURRENT              names the active checkpoint directory
+//	checkpoint-<gen>/    one numbered .seg file per relation
+//	wal-<gen>.log        journal records for generations > <gen>
+//
+// codec.go holds the shared varint/tuple encoding used by both the WAL
+// records and the segment blocks.
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/relation"
+	"repro/internal/value"
+)
+
+// ErrCorrupt wraps every malformed-bytes condition the decoders detect.
+var ErrCorrupt = errors.New("storage: corrupt data")
+
+func appendUvarint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
+func takeUvarint(b []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("%w: bad uvarint", ErrCorrupt)
+	}
+	return v, b[n:], nil
+}
+
+func appendString(b []byte, s string) []byte {
+	b = appendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func takeString(b []byte) (string, []byte, error) {
+	n, rest, err := takeUvarint(b)
+	if err != nil {
+		return "", nil, err
+	}
+	if uint64(len(rest)) < n {
+		return "", nil, fmt.Errorf("%w: short string", ErrCorrupt)
+	}
+	return string(rest[:n]), rest[n:], nil
+}
+
+// appendTuple encodes a tuple as a value count followed by the ordered
+// encoding of each value — the same bytes that key segment entries, so
+// one codec serves both surfaces.
+func appendTuple(b []byte, t relation.Tuple) []byte {
+	b = appendUvarint(b, uint64(len(t)))
+	for _, v := range t {
+		b = v.AppendOrdered(b)
+	}
+	return b
+}
+
+func takeTuple(b []byte) (relation.Tuple, []byte, error) {
+	n, rest, err := takeUvarint(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n > uint64(len(rest)) { // each value takes >= 1 byte
+		return nil, nil, fmt.Errorf("%w: tuple count %d exceeds payload", ErrCorrupt, n)
+	}
+	t := make(relation.Tuple, n)
+	for i := range t {
+		var v value.Value
+		v, rest, err = value.DecodeOrdered(rest)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		t[i] = v
+	}
+	return t, rest, nil
+}
+
+func appendStrings(b []byte, ss []string) []byte {
+	b = appendUvarint(b, uint64(len(ss)))
+	for _, s := range ss {
+		b = appendString(b, s)
+	}
+	return b
+}
+
+func takeStrings(b []byte) ([]string, []byte, error) {
+	n, rest, err := takeUvarint(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n > uint64(len(rest)) {
+		return nil, nil, fmt.Errorf("%w: string count %d exceeds payload", ErrCorrupt, n)
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i], rest, err = takeString(rest)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return out, rest, nil
+}
+
+// appendOp encodes one journaled operation.
+func appendOp(b []byte, op relation.LogOp) []byte {
+	b = append(b, byte(op.Kind))
+	b = appendString(b, op.Rel)
+	switch op.Kind {
+	case relation.OpCreate:
+		b = appendStrings(b, op.Attrs)
+	case relation.OpDrop:
+	case relation.OpInsert:
+		b = appendTuple(b, op.Tuple)
+		b = appendUvarint(b, uint64(op.Mult))
+	case relation.OpDelete:
+		b = appendUvarint(b, uint64(len(op.Tuples)))
+		for _, t := range op.Tuples {
+			b = appendTuple(b, t)
+		}
+	case relation.OpPut:
+		b = appendStrings(b, op.Attrs)
+		b = appendUvarint(b, uint64(len(op.Rows)))
+		for i, t := range op.Rows {
+			b = appendTuple(b, t)
+			b = appendUvarint(b, uint64(op.Mults[i]))
+		}
+	}
+	return b
+}
+
+func takeOp(b []byte) (relation.LogOp, []byte, error) {
+	var op relation.LogOp
+	if len(b) == 0 {
+		return op, nil, fmt.Errorf("%w: empty op", ErrCorrupt)
+	}
+	op.Kind = relation.OpKind(b[0])
+	var err error
+	op.Rel, b, err = takeString(b[1:])
+	if err != nil {
+		return op, nil, err
+	}
+	switch op.Kind {
+	case relation.OpCreate:
+		op.Attrs, b, err = takeStrings(b)
+	case relation.OpDrop:
+	case relation.OpInsert:
+		op.Tuple, b, err = takeTuple(b)
+		if err == nil {
+			var m uint64
+			m, b, err = takeUvarint(b)
+			op.Mult = int64(m)
+		}
+	case relation.OpDelete:
+		var n uint64
+		n, b, err = takeUvarint(b)
+		if err == nil {
+			if n > uint64(len(b)) {
+				return op, nil, fmt.Errorf("%w: delete count %d exceeds payload", ErrCorrupt, n)
+			}
+			op.Tuples = make([]relation.Tuple, n)
+			for i := range op.Tuples {
+				op.Tuples[i], b, err = takeTuple(b)
+				if err != nil {
+					break
+				}
+			}
+		}
+	case relation.OpPut:
+		op.Attrs, b, err = takeStrings(b)
+		if err == nil {
+			var n uint64
+			n, b, err = takeUvarint(b)
+			if err == nil {
+				if n > uint64(len(b)) {
+					return op, nil, fmt.Errorf("%w: put count %d exceeds payload", ErrCorrupt, n)
+				}
+				op.Rows = make([]relation.Tuple, n)
+				op.Mults = make([]int64, n)
+				for i := range op.Rows {
+					op.Rows[i], b, err = takeTuple(b)
+					if err != nil {
+						break
+					}
+					var m uint64
+					m, b, err = takeUvarint(b)
+					if err != nil {
+						break
+					}
+					op.Mults[i] = int64(m)
+				}
+			}
+		}
+	default:
+		return op, nil, fmt.Errorf("%w: unknown op kind %d", ErrCorrupt, op.Kind)
+	}
+	if err != nil {
+		return op, nil, err
+	}
+	return op, b, nil
+}
+
+// encodeRecord renders a WAL record payload: the commit generation and
+// its journal.
+func encodeRecord(gen uint64, ops []relation.LogOp) []byte {
+	b := appendUvarint(nil, gen)
+	b = appendUvarint(b, uint64(len(ops)))
+	for _, op := range ops {
+		b = appendOp(b, op)
+	}
+	return b
+}
+
+func decodeRecord(b []byte) (uint64, []relation.LogOp, error) {
+	gen, rest, err := takeUvarint(b)
+	if err != nil {
+		return 0, nil, err
+	}
+	n, rest, err := takeUvarint(rest)
+	if err != nil {
+		return 0, nil, err
+	}
+	if n > uint64(len(rest))+1 {
+		return 0, nil, fmt.Errorf("%w: op count %d exceeds payload", ErrCorrupt, n)
+	}
+	ops := make([]relation.LogOp, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var op relation.LogOp
+		op, rest, err = takeOp(rest)
+		if err != nil {
+			return 0, nil, err
+		}
+		ops = append(ops, op)
+	}
+	if len(rest) != 0 {
+		return 0, nil, fmt.Errorf("%w: %d trailing bytes in record", ErrCorrupt, len(rest))
+	}
+	return gen, ops, nil
+}

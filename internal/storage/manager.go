@@ -1,0 +1,467 @@
+// manager.go ties the pieces together: Open recovers the catalog from
+// the newest checkpoint plus WAL replay, Attach installs the write-ahead
+// commit hook on a relation.Store, Checkpoint writes a full snapshot as
+// segment files and rotates the log, Close flushes. One Manager owns one
+// storage directory.
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/relation"
+)
+
+// Options configures a Manager.
+type Options struct {
+	// Fsync makes every WAL append reach stable storage before the
+	// commit is acknowledged — the kill -9 durability guarantee. Off, a
+	// crash may lose the last few commits but never corrupts (replay
+	// stops at the first torn record).
+	Fsync bool
+	// BlockCacheBytes bounds the shared segment block cache; 0 means
+	// DefaultBlockCacheBytes.
+	BlockCacheBytes int
+}
+
+// RecoveryStats describes what Open found and replayed.
+type RecoveryStats struct {
+	// CheckpointGen is the generation of the checkpoint loaded (0 when
+	// none existed).
+	CheckpointGen uint64
+	// Gen is the recovered head generation after WAL replay.
+	Gen uint64
+	// Records is the number of WAL records replayed.
+	Records uint64
+	// Bytes is the number of WAL bytes replayed.
+	Bytes int64
+	// Relations is the catalog size after recovery.
+	Relations int
+	// Truncated reports whether a torn or corrupt WAL tail was
+	// discarded.
+	Truncated bool
+	// Duration is the wall time recovery took.
+	Duration time.Duration
+}
+
+// Stats is the manager's cumulative counter snapshot (see engine.DBStats
+// and the server's Prometheus exposition).
+type Stats struct {
+	// WALRecords and WALBytes count records/bytes appended since Open.
+	WALRecords uint64
+	WALBytes   uint64
+	// Checkpoints counts checkpoints written since Open; CheckpointGen
+	// is the generation of the newest one (including one loaded at
+	// recovery).
+	Checkpoints   uint64
+	CheckpointGen uint64
+	// BlockCacheHits/Misses are the segment block cache counters.
+	BlockCacheHits   uint64
+	BlockCacheMisses uint64
+	// RecoveryDuration is the wall time the last Open spent recovering.
+	RecoveryDuration time.Duration
+}
+
+// Manager is the durable backend for one storage directory.
+type Manager struct {
+	dir   string
+	opts  Options
+	cache *BlockCache
+
+	// mu guards the WAL writer (appends and rotation).
+	mu  sync.Mutex
+	wal *walWriter
+	// walStart is the generation the active WAL file is named after:
+	// it holds records for generations > walStart.
+	walStart uint64
+
+	// ckptMu serializes Checkpoint calls.
+	ckptMu sync.Mutex
+	store  *relation.Store
+
+	recovered RecoveryStats
+	segSeq    atomic.Uint64
+
+	walRecords  atomic.Uint64
+	walBytes    atomic.Uint64
+	checkpoints atomic.Uint64
+	ckptGen     atomic.Uint64
+}
+
+// Recovered is the result of Open: the catalog as of the last valid
+// committed record, or Empty when the directory held no state (the
+// caller seeds it and calls Bootstrap).
+type Recovered struct {
+	Rels  []*relation.Relation
+	Gen   uint64
+	Empty bool
+	Stats RecoveryStats
+}
+
+const currentFile = "CURRENT"
+
+func checkpointDirName(gen uint64) string { return fmt.Sprintf("checkpoint-%020d", gen) }
+func walFileName(gen uint64) string       { return fmt.Sprintf("wal-%020d.log", gen) }
+
+// parseGen extracts the generation from a "prefix-<gen>[suffix]" name.
+func parseGen(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	mid := name[len(prefix) : len(name)-len(suffix)]
+	g, err := strconv.ParseUint(mid, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return g, true
+}
+
+// Open recovers the directory's state: load the checkpoint named by
+// CURRENT (if any), then replay every WAL record with a later
+// generation, truncating a torn tail. The returned manager is ready for
+// Attach (existing state) or Bootstrap (fresh directory).
+func Open(dir string, opts Options) (*Manager, *Recovered, error) {
+	start := time.Now()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	m := &Manager{dir: dir, opts: opts, cache: NewBlockCache(opts.BlockCacheBytes)}
+	rec := &Recovered{}
+
+	// 1. Checkpoint.
+	cat := map[string]*relation.Relation{}
+	var ckptGen uint64
+	if cur, err := os.ReadFile(filepath.Join(dir, currentFile)); err == nil {
+		name := strings.TrimSpace(string(cur))
+		g, ok := parseGen(name, "checkpoint-", "")
+		if !ok {
+			return nil, nil, fmt.Errorf("%w: bad CURRENT content %q", ErrCorrupt, name)
+		}
+		ckptGen = g
+		ckptDir := filepath.Join(dir, name)
+		ents, err := os.ReadDir(ckptDir)
+		if err != nil {
+			return nil, nil, fmt.Errorf("storage: checkpoint named by CURRENT missing: %w", err)
+		}
+		for _, e := range ents {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".seg") {
+				continue
+			}
+			seg, err := openSegment(filepath.Join(ckptDir, e.Name()), m.segSeq.Add(1), m.cache)
+			if err != nil {
+				return nil, nil, err
+			}
+			r, err := seg.Relation()
+			seg.close()
+			if err != nil {
+				return nil, nil, err
+			}
+			cat[r.Name()] = r
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, nil, err
+	}
+
+	// 2. WAL replay. Files are named wal-<gen>.log after the checkpoint
+	// generation current at their creation; replay them in generation
+	// order, skipping records at or below the loaded checkpoint.
+	type walFile struct {
+		gen  uint64
+		path string
+	}
+	var wals []walFile
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, e := range ents {
+		if g, ok := parseGen(e.Name(), "wal-", ".log"); ok {
+			wals = append(wals, walFile{gen: g, path: filepath.Join(dir, e.Name())})
+		}
+	}
+	sort.Slice(wals, func(i, j int) bool { return wals[i].gen < wals[j].gen })
+
+	gen := ckptGen
+	stats := RecoveryStats{CheckpointGen: ckptGen}
+	corrupt := false
+	for i, w := range wals {
+		if corrupt {
+			// Everything after a corrupt tail is unreachable state;
+			// discard so the append path starts clean.
+			if err := os.Remove(w.path); err != nil {
+				return nil, nil, err
+			}
+			continue
+		}
+		records, bytes, truncated, err := walReplay(w.path, true, func(g uint64, ops []relation.LogOp) error {
+			if g <= ckptGen {
+				return nil
+			}
+			for _, op := range ops {
+				if err := relation.ApplyLogOp(cat, op); err != nil {
+					return err
+				}
+			}
+			if g > gen {
+				gen = g
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		stats.Records += records
+		stats.Bytes += bytes
+		if truncated {
+			stats.Truncated = true
+			corrupt = true
+		}
+		// The active WAL is the last surviving file.
+		if i == len(wals)-1 || corrupt {
+			m.walStart = w.gen
+		}
+	}
+
+	fresh := ckptGen == 0 && len(wals) == 0
+	if !fresh {
+		if len(wals) == 0 {
+			// Checkpoint but no WAL (e.g. deleted between checkpoints):
+			// start a fresh log at the checkpoint generation.
+			m.walStart = ckptGen
+			w, err := createWAL(filepath.Join(dir, walFileName(ckptGen)), opts.Fsync)
+			if err != nil {
+				return nil, nil, err
+			}
+			m.wal = w
+		} else {
+			w, err := openWALForAppend(filepath.Join(dir, walFileName(m.walStart)), opts.Fsync)
+			if err != nil {
+				return nil, nil, err
+			}
+			m.wal = w
+		}
+	}
+
+	stats.Gen = gen
+	stats.Relations = len(cat)
+	stats.Duration = time.Since(start)
+	m.recovered = stats
+	m.ckptGen.Store(ckptGen)
+
+	rec.Gen = gen
+	rec.Empty = fresh
+	rec.Stats = stats
+	for _, name := range sortedNames(cat) {
+		rec.Rels = append(rec.Rels, cat[name])
+	}
+	return m, rec, nil
+}
+
+func sortedNames(cat map[string]*relation.Relation) []string {
+	out := make([]string, 0, len(cat))
+	for n := range cat {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Bootstrap initializes a fresh directory from the store's current head:
+// it writes an initial checkpoint (making the seed durable) and starts
+// the log. Call exactly once, only when Open reported Empty, before the
+// store serves writers.
+func (m *Manager) Bootstrap(st *relation.Store) error {
+	m.store = st
+	var snap *relation.Snapshot
+	var hookErr error
+	st.Barrier(func(head *relation.Snapshot) {
+		snap = head
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		m.walStart = head.Gen()
+		w, err := createWAL(filepath.Join(m.dir, walFileName(head.Gen())), m.opts.Fsync)
+		if err != nil {
+			hookErr = err
+			return
+		}
+		m.wal = w
+	})
+	if hookErr != nil {
+		return hookErr
+	}
+	if err := m.writeCheckpoint(snap); err != nil {
+		return err
+	}
+	m.attachHook(st)
+	return nil
+}
+
+// Attach installs the write-ahead commit hook on a store recovered from
+// this directory. Call before the store serves writers.
+func (m *Manager) Attach(st *relation.Store) {
+	m.store = st
+	m.attachHook(st)
+}
+
+func (m *Manager) attachHook(st *relation.Store) {
+	st.SetCommitHook(func(gen uint64, ops []relation.LogOp) error {
+		payload := encodeRecord(gen, ops)
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		if m.wal == nil {
+			return fmt.Errorf("storage: manager closed")
+		}
+		n, err := m.wal.append(payload)
+		if err != nil {
+			return err
+		}
+		m.walRecords.Add(1)
+		m.walBytes.Add(uint64(n))
+		return nil
+	})
+}
+
+// Checkpoint writes the current head as segment files, points CURRENT
+// at them, and prunes the log: records at or below the checkpoint
+// generation (and superseded checkpoints) are deleted. Safe to call
+// concurrently with commits — the log rotates under the store's commit
+// lock, so no record is lost or duplicated.
+func (m *Manager) Checkpoint() error {
+	m.ckptMu.Lock()
+	defer m.ckptMu.Unlock()
+	if m.store == nil {
+		return fmt.Errorf("storage: no store attached")
+	}
+	var snap *relation.Snapshot
+	var rotateErr error
+	var rotated bool
+	m.store.Barrier(func(head *relation.Snapshot) {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		if head.Gen() == m.walStart {
+			return // nothing committed since the last checkpoint
+		}
+		w, err := createWAL(filepath.Join(m.dir, walFileName(head.Gen())), m.opts.Fsync)
+		if err != nil {
+			rotateErr = err
+			return
+		}
+		if m.wal != nil {
+			m.wal.close()
+		}
+		m.wal = w
+		m.walStart = head.Gen()
+		snap = head
+		rotated = true
+	})
+	if rotateErr != nil {
+		return rotateErr
+	}
+	if !rotated {
+		return nil
+	}
+	return m.writeCheckpoint(snap)
+}
+
+// writeCheckpoint renders snap as checkpoint-<gen>, flips CURRENT, and
+// prunes obsolete checkpoints and WAL files.
+func (m *Manager) writeCheckpoint(snap *relation.Snapshot) error {
+	gen := snap.Gen()
+	final := filepath.Join(m.dir, checkpointDirName(gen))
+	tmp := final + ".tmp"
+	if err := os.RemoveAll(tmp); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(tmp, 0o755); err != nil {
+		return err
+	}
+	names := snap.Names()
+	for i, name := range names {
+		if err := writeSegment(filepath.Join(tmp, fmt.Sprintf("%06d.seg", i)), snap.Relation(name)); err != nil {
+			return err
+		}
+	}
+	if err := os.RemoveAll(final); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return err
+	}
+	if err := syncDir(m.dir); err != nil {
+		return err
+	}
+	// Flip CURRENT atomically.
+	curTmp := filepath.Join(m.dir, currentFile+".tmp")
+	if err := os.WriteFile(curTmp, []byte(checkpointDirName(gen)+"\n"), 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(curTmp, filepath.Join(m.dir, currentFile)); err != nil {
+		return err
+	}
+	if err := syncDir(m.dir); err != nil {
+		return err
+	}
+	m.checkpoints.Add(1)
+	m.ckptGen.Store(gen)
+
+	// Prune: older checkpoints and WAL files fully covered by this one.
+	ents, err := os.ReadDir(m.dir)
+	if err != nil {
+		return nil // pruning is best-effort
+	}
+	for _, e := range ents {
+		if g, ok := parseGen(e.Name(), "checkpoint-", ""); ok && g < gen {
+			os.RemoveAll(filepath.Join(m.dir, e.Name()))
+		}
+		if g, ok := parseGen(e.Name(), "wal-", ".log"); ok && g < gen {
+			os.Remove(filepath.Join(m.dir, e.Name()))
+		}
+	}
+	return nil
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// Close flushes and closes the log. The store's hook is left in place
+// but will refuse further commits.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.wal == nil {
+		return nil
+	}
+	err := m.wal.close()
+	m.wal = nil
+	return err
+}
+
+// RecoveryStats returns what Open recovered.
+func (m *Manager) RecoveryStats() RecoveryStats { return m.recovered }
+
+// Stats snapshots the cumulative storage counters.
+func (m *Manager) Stats() Stats {
+	hits, misses := m.cache.Stats()
+	return Stats{
+		WALRecords:       m.walRecords.Load(),
+		WALBytes:         m.walBytes.Load(),
+		Checkpoints:      m.checkpoints.Load(),
+		CheckpointGen:    m.ckptGen.Load(),
+		BlockCacheHits:   hits,
+		BlockCacheMisses: misses,
+		RecoveryDuration: m.recovered.Duration,
+	}
+}

@@ -1,0 +1,152 @@
+// wal.go implements the write-ahead log file: an 8-byte magic header
+// followed by records of the form
+//
+//	[4-byte big-endian payload length][4-byte IEEE CRC32 of payload][payload]
+//
+// Appends happen under the store's commit lock (write-ahead of the head
+// swap); replay walks records in order and stops at the first torn or
+// corrupt one, truncating the file back to the last valid record so the
+// next append continues from a clean tail.
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"repro/internal/relation"
+)
+
+var walMagic = [8]byte{'A', 'R', 'C', 'W', 'A', 'L', '0', '1'}
+
+// maxRecordBytes bounds a single record; a length prefix beyond it is
+// treated as corruption rather than an allocation request.
+const maxRecordBytes = 1 << 30
+
+// walWriter appends records to one WAL file.
+type walWriter struct {
+	f     *os.File
+	path  string
+	fsync bool
+}
+
+// createWAL creates (or truncates) a WAL file with a fresh magic header.
+func createWAL(path string, fsync bool) (*walWriter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Write(walMagic[:]); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if fsync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return &walWriter{f: f, path: path, fsync: fsync}, nil
+}
+
+// openWALForAppend opens an existing (already validated and truncated)
+// WAL file positioned at its end.
+func openWALForAppend(path string, fsync bool) (*walWriter, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &walWriter{f: f, path: path, fsync: fsync}, nil
+}
+
+// append writes one record and returns the bytes appended. When fsync
+// is on, the record is on stable storage before append returns — the
+// durability point a committed transaction is acknowledged at.
+func (w *walWriter) append(payload []byte) (int, error) {
+	rec := make([]byte, 8+len(payload))
+	binary.BigEndian.PutUint32(rec[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(rec[4:8], crc32.ChecksumIEEE(payload))
+	copy(rec[8:], payload)
+	if _, err := w.f.Write(rec); err != nil {
+		return 0, fmt.Errorf("storage: wal append: %w", err)
+	}
+	if w.fsync {
+		if err := w.f.Sync(); err != nil {
+			return 0, fmt.Errorf("storage: wal fsync: %w", err)
+		}
+	}
+	return len(rec), nil
+}
+
+func (w *walWriter) close() error {
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// walReplay reads every valid record of a WAL file in order, calling fn
+// per record. It returns the number of records delivered, the bytes
+// read, and whether a torn/corrupt tail was found; when truncate is
+// set, such a tail is cut off so the file ends at the last valid
+// record. A missing or short magic header counts as a fully corrupt
+// file (zero records).
+func walReplay(path string, truncate bool, fn func(gen uint64, ops []relation.LogOp) error) (records uint64, bytes int64, truncated bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	defer f.Close()
+
+	var magic [8]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil || magic != walMagic {
+		if truncate {
+			return 0, 0, true, os.Truncate(path, 0)
+		}
+		return 0, 0, true, nil
+	}
+	valid := int64(len(walMagic))
+	var hdr [8]byte
+	for {
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+			break // clean EOF or torn header: stop at last valid record
+		}
+		n := binary.BigEndian.Uint32(hdr[0:4])
+		sum := binary.BigEndian.Uint32(hdr[4:8])
+		if n > maxRecordBytes {
+			break
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			break
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			break
+		}
+		gen, ops, derr := decodeRecord(payload)
+		if derr != nil {
+			break
+		}
+		if fn != nil {
+			if err := fn(gen, ops); err != nil {
+				return records, bytes, false, err
+			}
+		}
+		records++
+		bytes += int64(8 + n)
+		valid += int64(8 + n)
+	}
+	end, serr := f.Seek(0, io.SeekEnd)
+	if serr == nil && end != valid {
+		truncated = true
+		if truncate {
+			if err := os.Truncate(path, valid); err != nil {
+				return records, bytes, true, err
+			}
+		}
+	}
+	return records, bytes, truncated, nil
+}

@@ -1,0 +1,192 @@
+package value
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// ordCorpus is a hand-picked set of boundary values plus a deterministic
+// random sample, covering every class and the 2^53 exactness cliff.
+func ordCorpus() []Value {
+	vals := []Value{
+		Null(),
+		Int(math.MinInt64), Int(-1 << 53), Int(-1000), Int(-1), Int(0), Int(1),
+		Int(42), Int(1 << 53), Int(1<<53 + 1), Int(math.MaxInt64),
+		Float(math.Inf(-1)), Float(-1e300), Float(-2.5), Float(-0.0), Float(0),
+		Float(0.5), Float(2), Float(2.5), Float(float64(1 << 53)), Float(1e300),
+		Float(math.Inf(1)),
+		Str(""), Str("a"), Str("a\x00"), Str("a\x00b"), Str("ab"), Str("b"),
+		Str(strings.Repeat("z", 100)), Str("\x00"), Str("\xff"),
+		Bool(false), Bool(true),
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		switch rng.Intn(4) {
+		case 0:
+			vals = append(vals, Int(rng.Int63()-rng.Int63()))
+		case 1:
+			vals = append(vals, Float((rng.Float64()-0.5)*math.Pow(10, float64(rng.Intn(40)-20))))
+		case 2:
+			n := rng.Intn(8)
+			b := make([]byte, n)
+			for j := range b {
+				b[j] = byte(rng.Intn(256))
+			}
+			vals = append(vals, Str(string(b)))
+		case 3:
+			vals = append(vals, Bool(rng.Intn(2) == 0))
+		}
+	}
+	return vals
+}
+
+func TestOrderedKeyRoundTrip(t *testing.T) {
+	for _, v := range ordCorpus() {
+		enc := v.OrderedKey()
+		got, rest, err := DecodeOrdered(enc)
+		if err != nil {
+			t.Fatalf("decode %v: %v", v, err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("decode %v: %d trailing bytes", v, len(rest))
+		}
+		if got.Kind() != v.Kind() || !got.Equal(v) {
+			t.Fatalf("round trip %v (%v) -> %v (%v)", v, v.Kind(), got, got.Kind())
+		}
+		// Ints must round-trip bit-exactly, not just Key-equal.
+		if v.Kind() == KindInt && got.AsInt() != v.AsInt() {
+			t.Fatalf("int round trip %d -> %d", v.AsInt(), got.AsInt())
+		}
+		if v.Kind() == KindFloat && math.Float64bits(got.AsFloat()) != math.Float64bits(v.AsFloat()) {
+			t.Fatalf("float round trip %v -> %v", v.AsFloat(), got.AsFloat())
+		}
+	}
+}
+
+// TestOrderedKeyAgreesWithLess checks the core contract: byte order of
+// encodings refines the Less / Compare order. Strictly less values must
+// encode strictly smaller; Compare-equal values (2 vs 2.0) must share
+// their class prefix so a prefix range picks up the whole tie group.
+func TestOrderedKeyAgreesWithLess(t *testing.T) {
+	vals := ordCorpus()
+	for _, a := range vals {
+		for _, b := range vals {
+			ea, eb := a.OrderedKey(), b.OrderedKey()
+			cmp := bytes.Compare(ea, eb)
+			switch {
+			case a.Less(b):
+				if cmp >= 0 {
+					t.Fatalf("%v < %v but key %x >= %x", a, b, ea, eb)
+				}
+			case b.Less(a):
+				if cmp <= 0 {
+					t.Fatalf("%v > %v but key %x <= %x", a, b, ea, eb)
+				}
+			}
+			if c, ok := a.Compare(b); ok && c == 0 {
+				pa, pb := a.AppendOrderedPrefix(nil), b.AppendOrderedPrefix(nil)
+				if !bytes.Equal(pa, pb) {
+					t.Fatalf("Compare(%v,%v)=0 but prefixes differ: %x vs %x", a, b, pa, pb)
+				}
+			}
+		}
+	}
+}
+
+// TestOrderedPrefixBounds checks that [prefix(v), successor(prefix(v)))
+// contains exactly the encodings of values Compare-equal to v within
+// the corpus. NULL is excluded: range bounds are never built from NULL
+// (a NULL-bounded predicate is Unknown for every row).
+func TestOrderedPrefixBounds(t *testing.T) {
+	vals := ordCorpus()
+	for _, v := range vals {
+		if v.IsNull() {
+			continue
+		}
+		lo := v.AppendOrderedPrefix(nil)
+		hi := OrderedSuccessor(lo)
+		for _, o := range vals {
+			enc := o.OrderedKey()
+			in := bytes.Compare(enc, lo) >= 0 && (hi == nil || bytes.Compare(enc, hi) < 0)
+			c, ok := v.Compare(o)
+			want := ok && c == 0
+			if in != want {
+				t.Fatalf("prefix range of %v: %v in=%v want=%v", v, o, in, want)
+			}
+		}
+	}
+}
+
+// Tuple concatenation must stay lexicographic: if tuple a < tuple b
+// columnwise (first strict difference decides), the concatenated
+// encodings compare the same way.
+func TestOrderedKeyTupleLex(t *testing.T) {
+	tuples := [][]Value{
+		{Int(1), Str("a")},
+		{Int(1), Str("ab")},
+		{Int(1), Str("b")},
+		{Int(2), Str("")},
+		{Float(2.5), Null()},
+		{Int(3), Bool(false)},
+		{Int(3), Bool(true)},
+		{Str("a"), Int(0)},
+	}
+	enc := func(t []Value) []byte {
+		var b []byte
+		for _, v := range t {
+			b = v.AppendOrdered(b)
+		}
+		return b
+	}
+	lessT := func(a, b []Value) bool {
+		for i := range a {
+			if a[i].Less(b[i]) {
+				return true
+			}
+			if b[i].Less(a[i]) {
+				return false
+			}
+		}
+		return false
+	}
+	for _, a := range tuples {
+		for _, b := range tuples {
+			if lessT(a, b) && bytes.Compare(enc(a), enc(b)) >= 0 {
+				t.Fatalf("tuple %v < %v but encodings disagree", a, b)
+			}
+		}
+	}
+}
+
+func TestOrderedSuccessor(t *testing.T) {
+	cases := []struct{ in, want []byte }{
+		{[]byte{0x01}, []byte{0x02}},
+		{[]byte{0x01, 0xFF}, []byte{0x02}},
+		{[]byte{0xFF, 0xFF}, nil},
+		{nil, nil},
+		{[]byte{0x00}, []byte{0x01}},
+	}
+	for _, c := range cases {
+		if got := OrderedSuccessor(c.in); !bytes.Equal(got, c.want) {
+			t.Fatalf("successor(%x) = %x, want %x", c.in, got, c.want)
+		}
+	}
+}
+
+func TestDecodeOrderedMalformed(t *testing.T) {
+	bad := [][]byte{
+		{}, {0x99}, {ordTagNum}, {ordTagNum, 1, 2, 3, 4, 5, 6, 7, 8},
+		{ordTagNum, 1, 2, 3, 4, 5, 6, 7, 8, 0x07},
+		{ordTagNum, 1, 2, 3, 4, 5, 6, 7, 8, ordNumInt, 1},
+		{ordTagString, 'a'}, {ordTagString, 0x00}, {ordTagString, 0x00, 0x02},
+		{ordTagBool},
+	}
+	for _, b := range bad {
+		if _, _, err := DecodeOrdered(b); err == nil {
+			t.Fatalf("decode %x: expected error", b)
+		}
+	}
+}
