@@ -7,7 +7,11 @@ BENCH_PATTERN ?= Join|Fixpoint|Group|Recursion|RecursiveCTE|Prepared|Concurrent|
 BENCH_WARN ?= 15
 BENCH_FAIL ?= 50
 
-.PHONY: all build test bench lint benchdiff bench-baseline
+# Fuzz-smoke knobs (same as CI's fuzz-smoke job).
+FUZZ_TIME ?= 20s
+ENGINE_FUZZ_TARGETS ?= FuzzPrepareSQL FuzzPrepareARC FuzzPrepareDatalog FuzzExecSQL FuzzExecFactOps
+
+.PHONY: all build test bench lint arcvet fuzz-smoke benchdiff bench-baseline
 
 all: lint build test
 
@@ -35,6 +39,23 @@ lint:
 	else \
 		echo "staticcheck not installed; skipping (CI runs it)"; \
 	fi
+	$(MAKE) arcvet
+
+# The engine's own invariant suite (docs/INVARIANTS.md): snapimmut,
+# hookreentry, boundaryguard, cancelpoll, errcmp. Built as a vet tool so
+# the standard driver handles package loading and caching.
+arcvet:
+	$(GO) build -o bin/arcvet ./cmd/arcvet
+	$(GO) vet -vettool=bin/arcvet ./...
+
+# Run every fuzz target briefly — the CI smoke pass that keeps the
+# corpora exercised on every PR without paying for a long campaign.
+fuzz-smoke:
+	@for t in $(ENGINE_FUZZ_TARGETS); do \
+		echo "== $$t"; \
+		$(GO) test -run '^$$' -fuzz "^$${t}\$$" -fuzztime $(FUZZ_TIME) ./internal/engine || exit 1; \
+	done
+	$(GO) test -run '^$$' -fuzz '^FuzzServerFrames$$' -fuzztime $(FUZZ_TIME) ./internal/server
 
 # Run the gated benchmarks and compare against the committed baseline —
 # the local twin of CI's bench-regression job.

@@ -15,13 +15,15 @@
 // queries from stdin, one per line. REPL meta-commands: "\lang sql",
 // "\lang arc", "\lang datalog" switch languages, "\analyze <query>"
 // runs EXPLAIN ANALYZE server-side and prints the executed plan with
-// actual row counts and timings, "\q" quits.
+// actual row counts and timings, "\help" lists the meta-commands,
+// "\q" quits.
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -51,38 +53,65 @@ func main() {
 		return
 	}
 
-	fmt.Printf("connected to %s (%s); \\lang switches language, \\q quits\n", *addr, *langName)
+	fmt.Printf("connected to %s (%s); \\help lists meta-commands, \\q quits\n", *addr, *langName)
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	prompt(lang)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
-		switch {
-		case line == "":
-		case line == `\q`, line == `\quit`:
+		if dispatch(c, &lang, line, os.Stdout, os.Stderr) {
 			return
-		case strings.HasPrefix(line, `\lang`):
-			name := strings.TrimSpace(strings.TrimPrefix(line, `\lang`))
-			if l, ok := langByName(name); ok {
-				lang = l
-			} else {
-				fmt.Fprintf(os.Stderr, "unknown language %q\n", name)
-			}
-		case strings.HasPrefix(line, `\analyze`):
-			src := strings.TrimSpace(strings.TrimPrefix(line, `\analyze`))
-			if src == "" {
-				fmt.Fprintln(os.Stderr, `usage: \analyze <query>`)
-			} else if err := runAnalyze(c, lang, src); err != nil {
-				fmt.Fprintln(os.Stderr, "error:", err)
-			}
-		default:
-			// Statement-level errors keep the session (and the REPL) alive.
-			if err := runQuery(c, lang, line); err != nil {
-				fmt.Fprintln(os.Stderr, "error:", err)
-			}
 		}
 		prompt(lang)
 	}
+}
+
+// helpText lists every REPL meta-command. Kept as one literal so \help
+// and the unknown-command diagnostic can't drift apart from the switch
+// in dispatch without the test noticing.
+const helpText = `meta-commands:
+  \help                 show this list
+  \lang sql|arc|datalog switch query language
+  \analyze <query>      run EXPLAIN ANALYZE server-side, print the executed plan
+  \q, \quit             exit
+anything else is sent to the server in the current language
+`
+
+// dispatch handles one REPL line: meta-commands locally, everything
+// else through the connection. It returns true when the REPL should
+// quit. Meta-command typos (any other backslash line) get a local
+// diagnostic instead of leaking to the server as a parse error in
+// whatever language happens to be selected.
+func dispatch(c *client.Conn, lang *client.Lang, line string, out, errw io.Writer) (quit bool) {
+	switch {
+	case line == "":
+	case line == `\q`, line == `\quit`:
+		return true
+	case line == `\help`, line == `\h`, line == `\?`:
+		fmt.Fprint(out, helpText)
+	case strings.HasPrefix(line, `\lang`):
+		name := strings.TrimSpace(strings.TrimPrefix(line, `\lang`))
+		if l, ok := langByName(name); ok {
+			*lang = l
+		} else {
+			fmt.Fprintf(errw, "unknown language %q (want sql, arc, or datalog)\n", name)
+		}
+	case strings.HasPrefix(line, `\analyze`):
+		src := strings.TrimSpace(strings.TrimPrefix(line, `\analyze`))
+		if src == "" {
+			fmt.Fprintln(errw, `usage: \analyze <query>`)
+		} else if err := runAnalyze(c, *lang, src); err != nil {
+			fmt.Fprintln(errw, "error:", err)
+		}
+	case strings.HasPrefix(line, `\`):
+		fmt.Fprintf(errw, "unknown meta-command %q; \\help lists them\n", strings.Fields(line)[0])
+	default:
+		// Statement-level errors keep the session (and the REPL) alive.
+		if err := runQuery(c, *lang, line); err != nil {
+			fmt.Fprintln(errw, "error:", err)
+		}
+	}
+	return false
 }
 
 func prompt(lang client.Lang) {

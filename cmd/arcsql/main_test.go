@@ -1,0 +1,74 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/server/client"
+)
+
+// dispatchLocal runs one REPL line through dispatch with no server
+// connection: only lines the meta-command layer must fully absorb are
+// legal here, which is exactly what these tests pin.
+func dispatchLocal(t *testing.T, lang *client.Lang, line string) (out, errw string, quit bool) {
+	t.Helper()
+	var ob, eb strings.Builder
+	quit = dispatch(nil, lang, line, &ob, &eb)
+	return ob.String(), eb.String(), quit
+}
+
+// TestHelpListsEveryMetaCommand pins that \help (and its aliases)
+// mentions each meta-command the dispatch switch actually handles.
+func TestHelpListsEveryMetaCommand(t *testing.T) {
+	for _, alias := range []string{`\help`, `\h`, `\?`} {
+		lang := client.LangSQL
+		out, errw, quit := dispatchLocal(t, &lang, alias)
+		if quit {
+			t.Fatalf("%s quit the REPL", alias)
+		}
+		if errw != "" {
+			t.Fatalf("%s wrote to stderr: %q", alias, errw)
+		}
+		for _, want := range []string{`\help`, `\lang`, `\analyze`, `\q`, `\quit`} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("%s output misses %s:\n%s", alias, want, out)
+			}
+		}
+	}
+}
+
+// TestUnknownMetaCommandStaysLocal pins the typo path: a backslash line
+// the REPL does not recognize must produce a local diagnostic pointing
+// at \help — never reach the server as a garbage statement (dispatch is
+// called with a nil connection here, so leaking would crash the test).
+func TestUnknownMetaCommandStaysLocal(t *testing.T) {
+	lang := client.LangSQL
+	out, errw, quit := dispatchLocal(t, &lang, `\lnag sql`)
+	if quit || out != "" {
+		t.Fatalf("unknown command: out=%q quit=%v", out, quit)
+	}
+	if !strings.Contains(errw, `\lnag`) || !strings.Contains(errw, `\help`) {
+		t.Fatalf("diagnostic %q should name the bad command and suggest \\help", errw)
+	}
+}
+
+// TestLangSwitchAndQuit pins the remaining local commands: \lang
+// rewrites the language in place (bad names diagnose without changing
+// it), \q and \quit stop the loop, and blank lines are no-ops.
+func TestLangSwitchAndQuit(t *testing.T) {
+	lang := client.LangSQL
+	if _, errw, _ := dispatchLocal(t, &lang, `\lang datalog`); errw != "" || lang != client.LangDatalog {
+		t.Fatalf("\\lang datalog: lang=%v errw=%q", lang, errw)
+	}
+	if _, errw, _ := dispatchLocal(t, &lang, `\lang klingon`); !strings.Contains(errw, "klingon") || lang != client.LangDatalog {
+		t.Fatalf("\\lang klingon: lang=%v errw=%q", lang, errw)
+	}
+	for _, q := range []string{`\q`, `\quit`} {
+		if _, _, quit := dispatchLocal(t, &lang, q); !quit {
+			t.Fatalf("%s did not quit", q)
+		}
+	}
+	if out, errw, quit := dispatchLocal(t, &lang, ""); out != "" || errw != "" || quit {
+		t.Fatal("blank line was not a no-op")
+	}
+}

@@ -1,0 +1,40 @@
+// Command arcvet is the engine's invariant checker: a go/analysis
+// multichecker that mechanically enforces the concurrency and safety
+// contracts the type system cannot express. It speaks the unitchecker
+// protocol, so it runs through the standard vet driver:
+//
+//	go build -o bin/arcvet ./cmd/arcvet
+//	go vet -vettool=bin/arcvet ./...
+//
+// or simply `make arcvet`. The suite:
+//
+//	snapimmut     committed snapshots are immutable; mutate WriteSet clones only
+//	hookreentry   commit hooks / barrier callbacks must not re-enter the store
+//	boundaryguard engine/server entry points need a recover-to-PanicError guard
+//	cancelpoll    row-pull and fixpoint-round loops must poll for cancellation
+//	errcmp        wrapped sentinel errors require errors.Is, not ==
+//
+// Each analyzer's package doc states the invariant, why violating it is
+// unsound, and the //arcvet:ignore escape hatch (which requires a
+// written reason). See docs/INVARIANTS.md for the overview.
+package main
+
+import (
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"repro/internal/analysis/boundaryguard"
+	"repro/internal/analysis/cancelpoll"
+	"repro/internal/analysis/errcmp"
+	"repro/internal/analysis/hookreentry"
+	"repro/internal/analysis/snapimmut"
+)
+
+func main() {
+	unitchecker.Main(
+		boundaryguard.Analyzer,
+		cancelpoll.Analyzer,
+		errcmp.Analyzer,
+		hookreentry.Analyzer,
+		snapimmut.Analyzer,
+	)
+}

@@ -1,0 +1,290 @@
+// Package arcvetutil is the shared machinery behind the arcvet analyzer
+// suite: the //arcvet:ignore suppression protocol, package and method
+// matching against the engine's real types, recover-guard detection, and
+// the intra-package call-graph walker the reachability analyzers
+// (hookreentry, boundaryguard) are built on.
+package arcvetutil
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/types/typeutil"
+)
+
+// IgnorePrefix is the suppression directive marker. A diagnostic from
+// analyzer NAME on line L is suppressed when line L (trailing comment)
+// or line L-1 (own-line comment) carries
+//
+//	//arcvet:ignore NAME[,NAME...] <reason>
+//
+// The reason is mandatory: a directive without one does not suppress,
+// and the named analyzer reports the malformed directive itself so the
+// omission is visible instead of silently rotting.
+const IgnorePrefix = "arcvet:ignore"
+
+// directive is one parsed //arcvet:ignore comment.
+type directive struct {
+	line      int
+	analyzers []string
+	reason    string
+	pos       token.Pos
+}
+
+// Suppressor filters one analyzer's diagnostics through the file's
+// //arcvet:ignore directives. Build one per pass with NewSuppressor and
+// route every report through Report.
+type Suppressor struct {
+	pass *analysis.Pass
+	// byFile maps filename -> directives in that file.
+	byFile map[string][]directive
+	// reported tracks malformed directives already reported, by position.
+	reported map[token.Pos]bool
+}
+
+// NewSuppressor indexes the pass's files for suppression directives.
+func NewSuppressor(pass *analysis.Pass) *Suppressor {
+	s := &Suppressor{pass: pass, byFile: map[string][]directive{}, reported: map[token.Pos]bool{}}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, IgnorePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, IgnorePrefix))
+				name, reason, _ := strings.Cut(rest, " ")
+				pos := s.pass.Fset.Position(c.Pos())
+				s.byFile[pos.Filename] = append(s.byFile[pos.Filename], directive{
+					line:      pos.Line,
+					analyzers: strings.Split(name, ","),
+					reason:    strings.TrimSpace(reason),
+					pos:       c.Pos(),
+				})
+			}
+		}
+	}
+	return s
+}
+
+// matches reports whether d names this suppressor's analyzer.
+func (s *Suppressor) matches(d directive) bool {
+	for _, a := range d.analyzers {
+		if a == s.pass.Analyzer.Name {
+			return true
+		}
+	}
+	return false
+}
+
+// Report emits a diagnostic unless an //arcvet:ignore directive for this
+// analyzer covers pos (same line or the line above). A matching
+// directive with no reason does not suppress; it is itself reported.
+func (s *Suppressor) Report(pos token.Pos, format string, args ...any) {
+	p := s.pass.Fset.Position(pos)
+	for _, d := range s.byFile[p.Filename] {
+		if !s.matches(d) {
+			continue
+		}
+		if d.line != p.Line && d.line != p.Line-1 {
+			continue
+		}
+		if d.reason == "" {
+			if !s.reported[d.pos] {
+				s.reported[d.pos] = true
+				s.pass.Reportf(d.pos, "arcvet:ignore directive needs a reason: //arcvet:ignore %s <why this is safe>", s.pass.Analyzer.Name)
+			}
+			continue // malformed: does not suppress
+		}
+		return
+	}
+	s.pass.Reportf(pos, format, args...)
+}
+
+// PkgIs reports whether pkg's import path is, or ends with, one of the
+// given suffixes on a path-segment boundary. A "_test" external-test
+// suffix on the package path is ignored so x-test packages match their
+// subject package.
+func PkgIs(pkg *types.Package, suffixes ...string) bool {
+	if pkg == nil {
+		return false
+	}
+	return PathIs(pkg.Path(), suffixes...)
+}
+
+// PathIs is PkgIs over a raw import path.
+func PathIs(path string, suffixes ...string) bool {
+	path = strings.TrimSuffix(path, "_test")
+	path = strings.TrimSuffix(path, ".test")
+	for _, s := range suffixes {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// Callee resolves the called function or method of a call expression,
+// or nil for dynamic calls (function values, interface methods whose
+// concrete method is unknown).
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	return typeutil.StaticCallee(info, call)
+}
+
+// MethodOn reports whether fn is a method named name on a (possibly
+// pointer) named receiver type recv declared in a package matching
+// pkgSuffix.
+func MethodOn(fn *types.Func, pkgSuffix, recv, name string) bool {
+	if fn == nil || fn.Name() != name {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	rt := sig.Recv().Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok {
+		return false
+	}
+	if named.Obj().Name() != recv {
+		return false
+	}
+	return PkgIs(named.Obj().Pkg(), pkgSuffix)
+}
+
+// FuncDecls indexes the pass's syntax: every function and method
+// declaration with a body, keyed by its types.Func object. The index is
+// what lets the reachability analyzers walk same-package call chains.
+func FuncDecls(pass *analysis.Pass) map[*types.Func]*ast.FuncDecl {
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+		}
+	}
+	return decls
+}
+
+// callsRecover reports whether body contains a direct call to the
+// recover builtin.
+func callsRecover(info *types.Info, body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok {
+			if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "recover" {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// HasRecoverDefer reports whether fn's body installs a recover guard: a
+// defer of a func literal that calls recover, or a defer of a
+// same-package function whose body calls recover (the engine's
+// `defer recoverTo(&err, op)` idiom).
+func HasRecoverDefer(info *types.Info, decls map[*types.Func]*ast.FuncDecl, body *ast.BlockStmt) bool {
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		ds, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		switch fun := ds.Call.Fun.(type) {
+		case *ast.FuncLit:
+			if callsRecover(info, fun.Body) {
+				found = true
+			}
+		default:
+			if fn := Callee(info, ds.Call); fn != nil {
+				if d, ok := decls[fn]; ok && callsRecover(info, d.Body) {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// Walker performs a depth-first reachability walk over the intra-package
+// static call graph, starting from a function body. It descends into
+// same-package callees (including function literals in the visited
+// bodies) and invokes OnCall for every call expression it passes. The
+// walk cannot see across package boundaries — a callee in another
+// package is reported to OnCall but never entered.
+type Walker struct {
+	Info  *types.Info
+	Decls map[*types.Func]*ast.FuncDecl
+	// StopAt, when non-nil, prunes the walk at functions for which it
+	// returns true (boundaryguard stops at recover-guarded functions).
+	StopAt func(fn *types.Func, decl *ast.FuncDecl) bool
+	// OnCall observes every call expression reached; path is the chain of
+	// named functions entered so far (empty while still inside the root).
+	OnCall func(call *ast.CallExpr, path []*types.Func)
+
+	visited map[*types.Func]bool
+}
+
+// Walk runs the walk from root (a function body or any statement tree).
+func (w *Walker) Walk(root ast.Node) {
+	if w.visited == nil {
+		w.visited = map[*types.Func]bool{}
+	}
+	w.walk(root, nil)
+}
+
+func (w *Walker) walk(root ast.Node, path []*types.Func) {
+	if len(path) > 64 {
+		return // defensive: deep recursion chains add nothing
+	}
+	ast.Inspect(root, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if w.OnCall != nil {
+			w.OnCall(call, path)
+		}
+		fn := Callee(w.Info, call)
+		if fn == nil || w.visited[fn] {
+			return true
+		}
+		decl, ok := w.Decls[fn]
+		if !ok {
+			return true // other package, or no body
+		}
+		w.visited[fn] = true
+		if w.StopAt != nil && w.StopAt(fn, decl) {
+			return true
+		}
+		w.walk(decl.Body, append(path[:len(path):len(path)], fn))
+		return true
+	})
+}

@@ -1,0 +1,25 @@
+package boundaryguard_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/atest"
+	"repro/internal/analysis/boundaryguard"
+)
+
+func TestEngineBoundary(t *testing.T) {
+	atest.Run(t, "testdata", boundaryguard.Analyzer, "repro/internal/engine")
+}
+
+func TestServerBoundary(t *testing.T) {
+	atest.Run(t, "testdata", boundaryguard.Analyzer, "repro/internal/server")
+}
+
+// TestOffBoundaryPkgSilent checks the analyzer does not fire outside the
+// two boundary packages even when parsers are called bare.
+func TestOffBoundaryPkgSilent(t *testing.T) {
+	diags, fset := atest.Diags(t, "testdata", boundaryguard.Analyzer, "repro/internal/sql")
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic outside boundary packages at %s: %s", fset.Position(d.Pos), d.Message)
+	}
+}

@@ -1,0 +1,38 @@
+package server
+
+type Frame struct{ op byte }
+
+func ReadFrame(b []byte) (Frame, error) { return Frame{}, nil }
+
+type Conn struct{}
+
+func (c *Conn) handleQuery(f Frame) error { return nil }
+
+// Unguarded frame decode on the wire path.
+func (c *Conn) Serve(b []byte) error { // want "exported server entry point Serve reaches server.ReadFrame"
+	f, err := ReadFrame(b)
+	if err != nil {
+		return err
+	}
+	return c.handleQuery(f)
+}
+
+// The per-connection recover guard makes the same path compliant.
+func (c *Conn) ServeGuarded(b []byte) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = nil
+		}
+	}()
+	f, rerr := ReadFrame(b)
+	if rerr != nil {
+		return rerr
+	}
+	return c.handleQuery(f)
+}
+
+// Reaching a handle* dispatcher without decoding a frame is still an
+// unguarded boundary crossing.
+func (c *Conn) Dispatch(f Frame) error { // want "exported server entry point Dispatch reaches server.handleQuery"
+	return c.handleQuery(f)
+}

@@ -1,0 +1,6 @@
+// Package sql is a fixture stub for the parser boundary.
+package sql
+
+func Parse(q string) error { return nil }
+
+func ParseStatement(q string) error { return nil }

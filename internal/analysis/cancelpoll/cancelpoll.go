@@ -1,0 +1,184 @@
+// Package cancelpoll flags row-pull and fixpoint-round loops with no
+// cancellation poll.
+//
+// # The invariant
+//
+// A prepared statement's context must be able to stop it: the engine's
+// contract (PR 4) is that operator pull loops poll runCtx.poll (which
+// rate-limits the real ctx.Err check to every 64 rows) and fixpoint
+// round loops poll Options.Check / CTE.Check before every round. A loop
+// that pulls rows or runs rounds without a poll site turns a cancelled
+// query — or a hostile unbounded recursion — into a goroutine the
+// server cannot reclaim until the loop happens to finish, defeating
+// graceful shutdown and per-query timeouts.
+//
+// Mechanically, in internal/plan: every `for … range` over an exec.Seq
+// must call .poll() in its body or in an enclosing loop's body. In
+// internal/fixpoint: every loop that invokes a rule or term callback (a
+// func-typed field named Eval, Step, or Base) must call .Check in its
+// body or an enclosing loop's body. internal/exec's operators are
+// intentionally out of scope: they are lazy sequences driven by the
+// plan layer, whose guard loop carries the poll for the whole pipeline
+// (and the engine Rows cursor polls once per pulled row at the API
+// boundary).
+//
+// A loop that is provably bounded and tiny can be suppressed with
+//
+//	//arcvet:ignore cancelpoll <why this loop is O(small) and bounded>
+package cancelpoll
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"repro/internal/analysis/arcvetutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "cancelpoll",
+	Doc:      "flags row-pull loops (plan) and fixpoint round loops that never poll runCtx.poll / Options.Check for cancellation",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	isPlan := arcvetutil.PkgIs(pass.Pkg, "internal/plan")
+	isFixpoint := arcvetutil.PkgIs(pass.Pkg, "internal/fixpoint")
+	if !isPlan && !isFixpoint {
+		return nil, nil
+	}
+	insp := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	sup := arcvetutil.NewSuppressor(pass)
+
+	insp.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fd := n.(*ast.FuncDecl)
+		if fd.Body == nil {
+			return
+		}
+		if file := pass.Fset.Position(fd.Pos()).Filename; strings.HasSuffix(file, "_test.go") {
+			return
+		}
+		c := &checker{pass: pass, sup: sup, isPlan: isPlan, isFixpoint: isFixpoint}
+		c.walk(fd.Body, false)
+	})
+	return nil, nil
+}
+
+type checker struct {
+	pass       *analysis.Pass
+	sup        *arcvetutil.Suppressor
+	isPlan     bool
+	isFixpoint bool
+}
+
+// walk descends fn bodies tracking whether any enclosing loop already
+// polls; each loop is checked where it appears.
+func (c *checker) walk(n ast.Node, polledAbove bool) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			c.loop(n, n.Body, polledAbove)
+			return false
+		case *ast.RangeStmt:
+			c.loop(n, n.Body, polledAbove)
+			return false
+		}
+		return true
+	})
+}
+
+// loop checks one loop and recurses into its body.
+func (c *checker) loop(stmt ast.Node, body *ast.BlockStmt, polledAbove bool) {
+	polled := polledAbove || c.bodyPolls(body)
+	if !polled {
+		if rng, ok := stmt.(*ast.RangeStmt); ok && c.isPlan && c.isSeqRange(rng) {
+			c.sup.Report(stmt.Pos(), "row-pull loop over an exec.Seq never calls runCtx.poll; a cancelled context cannot stop this stream — poll in the loop body")
+		}
+		if c.isFixpoint && c.invokesRoundCallback(body) {
+			c.sup.Report(stmt.Pos(), "fixpoint round loop never polls Options.Check/CTE.Check; cancellation cannot stop the iteration — check before each round")
+		}
+	}
+	c.walk(body, polled)
+}
+
+// bodyPolls reports whether body contains a poll site: a call to a
+// method named poll, or an invocation of a field named Check. Calls
+// inside nested function literals count — the emit callbacks close over
+// the same execution.
+func (c *checker) bodyPolls(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if sel.Sel.Name == "poll" || sel.Sel.Name == "Check" {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isSeqRange reports whether rng ranges over a value of the exec.Seq
+// iterator type.
+func (c *checker) isSeqRange(rng *ast.RangeStmt) bool {
+	t := c.pass.TypesInfo.TypeOf(rng.X)
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return named.Obj().Name() == "Seq" && arcvetutil.PkgIs(named.Obj().Pkg(), "internal/exec")
+}
+
+// invokesRoundCallback reports whether body directly invokes a
+// func-typed field named Eval, Step, or Base — a rule or recursive-term
+// evaluation, i.e. one round's worth of work.
+func (c *checker) invokesRoundCallback(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		// Do not attribute a nested loop's callbacks to this loop; the
+		// nested loop is checked on its own.
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			if n != ast.Node(body) {
+				return false
+			}
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Eval", "Step", "Base":
+		default:
+			return true
+		}
+		if s, ok := c.pass.TypesInfo.Selections[sel]; ok && s.Kind() == types.FieldVal {
+			if _, isSig := s.Type().Underlying().(*types.Signature); isSig {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

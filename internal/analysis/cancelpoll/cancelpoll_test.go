@@ -1,0 +1,26 @@
+package cancelpoll_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/atest"
+	"repro/internal/analysis/cancelpoll"
+)
+
+func TestPlanLoops(t *testing.T) {
+	atest.Run(t, "testdata", cancelpoll.Analyzer, "repro/internal/plan")
+}
+
+func TestFixpointLoops(t *testing.T) {
+	atest.Run(t, "testdata", cancelpoll.Analyzer, "repro/internal/fixpoint")
+}
+
+// TestOtherPkgSilent checks the analyzer ignores packages outside
+// internal/plan and internal/fixpoint (exec operators are lazy Seqs
+// driven by the plan layer's polled loop).
+func TestOtherPkgSilent(t *testing.T) {
+	diags, fset := atest.Diags(t, "testdata", cancelpoll.Analyzer, "repro/internal/exec")
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic outside plan/fixpoint at %s: %s", fset.Position(d.Pos), d.Message)
+	}
+}

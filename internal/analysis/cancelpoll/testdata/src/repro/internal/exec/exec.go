@@ -1,0 +1,4 @@
+// Package exec is a fixture stub for the operator iterator type.
+package exec
+
+type Seq func(yield func(int) bool)

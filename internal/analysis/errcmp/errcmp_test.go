@@ -1,0 +1,36 @@
+package errcmp_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/atest"
+	"repro/internal/analysis/errcmp"
+)
+
+func TestErrcmp(t *testing.T) {
+	atest.Run(t, "testdata", errcmp.Analyzer, "a")
+}
+
+// TestMalformedIgnore checks that an //arcvet:ignore directive without a
+// reason does not suppress and is itself reported.
+func TestMalformedIgnore(t *testing.T) {
+	diags, fset := atest.Diags(t, "testdata", errcmp.Analyzer, "b")
+	var gotDirective, gotComparison bool
+	for _, d := range diags {
+		switch {
+		case strings.Contains(d.Message, "directive needs a reason"):
+			gotDirective = true
+		case strings.Contains(d.Message, "comparison of sentinel ErrThing"):
+			gotComparison = true
+		default:
+			t.Errorf("unexpected diagnostic at %s: %s", fset.Position(d.Pos), d.Message)
+		}
+	}
+	if !gotDirective {
+		t.Error("reason-less directive was not reported as malformed")
+	}
+	if !gotComparison {
+		t.Error("reason-less directive wrongly suppressed the comparison diagnostic")
+	}
+}

@@ -1,0 +1,50 @@
+package a
+
+import (
+	"errors"
+
+	"repro/internal/relation"
+)
+
+var ErrLocal = errors.New("local sentinel")
+
+var errUnexported = errors.New("not a sentinel by naming convention")
+
+func check(err error) int {
+	if err == relation.ErrConflict { // want "comparison of sentinel ErrConflict with ==; the engine wraps its sentinels — use errors.Is"
+		return 1
+	}
+	if err != ErrLocal { // want "comparison of sentinel ErrLocal with !="
+		return 2
+	}
+	if relation.ErrConflict == err { // want "comparison of sentinel ErrConflict with =="
+		return 3
+	}
+	if errors.Is(err, relation.ErrConflict) { // the required form
+		return 4
+	}
+	if err == nil { // nil comparison is fine
+		return 5
+	}
+	if err == errUnexported { // unexported name: not a sentinel
+		return 6
+	}
+	switch err {
+	case relation.ErrConflict: // want "switch case compares sentinel ErrConflict with =="
+		return 7
+	case nil:
+		return 8
+	}
+	//arcvet:ignore errcmp fixture: identity comparison is the point of this test
+	if err == ErrLocal {
+		return 9
+	}
+	if err == ErrLocal { //arcvet:ignore errcmp fixture: trailing-comment form
+		return 10
+	}
+	return 0
+}
+
+func notErrors(a, b int) bool {
+	return a == b // non-error operands are out of scope
+}

@@ -1,0 +1,14 @@
+// Package b exercises the malformed //arcvet:ignore directive: a
+// directive with no reason must NOT suppress, and must itself be
+// reported. The test checks the raw diagnostics (atest.Diags) because
+// one of them lands on the directive's own line.
+package b
+
+import "errors"
+
+var ErrThing = errors.New("thing")
+
+func check(err error) bool {
+	//arcvet:ignore errcmp
+	return err == ErrThing
+}

@@ -1,0 +1,12 @@
+package hookreentry_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/atest"
+	"repro/internal/analysis/hookreentry"
+)
+
+func TestHookreentry(t *testing.T) {
+	atest.Run(t, "testdata", hookreentry.Analyzer, "repro/internal/storagex")
+}

@@ -1,0 +1,45 @@
+package storagex
+
+import "repro/internal/relation"
+
+func register(st *relation.Store) {
+	// A commit hook that calls back into the store: self-deadlock.
+	st.SetCommitHook(func(ver uint64) {
+		st.Barrier(func() {}) // want "is reachable from the SetCommitHook callback"
+	})
+
+	// A barrier callback that commits: same deadlock, other registrar.
+	st.Barrier(func() {
+		_ = st.Commit(nil) // want "is reachable from the Barrier callback"
+	})
+
+	// Named hook functions are resolved and walked transitively.
+	st.SetCommitHook(onCommit)
+
+	// Safe callbacks read the store without taking the commit lock.
+	st.SetCommitHook(func(ver uint64) {
+		_ = st.Head()
+	})
+	st.Barrier(safeFlush)
+}
+
+func onCommit(ver uint64) {
+	flushIndex()
+}
+
+func flushIndex() {
+	st := &relation.Store{}
+	_ = st.Apply(nil) // want "is reachable from the SetCommitHook onCommit"
+}
+
+func safeFlush() {
+	st := &relation.Store{}
+	_ = st.Head()
+}
+
+func suppressedHook(st *relation.Store) {
+	st.SetCommitHook(func(ver uint64) {
+		//arcvet:ignore hookreentry fixture: this branch only runs in recovery, before the store serves commits
+		_ = st.Commit(nil)
+	})
+}

@@ -86,16 +86,35 @@ func TestNextAfterClose(t *testing.T) {
 	}
 }
 
+// TestRecoverToPopulatesOpAndStack pins the PanicError contract the
+// server's logging depends on: the boundary's op, the panic value, and
+// a stack captured at recovery that still names the panicking frame.
+func TestRecoverToPopulatesOpAndStack(t *testing.T) {
+	var err error
+	func() {
+		defer recoverTo(&err, "query")
+		panic("boom")
+	}()
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if pe.Op != "query" || pe.Val != "boom" {
+		t.Fatalf("PanicError = {Op:%q Val:%v}, want {query boom}", pe.Op, pe.Val)
+	}
+	if want := "engine: internal panic during query: boom"; pe.Error() != want {
+		t.Fatalf("Error() = %q, want %q", pe.Error(), want)
+	}
+	if !strings.Contains(string(pe.Stack), "TestRecoverToPopulatesOpAndStack") {
+		t.Fatalf("Stack does not name the panicking frame:\n%s", pe.Stack)
+	}
+}
+
 // TestRowsPanicRecovered pins the streaming backstop: a panic inside the
 // operator tree fails the cursor with a *PanicError instead of crashing,
 // and the cursor stays safely closed afterwards.
 func TestRowsPanicRecovered(t *testing.T) {
-	rows := newRows([]string{"A"},
-		func(yield func(relation.Tuple, int) bool) {
-			yield(relation.Tuple{relation.Lift(1)}, 1)
-			panic("operator bug")
-		},
-		func() error { return nil }, nil)
+	rows := NewPanicRowsForTest([]string{"A"}, 1, "operator bug")
 	if !rows.Next() {
 		t.Fatal("first Next = false")
 	}
@@ -108,6 +127,9 @@ func TestRowsPanicRecovered(t *testing.T) {
 	}
 	if pe.Op != "rows" || !strings.Contains(pe.Error(), "operator bug") {
 		t.Fatalf("PanicError = %v", pe)
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatal("PanicError.Stack is empty; server logs need the trace")
 	}
 	// The coroutine is dead: Next and Close must stay inert.
 	if rows.Next() {

@@ -150,17 +150,19 @@ func Run(totals map[string]*relation.Relation, rules []Rule, opt Options) error 
 			return nil
 		}
 	}
-	// Round 0: every rule runs naively, seeding the deltas.
-	if opt.Check != nil {
-		if err := opt.Check(); err != nil {
-			return err
-		}
-	}
+	// Round 0: every rule runs naively, seeding the deltas. Each rule's
+	// evaluation can stream an arbitrary amount of data, so cancellation
+	// is polled per rule, not once for the whole round.
 	var roundStart time.Time
 	if opt.OnRound != nil {
 		roundStart = time.Now()
 	}
 	for _, r := range rules {
+		if opt.Check != nil {
+			if err := opt.Check(); err != nil {
+				return err
+			}
+		}
 		if err := r.Eval(-1, nil, emitInto(r.Target, delta)); err != nil {
 			return err
 		}

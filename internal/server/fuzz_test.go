@@ -1,0 +1,110 @@
+package server_test
+
+import (
+	"bytes"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// frame appends one encoded frame to buf.
+func frame(buf *bytes.Buffer, typ byte, payload []byte) {
+	if err := server.WriteFrame(buf, typ, payload); err != nil {
+		panic(err)
+	}
+}
+
+// helloPayload builds a valid Hello so mutated streams can get past the
+// handshake and reach the per-frame decoders.
+func helloPayload() []byte {
+	var e server.Enc
+	e.U32(server.ProtocolVersion)
+	e.Str("fuzz")
+	return e.Bytes()
+}
+
+// FuzzServerFrames throws arbitrary byte streams at a live server
+// connection. The invariant under test is the wire contract: a hostile
+// stream produces Error frames or a closed connection — never a hung
+// connection, and never a process crash (a panic that escaped the
+// per-connection recover would fail the fuzz run).
+func FuzzServerFrames(f *testing.F) {
+	_, addr := startServer(f, testDB(), server.Options{})
+
+	// Seeds: a valid pipelined session, then progressively broken ones.
+	var ok bytes.Buffer
+	frame(&ok, server.FrameHello, helloPayload())
+	var e server.Enc
+	e.U32(1) // stmtID
+	e.U8(server.WireLangSQL)
+	e.Str("q")
+	e.Str("select R.A from R")
+	frame(&ok, server.FramePrepare, e.Bytes())
+	e = server.Enc{}
+	e.U32(7) // cursorID
+	e.U32(1) // stmtID
+	e.U32(0) // argc
+	frame(&ok, server.FrameBind, e.Bytes())
+	e = server.Enc{}
+	e.U32(7)
+	frame(&ok, server.FrameExecute, e.Bytes())
+	e = server.Enc{}
+	e.U32(7)
+	e.U32(100)
+	frame(&ok, server.FrameFetch, e.Bytes())
+	f.Add(ok.Bytes())
+
+	var tx bytes.Buffer
+	frame(&tx, server.FrameHello, helloPayload())
+	frame(&tx, server.FrameBegin, nil)
+	e = server.Enc{}
+	e.U32(2)
+	e.U8(server.WireLangSQL)
+	e.Str("s")
+	e.Str("insert into R values (9, 90)")
+	frame(&tx, server.FramePrepare, e.Bytes())
+	e = server.Enc{}
+	e.U32(2)
+	e.U32(0)
+	frame(&tx, server.FrameExec, e.Bytes())
+	frame(&tx, server.FrameCommit, nil)
+	f.Add(tx.Bytes())
+
+	var bad bytes.Buffer
+	frame(&bad, server.FrameHello, helloPayload())
+	frame(&bad, server.FrameBind, []byte{0xff, 0xff}) // truncated payload
+	f.Add(bad.Bytes())
+
+	f.Add([]byte{})
+	f.Add([]byte{server.FrameHello, 0xff, 0xff, 0xff, 0xff})      // oversized length prefix
+	f.Add([]byte{0x42, 0x00, 0x00, 0x00, 0x03, 0x01})             // unknown type, short payload
+	f.Add(bytes.Repeat([]byte{0xa5}, 512))                        // pure noise
+	f.Add(append(ok.Bytes()[:len(ok.Bytes())/2], 0x00, 0x00))     // valid prefix, torn mid-frame
+	f.Add(append([]byte{server.FrameAnalyze}, ok.Bytes()[1:]...)) // type confusion on a valid stream
+
+	f.Fuzz(func(t *testing.T, stream []byte) {
+		nc, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Skipf("dial: %v", err)
+		}
+		defer nc.Close()
+		nc.SetDeadline(time.Now().Add(10 * time.Second))
+		nc.Write(stream) // a write error just means the server closed first
+		// Half-close so a server mid-frame sees EOF instead of waiting for
+		// the rest of a truncated payload.
+		if tc, ok := nc.(*net.TCPConn); ok {
+			tc.CloseWrite()
+		}
+		buf := make([]byte, 4096)
+		for {
+			if _, err := nc.Read(buf); err != nil {
+				if ne, ok := err.(net.Error); ok && ne.Timeout() {
+					t.Fatalf("server neither answered nor closed after %d-byte stream", len(stream))
+				}
+				return
+			}
+		}
+	})
+}

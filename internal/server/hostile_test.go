@@ -116,6 +116,22 @@ func TestHostileByteStreams(t *testing.T) {
 			bind.U32(0xFFFFFF) // claims 16M args in a tiny payload
 			return append(helloBytes(), frameBytes(server.FrameBind, bind.Bytes())...)
 		}},
+		{"giant argc preallocation", func() []byte {
+			// argc near 2^31 on every arg-carrying frame type: the count
+			// must be rejected before the argument slice is allocated, or
+			// one 14-byte frame reserves tens of gigabytes of capacity
+			// (the FuzzServerFrames OOM).
+			var bind server.Enc
+			bind.U32(1)
+			bind.U32(1)
+			bind.U32(0x7FFFFFFF)
+			var ex server.Enc
+			ex.U32(1)
+			ex.U32(0x7FFFFFFF)
+			b := append(helloBytes(), frameBytes(server.FrameBind, bind.Bytes())...)
+			b = append(b, frameBytes(server.FrameExec, ex.Bytes())...)
+			return append(b, frameBytes(server.FrameAnalyze, ex.Bytes())...)
+		}},
 		{"bind with bad value kind", func() []byte {
 			var bind server.Enc
 			bind.U32(1)

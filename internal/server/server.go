@@ -535,20 +535,30 @@ func (sess *session) resolveHandle(h *stmtHandle) error {
 	return nil
 }
 
-func (sess *session) handleBind(payload []byte) error {
-	d := NewDec(payload)
-	curID := d.U32()
-	stmtID := d.U32()
+// decodeArgs decodes a u32-counted argument vector. Each argument needs
+// at least one payload byte, so the count is validated against the
+// payload size before any allocation — a hostile argc must fail cheaply,
+// not reserve gigabytes of slice capacity (found by FuzzServerFrames).
+func decodeArgs(d *Dec, payloadLen int) []any {
 	argc := d.U32()
-	if d.err == nil && uint64(argc) > uint64(len(payload)) {
-		// Each argument needs at least one payload byte; a huge argc is
-		// a hostile length, not a real bind.
+	if d.err == nil && uint64(argc) > uint64(payloadLen) {
 		d.fail("argument count %d overruns payload", argc)
+	}
+	if d.err != nil {
+		return nil
 	}
 	args := make([]any, 0, argc)
 	for i := uint32(0); i < argc && d.err == nil; i++ {
 		args = append(args, d.Val())
 	}
+	return args
+}
+
+func (sess *session) handleBind(payload []byte) error {
+	d := NewDec(payload)
+	curID := d.U32()
+	stmtID := d.U32()
+	args := decodeArgs(&d, len(payload))
 	if err := d.Done(); err != nil {
 		return err
 	}
@@ -739,14 +749,7 @@ func (sess *session) handleClose(payload []byte) error {
 func (sess *session) handleExec(payload []byte) error {
 	d := NewDec(payload)
 	stmtID := d.U32()
-	argc := d.U32()
-	if d.err == nil && uint64(argc) > uint64(len(payload)) {
-		d.fail("argument count %d overruns payload", argc)
-	}
-	args := make([]any, 0, argc)
-	for i := uint32(0); i < argc && d.err == nil; i++ {
-		args = append(args, d.Val())
-	}
+	args := decodeArgs(&d, len(payload))
 	if err := d.Done(); err != nil {
 		return err
 	}
@@ -783,14 +786,7 @@ func (sess *session) handleExec(payload []byte) error {
 func (sess *session) handleAnalyze(payload []byte) error {
 	d := NewDec(payload)
 	stmtID := d.U32()
-	argc := d.U32()
-	if d.err == nil && uint64(argc) > uint64(len(payload)) {
-		d.fail("argument count %d overruns payload", argc)
-	}
-	args := make([]any, 0, argc)
-	for i := uint32(0); i < argc && d.err == nil; i++ {
-		args = append(args, d.Val())
-	}
+	args := decodeArgs(&d, len(payload))
 	if err := d.Done(); err != nil {
 		return err
 	}

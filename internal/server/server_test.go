@@ -3,6 +3,7 @@ package server_test
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"net/http/httptest"
@@ -41,7 +42,7 @@ func testDB() *engine.DB {
 // startServer runs a server on a loopback port, shut down at cleanup.
 // The returned address comes from the listener directly, so tests never
 // race the Serve goroutine's bookkeeping.
-func startServer(t *testing.T, db *engine.DB, opts server.Options) (*server.Server, string) {
+func startServer(t testing.TB, db *engine.DB, opts server.Options) (*server.Server, string) {
 	t.Helper()
 	srv := server.New(db, opts)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -54,7 +55,7 @@ func startServer(t *testing.T, db *engine.DB, opts server.Options) (*server.Serv
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		srv.Shutdown(ctx)
-		if err := <-serveDone; err != server.ErrServerClosed {
+		if err := <-serveDone; !errors.Is(err, server.ErrServerClosed) {
 			t.Errorf("Serve = %v, want server.ErrServerClosed", err)
 		}
 	})
